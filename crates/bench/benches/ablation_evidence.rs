@@ -1,0 +1,30 @@
+//! A3 — evidence-signature derivation vs corpus size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qunit_bench::bench_context;
+use qunit_eval::experiments::ablation;
+use qunit_eval::report;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+
+    let sweep = ablation::sweep_evidence_pages(&ctx, &[10, 50, 100, 250], 25);
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|(n, s)| vec![n.to_string(), format!("{s:.3}")])
+        .collect();
+    println!("\n=== A3: evidence pages vs quality (regenerated) ===\n{}",
+        report::table(&["evidence pages", "avg quality"], &rows));
+
+    c.bench_function("ablation/evidence_100_pages", |b| {
+        b.iter(|| black_box(ablation::sweep_evidence_pages(&ctx, &[100], 25)[0].1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! A1 — the schema-data derivation's k1 × k2 sensitivity grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qunit_bench::bench_context;
+use qunit_eval::experiments::ablation;
+use qunit_eval::report;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+
+    // Print the ablation table once.
+    let grid = ablation::sweep_k1k2(&ctx, &[1, 2, 3], &[0, 1, 2, 3], 25);
+    let rows: Vec<Vec<String>> = grid
+        .iter()
+        .map(|(k1, k2, s)| vec![k1.to_string(), k2.to_string(), format!("{s:.3}")])
+        .collect();
+    println!("\n=== A1: schema-data k1 x k2 (regenerated) ===\n{}",
+        report::table(&["k1", "k2", "avg quality"], &rows));
+
+    c.bench_function("ablation/k1k2_single_cell", |b| {
+        b.iter(|| black_box(ablation::sweep_k1k2(&ctx, &[2], &[2], 25)[0].2))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! A2 — query-log rollup derivation vs log volume.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qunit_bench::bench_context;
+use qunit_eval::experiments::ablation;
+use qunit_eval::report;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+
+    let sweep = ablation::sweep_log_size(&ctx, &[10, 100, 500, 2000, 6000], 25);
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|(n, s)| vec![n.to_string(), format!("{s:.3}")])
+        .collect();
+    println!("\n=== A2: log volume vs quality (regenerated) ===\n{}",
+        report::table(&["log queries", "avg quality"], &rows));
+
+    c.bench_function("ablation/logsize_2000", |b| {
+        b.iter(|| black_box(ablation::sweep_log_size(&ctx, &[2000], 25)[0].1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

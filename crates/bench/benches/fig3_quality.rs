@@ -1,0 +1,32 @@
+//! F3 — regenerates Figure 3 (average result quality per algorithm) and
+//! benchmarks the full evaluation loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qunit_bench::bench_context;
+use qunit_eval::experiments::fig3;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+
+    // Print the paper artifact once.
+    let result = fig3::run(&ctx, 25, false);
+    println!("\n=== Figure 3 (regenerated) ===\n{}", result.render());
+
+    c.bench_function("fig3/full_run_25_queries", |b| {
+        b.iter(|| black_box(fig3::run(&ctx, 25, false).scores.len()))
+    });
+    c.bench_function("fig3/derive_automatic_catalogs", |b| {
+        b.iter(|| {
+            let (sd, ql, ev, all) = fig3::automatic_catalogs(&ctx);
+            black_box((sd.len(), ql.len(), ev.len(), all.len()))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! P1 — build throughput of every substrate: database generation, tuple
+//! graph, XML tree, qunit materialization + IR indexing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::imdb::{ImdbConfig, ImdbData};
+use datagraph::DataGraph;
+use qunit_core::derive::manual::expert_imdb_qunits;
+use qunit_core::{EngineConfig, QunitSearchEngine};
+use std::hint::black_box;
+use xmltree::database_to_tree;
+
+fn bench(c: &mut Criterion) {
+    for scale in [100usize, 400] {
+        let cfg = ImdbConfig { n_movies: scale, n_people: scale * 2, ..Default::default() };
+        let data = ImdbData::generate(cfg.clone());
+
+        let mut group = c.benchmark_group(format!("build/{scale}movies"));
+        group.bench_function(BenchmarkId::new("generate_db", scale), |b| {
+            b.iter(|| black_box(ImdbData::generate(cfg.clone()).db.total_rows()))
+        });
+        group.bench_function(BenchmarkId::new("data_graph", scale), |b| {
+            b.iter(|| black_box(DataGraph::build(&data.db).num_nodes()))
+        });
+        group.bench_function(BenchmarkId::new("xml_tree", scale), |b| {
+            b.iter(|| black_box(database_to_tree(&data.db).len()))
+        });
+        group.bench_function(BenchmarkId::new("qunit_engine", scale), |b| {
+            b.iter(|| {
+                let e = QunitSearchEngine::build(
+                    &data.db,
+                    expert_imdb_qunits(&data.db).expect("catalog"),
+                    EngineConfig::default(),
+                )
+                .expect("engine");
+                black_box(e.num_instances())
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! S5.2 — regenerates the query-log benchmark statistics and measures the
+//! typing pipeline's throughput (segmentation is the §5.2 workhorse).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::imdb::{ImdbConfig, ImdbData};
+use datagen::querylog::{QueryLog, QueryLogConfig};
+use qunit_core::{EntityDictionary, Segmenter};
+use qunit_eval::experiments::querylog_stats;
+use qunit_eval::workload::Workload;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = ImdbData::generate(ImdbConfig { n_movies: 300, n_people: 600, ..Default::default() });
+    let log = QueryLog::generate(&data, QueryLogConfig { n_queries: 10_000, ..Default::default() });
+    let segmenter = Segmenter::new(EntityDictionary::from_database(
+        &data.db,
+        EntityDictionary::imdb_specs(),
+    ));
+
+    // Print the paper artifact once.
+    let stats = querylog_stats::measure(&log, &segmenter, 14);
+    println!("\n=== Section 5.2 statistics (regenerated) ===\n{}", stats.render());
+    let workload = Workload::paper_defaults(&log, &segmenter);
+    println!("workload: {} queries over {} templates\n", workload.queries.len(), workload.templates.len());
+
+    c.bench_function("querylog/measure_10k_log", |b| {
+        b.iter(|| black_box(querylog_stats::measure(&log, &segmenter, 14).unique_queries))
+    });
+    c.bench_function("querylog/build_workload", |b| {
+        b.iter(|| black_box(Workload::paper_defaults(&log, &segmenter).queries.len()))
+    });
+    c.bench_function("querylog/segment_one_query", |b| {
+        let q = format!("{} cast", data.movies[0].title);
+        b.iter(|| black_box(segmenter.segment(&q).template_signature()))
+    });
+    c.bench_function("querylog/generate_10k_log", |b| {
+        b.iter(|| {
+            let l = QueryLog::generate(
+                &data,
+                QueryLogConfig { n_queries: 10_000, ..Default::default() },
+            );
+            black_box(l.records.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! P1 — per-query latency of every system on the same database. The paper's
+//! §3 argument is architectural (qunit search = standard IR lookup, no
+//! per-query graph exploration); this bench quantifies it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::imdb::{ImdbConfig, ImdbData};
+use datagraph::{BanksConfig, BanksEngine, DataGraph};
+use qunit_core::derive::manual::expert_imdb_qunits;
+use qunit_core::{EngineConfig, QunitSearchEngine};
+use std::hint::black_box;
+use xmltree::{database_to_tree, LcaEngine, MlcaEngine};
+
+fn bench(c: &mut Criterion) {
+    for scale in [100usize, 400] {
+        let data = ImdbData::generate(ImdbConfig {
+            n_movies: scale,
+            n_people: scale * 2,
+            ..Default::default()
+        });
+        let graph = DataGraph::build(&data.db);
+        let tree = database_to_tree(&data.db);
+        let engine = QunitSearchEngine::build(
+            &data.db,
+            expert_imdb_qunits(&data.db).expect("catalog"),
+            EngineConfig::default(),
+        )
+        .expect("engine");
+
+        let q_attr = format!("{} cast", data.movies[0].title);
+        let q_multi = format!("{} {}", data.people[0].name, data.people[1].name);
+
+        let mut group = c.benchmark_group(format!("latency/{scale}movies"));
+        group.bench_function(BenchmarkId::new("qunits", "entity_attr"), |b| {
+            b.iter(|| black_box(engine.search(&q_attr, 10).len()))
+        });
+        group.bench_function(BenchmarkId::new("qunits", "multi_entity"), |b| {
+            b.iter(|| black_box(engine.search(&q_multi, 10).len()))
+        });
+        group.bench_function(BenchmarkId::new("banks", "multi_entity"), |b| {
+            b.iter(|| {
+                let e = BanksEngine::new(&graph, BanksConfig::default());
+                black_box(e.search(&q_multi).len())
+            })
+        });
+        group.bench_function(BenchmarkId::new("lca", "entity_attr"), |b| {
+            b.iter(|| {
+                let e = LcaEngine::new(&tree, 10);
+                black_box(e.search(&q_attr).len())
+            })
+        });
+        group.bench_function(BenchmarkId::new("mlca", "entity_attr"), |b| {
+            b.iter(|| {
+                let e = MlcaEngine::new(&tree, 10);
+                black_box(e.search(&q_attr).len())
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

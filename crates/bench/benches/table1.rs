@@ -1,0 +1,31 @@
+//! T1 — regenerates Table 1 (information needs × keyword queries) and
+//! benchmarks the simulated-study driver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qunit_eval::experiments::table1;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Print the paper artifact once.
+    let study = table1::run(2009, 5, 5);
+    println!("\n=== Table 1 (regenerated) ===\n{}", study.render());
+    println!(
+        "single-entity: {} / {} (paper: 10/25); underspecified: {} (paper: 8)\n",
+        study.single_entity_count(),
+        study.entries.len(),
+        study.underspecified_single_entity_count()
+    );
+
+    c.bench_function("table1/simulate_5x5", |b| {
+        b.iter(|| {
+            let t = table1::run(black_box(2009), 5, 5);
+            black_box(t.single_entity_count())
+        })
+    });
+    c.bench_function("table1/render_matrix", |b| {
+        b.iter(|| black_box(study.render().len()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! # qunit-bench
+//!
+//! Criterion benchmark harnesses, one per paper artifact (see DESIGN.md §5):
+//!
+//! | bench | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — user-study matrix (T1) |
+//! | `querylog_stats` | §5.2 log statistics + workload (S5.2) |
+//! | `fig3_quality` | Figure 3 — result quality per algorithm (F3) |
+//! | `search_latency` | P1 — query latency of every system |
+//! | `index_build` | P1 — substrate build throughput |
+//! | `ablation_k1k2` | A1 — schema-data k1 × k2 grid |
+//! | `ablation_logsize` | A2 — log-volume sweep |
+//! | `ablation_evidence` | A3 — evidence-volume sweep |
+//!
+//! Each bench prints the paper-style artifact (rows/series) before timing,
+//! so `cargo bench` regenerates the numbers and measures their cost.
+
+/// Shared helper: a moderate evaluation context used by quality benches.
+pub fn bench_context() -> qunit_eval::experiments::fig3::EvalContext {
+    use datagen::evidence::EvidenceGenConfig;
+    use datagen::imdb::ImdbConfig;
+    use datagen::querylog::QueryLogConfig;
+    qunit_eval::experiments::fig3::context(
+        ImdbConfig { n_movies: 200, n_people: 400, ..Default::default() },
+        QueryLogConfig { n_queries: 6000, ..Default::default() },
+        EvidenceGenConfig { n_pages: 250, ..Default::default() },
+        qunit_eval::Oracle::default(),
+    )
+}

@@ -1,0 +1,195 @@
+//! Qunit evolution over time (§7 future work: "we expect to deal with qunit
+//! evolution over time as user interests mutate during the life of a
+//! database system").
+//!
+//! The machinery is epoch-based: slice a query log into time windows, run
+//! the §4.2 derivation per window, and diff consecutive catalogs. A diff
+//! reports definitions that appeared, disappeared, and whose utility
+//! (anchor popularity) shifted — the signals an operator would use to
+//! re-materialize or retire qunits.
+
+use crate::catalog::QunitCatalog;
+use crate::derive::querylog::{self, QueryLogDeriveConfig};
+use crate::segment::Segmenter;
+use relstore::{Database, Result};
+
+/// The change between two derived catalogs.
+#[derive(Debug, Clone, Default)]
+pub struct CatalogDiff {
+    /// Definitions present in `new` but not `old`.
+    pub added: Vec<String>,
+    /// Definitions present in `old` but not `new`.
+    pub removed: Vec<String>,
+    /// Definitions in both whose utility moved: `(name, old, new)`.
+    pub utility_shifts: Vec<(String, f64, f64)>,
+}
+
+impl CatalogDiff {
+    /// True iff nothing changed (up to `epsilon` in utility).
+    pub fn is_stable(&self, epsilon: f64) -> bool {
+        self.added.is_empty()
+            && self.removed.is_empty()
+            && self.utility_shifts.iter().all(|(_, a, b)| (a - b).abs() <= epsilon)
+    }
+
+    /// Largest absolute utility movement.
+    pub fn max_utility_shift(&self) -> f64 {
+        self.utility_shifts
+            .iter()
+            .map(|(_, a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Diff two catalogs by definition name and utility.
+pub fn diff(old: &QunitCatalog, new: &QunitCatalog) -> CatalogDiff {
+    let mut out = CatalogDiff::default();
+    for d in new.iter() {
+        match old.get(&d.name) {
+            None => out.added.push(d.name.clone()),
+            Some(prev) => out.utility_shifts.push((d.name.clone(), prev.utility, d.utility)),
+        }
+    }
+    for d in old.iter() {
+        if new.get(&d.name).is_none() {
+            out.removed.push(d.name.clone());
+        }
+    }
+    out.added.sort();
+    out.removed.sort();
+    out.utility_shifts.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Slice `queries` (in arrival order) into `n_epochs` equal windows and
+/// derive a catalog per window.
+pub fn derive_epochs(
+    db: &Database,
+    segmenter: &Segmenter,
+    queries: &[String],
+    n_epochs: usize,
+    config: &QueryLogDeriveConfig,
+) -> Result<Vec<QunitCatalog>> {
+    assert!(n_epochs > 0, "need at least one epoch");
+    let chunk = queries.len().div_ceil(n_epochs).max(1);
+    let mut out = Vec::with_capacity(n_epochs);
+    for window in queries.chunks(chunk) {
+        out.push(querylog::derive(db, segmenter, window, config)?);
+    }
+    Ok(out)
+}
+
+/// Diffs between consecutive epochs.
+pub fn drift_report(epochs: &[QunitCatalog]) -> Vec<CatalogDiff> {
+    epochs.windows(2).map(|w| diff(&w[0], &w[1])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::EntityDictionary;
+    use datagen::imdb::{ImdbConfig, ImdbData};
+
+    fn setup() -> (ImdbData, Segmenter) {
+        let data = ImdbData::generate(ImdbConfig::tiny());
+        let seg = Segmenter::new(EntityDictionary::from_database(
+            &data.db,
+            EntityDictionary::imdb_specs(),
+        ));
+        (data, seg)
+    }
+
+    /// An interest shift: epoch 1 users ask about cast, epoch 2 users ask
+    /// about soundtracks. The drift report must surface it.
+    #[test]
+    fn interest_shift_is_detected() {
+        let (data, seg) = setup();
+        let m = &data.movies[0].title;
+        let mut queries: Vec<String> = Vec::new();
+        for _ in 0..20 {
+            queries.push(format!("{m} cast"));
+        }
+        for _ in 0..20 {
+            queries.push(format!("{m} ost"));
+        }
+        let epochs = derive_epochs(
+            &data.db,
+            &seg,
+            &queries,
+            2,
+            &QueryLogDeriveConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(epochs.len(), 2);
+        assert!(epochs[0].get("ql_movie_cast").is_some());
+        assert!(epochs[0].get("ql_movie_soundtrack").is_none());
+        assert!(epochs[1].get("ql_movie_soundtrack").is_some());
+
+        let report = drift_report(&epochs);
+        assert_eq!(report.len(), 1);
+        let d = &report[0];
+        assert!(d.added.contains(&"ql_movie_soundtrack".to_string()), "{d:?}");
+        assert!(d.removed.contains(&"ql_movie_cast".to_string()), "{d:?}");
+        assert!(!d.is_stable(0.0));
+    }
+
+    #[test]
+    fn stable_interest_produces_stable_catalogs() {
+        let (data, seg) = setup();
+        let m = &data.movies[0].title;
+        let queries: Vec<String> = (0..40).map(|_| format!("{m} cast")).collect();
+        let epochs =
+            derive_epochs(&data.db, &seg, &queries, 2, &QueryLogDeriveConfig::default())
+                .unwrap();
+        let report = drift_report(&epochs);
+        assert!(report[0].is_stable(1e-9), "{:?}", report[0]);
+        assert_eq!(report[0].max_utility_shift(), 0.0);
+    }
+
+    #[test]
+    fn diff_reports_utility_shifts() {
+        let (data, seg) = setup();
+        let m = &data.movies[0].title;
+        let p = &data.people[0].name;
+        // epoch 1: movie-heavy; epoch 2: person queries rise
+        let mut queries: Vec<String> = Vec::new();
+        for _ in 0..16 {
+            queries.push(format!("{m} cast"));
+        }
+        for _ in 0..4 {
+            queries.push(format!("{p} movies"));
+        }
+        for _ in 0..10 {
+            queries.push(format!("{m} cast"));
+        }
+        for _ in 0..10 {
+            queries.push(format!("{p} movies"));
+        }
+        let epochs =
+            derive_epochs(&data.db, &seg, &queries, 2, &QueryLogDeriveConfig::default())
+                .unwrap();
+        let d = diff(&epochs[0], &epochs[1]);
+        let person_shift = d
+            .utility_shifts
+            .iter()
+            .find(|(n, _, _)| n == "ql_person_rollup");
+        if let Some((_, old, new)) = person_shift {
+            assert!(new > old, "person utility should rise: {old} → {new}");
+        }
+        assert!(d.max_utility_shift() > 0.0);
+    }
+
+    #[test]
+    fn epoch_count_respected() {
+        let (data, seg) = setup();
+        let m = &data.movies[0].title;
+        let queries: Vec<String> = (0..30).map(|_| format!("{m} cast")).collect();
+        for n in [1, 2, 3, 5] {
+            let epochs =
+                derive_epochs(&data.db, &seg, &queries, n, &QueryLogDeriveConfig::default())
+                    .unwrap();
+            assert!(epochs.len() <= n);
+            assert!(!epochs.is_empty());
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Expert qunit catalogs — the paper's "human" condition.
+//!
+//! §5.3 uses the structure of the imdb.com website as an expert-determined
+//! qunit set: each page type (title page, full cast & crew, filmography,
+//! soundtrack, trivia, box office, posters, awards, charts) is one qunit
+//! definition. [`expert_imdb_qunits`] encodes exactly those page types
+//! against the Figure-2 schema.
+
+use crate::catalog::QunitCatalog;
+use crate::derive::common::base_expression;
+use crate::presentation::ConversionExpr;
+use crate::qunit::{AnchorSpec, DerivationSource, QunitDefinition};
+use relstore::{Database, Query, Result, View};
+
+#[allow(clippy::too_many_arguments)] // the catalog table below reads best with explicit columns
+fn anchored(
+    db: &Database,
+    name: &str,
+    anchor_table: &str,
+    anchor_column: &str,
+    include: &[&str],
+    header: Vec<String>,
+    foreach: Vec<String>,
+    intent: &[&str],
+    covered: &[&str],
+    utility: f64,
+) -> Result<QunitDefinition> {
+    let (query, _) = base_expression(db, anchor_table, anchor_column, "x", include)?;
+    Ok(QunitDefinition {
+        name: name.to_string(),
+        base: View::new(name, query),
+        conversion: ConversionExpr::nested(name, header, foreach),
+        anchor: Some(AnchorSpec {
+            table: anchor_table.into(),
+            column: anchor_column.into(),
+            param: "x".into(),
+        }),
+        intent_terms: intent.iter().map(|s| s.to_string()).collect(),
+        covered_fields: covered.iter().map(|s| s.to_string()).collect(),
+        utility,
+        provenance: DerivationSource::Manual,
+    })
+}
+
+/// The full expert catalog: eleven page types of an IMDb-like site.
+pub fn expert_imdb_qunits(db: &Database) -> Result<QunitCatalog> {
+    let mut cat = QunitCatalog::new();
+
+    // Title main page: summary attributes + top-billed cast.
+    cat.add(anchored(
+        db,
+        "movie_page",
+        "movie",
+        "title",
+        &["genre", "person"],
+        vec![
+            "movie.title".into(),
+            "movie.releasedate".into(),
+            "movie.rating".into(),
+            "genre.type".into(),
+        ],
+        vec!["person.name".into()],
+        &["summary", "about", "year", "release", "rating", "genre", "info"],
+        &["movie.title", "movie.releasedate", "movie.rating", "genre.type", "person.name"],
+        1.0,
+    )?);
+
+    // Full cast & crew page.
+    cat.add(anchored(
+        db,
+        "movie_cast",
+        "movie",
+        "title",
+        &["person"],
+        vec!["movie.title".into()],
+        vec!["person.name".into(), "cast.role".into()],
+        &["cast", "crew", "starring", "actors"],
+        &["movie.title", "person.name", "cast.role"],
+        0.95,
+    )?);
+
+    // Person main page: profile + filmography.
+    cat.add(anchored(
+        db,
+        "person_page",
+        "person",
+        "name",
+        &["movie"],
+        vec!["person.name".into(), "person.birthdate".into(), "person.gender".into()],
+        vec!["movie.title".into()],
+        &["biography", "profile", "born"],
+        &["person.name", "person.birthdate", "person.gender", "movie.title"],
+        1.0,
+    )?);
+
+    // Filmography page.
+    cat.add(anchored(
+        db,
+        "person_filmography",
+        "person",
+        "name",
+        &["movie"],
+        vec!["person.name".into()],
+        vec!["movie.title".into(), "movie.releasedate".into()],
+        &["movies", "films", "filmography"],
+        &["person.name", "movie.title"],
+        0.95,
+    )?);
+
+    // Soundtrack page.
+    cat.add(anchored(
+        db,
+        "movie_soundtrack",
+        "movie",
+        "title",
+        &["soundtrack"],
+        vec!["movie.title".into()],
+        vec!["soundtrack.title".into()],
+        &["ost", "soundtrack", "soundtracks", "song", "songs", "music"],
+        &["movie.title", "soundtrack.title"],
+        0.8,
+    )?);
+
+    // Trivia page.
+    cat.add(anchored(
+        db,
+        "movie_trivia",
+        "movie",
+        "title",
+        &["trivia"],
+        vec!["movie.title".into()],
+        vec!["trivia.text".into()],
+        &["trivia", "facts"],
+        &["movie.title", "trivia.text"],
+        0.7,
+    )?);
+
+    // Box-office page.
+    cat.add(anchored(
+        db,
+        "movie_boxoffice",
+        "movie",
+        "title",
+        &["boxoffice"],
+        vec!["movie.title".into()],
+        vec!["boxoffice.gross".into()],
+        &["box office", "gross", "boxoffice", "revenue"],
+        &["movie.title", "boxoffice.gross"],
+        0.8,
+    )?);
+
+    // Posters page.
+    cat.add(anchored(
+        db,
+        "movie_posters",
+        "movie",
+        "title",
+        &["poster"],
+        vec!["movie.title".into()],
+        vec!["poster.url".into()],
+        &["poster", "posters", "images", "photos"],
+        &["movie.title", "poster.url"],
+        0.7,
+    )?);
+
+    // Plot page.
+    cat.add(anchored(
+        db,
+        "movie_plot",
+        "movie",
+        "title",
+        &["info"],
+        vec!["movie.title".into()],
+        vec!["info.text".into()],
+        &["plot", "synopsis", "storyline"],
+        &["movie.title", "info.text"],
+        0.8,
+    )?);
+
+    // Awards pages (movie and person).
+    cat.add(anchored(
+        db,
+        "movie_awards",
+        "movie",
+        "title",
+        &["movie_award", "award"],
+        vec!["movie.title".into()],
+        vec!["award.name".into(), "movie_award.year".into()],
+        &["award", "awards", "oscar", "wins"],
+        &["movie.title", "award.name", "movie_award.year"],
+        0.75,
+    )?);
+    cat.add(anchored(
+        db,
+        "person_awards",
+        "person",
+        "name",
+        &["person_award", "award"],
+        vec!["person.name".into()],
+        vec!["award.name".into(), "person_award.year".into()],
+        &["award", "awards", "oscar", "wins"],
+        &["person.name", "award.name", "person_award.year"],
+        0.75,
+    )?);
+
+    // Charts (singleton: top-rated list).
+    let movie_id = db
+        .catalog()
+        .table_id("movie")
+        .ok_or_else(|| relstore::Error::UnknownTable("movie".into()))?;
+    let charts_query = Query::scan(movie_id);
+    cat.add(QunitDefinition {
+        name: "top_charts".into(),
+        base: View::new("top_charts", charts_query),
+        conversion: ConversionExpr::nested(
+            "charts",
+            vec![],
+            vec!["movie.title".into(), "movie.rating".into()],
+        ),
+        anchor: None,
+        intent_terms: ["charts", "top", "best", "highest", "rated", "list"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        covered_fields: vec!["movie.title".into(), "movie.rating".into()],
+        utility: 0.5,
+        provenance: DerivationSource::Manual,
+    });
+
+    Ok(cat)
+}
+
+/// Minimal one-qunit catalog for databases that only have a `movie` table —
+/// used by doc examples and smoke tests.
+pub fn movie_summary_only(db: &Database) -> Result<QunitCatalog> {
+    let (query, _) = base_expression(db, "movie", "title", "x", &[])?;
+    let mut cat = QunitCatalog::new();
+    cat.add(QunitDefinition {
+        name: "movie_page".into(),
+        base: View::new("movie_page", query),
+        conversion: ConversionExpr::flat("movie"),
+        anchor: Some(AnchorSpec { table: "movie".into(), column: "title".into(), param: "x".into() }),
+        intent_terms: vec!["summary".into()],
+        covered_fields: vec!["movie.title".into()],
+        utility: 1.0,
+        provenance: DerivationSource::Manual,
+    });
+    Ok(cat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::imdb::{imdb_schema, ImdbConfig, ImdbData};
+
+    #[test]
+    fn expert_catalog_has_twelve_page_types() {
+        let db = imdb_schema();
+        let cat = expert_imdb_qunits(&db).unwrap();
+        assert_eq!(cat.len(), 12);
+        assert!(cat.get("movie_cast").is_some());
+        assert!(cat.get("top_charts").is_some());
+        for d in cat.iter() {
+            assert_eq!(d.provenance, DerivationSource::Manual);
+            assert!(!d.covered_fields.is_empty());
+        }
+    }
+
+    #[test]
+    fn base_expressions_validate_against_db() {
+        let data = ImdbData::generate(ImdbConfig::tiny());
+        let cat = expert_imdb_qunits(&data.db).unwrap();
+        for d in cat.iter() {
+            assert!(
+                d.base.query.validate(&data.db).is_ok(),
+                "definition {} has invalid base expression",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn cast_definition_matches_paper_example() {
+        let db = imdb_schema();
+        let cat = expert_imdb_qunits(&db).unwrap();
+        let cast = cat.get("movie_cast").unwrap();
+        let sql = relstore::render_sql(&db, &cast.base.query);
+        // SELECT * FROM movie, cast, person WHERE … AND movie.title = "$x"
+        assert!(sql.starts_with("SELECT * FROM movie, cast, person"), "{sql}");
+        assert!(sql.contains("movie.title = \"$x\""), "{sql}");
+    }
+
+    #[test]
+    fn anchored_defs_have_movie_or_person_anchor() {
+        let db = imdb_schema();
+        let cat = expert_imdb_qunits(&db).unwrap();
+        for d in cat.iter() {
+            if let Some(a) = &d.anchor {
+                assert!(
+                    a.qualified() == "movie.title" || a.qualified() == "person.name",
+                    "{}: {}",
+                    d.name,
+                    a.qualified()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn movie_summary_only_works_on_minimal_schema() {
+        let mut db = Database::new("mini");
+        db.create_table(
+            relstore::TableSchema::new("movie")
+                .column(relstore::ColumnDef::new("id", relstore::DataType::Int).not_null())
+                .column(relstore::ColumnDef::new("title", relstore::DataType::Text))
+                .primary_key("id"),
+        )
+        .unwrap();
+        let cat = movie_summary_only(&db).unwrap();
+        assert_eq!(cat.len(), 1);
+    }
+}

@@ -1,0 +1,519 @@
+//! The qunit search engine (§3).
+//!
+//! Build phase: materialize every instance of every definition in the
+//! catalog, render each through its conversion expression, and index the
+//! renderings as plain documents (anchor text and intent vocabulary get
+//! boosted fields).
+//!
+//! Query phase, exactly the paper's pipeline:
+//!
+//! 1. segment the query into entities + residual terms;
+//! 2. match the segmentation against qunit definitions (anchor-type overlap
+//!    plus intent-term overlap plus utility prior) — "one high-ranking
+//!    segmentation is `[movie.name] [cast]`, and this has a very high
+//!    overlap with the qunit definition that involves a join between
+//!    movie.name and cast";
+//! 3. rank instances of well-matched types with standard IR, each instance
+//!    an independent document.
+
+use crate::catalog::QunitCatalog;
+use crate::feedback::FeedbackStore;
+use crate::materialize::materialize_all;
+use crate::qunit::QunitInstance;
+use crate::segment::{EntityDictionary, Segmenter};
+use irengine::{Document, IndexBuilder, ScoringFunction, Searcher};
+use relstore::{Database, Result};
+use std::collections::HashMap;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// IR scoring function for instance ranking.
+    pub scoring: ScoringFunction,
+    /// Index-time boost for the anchor field.
+    pub anchor_boost: f64,
+    /// Index-time boost for the intent-vocabulary field.
+    pub intent_boost: f64,
+    /// Weight of the definition-match (type) score when re-ranking hits.
+    pub type_weight: f64,
+    /// Weight of the definition's utility prior.
+    pub utility_weight: f64,
+    /// Multiplier bonus when a segmented query entity exactly equals an
+    /// instance's anchor text (protects long instances — a star's huge
+    /// filmography — from BM25 length normalization).
+    pub anchor_exact_bonus: f64,
+    /// Multiplier bonus for the *default* definition of an underspecified
+    /// query (no residual terms): the highest-utility definition anchored on
+    /// the query's entity type — the paper's rollup-for-underspecified rule.
+    pub default_def_bonus: f64,
+    /// Weight of accumulated click feedback (see [`crate::feedback`]);
+    /// 0 disables relevance feedback entirely.
+    pub feedback_weight: f64,
+    /// Entity columns for the segmenter; `None` uses
+    /// [`EntityDictionary::imdb_specs`].
+    pub entity_specs: Option<Vec<(String, String)>>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            scoring: ScoringFunction::default(),
+            anchor_boost: 3.0,
+            intent_boost: 2.0,
+            type_weight: 2.0,
+            utility_weight: 0.3,
+            anchor_exact_bonus: 8.0,
+            default_def_bonus: 1.5,
+            feedback_weight: 2.0,
+            entity_specs: None,
+        }
+    }
+}
+
+/// One ranked search result.
+#[derive(Debug, Clone)]
+pub struct QunitResult {
+    /// Instance key (`definition::anchor`).
+    pub key: String,
+    /// Owning definition name.
+    pub definition: String,
+    /// Final score (IR × type match).
+    pub score: f64,
+    /// IR component of the score.
+    pub ir_score: f64,
+    /// Type-match component (0 when the query gave no typing signal).
+    pub type_score: f64,
+    /// Rendered presentation.
+    pub rendered: String,
+    /// Plain text of the instance.
+    pub text: String,
+    /// Qualified attributes the instance covers.
+    pub fields: Vec<String>,
+    /// Anchor display text, if anchored.
+    pub anchor_text: Option<String>,
+}
+
+impl QunitResult {
+    /// Query-biased, `[match]`-highlighted snippet of the instance text
+    /// (window in tokens); `None` when no query term occurs.
+    pub fn snippet(&self, query: &str, window: usize) -> Option<String> {
+        irengine::snippet::extract(&irengine::Analyzer::keep_all(), &self.text, query, window)
+            .map(|s| s.highlighted())
+    }
+}
+
+/// The engine: an indexed flat collection of qunit instances.
+pub struct QunitSearchEngine {
+    index: irengine::Index,
+    instances: HashMap<String, QunitInstance>,
+    catalog: QunitCatalog,
+    segmenter: Segmenter,
+    config: EngineConfig,
+    feedback: FeedbackStore,
+}
+
+impl QunitSearchEngine {
+    /// Materialize and index every instance of `catalog` against `db`.
+    pub fn build(db: &Database, catalog: QunitCatalog, config: EngineConfig) -> Result<Self> {
+        let dict = match &config.entity_specs {
+            Some(s) => {
+                let refs: Vec<(&str, &str)> =
+                    s.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+                EntityDictionary::from_database(db, &refs)
+            }
+            None => EntityDictionary::from_database(db, EntityDictionary::imdb_specs()),
+        };
+        let segmenter = Segmenter::new(dict);
+
+        let mut builder = IndexBuilder::new();
+        builder.set_field_boost("anchor", config.anchor_boost);
+        builder.set_field_boost("intent", config.intent_boost);
+        let mut instances = HashMap::new();
+        for def in catalog.iter() {
+            for inst in materialize_all(db, def)? {
+                let mut doc = Document::new(inst.key.clone());
+                if let Some(a) = inst.anchor_text() {
+                    doc = doc.field("anchor", a);
+                }
+                if !def.intent_terms.is_empty() {
+                    doc = doc.field("intent", def.intent_terms.join(" "));
+                }
+                doc = doc.field("body", inst.text.clone());
+                builder.add(doc);
+                instances.insert(inst.key.clone(), inst);
+            }
+        }
+        Ok(QunitSearchEngine {
+            index: builder.build(),
+            instances,
+            catalog,
+            segmenter,
+            config,
+            feedback: FeedbackStore::new(),
+        })
+    }
+
+    /// Number of indexed instances.
+    pub fn num_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// The catalog behind the engine.
+    pub fn catalog(&self) -> &QunitCatalog {
+        &self.catalog
+    }
+
+    /// The segmenter (shared with experiments that need query typing).
+    pub fn segmenter(&self) -> &Segmenter {
+        &self.segmenter
+    }
+
+    /// Look up a materialized instance.
+    pub fn instance(&self, key: &str) -> Option<&QunitInstance> {
+        self.instances.get(key)
+    }
+
+    /// The relevance-feedback store.
+    pub fn feedback(&self) -> &FeedbackStore {
+        &self.feedback
+    }
+
+    /// Record a user click on a result: future queries with the same
+    /// template signature will prefer the clicked definition.
+    pub fn record_click(&self, query: &str, result_key: &str) {
+        if let Some(inst) = self.instances.get(result_key) {
+            let sig = self.segmenter.segment(query).template_signature();
+            self.feedback.record(&sig, &inst.definition);
+        }
+    }
+
+    /// Definition-match (type) scores for a query: intent overlap + anchor
+    /// agreement + utility prior, per definition name.
+    pub fn type_scores(&self, query: &str) -> HashMap<String, f64> {
+        let seg = self.segmenter.segment(query);
+        let residual = seg.residual_terms();
+        let entity_types: Vec<String> =
+            seg.entities().iter().filter_map(|s| s.entity_type()).collect();
+        let max_utility = self
+            .catalog
+            .iter()
+            .map(|d| d.utility)
+            .fold(f64::MIN_POSITIVE, f64::max);
+
+        let mut out = HashMap::with_capacity(self.catalog.len());
+        for def in self.catalog.iter() {
+            let intent = def.intent_overlap(&residual);
+            let anchor = match &def.anchor {
+                Some(a) if entity_types.iter().any(|t| *t == a.qualified()) => 1.0,
+                Some(_) if entity_types.is_empty() => 0.25, // nothing contradicts it
+                Some(_) => 0.0,                             // typed to a different entity
+                None => {
+                    if entity_types.is_empty() {
+                        0.5 // singleton qunits fit entity-free queries
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            let utility = self.config.utility_weight * (def.utility / max_utility);
+            out.insert(def.name.clone(), intent + anchor + utility);
+        }
+        out
+    }
+
+    /// Run a keyword query, returning up to `k` results.
+    pub fn search(&self, query: &str, k: usize) -> Vec<QunitResult> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let type_scores = self.type_scores(query);
+        let seg = self.segmenter.segment(query);
+        let seg_signature = seg.template_signature();
+        let entity_texts: Vec<String> = seg
+            .segments
+            .iter()
+            .filter_map(|s| match s {
+                crate::segment::Segment::Entity { text, .. } => Some(text.clone()),
+                _ => None,
+            })
+            .collect();
+        let entity_types: Vec<String> =
+            seg.entities().iter().filter_map(|s| s.entity_type()).collect();
+
+        // Underspecified query (entity, no residual): its default answer is
+        // the most *salient* qunit of that entity type — "the qunit
+        // definition for an under-specified query is an aggregation of ...
+        // its specializations" (§4.2). Salience is the derivation-assigned
+        // utility plus accumulated click feedback for this query shape, so
+        // user behaviour can move the default over time.
+        let salience = |d: &crate::qunit::QunitDefinition| {
+            d.utility
+                + self.config.feedback_weight * self.feedback.boost(&seg_signature, &d.name)
+        };
+        let default_def: Option<&str> = if seg.residual_terms().is_empty()
+            && !entity_types.is_empty()
+        {
+            self.catalog
+                .iter()
+                .filter(|d| {
+                    d.anchor
+                        .as_ref()
+                        .map(|a| entity_types.iter().any(|t| *t == a.qualified()))
+                        .unwrap_or(false)
+                })
+                .max_by(|a, b| {
+                    salience(a)
+                        .partial_cmp(&salience(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.name.cmp(&a.name))
+                })
+                .map(|d| d.name.as_str())
+        } else {
+            None
+        };
+
+        // §3: "standard IR techniques can be used to evaluate this query
+        // against qunit instances *of the identified type*". When typing is
+        // confident — a default definition for an underspecified query, or
+        // definitions whose anchor AND intent both align — restrict ranking
+        // to those definitions; otherwise rank everything and let the soft
+        // type score re-rank.
+        let best_ts = type_scores.values().copied().fold(0.0, f64::max);
+        let preferred: Option<Vec<&str>> = if let Some(d) = default_def {
+            Some(vec![d])
+        } else if best_ts >= 1.5 {
+            Some(
+                self.catalog
+                    .iter()
+                    .filter(|d| {
+                        type_scores.get(&d.name).copied().unwrap_or(0.0) >= best_ts - 0.25
+                    })
+                    .map(|d| d.name.as_str())
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
+        let searcher = Searcher::new(&self.index, self.config.scoring);
+        let fetch = k.saturating_mul(10).max(50);
+        let mut hits = match &preferred {
+            Some(defs) => searcher.search_where(query, fetch, |doc| {
+                self.index
+                    .external_id(doc)
+                    .and_then(|key| self.instances.get(key))
+                    .map(|inst| defs.iter().any(|d| *d == inst.definition))
+                    .unwrap_or(false)
+            }),
+            None => searcher.search(query, fetch),
+        };
+        // If the identified type has no matching instance (a movie with no
+        // soundtrack asked for its ost), fall back to the unrestricted pool.
+        if hits.is_empty() {
+            hits = searcher.search(query, fetch);
+        }
+
+        // Exact-anchor injection: the instance keyed by a segmented entity
+        // is always a candidate, even when BM25 ranks it below the fetch
+        // cutoff (a star's filmography document is long, scores low, and
+        // would otherwise vanish behind 50 short near-misses).
+        let candidate_defs: Vec<&str> = match &preferred {
+            Some(defs) => defs.clone(),
+            None => self.catalog.iter().map(|d| d.name.as_str()).collect(),
+        };
+        for text in &entity_texts {
+            for def in &candidate_defs {
+                let key = format!("{def}::{text}");
+                if !self.instances.contains_key(&key) {
+                    continue;
+                }
+                if let Some(doc) = self.index.doc_for_external(&key) {
+                    if !hits.iter().any(|h| h.doc == doc) {
+                        let scored = searcher.score_doc(query, doc);
+                        if scored.score > 0.0 {
+                            hits.push(scored);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut results: Vec<QunitResult> = hits
+            .into_iter()
+            .filter_map(|h| {
+                let key = self.index.external_id(h.doc)?;
+                let inst = self.instances.get(key)?;
+                let ts = type_scores.get(&inst.definition).copied().unwrap_or(0.0);
+                let mut score = h.score * (1.0 + self.config.type_weight * ts);
+                if let Some(anchor) = inst.anchor_text() {
+                    if entity_texts.iter().any(|t| t.eq_ignore_ascii_case(&anchor)) {
+                        score *= 1.0 + self.config.anchor_exact_bonus;
+                    }
+                }
+                if default_def == Some(inst.definition.as_str()) {
+                    score *= 1.0 + self.config.default_def_bonus;
+                }
+                if self.config.feedback_weight > 0.0 {
+                    let fb = self.feedback.boost(&seg_signature, &inst.definition);
+                    score *= 1.0 + self.config.feedback_weight * fb;
+                }
+                Some(QunitResult {
+                    key: key.to_string(),
+                    definition: inst.definition.clone(),
+                    score,
+                    ir_score: h.score,
+                    type_score: ts,
+                    rendered: inst.rendered.clone(),
+                    text: inst.text.clone(),
+                    fields: inst.fields.clone(),
+                    anchor_text: inst.anchor_text(),
+                })
+            })
+            .collect();
+        results.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.key.cmp(&b.key))
+        });
+        results.truncate(k);
+        results
+    }
+
+    /// Convenience: the single best result.
+    pub fn top(&self, query: &str) -> Option<QunitResult> {
+        self.search(query, 1).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::manual::expert_imdb_qunits;
+    use datagen::imdb::{ImdbConfig, ImdbData};
+
+    fn engine() -> (ImdbData, QunitSearchEngine) {
+        let data = ImdbData::generate(ImdbConfig::tiny());
+        let catalog = expert_imdb_qunits(&data.db).unwrap();
+        let engine =
+            QunitSearchEngine::build(&data.db, catalog, EngineConfig::default()).unwrap();
+        (data, engine)
+    }
+
+    #[test]
+    fn builds_instances_for_every_definition() {
+        let (data, engine) = engine();
+        assert!(engine.num_instances() > data.movies.len());
+        // every movie with cast gets a movie_cast instance
+        let with_cast = data
+            .movies
+            .iter()
+            .filter(|m| {
+                !datagen::imdb::ImdbData::filmography(&data, data.people[0].id).is_empty()
+                    && m.id > 0
+            })
+            .count();
+        assert!(with_cast > 0);
+    }
+
+    #[test]
+    fn star_wars_cast_pipeline() {
+        // The paper's running example: "<movie> cast" must return the cast
+        // qunit instance of that movie.
+        let (data, engine) = engine();
+        // pick a movie guaranteed to have cast
+        let movie = &data.movies[0];
+        let q = format!("{} cast", movie.title);
+        let top = engine.top(&q).expect("result expected");
+        assert_eq!(top.definition, "movie_cast", "query {q} → {top:?}");
+        assert_eq!(top.anchor_text.as_deref(), Some(movie.title.as_str()));
+        assert!(top.type_score > 0.0);
+    }
+
+    #[test]
+    fn filmography_query_routes_to_person_qunits() {
+        let (data, engine) = engine();
+        let person = &data.people[0];
+        let q = format!("{} movies", person.name);
+        let top = engine.top(&q).expect("result expected");
+        assert!(
+            top.definition == "person_filmography" || top.definition == "person_page",
+            "{q} → {}",
+            top.definition
+        );
+        assert_eq!(top.anchor_text.as_deref(), Some(person.name.as_str()));
+    }
+
+    #[test]
+    fn single_entity_movie_query_prefers_movie_page() {
+        let (data, engine) = engine();
+        let movie = &data.movies[1];
+        let top = engine.top(&movie.title).expect("result expected");
+        assert_eq!(top.anchor_text.as_deref(), Some(movie.title.as_str()));
+        // underspecified single-entity queries roll up to the summary page
+        assert!(
+            top.definition.starts_with("movie"),
+            "expected a movie qunit, got {}",
+            top.definition
+        );
+    }
+
+    #[test]
+    fn soundtrack_intent_wins_over_summary() {
+        let (data, engine) = engine();
+        // find a movie that actually has a soundtrack instance
+        let st_movie = data
+            .movies
+            .iter()
+            .find(|m| engine.instance(&format!("movie_soundtrack::{}", m.title)).is_some());
+        if let Some(m) = st_movie {
+            let q = format!("{} ost", m.title);
+            let top = engine.top(&q).unwrap();
+            assert_eq!(top.definition, "movie_soundtrack", "{q}");
+        }
+    }
+
+    #[test]
+    fn charts_query_hits_singleton() {
+        let (_, engine) = engine();
+        let results = engine.search("best rated charts", 5);
+        assert!(!results.is_empty());
+        assert_eq!(results[0].definition, "top_charts");
+    }
+
+    #[test]
+    fn k_limits_results_and_scores_sorted() {
+        let (data, engine) = engine();
+        let q = data.movies[0].title.to_string();
+        let r = engine.search(&q, 3);
+        assert!(r.len() <= 3);
+        assert!(r.windows(2).all(|w| w[0].score >= w[1].score));
+        assert!(engine.search(&q, 0).is_empty());
+    }
+
+    #[test]
+    fn nonsense_query_returns_nothing() {
+        let (_, engine) = engine();
+        assert!(engine.search("zzzz qqqq xxxx", 10).is_empty());
+    }
+
+    #[test]
+    fn results_offer_query_biased_snippets() {
+        let (data, engine) = engine();
+        let q = format!("{} cast", data.movies[0].title);
+        let top = engine.top(&q).unwrap();
+        let snip = top.snippet(&q, 8).expect("snippet");
+        // the anchor words must be highlighted in the snippet
+        let first_word = data.movies[0].title.split(' ').next().unwrap();
+        assert!(snip.contains(&format!("[{first_word}]")), "{snip}");
+    }
+
+    #[test]
+    fn type_scores_favor_matching_anchor() {
+        let (data, engine) = engine();
+        let q = format!("{} cast", data.movies[0].title);
+        let ts = engine.type_scores(&q);
+        assert!(ts["movie_cast"] > ts["person_page"], "{ts:?}");
+        assert!(ts["movie_cast"] > ts["top_charts"], "{ts:?}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Relevance feedback — the extension the paper's architecture is built to
+//! admit (§3: the ranking side is plain IR, so it is "easier to extend and
+//! enhance with additional IR methods for ranking, such as relevance
+//! feedback").
+//!
+//! The model is deliberately simple and classical: every recorded click is
+//! evidence that a *definition* answers queries shaped like this one. The
+//! store keeps per-`(template signature, definition)` counts and yields a
+//! multiplicative boost that the engine folds into its type score. Counts
+//! use additive smoothing so early clicks move rankings without letting a
+//! single click dominate.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Accumulated click feedback. Thread-safe; shared by reference with the
+/// engine (reads during search, writes on click).
+#[derive(Debug, Default)]
+pub struct FeedbackStore {
+    /// `(template signature, definition) → clicks`.
+    clicks: RwLock<HashMap<(String, String), u64>>,
+    /// `template signature → total clicks`.
+    totals: RwLock<HashMap<String, u64>>,
+}
+
+impl FeedbackStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        FeedbackStore::default()
+    }
+
+    /// Record that a user clicked an instance of `definition` after issuing
+    /// a query with `signature`.
+    pub fn record(&self, signature: &str, definition: &str) {
+        *self
+            .clicks
+            .write()
+            .entry((signature.to_string(), definition.to_string()))
+            .or_insert(0) += 1;
+        *self.totals.write().entry(signature.to_string()).or_insert(0) += 1;
+    }
+
+    /// Number of clicks recorded for `(signature, definition)`.
+    pub fn clicks(&self, signature: &str, definition: &str) -> u64 {
+        self.clicks
+            .read()
+            .get(&(signature.to_string(), definition.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total clicks for a signature.
+    pub fn total(&self, signature: &str) -> u64 {
+        self.totals.read().get(signature).copied().unwrap_or(0)
+    }
+
+    /// Click-through boost in `[0, 1]`: the smoothed share of this
+    /// signature's clicks that landed on `definition`. With no evidence the
+    /// boost is 0 — feedback only ever *adds* signal.
+    pub fn boost(&self, signature: &str, definition: &str) -> f64 {
+        let total = self.total(signature);
+        if total == 0 {
+            return 0.0;
+        }
+        let c = self.clicks(signature, definition) as f64;
+        // additive smoothing: one pseudo-count spread over the signature
+        c / (total as f64 + 1.0)
+    }
+
+    /// Number of distinct signatures with any feedback.
+    pub fn num_signatures(&self) -> usize {
+        self.totals.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_store_boosts_nothing() {
+        let s = FeedbackStore::new();
+        assert_eq!(s.boost("[movie.title] cast", "movie_cast"), 0.0);
+        assert_eq!(s.total("[movie.title] cast"), 0);
+        assert_eq!(s.num_signatures(), 0);
+    }
+
+    #[test]
+    fn clicks_accumulate_per_signature_and_definition() {
+        let s = FeedbackStore::new();
+        s.record("[movie.title]", "movie_page");
+        s.record("[movie.title]", "movie_page");
+        s.record("[movie.title]", "movie_cast");
+        assert_eq!(s.clicks("[movie.title]", "movie_page"), 2);
+        assert_eq!(s.clicks("[movie.title]", "movie_cast"), 1);
+        assert_eq!(s.total("[movie.title]"), 3);
+        assert_eq!(s.num_signatures(), 1);
+    }
+
+    #[test]
+    fn boost_is_smoothed_share() {
+        let s = FeedbackStore::new();
+        for _ in 0..3 {
+            s.record("[person.name]", "person_page");
+        }
+        s.record("[person.name]", "person_awards");
+        // person_page: 3/(4+1) = 0.6; person_awards: 1/5 = 0.2
+        assert!((s.boost("[person.name]", "person_page") - 0.6).abs() < 1e-12);
+        assert!((s.boost("[person.name]", "person_awards") - 0.2).abs() < 1e-12);
+        // unrelated signature untouched
+        assert_eq!(s.boost("[movie.title]", "person_page"), 0.0);
+    }
+
+    #[test]
+    fn boost_bounded_below_one() {
+        let s = FeedbackStore::new();
+        for _ in 0..1000 {
+            s.record("q", "d");
+        }
+        let b = s.boost("q", "d");
+        assert!(b > 0.99 && b < 1.0);
+    }
+
+    #[test]
+    fn concurrent_records_are_safe() {
+        use std::sync::Arc;
+        let s = Arc::new(FeedbackStore::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    s.record("sig", "def");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.total("sig"), 400);
+    }
+}

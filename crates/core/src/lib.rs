@@ -1,0 +1,54 @@
+//! # qunit-core
+//!
+//! The paper's primary contribution: **qunits** — queried units for database
+//! search (Nandi & Jagadish, CIDR 2009).
+//!
+//! A qunit is the basic, independent semantic unit of information in a
+//! database: a *base expression* (a view, possibly parameterized by an
+//! anchor entity) plus a *conversion expression* (a presentation template).
+//! Once a database is carved into qunits, keyword search splits cleanly:
+//!
+//! 1. **Typing** — segment the query into entities and intent terms
+//!    ([`segment`]), match it against qunit definitions;
+//! 2. **Ranking** — treat qunit instances as independent documents and rank
+//!    them with standard IR ([`engine`], backed by `qunit-ir`).
+//!
+//! Definitions come from four sources ([`derive`]): manual/expert catalogs,
+//! schema + data *queriability* (§4.1), query-log *rollup* (§4.2), and
+//! external-evidence *type signatures* (§4.3).
+//!
+//! ```
+//! use relstore::{ColumnDef, Database, DataType, TableSchema};
+//! use qunit_core::{QunitCatalog, QunitSearchEngine, EngineConfig};
+//! use qunit_core::derive::manual;
+//!
+//! // build a tiny movie database …
+//! # let mut db = Database::new("demo");
+//! # db.create_table(TableSchema::new("movie")
+//! #     .column(ColumnDef::new("id", DataType::Int).not_null())
+//! #     .column(ColumnDef::new("title", DataType::Text).not_null())
+//! #     .primary_key("id")).unwrap();
+//! # db.insert("movie", vec![1.into(), "star wars".into()]).unwrap();
+//! // … derive a qunit catalog and search it:
+//! let catalog = manual::movie_summary_only(&db).unwrap();
+//! let engine = QunitSearchEngine::build(&db, catalog, EngineConfig::default()).unwrap();
+//! let results = engine.search("star wars", 5);
+//! assert!(!results.is_empty());
+//! ```
+
+pub mod catalog;
+pub mod derive;
+pub mod engine;
+pub mod feedback;
+pub mod materialize;
+pub mod presentation;
+pub mod qunit;
+pub mod segment;
+
+pub use catalog::QunitCatalog;
+pub use engine::{EngineConfig, QunitResult, QunitSearchEngine};
+pub use feedback::FeedbackStore;
+pub use materialize::{materialize_all, materialize_one};
+pub use presentation::ConversionExpr;
+pub use qunit::{AnchorSpec, DerivationSource, QunitDefinition, QunitInstance};
+pub use segment::{EntityDictionary, Segment, SegmentedQuery, Segmenter};

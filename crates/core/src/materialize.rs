@@ -1,0 +1,439 @@
+//! On-demand qunit materialization.
+//!
+//! The paper stresses that qunits need not be materialized ("we expect that
+//! most qunits will not be materialized in most implementations"); what the
+//! search engine needs is the *document rendering* of each instance. Two
+//! paths are provided:
+//!
+//! * [`materialize_one`] — bind the anchor parameter and run the base
+//!   expression: the on-demand path for serving one result.
+//! * [`materialize_all`] — bulk path for indexing: run the base expression
+//!   *unbound* once (anchor predicate stripped) and group rows by the anchor
+//!   column, yielding one instance per anchor value at a fraction of the
+//!   per-instance query cost.
+
+use crate::qunit::{QunitDefinition, QunitInstance};
+use relstore::exec::ResultSet;
+use relstore::{Binding, Database, Error, Predicate, Query, Result, Value};
+use std::collections::HashMap;
+
+/// Materialize the instance for one anchor value.
+pub fn materialize_one(
+    db: &Database,
+    def: &QunitDefinition,
+    anchor_value: &Value,
+) -> Result<QunitInstance> {
+    let anchor = def
+        .anchor
+        .as_ref()
+        .ok_or_else(|| Error::UnboundParameter("<no anchor>".into()))?;
+    let binding = Binding::empty().with(anchor.param.clone(), anchor_value.clone());
+    let rs = def.base.materialize(db, &binding)?;
+    Ok(instance_from(def, Some(anchor_value.clone()), &rs))
+}
+
+/// Materialize every instance of a definition.
+///
+/// For anchored definitions the base expression's join tree is first
+/// **star-decomposed** at the anchor: each connected component of non-anchor
+/// tables becomes its own branch query (anchor + component). Branches run
+/// unbound (anchor predicate stripped), rows are grouped by anchor value,
+/// and per-anchor branch results are merged into one instance.
+///
+/// This gives outer-join semantics across satellites: a movie with cast but
+/// no soundtrack still gets an instance (its soundtrack branch is simply
+/// empty), and two one-to-many satellites never cross-product each other —
+/// exactly how an entity page composes independent sections.
+pub fn materialize_all(db: &Database, def: &QunitDefinition) -> Result<Vec<QunitInstance>> {
+    let anchor = match &def.anchor {
+        None => {
+            let rs = def.base.materialize(db, &Binding::empty())?;
+            return Ok(vec![instance_from(def, None, &rs)]);
+        }
+        Some(a) => a,
+    };
+
+    let branches = star_branches(&def.base.query, &anchor.param);
+    // Per anchor value: (first-seen order, per-branch grouped rows).
+    let mut order: Vec<Value> = Vec::new();
+    let mut groups: HashMap<Value, Vec<ResultSet>> = HashMap::new();
+
+    for branch in &branches {
+        let rs = db.execute(branch)?;
+        let anchor_col = rs
+            .column_index(&anchor.qualified())
+            .ok_or_else(|| Error::UnknownColumn {
+                table: anchor.table.clone(),
+                column: anchor.column.clone(),
+            })?;
+        let mut branch_groups: HashMap<Value, Vec<Vec<Value>>> = HashMap::new();
+        for row in rs.rows {
+            let key = row[anchor_col].clone();
+            if key.is_null() {
+                continue;
+            }
+            branch_groups.entry(key).or_default().push(row);
+        }
+        for (key, rows) in branch_groups {
+            let sub = ResultSet {
+                columns: rs.columns.clone(),
+                sources: rs.sources.clone(),
+                rows,
+            };
+            if !groups.contains_key(&key) {
+                order.push(key.clone());
+            }
+            groups.entry(key).or_default().push(sub);
+        }
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let branch_results = groups.remove(&key).expect("grouped");
+        out.push(instance_from_branches(def, Some(key), &branch_results));
+    }
+    Ok(out)
+}
+
+/// Decompose an anchored query into star branches: the anchor table
+/// (position 0) plus each connected component of the remaining join graph.
+/// The anchor parameter predicate is stripped (bulk path); any other
+/// predicate is kept only on branches containing every position it touches.
+fn star_branches(query: &Query, anchor_param: &str) -> Vec<Query> {
+    let n = query.tables.len();
+    if n <= 1 {
+        let mut q = query.clone();
+        q.predicate = strip_param(&q.predicate, anchor_param);
+        return vec![q];
+    }
+    // connected components over positions 1..n (anchor removed)
+    let mut comp: Vec<usize> = (0..n).collect();
+    fn find(comp: &mut Vec<usize>, x: usize) -> usize {
+        if comp[x] != x {
+            let r = find(comp, comp[x]);
+            comp[x] = r;
+        }
+        comp[x]
+    }
+    for j in &query.joins {
+        if j.left == 0 || j.right == 0 {
+            continue;
+        }
+        let (a, b) = (find(&mut comp, j.left), find(&mut comp, j.right));
+        if a != b {
+            comp[a] = b;
+        }
+    }
+    let mut roots: Vec<usize> = Vec::new();
+    for p in 1..n {
+        let r = find(&mut comp, p);
+        if !roots.contains(&r) {
+            roots.push(r);
+        }
+    }
+
+    let stripped = strip_param(&query.predicate, anchor_param);
+    let mut out = Vec::with_capacity(roots.len().max(1));
+    for root in roots {
+        let members: Vec<usize> = (1..n).filter(|&p| find(&mut comp, p) == root).collect();
+        // old position → new position (anchor keeps position 0)
+        let mut remap: HashMap<usize, usize> = HashMap::from([(0usize, 0usize)]);
+        let mut tables = vec![query.tables[0]];
+        for &m in &members {
+            remap.insert(m, tables.len());
+            tables.push(query.tables[m]);
+        }
+        let joins = query
+            .joins
+            .iter()
+            .filter(|j| remap.contains_key(&j.left) && remap.contains_key(&j.right))
+            .map(|j| relstore::JoinEdge::new(remap[&j.left], j.left_col, remap[&j.right], j.right_col))
+            .collect();
+        // keep the residual predicate only when the branch covers it fully
+        let predicate = if predicate_positions(&stripped)
+            .iter()
+            .all(|p| remap.contains_key(p))
+        {
+            remap_predicate(&stripped, &remap)
+        } else {
+            Predicate::True
+        };
+        out.push(Query { tables, joins, predicate, projection: None, limit: query.limit });
+    }
+    if out.is_empty() {
+        let mut q = query.clone();
+        q.predicate = stripped;
+        out.push(q);
+    }
+    out
+}
+
+fn predicate_positions(p: &Predicate) -> Vec<usize> {
+    let mut out = Vec::new();
+    collect_positions(p, &mut out);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn collect_positions(p: &Predicate, out: &mut Vec<usize>) {
+    match p {
+        Predicate::Cmp(c, _, _)
+        | Predicate::CmpParam(c, _, _)
+        | Predicate::Contains(c, _)
+        | Predicate::IsNull(c) => out.push(c.table),
+        Predicate::ColEq(a, b) => {
+            out.push(a.table);
+            out.push(b.table);
+        }
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            collect_positions(a, out);
+            collect_positions(b, out);
+        }
+        Predicate::Not(inner) => collect_positions(inner, out),
+        Predicate::True => {}
+    }
+}
+
+fn remap_predicate(p: &Predicate, remap: &HashMap<usize, usize>) -> Predicate {
+    use relstore::ColRef;
+    let rc = |c: &ColRef| ColRef::new(remap[&c.table], c.column);
+    match p {
+        Predicate::True => Predicate::True,
+        Predicate::Cmp(c, op, v) => Predicate::Cmp(rc(c), *op, v.clone()),
+        Predicate::CmpParam(c, op, n) => Predicate::CmpParam(rc(c), *op, n.clone()),
+        Predicate::Contains(c, s) => Predicate::Contains(rc(c), s.clone()),
+        Predicate::IsNull(c) => Predicate::IsNull(rc(c)),
+        Predicate::ColEq(a, b) => Predicate::ColEq(rc(a), rc(b)),
+        Predicate::And(a, b) => {
+            Predicate::And(Box::new(remap_predicate(a, remap)), Box::new(remap_predicate(b, remap)))
+        }
+        Predicate::Or(a, b) => {
+            Predicate::Or(Box::new(remap_predicate(a, remap)), Box::new(remap_predicate(b, remap)))
+        }
+        Predicate::Not(i) => Predicate::Not(Box::new(remap_predicate(i, remap))),
+    }
+}
+
+/// Remove every comparison against parameter `param` (replaced by TRUE).
+fn strip_param(p: &Predicate, param: &str) -> Predicate {
+    match p {
+        Predicate::CmpParam(_, _, name) if name == param => Predicate::True,
+        Predicate::And(a, b) => strip_param(a, param).and(strip_param(b, param)),
+        Predicate::Or(a, b) => Predicate::Or(
+            Box::new(strip_param(a, param)),
+            Box::new(strip_param(b, param)),
+        ),
+        Predicate::Not(inner) => Predicate::Not(Box::new(strip_param(inner, param))),
+        other => other.clone(),
+    }
+}
+
+fn instance_from(
+    def: &QunitDefinition,
+    anchor_value: Option<Value>,
+    rs: &ResultSet,
+) -> QunitInstance {
+    instance_from_branches(def, anchor_value, std::slice::from_ref(rs))
+}
+
+/// Assemble one instance from per-branch results: the first non-empty branch
+/// renders with the full conversion (header included); later branches render
+/// header-less so header fields aren't repeated.
+fn instance_from_branches(
+    def: &QunitDefinition,
+    anchor_value: Option<Value>,
+    branches: &[ResultSet],
+) -> QunitInstance {
+    let mut rendered = String::new();
+    let mut text = String::new();
+    let mut tuple_count = 0;
+    let mut header_done = false;
+    for rs in branches {
+        if rs.rows.is_empty() {
+            continue;
+        }
+        tuple_count += rs.len();
+        let (r, t) = if header_done {
+            let headerless = crate::presentation::ConversionExpr {
+                root_label: def.conversion.root_label.clone(),
+                header: Vec::new(),
+                foreach: def.conversion.foreach.clone(),
+            };
+            headerless.render(rs)
+        } else {
+            header_done = true;
+            def.conversion.render(rs)
+        };
+        rendered.push_str(&r);
+        if !t.is_empty() {
+            if !text.is_empty() {
+                text.push(' ');
+            }
+            text.push_str(&t);
+        }
+    }
+    let key = match &anchor_value {
+        Some(v) => format!("{}::{}", def.name, v.display_plain()),
+        None => format!("{}::*", def.name),
+    };
+    QunitInstance {
+        key,
+        definition: def.name.clone(),
+        anchor_value,
+        rendered,
+        text,
+        fields: def.covered_fields.clone(),
+        tuple_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presentation::ConversionExpr;
+    use crate::qunit::{AnchorSpec, DerivationSource};
+    use relstore::{ColumnDef, DataType, Predicate as P, QueryBuilder, TableSchema, View};
+
+    fn movie_db() -> Database {
+        let mut db = Database::new("d");
+        db.create_table(
+            TableSchema::new("movie")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("title", DataType::Text))
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("person")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("name", DataType::Text))
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("cast")
+                .column(ColumnDef::new("person_id", DataType::Int))
+                .column(ColumnDef::new("movie_id", DataType::Int))
+                .foreign_key("person_id", "person", "id")
+                .foreign_key("movie_id", "movie", "id"),
+        )
+        .unwrap();
+        db.insert("movie", vec![1.into(), "star wars".into()]).unwrap();
+        db.insert("movie", vec![2.into(), "solaris".into()]).unwrap();
+        db.insert("movie", vec![3.into(), "uncast movie".into()]).unwrap();
+        db.insert("person", vec![1.into(), "harrison ford".into()]).unwrap();
+        db.insert("person", vec![2.into(), "carrie fisher".into()]).unwrap();
+        db.insert("cast", vec![1.into(), 1.into()]).unwrap();
+        db.insert("cast", vec![2.into(), 1.into()]).unwrap();
+        db.insert("cast", vec![1.into(), 2.into()]).unwrap();
+        db
+    }
+
+    /// The paper's cast qunit: movie ⋈ cast ⋈ person, anchored on title.
+    fn cast_def(db: &Database) -> QunitDefinition {
+        let b = QueryBuilder::new(db)
+            .table("movie")
+            .unwrap()
+            .table("cast")
+            .unwrap()
+            .table("person")
+            .unwrap()
+            .join(0, "id", 1, "movie_id")
+            .unwrap()
+            .join(1, "person_id", 2, "id")
+            .unwrap();
+        let title = b.col(0, "title").unwrap();
+        let q = b.filter(P::eq_param(title, "x")).build();
+        QunitDefinition {
+            name: "movie_cast".into(),
+            base: View::new("movie_cast", q),
+            conversion: ConversionExpr::nested(
+                "cast",
+                vec!["movie.title".into()],
+                vec!["person.name".into()],
+            ),
+            anchor: Some(AnchorSpec {
+                table: "movie".into(),
+                column: "title".into(),
+                param: "x".into(),
+            }),
+            intent_terms: vec!["cast".into()],
+            covered_fields: vec!["movie.title".into(), "person.name".into()],
+            utility: 1.0,
+            provenance: DerivationSource::Manual,
+        }
+    }
+
+    #[test]
+    fn materialize_one_binds_anchor() {
+        let db = movie_db();
+        let def = cast_def(&db);
+        let inst = materialize_one(&db, &def, &"star wars".into()).unwrap();
+        assert_eq!(inst.key, "movie_cast::star wars");
+        assert_eq!(inst.tuple_count, 2);
+        assert!(inst.text.contains("harrison ford"));
+        assert!(inst.text.contains("carrie fisher"));
+        assert!(!inst.text.contains("solaris"));
+    }
+
+    #[test]
+    fn materialize_all_groups_by_anchor() {
+        let db = movie_db();
+        let def = cast_def(&db);
+        let all = materialize_all(&db, &def).unwrap();
+        // star wars and solaris have cast; "uncast movie" has none
+        assert_eq!(all.len(), 2);
+        let keys: Vec<&str> = all.iter().map(|i| i.key.as_str()).collect();
+        assert!(keys.contains(&"movie_cast::star wars"));
+        assert!(keys.contains(&"movie_cast::solaris"));
+        let sw = all.iter().find(|i| i.key.ends_with("star wars")).unwrap();
+        assert_eq!(sw.tuple_count, 2);
+    }
+
+    #[test]
+    fn bulk_and_one_agree() {
+        let db = movie_db();
+        let def = cast_def(&db);
+        let all = materialize_all(&db, &def).unwrap();
+        for inst in all {
+            let single =
+                materialize_one(&db, &def, inst.anchor_value.as_ref().unwrap()).unwrap();
+            assert_eq!(single.text, inst.text);
+            assert_eq!(single.rendered, inst.rendered);
+        }
+    }
+
+    #[test]
+    fn singleton_definition_materializes_once() {
+        let db = movie_db();
+        let q = QueryBuilder::new(&db).table("movie").unwrap().build();
+        let def = QunitDefinition {
+            name: "all_movies".into(),
+            base: View::new("all_movies", q),
+            conversion: ConversionExpr::flat("movies"),
+            anchor: None,
+            intent_terms: vec!["charts".into()],
+            covered_fields: vec!["movie.title".into()],
+            utility: 0.5,
+            provenance: DerivationSource::Manual,
+        };
+        let all = materialize_all(&db, &def).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].key, "all_movies::*");
+        assert!(all[0].text.contains("solaris"));
+        assert!(all[0].text.contains("uncast movie"));
+        // materialize_one on an un-anchored def is an error
+        assert!(materialize_one(&db, &def, &1.into()).is_err());
+    }
+
+    #[test]
+    fn strip_param_only_removes_target() {
+        let p = P::eq_param(relstore::ColRef::new(0, 1), "x")
+            .and(P::eq(relstore::ColRef::new(0, 0), 3));
+        let stripped = strip_param(&p, "x");
+        assert_eq!(stripped, P::eq(relstore::ColRef::new(0, 0), 3));
+        let kept = strip_param(&p, "other");
+        assert_eq!(kept, p);
+    }
+}

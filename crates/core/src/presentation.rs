@@ -1,0 +1,208 @@
+//! Conversion expressions — the presentation half of a qunit definition.
+//!
+//! The paper's example renders a cast as nested markup:
+//!
+//! ```text
+//! <cast movie="$x">
+//!   <foreach:tuple> <person>$person.name</person> </foreach:tuple>
+//! </cast>
+//! ```
+//!
+//! [`ConversionExpr`] captures that shape: a root label, *header* fields
+//! shown once (drawn from the first tuple — e.g. the movie title), and
+//! *foreach* fields repeated per tuple (e.g. each cast member's name).
+//! Rendering produces both markup (for display) and flat text (for the IR
+//! index).
+
+use relstore::exec::ResultSet;
+use serde::{Deserialize, Serialize};
+
+/// A presentation template over a base expression's result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConversionExpr {
+    /// Root element label, e.g. `cast`.
+    pub root_label: String,
+    /// Qualified columns rendered once, from the first tuple.
+    pub header: Vec<String>,
+    /// Qualified columns rendered per tuple, nested under `foreach`.
+    pub foreach: Vec<String>,
+}
+
+impl ConversionExpr {
+    /// A template that renders *every* column of every tuple (used as a
+    /// fallback when derivation has no better idea).
+    pub fn flat(root_label: impl Into<String>) -> Self {
+        ConversionExpr { root_label: root_label.into(), header: Vec::new(), foreach: Vec::new() }
+    }
+
+    /// A nested template: `header` once, `foreach` per tuple.
+    pub fn nested(
+        root_label: impl Into<String>,
+        header: Vec<String>,
+        foreach: Vec<String>,
+    ) -> Self {
+        ConversionExpr { root_label: root_label.into(), header, foreach }
+    }
+
+    /// Render a result set to `(markup, plain_text)`.
+    ///
+    /// Missing columns are skipped silently — a conversion expression may
+    /// name attributes that a particular base expression doesn't project
+    /// (derivations are heuristic); rendering stays total.
+    pub fn render(&self, rs: &ResultSet) -> (String, String) {
+        let mut markup = String::new();
+        let mut text = String::new();
+
+        let col = |name: &str| rs.column_index(name);
+
+        markup.push_str(&format!("<{}>", self.root_label));
+        // Header: first tuple's values for the header columns.
+        if let Some(first) = rs.rows.first() {
+            let header_cols: Vec<&String> = if self.header.is_empty() && self.foreach.is_empty()
+            {
+                Vec::new()
+            } else {
+                self.header.iter().collect()
+            };
+            for h in header_cols {
+                if let Some(ci) = col(h) {
+                    let v = first[ci].display_plain();
+                    markup.push_str(&format!("<{}>{}</{}>", short(h), v, short(h)));
+                    push_text(&mut text, &v);
+                }
+            }
+        }
+        // Foreach: per-tuple nested block. A flat template (no header, no
+        // foreach) renders every column of every row.
+        let foreach_cols: Vec<String> = if self.header.is_empty() && self.foreach.is_empty() {
+            rs.columns.clone()
+        } else {
+            self.foreach.clone()
+        };
+        let mut seen_blocks: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for row in &rs.rows {
+            let mut block = String::new();
+            let mut block_text = String::new();
+            for fcol in &foreach_cols {
+                if let Some(ci) = col(fcol) {
+                    let v = row[ci].display_plain();
+                    block.push_str(&format!("<{}>{}</{}>", short(fcol), v, short(fcol)));
+                    push_text(&mut block_text, &v);
+                }
+            }
+            if block.is_empty() || !seen_blocks.insert(block.clone()) {
+                continue; // skip empty and duplicate tuples (joins fan out)
+            }
+            markup.push_str(&format!("<tuple>{block}</tuple>"));
+            push_text(&mut text, &block_text);
+        }
+        markup.push_str(&format!("</{}>", self.root_label));
+        (markup, text)
+    }
+
+    /// All qualified columns this template mentions.
+    pub fn mentioned_columns(&self) -> Vec<String> {
+        let mut out = self.header.clone();
+        out.extend(self.foreach.clone());
+        out
+    }
+}
+
+fn short(qualified: &str) -> &str {
+    qualified.rsplit('.').next().unwrap_or(qualified)
+}
+
+fn push_text(buf: &mut String, v: &str) {
+    if !buf.is_empty() {
+        buf.push(' ');
+    }
+    buf.push_str(v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::expr::ColRef;
+    use relstore::Value;
+
+    fn cast_result() -> ResultSet {
+        ResultSet {
+            columns: vec!["movie.title".into(), "person.name".into(), "cast.role".into()],
+            sources: vec![ColRef::new(0, 0), ColRef::new(1, 0), ColRef::new(2, 0)],
+            rows: vec![
+                vec![Value::from("star wars"), Value::from("harrison ford"), Value::from("actor")],
+                vec![Value::from("star wars"), Value::from("carrie fisher"), Value::from("actress")],
+            ],
+        }
+    }
+
+    #[test]
+    fn nested_render_matches_paper_shape() {
+        let conv = ConversionExpr::nested(
+            "cast",
+            vec!["movie.title".into()],
+            vec!["person.name".into()],
+        );
+        let (markup, text) = conv.render(&cast_result());
+        assert_eq!(
+            markup,
+            "<cast><title>star wars</title>\
+             <tuple><name>harrison ford</name></tuple>\
+             <tuple><name>carrie fisher</name></tuple></cast>"
+        );
+        assert_eq!(text, "star wars harrison ford carrie fisher");
+    }
+
+    #[test]
+    fn flat_render_covers_all_columns() {
+        let conv = ConversionExpr::flat("result");
+        let (markup, text) = conv.render(&cast_result());
+        assert!(markup.contains("<role>actor</role>"));
+        assert!(text.contains("carrie fisher"));
+        assert!(text.contains("actress"));
+    }
+
+    #[test]
+    fn duplicate_foreach_blocks_deduplicated() {
+        // A join that fans out repeats the same person twice; presentation
+        // dedups (the paper: "rather than have the name of the movie
+        // repeated with each tuple").
+        let mut rs = cast_result();
+        rs.rows.push(rs.rows[0].clone());
+        let conv = ConversionExpr::nested(
+            "cast",
+            vec!["movie.title".into()],
+            vec!["person.name".into()],
+        );
+        let (markup, _) = conv.render(&rs);
+        assert_eq!(markup.matches("harrison ford").count(), 1);
+    }
+
+    #[test]
+    fn missing_columns_skipped() {
+        let conv = ConversionExpr::nested(
+            "x",
+            vec!["ghost.col".into()],
+            vec!["person.name".into(), "ghost.other".into()],
+        );
+        let (markup, text) = conv.render(&cast_result());
+        assert!(markup.contains("harrison ford"));
+        assert!(!markup.contains("ghost"));
+        assert!(!text.is_empty());
+    }
+
+    #[test]
+    fn empty_result_renders_empty_root() {
+        let conv = ConversionExpr::nested("cast", vec!["movie.title".into()], vec![]);
+        let rs = ResultSet { columns: vec!["movie.title".into()], sources: vec![ColRef::new(0, 0)], rows: vec![] };
+        let (markup, text) = conv.render(&rs);
+        assert_eq!(markup, "<cast></cast>");
+        assert!(text.is_empty());
+    }
+
+    #[test]
+    fn mentioned_columns_union() {
+        let conv = ConversionExpr::nested("c", vec!["a.b".into()], vec!["c.d".into()]);
+        assert_eq!(conv.mentioned_columns(), vec!["a.b".to_string(), "c.d".to_string()]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests for qunit-core: segmentation invariants, materialization
+//! consistency, and engine sanity on randomized databases.
+
+use proptest::prelude::*;
+use qunit_core::derive::manual::expert_imdb_qunits;
+use qunit_core::{
+    materialize_all, EngineConfig, EntityDictionary, QunitSearchEngine, Segment, Segmenter,
+};
+use relstore::index::tokenize;
+
+mod fixtures {
+    use datagen::imdb::{ImdbConfig, ImdbData};
+    use std::sync::OnceLock;
+
+    /// One shared tiny database: generation is deterministic, so sharing it
+    /// across property cases is sound and keeps the suite fast.
+    pub fn data() -> &'static ImdbData {
+        static DATA: OnceLock<ImdbData> = OnceLock::new();
+        DATA.get_or_init(|| ImdbData::generate(ImdbConfig::tiny()))
+    }
+}
+
+fn segmenter() -> Segmenter {
+    let data = fixtures::data();
+    Segmenter::new(EntityDictionary::from_database(
+        &data.db,
+        EntityDictionary::imdb_specs(),
+    ))
+}
+
+/// Arbitrary query text: mixes entity fragments, attribute words, and noise.
+fn query_strategy() -> impl Strategy<Value = String> {
+    let data = fixtures::data();
+    let movie = data.movies[0].title.clone();
+    let person = data.people[0].name.clone();
+    let movie2 = data.movies[3].title.clone();
+    prop::collection::vec(
+        prop::sample::select(vec![
+            movie,
+            person,
+            movie2,
+            "cast".to_string(),
+            "movies".to_string(),
+            "box".to_string(),
+            "office".to_string(),
+            "wallpaper".to_string(),
+            "the".to_string(),
+        ]),
+        0..5,
+    )
+    .prop_map(|parts| parts.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn segments_tile_the_query_exactly(q in query_strategy()) {
+        let seg = segmenter().segment(&q);
+        // reassembling the segment tokens must reproduce the tokenized query
+        let mut rebuilt: Vec<String> = Vec::new();
+        for s in &seg.segments {
+            match s {
+                Segment::Entity { text, .. } => rebuilt.extend(tokenize(text)),
+                Segment::Attribute { term, .. } => rebuilt.extend(tokenize(term)),
+                Segment::Freetext { term } => rebuilt.extend(tokenize(term)),
+            }
+        }
+        prop_assert_eq!(rebuilt, tokenize(&q));
+    }
+
+    #[test]
+    fn segmentation_is_deterministic(q in query_strategy()) {
+        let s = segmenter();
+        prop_assert_eq!(s.segment(&q), s.segment(&q));
+    }
+
+    #[test]
+    fn residual_plus_entities_cover_all_segments(q in query_strategy()) {
+        let seg = segmenter().segment(&q);
+        let n = seg.entities().len() + seg.residual_terms().len();
+        prop_assert_eq!(n, seg.segments.len());
+    }
+
+    #[test]
+    fn template_signature_is_stable_under_case(q in query_strategy()) {
+        let s = segmenter();
+        let upper = q.to_uppercase();
+        prop_assert_eq!(
+            s.segment(&q).template_signature(),
+            s.segment(&upper).template_signature()
+        );
+    }
+}
+
+#[test]
+fn materialized_instances_have_unique_keys_and_nonempty_text() {
+    let data = fixtures::data();
+    let cat = expert_imdb_qunits(&data.db).unwrap();
+    for def in cat.iter() {
+        let instances = materialize_all(&data.db, def).unwrap();
+        let mut keys = std::collections::HashSet::new();
+        for inst in &instances {
+            assert!(keys.insert(inst.key.clone()), "duplicate key {}", inst.key);
+            assert!(!inst.text.is_empty(), "empty instance text for {}", inst.key);
+            assert_eq!(inst.definition, def.name);
+            assert!(inst.tuple_count > 0);
+        }
+    }
+}
+
+#[test]
+fn anchored_instances_mention_their_anchor() {
+    let data = fixtures::data();
+    let cat = expert_imdb_qunits(&data.db).unwrap();
+    for def in cat.iter().filter(|d| d.is_anchored()) {
+        for inst in materialize_all(&data.db, def).unwrap() {
+            let anchor = inst.anchor_text().expect("anchored");
+            assert!(
+                inst.text.contains(&anchor),
+                "{}: text lacks anchor {anchor}",
+                inst.key
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_results_reference_real_instances() {
+    let data = fixtures::data();
+    let cat = expert_imdb_qunits(&data.db).unwrap();
+    let engine = QunitSearchEngine::build(&data.db, cat, EngineConfig::default()).unwrap();
+    for m in data.movies.iter().take(10) {
+        for r in engine.search(&format!("{} cast", m.title), 5) {
+            let inst = engine.instance(&r.key).expect("result key resolves");
+            assert_eq!(inst.definition, r.definition);
+            assert!(r.score.is_finite() && r.score >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn relevance_feedback_shifts_routing() {
+    // Ambiguous single-entity queries default to the summary page; after
+    // repeated clicks on cast results for that query shape, the engine
+    // should start preferring the cast qunit (§3's relevance-feedback
+    // extension).
+    let data = fixtures::data();
+    let cat = expert_imdb_qunits(&data.db).unwrap();
+    let engine = QunitSearchEngine::build(&data.db, cat, EngineConfig::default()).unwrap();
+
+    let movie = &data.movies[0];
+    let query = movie.title.clone();
+    let before = engine.top(&query).expect("has result");
+    assert_eq!(before.definition, "movie_page", "default routing is the summary page");
+
+    // Users keep clicking the cast instance for bare-title queries.
+    let cast_key = format!("movie_cast::{}", movie.title);
+    assert!(engine.instance(&cast_key).is_some());
+    for _ in 0..50 {
+        engine.record_click(&query, &cast_key);
+    }
+    assert!(engine.feedback().total("[movie.title]") == 50);
+
+    let after = engine.top(&query).expect("has result");
+    assert_eq!(
+        after.definition, "movie_cast",
+        "feedback should shift bare-title routing toward the clicked type"
+    );
+
+    // A different query shape is untouched by that feedback.
+    let other = engine.top(&format!("{} box office", data.movies[1].title)).unwrap();
+    assert_eq!(other.definition, "movie_boxoffice");
+}
+
+#[test]
+fn engine_scores_monotone_in_k() {
+    // growing k never changes the relative order of the prefix
+    let data = fixtures::data();
+    let cat = expert_imdb_qunits(&data.db).unwrap();
+    let engine = QunitSearchEngine::build(&data.db, cat, EngineConfig::default()).unwrap();
+    let q = format!("{} cast", data.movies[0].title);
+    let five: Vec<String> = engine.search(&q, 5).into_iter().map(|r| r.key).collect();
+    let ten: Vec<String> = engine.search(&q, 10).into_iter().map(|r| r.key).collect();
+    assert_eq!(&ten[..five.len().min(ten.len())], &five[..]);
+}

@@ -1,0 +1,284 @@
+//! Synthetic external evidence (§4.3 substitution): Wikipedia-like pages
+//! with DOM-ish structure, generated *from the database* the way real pages
+//! reflect it — a cast page lists one movie title and many person names, a
+//! filmography page one person and many titles, and so on.
+//!
+//! The derivation code in `qunit-core::derive::evidence` consumes only the
+//! observable part of a [`Page`] (tagged text elements); the `gold_layout`
+//! label is for evaluation.
+
+use crate::imdb::ImdbData;
+use crate::names;
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which layout a page was generated from (gold label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageLayout {
+    /// Movie infobox/summary page.
+    MovieSummary,
+    /// Cast listing of one movie.
+    CastPage,
+    /// Filmography of one person.
+    Filmography,
+    /// Soundtrack listing of one movie.
+    SoundtrackPage,
+    /// Off-domain noise page.
+    Noise,
+}
+
+/// One DOM element: a tag and its text content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageElement {
+    /// Simplified tag: `h1`, `td`, `li`, or `p`.
+    pub tag: String,
+    /// Text content.
+    pub text: String,
+}
+
+/// One external page.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// Synthetic URL.
+    pub url: String,
+    /// DOM elements in document order.
+    pub elements: Vec<PageElement>,
+    /// Gold label (not visible to derivation).
+    pub gold_layout: PageLayout,
+}
+
+impl Page {
+    /// All element texts with the given tag.
+    pub fn texts_with_tag(&self, tag: &str) -> Vec<&str> {
+        self.elements.iter().filter(|e| e.tag == tag).map(|e| e.text.as_str()).collect()
+    }
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct EvidenceGenConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of pages.
+    pub n_pages: usize,
+    /// Fraction of off-domain noise pages.
+    pub noise_fraction: f64,
+}
+
+impl Default for EvidenceGenConfig {
+    fn default() -> Self {
+        EvidenceGenConfig { seed: 99, n_pages: 800, noise_fraction: 0.1 }
+    }
+}
+
+impl EvidenceGenConfig {
+    /// Small config for unit tests.
+    pub fn tiny() -> Self {
+        EvidenceGenConfig { n_pages: 80, ..Default::default() }
+    }
+}
+
+/// A corpus of generated pages.
+#[derive(Debug, Clone)]
+pub struct EvidenceCorpus {
+    /// All pages.
+    pub pages: Vec<Page>,
+    /// The configuration used.
+    pub config: EvidenceGenConfig,
+}
+
+impl EvidenceCorpus {
+    /// Generate pages reflecting `data`.
+    pub fn generate(data: &ImdbData, config: EvidenceGenConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let movie_zipf = Zipf::new(data.movies.len(), 1.0);
+        let person_zipf = Zipf::new(data.people.len(), 1.0);
+        let mut pages = Vec::with_capacity(config.n_pages);
+        for i in 0..config.n_pages {
+            let page = if rng.gen_bool(config.noise_fraction) {
+                noise_page(&mut rng, i)
+            } else {
+                match rng.gen_range(0..10) {
+                    0..=3 => movie_summary_page(&mut rng, data, &movie_zipf, i),
+                    4..=6 => cast_page(&mut rng, data, &movie_zipf, i),
+                    7..=8 => filmography_page(&mut rng, data, &person_zipf, i),
+                    _ => soundtrack_page(&mut rng, data, &movie_zipf, i),
+                }
+            };
+            pages.push(page);
+        }
+        EvidenceCorpus { pages, config }
+    }
+}
+
+fn cast_of(data: &ImdbData, movie_id: i64) -> Vec<String> {
+    let cast = data.db.table_by_name("cast").expect("cast");
+    let pid = cast.schema().column_index("person_id").unwrap();
+    let mid = cast.schema().column_index("movie_id").unwrap();
+    let person = data.db.table_by_name("person").expect("person");
+    let name_col = person.schema().column_index("name").unwrap();
+    cast.scan()
+        .filter(|(_, r)| r.get(mid).and_then(relstore::Value::as_int) == Some(movie_id))
+        .filter_map(|(_, r)| r.get(pid).and_then(relstore::Value::as_int))
+        .filter_map(|p| person.lookup_pk(&p.into()))
+        .filter_map(|rid| person.row(rid))
+        .filter_map(|r| r.get(name_col).and_then(relstore::Value::as_text).map(str::to_string))
+        .collect()
+}
+
+fn movie_summary_page(rng: &mut StdRng, data: &ImdbData, z: &Zipf, i: usize) -> Page {
+    let m = &data.movies[z.sample(rng)];
+    let mut elements = vec![
+        PageElement { tag: "h1".into(), text: m.title.clone() },
+        PageElement { tag: "td".into(), text: m.genre.clone() },
+        PageElement { tag: "td".into(), text: m.year.to_string() },
+    ];
+    for name in cast_of(data, m.id).into_iter().take(3) {
+        elements.push(PageElement { tag: "li".into(), text: name });
+    }
+    elements.push(PageElement {
+        tag: "p".into(),
+        text: random_prose(rng, 20),
+    });
+    Page { url: format!("wiki://movie/{}", i), elements, gold_layout: PageLayout::MovieSummary }
+}
+
+fn cast_page(rng: &mut StdRng, data: &ImdbData, z: &Zipf, i: usize) -> Page {
+    let m = &data.movies[z.sample(rng)];
+    let mut elements = vec![PageElement { tag: "h1".into(), text: m.title.clone() }];
+    for name in cast_of(data, m.id) {
+        elements.push(PageElement { tag: "li".into(), text: name });
+    }
+    Page { url: format!("wiki://cast/{}", i), elements, gold_layout: PageLayout::CastPage }
+}
+
+fn filmography_page(rng: &mut StdRng, data: &ImdbData, z: &Zipf, i: usize) -> Page {
+    let p = &data.people[z.sample(rng)];
+    let mut elements = vec![PageElement { tag: "h1".into(), text: p.name.clone() }];
+    for mid in data.filmography(p.id) {
+        if let Some(m) = data.movies.iter().find(|m| m.id == mid) {
+            elements.push(PageElement { tag: "li".into(), text: m.title.clone() });
+        }
+    }
+    Page { url: format!("wiki://person/{}", i), elements, gold_layout: PageLayout::Filmography }
+}
+
+fn soundtrack_page(rng: &mut StdRng, data: &ImdbData, z: &Zipf, i: usize) -> Page {
+    let m = &data.movies[z.sample(rng)];
+    let st = data.db.table_by_name("soundtrack").expect("soundtrack");
+    let mid = st.schema().column_index("movie_id").unwrap();
+    let title_col = st.schema().column_index("title").unwrap();
+    let mut elements = vec![PageElement { tag: "h1".into(), text: m.title.clone() }];
+    for (_, r) in st
+        .scan()
+        .filter(|(_, r)| r.get(mid).and_then(relstore::Value::as_int) == Some(m.id))
+    {
+        if let Some(t) = r.get(title_col).and_then(relstore::Value::as_text) {
+            elements.push(PageElement { tag: "li".into(), text: t.to_string() });
+        }
+    }
+    Page { url: format!("wiki://ost/{}", i), elements, gold_layout: PageLayout::SoundtrackPage }
+}
+
+fn noise_page(rng: &mut StdRng, i: usize) -> Page {
+    let elements = vec![
+        PageElement { tag: "h1".into(), text: "miscellaneous".into() },
+        PageElement { tag: "p".into(), text: random_prose(rng, 30) },
+    ];
+    Page { url: format!("web://noise/{}", i), elements, gold_layout: PageLayout::Noise }
+}
+
+fn random_prose(rng: &mut StdRng, n: usize) -> String {
+    let mut words = Vec::with_capacity(n);
+    for _ in 0..n {
+        words.push(names::PLOT_WORDS[rng.gen_range(0..names::PLOT_WORDS.len())]);
+    }
+    words.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imdb::ImdbConfig;
+
+    fn corpus() -> (ImdbData, EvidenceCorpus) {
+        let data = ImdbData::generate(ImdbConfig::tiny());
+        let corpus = EvidenceCorpus::generate(&data, EvidenceGenConfig::tiny());
+        (data, corpus)
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let data = ImdbData::generate(ImdbConfig::tiny());
+        let a = EvidenceCorpus::generate(&data, EvidenceGenConfig::tiny());
+        let b = EvidenceCorpus::generate(&data, EvidenceGenConfig::tiny());
+        assert_eq!(a.pages.len(), b.pages.len());
+        assert_eq!(a.pages[10].elements, b.pages[10].elements);
+    }
+
+    #[test]
+    fn page_count_and_layout_mix() {
+        let (_, corpus) = corpus();
+        assert_eq!(corpus.pages.len(), 80);
+        let layouts: std::collections::HashSet<PageLayout> =
+            corpus.pages.iter().map(|p| p.gold_layout).collect();
+        assert!(layouts.contains(&PageLayout::CastPage));
+        assert!(layouts.contains(&PageLayout::Filmography));
+        assert!(layouts.contains(&PageLayout::MovieSummary));
+        assert!(layouts.contains(&PageLayout::Noise));
+    }
+
+    #[test]
+    fn cast_pages_lead_with_the_movie() {
+        let (data, corpus) = corpus();
+        for p in corpus.pages.iter().filter(|p| p.gold_layout == PageLayout::CastPage) {
+            let h1 = p.texts_with_tag("h1");
+            assert_eq!(h1.len(), 1);
+            assert!(
+                data.movies.iter().any(|m| m.title == h1[0]),
+                "h1 {:?} is a movie title",
+                h1[0]
+            );
+            // and list people
+            for li in p.texts_with_tag("li") {
+                assert!(data.people.iter().any(|pp| pp.name == li), "{li} is a person");
+            }
+        }
+    }
+
+    #[test]
+    fn filmography_pages_lead_with_the_person() {
+        let (data, corpus) = corpus();
+        let mut checked = 0;
+        for p in corpus.pages.iter().filter(|p| p.gold_layout == PageLayout::Filmography) {
+            let h1 = p.texts_with_tag("h1");
+            assert!(data.people.iter().any(|pp| pp.name == h1[0]));
+            for li in p.texts_with_tag("li") {
+                assert!(data.movies.iter().any(|m| m.title == li));
+            }
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn noise_pages_reference_no_entities() {
+        let (data, corpus) = corpus();
+        for p in corpus.pages.iter().filter(|p| p.gold_layout == PageLayout::Noise) {
+            for e in &p.elements {
+                assert!(!data.movies.iter().any(|m| m.title == e.text));
+                assert!(!data.people.iter().any(|pp| pp.name == e.text));
+            }
+        }
+    }
+
+    #[test]
+    fn texts_with_tag_filters() {
+        let (_, corpus) = corpus();
+        let p = &corpus.pages[0];
+        let total: usize =
+            ["h1", "td", "li", "p"].iter().map(|t| p.texts_with_tag(t).len()).sum();
+        assert_eq!(total, p.elements.len());
+    }
+}

@@ -1,0 +1,332 @@
+//! A DISCOVER-flavored baseline (Hristidis & Papakonstantinou, VLDB 2002):
+//! enumerate *candidate networks* — connected subtrees of the schema graph
+//! whose tables can jointly cover all query keywords — then instantiate each
+//! network through the relational executor with per-keyword containment
+//! predicates. Smaller networks are preferred, mirroring DISCOVER's
+//! size-ordered enumeration.
+
+use relstore::{ColRef, Database, DataType, JoinEdge, Predicate, Query, TableId};
+use std::collections::HashSet;
+
+/// Search parameters.
+#[derive(Debug, Clone)]
+pub struct DiscoverConfig {
+    /// Maximum number of tables in a candidate network.
+    pub max_network_size: usize,
+    /// Maximum joined tuple trees returned per query.
+    pub top_k: usize,
+}
+
+impl Default for DiscoverConfig {
+    fn default() -> Self {
+        DiscoverConfig { max_network_size: 3, top_k: 10 }
+    }
+}
+
+/// A candidate join network: tables plus connecting schema edges, and the
+/// keyword → table assignment it realizes.
+#[derive(Debug, Clone)]
+pub struct CandidateNetwork {
+    /// Tables in the network.
+    pub tables: Vec<TableId>,
+    /// Join edges (indices into `tables`).
+    pub joins: Vec<JoinEdge>,
+    /// For each query keyword, which network position covers it.
+    pub keyword_positions: Vec<usize>,
+}
+
+/// One instantiated result: the joined rows of a candidate network.
+#[derive(Debug, Clone)]
+pub struct JoinedTupleTree {
+    /// The network that produced it.
+    pub network: CandidateNetwork,
+    /// Qualified output columns.
+    pub columns: Vec<String>,
+    /// One joined row.
+    pub row: Vec<relstore::Value>,
+    /// Network size (tables) — primary ranking key, smaller first.
+    pub size: usize,
+}
+
+/// The engine. Borrows the database; networks are enumerated per query.
+#[derive(Debug)]
+pub struct DiscoverEngine<'a> {
+    db: &'a Database,
+    config: DiscoverConfig,
+}
+
+impl<'a> DiscoverEngine<'a> {
+    /// New engine.
+    pub fn new(db: &'a Database, config: DiscoverConfig) -> Self {
+        DiscoverEngine { db, config }
+    }
+
+    /// Tables with at least one row containing `keyword` in a text column,
+    /// found via the per-table text indexes (built lazily by the caller via
+    /// [`Database::build_all_text_indexes`]) or a scan fallback.
+    fn tables_matching(&self, keyword: &str) -> Vec<(TableId, usize)> {
+        let mut out = Vec::new();
+        for (tid, schema) in self.db.catalog().iter() {
+            let table = self.db.table(tid).expect("valid");
+            for (ci, col) in schema.columns.iter().enumerate() {
+                if col.dtype != DataType::Text {
+                    continue;
+                }
+                let hit = if let Some(ix) = table.text_index(ci) {
+                    !ix.get(keyword).is_empty()
+                } else {
+                    table.scan().any(|(_, r)| {
+                        r.get(ci)
+                            .and_then(relstore::Value::as_text)
+                            .map(|s| s.to_lowercase().contains(keyword))
+                            .unwrap_or(false)
+                    })
+                };
+                if hit {
+                    out.push((tid, ci));
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Run a keyword query. Returns joined tuple trees ordered by network
+    /// size then executor order, up to `top_k`.
+    pub fn search(&self, query: &str) -> Vec<JoinedTupleTree> {
+        let keywords = relstore::index::tokenize(query);
+        if keywords.is_empty() {
+            return Vec::new();
+        }
+        // keyword → candidate (table, text column) pairs
+        let per_kw: Vec<Vec<(TableId, usize)>> =
+            keywords.iter().map(|k| self.tables_matching(k)).collect();
+        if per_kw.iter().any(Vec::is_empty) {
+            return Vec::new();
+        }
+
+        let networks = self.enumerate_networks(&per_kw);
+        let mut results = Vec::new();
+        for net in networks {
+            if results.len() >= self.config.top_k {
+                break;
+            }
+            let query = self.instantiate(&net, &keywords, &per_kw);
+            if let Ok(rs) = self.db.execute(&query) {
+                for row in rs.rows {
+                    results.push(JoinedTupleTree {
+                        network: net.clone(),
+                        columns: rs.columns.clone(),
+                        row,
+                        size: net.tables.len(),
+                    });
+                    if results.len() >= self.config.top_k {
+                        break;
+                    }
+                }
+            }
+        }
+        results
+    }
+
+    /// Enumerate candidate networks in size order: connected subtrees of the
+    /// schema graph where each keyword can be assigned to a member table.
+    fn enumerate_networks(&self, per_kw: &[Vec<(TableId, usize)>]) -> Vec<CandidateNetwork> {
+        let mut out = Vec::new();
+        let catalog = self.db.catalog();
+
+        // Seed: single tables covering all keywords.
+        for (tid, _) in catalog.iter() {
+            if let Some(positions) = assign_keywords(&[tid], per_kw) {
+                out.push(CandidateNetwork { tables: vec![tid], joins: vec![], keyword_positions: positions });
+            }
+        }
+
+        // Grow trees by attaching schema-graph neighbors, breadth-first by size.
+        let mut frontier: Vec<(Vec<TableId>, Vec<JoinEdge>)> =
+            catalog.iter().map(|(tid, _)| (vec![tid], Vec::new())).collect();
+        for _size in 2..=self.config.max_network_size {
+            let mut next = Vec::new();
+            for (tables, joins) in &frontier {
+                for (pos, &tid) in tables.iter().enumerate() {
+                    for (nbr, edge) in catalog.neighbors(tid) {
+                        if tables.contains(&nbr) {
+                            continue; // keep it a tree
+                        }
+                        let mut t2 = tables.clone();
+                        t2.push(nbr);
+                        let new_pos = t2.len() - 1;
+                        let mut j2 = joins.clone();
+                        // orient the stored FK edge to the positions at hand
+                        let je = if edge.from_table == tid {
+                            JoinEdge::new(pos, edge.from_column, new_pos, edge.to_column)
+                        } else {
+                            JoinEdge::new(pos, edge.to_column, new_pos, edge.from_column)
+                        };
+                        j2.push(je);
+                        if let Some(positions) = assign_keywords(&t2, per_kw) {
+                            out.push(CandidateNetwork {
+                                tables: t2.clone(),
+                                joins: j2.clone(),
+                                keyword_positions: positions,
+                            });
+                        }
+                        next.push((t2, j2));
+                    }
+                }
+            }
+            frontier = next;
+            // Bail out when combinatorics explode; DISCOVER prunes similarly.
+            if frontier.len() > 5000 {
+                break;
+            }
+        }
+        // Deduplicate by table multiset + keyword assignment.
+        let mut seen = HashSet::new();
+        out.retain(|n| {
+            let mut key: Vec<TableId> = n.tables.clone();
+            key.sort_unstable();
+            seen.insert((key, n.keyword_positions.clone()))
+        });
+        out.sort_by_key(|n| n.tables.len());
+        out
+    }
+
+    fn instantiate(
+        &self,
+        net: &CandidateNetwork,
+        keywords: &[String],
+        per_kw: &[Vec<(TableId, usize)>],
+    ) -> Query {
+        let mut predicate = Predicate::True;
+        for (ki, kw) in keywords.iter().enumerate() {
+            let pos = net.keyword_positions[ki];
+            let tid = net.tables[pos];
+            // the matching text column recorded for this table
+            let col = per_kw[ki]
+                .iter()
+                .find(|(t, _)| *t == tid)
+                .map(|(_, c)| *c)
+                .unwrap_or(0);
+            predicate = predicate.and(Predicate::Contains(ColRef::new(pos, col), kw.clone()));
+        }
+        Query {
+            tables: net.tables.clone(),
+            joins: net.joins.clone(),
+            predicate,
+            projection: None,
+            limit: Some(self.config.top_k),
+        }
+    }
+}
+
+/// Try to assign every keyword to some table in `tables`; `None` if any
+/// keyword has no home.
+fn assign_keywords(
+    tables: &[TableId],
+    per_kw: &[Vec<(TableId, usize)>],
+) -> Option<Vec<usize>> {
+    let mut positions = Vec::with_capacity(per_kw.len());
+    for cands in per_kw {
+        let pos = tables
+            .iter()
+            .position(|t| cands.iter().any(|(ct, _)| ct == t))?;
+        positions.push(pos);
+    }
+    Some(positions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::{ColumnDef, TableSchema};
+
+    fn movie_db() -> Database {
+        let mut db = Database::new("d");
+        db.create_table(
+            TableSchema::new("person")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("name", DataType::Text))
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("movie")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("title", DataType::Text))
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("cast")
+                .column(ColumnDef::new("person_id", DataType::Int))
+                .column(ColumnDef::new("movie_id", DataType::Int))
+                .foreign_key("person_id", "person", "id")
+                .foreign_key("movie_id", "movie", "id"),
+        )
+        .unwrap();
+        db.insert("person", vec![1.into(), "george clooney".into()]).unwrap();
+        db.insert("person", vec![2.into(), "brad pitt".into()]).unwrap();
+        db.insert("movie", vec![10.into(), "ocean eleven".into()]).unwrap();
+        db.insert("movie", vec![11.into(), "solaris".into()]).unwrap();
+        db.insert("cast", vec![1.into(), 10.into()]).unwrap();
+        db.insert("cast", vec![2.into(), 10.into()]).unwrap();
+        db.insert("cast", vec![1.into(), 11.into()]).unwrap();
+        db.build_all_text_indexes();
+        db
+    }
+
+    #[test]
+    fn single_table_network_for_single_keyword() {
+        let db = movie_db();
+        let e = DiscoverEngine::new(&db, DiscoverConfig::default());
+        let res = e.search("solaris");
+        assert!(!res.is_empty());
+        assert_eq!(res[0].size, 1);
+        assert!(res[0].columns.contains(&"movie.title".to_string()));
+    }
+
+    #[test]
+    fn cross_table_keywords_need_a_join_network() {
+        let db = movie_db();
+        let e = DiscoverEngine::new(&db, DiscoverConfig::default());
+        let res = e.search("clooney solaris");
+        assert!(!res.is_empty());
+        let top = &res[0];
+        assert_eq!(top.size, 3, "person-cast-movie network");
+        let joined: Vec<String> = top.row.iter().map(|v| v.display_plain()).collect();
+        assert!(joined.iter().any(|v| v.contains("clooney")));
+        assert!(joined.iter().any(|v| v.contains("solaris")));
+    }
+
+    #[test]
+    fn smaller_networks_rank_first() {
+        let db = movie_db();
+        let e = DiscoverEngine::new(&db, DiscoverConfig { max_network_size: 3, top_k: 50 });
+        let res = e.search("ocean");
+        assert!(res.windows(2).all(|w| w[0].size <= w[1].size));
+    }
+
+    #[test]
+    fn impossible_keywords_empty() {
+        let db = movie_db();
+        let e = DiscoverEngine::new(&db, DiscoverConfig::default());
+        assert!(e.search("qqqq").is_empty());
+        assert!(e.search("").is_empty());
+    }
+
+    #[test]
+    fn network_size_cap_respected() {
+        let db = movie_db();
+        let e = DiscoverEngine::new(&db, DiscoverConfig { max_network_size: 1, top_k: 10 });
+        // cross-table query can't be answered with 1-table networks
+        assert!(e.search("clooney solaris").is_empty());
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let db = movie_db();
+        let e = DiscoverEngine::new(&db, DiscoverConfig { max_network_size: 3, top_k: 2 });
+        assert!(e.search("ocean").len() <= 2);
+    }
+}

@@ -1,0 +1,235 @@
+//! The tuple data graph: one node per live row, one undirected edge per
+//! foreign-key reference between rows, plus a keyword → nodes index.
+
+use relstore::{index::tokenize, Database, RowId, TableId, Value};
+use std::collections::HashMap;
+
+/// Dense node identifier.
+pub type NodeId = u32;
+
+/// What a node stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeInfo {
+    /// Owning table.
+    pub table: TableId,
+    /// Row within the table.
+    pub row: RowId,
+}
+
+/// The materialized data graph.
+#[derive(Debug, Clone)]
+pub struct DataGraph {
+    nodes: Vec<NodeInfo>,
+    node_of: HashMap<(TableId, RowId), NodeId>,
+    adj: Vec<Vec<NodeId>>,
+    indegree: Vec<u32>,
+    keyword_index: HashMap<String, Vec<NodeId>>,
+}
+
+impl DataGraph {
+    /// Build the graph from a database: every live row becomes a node; every
+    /// non-null FK value that resolves to a referenced row becomes an edge.
+    /// Every text column feeds the keyword index.
+    pub fn build(db: &Database) -> Self {
+        let mut nodes = Vec::new();
+        let mut node_of = HashMap::new();
+        for (tid, _) in db.catalog().iter() {
+            let table = db.table(tid).expect("catalog/storage agree");
+            for (rid, _) in table.scan() {
+                let id = nodes.len() as NodeId;
+                nodes.push(NodeInfo { table: tid, row: rid });
+                node_of.insert((tid, rid), id);
+            }
+        }
+
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); nodes.len()];
+        let mut indegree: Vec<u32> = vec![0; nodes.len()];
+        for edge in db.catalog().edges() {
+            let from_table = db.table(edge.from_table).expect("valid");
+            let to_table = db.table(edge.to_table).expect("valid");
+            let to_is_pk = to_table.schema().primary_key == Some(edge.to_column);
+            for (rid, row) in from_table.scan() {
+                let v = match row.get(edge.from_column) {
+                    Some(v) if !v.is_null() => v,
+                    _ => continue,
+                };
+                let targets: Vec<RowId> = if to_is_pk {
+                    to_table.lookup_pk(v).into_iter().collect()
+                } else {
+                    to_table.find_equal(edge.to_column, v)
+                };
+                let from_node = node_of[&(edge.from_table, rid)];
+                for t in targets {
+                    let to_node = node_of[&(edge.to_table, t)];
+                    adj[from_node as usize].push(to_node);
+                    adj[to_node as usize].push(from_node);
+                    // prestige: references *into* a node raise its indegree
+                    indegree[to_node as usize] += 1;
+                }
+            }
+        }
+
+        let mut keyword_index: HashMap<String, Vec<NodeId>> = HashMap::new();
+        for (nid, info) in nodes.iter().enumerate() {
+            let table = db.table(info.table).expect("valid");
+            let row = table.row(info.row).expect("live");
+            let mut toks: Vec<String> = Vec::new();
+            for v in row.iter() {
+                if let Some(s) = v.as_text() {
+                    toks.extend(tokenize(s));
+                }
+            }
+            toks.sort_unstable();
+            toks.dedup();
+            for t in toks {
+                keyword_index.entry(t).or_default().push(nid as NodeId);
+            }
+        }
+
+        DataGraph { nodes, node_of, adj, indegree, keyword_index }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Node payload.
+    pub fn info(&self, node: NodeId) -> NodeInfo {
+        self.nodes[node as usize]
+    }
+
+    /// Node for a `(table, row)` pair.
+    pub fn node(&self, table: TableId, row: RowId) -> Option<NodeId> {
+        self.node_of.get(&(table, row)).copied()
+    }
+
+    /// Neighbors of a node.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adj[node as usize]
+    }
+
+    /// Nodes whose row text contains `token` (lower-cased lookup).
+    pub fn nodes_matching(&self, token: &str) -> &[NodeId] {
+        self.keyword_index
+            .get(&token.to_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// BANKS-style node prestige: `ln(1 + indegree)`.
+    pub fn prestige(&self, node: NodeId) -> f64 {
+        (1.0 + self.indegree[node as usize] as f64).ln()
+    }
+
+    /// Render a node as `table(rowvalues…)` for display.
+    pub fn describe(&self, db: &Database, node: NodeId) -> String {
+        let info = self.info(node);
+        let schema = db.catalog().table(info.table).expect("valid");
+        let table = db.table(info.table).expect("valid");
+        let row = table.row(info.row).expect("live");
+        let vals: Vec<String> = row.iter().map(Value::display_plain).collect();
+        format!("{}({})", schema.name, vals.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::{ColumnDef, DataType, TableSchema};
+
+    fn tiny_db() -> Database {
+        let mut db = Database::new("d");
+        db.create_table(
+            TableSchema::new("person")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("name", DataType::Text))
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("movie")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("title", DataType::Text))
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("cast")
+                .column(ColumnDef::new("person_id", DataType::Int))
+                .column(ColumnDef::new("movie_id", DataType::Int))
+                .foreign_key("person_id", "person", "id")
+                .foreign_key("movie_id", "movie", "id"),
+        )
+        .unwrap();
+        db.insert("person", vec![1.into(), "george clooney".into()]).unwrap();
+        db.insert("person", vec![2.into(), "brad pitt".into()]).unwrap();
+        db.insert("movie", vec![10.into(), "ocean eleven".into()]).unwrap();
+        db.insert("cast", vec![1.into(), 10.into()]).unwrap();
+        db.insert("cast", vec![2.into(), 10.into()]).unwrap();
+        db
+    }
+
+    #[test]
+    fn node_and_edge_counts() {
+        let db = tiny_db();
+        let g = DataGraph::build(&db);
+        assert_eq!(g.num_nodes(), 5);
+        // each cast row connects to 1 person + 1 movie → 4 edges
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn keyword_index_finds_rows() {
+        let db = tiny_db();
+        let g = DataGraph::build(&db);
+        assert_eq!(g.nodes_matching("clooney").len(), 1);
+        assert_eq!(g.nodes_matching("OCEAN").len(), 1);
+        assert!(g.nodes_matching("ghost").is_empty());
+    }
+
+    #[test]
+    fn prestige_reflects_references() {
+        let db = tiny_db();
+        let g = DataGraph::build(&db);
+        let movie_node = g.nodes_matching("ocean")[0];
+        let person_node = g.nodes_matching("clooney")[0];
+        // movie referenced twice, person once
+        assert!(g.prestige(movie_node) > g.prestige(person_node));
+        assert!(g.prestige(person_node) > 0.0);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let db = tiny_db();
+        let g = DataGraph::build(&db);
+        for n in 0..g.num_nodes() as NodeId {
+            for &m in g.neighbors(n) {
+                assert!(g.neighbors(m).contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn describe_renders() {
+        let db = tiny_db();
+        let g = DataGraph::build(&db);
+        let movie_node = g.nodes_matching("ocean")[0];
+        assert_eq!(g.describe(&db, movie_node), "movie(10, ocean eleven)");
+    }
+
+    #[test]
+    fn node_lookup_round_trip() {
+        let db = tiny_db();
+        let g = DataGraph::build(&db);
+        for n in 0..g.num_nodes() as NodeId {
+            let info = g.info(n);
+            assert_eq!(g.node(info.table, info.row), Some(n));
+        }
+    }
+}

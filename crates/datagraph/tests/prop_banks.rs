@@ -1,0 +1,147 @@
+//! Property tests for the data graph and BANKS on randomized databases.
+
+use datagraph::{BanksConfig, BanksEngine, DataGraph};
+use proptest::prelude::*;
+use relstore::{ColumnDef, DataType, Database, TableSchema};
+
+fn build_db(people: &[(i64, u8)], movies: &[(i64, u8)], casts: &[(i64, i64)]) -> Database {
+    const NAMES: &[&str] = &["alpha bravo", "charlie delta", "echo foxtrot", "golf hotel"];
+    const TITLES: &[&str] = &["star wars", "ocean drama", "night city", "silent storm"];
+    let mut db = Database::new("prop");
+    db.set_enforce_fk(false);
+    db.create_table(
+        TableSchema::new("person")
+            .column(ColumnDef::new("id", DataType::Int).not_null())
+            .column(ColumnDef::new("name", DataType::Text))
+            .primary_key("id"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("movie")
+            .column(ColumnDef::new("id", DataType::Int).not_null())
+            .column(ColumnDef::new("title", DataType::Text))
+            .primary_key("id"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("cast")
+            .column(ColumnDef::new("person_id", DataType::Int))
+            .column(ColumnDef::new("movie_id", DataType::Int))
+            .foreign_key("person_id", "person", "id")
+            .foreign_key("movie_id", "movie", "id"),
+    )
+    .unwrap();
+    let mut seen = std::collections::HashSet::new();
+    for &(id, n) in people {
+        if seen.insert(id) {
+            db.insert("person", vec![id.into(), NAMES[n as usize % NAMES.len()].into()])
+                .unwrap();
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    for &(id, t) in movies {
+        if seen.insert(id) {
+            db.insert("movie", vec![id.into(), TITLES[t as usize % TITLES.len()].into()])
+                .unwrap();
+        }
+    }
+    for &(p, m) in casts {
+        db.insert("cast", vec![p.into(), m.into()]).unwrap();
+    }
+    db
+}
+
+prop_compose! {
+    fn db_strategy()(
+        people in prop::collection::vec((0i64..8, 0u8..4), 1..8),
+        movies in prop::collection::vec((0i64..8, 0u8..4), 1..8),
+        casts in prop::collection::vec((0i64..8, 0i64..8), 0..16),
+    ) -> Database {
+        build_db(&people, &movies, &casts)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn graph_counts_match_database(db in db_strategy()) {
+        let g = DataGraph::build(&db);
+        prop_assert_eq!(g.num_nodes(), db.total_rows());
+        // every edge endpoint is a valid node and adjacency is symmetric
+        for n in 0..g.num_nodes() as u32 {
+            for &m in g.neighbors(n) {
+                prop_assert!((m as usize) < g.num_nodes());
+                prop_assert!(g.neighbors(m).contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn answer_trees_contain_all_keywords(db in db_strategy(),
+        q in prop::sample::select(vec!["star wars", "alpha ocean", "charlie storm", "echo"])) {
+        let g = DataGraph::build(&db);
+        let engine = BanksEngine::new(&g, BanksConfig::default());
+        let keywords = relstore::index::tokenize(q);
+        for tree in engine.search(q) {
+            for kw in &keywords {
+                let matches = g.nodes_matching(kw);
+                prop_assert!(
+                    tree.nodes.iter().any(|n| matches.contains(n)),
+                    "tree misses keyword {kw}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn answer_trees_are_connected(db in db_strategy(),
+        q in prop::sample::select(vec!["star alpha", "ocean charlie", "night echo"])) {
+        let g = DataGraph::build(&db);
+        let engine = BanksEngine::new(&g, BanksConfig { top_k: 20, max_depth: 6 });
+        for tree in engine.search(q) {
+            let mut seen = std::collections::HashSet::from([tree.root]);
+            let mut frontier = vec![tree.root];
+            while let Some(u) = frontier.pop() {
+                for &(x, y) in &tree.edges {
+                    for (a, b) in [(x, y), (y, x)] {
+                        if a == u && seen.insert(b) {
+                            frontier.push(b);
+                        }
+                    }
+                }
+            }
+            for n in &tree.nodes {
+                prop_assert!(seen.contains(n), "disconnected node {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn conjunctive_semantics(db in db_strategy()) {
+        let g = DataGraph::build(&db);
+        let engine = BanksEngine::new(&g, BanksConfig::default());
+        // a keyword outside the vocabulary must empty any query
+        prop_assert!(engine.search("star zzzznothing").is_empty());
+        prop_assert!(engine.search("").is_empty());
+    }
+
+    #[test]
+    fn scores_sorted_and_finite(db in db_strategy()) {
+        let g = DataGraph::build(&db);
+        let engine = BanksEngine::new(&g, BanksConfig { top_k: 50, max_depth: 6 });
+        let answers = engine.search("star alpha");
+        prop_assert!(answers.windows(2).all(|w| w[0].score >= w[1].score));
+        for a in &answers {
+            prop_assert!(a.score.is_finite() && a.score > 0.0);
+        }
+    }
+
+    #[test]
+    fn prestige_nonnegative_and_monotone_in_indegree(db in db_strategy()) {
+        let g = DataGraph::build(&db);
+        for n in 0..g.num_nodes() as u32 {
+            prop_assert!(g.prestige(n) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerates the §5.2 query-log benchmark statistics and the 28-query
+//! workload (top-14 templates × 2).
+
+use datagen::imdb::{ImdbConfig, ImdbData};
+use datagen::querylog::{QueryLog, QueryLogConfig};
+use qunit_core::{EntityDictionary, Segmenter};
+use qunit_eval::experiments::querylog_stats;
+use qunit_eval::report;
+use qunit_eval::workload::Workload;
+
+fn main() {
+    let data = ImdbData::generate(ImdbConfig::default());
+    let log = QueryLog::generate(&data, QueryLogConfig::default());
+    let segmenter = Segmenter::new(EntityDictionary::from_database(
+        &data.db,
+        EntityDictionary::imdb_specs(),
+    ));
+
+    let stats = querylog_stats::measure(&log, &segmenter, 14);
+    println!("Section 5.2 — movie query-log benchmark (measured)\n");
+    println!("{}", stats.render());
+    println!("paper reference: >=36% single-entity, ~20% entity-attribute,");
+    println!("                 ~2% multi-entity, <2% complex, 93% movie-related\n");
+
+    println!("top-14 templates by frequency:\n");
+    let rows: Vec<Vec<String>> = stats
+        .top_templates
+        .iter()
+        .map(|(t, c)| vec![t.clone(), c.to_string()])
+        .collect();
+    println!("{}", report::table(&["template", "log frequency"], &rows));
+
+    let workload = Workload::paper_defaults(&log, &segmenter);
+    println!("benchmark workload ({} queries, 2 per template):\n", workload.queries.len());
+    let rows: Vec<Vec<String>> = workload
+        .queries
+        .iter()
+        .map(|q| vec![q.raw.clone(), q.signature.clone(), q.gold.need.to_string()])
+        .collect();
+    println!("{}", report::table(&["query", "template", "gold need"], &rows));
+}

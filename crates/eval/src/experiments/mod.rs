@@ -1,0 +1,6 @@
+//! Experiment drivers — one module per paper artifact (see DESIGN.md §5).
+
+pub mod ablation;
+pub mod fig3;
+pub mod querylog_stats;
+pub mod table1;

@@ -1,0 +1,85 @@
+//! Plain-text report rendering: aligned tables and ASCII bar charts, so the
+//! experiment binaries print paper-style artifacts.
+
+/// Render rows as an aligned table. `header` and every row must have the
+/// same arity.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in header.iter().enumerate() {
+        out.push_str(&format!("{:width$}  ", h, width = widths[i]));
+    }
+    out.push('\n');
+    for w in &widths {
+        out.push_str(&"-".repeat(*w));
+        out.push_str("  ");
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            out.push_str(&format!("{:width$}  ", cell, width = widths[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Horizontal ASCII bar chart of labeled values in `[0, 1]`.
+pub fn bar_chart(items: &[(String, f64)], width: usize) -> String {
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in items {
+        let filled = ((v.clamp(0.0, 1.0)) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{:label_w$}  {:5.3} |{}{}|\n",
+            label,
+            v,
+            "█".repeat(filled),
+            " ".repeat(width - filled),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["system", "score"],
+            &[
+                vec!["banks".into(), "0.31".into()],
+                vec!["qunits-human".into(), "0.74".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("system"));
+        assert!(lines[3].starts_with("qunits-human"));
+        // each line same padded prefix width
+        let col = lines[0].find("score").unwrap();
+        assert_eq!(lines[2].find("0.31"), Some(col));
+    }
+
+    #[test]
+    fn bar_chart_scales() {
+        let c = bar_chart(&[("a".into(), 0.5), ("b".into(), 1.0)], 10);
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines[0].matches('█').count(), 5);
+        assert_eq!(lines[1].matches('█').count(), 10);
+    }
+
+    #[test]
+    fn bar_chart_clamps() {
+        let c = bar_chart(&[("x".into(), 1.7)], 8);
+        assert_eq!(c.lines().next().unwrap().matches('█').count(), 8);
+    }
+}

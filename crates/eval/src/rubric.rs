@@ -1,0 +1,98 @@
+//! Table 2 — the survey options users rated answers with, and their scores.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five options of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rating {
+    /// "provides incorrect information" — 0.
+    Incorrect,
+    /// "provides no information above the query" — 0.
+    NoInfo,
+    /// "provides correct, but incomplete information" — 0.5.
+    Incomplete,
+    /// "provides correct, but excessive information" — 0.5.
+    Excessive,
+    /// "provides correct information" — 1.0.
+    Correct,
+}
+
+impl Rating {
+    /// The paper's internal score for this option.
+    pub fn score(&self) -> f64 {
+        match self {
+            Rating::Incorrect | Rating::NoInfo => 0.0,
+            Rating::Incomplete | Rating::Excessive => 0.5,
+            Rating::Correct => 1.0,
+        }
+    }
+
+    /// The survey wording.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Rating::Incorrect => "provides incorrect information",
+            Rating::NoInfo => "provides no information above the query",
+            Rating::Incomplete => "provides correct, but incomplete information",
+            Rating::Excessive => "provides correct, but excessive information",
+            Rating::Correct => "provides correct information",
+        }
+    }
+
+    /// All options, Table-2 row order.
+    pub fn all() -> [Rating; 5] {
+        [
+            Rating::Incorrect,
+            Rating::NoInfo,
+            Rating::Incomplete,
+            Rating::Excessive,
+            Rating::Correct,
+        ]
+    }
+}
+
+impl fmt::Display for Rating {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Render Table 2 as text.
+pub fn table2_string() -> String {
+    let mut out = String::from("score  rating\n-----  ------\n");
+    for r in Rating::all() {
+        out.push_str(&format!("{:>5}  {}\n", format!("{:.1}", r.score()), r.label()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_match_table2() {
+        assert_eq!(Rating::Incorrect.score(), 0.0);
+        assert_eq!(Rating::NoInfo.score(), 0.0);
+        assert_eq!(Rating::Incomplete.score(), 0.5);
+        assert_eq!(Rating::Excessive.score(), 0.5);
+        assert_eq!(Rating::Correct.score(), 1.0);
+    }
+
+    #[test]
+    fn five_options_rendered() {
+        let t = table2_string();
+        assert_eq!(t.lines().count(), 7); // header + rule + 5 rows
+        assert!(t.contains("excessive"));
+        assert!(t.contains("1.0"));
+    }
+
+    #[test]
+    fn labels_are_the_paper_wording() {
+        assert_eq!(Rating::Correct.to_string(), "provides correct information");
+        assert_eq!(
+            Rating::Excessive.label(),
+            "provides correct, but excessive information"
+        );
+    }
+}

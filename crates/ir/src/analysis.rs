@@ -1,0 +1,128 @@
+//! Text analysis: tokenization, lower-casing, and optional stopword removal.
+//!
+//! One [`Analyzer`] instance is shared between index-time and query-time so
+//! both sides always agree on token boundaries.
+
+use std::collections::HashSet;
+
+/// Default English stopword list — small on purpose: entity-heavy movie
+/// queries ("it", "up") punish aggressive lists, and the paper's workloads
+/// are short keyword queries.
+pub const DEFAULT_STOPWORDS: &[&str] =
+    &["a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in", "is", "of", "on",
+      "or", "that", "the", "to", "with"];
+
+/// Configurable tokenizer.
+#[derive(Debug, Clone)]
+pub struct Analyzer {
+    stopwords: HashSet<String>,
+    min_token_len: usize,
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Analyzer::new()
+    }
+}
+
+impl Analyzer {
+    /// Analyzer with the default stopword list.
+    pub fn new() -> Self {
+        Analyzer {
+            stopwords: DEFAULT_STOPWORDS.iter().map(|s| s.to_string()).collect(),
+            min_token_len: 1,
+        }
+    }
+
+    /// Analyzer that keeps every token (no stopwords). Used where query
+    /// terms are matched against entity names verbatim.
+    pub fn keep_all() -> Self {
+        Analyzer { stopwords: HashSet::new(), min_token_len: 1 }
+    }
+
+    /// Replace the stopword list.
+    pub fn with_stopwords<I: IntoIterator<Item = S>, S: Into<String>>(mut self, words: I) -> Self {
+        self.stopwords = words.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Drop tokens shorter than `n` characters.
+    pub fn with_min_token_len(mut self, n: usize) -> Self {
+        self.min_token_len = n;
+        self
+    }
+
+    /// Tokenize: split on non-alphanumerics, lower-case, filter stopwords
+    /// and short tokens.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = String::new();
+        for ch in text.chars() {
+            if ch.is_alphanumeric() {
+                for lc in ch.to_lowercase() {
+                    cur.push(lc);
+                }
+            } else if !cur.is_empty() {
+                self.emit(&mut out, std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() {
+            self.emit(&mut out, cur);
+        }
+        out
+    }
+
+    fn emit(&self, out: &mut Vec<String>, tok: String) {
+        if tok.chars().count() >= self.min_token_len && !self.stopwords.contains(&tok) {
+            out.push(tok);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_splits() {
+        let a = Analyzer::keep_all();
+        assert_eq!(a.tokenize("Star Wars: Episode IV"), vec!["star", "wars", "episode", "iv"]);
+    }
+
+    #[test]
+    fn default_removes_stopwords() {
+        let a = Analyzer::new();
+        assert_eq!(a.tokenize("the cast of the movie"), vec!["cast", "movie"]);
+    }
+
+    #[test]
+    fn keep_all_keeps_stopwords() {
+        let a = Analyzer::keep_all();
+        assert_eq!(a.tokenize("of the"), vec!["of", "the"]);
+    }
+
+    #[test]
+    fn custom_stopwords() {
+        let a = Analyzer::new().with_stopwords(["movie"]);
+        assert_eq!(a.tokenize("the movie cast"), vec!["the", "cast"]);
+    }
+
+    #[test]
+    fn min_token_len_filters() {
+        let a = Analyzer::keep_all().with_min_token_len(3);
+        assert_eq!(a.tokenize("up in the air"), vec!["the", "air"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        let a = Analyzer::new();
+        assert!(a.tokenize("").is_empty());
+        assert!(a.tokenize("!!! --- ???").is_empty());
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        let a = Analyzer::keep_all();
+        assert_eq!(a.tokenize("AMÉLIE"), vec!["amélie"]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Documents: external-id'd bags of named text fields.
+
+use serde::{Deserialize, Serialize};
+
+/// Internal document id: position in the index. Dense, assigned at add time.
+pub type DocId = u32;
+
+/// A document to be indexed: an external identifier (e.g. a qunit-instance
+/// key) plus named text fields.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Document {
+    /// External identifier, returned with search hits.
+    pub external_id: String,
+    /// `(field name, text)` pairs, in insertion order.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Document {
+    /// New empty document.
+    pub fn new(external_id: impl Into<String>) -> Self {
+        Document { external_id: external_id.into(), fields: Vec::new() }
+    }
+
+    /// Append a field (builder style).
+    pub fn field(mut self, name: impl Into<String>, text: impl Into<String>) -> Self {
+        self.fields.push((name.into(), text.into()));
+        self
+    }
+
+    /// Concatenated text of all fields (used for snippets and debugging).
+    pub fn full_text(&self) -> String {
+        let mut out = String::new();
+        for (_, text) in &self.fields {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(text);
+        }
+        out
+    }
+
+    /// Text of a named field, if present (first occurrence).
+    pub fn get_field(&self, name: &str) -> Option<&str> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, t)| t.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let d = Document::new("q1").field("title", "Star Wars").field("body", "cast list");
+        assert_eq!(d.external_id, "q1");
+        assert_eq!(d.get_field("title"), Some("Star Wars"));
+        assert_eq!(d.get_field("missing"), None);
+        assert_eq!(d.full_text(), "Star Wars cast list");
+    }
+
+    #[test]
+    fn duplicate_fields_keep_first_on_get() {
+        let d = Document::new("x").field("f", "one").field("f", "two");
+        assert_eq!(d.get_field("f"), Some("one"));
+        assert_eq!(d.full_text(), "one two");
+    }
+}

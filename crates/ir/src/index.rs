@@ -1,0 +1,259 @@
+//! The inverted index: term dictionary, postings lists, document lengths,
+//! and stored documents.
+//!
+//! Field boosts are applied at index time: a token occurring in a field with
+//! boost `w` contributes `w` to its weighted term frequency. This keeps the
+//! scorer field-agnostic — exactly the "treat qunit instances as plain
+//! documents" stance of the paper.
+
+use crate::analysis::Analyzer;
+use crate::document::{DocId, Document};
+use std::collections::HashMap;
+
+/// One entry of a postings list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posting {
+    /// Document containing the term.
+    pub doc: DocId,
+    /// Boost-weighted term frequency.
+    pub weighted_tf: f64,
+}
+
+/// An immutable searchable index. Build via [`IndexBuilder`].
+#[derive(Debug, Clone)]
+pub struct Index {
+    analyzer: Analyzer,
+    postings: HashMap<String, Vec<Posting>>,
+    doc_lengths: Vec<f64>,
+    avg_doc_length: f64,
+    docs: Vec<Document>,
+    external_to_doc: HashMap<String, DocId>,
+}
+
+impl Index {
+    /// Number of documents.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Vocabulary size (distinct terms).
+    pub fn num_terms(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Postings for a term (already analyzed form).
+    pub fn postings(&self, term: &str) -> &[Posting] {
+        self.postings.get(term).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Document frequency of a term.
+    pub fn doc_freq(&self, term: &str) -> usize {
+        self.postings(term).len()
+    }
+
+    /// Boost-weighted length of a document.
+    pub fn doc_length(&self, doc: DocId) -> f64 {
+        self.doc_lengths.get(doc as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Mean document length (0 for an empty index).
+    pub fn avg_doc_length(&self) -> f64 {
+        self.avg_doc_length
+    }
+
+    /// The stored document.
+    pub fn document(&self, doc: DocId) -> Option<&Document> {
+        self.docs.get(doc as usize)
+    }
+
+    /// External id of a document.
+    pub fn external_id(&self, doc: DocId) -> Option<&str> {
+        self.docs.get(doc as usize).map(|d| d.external_id.as_str())
+    }
+
+    /// Internal id for an external id.
+    pub fn doc_for_external(&self, external: &str) -> Option<DocId> {
+        self.external_to_doc.get(external).copied()
+    }
+
+    /// The analyzer this index was built with (use it for queries).
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+}
+
+/// Mutable accumulation of documents into an [`Index`].
+#[derive(Debug, Clone)]
+pub struct IndexBuilder {
+    analyzer: Analyzer,
+    field_boosts: HashMap<String, f64>,
+    docs: Vec<Document>,
+}
+
+impl Default for IndexBuilder {
+    fn default() -> Self {
+        IndexBuilder::new()
+    }
+}
+
+impl IndexBuilder {
+    /// Builder with the default analyzer and no field boosts.
+    pub fn new() -> Self {
+        IndexBuilder {
+            analyzer: Analyzer::new(),
+            field_boosts: HashMap::new(),
+            docs: Vec::new(),
+        }
+    }
+
+    /// Use a custom analyzer.
+    pub fn with_analyzer(mut self, analyzer: Analyzer) -> Self {
+        self.analyzer = analyzer;
+        self
+    }
+
+    /// Set the boost of a field (default 1.0).
+    pub fn set_field_boost(&mut self, field: impl Into<String>, boost: f64) {
+        self.field_boosts.insert(field.into(), boost);
+    }
+
+    /// Add a document. Duplicate external ids are allowed but
+    /// [`Index::doc_for_external`] will resolve to the first.
+    pub fn add(&mut self, doc: Document) -> DocId {
+        let id = self.docs.len() as DocId;
+        self.docs.push(doc);
+        id
+    }
+
+    /// Number of documents added so far.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True iff no documents were added.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Freeze into a searchable index.
+    pub fn build(self) -> Index {
+        let mut postings: HashMap<String, Vec<Posting>> = HashMap::new();
+        let mut doc_lengths = Vec::with_capacity(self.docs.len());
+        let mut external_to_doc = HashMap::with_capacity(self.docs.len());
+
+        for (i, doc) in self.docs.iter().enumerate() {
+            let doc_id = i as DocId;
+            external_to_doc.entry(doc.external_id.clone()).or_insert(doc_id);
+
+            let mut tf: HashMap<String, f64> = HashMap::new();
+            let mut length = 0.0;
+            for (field, text) in &doc.fields {
+                let boost = self.field_boosts.get(field).copied().unwrap_or(1.0);
+                for tok in self.analyzer.tokenize(text) {
+                    *tf.entry(tok).or_insert(0.0) += boost;
+                    length += boost;
+                }
+            }
+            doc_lengths.push(length);
+            for (term, weighted_tf) in tf {
+                postings.entry(term).or_default().push(Posting { doc: doc_id, weighted_tf });
+            }
+        }
+        // Postings arrive in doc-id order because we iterate docs in order,
+        // but make the invariant explicit for future mutation paths.
+        for list in postings.values_mut() {
+            list.sort_by_key(|p| p.doc);
+        }
+        let avg_doc_length = if doc_lengths.is_empty() {
+            0.0
+        } else {
+            doc_lengths.iter().sum::<f64>() / doc_lengths.len() as f64
+        };
+        Index {
+            analyzer: self.analyzer,
+            postings,
+            doc_lengths,
+            avg_doc_length,
+            docs: self.docs,
+            external_to_doc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_index() -> Index {
+        let mut b = IndexBuilder::new();
+        b.add(Document::new("a").field("body", "star wars cast"));
+        b.add(Document::new("b").field("body", "star trek"));
+        b.add(Document::new("c").field("body", "ocean drama"));
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let ix = small_index();
+        assert_eq!(ix.num_docs(), 3);
+        assert_eq!(ix.doc_freq("star"), 2);
+        assert_eq!(ix.doc_freq("ocean"), 1);
+        assert_eq!(ix.doc_freq("ghost"), 0);
+        assert_eq!(ix.external_id(0), Some("a"));
+        assert_eq!(ix.doc_for_external("c"), Some(2));
+        assert_eq!(ix.doc_for_external("zzz"), None);
+    }
+
+    #[test]
+    fn postings_sorted_by_doc() {
+        let ix = small_index();
+        let ps = ix.postings("star");
+        assert!(ps.windows(2).all(|w| w[0].doc < w[1].doc));
+    }
+
+    #[test]
+    fn doc_lengths_and_average() {
+        let ix = small_index();
+        assert_eq!(ix.doc_length(0), 3.0);
+        assert_eq!(ix.doc_length(1), 2.0);
+        assert!((ix.avg_doc_length() - (3.0 + 2.0 + 2.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn field_boost_scales_tf_and_length() {
+        let mut b = IndexBuilder::new();
+        b.set_field_boost("title", 3.0);
+        b.add(Document::new("x").field("title", "star").field("body", "star"));
+        let ix = b.build();
+        let p = ix.postings("star");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].weighted_tf, 4.0);
+        assert_eq!(ix.doc_length(0), 4.0);
+    }
+
+    #[test]
+    fn empty_index() {
+        let ix = IndexBuilder::new().build();
+        assert_eq!(ix.num_docs(), 0);
+        assert_eq!(ix.avg_doc_length(), 0.0);
+        assert!(ix.postings("x").is_empty());
+    }
+
+    #[test]
+    fn duplicate_external_resolves_to_first() {
+        let mut b = IndexBuilder::new();
+        b.add(Document::new("dup").field("body", "one"));
+        b.add(Document::new("dup").field("body", "two"));
+        let ix = b.build();
+        assert_eq!(ix.doc_for_external("dup"), Some(0));
+    }
+
+    #[test]
+    fn stopwords_not_indexed_by_default() {
+        let mut b = IndexBuilder::new();
+        b.add(Document::new("x").field("body", "the cast of the movie"));
+        let ix = b.build();
+        assert_eq!(ix.doc_freq("the"), 0);
+        assert_eq!(ix.doc_freq("cast"), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # qunit-ir
+//!
+//! A from-scratch information-retrieval engine: analyzer, inverted index,
+//! TF-IDF and BM25 ranking, and top-k retrieval.
+//!
+//! This is the "standard IR techniques" half of the qunits paradigm: once a
+//! database has been carved into qunit instances, each instance is rendered
+//! to a document and handed to this engine; ranking then needs nothing
+//! database-specific.
+//!
+//! ```
+//! use irengine::{Document, IndexBuilder, Searcher, ScoringFunction};
+//!
+//! let mut b = IndexBuilder::new();
+//! b.set_field_boost("title", 2.0);
+//! b.add(Document::new("m1").field("title", "Star Wars").field("body", "space opera"));
+//! b.add(Document::new("m2").field("title", "Solaris").field("body", "space station drama"));
+//! let index = b.build();
+//! let searcher = Searcher::new(&index, ScoringFunction::Bm25 { k1: 1.2, b: 0.75 });
+//! let hits = searcher.search("star wars", 10);
+//! assert_eq!(index.external_id(hits[0].doc).unwrap(), "m1");
+//! ```
+
+pub mod analysis;
+pub mod document;
+pub mod index;
+pub mod score;
+pub mod search;
+pub mod snippet;
+
+pub use analysis::Analyzer;
+pub use document::{DocId, Document};
+pub use index::{Index, IndexBuilder, Posting};
+pub use score::ScoringFunction;
+pub use search::{Hit, Searcher};
+pub use snippet::{extract as extract_snippet, Snippet};

@@ -1,0 +1,133 @@
+//! Scoring functions: BM25 and classic TF-IDF (with cosine-style length
+//! normalization).
+//!
+//! Both use the "plus-one" smoothed IDF so that scores stay non-negative
+//! even for terms appearing in more than half the collection — important
+//! here because qunit collections can be small and entity terms common.
+
+use crate::document::DocId;
+use crate::index::Index;
+
+/// Which ranking model to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScoringFunction {
+    /// Okapi BM25 with the standard `k1` (tf saturation) and `b` (length
+    /// normalization) parameters.
+    Bm25 {
+        /// Term-frequency saturation; typical 1.2–2.0.
+        k1: f64,
+        /// Length-normalization strength in `[0, 1]`.
+        b: f64,
+    },
+    /// `tf · idf / sqrt(doc_length)` — the simplest length-normalized TF-IDF.
+    TfIdf,
+}
+
+impl Default for ScoringFunction {
+    fn default() -> Self {
+        ScoringFunction::Bm25 { k1: 1.2, b: 0.75 }
+    }
+}
+
+impl ScoringFunction {
+    /// Smoothed inverse document frequency of a term in `index`.
+    pub fn idf(index: &Index, term: &str) -> f64 {
+        let n = index.num_docs() as f64;
+        let df = index.doc_freq(term) as f64;
+        // BM25+-style floor: ln(1 + (N - df + 0.5)/(df + 0.5)) ≥ 0.
+        (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+    }
+
+    /// Score one (term, document) pair given the term's weighted tf.
+    pub fn score_term(&self, index: &Index, term: &str, doc: DocId, weighted_tf: f64) -> f64 {
+        let idf = Self::idf(index, term);
+        match *self {
+            ScoringFunction::Bm25 { k1, b } => {
+                let dl = index.doc_length(doc);
+                let avg = index.avg_doc_length().max(f64::MIN_POSITIVE);
+                let norm = k1 * (1.0 - b + b * dl / avg);
+                idf * weighted_tf * (k1 + 1.0) / (weighted_tf + norm)
+            }
+            ScoringFunction::TfIdf => {
+                let dl = index.doc_length(doc).max(1.0);
+                idf * weighted_tf / dl.sqrt()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::Document;
+    use crate::index::IndexBuilder;
+
+    fn index_with(texts: &[&str]) -> Index {
+        let mut b = IndexBuilder::new();
+        for (i, t) in texts.iter().enumerate() {
+            b.add(Document::new(format!("d{i}")).field("body", *t));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn idf_decreases_with_document_frequency() {
+        let ix = index_with(&["star wars", "star trek", "ocean"]);
+        let idf_star = ScoringFunction::idf(&ix, "star");
+        let idf_ocean = ScoringFunction::idf(&ix, "ocean");
+        assert!(idf_ocean > idf_star);
+    }
+
+    #[test]
+    fn idf_nonnegative_even_for_ubiquitous_terms() {
+        let ix = index_with(&["movie", "movie", "movie"]);
+        assert!(ScoringFunction::idf(&ix, "movie") >= 0.0);
+    }
+
+    #[test]
+    fn unknown_term_has_max_idf() {
+        let ix = index_with(&["a b", "c d"]);
+        let unknown = ScoringFunction::idf(&ix, "zzz");
+        let known = ScoringFunction::idf(&ix, "b");
+        assert!(unknown > known);
+    }
+
+    #[test]
+    fn bm25_tf_saturates() {
+        let ix = index_with(&["war", "war war war war", "peace"]);
+        let f = ScoringFunction::default();
+        let s1 = f.score_term(&ix, "war", 0, 1.0);
+        let s4 = f.score_term(&ix, "war", 1, 4.0);
+        assert!(s4 > s1);
+        // but saturation: 4 occurrences score less than 4x one occurrence
+        assert!(s4 < 4.0 * s1);
+    }
+
+    #[test]
+    fn bm25_penalizes_long_documents() {
+        let ix = index_with(&["war short", "war with many many many extra words here"]);
+        let f = ScoringFunction::default();
+        let short = f.score_term(&ix, "war", 0, 1.0);
+        let long = f.score_term(&ix, "war", 1, 1.0);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn b_zero_disables_length_normalization() {
+        let ix = index_with(&["war short", "war many many many more words again"]);
+        let f = ScoringFunction::Bm25 { k1: 1.2, b: 0.0 };
+        let short = f.score_term(&ix, "war", 0, 1.0);
+        let long = f.score_term(&ix, "war", 1, 1.0);
+        assert!((short - long).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tfidf_scores_positive_and_length_normalized() {
+        let ix = index_with(&["war", "war plus padding words everywhere around"]);
+        let f = ScoringFunction::TfIdf;
+        let short = f.score_term(&ix, "war", 0, 1.0);
+        let long = f.score_term(&ix, "war", 1, 1.0);
+        assert!(short > long);
+        assert!(long > 0.0);
+    }
+}

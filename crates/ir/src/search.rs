@@ -1,0 +1,244 @@
+//! Top-k ranked retrieval over an [`Index`].
+
+use crate::document::DocId;
+use crate::index::Index;
+use crate::score::ScoringFunction;
+use std::collections::HashMap;
+
+/// A ranked search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// Internal document id (resolve with [`Index::external_id`]).
+    pub doc: DocId,
+    /// Accumulated relevance score.
+    pub score: f64,
+    /// How many distinct query terms matched the document.
+    pub matched_terms: usize,
+}
+
+/// Executes queries against a borrowed index.
+#[derive(Debug, Clone)]
+pub struct Searcher<'a> {
+    index: &'a Index,
+    scoring: ScoringFunction,
+}
+
+impl<'a> Searcher<'a> {
+    /// New searcher with the given scoring function.
+    pub fn new(index: &'a Index, scoring: ScoringFunction) -> Self {
+        Searcher { index, scoring }
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &Index {
+        self.index
+    }
+
+    /// Run `query`, returning up to `k` hits, best first. Documents must
+    /// match at least one query term to appear. Ties break by ascending
+    /// doc id for determinism.
+    pub fn search(&self, query: &str, k: usize) -> Vec<Hit> {
+        let terms = self.index.analyzer().tokenize(query);
+        self.search_terms(&terms, k)
+    }
+
+    /// Run a query given pre-analyzed terms.
+    pub fn search_terms(&self, terms: &[String], k: usize) -> Vec<Hit> {
+        self.search_terms_where(terms, k, |_| true)
+    }
+
+    /// Run `query`, keeping only documents accepted by `filter`. The filter
+    /// is applied before top-k selection, so a restrictive filter still
+    /// yields up to `k` of *its* documents (used by the qunit engine to rank
+    /// "instances of the identified type").
+    pub fn search_where(
+        &self,
+        query: &str,
+        k: usize,
+        filter: impl Fn(DocId) -> bool,
+    ) -> Vec<Hit> {
+        let terms = self.index.analyzer().tokenize(query);
+        self.search_terms_where(&terms, k, filter)
+    }
+
+    /// [`Searcher::search_where`] with pre-analyzed terms.
+    pub fn search_terms_where(
+        &self,
+        terms: &[String],
+        k: usize,
+        filter: impl Fn(DocId) -> bool,
+    ) -> Vec<Hit> {
+        if k == 0 || terms.is_empty() {
+            return Vec::new();
+        }
+        // Accumulate scores document-at-a-time across postings lists.
+        let mut acc: HashMap<DocId, (f64, usize)> = HashMap::new();
+        // De-duplicate query terms but remember multiplicity: a repeated
+        // query term contributes proportionally.
+        let mut term_counts: HashMap<&str, usize> = HashMap::new();
+        for t in terms {
+            *term_counts.entry(t.as_str()).or_insert(0) += 1;
+        }
+        for (term, qtf) in term_counts {
+            for p in self.index.postings(term) {
+                let s = self.scoring.score_term(self.index, term, p.doc, p.weighted_tf)
+                    * qtf as f64;
+                let e = acc.entry(p.doc).or_insert((0.0, 0));
+                e.0 += s;
+                e.1 += 1;
+            }
+        }
+        let mut hits: Vec<Hit> = acc
+            .into_iter()
+            .filter(|(doc, _)| filter(*doc))
+            .map(|(doc, (score, matched_terms))| Hit { doc, score, matched_terms })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    /// Convenience: the single best hit, if any.
+    pub fn top(&self, query: &str) -> Option<Hit> {
+        self.search(query, 1).into_iter().next()
+    }
+
+    /// Score one specific document against a query (same accumulation as
+    /// [`Searcher::search`], restricted to `doc`). Returns a zero-score hit
+    /// when no query term matches the document.
+    pub fn score_doc(&self, query: &str, doc: DocId) -> Hit {
+        let terms = self.index.analyzer().tokenize(query);
+        let mut term_counts: HashMap<&str, usize> = HashMap::new();
+        for t in &terms {
+            *term_counts.entry(t.as_str()).or_insert(0) += 1;
+        }
+        let mut score = 0.0;
+        let mut matched_terms = 0;
+        for (term, qtf) in term_counts {
+            if let Ok(i) = self.index.postings(term).binary_search_by(|p| p.doc.cmp(&doc)) {
+                let p = self.index.postings(term)[i];
+                score +=
+                    self.scoring.score_term(self.index, term, doc, p.weighted_tf) * qtf as f64;
+                matched_terms += 1;
+            }
+        }
+        Hit { doc, score, matched_terms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::Document;
+    use crate::index::IndexBuilder;
+
+    fn movie_index() -> Index {
+        let mut b = IndexBuilder::new();
+        b.set_field_boost("title", 2.0);
+        b.add(
+            Document::new("star-wars")
+                .field("title", "Star Wars")
+                .field("body", "luke skywalker darth vader rebels empire"),
+        );
+        b.add(
+            Document::new("star-trek")
+                .field("title", "Star Trek")
+                .field("body", "kirk spock enterprise federation"),
+        );
+        b.add(
+            Document::new("oceans")
+                .field("title", "Ocean's Eleven")
+                .field("body", "george clooney brad pitt heist casino"),
+        );
+        b.build()
+    }
+
+    #[test]
+    fn exact_title_wins() {
+        let ix = movie_index();
+        let s = Searcher::new(&ix, ScoringFunction::default());
+        let hits = s.search("star wars", 10);
+        assert_eq!(ix.external_id(hits[0].doc), Some("star-wars"));
+        assert_eq!(hits[0].matched_terms, 2);
+        // star trek shares one term
+        assert_eq!(ix.external_id(hits[1].doc), Some("star-trek"));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn body_terms_match_too() {
+        let ix = movie_index();
+        let s = Searcher::new(&ix, ScoringFunction::default());
+        let top = s.top("george clooney").unwrap();
+        assert_eq!(ix.external_id(top.doc), Some("oceans"));
+    }
+
+    #[test]
+    fn k_truncates_and_orders_descending() {
+        let ix = movie_index();
+        let s = Searcher::new(&ix, ScoringFunction::default());
+        let hits = s.search("star", 1);
+        assert_eq!(hits.len(), 1);
+        let all = s.search("star", 10);
+        assert!(all.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn zero_k_and_empty_query() {
+        let ix = movie_index();
+        let s = Searcher::new(&ix, ScoringFunction::default());
+        assert!(s.search("star", 0).is_empty());
+        assert!(s.search("", 10).is_empty());
+        assert!(s.search("the of", 10).is_empty()); // all stopwords
+    }
+
+    #[test]
+    fn unmatched_query_returns_empty() {
+        let ix = movie_index();
+        let s = Searcher::new(&ix, ScoringFunction::default());
+        assert!(s.search("zzzz qqqq", 10).is_empty());
+    }
+
+    #[test]
+    fn tfidf_also_ranks_exact_match_first() {
+        let ix = movie_index();
+        let s = Searcher::new(&ix, ScoringFunction::TfIdf);
+        let hits = s.search("star wars", 10);
+        assert_eq!(ix.external_id(hits[0].doc), Some("star-wars"));
+    }
+
+    #[test]
+    fn repeated_query_terms_increase_weight() {
+        let ix = movie_index();
+        let s = Searcher::new(&ix, ScoringFunction::default());
+        let once = s.search("star clooney", 10);
+        let twice = s.search("star star clooney", 10);
+        // doubling "star" should (weakly) promote the star documents
+        let pos_once = once
+            .iter()
+            .position(|h| ix.external_id(h.doc) == Some("star-wars"))
+            .unwrap();
+        let pos_twice = twice
+            .iter()
+            .position(|h| ix.external_id(h.doc) == Some("star-wars"))
+            .unwrap();
+        assert!(pos_twice <= pos_once);
+    }
+
+    #[test]
+    fn deterministic_tiebreak_by_doc_id() {
+        let mut b = IndexBuilder::new();
+        b.add(Document::new("a").field("body", "same text"));
+        b.add(Document::new("b").field("body", "same text"));
+        let ix = b.build();
+        let s = Searcher::new(&ix, ScoringFunction::default());
+        let hits = s.search("same", 10);
+        assert_eq!(ix.external_id(hits[0].doc), Some("a"));
+        assert_eq!(ix.external_id(hits[1].doc), Some("b"));
+    }
+}

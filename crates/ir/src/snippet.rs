@@ -1,0 +1,149 @@
+//! Query-biased snippet extraction: given a document's text and a query,
+//! pick the contiguous window of tokens that covers the most distinct query
+//! terms (ties broken by earliest position), and highlight matches.
+//!
+//! Qunit results are whole semantic units, but long instances (a star's
+//! filmography, a charts list) still benefit from leading with the region
+//! that matched — the same service a document engine's snippets provide.
+
+use crate::analysis::Analyzer;
+
+/// A snippet: the selected text plus which of its tokens matched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snippet {
+    /// The window's tokens, in order.
+    pub tokens: Vec<String>,
+    /// Parallel flags: `true` where the token matched a query term.
+    pub matched: Vec<bool>,
+    /// Number of distinct query terms covered.
+    pub coverage: usize,
+}
+
+impl Snippet {
+    /// Render with `[` `]` around matches: `"… [star] [wars] cast …"`.
+    pub fn highlighted(&self) -> String {
+        let mut out = String::new();
+        for (tok, hit) in self.tokens.iter().zip(&self.matched) {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            if *hit {
+                out.push('[');
+                out.push_str(tok);
+                out.push(']');
+            } else {
+                out.push_str(tok);
+            }
+        }
+        out
+    }
+}
+
+/// Extract the best window of at most `window` tokens for `query` from
+/// `text`. Returns `None` when no query term occurs in the text.
+pub fn extract(analyzer: &Analyzer, text: &str, query: &str, window: usize) -> Option<Snippet> {
+    let doc = analyzer.tokenize(text);
+    let q: std::collections::HashSet<String> =
+        analyzer.tokenize(query).into_iter().collect();
+    if doc.is_empty() || q.is_empty() || window == 0 {
+        return None;
+    }
+
+    // Sliding window maximizing distinct covered query terms.
+    let mut best: Option<(usize, usize)> = None; // (coverage, start)
+    let mut counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    let mut covered = 0usize;
+    let mut start = 0usize;
+    for end in 0..doc.len() {
+        if q.contains(&doc[end]) {
+            let c = counts.entry(doc[end].as_str()).or_insert(0);
+            if *c == 0 {
+                covered += 1;
+            }
+            *c += 1;
+        }
+        while end + 1 - start > window {
+            if q.contains(&doc[start]) {
+                let c = counts.get_mut(doc[start].as_str()).expect("counted");
+                *c -= 1;
+                if *c == 0 {
+                    covered -= 1;
+                }
+            }
+            start += 1;
+        }
+        if covered > 0 && best.map(|(c, _)| covered > c).unwrap_or(true) {
+            best = Some((covered, start));
+        }
+    }
+
+    let (coverage, start) = best?;
+    let end = (start + window).min(doc.len());
+    let tokens: Vec<String> = doc[start..end].to_vec();
+    let matched: Vec<bool> = tokens.iter().map(|t| q.contains(t)).collect();
+    Some(Snippet { tokens, matched, coverage })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzer() -> Analyzer {
+        Analyzer::keep_all()
+    }
+
+    #[test]
+    fn window_covers_all_terms_when_close() {
+        let s = extract(
+            &analyzer(),
+            "a long preamble before star wars cast list appears here",
+            "star wars",
+            4,
+        )
+        .unwrap();
+        assert_eq!(s.coverage, 2);
+        assert!(s.highlighted().contains("[star] [wars]"));
+        assert!(s.tokens.len() <= 4);
+    }
+
+    #[test]
+    fn picks_densest_region() {
+        // "ocean" appears early alone; both terms co-occur later
+        let text = "ocean waves intro text then later ocean drama begins";
+        let s = extract(&analyzer(), text, "ocean drama", 3).unwrap();
+        assert_eq!(s.coverage, 2);
+        assert!(s.highlighted().contains("[ocean] [drama]"));
+    }
+
+    #[test]
+    fn earliest_window_wins_ties() {
+        let text = "star one two three star";
+        let s = extract(&analyzer(), text, "star", 2).unwrap();
+        assert_eq!(s.tokens[0], "star");
+        assert_eq!(s.coverage, 1);
+        assert!(s.matched[0]);
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        assert!(extract(&analyzer(), "nothing relevant here", "star wars", 5).is_none());
+        assert!(extract(&analyzer(), "", "star", 5).is_none());
+        assert!(extract(&analyzer(), "star", "", 5).is_none());
+        assert!(extract(&analyzer(), "star", "star", 0).is_none());
+    }
+
+    #[test]
+    fn window_larger_than_doc_is_fine() {
+        let s = extract(&analyzer(), "star wars", "wars", 50).unwrap();
+        assert_eq!(s.tokens.len(), 2);
+        assert_eq!(s.matched, vec![false, true]);
+    }
+
+    #[test]
+    fn highlight_brackets_only_matches() {
+        let s = extract(&analyzer(), "the star is bright", "star", 4).unwrap();
+        let h = s.highlighted();
+        assert!(h.contains("[star]"));
+        assert!(!h.contains("[the]"));
+    }
+}

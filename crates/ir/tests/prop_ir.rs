@@ -1,0 +1,124 @@
+//! Property tests over the IR engine's core invariants.
+
+use irengine::{Analyzer, Document, IndexBuilder, ScoringFunction, Searcher};
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "star", "wars", "trek", "ocean", "cast", "movie", "actor", "drama", "space", "heist",
+    ])
+    .prop_map(str::to_string)
+}
+
+fn doc_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(word(), 1..12).prop_map(|ws| ws.join(" "))
+}
+
+fn build_index(texts: &[String]) -> irengine::Index {
+    let mut b = IndexBuilder::new().with_analyzer(Analyzer::keep_all());
+    for (i, t) in texts.iter().enumerate() {
+        b.add(Document::new(format!("d{i}")).field("body", t.clone()));
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scores_are_finite_and_nonnegative(texts in prop::collection::vec(doc_text(), 1..20), q in doc_text()) {
+        let ix = build_index(&texts);
+        let s = Searcher::new(&ix, ScoringFunction::default());
+        for hit in s.search(&q, texts.len()) {
+            prop_assert!(hit.score.is_finite());
+            prop_assert!(hit.score >= 0.0);
+            prop_assert!(hit.matched_terms >= 1);
+        }
+    }
+
+    #[test]
+    fn every_hit_contains_a_query_term(texts in prop::collection::vec(doc_text(), 1..20), q in doc_text()) {
+        let ix = build_index(&texts);
+        let s = Searcher::new(&ix, ScoringFunction::default());
+        let analyzer = Analyzer::keep_all();
+        let q_terms = analyzer.tokenize(&q);
+        for hit in s.search(&q, texts.len()) {
+            let body = ix.document(hit.doc).unwrap().full_text();
+            let doc_terms = analyzer.tokenize(&body);
+            prop_assert!(q_terms.iter().any(|t| doc_terms.contains(t)),
+                "hit {} shares no term with query {:?}", body, q_terms);
+        }
+    }
+
+    #[test]
+    fn hits_sorted_descending_and_bounded_by_k(
+        texts in prop::collection::vec(doc_text(), 1..20),
+        q in doc_text(),
+        k in 0usize..25,
+    ) {
+        let ix = build_index(&texts);
+        let s = Searcher::new(&ix, ScoringFunction::default());
+        let hits = s.search(&q, k);
+        prop_assert!(hits.len() <= k);
+        prop_assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn adding_an_irrelevant_doc_keeps_match_set(
+        texts in prop::collection::vec(doc_text(), 2..15),
+        q in doc_text(),
+    ) {
+        // An added document sharing no vocabulary with the query must never
+        // enter the result set, and the set of matched documents must be
+        // unchanged. (Exact *order* may shift: avgdl moves for everyone.)
+        let ix = build_index(&texts);
+        let s = Searcher::new(&ix, ScoringFunction::default());
+        let mut before: Vec<u32> = s.search(&q, 100).into_iter().map(|h| h.doc).collect();
+
+        let mut extended = texts.clone();
+        extended.push("zzz yyy xxx www".to_string());
+        let new_doc = (extended.len() - 1) as u32;
+        let ix2 = build_index(&extended);
+        let s2 = Searcher::new(&ix2, ScoringFunction::default());
+        let mut after: Vec<u32> = s2.search(&q, 100).into_iter().map(|h| h.doc).collect();
+
+        prop_assert!(!after.contains(&new_doc));
+        before.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn doc_length_equals_token_count_without_boosts(texts in prop::collection::vec(doc_text(), 1..10)) {
+        let ix = build_index(&texts);
+        let analyzer = Analyzer::keep_all();
+        for (i, t) in texts.iter().enumerate() {
+            let n = analyzer.tokenize(t).len() as f64;
+            prop_assert!((ix.doc_length(i as u32) - n).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn df_never_exceeds_num_docs(texts in prop::collection::vec(doc_text(), 1..20)) {
+        let ix = build_index(&texts);
+        for term in ["star", "wars", "ocean", "cast"] {
+            prop_assert!(ix.doc_freq(term) <= ix.num_docs());
+        }
+    }
+
+    #[test]
+    fn bm25_and_tfidf_agree_on_single_term_single_doc_ranking(
+        texts in prop::collection::vec(doc_text(), 1..15),
+    ) {
+        // For a single-term query the set of matched docs is identical
+        // across scorers (scores differ, membership doesn't).
+        let ix = build_index(&texts);
+        let bm = Searcher::new(&ix, ScoringFunction::default());
+        let tf = Searcher::new(&ix, ScoringFunction::TfIdf);
+        let mut a: Vec<u32> = bm.search("star", 100).into_iter().map(|h| h.doc).collect();
+        let mut b: Vec<u32> = tf.search("star", 100).into_iter().map(|h| h.doc).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type shared by every relstore operation.
+
+use std::fmt;
+
+/// Convenient alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// All the ways a storage or execution operation can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A table name was not found in the catalog.
+    UnknownTable(String),
+    /// A column name was not found in the given table.
+    UnknownColumn { table: String, column: String },
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// A row's arity does not match the table schema.
+    ArityMismatch { table: String, expected: usize, got: usize },
+    /// A value's type does not match the column's declared type.
+    TypeMismatch { table: String, column: String, expected: String, got: String },
+    /// NULL supplied for a NOT NULL column.
+    NullViolation { table: String, column: String },
+    /// Inserting a duplicate primary key.
+    PrimaryKeyViolation { table: String, key: String },
+    /// A foreign key points at a non-existent row.
+    ForeignKeyViolation { table: String, column: String, value: String },
+    /// A query referenced a table position that is not in its FROM list.
+    BadTableIndex(usize),
+    /// A query parameter was not supplied a binding at execution time.
+    UnboundParameter(String),
+    /// The query's join graph leaves some table disconnected (would require a
+    /// cartesian product, which the executor refuses unless explicitly allowed).
+    DisconnectedJoin { table: String },
+    /// Schema-level misconfiguration, e.g. FK referencing an unknown table.
+    InvalidSchema(String),
+    /// A row id that does not exist (e.g. deleted).
+    UnknownRow { table: String, row: u64 },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            Error::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            Error::DuplicateTable(t) => write!(f, "table `{t}` already exists"),
+            Error::ArityMismatch { table, expected, got } => {
+                write!(f, "row arity mismatch for `{table}`: expected {expected}, got {got}")
+            }
+            Error::TypeMismatch { table, column, expected, got } => write!(
+                f,
+                "type mismatch for `{table}.{column}`: expected {expected}, got {got}"
+            ),
+            Error::NullViolation { table, column } => {
+                write!(f, "NULL not allowed in `{table}.{column}`")
+            }
+            Error::PrimaryKeyViolation { table, key } => {
+                write!(f, "duplicate primary key {key} in `{table}`")
+            }
+            Error::ForeignKeyViolation { table, column, value } => write!(
+                f,
+                "foreign key violation: `{table}.{column}` = {value} has no referent"
+            ),
+            Error::BadTableIndex(i) => write!(f, "query references FROM position {i} out of range"),
+            Error::UnboundParameter(p) => write!(f, "parameter `${p}` has no binding"),
+            Error::DisconnectedJoin { table } => write!(
+                f,
+                "table `{table}` is not connected to the join graph (cartesian product refused)"
+            ),
+            Error::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            Error::UnknownRow { table, row } => write!(f, "row {row} not found in `{table}`"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = Error::UnknownColumn { table: "movie".into(), column: "zzz".into() };
+        assert_eq!(e.to_string(), "unknown column `zzz` in table `movie`");
+        let e = Error::PrimaryKeyViolation { table: "person".into(), key: "7".into() };
+        assert!(e.to_string().contains("duplicate primary key"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::UnknownTable("a".into()), Error::UnknownTable("a".into()));
+        assert_ne!(Error::UnknownTable("a".into()), Error::UnknownTable("b".into()));
+    }
+}

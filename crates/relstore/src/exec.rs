@@ -1,0 +1,619 @@
+//! Query execution.
+//!
+//! Two executors are provided:
+//!
+//! * [`execute`] — the production path: picks index-backed access for the
+//!   first table when the predicate pins a column, then folds the remaining
+//!   FROM positions in with hash joins over the connecting join edges, and
+//!   finally filters, projects, and limits.
+//! * [`execute_nested_loop`] — an intentionally naive reference
+//!   implementation (full cartesian enumeration) used by property tests to
+//!   validate the production path.
+
+use crate::database::Database;
+use crate::error::{Error, Result};
+use crate::expr::{ColRef, Predicate};
+use crate::query::{Binding, Query};
+use crate::tuple::Row;
+use crate::types::Value;
+use std::collections::HashMap;
+
+/// The output of a query: named columns and materialized rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Qualified output column names, e.g. `movie.title`.
+    pub columns: Vec<String>,
+    /// Which `(FROM position, column)` each output column came from.
+    pub sources: Vec<ColRef>,
+    /// Output rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of an output column by its qualified name.
+    pub fn column_index(&self, qualified: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == qualified)
+    }
+
+    /// Iterate values of one output column.
+    pub fn column_values(&self, idx: usize) -> impl Iterator<Item = &Value> {
+        self.rows.iter().filter_map(move |r| r.get(idx))
+    }
+
+    /// Render as an aligned text table (for examples and debugging).
+    pub fn to_table_string(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::display_plain).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() && cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:width$}  ", c, width = widths[i]));
+        }
+        out.push('\n');
+        for (i, _) in self.columns.iter().enumerate() {
+            out.push_str(&"-".repeat(widths[i]));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:width$}  ", cell, width = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Sort rows lexicographically — handy for order-insensitive comparisons
+    /// in tests.
+    pub fn sorted(mut self) -> Self {
+        self.rows.sort();
+        self
+    }
+}
+
+/// Intermediate: a bag of partial row contexts, each holding the row ids of
+/// the FROM positions joined so far.
+struct Partial {
+    /// Which FROM positions are bound, in order of joining.
+    positions: Vec<usize>,
+    /// One entry per result row: row ids parallel to `positions`.
+    rows: Vec<Vec<u64>>,
+}
+
+/// Execute `query` against `db` with `binding`.
+pub fn execute(db: &Database, query: &Query, binding: &Binding) -> Result<ResultSet> {
+    query.validate(db)?;
+    for p in query.parameters() {
+        if binding.get(&p).is_none() {
+            return Err(Error::UnboundParameter(p));
+        }
+    }
+    if query.tables.is_empty() {
+        return Ok(ResultSet { columns: vec![], sources: vec![], rows: vec![] });
+    }
+
+    let eq_constraints = query.predicate.conjunctive_eq_constraints(binding);
+
+    // Seed with the first FROM position, using an index if a constraint pins it.
+    let seed_rows = seed_rows(db, query, 0, &eq_constraints);
+    let mut partial = Partial {
+        positions: vec![0],
+        rows: seed_rows.into_iter().map(|r| vec![r]).collect(),
+    };
+
+    // Fold in remaining positions. Pick, at each step, a not-yet-joined
+    // position connected by at least one edge to the joined set.
+    let mut remaining: Vec<usize> = (1..query.tables.len()).collect();
+    while !remaining.is_empty() {
+        let (pick_idx, edges) = remaining
+            .iter()
+            .enumerate()
+            .find_map(|(i, &pos)| {
+                let edges: Vec<_> = query
+                    .joins
+                    .iter()
+                    .filter(|j| {
+                        (j.left == pos && partial.positions.contains(&j.right))
+                            || (j.right == pos && partial.positions.contains(&j.left))
+                    })
+                    .collect();
+                if edges.is_empty() {
+                    None
+                } else {
+                    Some((i, edges))
+                }
+            })
+            .ok_or_else(|| {
+                let pos = remaining[0];
+                Error::DisconnectedJoin {
+                    table: db
+                        .catalog()
+                        .table(query.tables[pos])
+                        .map(|t| t.name.clone())
+                        .unwrap_or_default(),
+                }
+            })?;
+        let pos = remaining.remove(pick_idx);
+        partial = hash_join(db, query, partial, pos, &edges, &eq_constraints)?;
+    }
+
+    finish(db, query, binding, partial)
+}
+
+/// Row ids for the seed position, narrowed by any equality constraint on it.
+fn seed_rows(
+    db: &Database,
+    query: &Query,
+    pos: usize,
+    eq_constraints: &[(ColRef, Value)],
+) -> Vec<u64> {
+    let table = db.table(query.tables[pos]).expect("validated");
+    if let Some((col, v)) = eq_constraints.iter().find(|(c, _)| c.table == pos) {
+        return table.find_equal(col.column, v);
+    }
+    table.scan().map(|(id, _)| id).collect()
+}
+
+/// Hash-join `pos` into the partial result along the given edges. The build
+/// side is the new table (narrowed by point constraints); the probe side is
+/// the existing partial.
+fn hash_join(
+    db: &Database,
+    query: &Query,
+    partial: Partial,
+    pos: usize,
+    edges: &[&crate::query::JoinEdge],
+    eq_constraints: &[(ColRef, Value)],
+) -> Result<Partial> {
+    let table = db.table(query.tables[pos]).expect("validated");
+
+    // Key extraction: for each edge, which column on the new table and which
+    // (position, column) on the existing side.
+    let mut new_cols = Vec::with_capacity(edges.len());
+    let mut old_refs = Vec::with_capacity(edges.len());
+    for e in edges {
+        if e.left == pos {
+            new_cols.push(e.left_col);
+            old_refs.push((e.right, e.right_col));
+        } else {
+            new_cols.push(e.right_col);
+            old_refs.push((e.left, e.left_col));
+        }
+    }
+
+    // Build: new table rows keyed by their join-column values.
+    let candidates: Vec<u64> = seed_rows(db, query, pos, eq_constraints);
+    let mut build: HashMap<Vec<Value>, Vec<u64>> = HashMap::with_capacity(candidates.len());
+    'cand: for rid in candidates {
+        let row = table.row(rid).expect("live row");
+        let mut key = Vec::with_capacity(new_cols.len());
+        for &c in &new_cols {
+            let v = row.get(c).cloned().unwrap_or(Value::Null);
+            if v.is_null() {
+                continue 'cand; // NULL never joins
+            }
+            key.push(v);
+        }
+        build.entry(key).or_default().push(rid);
+    }
+
+    // Probe: existing partial rows.
+    let pos_of: HashMap<usize, usize> =
+        partial.positions.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    let mut out_rows = Vec::new();
+    'probe: for ctx in &partial.rows {
+        let mut key = Vec::with_capacity(old_refs.len());
+        for &(opos, ocol) in &old_refs {
+            let slot = pos_of[&opos];
+            let otable = db.table(query.tables[opos]).expect("validated");
+            let row = otable.row(ctx[slot]).expect("live row");
+            let v = row.get(ocol).cloned().unwrap_or(Value::Null);
+            if v.is_null() {
+                continue 'probe;
+            }
+            key.push(v);
+        }
+        if let Some(matches) = build.get(&key) {
+            for &rid in matches {
+                let mut next = ctx.clone();
+                next.push(rid);
+                out_rows.push(next);
+            }
+        }
+    }
+
+    let mut positions = partial.positions;
+    positions.push(pos);
+    Ok(Partial { positions, rows: out_rows })
+}
+
+/// Apply the filter predicate, projection, and limit to assembled contexts.
+fn finish(
+    db: &Database,
+    query: &Query,
+    binding: &Binding,
+    partial: Partial,
+) -> Result<ResultSet> {
+    let slot_of: HashMap<usize, usize> =
+        partial.positions.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+
+    let projection: Vec<ColRef> = match &query.projection {
+        Some(p) => p.clone(),
+        None => query
+            .positions()
+            .flat_map(|(pos, tid)| {
+                let arity = db.catalog().table(tid).expect("validated").arity();
+                (0..arity).map(move |c| ColRef::new(pos, c))
+            })
+            .collect(),
+    };
+    let columns: Vec<String> = projection
+        .iter()
+        .map(|c| db.catalog().qualified(query.tables[c.table], c.column))
+        .collect();
+
+    let mut rows = Vec::new();
+    for ctx_ids in &partial.rows {
+        if let Some(limit) = query.limit {
+            if rows.len() >= limit {
+                break;
+            }
+        }
+        // Assemble the row context ordered by FROM position.
+        let ctx: Vec<&Row> = (0..query.tables.len())
+            .map(|pos| {
+                let slot = slot_of[&pos];
+                db.table(query.tables[pos])
+                    .expect("validated")
+                    .row(ctx_ids[slot])
+                    .expect("live row")
+            })
+            .collect();
+        if !query.predicate.eval(&ctx, binding)? {
+            continue;
+        }
+        let row: Vec<Value> = projection
+            .iter()
+            .map(|c| ctx[c.table].get(c.column).cloned().unwrap_or(Value::Null))
+            .collect();
+        rows.push(row);
+    }
+
+    Ok(ResultSet { columns, sources: projection, rows })
+}
+
+/// Reference executor: full cartesian enumeration with join edges folded into
+/// the predicate. Exponential; only for tests on tiny inputs.
+pub fn execute_nested_loop(db: &Database, query: &Query, binding: &Binding) -> Result<ResultSet> {
+    query.validate(db)?;
+    for p in query.parameters() {
+        if binding.get(&p).is_none() {
+            return Err(Error::UnboundParameter(p));
+        }
+    }
+
+    // Join edges as predicates.
+    let mut pred = query.predicate.clone();
+    for j in &query.joins {
+        pred = pred.and(Predicate::ColEq(
+            ColRef::new(j.left, j.left_col),
+            ColRef::new(j.right, j.right_col),
+        ));
+    }
+
+    let projection: Vec<ColRef> = match &query.projection {
+        Some(p) => p.clone(),
+        None => query
+            .positions()
+            .flat_map(|(pos, tid)| {
+                let arity = db.catalog().table(tid).expect("validated").arity();
+                (0..arity).map(move |c| ColRef::new(pos, c))
+            })
+            .collect(),
+    };
+    let columns: Vec<String> = projection
+        .iter()
+        .map(|c| db.catalog().qualified(query.tables[c.table], c.column))
+        .collect();
+
+    let per_table: Vec<Vec<&Row>> = query
+        .tables
+        .iter()
+        .map(|&tid| db.table(tid).expect("validated").scan().map(|(_, r)| r).collect())
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut ctx: Vec<&Row> = Vec::with_capacity(per_table.len());
+    enumerate(&per_table, 0, &mut ctx, &mut |ctx| -> Result<bool> {
+        if let Some(limit) = query.limit {
+            if rows.len() >= limit {
+                return Ok(false); // stop enumeration
+            }
+        }
+        if pred.eval(ctx, binding)? {
+            let row: Vec<Value> = projection
+                .iter()
+                .map(|c| ctx[c.table].get(c.column).cloned().unwrap_or(Value::Null))
+                .collect();
+            rows.push(row);
+        }
+        Ok(true)
+    })?;
+
+    Ok(ResultSet { columns, sources: projection, rows })
+}
+
+fn enumerate<'a>(
+    per_table: &'a [Vec<&'a Row>],
+    depth: usize,
+    ctx: &mut Vec<&'a Row>,
+    visit: &mut impl FnMut(&[&Row]) -> Result<bool>,
+) -> Result<bool> {
+    if depth == per_table.len() {
+        return visit(ctx);
+    }
+    for row in &per_table[depth] {
+        ctx.push(row);
+        let keep_going = enumerate(per_table, depth + 1, ctx, visit)?;
+        ctx.pop();
+        if !keep_going {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+    use crate::schema::{ColumnDef, TableSchema};
+    use crate::types::DataType;
+
+    fn movie_db() -> Database {
+        let mut db = Database::new("imdb");
+        db.create_table(
+            TableSchema::new("person")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("name", DataType::Text))
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("movie")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("title", DataType::Text))
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("cast")
+                .column(ColumnDef::new("person_id", DataType::Int).not_null())
+                .column(ColumnDef::new("movie_id", DataType::Int).not_null())
+                .column(ColumnDef::new("role", DataType::Text))
+                .foreign_key("person_id", "person", "id")
+                .foreign_key("movie_id", "movie", "id"),
+        )
+        .unwrap();
+        for (id, name) in [(1, "George Clooney"), (2, "Brad Pitt"), (3, "Julia Roberts")] {
+            db.insert("person", vec![id.into(), name.into()]).unwrap();
+        }
+        for (id, title) in [(10, "Ocean's Eleven"), (11, "Up in the Air"), (12, "Solaris")] {
+            db.insert("movie", vec![id.into(), title.into()]).unwrap();
+        }
+        for (p, m, r) in [
+            (1, 10, "actor"),
+            (2, 10, "actor"),
+            (3, 10, "actor"),
+            (1, 11, "actor"),
+            (1, 12, "actor"),
+        ] {
+            db.insert("cast", vec![p.into(), m.into(), r.into()]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn single_table_scan() {
+        let db = movie_db();
+        let q = Query::scan(db.catalog().table_id("person").unwrap());
+        let rs = db.execute(&q).unwrap();
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.columns, vec!["person.id", "person.name"]);
+    }
+
+    #[test]
+    fn filtered_scan() {
+        let db = movie_db();
+        let b = QueryBuilder::new(&db).table("person").unwrap();
+        let name = b.col(0, "name").unwrap();
+        let q = b.filter(Predicate::eq(name, "Brad Pitt")).build();
+        let rs = db.execute(&q).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::from(2));
+    }
+
+    #[test]
+    fn two_way_join() {
+        let db = movie_db();
+        let b = QueryBuilder::new(&db)
+            .table("person")
+            .unwrap()
+            .table("cast")
+            .unwrap()
+            .join(0, "id", 1, "person_id")
+            .unwrap();
+        let q = b.build();
+        let rs = db.execute(&q).unwrap();
+        assert_eq!(rs.len(), 5); // one per cast entry
+    }
+
+    #[test]
+    fn three_way_join_star_wars_cast_shape() {
+        // The paper's canonical base expression:
+        // SELECT * FROM person, cast, movie WHERE cast joins AND movie.title = $x
+        let db = movie_db();
+        let b = QueryBuilder::new(&db)
+            .table("person")
+            .unwrap()
+            .table("cast")
+            .unwrap()
+            .table("movie")
+            .unwrap()
+            .join(0, "id", 1, "person_id")
+            .unwrap()
+            .join(1, "movie_id", 2, "id")
+            .unwrap();
+        let title = b.col(2, "title").unwrap();
+        let q = b.filter(Predicate::eq_param(title, "x")).build();
+        let binding = Binding::empty().with("x", "Ocean's Eleven");
+        let rs = db.execute_bound(&q, &binding).unwrap();
+        assert_eq!(rs.len(), 3); // three actors in Ocean's Eleven
+        let names: Vec<&str> = rs
+            .rows
+            .iter()
+            .map(|r| r[rs.column_index("person.name").unwrap()].as_text().unwrap())
+            .collect();
+        assert!(names.contains(&"George Clooney"));
+    }
+
+    #[test]
+    fn unbound_parameter_is_rejected_up_front() {
+        let db = movie_db();
+        let b = QueryBuilder::new(&db).table("movie").unwrap();
+        let title = b.col(0, "title").unwrap();
+        let q = b.filter(Predicate::eq_param(title, "x")).build();
+        assert!(matches!(db.execute(&q), Err(Error::UnboundParameter(_))));
+    }
+
+    #[test]
+    fn projection_selects_columns() {
+        let db = movie_db();
+        let b = QueryBuilder::new(&db)
+            .table("person")
+            .unwrap()
+            .table("cast")
+            .unwrap()
+            .join(0, "id", 1, "person_id")
+            .unwrap();
+        let name = b.col(0, "name").unwrap();
+        let q = b.project(vec![name]).build();
+        let rs = db.execute(&q).unwrap();
+        assert_eq!(rs.columns, vec!["person.name"]);
+        assert_eq!(rs.rows[0].len(), 1);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let db = movie_db();
+        let b = QueryBuilder::new(&db)
+            .table("person")
+            .unwrap()
+            .table("cast")
+            .unwrap()
+            .join(0, "id", 1, "person_id")
+            .unwrap();
+        let q = b.limit(2).build();
+        assert_eq!(db.execute(&q).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop() {
+        let db = movie_db();
+        let b = QueryBuilder::new(&db)
+            .table("person")
+            .unwrap()
+            .table("cast")
+            .unwrap()
+            .table("movie")
+            .unwrap()
+            .join(0, "id", 1, "person_id")
+            .unwrap()
+            .join(1, "movie_id", 2, "id")
+            .unwrap();
+        let q = b.build();
+        let fast = db.execute(&q).unwrap().sorted();
+        let slow = execute_nested_loop(&db, &q, &Binding::empty()).unwrap().sorted();
+        assert_eq!(fast.rows, slow.rows);
+        assert_eq!(fast.columns, slow.columns);
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let mut db = Database::new("d");
+        db.create_table(
+            TableSchema::new("a")
+                .column(ColumnDef::new("k", DataType::Int))
+                .column(ColumnDef::new("v", DataType::Text)),
+        )
+        .unwrap();
+        db.create_table(TableSchema::new("b").column(ColumnDef::new("k", DataType::Int)))
+            .unwrap();
+        db.insert("a", vec![Value::Null, "null-key".into()]).unwrap();
+        db.insert("a", vec![1.into(), "one".into()]).unwrap();
+        db.insert("b", vec![Value::Null]).unwrap();
+        db.insert("b", vec![1.into()]).unwrap();
+        let q = QueryBuilder::new(&db)
+            .table("a")
+            .unwrap()
+            .table("b")
+            .unwrap()
+            .join(0, "k", 1, "k")
+            .unwrap()
+            .build();
+        let rs = db.execute(&q).unwrap();
+        assert_eq!(rs.len(), 1); // only the non-null pair
+    }
+
+    #[test]
+    fn result_set_rendering() {
+        let db = movie_db();
+        let q = Query::scan(db.catalog().table_id("movie").unwrap());
+        let rs = db.execute(&q).unwrap();
+        let s = rs.to_table_string();
+        assert!(s.contains("movie.title"));
+        assert!(s.contains("Solaris"));
+    }
+
+    #[test]
+    fn empty_from_list_yields_empty() {
+        let db = movie_db();
+        let q = Query { tables: vec![], joins: vec![], predicate: Predicate::True, projection: None, limit: None };
+        let rs = db.execute(&q).unwrap();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn index_accelerated_seed_same_answer() {
+        let mut db = movie_db();
+        let cast_id = db.catalog().table_id("cast").unwrap();
+        let pid_col =
+            db.catalog().table(cast_id).unwrap().column_index("person_id").unwrap();
+        db.table_mut(cast_id).unwrap().create_index(pid_col).unwrap();
+        let b = QueryBuilder::new(&db).table("cast").unwrap();
+        let pid = b.col(0, "person_id").unwrap();
+        let q = b.filter(Predicate::eq(pid, 1)).build();
+        assert_eq!(db.execute(&q).unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,331 @@
+//! Predicate expressions evaluated over joined rows.
+//!
+//! A predicate is evaluated against a *row context*: the concatenation of one
+//! row from each table in the query's FROM list. Columns are addressed by
+//! [`ColRef`] — `(FROM position, column ordinal)` — so the same predicate can
+//! be reused across self-joins.
+//!
+//! Parameters (`$name`) support qunit base expressions: a definition such as
+//! `movie.title = "$x"` stays unbound in the stored view and is resolved at
+//! materialization time via a [`crate::query::Binding`].
+
+use crate::error::{Error, Result};
+use crate::query::Binding;
+use crate::tuple::Row;
+use crate::types::Value;
+use serde::{Deserialize, Serialize};
+
+/// Reference to a column of a table in the query's FROM list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColRef {
+    /// Position in the FROM list (not a table id: self-joins get distinct positions).
+    pub table: usize,
+    /// Column ordinal within that table.
+    pub column: usize,
+}
+
+impl ColRef {
+    /// Construct a column reference.
+    pub fn new(table: usize, column: usize) -> Self {
+        ColRef { table, column }
+    }
+}
+
+/// Comparison operator for scalar predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// SQL spelling of the operator.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    fn eval(&self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less)
+                | (CmpOp::Ne, Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less)
+                | (CmpOp::Le, Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater)
+                | (CmpOp::Ge, Equal)
+        )
+    }
+}
+
+/// A boolean predicate over a row context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always true (the empty WHERE clause).
+    True,
+    /// `col OP literal`. Comparisons against NULL are false (SQL-ish).
+    Cmp(ColRef, CmpOp, Value),
+    /// `col OP $param`, resolved through the binding at evaluation time.
+    CmpParam(ColRef, CmpOp, String),
+    /// Case-insensitive substring containment on a text column.
+    Contains(ColRef, String),
+    /// `col IS NULL`.
+    IsNull(ColRef),
+    /// Column-to-column equality (theta join residue).
+    ColEq(ColRef, ColRef),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `self AND other`, simplifying `True` away.
+    pub fn and(self, other: Predicate) -> Predicate {
+        match (self, other) {
+            (Predicate::True, p) | (p, Predicate::True) => p,
+            (a, b) => Predicate::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Shorthand for `col = value`.
+    pub fn eq(col: ColRef, value: impl Into<Value>) -> Predicate {
+        Predicate::Cmp(col, CmpOp::Eq, value.into())
+    }
+
+    /// Shorthand for `col = $param`.
+    pub fn eq_param(col: ColRef, param: impl Into<String>) -> Predicate {
+        Predicate::CmpParam(col, CmpOp::Eq, param.into())
+    }
+
+    /// Evaluate against a row context (one row per FROM table), resolving
+    /// parameters through `binding`.
+    pub fn eval(&self, ctx: &[&Row], binding: &Binding) -> Result<bool> {
+        match self {
+            Predicate::True => Ok(true),
+            Predicate::Cmp(col, op, lit) => {
+                let v = fetch(ctx, *col)?;
+                if v.is_null() || lit.is_null() {
+                    return Ok(false);
+                }
+                Ok(op.eval(v.cmp(lit)))
+            }
+            Predicate::CmpParam(col, op, name) => {
+                let lit = binding
+                    .get(name)
+                    .ok_or_else(|| Error::UnboundParameter(name.clone()))?;
+                let v = fetch(ctx, *col)?;
+                if v.is_null() || lit.is_null() {
+                    return Ok(false);
+                }
+                Ok(op.eval(v.cmp(lit)))
+            }
+            Predicate::Contains(col, needle) => {
+                let v = fetch(ctx, *col)?;
+                Ok(v.as_text()
+                    .map(|s| s.to_lowercase().contains(&needle.to_lowercase()))
+                    .unwrap_or(false))
+            }
+            Predicate::IsNull(col) => Ok(fetch(ctx, *col)?.is_null()),
+            Predicate::ColEq(a, b) => {
+                let va = fetch(ctx, *a)?;
+                let vb = fetch(ctx, *b)?;
+                if va.is_null() || vb.is_null() {
+                    return Ok(false);
+                }
+                Ok(va == vb)
+            }
+            Predicate::And(a, b) => Ok(a.eval(ctx, binding)? && b.eval(ctx, binding)?),
+            Predicate::Or(a, b) => Ok(a.eval(ctx, binding)? || b.eval(ctx, binding)?),
+            Predicate::Not(p) => Ok(!p.eval(ctx, binding)?),
+        }
+    }
+
+    /// Names of all parameters appearing in this predicate.
+    pub fn parameters(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_params(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_params(&self, out: &mut Vec<String>) {
+        match self {
+            Predicate::CmpParam(_, _, name) => out.push(name.clone()),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+            Predicate::Not(p) => p.collect_params(out),
+            _ => {}
+        }
+    }
+
+    /// Equality constraints `(col, value)` that this predicate definitely
+    /// imposes (conjunctive prefix only) — used by the executor to pick
+    /// index-backed access paths.
+    pub fn conjunctive_eq_constraints(&self, binding: &Binding) -> Vec<(ColRef, Value)> {
+        let mut out = Vec::new();
+        self.collect_eq(binding, &mut out);
+        out
+    }
+
+    fn collect_eq(&self, binding: &Binding, out: &mut Vec<(ColRef, Value)>) {
+        match self {
+            Predicate::Cmp(col, CmpOp::Eq, v) => out.push((*col, v.clone())),
+            Predicate::CmpParam(col, CmpOp::Eq, name) => {
+                if let Some(v) = binding.get(name) {
+                    out.push((*col, v.clone()));
+                }
+            }
+            Predicate::And(a, b) => {
+                a.collect_eq(binding, out);
+                b.collect_eq(binding, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn fetch<'a>(ctx: &'a [&Row], col: ColRef) -> Result<&'a Value> {
+    let row = ctx.get(col.table).ok_or(Error::BadTableIndex(col.table))?;
+    row.get(col.column).ok_or(Error::BadTableIndex(col.table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_rows() -> Vec<Row> {
+        vec![
+            Row::new(vec![1.into(), "George Clooney".into()]),
+            Row::new(vec![10.into(), "Ocean's Eleven".into(), Value::Null]),
+        ]
+    }
+
+    fn eval(p: &Predicate, rows: &[Row]) -> bool {
+        let ctx: Vec<&Row> = rows.iter().collect();
+        p.eval(&ctx, &Binding::empty()).unwrap()
+    }
+
+    #[test]
+    fn eq_and_ne() {
+        let rows = ctx_rows();
+        assert!(eval(&Predicate::eq(ColRef::new(0, 0), 1), &rows));
+        assert!(!eval(&Predicate::eq(ColRef::new(0, 0), 2), &rows));
+        assert!(eval(&Predicate::Cmp(ColRef::new(0, 0), CmpOp::Ne, 2.into()), &rows));
+    }
+
+    #[test]
+    fn ordering_comparisons() {
+        let rows = ctx_rows();
+        let c = ColRef::new(1, 0);
+        assert!(eval(&Predicate::Cmp(c, CmpOp::Gt, 5.into()), &rows));
+        assert!(eval(&Predicate::Cmp(c, CmpOp::Le, 10.into()), &rows));
+        assert!(!eval(&Predicate::Cmp(c, CmpOp::Lt, 10.into()), &rows));
+        assert!(eval(&Predicate::Cmp(c, CmpOp::Ge, 10.into()), &rows));
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let rows = ctx_rows();
+        let null_col = ColRef::new(1, 2);
+        assert!(!eval(&Predicate::eq(null_col, 1), &rows));
+        assert!(!eval(&Predicate::Cmp(null_col, CmpOp::Ne, 1.into()), &rows));
+        assert!(eval(&Predicate::IsNull(null_col), &rows));
+        assert!(!eval(&Predicate::IsNull(ColRef::new(0, 0)), &rows));
+    }
+
+    #[test]
+    fn contains_is_case_insensitive() {
+        let rows = ctx_rows();
+        assert!(eval(&Predicate::Contains(ColRef::new(0, 1), "CLOONEY".into()), &rows));
+        assert!(!eval(&Predicate::Contains(ColRef::new(0, 1), "pitt".into()), &rows));
+        // Contains on a non-text value is false, not an error.
+        assert!(!eval(&Predicate::Contains(ColRef::new(0, 0), "1".into()), &rows));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let rows = ctx_rows();
+        let t = Predicate::eq(ColRef::new(0, 0), 1);
+        let f = Predicate::eq(ColRef::new(0, 0), 2);
+        assert!(eval(&t.clone().and(f.clone()).or(t.clone()), &rows));
+        assert!(!eval(&Predicate::Not(Box::new(t.clone())), &rows));
+        // `True` simplification in and()
+        assert_eq!(Predicate::True.and(t.clone()), t);
+    }
+
+    #[test]
+    fn col_eq_across_tables() {
+        let rows =
+            vec![Row::new(vec![5.into(), "x".into()]), Row::new(vec![5.into(), "y".into()])];
+        assert!(eval(&Predicate::ColEq(ColRef::new(0, 0), ColRef::new(1, 0)), &rows));
+        assert!(!eval(&Predicate::ColEq(ColRef::new(0, 1), ColRef::new(1, 1)), &rows));
+    }
+
+    #[test]
+    fn params_resolve_through_binding() {
+        let rows = ctx_rows();
+        let ctx: Vec<&Row> = rows.iter().collect();
+        let p = Predicate::eq_param(ColRef::new(0, 1), "x");
+        let mut b = Binding::empty();
+        b.set("x", "George Clooney");
+        assert!(p.eval(&ctx, &b).unwrap());
+        let err = p.eval(&ctx, &Binding::empty()).unwrap_err();
+        assert_eq!(err, Error::UnboundParameter("x".into()));
+        assert_eq!(p.parameters(), vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn conjunctive_eq_extraction() {
+        let p = Predicate::eq(ColRef::new(0, 0), 1)
+            .and(Predicate::eq_param(ColRef::new(1, 1), "t"))
+            .and(Predicate::Contains(ColRef::new(0, 1), "x".into()));
+        let mut b = Binding::empty();
+        b.set("t", "star wars");
+        let cs = p.conjunctive_eq_constraints(&b);
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].0, ColRef::new(0, 0));
+        assert_eq!(cs[1].1, Value::from("star wars"));
+        // disjunctions contribute nothing
+        let q = Predicate::eq(ColRef::new(0, 0), 1).or(Predicate::eq(ColRef::new(0, 0), 2));
+        assert!(q.conjunctive_eq_constraints(&Binding::empty()).is_empty());
+    }
+
+    #[test]
+    fn bad_table_index_is_error() {
+        let rows = ctx_rows();
+        let ctx: Vec<&Row> = rows.iter().collect();
+        let p = Predicate::eq(ColRef::new(9, 0), 1);
+        assert!(matches!(p.eval(&ctx, &Binding::empty()), Err(Error::BadTableIndex(9))));
+    }
+}

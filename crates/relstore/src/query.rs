@@ -1,0 +1,358 @@
+//! Logical queries: select-project-join trees with parameter bindings.
+//!
+//! A [`Query`] is the *base expression* shape from the paper: a list of
+//! tables, equi-join edges connecting them, a filter predicate (possibly
+//! parameterized), and a projection. [`QueryBuilder`] offers an ergonomic way
+//! to assemble one against a live database, resolving names to ordinals.
+
+use crate::database::Database;
+use crate::error::{Error, Result};
+use crate::expr::{ColRef, Predicate};
+use crate::schema::TableId;
+use crate::types::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Values supplied for query parameters at execution time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Binding {
+    values: HashMap<String, Value>,
+}
+
+impl Binding {
+    /// No bindings.
+    pub fn empty() -> Self {
+        Binding::default()
+    }
+
+    /// Bind `name` to `value` (builder style available via [`Binding::with`]).
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        self.values.insert(name.into(), value.into());
+    }
+
+    /// Builder-style bind.
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Look up a binding.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.values.get(name)
+    }
+
+    /// Number of bound parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True iff nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// An equi-join between two FROM positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct JoinEdge {
+    /// Left FROM position.
+    pub left: usize,
+    /// Column ordinal on the left table.
+    pub left_col: usize,
+    /// Right FROM position.
+    pub right: usize,
+    /// Column ordinal on the right table.
+    pub right_col: usize,
+}
+
+impl JoinEdge {
+    /// Construct a join edge.
+    pub fn new(left: usize, left_col: usize, right: usize, right_col: usize) -> Self {
+        JoinEdge { left, left_col, right, right_col }
+    }
+}
+
+/// A logical select-project-join query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Table ids in FROM order. Positions index into this list.
+    pub tables: Vec<TableId>,
+    /// Equi-join edges connecting FROM positions.
+    pub joins: Vec<JoinEdge>,
+    /// Filter over the joined row context.
+    pub predicate: Predicate,
+    /// Output columns; `None` means `SELECT *`.
+    pub projection: Option<Vec<ColRef>>,
+    /// Optional LIMIT.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// A full scan of a single table.
+    pub fn scan(table: TableId) -> Self {
+        Query {
+            tables: vec![table],
+            joins: Vec::new(),
+            predicate: Predicate::True,
+            projection: None,
+            limit: None,
+        }
+    }
+
+    /// All parameters mentioned by the predicate.
+    pub fn parameters(&self) -> Vec<String> {
+        self.predicate.parameters()
+    }
+
+    /// Verify structural sanity against a database: table ids exist, join
+    /// and projection columns are in range, and (when more than one table)
+    /// the join graph connects every FROM position.
+    pub fn validate(&self, db: &Database) -> Result<()> {
+        for &t in &self.tables {
+            if db.catalog().table(t).is_none() {
+                return Err(Error::UnknownTable(format!("#{t}")));
+            }
+        }
+        let arity = |pos: usize| -> Result<usize> {
+            let t = *self.tables.get(pos).ok_or(Error::BadTableIndex(pos))?;
+            Ok(db.catalog().table(t).expect("checked above").arity())
+        };
+        for j in &self.joins {
+            if j.left_col >= arity(j.left)? || j.right_col >= arity(j.right)? {
+                return Err(Error::BadTableIndex(j.left.max(j.right)));
+            }
+        }
+        if let Some(proj) = &self.projection {
+            for c in proj {
+                if c.column >= arity(c.table)? {
+                    return Err(Error::BadTableIndex(c.table));
+                }
+            }
+        }
+        // connectivity
+        if self.tables.len() > 1 {
+            let mut seen = vec![false; self.tables.len()];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            while let Some(pos) = stack.pop() {
+                for j in &self.joins {
+                    let other = if j.left == pos {
+                        Some(j.right)
+                    } else if j.right == pos {
+                        Some(j.left)
+                    } else {
+                        None
+                    };
+                    if let Some(o) = other {
+                        if o < seen.len() && !seen[o] {
+                            seen[o] = true;
+                            stack.push(o);
+                        }
+                    }
+                }
+            }
+            if let Some(pos) = seen.iter().position(|s| !s) {
+                let name = db
+                    .catalog()
+                    .table(self.tables[pos])
+                    .map(|t| t.name.clone())
+                    .unwrap_or_default();
+                return Err(Error::DisconnectedJoin { table: name });
+            }
+        }
+        Ok(())
+    }
+
+    /// The set of FROM positions, paired with their table ids.
+    pub fn positions(&self) -> impl Iterator<Item = (usize, TableId)> + '_ {
+        self.tables.iter().copied().enumerate()
+    }
+}
+
+/// Fluent builder resolving table and column names against a database.
+pub struct QueryBuilder<'a> {
+    db: &'a Database,
+    tables: Vec<TableId>,
+    joins: Vec<JoinEdge>,
+    predicate: Predicate,
+    projection: Option<Vec<ColRef>>,
+    limit: Option<usize>,
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// Start building against `db`.
+    pub fn new(db: &'a Database) -> Self {
+        QueryBuilder {
+            db,
+            tables: Vec::new(),
+            joins: Vec::new(),
+            predicate: Predicate::True,
+            projection: None,
+            limit: None,
+        }
+    }
+
+    /// Append a table to the FROM list.
+    pub fn table(mut self, name: &str) -> Result<Self> {
+        let id = self
+            .db
+            .catalog()
+            .table_id(name)
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))?;
+        self.tables.push(id);
+        Ok(self)
+    }
+
+    /// Resolve `"pos.column"`-style reference: `pos` is the FROM position of
+    /// the table added `pos`-th (0-based), `column` a column name.
+    pub fn col(&self, pos: usize, column: &str) -> Result<ColRef> {
+        let tid = *self.tables.get(pos).ok_or(Error::BadTableIndex(pos))?;
+        let schema = self.db.catalog().table(tid).expect("table id valid");
+        let c = schema.column_index(column).ok_or_else(|| Error::UnknownColumn {
+            table: schema.name.clone(),
+            column: column.to_string(),
+        })?;
+        Ok(ColRef::new(pos, c))
+    }
+
+    /// Add an equi-join between two FROM positions by column name.
+    pub fn join(mut self, lpos: usize, lcol: &str, rpos: usize, rcol: &str) -> Result<Self> {
+        let l = self.col(lpos, lcol)?;
+        let r = self.col(rpos, rcol)?;
+        self.joins.push(JoinEdge::new(l.table, l.column, r.table, r.column));
+        Ok(self)
+    }
+
+    /// AND a predicate into the filter.
+    pub fn filter(mut self, p: Predicate) -> Self {
+        self.predicate = std::mem::replace(&mut self.predicate, Predicate::True).and(p);
+        self
+    }
+
+    /// Set the projection (replacing any previous one).
+    pub fn project(mut self, cols: Vec<ColRef>) -> Self {
+        self.projection = Some(cols);
+        self
+    }
+
+    /// Set a LIMIT.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Query {
+        Query {
+            tables: self.tables,
+            joins: self.joins,
+            predicate: self.predicate,
+            projection: self.projection,
+            limit: self.limit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, TableSchema};
+    use crate::types::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::new("t");
+        db.create_table(
+            TableSchema::new("person")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("name", DataType::Text))
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("cast")
+                .column(ColumnDef::new("person_id", DataType::Int))
+                .column(ColumnDef::new("movie_id", DataType::Int)),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn builder_resolves_names() {
+        let db = db();
+        let q = QueryBuilder::new(&db)
+            .table("person")
+            .unwrap()
+            .table("cast")
+            .unwrap()
+            .join(0, "id", 1, "person_id")
+            .unwrap()
+            .limit(5)
+            .build();
+        assert_eq!(q.tables.len(), 2);
+        assert_eq!(q.joins, vec![JoinEdge::new(0, 0, 1, 0)]);
+        assert_eq!(q.limit, Some(5));
+        assert!(q.validate(&db).is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_unknown_names() {
+        let db = db();
+        assert!(matches!(
+            QueryBuilder::new(&db).table("ghost"),
+            Err(Error::UnknownTable(_))
+        ));
+        let b = QueryBuilder::new(&db).table("person").unwrap();
+        assert!(matches!(b.col(0, "ghost"), Err(Error::UnknownColumn { .. })));
+        assert!(matches!(b.col(7, "id"), Err(Error::BadTableIndex(7))));
+    }
+
+    #[test]
+    fn validate_rejects_disconnected_join() {
+        let db = db();
+        let q = QueryBuilder::new(&db)
+            .table("person")
+            .unwrap()
+            .table("cast")
+            .unwrap()
+            .build(); // no join edge
+        assert!(matches!(q.validate(&db), Err(Error::DisconnectedJoin { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_bad_columns() {
+        let db = db();
+        let mut q = Query::scan(0);
+        q.projection = Some(vec![ColRef::new(0, 99)]);
+        assert!(q.validate(&db).is_err());
+    }
+
+    #[test]
+    fn binding_roundtrip() {
+        let b = Binding::empty().with("x", 1).with("y", "star wars");
+        assert_eq!(b.get("x"), Some(&Value::from(1)));
+        assert_eq!(b.get("y"), Some(&Value::from("star wars")));
+        assert_eq!(b.get("z"), None);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn query_parameters_surface() {
+        let db = db();
+        let b = QueryBuilder::new(&db).table("person").unwrap();
+        let c = b.col(0, "name").unwrap();
+        let q = b.filter(Predicate::eq_param(c, "x")).build();
+        assert_eq!(q.parameters(), vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn filter_accumulates_with_and() {
+        let db = db();
+        let b = QueryBuilder::new(&db).table("person").unwrap();
+        let c0 = b.col(0, "id").unwrap();
+        let c1 = b.col(0, "name").unwrap();
+        let q = b.filter(Predicate::eq(c0, 1)).filter(Predicate::eq(c1, "x")).build();
+        assert!(matches!(q.predicate, Predicate::And(_, _)));
+    }
+}

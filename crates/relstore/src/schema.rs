@@ -1,0 +1,396 @@
+//! Schema catalog: table definitions, columns, keys, and the schema graph.
+//!
+//! The schema graph (tables as nodes, foreign keys as edges) is the object
+//! that most of the qunits machinery walks: queriability scoring, join-plan
+//! construction from query logs, and qunit base-expression expansion all
+//! operate on [`Catalog::edges`] / [`Catalog::neighbors`].
+
+use crate::error::{Error, Result};
+use crate::types::DataType;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of a table within its [`Catalog`]. Stable for the catalog lifetime.
+pub type TableId = usize;
+
+/// Definition of one column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+    /// Whether NULL is accepted.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// A new nullable column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef { name: name.into(), dtype, nullable: true }
+    }
+
+    /// Mark the column NOT NULL.
+    pub fn not_null(mut self) -> Self {
+        self.nullable = false;
+        self
+    }
+}
+
+/// A foreign-key constraint: `columns[column]` references
+/// `ref_table.ref_column` (which should be that table's primary key).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForeignKey {
+    /// Ordinal of the referencing column in the owning table.
+    pub column: usize,
+    /// Name of the referenced table.
+    pub ref_table: String,
+    /// Name of the referenced column.
+    pub ref_column: String,
+}
+
+/// Definition of one table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name, unique within the catalog.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Ordinal of the primary-key column, if declared.
+    pub primary_key: Option<usize>,
+    /// Outgoing foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    /// Start a new table definition.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns: Vec::new(),
+            primary_key: None,
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Append a column (builder style).
+    pub fn column(mut self, def: ColumnDef) -> Self {
+        self.columns.push(def);
+        self
+    }
+
+    /// Declare `name` as the primary key. Panics if the column is unknown —
+    /// schemas are built by code, so this is a programming error.
+    pub fn primary_key(mut self, name: &str) -> Self {
+        let idx = self
+            .column_index(name)
+            .unwrap_or_else(|| panic!("primary_key: no column `{name}` in `{}`", self.name));
+        self.primary_key = Some(idx);
+        self
+    }
+
+    /// Declare a foreign key from column `col` to `ref_table.ref_column`.
+    /// Panics if `col` is unknown (programming error at schema build time).
+    pub fn foreign_key(mut self, col: &str, ref_table: &str, ref_column: &str) -> Self {
+        let idx = self
+            .column_index(col)
+            .unwrap_or_else(|| panic!("foreign_key: no column `{col}` in `{}`", self.name));
+        self.foreign_keys.push(ForeignKey {
+            column: idx,
+            ref_table: ref_table.to_string(),
+            ref_column: ref_column.to_string(),
+        });
+        self
+    }
+
+    /// Ordinal of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// One edge of the schema graph, always stored in the direction of the
+/// foreign key (from referencing table to referenced table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SchemaEdge {
+    /// Referencing table.
+    pub from_table: TableId,
+    /// Referencing column ordinal in `from_table`.
+    pub from_column: usize,
+    /// Referenced table.
+    pub to_table: TableId,
+    /// Referenced column ordinal in `to_table`.
+    pub to_column: usize,
+}
+
+/// The set of table schemas plus derived structures (name lookup, schema
+/// graph).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: Vec<TableSchema>,
+    #[serde(skip)]
+    by_name: HashMap<String, TableId>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Add a table schema, validating name uniqueness and key declarations.
+    pub fn add_table(&mut self, schema: TableSchema) -> Result<TableId> {
+        if self.by_name.contains_key(&schema.name) {
+            return Err(Error::DuplicateTable(schema.name));
+        }
+        if schema.columns.is_empty() {
+            return Err(Error::InvalidSchema(format!("table `{}` has no columns", schema.name)));
+        }
+        let mut seen = HashMap::with_capacity(schema.columns.len());
+        for (i, c) in schema.columns.iter().enumerate() {
+            if let Some(prev) = seen.insert(c.name.clone(), i) {
+                return Err(Error::InvalidSchema(format!(
+                    "table `{}` declares column `{}` twice (ordinals {} and {})",
+                    schema.name, c.name, prev, i
+                )));
+            }
+        }
+        let id = self.tables.len();
+        self.by_name.insert(schema.name.clone(), id);
+        self.tables.push(schema);
+        Ok(id)
+    }
+
+    /// Validate all foreign keys now that every table is registered. Call
+    /// once after schema construction.
+    pub fn validate(&self) -> Result<()> {
+        for t in &self.tables {
+            for fk in &t.foreign_keys {
+                let target = self
+                    .table_id(&fk.ref_table)
+                    .ok_or_else(|| Error::InvalidSchema(format!(
+                        "`{}` has FK to unknown table `{}`",
+                        t.name, fk.ref_table
+                    )))?;
+                let target_schema = &self.tables[target];
+                if target_schema.column_index(&fk.ref_column).is_none() {
+                    return Err(Error::InvalidSchema(format!(
+                        "`{}` has FK to unknown column `{}.{}`",
+                        t.name, fk.ref_table, fk.ref_column
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lookup a table id by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Access a table schema by id.
+    pub fn table(&self, id: TableId) -> Option<&TableSchema> {
+        self.tables.get(id)
+    }
+
+    /// Access a table schema by name.
+    pub fn table_by_name(&self, name: &str) -> Option<&TableSchema> {
+        self.table_id(name).map(|id| &self.tables[id])
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True iff the catalog has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Iterate over `(id, schema)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &TableSchema)> {
+        self.tables.iter().enumerate()
+    }
+
+    /// All foreign-key edges of the schema graph.
+    pub fn edges(&self) -> Vec<SchemaEdge> {
+        let mut out = Vec::new();
+        for (id, t) in self.iter() {
+            for fk in &t.foreign_keys {
+                if let Some(to) = self.table_id(&fk.ref_table) {
+                    if let Some(to_col) = self.tables[to].column_index(&fk.ref_column) {
+                        out.push(SchemaEdge {
+                            from_table: id,
+                            from_column: fk.column,
+                            to_table: to,
+                            to_column: to_col,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Undirected neighbors of `table` in the schema graph, with the edge
+    /// that connects them (edge kept in FK direction).
+    pub fn neighbors(&self, table: TableId) -> Vec<(TableId, SchemaEdge)> {
+        let mut out = Vec::new();
+        for e in self.edges() {
+            if e.from_table == table {
+                out.push((e.to_table, e));
+            } else if e.to_table == table {
+                out.push((e.from_table, e));
+            }
+        }
+        out
+    }
+
+    /// Rebuild the name lookup (needed after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.by_name =
+            self.tables.iter().enumerate().map(|(i, t)| (t.name.clone(), i)).collect();
+    }
+
+    /// Fully-qualified `table.column` display name.
+    pub fn qualified(&self, table: TableId, column: usize) -> String {
+        match self.table(table) {
+            Some(t) => match t.columns.get(column) {
+                Some(c) => format!("{}.{}", t.name, c.name),
+                None => format!("{}.#{}", t.name, column),
+            },
+            None => format!("#{table}.#{column}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn movie_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            TableSchema::new("person")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("name", DataType::Text))
+                .primary_key("id"),
+        )
+        .unwrap();
+        cat.add_table(
+            TableSchema::new("movie")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("title", DataType::Text))
+                .primary_key("id"),
+        )
+        .unwrap();
+        cat.add_table(
+            TableSchema::new("cast")
+                .column(ColumnDef::new("person_id", DataType::Int).not_null())
+                .column(ColumnDef::new("movie_id", DataType::Int).not_null())
+                .foreign_key("person_id", "person", "id")
+                .foreign_key("movie_id", "movie", "id"),
+        )
+        .unwrap();
+        cat
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let cat = movie_catalog();
+        assert_eq!(cat.len(), 3);
+        assert_eq!(cat.table_id("movie"), Some(1));
+        assert_eq!(cat.table_by_name("cast").unwrap().arity(), 2);
+        assert!(cat.table_id("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut cat = movie_catalog();
+        let err = cat
+            .add_table(TableSchema::new("movie").column(ColumnDef::new("x", DataType::Int)))
+            .unwrap_err();
+        assert_eq!(err, Error::DuplicateTable("movie".into()));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let mut cat = Catalog::new();
+        let err = cat
+            .add_table(
+                TableSchema::new("t")
+                    .column(ColumnDef::new("a", DataType::Int))
+                    .column(ColumnDef::new("a", DataType::Text)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        let mut cat = Catalog::new();
+        assert!(matches!(
+            cat.add_table(TableSchema::new("empty")),
+            Err(Error::InvalidSchema(_))
+        ));
+    }
+
+    #[test]
+    fn schema_graph_edges() {
+        let cat = movie_catalog();
+        let edges = cat.edges();
+        assert_eq!(edges.len(), 2);
+        let cast = cat.table_id("cast").unwrap();
+        assert!(edges.iter().all(|e| e.from_table == cast));
+    }
+
+    #[test]
+    fn neighbors_are_undirected() {
+        let cat = movie_catalog();
+        let movie = cat.table_id("movie").unwrap();
+        let cast = cat.table_id("cast").unwrap();
+        let n: Vec<TableId> = cat.neighbors(movie).into_iter().map(|(t, _)| t).collect();
+        assert_eq!(n, vec![cast]);
+        let n: Vec<TableId> = cat.neighbors(cast).into_iter().map(|(t, _)| t).collect();
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn validate_catches_bad_fk() {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            TableSchema::new("a")
+                .column(ColumnDef::new("x", DataType::Int))
+                .foreign_key("x", "ghost", "id"),
+        )
+        .unwrap();
+        assert!(matches!(cat.validate(), Err(Error::InvalidSchema(_))));
+    }
+
+    #[test]
+    fn validate_ok_for_movie_catalog() {
+        assert!(movie_catalog().validate().is_ok());
+    }
+
+    #[test]
+    fn qualified_names() {
+        let cat = movie_catalog();
+        assert_eq!(cat.qualified(0, 1), "person.name");
+        assert_eq!(cat.qualified(9, 9), "#9.#9");
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn unknown_pk_panics() {
+        let _ = TableSchema::new("t")
+            .column(ColumnDef::new("a", DataType::Int))
+            .primary_key("missing");
+    }
+}

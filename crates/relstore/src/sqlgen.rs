@@ -1,0 +1,203 @@
+//! Render logical queries back to SQL text. Used to display qunit base
+//! expressions the way the paper writes them (`SELECT * FROM person, cast,
+//! movie WHERE ... AND movie.title = "$x"`).
+
+use crate::database::Database;
+use crate::expr::{ColRef, Predicate};
+use crate::query::Query;
+
+/// Render `query` as SQL against `db`'s catalog. Tables are aliased `t0,
+/// t1, …` only when a table appears more than once; otherwise bare names are
+/// used, matching the paper's presentation.
+pub fn render_sql(db: &Database, query: &Query) -> String {
+    let needs_alias = {
+        let mut seen = std::collections::HashSet::new();
+        query.tables.iter().any(|t| !seen.insert(*t))
+    };
+
+    let table_name = |pos: usize| -> String {
+        let tid = query.tables[pos];
+        let name =
+            db.catalog().table(tid).map(|t| t.name.clone()).unwrap_or(format!("#{tid}"));
+        if needs_alias {
+            format!("{name} AS t{pos}")
+        } else {
+            name
+        }
+    };
+    let col_name = |c: &ColRef| -> String {
+        let tid = query.tables[c.table];
+        let t = db.catalog().table(tid);
+        let col = t
+            .and_then(|t| t.columns.get(c.column))
+            .map(|cd| cd.name.clone())
+            .unwrap_or(format!("#{}", c.column));
+        if needs_alias {
+            format!("t{}.{col}", c.table)
+        } else {
+            let tname = t.map(|t| t.name.clone()).unwrap_or(format!("#{tid}"));
+            format!("{tname}.{col}")
+        }
+    };
+
+    let select = match &query.projection {
+        None => "*".to_string(),
+        Some(cols) => cols.iter().map(&col_name).collect::<Vec<_>>().join(", "),
+    };
+    let from = (0..query.tables.len()).map(table_name).collect::<Vec<_>>().join(", ");
+
+    let mut conds: Vec<String> = query
+        .joins
+        .iter()
+        .map(|j| {
+            format!(
+                "{} = {}",
+                col_name(&ColRef::new(j.left, j.left_col)),
+                col_name(&ColRef::new(j.right, j.right_col))
+            )
+        })
+        .collect();
+    if let Some(p) = render_predicate(&query.predicate, &col_name) {
+        conds.push(p);
+    }
+
+    let mut sql = format!("SELECT {select} FROM {from}");
+    if !conds.is_empty() {
+        sql.push_str(" WHERE ");
+        sql.push_str(&conds.join(" AND "));
+    }
+    if let Some(n) = query.limit {
+        sql.push_str(&format!(" LIMIT {n}"));
+    }
+    sql
+}
+
+fn render_predicate(p: &Predicate, col_name: &impl Fn(&ColRef) -> String) -> Option<String> {
+    match p {
+        Predicate::True => None,
+        Predicate::Cmp(c, op, v) => {
+            Some(format!("{} {} {}", col_name(c), op.sql(), v.display_sql()))
+        }
+        Predicate::CmpParam(c, op, name) => {
+            Some(format!("{} {} \"${}\"", col_name(c), op.sql(), name))
+        }
+        Predicate::Contains(c, s) => {
+            Some(format!("{} LIKE '%{}%'", col_name(c), s.replace('\'', "''")))
+        }
+        Predicate::IsNull(c) => Some(format!("{} IS NULL", col_name(c))),
+        Predicate::ColEq(a, b) => Some(format!("{} = {}", col_name(a), col_name(b))),
+        Predicate::And(a, b) => match (render_predicate(a, col_name), render_predicate(b, col_name)) {
+            (Some(x), Some(y)) => Some(format!("{x} AND {y}")),
+            (Some(x), None) | (None, Some(x)) => Some(x),
+            (None, None) => None,
+        },
+        Predicate::Or(a, b) => {
+            let x = render_predicate(a, col_name).unwrap_or_else(|| "TRUE".into());
+            let y = render_predicate(b, col_name).unwrap_or_else(|| "TRUE".into());
+            Some(format!("({x} OR {y})"))
+        }
+        Predicate::Not(inner) => {
+            let x = render_predicate(inner, col_name).unwrap_or_else(|| "TRUE".into());
+            Some(format!("NOT ({x})"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+    use crate::schema::{ColumnDef, TableSchema};
+    use crate::types::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::new("d");
+        db.create_table(
+            TableSchema::new("person")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("name", DataType::Text))
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("cast")
+                .column(ColumnDef::new("person_id", DataType::Int))
+                .column(ColumnDef::new("movie_id", DataType::Int)),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("movie")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("title", DataType::Text))
+                .primary_key("id"),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn renders_paper_style_base_expression() {
+        let db = db();
+        let b = QueryBuilder::new(&db)
+            .table("person")
+            .unwrap()
+            .table("cast")
+            .unwrap()
+            .table("movie")
+            .unwrap()
+            .join(1, "movie_id", 2, "id")
+            .unwrap()
+            .join(1, "person_id", 0, "id")
+            .unwrap();
+        let title = b.col(2, "title").unwrap();
+        let q = b.filter(Predicate::eq_param(title, "x")).build();
+        let sql = render_sql(&db, &q);
+        assert_eq!(
+            sql,
+            "SELECT * FROM person, cast, movie WHERE cast.movie_id = movie.id \
+             AND cast.person_id = person.id AND movie.title = \"$x\""
+        );
+    }
+
+    #[test]
+    fn renders_projection_and_limit() {
+        let db = db();
+        let b = QueryBuilder::new(&db).table("movie").unwrap();
+        let title = b.col(0, "title").unwrap();
+        let q = b.project(vec![title]).limit(3).build();
+        assert_eq!(render_sql(&db, &q), "SELECT movie.title FROM movie LIMIT 3");
+    }
+
+    #[test]
+    fn aliases_self_joins() {
+        let db = db();
+        let q = QueryBuilder::new(&db)
+            .table("person")
+            .unwrap()
+            .table("person")
+            .unwrap()
+            .join(0, "id", 1, "id")
+            .unwrap()
+            .build();
+        let sql = render_sql(&db, &q);
+        assert!(sql.contains("person AS t0"));
+        assert!(sql.contains("t0.id = t1.id"));
+    }
+
+    #[test]
+    fn renders_misc_predicates() {
+        let db = db();
+        let b = QueryBuilder::new(&db).table("movie").unwrap();
+        let title = b.col(0, "title").unwrap();
+        let id = b.col(0, "id").unwrap();
+        let q = b
+            .filter(
+                Predicate::Contains(title, "star".into())
+                    .and(Predicate::IsNull(id).or(Predicate::eq(id, 3))),
+            )
+            .build();
+        let sql = render_sql(&db, &q);
+        assert!(sql.contains("movie.title LIKE '%star%'"));
+        assert!(sql.contains("(movie.id IS NULL OR movie.id = 3)"));
+    }
+}

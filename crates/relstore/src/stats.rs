@@ -1,0 +1,217 @@
+//! Cardinality statistics over a database.
+//!
+//! These are the raw inputs to *queriability* scoring (§4.1 of the paper,
+//! after Jayapandian & Jagadish): per-table row counts, per-column distinct
+//! counts, null fractions, and average text length. The qunit derivation
+//! code consumes [`DatabaseStats`]; nothing here is qunit-specific.
+
+use crate::database::Database;
+use crate::schema::TableId;
+use crate::types::{DataType, Value};
+use std::collections::HashSet;
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+    /// Number of non-null values.
+    pub non_null: usize,
+    /// Number of distinct non-null values.
+    pub distinct: usize,
+    /// Fraction of rows that are NULL (0 for an empty table).
+    pub null_fraction: f64,
+    /// Mean token count for TEXT columns (0 otherwise). A proxy for how
+    /// "describable" a column's content is — id-like columns score ~1.
+    pub avg_tokens: f64,
+}
+
+impl ColumnStats {
+    /// Selectivity proxy: distinct / non_null (1.0 for key-like columns).
+    pub fn distinctness(&self) -> f64 {
+        if self.non_null == 0 {
+            0.0
+        } else {
+            self.distinct as f64 / self.non_null as f64
+        }
+    }
+}
+
+/// Statistics for one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Table id in the catalog.
+    pub table: TableId,
+    /// Table name.
+    pub name: String,
+    /// Live row count.
+    pub rows: usize,
+    /// Per-column statistics, ordered like the schema.
+    pub columns: Vec<ColumnStats>,
+    /// Number of FK edges touching this table (in either direction).
+    pub fk_degree: usize,
+}
+
+/// Statistics for the whole database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatabaseStats {
+    /// Per-table statistics, indexed by [`TableId`].
+    pub tables: Vec<TableStats>,
+    /// Total live rows.
+    pub total_rows: usize,
+}
+
+impl DatabaseStats {
+    /// Gather statistics from a database (single full pass per table).
+    pub fn collect(db: &Database) -> Self {
+        let edges = db.catalog().edges();
+        let mut tables = Vec::with_capacity(db.catalog().len());
+        let mut total_rows = 0usize;
+        for (tid, schema) in db.catalog().iter() {
+            let storage = db.table(tid).expect("catalog and storage agree");
+            let rows = storage.len();
+            total_rows += rows;
+
+            let arity = schema.arity();
+            let mut non_null = vec![0usize; arity];
+            let mut distinct: Vec<HashSet<&Value>> = vec![HashSet::new(); arity];
+            let mut token_sum = vec![0usize; arity];
+            for (_, row) in storage.scan() {
+                for (i, v) in row.values().iter().enumerate() {
+                    if !v.is_null() {
+                        non_null[i] += 1;
+                        distinct[i].insert(v);
+                        if let Some(s) = v.as_text() {
+                            token_sum[i] += crate::index::tokenize(s).len();
+                        }
+                    }
+                }
+            }
+            let columns = schema
+                .columns
+                .iter()
+                .enumerate()
+                .map(|(i, c)| ColumnStats {
+                    name: c.name.clone(),
+                    dtype: c.dtype,
+                    non_null: non_null[i],
+                    distinct: distinct[i].len(),
+                    null_fraction: if rows == 0 {
+                        0.0
+                    } else {
+                        (rows - non_null[i]) as f64 / rows as f64
+                    },
+                    avg_tokens: if non_null[i] == 0 || c.dtype != DataType::Text {
+                        0.0
+                    } else {
+                        token_sum[i] as f64 / non_null[i] as f64
+                    },
+                })
+                .collect();
+
+            let fk_degree =
+                edges.iter().filter(|e| e.from_table == tid || e.to_table == tid).count();
+
+            tables.push(TableStats { table: tid, name: schema.name.clone(), rows, columns, fk_degree });
+        }
+        DatabaseStats { tables, total_rows }
+    }
+
+    /// Stats for a table by id.
+    pub fn table(&self, id: TableId) -> Option<&TableStats> {
+        self.tables.get(id)
+    }
+
+    /// Stats for a table by name.
+    pub fn table_by_name(&self, name: &str) -> Option<&TableStats> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, TableSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new("d");
+        db.create_table(
+            TableSchema::new("person")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("name", DataType::Text))
+                .column(ColumnDef::new("gender", DataType::Text))
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("cast")
+                .column(ColumnDef::new("person_id", DataType::Int))
+                .foreign_key("person_id", "person", "id"),
+        )
+        .unwrap();
+        db.insert("person", vec![1.into(), "George Timothy Clooney".into(), "m".into()])
+            .unwrap();
+        db.insert("person", vec![2.into(), "Brad Pitt".into(), "m".into()]).unwrap();
+        db.insert("person", vec![3.into(), Value::Null, Value::Null]).unwrap();
+        db.insert("cast", vec![1.into()]).unwrap();
+        db.insert("cast", vec![1.into()]).unwrap();
+        db
+    }
+
+    #[test]
+    fn row_counts_and_totals() {
+        let stats = DatabaseStats::collect(&db());
+        assert_eq!(stats.total_rows, 5);
+        assert_eq!(stats.table_by_name("person").unwrap().rows, 3);
+        assert_eq!(stats.table_by_name("cast").unwrap().rows, 2);
+    }
+
+    #[test]
+    fn distinct_and_null_fraction() {
+        let stats = DatabaseStats::collect(&db());
+        let person = stats.table_by_name("person").unwrap();
+        let name = &person.columns[1];
+        assert_eq!(name.non_null, 2);
+        assert_eq!(name.distinct, 2);
+        assert!((name.null_fraction - 1.0 / 3.0).abs() < 1e-9);
+        let gender = &person.columns[2];
+        assert_eq!(gender.distinct, 1);
+        // cast.person_id: two rows, one distinct
+        let cast = stats.table_by_name("cast").unwrap();
+        assert_eq!(cast.columns[0].distinct, 1);
+        assert!((cast.columns[0].distinctness() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_tokens_tracks_text_verbosity() {
+        let stats = DatabaseStats::collect(&db());
+        let person = stats.table_by_name("person").unwrap();
+        // "George Timothy Clooney" (3) + "Brad Pitt" (2) → 2.5
+        assert!((person.columns[1].avg_tokens - 2.5).abs() < 1e-9);
+        // non-text column has 0
+        assert_eq!(person.columns[0].avg_tokens, 0.0);
+    }
+
+    #[test]
+    fn fk_degree_counts_both_directions() {
+        let stats = DatabaseStats::collect(&db());
+        assert_eq!(stats.table_by_name("person").unwrap().fk_degree, 1);
+        assert_eq!(stats.table_by_name("cast").unwrap().fk_degree, 1);
+    }
+
+    #[test]
+    fn empty_table_stats_are_sane() {
+        let mut db = Database::new("d");
+        db.create_table(
+            TableSchema::new("empty").column(ColumnDef::new("x", DataType::Text)),
+        )
+        .unwrap();
+        let stats = DatabaseStats::collect(&db);
+        let t = stats.table_by_name("empty").unwrap();
+        assert_eq!(t.rows, 0);
+        assert_eq!(t.columns[0].null_fraction, 0.0);
+        assert_eq!(t.columns[0].distinctness(), 0.0);
+    }
+}

@@ -1,0 +1,379 @@
+//! Physical table storage: append-only row slots with tombstoned deletes,
+//! a primary-key index, and on-demand secondary / text indexes.
+
+use crate::error::{Error, Result};
+use crate::index::{HashIndex, TextIndex};
+use crate::schema::TableSchema;
+use crate::tuple::{Row, RowId};
+use crate::types::{DataType, Value};
+use std::collections::HashMap;
+
+/// Storage for one table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Option<Row>>,
+    live: usize,
+    pk_index: HashMap<Value, RowId>,
+    secondary: HashMap<usize, HashIndex>,
+    text: HashMap<usize, TextIndex>,
+}
+
+impl Table {
+    /// Empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+            live: 0,
+            pk_index: HashMap::new(),
+            secondary: HashMap::new(),
+            text: HashMap::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True iff there are no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Validate a candidate row against the schema (arity, types, NOT NULL).
+    pub fn validate_row(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.schema.arity() {
+            return Err(Error::ArityMismatch {
+                table: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                got: values.len(),
+            });
+        }
+        for (col, v) in self.schema.columns.iter().zip(values) {
+            match v.data_type() {
+                None => {
+                    if !col.nullable {
+                        return Err(Error::NullViolation {
+                            table: self.schema.name.clone(),
+                            column: col.name.clone(),
+                        });
+                    }
+                }
+                Some(dt) if dt != col.dtype => {
+                    return Err(Error::TypeMismatch {
+                        table: self.schema.name.clone(),
+                        column: col.name.clone(),
+                        expected: col.dtype.to_string(),
+                        got: dt.to_string(),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a row, enforcing schema validity and primary-key uniqueness.
+    /// Returns the new row's id.
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<RowId> {
+        self.validate_row(&values)?;
+        if let Some(pk) = self.schema.primary_key {
+            let key = &values[pk];
+            if !key.is_null() && self.pk_index.contains_key(key) {
+                return Err(Error::PrimaryKeyViolation {
+                    table: self.schema.name.clone(),
+                    key: key.display_plain(),
+                });
+            }
+        }
+        let id = self.rows.len() as RowId;
+        if let Some(pk) = self.schema.primary_key {
+            let key = values[pk].clone();
+            if !key.is_null() {
+                self.pk_index.insert(key, id);
+            }
+        }
+        for (col, ix) in self.secondary.iter_mut() {
+            ix.insert(values[*col].clone(), id);
+        }
+        for (col, ix) in self.text.iter_mut() {
+            if let Some(s) = values[*col].as_text() {
+                ix.insert(s, id);
+            }
+        }
+        self.rows.push(Some(Row::new(values)));
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Fetch a live row by id.
+    pub fn row(&self, id: RowId) -> Option<&Row> {
+        self.rows.get(id as usize).and_then(|r| r.as_ref())
+    }
+
+    /// Delete a row by id (tombstone). Errors if already absent.
+    pub fn delete(&mut self, id: RowId) -> Result<()> {
+        let slot = self.rows.get_mut(id as usize).ok_or(Error::UnknownRow {
+            table: self.schema.name.clone(),
+            row: id,
+        })?;
+        let row = slot.take().ok_or(Error::UnknownRow {
+            table: self.schema.name.clone(),
+            row: id,
+        })?;
+        if let Some(pk) = self.schema.primary_key {
+            if let Some(k) = row.get(pk) {
+                if !k.is_null() {
+                    self.pk_index.remove(k);
+                }
+            }
+        }
+        for (col, ix) in self.secondary.iter_mut() {
+            if let Some(v) = row.get(*col) {
+                ix.remove(v, id);
+            }
+        }
+        for (col, ix) in self.text.iter_mut() {
+            if let Some(s) = row.get(*col).and_then(Value::as_text) {
+                ix.remove(s, id);
+            }
+        }
+        self.live -= 1;
+        Ok(())
+    }
+
+    /// Look up a row id by primary key.
+    pub fn lookup_pk(&self, key: &Value) -> Option<RowId> {
+        self.pk_index.get(key).copied()
+    }
+
+    /// Iterate over `(row_id, row)` for all live rows.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|row| (i as RowId, row)))
+    }
+
+    /// Build (or rebuild) an equality index on `column`.
+    pub fn create_index(&mut self, column: usize) -> Result<()> {
+        if column >= self.schema.arity() {
+            return Err(Error::UnknownColumn {
+                table: self.schema.name.clone(),
+                column: format!("#{column}"),
+            });
+        }
+        let mut ix = HashIndex::new();
+        for (id, row) in self.scan() {
+            ix.insert(row.get(column).cloned().unwrap_or(Value::Null), id);
+        }
+        self.secondary.insert(column, ix);
+        Ok(())
+    }
+
+    /// Build (or rebuild) a full-text index on a TEXT `column`.
+    pub fn create_text_index(&mut self, column: usize) -> Result<()> {
+        let col = self.schema.columns.get(column).ok_or_else(|| Error::UnknownColumn {
+            table: self.schema.name.clone(),
+            column: format!("#{column}"),
+        })?;
+        if col.dtype != DataType::Text {
+            return Err(Error::TypeMismatch {
+                table: self.schema.name.clone(),
+                column: col.name.clone(),
+                expected: DataType::Text.to_string(),
+                got: col.dtype.to_string(),
+            });
+        }
+        let mut ix = TextIndex::new();
+        for (id, row) in self.scan() {
+            if let Some(s) = row.get(column).and_then(Value::as_text) {
+                ix.insert(s, id);
+            }
+        }
+        self.text.insert(column, ix);
+        Ok(())
+    }
+
+    /// The equality index on `column`, if built.
+    pub fn index(&self, column: usize) -> Option<&HashIndex> {
+        self.secondary.get(&column)
+    }
+
+    /// The text index on `column`, if built.
+    pub fn text_index(&self, column: usize) -> Option<&TextIndex> {
+        self.text.get(&column)
+    }
+
+    /// Row ids where `column == value`, via index when available, else scan.
+    pub fn find_equal(&self, column: usize, value: &Value) -> Vec<RowId> {
+        if let Some(pk) = self.schema.primary_key {
+            if pk == column {
+                return self.lookup_pk(value).into_iter().collect();
+            }
+        }
+        if let Some(ix) = self.secondary.get(&column) {
+            return ix.get(value).to_vec();
+        }
+        self.scan()
+            .filter(|(_, row)| row.get(column) == Some(value))
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn person_table() -> Table {
+        Table::new(
+            TableSchema::new("person")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("name", DataType::Text))
+                .column(ColumnDef::new("gender", DataType::Text))
+                .primary_key("id"),
+        )
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut t = person_table();
+        t.insert(vec![1.into(), "George Clooney".into(), "m".into()]).unwrap();
+        t.insert(vec![2.into(), "Julia Roberts".into(), "f".into()]).unwrap();
+        assert_eq!(t.len(), 2);
+        let names: Vec<String> = t
+            .scan()
+            .map(|(_, r)| r.get(1).unwrap().as_text().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["George Clooney", "Julia Roberts"]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = person_table();
+        let err = t.insert(vec![1.into()]).unwrap_err();
+        assert!(matches!(err, Error::ArityMismatch { expected: 3, got: 1, .. }));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut t = person_table();
+        let err = t.insert(vec!["oops".into(), "x".into(), "m".into()]).unwrap_err();
+        assert!(matches!(err, Error::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn null_violation_rejected() {
+        let mut t = person_table();
+        let err = t.insert(vec![Value::Null, "x".into(), "m".into()]).unwrap_err();
+        assert!(matches!(err, Error::NullViolation { .. }));
+    }
+
+    #[test]
+    fn nullable_column_accepts_null() {
+        let mut t = person_table();
+        t.insert(vec![1.into(), Value::Null, Value::Null]).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn pk_uniqueness_enforced() {
+        let mut t = person_table();
+        t.insert(vec![1.into(), "a".into(), "m".into()]).unwrap();
+        let err = t.insert(vec![1.into(), "b".into(), "f".into()]).unwrap_err();
+        assert!(matches!(err, Error::PrimaryKeyViolation { .. }));
+    }
+
+    #[test]
+    fn pk_lookup() {
+        let mut t = person_table();
+        let id = t.insert(vec![42.into(), "a".into(), "m".into()]).unwrap();
+        assert_eq!(t.lookup_pk(&42.into()), Some(id));
+        assert_eq!(t.lookup_pk(&7.into()), None);
+    }
+
+    #[test]
+    fn delete_tombstones_and_reindexes() {
+        let mut t = person_table();
+        let a = t.insert(vec![1.into(), "a".into(), "m".into()]).unwrap();
+        let b = t.insert(vec![2.into(), "b".into(), "f".into()]).unwrap();
+        t.delete(a).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.row(a).is_none());
+        assert!(t.row(b).is_some());
+        assert_eq!(t.lookup_pk(&1.into()), None);
+        // row ids are never reused
+        let c = t.insert(vec![3.into(), "c".into(), "m".into()]).unwrap();
+        assert!(c > b);
+        // deleting twice errors
+        assert!(t.delete(a).is_err());
+    }
+
+    #[test]
+    fn pk_can_be_reinserted_after_delete() {
+        let mut t = person_table();
+        let a = t.insert(vec![1.into(), "a".into(), "m".into()]).unwrap();
+        t.delete(a).unwrap();
+        assert!(t.insert(vec![1.into(), "a2".into(), "m".into()]).is_ok());
+    }
+
+    #[test]
+    fn secondary_index_used_by_find_equal() {
+        let mut t = person_table();
+        t.insert(vec![1.into(), "a".into(), "m".into()]).unwrap();
+        t.insert(vec![2.into(), "b".into(), "f".into()]).unwrap();
+        t.insert(vec![3.into(), "c".into(), "f".into()]).unwrap();
+        t.create_index(2).unwrap();
+        let rows = t.find_equal(2, &"f".into());
+        assert_eq!(rows.len(), 2);
+        // scan fallback gives the same answer
+        let mut t2 = person_table();
+        t2.insert(vec![1.into(), "a".into(), "m".into()]).unwrap();
+        t2.insert(vec![2.into(), "b".into(), "f".into()]).unwrap();
+        t2.insert(vec![3.into(), "c".into(), "f".into()]).unwrap();
+        assert_eq!(t2.find_equal(2, &"f".into()).len(), 2);
+    }
+
+    #[test]
+    fn index_maintained_on_insert_and_delete() {
+        let mut t = person_table();
+        t.create_index(2).unwrap();
+        let a = t.insert(vec![1.into(), "a".into(), "m".into()]).unwrap();
+        assert_eq!(t.find_equal(2, &"m".into()), vec![a]);
+        t.delete(a).unwrap();
+        assert!(t.find_equal(2, &"m".into()).is_empty());
+    }
+
+    #[test]
+    fn text_index_only_on_text_columns() {
+        let mut t = person_table();
+        assert!(t.create_text_index(0).is_err());
+        assert!(t.create_text_index(1).is_ok());
+    }
+
+    #[test]
+    fn text_index_maintained_incrementally() {
+        let mut t = person_table();
+        t.create_text_index(1).unwrap();
+        let id = t.insert(vec![1.into(), "George Clooney".into(), "m".into()]).unwrap();
+        assert_eq!(t.text_index(1).unwrap().get("clooney"), &[id]);
+        t.delete(id).unwrap();
+        assert!(t.text_index(1).unwrap().get("clooney").is_empty());
+    }
+
+    #[test]
+    fn find_equal_on_pk_uses_pk_index() {
+        let mut t = person_table();
+        let id = t.insert(vec![5.into(), "x".into(), "m".into()]).unwrap();
+        assert_eq!(t.find_equal(0, &5.into()), vec![id]);
+    }
+}

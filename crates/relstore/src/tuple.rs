@@ -1,0 +1,93 @@
+//! Rows and row identifiers.
+
+use crate::types::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a row within its table: its append position. Row ids are
+/// stable — deletion tombstones a slot but never reuses it.
+pub type RowId = u64;
+
+/// One stored tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Build a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Field accessor.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// Borrow all values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume into the underlying values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Iterate over the fields.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.values.iter()
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_accessors() {
+        let r = Row::new(vec![Value::from(1), Value::from("a")]);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.get(0), Some(&Value::from(1)));
+        assert_eq!(r.get(5), None);
+        assert_eq!(r.iter().count(), 2);
+    }
+
+    #[test]
+    fn row_display() {
+        let r = Row::new(vec![Value::from(1), Value::from("x"), Value::Null]);
+        assert_eq!(r.to_string(), "(1, x, ∅)");
+    }
+
+    #[test]
+    fn row_round_trip() {
+        let vals = vec![Value::from(1), Value::from(2)];
+        let r = Row::from(vals.clone());
+        assert_eq!(r.into_values(), vals);
+    }
+}

@@ -1,0 +1,131 @@
+//! Named, parameterized views — the storage-level half of a qunit definition
+//! (its *base expression*).
+
+use crate::database::Database;
+use crate::error::Result;
+use crate::exec::ResultSet;
+use crate::query::{Binding, Query};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A named, possibly parameterized view over a database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct View {
+    /// View name, unique within a [`ViewCatalog`].
+    pub name: String,
+    /// The underlying query. Parameters appear as `Predicate::CmpParam`.
+    pub query: Query,
+}
+
+impl View {
+    /// Create a view.
+    pub fn new(name: impl Into<String>, query: Query) -> Self {
+        View { name: name.into(), query }
+    }
+
+    /// Names of the parameters this view requires.
+    pub fn parameters(&self) -> Vec<String> {
+        self.query.parameters()
+    }
+
+    /// Materialize the view with the given binding.
+    pub fn materialize(&self, db: &Database, binding: &Binding) -> Result<ResultSet> {
+        db.execute_bound(&self.query, binding)
+    }
+}
+
+/// A named collection of views.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ViewCatalog {
+    views: Vec<View>,
+    #[serde(skip)]
+    by_name: HashMap<String, usize>,
+}
+
+impl ViewCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        ViewCatalog::default()
+    }
+
+    /// Register a view, replacing any same-named one.
+    pub fn add(&mut self, view: View) {
+        if let Some(&i) = self.by_name.get(&view.name) {
+            self.views[i] = view;
+        } else {
+            self.by_name.insert(view.name.clone(), self.views.len());
+            self.views.push(view);
+        }
+    }
+
+    /// Look up by name.
+    pub fn get(&self, name: &str) -> Option<&View> {
+        self.by_name.get(name).map(|&i| &self.views[i])
+    }
+
+    /// All views.
+    pub fn iter(&self) -> impl Iterator<Item = &View> {
+        self.views.iter()
+    }
+
+    /// Number of views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True iff no views are registered.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Predicate;
+    use crate::query::QueryBuilder;
+    use crate::schema::{ColumnDef, TableSchema};
+    use crate::types::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::new("d");
+        db.create_table(
+            TableSchema::new("movie")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("title", DataType::Text))
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.insert("movie", vec![1.into(), "Star Wars".into()]).unwrap();
+        db.insert("movie", vec![2.into(), "Solaris".into()]).unwrap();
+        db
+    }
+
+    #[test]
+    fn parameterized_view_materializes() {
+        let db = db();
+        let b = QueryBuilder::new(&db).table("movie").unwrap();
+        let title = b.col(0, "title").unwrap();
+        let v = View::new("movie_by_title", b.filter(Predicate::eq_param(title, "x")).build());
+        assert_eq!(v.parameters(), vec!["x".to_string()]);
+        let rs = v.materialize(&db, &Binding::empty().with("x", "Star Wars")).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0], 1.into());
+    }
+
+    #[test]
+    fn catalog_add_get_replace() {
+        let db = db();
+        let mut cat = ViewCatalog::new();
+        let q = Query::scan(db.catalog().table_id("movie").unwrap());
+        cat.add(View::new("all_movies", q.clone()));
+        assert_eq!(cat.len(), 1);
+        assert!(cat.get("all_movies").is_some());
+        assert!(cat.get("missing").is_none());
+        // replacement keeps len stable
+        cat.add(View::new("all_movies", q));
+        assert_eq!(cat.len(), 1);
+        assert!(!cat.is_empty());
+        assert_eq!(cat.iter().count(), 1);
+    }
+}

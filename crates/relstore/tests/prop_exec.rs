@@ -1,0 +1,199 @@
+//! Property tests: the hash-join executor agrees with the naive nested-loop
+//! reference on randomly generated databases and queries.
+
+use proptest::prelude::*;
+use relstore::{
+    execute_nested_loop, Binding, ColRef, ColumnDef, DataType, Database, Predicate, Query,
+    QueryBuilder, TableSchema,
+};
+
+/// Build a 3-table movie-ish database with randomized contents. Key spaces
+/// are deliberately tiny so joins and predicates hit frequently.
+fn random_db(
+    people: Vec<(i64, String)>,
+    movies: Vec<(i64, String)>,
+    casts: Vec<(i64, i64, String)>,
+) -> Database {
+    let mut db = Database::new("prop");
+    db.set_enforce_fk(false); // dangling FKs are part of the test space
+    db.create_table(
+        TableSchema::new("person")
+            .column(ColumnDef::new("id", DataType::Int).not_null())
+            .column(ColumnDef::new("name", DataType::Text))
+            .primary_key("id"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("movie")
+            .column(ColumnDef::new("id", DataType::Int).not_null())
+            .column(ColumnDef::new("title", DataType::Text))
+            .primary_key("id"),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new("cast")
+            .column(ColumnDef::new("person_id", DataType::Int))
+            .column(ColumnDef::new("movie_id", DataType::Int))
+            .column(ColumnDef::new("role", DataType::Text)),
+    )
+    .unwrap();
+    let mut seen = std::collections::HashSet::new();
+    for (id, name) in people {
+        if seen.insert(id) {
+            db.insert("person", vec![id.into(), name.into()]).unwrap();
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    for (id, title) in movies {
+        if seen.insert(id) {
+            db.insert("movie", vec![id.into(), title.into()]).unwrap();
+        }
+    }
+    for (p, m, r) in casts {
+        db.insert("cast", vec![p.into(), m.into(), r.into()]).unwrap();
+    }
+    db
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "alpha", "beta", "gamma", "delta", "epsilon", "star wars", "ocean",
+    ])
+    .prop_map(str::to_string)
+}
+
+prop_compose! {
+    fn people_strategy()(v in prop::collection::vec((0i64..6, name_strategy()), 0..8)) -> Vec<(i64, String)> { v }
+}
+prop_compose! {
+    fn movies_strategy()(v in prop::collection::vec((0i64..6, name_strategy()), 0..8)) -> Vec<(i64, String)> { v }
+}
+prop_compose! {
+    fn casts_strategy()(v in prop::collection::vec((0i64..6, 0i64..6, name_strategy()), 0..12)) -> Vec<(i64, i64, String)> { v }
+}
+
+fn three_way_join(db: &Database) -> Query {
+    QueryBuilder::new(db)
+        .table("person")
+        .unwrap()
+        .table("cast")
+        .unwrap()
+        .table("movie")
+        .unwrap()
+        .join(0, "id", 1, "person_id")
+        .unwrap()
+        .join(1, "movie_id", 2, "id")
+        .unwrap()
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hash_join_equals_nested_loop_three_way(
+        people in people_strategy(),
+        movies in movies_strategy(),
+        casts in casts_strategy(),
+    ) {
+        let db = random_db(people, movies, casts);
+        let q = three_way_join(&db);
+        let fast = db.execute(&q).unwrap().sorted();
+        let slow = execute_nested_loop(&db, &q, &Binding::empty()).unwrap().sorted();
+        prop_assert_eq!(fast.rows, slow.rows);
+    }
+
+    #[test]
+    fn filtered_join_equals_nested_loop(
+        people in people_strategy(),
+        movies in movies_strategy(),
+        casts in casts_strategy(),
+        pivot in 0i64..6,
+    ) {
+        let db = random_db(people, movies, casts);
+        let mut q = three_way_join(&db);
+        q.predicate = Predicate::Cmp(
+            ColRef::new(0, 0),
+            relstore::expr::CmpOp::Le,
+            pivot.into(),
+        );
+        let fast = db.execute(&q).unwrap().sorted();
+        let slow = execute_nested_loop(&db, &q, &Binding::empty()).unwrap().sorted();
+        prop_assert_eq!(fast.rows, slow.rows);
+    }
+
+    #[test]
+    fn projection_subset_of_full_result(
+        people in people_strategy(),
+        movies in movies_strategy(),
+        casts in casts_strategy(),
+    ) {
+        let db = random_db(people, movies, casts);
+        let mut q = three_way_join(&db);
+        let full = db.execute(&q).unwrap();
+        q.projection = Some(vec![ColRef::new(0, 1), ColRef::new(2, 1)]);
+        let proj = db.execute(&q).unwrap();
+        prop_assert_eq!(full.len(), proj.len());
+        for row in &proj.rows {
+            prop_assert_eq!(row.len(), 2);
+        }
+    }
+
+    #[test]
+    fn limit_is_a_prefix_bound(
+        people in people_strategy(),
+        movies in movies_strategy(),
+        casts in casts_strategy(),
+        limit in 0usize..5,
+    ) {
+        let db = random_db(people, movies, casts);
+        let mut q = three_way_join(&db);
+        let full_len = db.execute(&q).unwrap().len();
+        q.limit = Some(limit);
+        let lim = db.execute(&q).unwrap();
+        prop_assert_eq!(lim.len(), full_len.min(limit));
+    }
+
+    #[test]
+    fn param_binding_equals_inlined_literal(
+        people in people_strategy(),
+        movies in movies_strategy(),
+        casts in casts_strategy(),
+        needle in name_strategy(),
+    ) {
+        let db = random_db(people, movies, casts);
+        let base = three_way_join(&db);
+        let title_col = ColRef::new(2, 1);
+
+        let mut with_param = base.clone();
+        with_param.predicate = Predicate::eq_param(title_col, "x");
+        let bound = db
+            .execute_bound(&with_param, &Binding::empty().with("x", needle.clone()))
+            .unwrap()
+            .sorted();
+
+        let mut with_literal = base;
+        with_literal.predicate = Predicate::eq(title_col, needle);
+        let literal = db.execute(&with_literal).unwrap().sorted();
+
+        prop_assert_eq!(bound.rows, literal.rows);
+    }
+
+    #[test]
+    fn stats_respect_row_counts(
+        people in people_strategy(),
+        movies in movies_strategy(),
+        casts in casts_strategy(),
+    ) {
+        let db = random_db(people, movies, casts);
+        let stats = relstore::DatabaseStats::collect(&db);
+        prop_assert_eq!(stats.total_rows, db.total_rows());
+        for t in &stats.tables {
+            for c in &t.columns {
+                prop_assert!(c.distinct <= c.non_null);
+                prop_assert!(c.non_null <= t.rows);
+                prop_assert!((0.0..=1.0).contains(&c.null_fraction));
+            }
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Convert a relational database into the XML tree a site crawl would
+//! expose: a `movies` section (movie pages with nested genre, location,
+//! plot, and cast) and a `people` section (person pages with nested
+//! filmographies).
+//!
+//! The conversion is schema-aware for the IMDb catalog shape but degrades
+//! gracefully: tables it does not recognize are emitted as flat
+//! `<table><row>…` sections, so LCA baselines still work on any database.
+
+use crate::tree::{NodeId, XmlTree, XmlTreeBuilder};
+use relstore::{Database, Value};
+
+/// Build the XML view of `db`.
+pub fn database_to_tree(db: &Database) -> XmlTree {
+    let mut b = XmlTree::builder();
+    let root = b.root("db");
+
+    let recognized = build_movie_section(db, &mut b, root);
+    let recognized2 = build_people_section(db, &mut b, root);
+
+    // Fallback: emit any table not covered by the IMDb-aware sections.
+    let covered: &[&str] = if recognized && recognized2 {
+        &[
+            "movie", "person", "cast", "genre", "locations", "info", "soundtrack", "trivia",
+            "boxoffice", "poster", "movie_award", "person_award", "award",
+        ]
+    } else {
+        &[]
+    };
+    for (tid, schema) in db.catalog().iter() {
+        if covered.contains(&schema.name.as_str()) {
+            continue;
+        }
+        let section = b.element(root, schema.name.clone());
+        let table = db.table(tid).expect("valid");
+        for (_, row) in table.scan() {
+            let row_node = b.element(section, "row");
+            for (ci, v) in row.values().iter().enumerate() {
+                if v.is_null() {
+                    continue;
+                }
+                let col = &schema.columns[ci].name;
+                b.field(
+                    row_node,
+                    col.clone(),
+                    v.display_plain(),
+                    format!("{}.{}", schema.name, col),
+                );
+            }
+        }
+    }
+
+    b.build()
+}
+
+/// Helper: fetch `table.column` of the row whose pk equals `key`.
+fn lookup_text(db: &Database, table: &str, key: i64, column: &str) -> Option<String> {
+    let t = db.table_by_name(table)?;
+    let ci = t.schema().column_index(column)?;
+    let rid = t.lookup_pk(&key.into())?;
+    t.row(rid)?.get(ci).map(Value::display_plain)
+}
+
+fn build_movie_section(db: &Database, b: &mut XmlTreeBuilder, root: NodeId) -> bool {
+    let movie = match db.table_by_name("movie") {
+        Some(t) => t,
+        None => return false,
+    };
+    let ms = movie.schema();
+    let (id_c, title_c) = match (ms.column_index("id"), ms.column_index("title")) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return false,
+    };
+    let year_c = ms.column_index("releasedate");
+    let rating_c = ms.column_index("rating");
+    let genre_c = ms.column_index("genre_id");
+    let loc_c = ms.column_index("location_id");
+    let info_c = ms.column_index("info_id");
+
+    let cast = db.table_by_name("cast");
+
+    let movies_node = b.element(root, "movies");
+    for (_, row) in movie.scan() {
+        let movie_id = row.get(id_c).and_then(Value::as_int).unwrap_or(0);
+        let m = b.element(movies_node, "movie");
+        if let Some(t) = row.get(title_c).and_then(Value::as_text) {
+            b.field(m, "title", t, "movie.title");
+        }
+        if let Some(y) = year_c.and_then(|c| row.get(c)).filter(|v| !v.is_null()) {
+            b.field(m, "year", y.display_plain(), "movie.releasedate");
+        }
+        if let Some(r) = rating_c.and_then(|c| row.get(c)).filter(|v| !v.is_null()) {
+            b.field(m, "rating", r.display_plain(), "movie.rating");
+        }
+        if let Some(gid) = genre_c.and_then(|c| row.get(c)).and_then(Value::as_int) {
+            if let Some(g) = lookup_text(db, "genre", gid, "type") {
+                b.field(m, "genre", g, "genre.type");
+            }
+        }
+        if let Some(lid) = loc_c.and_then(|c| row.get(c)).and_then(Value::as_int) {
+            if let Some(p) = lookup_text(db, "locations", lid, "place") {
+                b.field(m, "location", p, "locations.place");
+            }
+        }
+        if let Some(iid) = info_c.and_then(|c| row.get(c)).and_then(Value::as_int) {
+            if let Some(text) = lookup_text(db, "info", iid, "text") {
+                b.field(m, "plot", text, "info.text");
+            }
+        }
+        // nested cast
+        if let Some(cast) = cast {
+            let cs = cast.schema();
+            if let (Some(pid_c), Some(mid_c)) =
+                (cs.column_index("person_id"), cs.column_index("movie_id"))
+            {
+                let role_c = cs.column_index("role");
+                for (_, crow) in cast.scan() {
+                    if crow.get(mid_c).and_then(Value::as_int) != Some(movie_id) {
+                        continue;
+                    }
+                    let centry = b.element(m, "cast");
+                    if let Some(role) = role_c.and_then(|c| crow.get(c)).and_then(Value::as_text)
+                    {
+                        b.field(centry, "role", role, "cast.role");
+                    }
+                    if let Some(pid) = crow.get(pid_c).and_then(Value::as_int) {
+                        if let Some(name) = lookup_text(db, "person", pid, "name") {
+                            let person = b.element(centry, "person");
+                            b.field(person, "name", name, "person.name");
+                        }
+                    }
+                }
+            }
+        }
+        // satellite one-to-many tables keyed by movie_id
+        for (tname, text_col, label) in [
+            ("soundtrack", "title", "song"),
+            ("trivia", "text", "trivia"),
+            ("boxoffice", "gross", "gross"),
+            ("poster", "url", "poster"),
+        ] {
+            if let Some(t) = db.table_by_name(tname) {
+                let ts = t.schema();
+                if let (Some(mid_c), Some(val_c)) =
+                    (ts.column_index("movie_id"), ts.column_index(text_col))
+                {
+                    for (_, trow) in t.scan() {
+                        if trow.get(mid_c).and_then(Value::as_int) != Some(movie_id) {
+                            continue;
+                        }
+                        if let Some(v) = trow.get(val_c).filter(|v| !v.is_null()) {
+                            b.field(
+                                m,
+                                label,
+                                v.display_plain(),
+                                format!("{tname}.{text_col}"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+fn build_people_section(db: &Database, b: &mut XmlTreeBuilder, root: NodeId) -> bool {
+    let person = match db.table_by_name("person") {
+        Some(t) => t,
+        None => return false,
+    };
+    let ps = person.schema();
+    let (id_c, name_c) = match (ps.column_index("id"), ps.column_index("name")) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return false,
+    };
+    let birth_c = ps.column_index("birthdate");
+    let gender_c = ps.column_index("gender");
+
+    let people_node = b.element(root, "people");
+    for (_, row) in person.scan() {
+        let person_id = row.get(id_c).and_then(Value::as_int).unwrap_or(0);
+        let p = b.element(people_node, "person");
+        if let Some(n) = row.get(name_c).and_then(Value::as_text) {
+            b.field(p, "name", n, "person.name");
+        }
+        if let Some(v) = birth_c.and_then(|c| row.get(c)).filter(|v| !v.is_null()) {
+            b.field(p, "birthdate", v.display_plain(), "person.birthdate");
+        }
+        if let Some(v) = gender_c.and_then(|c| row.get(c)).filter(|v| !v.is_null()) {
+            b.field(p, "gender", v.display_plain(), "person.gender");
+        }
+        // filmography
+        if let Some(cast) = db.table_by_name("cast") {
+            let cs = cast.schema();
+            if let (Some(pid_c), Some(mid_c)) =
+                (cs.column_index("person_id"), cs.column_index("movie_id"))
+            {
+                let filmo = b.element(p, "filmography");
+                for (_, crow) in cast.scan() {
+                    if crow.get(pid_c).and_then(Value::as_int) != Some(person_id) {
+                        continue;
+                    }
+                    if let Some(mid) = crow.get(mid_c).and_then(Value::as_int) {
+                        if let Some(title) = lookup_text(db, "movie", mid, "title") {
+                            b.field(filmo, "title", title, "movie.title");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::{ColumnDef, DataType, TableSchema};
+
+    fn tiny_imdb() -> Database {
+        let mut db = Database::new("d");
+        db.create_table(
+            TableSchema::new("genre")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("type", DataType::Text))
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("person")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("name", DataType::Text))
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("movie")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("title", DataType::Text))
+                .column(ColumnDef::new("genre_id", DataType::Int))
+                .primary_key("id")
+                .foreign_key("genre_id", "genre", "id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new("cast")
+                .column(ColumnDef::new("person_id", DataType::Int))
+                .column(ColumnDef::new("movie_id", DataType::Int))
+                .column(ColumnDef::new("role", DataType::Text))
+                .foreign_key("person_id", "person", "id")
+                .foreign_key("movie_id", "movie", "id"),
+        )
+        .unwrap();
+        db.insert("genre", vec![1.into(), "scifi".into()]).unwrap();
+        db.insert("person", vec![1.into(), "harrison ford".into()]).unwrap();
+        db.insert("movie", vec![10.into(), "star wars".into(), 1.into()]).unwrap();
+        db.insert("cast", vec![1.into(), 10.into(), "actor".into()]).unwrap();
+        db
+    }
+
+    #[test]
+    fn movie_section_nests_cast_and_genre() {
+        let db = tiny_imdb();
+        let t = database_to_tree(&db);
+        let title = t.nodes_matching("wars");
+        assert!(!title.is_empty());
+        // the movie node (parent of title) covers title, genre, role, name
+        let movie_node = t.node(title[0]).parent.unwrap();
+        let sources = t.subtree_sources(movie_node);
+        assert!(sources.contains(&"movie.title".to_string()));
+        assert!(sources.contains(&"genre.type".to_string()));
+        assert!(sources.contains(&"person.name".to_string()));
+        assert!(sources.contains(&"cast.role".to_string()));
+    }
+
+    #[test]
+    fn people_section_has_filmography() {
+        let db = tiny_imdb();
+        let t = database_to_tree(&db);
+        // "ford" matches the cast-nested name and the people-section name
+        let matches = t.nodes_matching("ford");
+        assert!(matches.len() >= 2);
+        // at least one of them sits under a filmography-bearing person node
+        let any_filmo = matches.iter().any(|&m| {
+            let mut cur = m;
+            while let Some(p) = t.node(cur).parent {
+                if t.node(p).label == "people" {
+                    return true;
+                }
+                cur = p;
+            }
+            false
+        });
+        assert!(any_filmo);
+    }
+
+    #[test]
+    fn unknown_tables_fall_back_to_flat_rows() {
+        let mut db = Database::new("d");
+        db.create_table(
+            TableSchema::new("widget")
+                .column(ColumnDef::new("id", DataType::Int).not_null())
+                .column(ColumnDef::new("label", DataType::Text))
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.insert("widget", vec![1.into(), "sprocket".into()]).unwrap();
+        let t = database_to_tree(&db);
+        assert!(!t.nodes_matching("sprocket").is_empty());
+        let m = t.nodes_matching("sprocket")[0];
+        assert_eq!(t.node(m).source.as_deref(), Some("widget.label"));
+    }
+
+    #[test]
+    fn tree_size_scales_with_rows() {
+        let db = tiny_imdb();
+        let t = database_to_tree(&db);
+        // root + 2 sections + movie page (6 nodes) + person page (5)
+        assert!(t.len() >= 12, "{}", t.len());
+    }
+}

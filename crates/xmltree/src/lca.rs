@@ -1,0 +1,208 @@
+//! Smallest-LCA (SLCA) keyword search: the answer to a keyword query is the
+//! smallest subtree containing at least one match of every keyword — the
+//! demarcation rule of XRank-style systems the paper critiques (it returns
+//! "the complete sub-tree rooted at the least common ancestor of matching
+//! nodes").
+
+use crate::tree::{NodeId, XmlTree};
+
+/// One ranked subtree answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubtreeAnswer {
+    /// Root of the answer subtree.
+    pub root: NodeId,
+    /// Subtree size in nodes (smaller = more specific = ranked higher).
+    pub size: usize,
+}
+
+/// SLCA keyword-search engine.
+#[derive(Debug)]
+pub struct LcaEngine<'a> {
+    tree: &'a XmlTree,
+    top_k: usize,
+}
+
+impl<'a> LcaEngine<'a> {
+    /// New engine returning up to `top_k` answers per query.
+    pub fn new(tree: &'a XmlTree, top_k: usize) -> Self {
+        LcaEngine { tree, top_k }
+    }
+
+    /// The tree under search.
+    pub fn tree(&self) -> &XmlTree {
+        self.tree
+    }
+
+    /// Match sets per keyword; empty overall result if a keyword matches
+    /// nothing (conjunctive semantics).
+    pub(crate) fn match_sets(&self, query: &str) -> Option<Vec<Vec<NodeId>>> {
+        let keywords = relstore::index::tokenize(query);
+        if keywords.is_empty() {
+            return None;
+        }
+        let mut sets = Vec::with_capacity(keywords.len());
+        for kw in &keywords {
+            let m = self.tree.nodes_matching(kw);
+            if m.is_empty() {
+                return None;
+            }
+            sets.push(m.to_vec());
+        }
+        Some(sets)
+    }
+
+    /// All LCA *candidates*: nodes whose subtree contains ≥1 match of every
+    /// keyword. Computed by upward bit propagation.
+    pub(crate) fn candidates(&self, sets: &[Vec<NodeId>]) -> Vec<NodeId> {
+        assert!(sets.len() <= 64, "at most 64 keywords supported");
+        let mut mask = vec![0u64; self.tree.len()];
+        for (i, set) in sets.iter().enumerate() {
+            let bit = 1u64 << i;
+            for &n in set {
+                mask[n as usize] |= bit;
+            }
+        }
+        // propagate up in reverse document order (children have larger ids)
+        for v in (1..self.tree.len()).rev() {
+            let parent = self.tree.node(v as NodeId).parent.expect("non-root has parent");
+            mask[parent as usize] |= mask[v];
+        }
+        let want = if sets.len() == 64 { u64::MAX } else { (1u64 << sets.len()) - 1 };
+        (0..self.tree.len() as NodeId)
+            .filter(|&v| mask[v as usize] == want)
+            .collect()
+    }
+
+    /// Run a query: SLCAs (candidates with no candidate descendant), ranked
+    /// by subtree size ascending.
+    pub fn search(&self, query: &str) -> Vec<SubtreeAnswer> {
+        let sets = match self.match_sets(query) {
+            Some(s) => s,
+            None => return Vec::new(),
+        };
+        let candidates = self.candidates(&sets);
+        let mut answers: Vec<SubtreeAnswer> = candidates
+            .iter()
+            .filter(|&&v| {
+                // smallest: no *other* candidate strictly below v
+                !candidates
+                    .iter()
+                    .any(|&c| c != v && self.tree.is_ancestor_or_self(v, c))
+            })
+            .map(|&v| SubtreeAnswer { root: v, size: self.tree.subtree_size(v) })
+            .collect();
+        answers.sort_by(|a, b| a.size.cmp(&b.size).then(a.root.cmp(&b.root)));
+        answers.truncate(self.top_k);
+        answers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::XmlTree;
+
+    /// Two movie pages under `movies`; person pages under `people`.
+    fn fixture() -> XmlTree {
+        let mut b = XmlTree::builder();
+        let root = b.root("db");
+        let movies = b.element(root, "movies");
+        let m1 = b.element(movies, "movie");
+        b.field(m1, "title", "star wars", "movie.title");
+        let c1 = b.element(m1, "cast");
+        let p1 = b.element(c1, "person");
+        b.field(p1, "name", "harrison ford", "person.name");
+        let m2 = b.element(movies, "movie");
+        b.field(m2, "title", "star trek", "movie.title");
+        let c2 = b.element(m2, "cast");
+        let p2 = b.element(c2, "person");
+        b.field(p2, "name", "william shatner", "person.name");
+        let people = b.element(root, "people");
+        let pp = b.element(people, "person");
+        b.field(pp, "name", "harrison ford", "person.name");
+        b.build()
+    }
+
+    #[test]
+    fn single_keyword_returns_match_nodes() {
+        let t = fixture();
+        let e = LcaEngine::new(&t, 10);
+        let ans = e.search("wars");
+        assert_eq!(ans.len(), 1);
+        assert_eq!(t.node(ans[0].root).text.as_deref(), Some("star wars"));
+        assert_eq!(ans[0].size, 1);
+    }
+
+    #[test]
+    fn conjunctive_two_keywords_find_movie_subtree() {
+        let t = fixture();
+        let e = LcaEngine::new(&t, 10);
+        let ans = e.search("wars ford");
+        assert!(!ans.is_empty());
+        let root = ans[0].root;
+        assert_eq!(t.node(root).label, "movie");
+        let text = t.subtree_text(root);
+        assert!(text.contains("star wars"));
+        assert!(text.contains("harrison ford"));
+    }
+
+    #[test]
+    fn slca_excludes_ancestors_of_smaller_answers() {
+        let t = fixture();
+        let e = LcaEngine::new(&t, 10);
+        // "star" matches both titles; the SLCAs are the title nodes, not
+        // the shared `movies` section.
+        let ans = e.search("star");
+        for a in &ans {
+            assert_eq!(t.node(a.root).label, "title");
+        }
+    }
+
+    #[test]
+    fn shared_term_across_sections_goes_to_root_only_if_needed() {
+        let t = fixture();
+        let e = LcaEngine::new(&t, 10);
+        // "wars shatner": only connection is the `movies` section.
+        let ans = e.search("wars shatner");
+        assert_eq!(ans.len(), 1);
+        assert_eq!(t.node(ans[0].root).label, "movies");
+        // This is exactly the over-demarcation problem the paper describes:
+        // the answer subtree drags in both movies.
+        assert!(t.subtree_text(ans[0].root).contains("star trek"));
+    }
+
+    #[test]
+    fn unmatched_keyword_empties_result() {
+        let t = fixture();
+        let e = LcaEngine::new(&t, 10);
+        assert!(e.search("wars zzz").is_empty());
+        assert!(e.search("").is_empty());
+    }
+
+    #[test]
+    fn answers_ranked_by_size() {
+        let t = fixture();
+        let e = LcaEngine::new(&t, 10);
+        let ans = e.search("ford");
+        assert!(ans.windows(2).all(|w| w[0].size <= w[1].size));
+        assert!(ans.len() >= 2); // cast-nested + people-section
+    }
+
+    #[test]
+    fn label_keywords_match_elements() {
+        let t = fixture();
+        let e = LcaEngine::new(&t, 10);
+        // "cast" only matches the cast element labels
+        let ans = e.search("trek cast");
+        assert!(!ans.is_empty());
+        assert_eq!(t.node(ans[0].root).label, "movie");
+        assert!(t.subtree_text(ans[0].root).contains("shatner"));
+    }
+
+    #[test]
+    fn top_k_truncation() {
+        let t = fixture();
+        let e = LcaEngine::new(&t, 1);
+        assert_eq!(e.search("ford").len(), 1);
+    }
+}

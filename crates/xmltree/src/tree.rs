@@ -1,0 +1,296 @@
+//! The XML tree structure: labeled nodes with optional text, parent/child
+//! links, preorder numbering, and a keyword index over text tokens *and*
+//! element labels (XRank-style: a keyword may match tag names too).
+
+use relstore::index::tokenize;
+use std::collections::HashMap;
+
+/// Node identifier: preorder position in the tree.
+pub type NodeId = u32;
+
+/// One tree node.
+#[derive(Debug, Clone)]
+pub struct XmlNode {
+    /// Element label (tag name), e.g. `movie`, `title`.
+    pub label: String,
+    /// Text content for leaf/field nodes.
+    pub text: Option<String>,
+    /// Provenance: the qualified `table.column` this node's text came from,
+    /// if it is a field node. Used by the evaluation oracle to measure what
+    /// a subtree answer covers.
+    pub source: Option<String>,
+    /// Parent node (None for the root).
+    pub parent: Option<NodeId>,
+    /// Children in document order.
+    pub children: Vec<NodeId>,
+    /// Depth from the root (root = 0).
+    pub depth: u32,
+}
+
+/// An immutable XML tree. Construct via [`XmlTree::builder`].
+#[derive(Debug, Clone)]
+pub struct XmlTree {
+    nodes: Vec<XmlNode>,
+    keyword_index: HashMap<String, Vec<NodeId>>,
+    /// subtree_end[v] = one past the last preorder id in v's subtree.
+    subtree_end: Vec<u32>,
+}
+
+/// Incremental tree construction in document order.
+#[derive(Debug, Default)]
+pub struct XmlTreeBuilder {
+    nodes: Vec<XmlNode>,
+}
+
+impl XmlTreeBuilder {
+    /// Add the root node; must be called first, exactly once.
+    pub fn root(&mut self, label: impl Into<String>) -> NodeId {
+        assert!(self.nodes.is_empty(), "root must be the first node");
+        self.nodes.push(XmlNode {
+            label: label.into(),
+            text: None,
+            source: None,
+            parent: None,
+            children: Vec::new(),
+            depth: 0,
+        });
+        0
+    }
+
+    /// Add an element child.
+    pub fn element(&mut self, parent: NodeId, label: impl Into<String>) -> NodeId {
+        self.add(parent, label.into(), None, None)
+    }
+
+    /// Add a field child with text and provenance.
+    pub fn field(
+        &mut self,
+        parent: NodeId,
+        label: impl Into<String>,
+        text: impl Into<String>,
+        source: impl Into<String>,
+    ) -> NodeId {
+        self.add(parent, label.into(), Some(text.into()), Some(source.into()))
+    }
+
+    fn add(
+        &mut self,
+        parent: NodeId,
+        label: String,
+        text: Option<String>,
+        source: Option<String>,
+    ) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        let depth = self.nodes[parent as usize].depth + 1;
+        self.nodes.push(XmlNode { label, text, source, parent: Some(parent), children: Vec::new(), depth });
+        self.nodes[parent as usize].children.push(id);
+        id
+    }
+
+    /// Finish building: computes subtree extents and the keyword index.
+    pub fn build(self) -> XmlTree {
+        let n = self.nodes.len();
+        assert!(n > 0, "tree needs a root");
+        // Nodes were added in document order, so preorder id = index, and a
+        // subtree is a contiguous id range [v, subtree_end[v]).
+        let mut subtree_end = vec![0u32; n];
+        // compute via reverse scan: end[v] = max(v+1, end of last child)
+        for v in (0..n).rev() {
+            let mut end = v as u32 + 1;
+            if let Some(&last) = self.nodes[v].children.last() {
+                end = end.max(subtree_end[last as usize]);
+            }
+            subtree_end[v] = end;
+        }
+
+        let mut keyword_index: HashMap<String, Vec<NodeId>> = HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mut toks = tokenize(&node.label);
+            if let Some(t) = &node.text {
+                toks.extend(tokenize(t));
+            }
+            toks.sort_unstable();
+            toks.dedup();
+            for t in toks {
+                keyword_index.entry(t).or_default().push(i as NodeId);
+            }
+        }
+
+        XmlTree { nodes: self.nodes, keyword_index, subtree_end }
+    }
+}
+
+impl XmlTree {
+    /// Start building a tree.
+    pub fn builder() -> XmlTreeBuilder {
+        XmlTreeBuilder::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the tree is empty (never after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: NodeId) -> &XmlNode {
+        &self.nodes[id as usize]
+    }
+
+    /// Nodes matching `token` by text or label. Applies light plural
+    /// folding: a token with no hits retries without a trailing `s`
+    /// ("posters" → "poster"), mirroring the stemming any real XML keyword
+    /// search applies.
+    pub fn nodes_matching(&self, token: &str) -> &[NodeId] {
+        let lc = token.to_lowercase();
+        if let Some(v) = self.keyword_index.get(&lc) {
+            return v.as_slice();
+        }
+        if let Some(stripped) = lc.strip_suffix('s') {
+            if let Some(v) = self.keyword_index.get(stripped) {
+                return v.as_slice();
+            }
+        }
+        &[]
+    }
+
+    /// True iff `anc` is `node` or an ancestor of `node` (O(1) via preorder
+    /// ranges).
+    pub fn is_ancestor_or_self(&self, anc: NodeId, node: NodeId) -> bool {
+        anc <= node && node < self.subtree_end[anc as usize]
+    }
+
+    /// Lowest common ancestor of two nodes.
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let (mut a, b) = (a, b);
+        while !self.is_ancestor_or_self(a, b) {
+            a = self.nodes[a as usize].parent.expect("root is universal ancestor");
+        }
+        let _ = b;
+        a
+    }
+
+    /// All node ids in the subtree of `v` (contiguous preorder range).
+    pub fn subtree(&self, v: NodeId) -> impl Iterator<Item = NodeId> {
+        v..self.subtree_end[v as usize]
+    }
+
+    /// Number of nodes in the subtree of `v`.
+    pub fn subtree_size(&self, v: NodeId) -> usize {
+        (self.subtree_end[v as usize] - v) as usize
+    }
+
+    /// Distinct `source` annotations in a subtree — what a subtree answer
+    /// covers, for the evaluation oracle.
+    pub fn subtree_sources(&self, v: NodeId) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .subtree(v)
+            .filter_map(|id| self.nodes[id as usize].source.clone())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Concatenated text of a subtree, document order.
+    pub fn subtree_text(&self, v: NodeId) -> String {
+        let mut out = String::new();
+        for id in self.subtree(v) {
+            if let Some(t) = &self.nodes[id as usize].text {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(t);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// db ─ movies ─ movie ─ (title, cast ─ person ─ name)
+    fn small_tree() -> (XmlTree, NodeId, NodeId, NodeId, NodeId) {
+        let mut b = XmlTree::builder();
+        let root = b.root("db");
+        let movies = b.element(root, "movies");
+        let movie = b.element(movies, "movie");
+        let title = b.field(movie, "title", "star wars", "movie.title");
+        let cast = b.element(movie, "cast");
+        let person = b.element(cast, "person");
+        let name = b.field(person, "name", "harrison ford", "person.name");
+        (b.build(), movie, title, cast, name)
+    }
+
+    #[test]
+    fn structure_and_depth() {
+        let (t, movie, title, _, name) = small_tree();
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.node(0).depth, 0);
+        assert_eq!(t.node(movie).depth, 2);
+        assert_eq!(t.node(title).depth, 3);
+        assert_eq!(t.node(name).depth, 5);
+        assert_eq!(t.node(title).parent, Some(movie));
+    }
+
+    #[test]
+    fn ancestor_queries() {
+        let (t, movie, title, cast, name) = small_tree();
+        assert!(t.is_ancestor_or_self(0, name));
+        assert!(t.is_ancestor_or_self(movie, title));
+        assert!(t.is_ancestor_or_self(cast, name));
+        assert!(!t.is_ancestor_or_self(title, cast));
+        assert!(t.is_ancestor_or_self(title, title));
+    }
+
+    #[test]
+    fn lca_computation() {
+        let (t, movie, title, _, name) = small_tree();
+        assert_eq!(t.lca(title, name), movie);
+        assert_eq!(t.lca(name, title), movie);
+        assert_eq!(t.lca(title, title), title);
+        assert_eq!(t.lca(0, name), 0);
+    }
+
+    #[test]
+    fn keyword_matches_text_and_labels() {
+        let (t, _, title, cast, _) = small_tree();
+        assert_eq!(t.nodes_matching("wars"), &[title]);
+        assert_eq!(t.nodes_matching("cast"), &[cast]); // label match
+        assert!(t.nodes_matching("ghost").is_empty());
+    }
+
+    #[test]
+    fn subtree_enumeration_and_size() {
+        let (t, movie, _, cast, _) = small_tree();
+        assert_eq!(t.subtree_size(movie), 5);
+        assert_eq!(t.subtree_size(cast), 3);
+        let ids: Vec<NodeId> = t.subtree(cast).collect();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn subtree_sources_and_text() {
+        let (t, movie, _, cast, _) = small_tree();
+        assert_eq!(
+            t.subtree_sources(movie),
+            vec!["movie.title".to_string(), "person.name".to_string()]
+        );
+        assert_eq!(t.subtree_sources(cast), vec!["person.name".to_string()]);
+        assert_eq!(t.subtree_text(movie), "star wars harrison ford");
+    }
+
+    #[test]
+    #[should_panic(expected = "root must be the first node")]
+    fn double_root_panics() {
+        let mut b = XmlTree::builder();
+        b.root("a");
+        b.root("b");
+    }
+}

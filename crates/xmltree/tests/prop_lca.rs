@@ -1,0 +1,156 @@
+//! Property tests for the XML tree and its LCA/MLCA operators, validated
+//! against brute-force reference implementations on random trees.
+
+use proptest::prelude::*;
+use xmltree::{LcaEngine, MlcaEngine, NodeId, XmlTree};
+
+/// Build a random two-level "site" tree: sections of pages of fields, with
+/// field texts drawn from a small vocabulary so keyword collisions happen.
+fn random_tree(structure: &[Vec<Vec<u8>>]) -> XmlTree {
+    const WORDS: &[&str] = &["star", "wars", "ocean", "drama", "actor", "space"];
+    let mut b = XmlTree::builder();
+    let root = b.root("db");
+    for (si, pages) in structure.iter().enumerate() {
+        let section = b.element(root, format!("section{si}"));
+        for fields in pages {
+            let page = b.element(section, "page");
+            for &w in fields {
+                let word = WORDS[w as usize % WORDS.len()];
+                b.field(page, "field", word, format!("t{}.c{}", si, w % 3));
+            }
+        }
+    }
+    b.build()
+}
+
+fn structure_strategy() -> impl Strategy<Value = Vec<Vec<Vec<u8>>>> {
+    prop::collection::vec(
+        prop::collection::vec(prop::collection::vec(0u8..6, 1..5), 1..5),
+        1..4,
+    )
+}
+
+/// Brute-force ancestor check by walking parents.
+fn is_ancestor_brute(t: &XmlTree, anc: NodeId, mut node: NodeId) -> bool {
+    loop {
+        if node == anc {
+            return true;
+        }
+        match t.node(node).parent {
+            Some(p) => node = p,
+            None => return false,
+        }
+    }
+}
+
+/// Brute-force LCA by marking the ancestor chain.
+fn lca_brute(t: &XmlTree, a: NodeId, b: NodeId) -> NodeId {
+    let mut chain = std::collections::HashSet::new();
+    let mut cur = a;
+    loop {
+        chain.insert(cur);
+        match t.node(cur).parent {
+            Some(p) => cur = p,
+            None => break,
+        }
+    }
+    let mut cur = b;
+    loop {
+        if chain.contains(&cur) {
+            return cur;
+        }
+        cur = t.node(cur).parent.expect("root common");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ancestor_check_matches_brute_force(structure in structure_strategy()) {
+        let t = random_tree(&structure);
+        let n = t.len() as NodeId;
+        for a in 0..n.min(20) {
+            for b in 0..n.min(20) {
+                prop_assert_eq!(t.is_ancestor_or_self(a, b), is_ancestor_brute(&t, a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn lca_matches_brute_force(structure in structure_strategy()) {
+        let t = random_tree(&structure);
+        let n = t.len() as NodeId;
+        for a in (0..n).step_by(3) {
+            for b in (0..n).step_by(5) {
+                prop_assert_eq!(t.lca(a, b), lca_brute(&t, a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn slca_answers_cover_all_keywords(structure in structure_strategy(), q in prop::sample::select(vec!["star wars", "ocean drama", "star", "actor space"])) {
+        let t = random_tree(&structure);
+        let engine = LcaEngine::new(&t, 100);
+        let keywords = relstore::index::tokenize(q);
+        for ans in engine.search(q) {
+            for kw in &keywords {
+                let covered = t
+                    .nodes_matching(kw)
+                    .iter()
+                    .any(|&m| t.is_ancestor_or_self(ans.root, m));
+                prop_assert!(covered, "answer at {} misses keyword {kw}", ans.root);
+            }
+        }
+    }
+
+    #[test]
+    fn slca_answers_are_minimal(structure in structure_strategy()) {
+        let t = random_tree(&structure);
+        let engine = LcaEngine::new(&t, 100);
+        let answers = engine.search("star drama");
+        // no answer root is an ancestor of another answer root
+        for a in &answers {
+            for b in &answers {
+                if a.root != b.root {
+                    prop_assert!(!t.is_ancestor_or_self(a.root, b.root));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mlca_roots_subset_of_slca_roots(structure in structure_strategy(), q in prop::sample::select(vec!["star wars", "ocean", "actor drama"])) {
+        let t = random_tree(&structure);
+        let lca: std::collections::HashSet<NodeId> =
+            LcaEngine::new(&t, 1000).search(q).into_iter().map(|a| a.root).collect();
+        let mlca = MlcaEngine::new(&t, 1000).search(q);
+        for a in &mlca {
+            prop_assert!(lca.contains(&a.root), "mlca root {} not an slca", a.root);
+        }
+    }
+
+    #[test]
+    fn subtree_sizes_consistent(structure in structure_strategy()) {
+        let t = random_tree(&structure);
+        // root subtree = whole tree; every child subtree strictly smaller
+        prop_assert_eq!(t.subtree_size(0), t.len());
+        for v in 1..t.len() as NodeId {
+            let parent = t.node(v).parent.unwrap();
+            prop_assert!(t.subtree_size(v) < t.subtree_size(parent));
+        }
+    }
+
+    #[test]
+    fn subtree_sources_monotone_in_ancestry(structure in structure_strategy()) {
+        let t = random_tree(&structure);
+        for v in 1..t.len() as NodeId {
+            let parent = t.node(v).parent.unwrap();
+            let child_sources = t.subtree_sources(v);
+            let parent_sources = t.subtree_sources(parent);
+            for s in &child_sources {
+                prop_assert!(parent_sources.contains(s));
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Side-by-side answers: qunits vs BANKS vs DISCOVER vs LCA vs MLCA on the
+//! same keyword queries — the demarcation problem made visible. BANKS hands
+//! back raw normalized tuples (ids unresolved), LCA whatever subtree happens
+//! to span the matches, while the qunit engine returns a curated unit.
+//!
+//! ```sh
+//! cargo run --release --example compare_baselines
+//! ```
+
+use qunits::core::derive::manual::expert_imdb_qunits;
+use qunits::core::{EngineConfig, QunitSearchEngine};
+use qunits::datagen::imdb::{ImdbConfig, ImdbData};
+use qunits::eval::systems::{
+    BanksSystem, DiscoverSystem, LcaSystem, MlcaSystem, QunitSystem, SearchSystem,
+};
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n).collect();
+        format!("{cut}…")
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = ImdbData::generate(ImdbConfig { n_movies: 120, n_people: 240, ..Default::default() });
+
+    let engine = QunitSearchEngine::build(
+        &data.db,
+        expert_imdb_qunits(&data.db)?,
+        EngineConfig::default(),
+    )?;
+    let systems: Vec<Box<dyn SearchSystem>> = vec![
+        Box::new(QunitSystem::new("qunits", engine)),
+        Box::new(BanksSystem::new(&data.db)),
+        Box::new(DiscoverSystem::new(&data.db)),
+        Box::new(LcaSystem::new(&data.db)),
+        Box::new(MlcaSystem::new(&data.db)),
+    ];
+
+    let movie = &data.movies[0];
+    let star = &data.people[0];
+    let queries = vec![
+        format!("{} cast", movie.title),
+        movie.title.clone(),
+        format!("{} movies", star.name),
+        format!("{} {}", star.name, data.people[1].name),
+    ];
+
+    for q in &queries {
+        println!("query: {q}");
+        println!("{}", "-".repeat(78));
+        for sys in &systems {
+            match sys.answer(q) {
+                Some(a) => {
+                    println!("{:9} fields: {}", sys.name(), truncate(&a.covered_fields.join(", "), 64));
+                    println!("{:9} text  : {}", "", truncate(&a.text, 64));
+                }
+                None => println!("{:9} (no answer)", sys.name()),
+            }
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Derivation laboratory: sweep the tunables of each automatic derivation
+//! and measure result quality on the §5.2 workload — the A1/A2/A3 ablations
+//! of DESIGN.md in one runnable binary.
+//!
+//! ```sh
+//! cargo run --release --example derivation_lab
+//! ```
+
+use qunits::datagen::evidence::EvidenceGenConfig;
+use qunits::datagen::imdb::ImdbConfig;
+use qunits::datagen::querylog::QueryLogConfig;
+use qunits::eval::experiments::{ablation, fig3};
+use qunits::eval::report;
+use qunits::eval::Oracle;
+
+fn main() {
+    let ctx = fig3::context(
+        ImdbConfig { n_movies: 200, n_people: 400, ..Default::default() },
+        QueryLogConfig { n_queries: 6000, ..Default::default() },
+        EvidenceGenConfig { n_pages: 300, ..Default::default() },
+        Oracle::default(),
+    );
+    let n_queries = 25;
+
+    println!("A1 — schema-data derivation: k1 × k2 grid (§4.1 'tunable parameters')\n");
+    let grid = ablation::sweep_k1k2(&ctx, &[1, 2, 3, 4], &[0, 1, 2, 3], n_queries);
+    let rows: Vec<Vec<String>> = grid
+        .iter()
+        .map(|(k1, k2, s)| vec![k1.to_string(), k2.to_string(), format!("{s:.3}")])
+        .collect();
+    println!("{}", report::table(&["k1", "k2", "avg quality"], &rows));
+
+    println!("A2 — query-log rollup vs log volume\n");
+    let sweep = ablation::sweep_log_size(&ctx, &[10, 100, 500, 2000, 6000], n_queries);
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|(n, s)| vec![n.to_string(), format!("{s:.3}")])
+        .collect();
+    println!("{}", report::table(&["log queries", "avg quality"], &rows));
+
+    println!("A3 — evidence signatures vs corpus size\n");
+    let sweep = ablation::sweep_evidence_pages(&ctx, &[10, 50, 100, 300], n_queries);
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|(n, s)| vec![n.to_string(), format!("{s:.3}")])
+        .collect();
+    println!("{}", report::table(&["evidence pages", "avg quality"], &rows));
+}

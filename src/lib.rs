@@ -1,0 +1,45 @@
+//! # qunits
+//!
+//! A full, from-scratch Rust reproduction of **"Qunits: queried units for
+//! database search"** (Arnab Nandi & H. V. Jagadish, CIDR 2009).
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`relstore`] | `qunit-relstore` | in-memory relational engine: schemas, FKs, indexes, SPJ executor, views |
+//! | [`ir`] | `qunit-ir` | IR engine: analyzer, inverted index, TF-IDF/BM25, top-k retrieval |
+//! | [`datagraph`] | `qunit-datagraph` | tuple graph + BANKS and DISCOVER baselines |
+//! | [`xmltree`] | `qunit-xmltree` | XML view + LCA / Meaningful-LCA baselines |
+//! | [`datagen`] | `qunit-datagen` | synthetic IMDb, query log, evidence pages, user-need model |
+//! | [`core`] | `qunit-core` | **the contribution**: qunit model, derivation (§4.1–4.3 + manual), segmentation, search engine |
+//! | [`eval`] | `qunit-eval` | Table 2 rubric, judge panel, comparator systems, experiments (Table 1, §5.2, Figure 3, ablations) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qunits::datagen::imdb::{ImdbConfig, ImdbData};
+//! use qunits::core::derive::manual::expert_imdb_qunits;
+//! use qunits::core::{EngineConfig, QunitSearchEngine};
+//!
+//! // 1. a database (here: the synthetic IMDb at test scale)
+//! let data = ImdbData::generate(ImdbConfig::tiny());
+//! // 2. a qunit catalog (here: the expert page-type catalog)
+//! let catalog = expert_imdb_qunits(&data.db).unwrap();
+//! // 3. the qunit search engine — keyword queries in, ranked qunits out
+//! let engine = QunitSearchEngine::build(&data.db, catalog, EngineConfig::default()).unwrap();
+//! let query = format!("{} cast", data.movies[0].title);
+//! let top = engine.top(&query).unwrap();
+//! assert_eq!(top.definition, "movie_cast");
+//! ```
+//!
+//! See `examples/` for runnable walkthroughs and `crates/eval/src/bin/` for
+//! the experiment binaries regenerating every table and figure of the paper.
+
+pub use datagen;
+pub use datagraph;
+pub use irengine as ir;
+pub use qunit_core as core;
+pub use qunit_eval as eval;
+pub use relstore;
+pub use xmltree;

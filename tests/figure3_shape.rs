@@ -1,0 +1,28 @@
+//! The headline reproduction claim as an integration test: on a fresh
+//! context, the Figure-3 ordering holds — BANKS below the XML baselines,
+//! every automatic qunit catalog above all baselines, human qunits on top,
+//! theoretical max above everything.
+
+use qunits::eval::experiments::fig3;
+
+#[test]
+fn figure3_ordering_holds_on_integration_context() {
+    let ctx = fig3::tiny_context();
+    let result = fig3::run(&ctx, 25, false);
+
+    let banks = result.score_of("banks").unwrap();
+    let lca = result.score_of("lca").unwrap();
+    let mlca = result.score_of("mlca").unwrap();
+    let auto = result.score_of("qunits-auto").unwrap();
+    let human = result.score_of("qunits-human").unwrap();
+
+    assert!(banks < lca + 0.02, "banks {banks:.3} should be at/below lca {lca:.3}");
+    assert!(mlca + 1e-9 >= lca, "mlca {mlca:.3} below lca {lca:.3}");
+    assert!(auto > mlca, "auto {auto:.3} <= mlca {mlca:.3}");
+    assert!(human >= auto, "human {human:.3} < auto {auto:.3}");
+    assert!(result.theoretical_max > human);
+
+    // the paper's separation: qunits clearly outperform the baselines
+    let best_baseline = banks.max(lca).max(mlca);
+    assert!(human >= best_baseline * 1.2);
+}
