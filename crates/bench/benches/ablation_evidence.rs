@@ -14,8 +14,10 @@ fn bench(c: &mut Criterion) {
         .iter()
         .map(|(n, s)| vec![n.to_string(), format!("{s:.3}")])
         .collect();
-    println!("\n=== A3: evidence pages vs quality (regenerated) ===\n{}",
-        report::table(&["evidence pages", "avg quality"], &rows));
+    println!(
+        "\n=== A3: evidence pages vs quality (regenerated) ===\n{}",
+        report::table(&["evidence pages", "avg quality"], &rows)
+    );
 
     c.bench_function("ablation/evidence_100_pages", |b| {
         b.iter(|| black_box(ablation::sweep_evidence_pages(&ctx, &[100], 25)[0].1))

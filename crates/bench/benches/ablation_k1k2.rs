@@ -15,8 +15,10 @@ fn bench(c: &mut Criterion) {
         .iter()
         .map(|(k1, k2, s)| vec![k1.to_string(), k2.to_string(), format!("{s:.3}")])
         .collect();
-    println!("\n=== A1: schema-data k1 x k2 (regenerated) ===\n{}",
-        report::table(&["k1", "k2", "avg quality"], &rows));
+    println!(
+        "\n=== A1: schema-data k1 x k2 (regenerated) ===\n{}",
+        report::table(&["k1", "k2", "avg quality"], &rows)
+    );
 
     c.bench_function("ablation/k1k2_single_cell", |b| {
         b.iter(|| black_box(ablation::sweep_k1k2(&ctx, &[2], &[2], 25)[0].2))

@@ -14,8 +14,10 @@ fn bench(c: &mut Criterion) {
         .iter()
         .map(|(n, s)| vec![n.to_string(), format!("{s:.3}")])
         .collect();
-    println!("\n=== A2: log volume vs quality (regenerated) ===\n{}",
-        report::table(&["log queries", "avg quality"], &rows));
+    println!(
+        "\n=== A2: log volume vs quality (regenerated) ===\n{}",
+        report::table(&["log queries", "avg quality"], &rows)
+    );
 
     c.bench_function("ablation/logsize_2000", |b| {
         b.iter(|| black_box(ablation::sweep_log_size(&ctx, &[2000], 25)[0].1))

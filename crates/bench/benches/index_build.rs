@@ -11,7 +11,11 @@ use xmltree::database_to_tree;
 
 fn bench(c: &mut Criterion) {
     for scale in [100usize, 400] {
-        let cfg = ImdbConfig { n_movies: scale, n_people: scale * 2, ..Default::default() };
+        let cfg = ImdbConfig {
+            n_movies: scale,
+            n_people: scale * 2,
+            ..Default::default()
+        };
         let data = ImdbData::generate(cfg.clone());
 
         let mut group = c.benchmark_group(format!("build/{scale}movies"));

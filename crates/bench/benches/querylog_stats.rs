@@ -10,8 +10,18 @@ use qunit_eval::workload::Workload;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let data = ImdbData::generate(ImdbConfig { n_movies: 300, n_people: 600, ..Default::default() });
-    let log = QueryLog::generate(&data, QueryLogConfig { n_queries: 10_000, ..Default::default() });
+    let data = ImdbData::generate(ImdbConfig {
+        n_movies: 300,
+        n_people: 600,
+        ..Default::default()
+    });
+    let log = QueryLog::generate(
+        &data,
+        QueryLogConfig {
+            n_queries: 10_000,
+            ..Default::default()
+        },
+    );
     let segmenter = Segmenter::new(EntityDictionary::from_database(
         &data.db,
         EntityDictionary::imdb_specs(),
@@ -19,9 +29,16 @@ fn bench(c: &mut Criterion) {
 
     // Print the paper artifact once.
     let stats = querylog_stats::measure(&log, &segmenter, 14);
-    println!("\n=== Section 5.2 statistics (regenerated) ===\n{}", stats.render());
+    println!(
+        "\n=== Section 5.2 statistics (regenerated) ===\n{}",
+        stats.render()
+    );
     let workload = Workload::paper_defaults(&log, &segmenter);
-    println!("workload: {} queries over {} templates\n", workload.queries.len(), workload.templates.len());
+    println!(
+        "workload: {} queries over {} templates\n",
+        workload.queries.len(),
+        workload.templates.len()
+    );
 
     c.bench_function("querylog/measure_10k_log", |b| {
         b.iter(|| black_box(querylog_stats::measure(&log, &segmenter, 14).unique_queries))
@@ -37,7 +54,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let l = QueryLog::generate(
                 &data,
-                QueryLogConfig { n_queries: 10_000, ..Default::default() },
+                QueryLogConfig {
+                    n_queries: 10_000,
+                    ..Default::default()
+                },
             );
             black_box(l.records.len())
         })

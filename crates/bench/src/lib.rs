@@ -22,9 +22,19 @@ pub fn bench_context() -> qunit_eval::experiments::fig3::EvalContext {
     use datagen::imdb::ImdbConfig;
     use datagen::querylog::QueryLogConfig;
     qunit_eval::experiments::fig3::context(
-        ImdbConfig { n_movies: 200, n_people: 400, ..Default::default() },
-        QueryLogConfig { n_queries: 6000, ..Default::default() },
-        EvidenceGenConfig { n_pages: 250, ..Default::default() },
+        ImdbConfig {
+            n_movies: 200,
+            n_people: 400,
+            ..Default::default()
+        },
+        QueryLogConfig {
+            n_queries: 6000,
+            ..Default::default()
+        },
+        EvidenceGenConfig {
+            n_pages: 250,
+            ..Default::default()
+        },
         qunit_eval::Oracle::default(),
     )
 }

@@ -56,14 +56,19 @@ impl QunitCatalog {
 
     /// Definitions from one derivation source.
     pub fn from_source(&self, source: DerivationSource) -> Vec<&QunitDefinition> {
-        self.defs.iter().filter(|d| d.provenance == source).collect()
+        self.defs
+            .iter()
+            .filter(|d| d.provenance == source)
+            .collect()
     }
 
     /// Definitions ranked by utility, best first.
     pub fn by_utility(&self) -> Vec<&QunitDefinition> {
         let mut v: Vec<&QunitDefinition> = self.defs.iter().collect();
         v.sort_by(|a, b| {
-            b.utility.partial_cmp(&a.utility).unwrap_or(std::cmp::Ordering::Equal)
+            b.utility
+                .partial_cmp(&a.utility)
+                .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.name.cmp(&b.name))
         });
         v
@@ -79,13 +84,16 @@ mod tests {
     fn def(name: &str, utility: f64, source: DerivationSource) -> QunitDefinition {
         QunitDefinition {
             name: name.into(),
-            base: View::new(name, Query {
-                tables: vec![0],
-                joins: vec![],
-                predicate: Predicate::True,
-                projection: None,
-                limit: None,
-            }),
+            base: View::new(
+                name,
+                Query {
+                    tables: vec![0],
+                    joins: vec![],
+                    predicate: Predicate::True,
+                    projection: None,
+                    limit: None,
+                },
+            ),
             conversion: ConversionExpr::flat(name),
             anchor: None,
             intent_terms: vec![],

@@ -2,7 +2,7 @@
 //! expression assembly, and label-column selection.
 
 use relstore::{
-    ColRef, Database, DataType, Error, JoinEdge, Predicate, Query, Result, SchemaEdge, TableId,
+    ColRef, DataType, Database, Error, JoinEdge, Predicate, Query, Result, SchemaEdge, TableId,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -228,8 +228,7 @@ mod tests {
     #[test]
     fn base_expression_multiple_targets_share_paths() {
         let db = imdb_schema();
-        let (q, names) =
-            base_expression(&db, "movie", "title", "x", &["person", "genre"]).unwrap();
+        let (q, names) = base_expression(&db, "movie", "title", "x", &["person", "genre"]).unwrap();
         assert_eq!(names, vec!["movie", "cast", "person", "genre"]);
         assert_eq!(q.joins.len(), 3);
         assert!(q.validate(&db).is_ok());
@@ -245,13 +244,25 @@ mod tests {
     #[test]
     fn label_columns_prefer_names_over_plots() {
         let data = ImdbData::generate(ImdbConfig::tiny());
-        assert_eq!(label_column(&data.db, "movie").as_deref(), Some("movie.title"));
-        assert_eq!(label_column(&data.db, "person").as_deref(), Some("person.name"));
-        assert_eq!(label_column(&data.db, "genre").as_deref(), Some("genre.type"));
+        assert_eq!(
+            label_column(&data.db, "movie").as_deref(),
+            Some("movie.title")
+        );
+        assert_eq!(
+            label_column(&data.db, "person").as_deref(),
+            Some("person.name")
+        );
+        assert_eq!(
+            label_column(&data.db, "genre").as_deref(),
+            Some("genre.type")
+        );
         // info.text is essay-length but still the only candidate
         assert_eq!(label_column(&data.db, "info").as_deref(), Some("info.text"));
         // boxoffice has no text: falls back to the numeric gross
-        assert_eq!(label_column(&data.db, "boxoffice").as_deref(), Some("boxoffice.gross"));
+        assert_eq!(
+            label_column(&data.db, "boxoffice").as_deref(),
+            Some("boxoffice.gross")
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl CatalogDiff {
     pub fn is_stable(&self, epsilon: f64) -> bool {
         self.added.is_empty()
             && self.removed.is_empty()
-            && self.utility_shifts.iter().all(|(_, a, b)| (a - b).abs() <= epsilon)
+            && self
+                .utility_shifts
+                .iter()
+                .all(|(_, a, b)| (a - b).abs() <= epsilon)
     }
 
     /// Largest absolute utility movement.
@@ -47,7 +50,9 @@ pub fn diff(old: &QunitCatalog, new: &QunitCatalog) -> CatalogDiff {
     for d in new.iter() {
         match old.get(&d.name) {
             None => out.added.push(d.name.clone()),
-            Some(prev) => out.utility_shifts.push((d.name.clone(), prev.utility, d.utility)),
+            Some(prev) => out
+                .utility_shifts
+                .push((d.name.clone(), prev.utility, d.utility)),
         }
     }
     for d in old.iter() {
@@ -128,7 +133,10 @@ mod tests {
         let report = drift_report(&epochs);
         assert_eq!(report.len(), 1);
         let d = &report[0];
-        assert!(d.added.contains(&"ql_movie_soundtrack".to_string()), "{d:?}");
+        assert!(
+            d.added.contains(&"ql_movie_soundtrack".to_string()),
+            "{d:?}"
+        );
         assert!(d.removed.contains(&"ql_movie_cast".to_string()), "{d:?}");
         assert!(!d.is_stable(0.0));
     }
@@ -138,9 +146,14 @@ mod tests {
         let (data, seg) = setup();
         let m = &data.movies[0].title;
         let queries: Vec<String> = (0..40).map(|_| format!("{m} cast")).collect();
-        let epochs =
-            derive_epochs(&data.db, &seg, &queries, 2, &QueryLogDeriveConfig::default())
-                .unwrap();
+        let epochs = derive_epochs(
+            &data.db,
+            &seg,
+            &queries,
+            2,
+            &QueryLogDeriveConfig::default(),
+        )
+        .unwrap();
         let report = drift_report(&epochs);
         assert!(report[0].is_stable(1e-9), "{:?}", report[0]);
         assert_eq!(report[0].max_utility_shift(), 0.0);
@@ -165,9 +178,14 @@ mod tests {
         for _ in 0..10 {
             queries.push(format!("{p} movies"));
         }
-        let epochs =
-            derive_epochs(&data.db, &seg, &queries, 2, &QueryLogDeriveConfig::default())
-                .unwrap();
+        let epochs = derive_epochs(
+            &data.db,
+            &seg,
+            &queries,
+            2,
+            &QueryLogDeriveConfig::default(),
+        )
+        .unwrap();
         let d = diff(&epochs[0], &epochs[1]);
         let person_shift = d
             .utility_shifts
@@ -185,9 +203,14 @@ mod tests {
         let m = &data.movies[0].title;
         let queries: Vec<String> = (0..30).map(|_| format!("{m} cast")).collect();
         for n in [1, 2, 3, 5] {
-            let epochs =
-                derive_epochs(&data.db, &seg, &queries, n, &QueryLogDeriveConfig::default())
-                    .unwrap();
+            let epochs = derive_epochs(
+                &data.db,
+                &seg,
+                &queries,
+                n,
+                &QueryLogDeriveConfig::default(),
+            )
+            .unwrap();
             assert!(epochs.len() <= n);
             assert!(!epochs.is_empty());
         }

@@ -74,8 +74,7 @@ pub fn page_signature(dict: &EntityDictionary, page: &EvidencePage) -> Option<Ty
     if mentions < 2 || counts.len() < 2 {
         return None;
     }
-    let mut entries: Vec<(String, bool)> =
-        counts.into_iter().map(|(ty, c)| (ty, c >= 2)).collect();
+    let mut entries: Vec<(String, bool)> = counts.into_iter().map(|(ty, c)| (ty, c >= 2)).collect();
     entries.sort();
     Some(TypeSignature { entries, leading })
 }
@@ -115,7 +114,11 @@ pub fn derive(
         }
         // Anchor: the leading singleton type; if the leading type is plural,
         // fall back to any singleton.
-        let anchor_ty = if sig.entries.iter().any(|(t, many)| t == &sig.leading && !many) {
+        let anchor_ty = if sig
+            .entries
+            .iter()
+            .any(|(t, many)| t == &sig.leading && !many)
+        {
             sig.leading.clone()
         } else {
             match sig.entries.iter().find(|(_, many)| !many) {
@@ -179,16 +182,16 @@ pub fn derive(
         intent.sort();
         intent.dedup();
 
-        let name = format!(
-            "ev_{}_{}",
-            atable,
-            include.join("_")
-        );
+        let name = format!("ev_{}_{}", atable, include.join("_"));
         cat.add(QunitDefinition {
             name: name.clone(),
             base: View::new(name, query),
             conversion: ConversionExpr::nested(format!("{atable}_evidence"), header, foreach),
-            anchor: Some(AnchorSpec { table: atable, column: acolumn, param: "x".into() }),
+            anchor: Some(AnchorSpec {
+                table: atable,
+                column: acolumn,
+                param: "x".into(),
+            }),
             intent_terms: intent,
             covered_fields: covered,
             utility: support as f64 / max_support,
@@ -212,7 +215,10 @@ mod tests {
 
     fn page(elements: &[(&str, &str)]) -> EvidencePage {
         EvidencePage {
-            elements: elements.iter().map(|(t, x)| (t.to_string(), x.to_string())).collect(),
+            elements: elements
+                .iter()
+                .map(|(t, x)| (t.to_string(), x.to_string()))
+                .collect(),
         }
     }
 
@@ -227,7 +233,10 @@ mod tests {
         assert_eq!(sig.leading, "movie.title");
         assert_eq!(
             sig.entries,
-            vec![("movie.title".to_string(), false), ("person.name".to_string(), true)]
+            vec![
+                ("movie.title".to_string(), false),
+                ("person.name".to_string(), true)
+            ]
         );
     }
 
@@ -245,7 +254,13 @@ mod tests {
     #[test]
     fn derive_from_synthetic_corpus_finds_cast_and_filmography_shapes() {
         let (data, dict) = setup();
-        let corpus = EvidenceCorpus::generate(&data, EvidenceGenConfig { n_pages: 200, ..EvidenceGenConfig::tiny() });
+        let corpus = EvidenceCorpus::generate(
+            &data,
+            EvidenceGenConfig {
+                n_pages: 200,
+                ..EvidenceGenConfig::tiny()
+            },
+        );
         let pages: Vec<EvidencePage> = corpus
             .pages
             .iter()
@@ -257,16 +272,32 @@ mod tests {
                     .collect(),
             })
             .collect();
-        let cat = derive(&data.db, &dict, &pages, &EvidenceDeriveConfig { min_pages: 3 }).unwrap();
+        let cat = derive(
+            &data.db,
+            &dict,
+            &pages,
+            &EvidenceDeriveConfig { min_pages: 3 },
+        )
+        .unwrap();
         assert!(!cat.is_empty());
         // cast-page shape: movie anchor with person foreach
         let movie_anchored = cat
             .iter()
-            .filter(|d| d.anchor.as_ref().map(|a| a.table == "movie").unwrap_or(false))
+            .filter(|d| {
+                d.anchor
+                    .as_ref()
+                    .map(|a| a.table == "movie")
+                    .unwrap_or(false)
+            })
             .count();
         let person_anchored = cat
             .iter()
-            .filter(|d| d.anchor.as_ref().map(|a| a.table == "person").unwrap_or(false))
+            .filter(|d| {
+                d.anchor
+                    .as_ref()
+                    .map(|a| a.table == "person")
+                    .unwrap_or(false)
+            })
             .count();
         assert!(movie_anchored >= 1, "cast/summary-shaped qunits expected");
         assert!(person_anchored >= 1, "filmography-shaped qunits expected");
@@ -283,11 +314,27 @@ mod tests {
         let m = &data.movies[0].title;
         let p = &data.people[0].name;
         let single = vec![EvidencePage {
-            elements: vec![("h1".into(), m.clone()), ("li".into(), p.clone()), ("li".into(), data.people[1].name.clone())],
+            elements: vec![
+                ("h1".into(), m.clone()),
+                ("li".into(), p.clone()),
+                ("li".into(), data.people[1].name.clone()),
+            ],
         }];
-        let strict = derive(&data.db, &dict, &single, &EvidenceDeriveConfig { min_pages: 2 }).unwrap();
+        let strict = derive(
+            &data.db,
+            &dict,
+            &single,
+            &EvidenceDeriveConfig { min_pages: 2 },
+        )
+        .unwrap();
         assert!(strict.is_empty());
-        let lax = derive(&data.db, &dict, &single, &EvidenceDeriveConfig { min_pages: 1 }).unwrap();
+        let lax = derive(
+            &data.db,
+            &dict,
+            &single,
+            &EvidenceDeriveConfig { min_pages: 1 },
+        )
+        .unwrap();
         assert_eq!(lax.len(), 1);
     }
 
@@ -300,8 +347,16 @@ mod tests {
         let p2 = &data.people[1].name;
         // two different cast pages, same *shape*
         let pages = vec![
-            page(&[("h1", m1.as_str()), ("li", p1.as_str()), ("li", p2.as_str())]),
-            page(&[("h1", m2.as_str()), ("li", p2.as_str()), ("li", p1.as_str())]),
+            page(&[
+                ("h1", m1.as_str()),
+                ("li", p1.as_str()),
+                ("li", p2.as_str()),
+            ]),
+            page(&[
+                ("h1", m2.as_str()),
+                ("li", p2.as_str()),
+                ("li", p1.as_str()),
+            ]),
         ];
         let sigs = aggregate_signatures(&dict, &pages);
         assert_eq!(sigs.len(), 1);

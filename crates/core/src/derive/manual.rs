@@ -60,8 +60,16 @@ pub fn expert_imdb_qunits(db: &Database) -> Result<QunitCatalog> {
             "genre.type".into(),
         ],
         vec!["person.name".into()],
-        &["summary", "about", "year", "release", "rating", "genre", "info"],
-        &["movie.title", "movie.releasedate", "movie.rating", "genre.type", "person.name"],
+        &[
+            "summary", "about", "year", "release", "rating", "genre", "info",
+        ],
+        &[
+            "movie.title",
+            "movie.releasedate",
+            "movie.rating",
+            "genre.type",
+            "person.name",
+        ],
         1.0,
     )?);
 
@@ -86,10 +94,19 @@ pub fn expert_imdb_qunits(db: &Database) -> Result<QunitCatalog> {
         "person",
         "name",
         &["movie"],
-        vec!["person.name".into(), "person.birthdate".into(), "person.gender".into()],
+        vec![
+            "person.name".into(),
+            "person.birthdate".into(),
+            "person.gender".into(),
+        ],
         vec!["movie.title".into()],
         &["biography", "profile", "born"],
-        &["person.name", "person.birthdate", "person.gender", "movie.title"],
+        &[
+            "person.name",
+            "person.birthdate",
+            "person.gender",
+            "movie.title",
+        ],
         1.0,
     )?);
 
@@ -239,7 +256,11 @@ pub fn movie_summary_only(db: &Database) -> Result<QunitCatalog> {
         name: "movie_page".into(),
         base: View::new("movie_page", query),
         conversion: ConversionExpr::flat("movie"),
-        anchor: Some(AnchorSpec { table: "movie".into(), column: "title".into(), param: "x".into() }),
+        anchor: Some(AnchorSpec {
+            table: "movie".into(),
+            column: "title".into(),
+            param: "x".into(),
+        }),
         intent_terms: vec!["summary".into()],
         covered_fields: vec!["movie.title".into()],
         utility: 1.0,
@@ -286,7 +307,10 @@ mod tests {
         let cast = cat.get("movie_cast").unwrap();
         let sql = relstore::render_sql(&db, &cast.base.query);
         // SELECT * FROM movie, cast, person WHERE … AND movie.title = "$x"
-        assert!(sql.starts_with("SELECT * FROM movie, cast, person"), "{sql}");
+        assert!(
+            sql.starts_with("SELECT * FROM movie, cast, person"),
+            "{sql}"
+        );
         assert!(sql.contains("movie.title = \"$x\""), "{sql}");
     }
 

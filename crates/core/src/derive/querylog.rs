@@ -36,7 +36,11 @@ pub struct QueryLogDeriveConfig {
 
 impl Default for QueryLogDeriveConfig {
     fn default() -> Self {
-        QueryLogDeriveConfig { min_support: 3, max_targets: 4, attribute_share: 0.05 }
+        QueryLogDeriveConfig {
+            min_support: 3,
+            max_targets: 4,
+            attribute_share: 0.05,
+        }
     }
 }
 
@@ -96,8 +100,7 @@ pub fn mine_links(segmenter: &Segmenter, queries: &[String]) -> SchemaLinks {
             // entity → co-occurring entity-type links
             for (other, _) in &entities {
                 if other != anchor {
-                    let target_table =
-                        other.split('.').next().unwrap_or(other).to_string();
+                    let target_table = other.split('.').next().unwrap_or(other).to_string();
                     *out.links.entry((anchor.clone(), target_table)).or_insert(0) += 1;
                 }
             }
@@ -125,8 +128,13 @@ pub fn derive_from_links(
 ) -> Result<QunitCatalog> {
     let stats = DatabaseStats::collect(db);
     let mut cat = QunitCatalog::new();
-    let max_total =
-        links.anchor_totals.values().copied().max().unwrap_or(1).max(1) as f64;
+    let max_total = links
+        .anchor_totals
+        .values()
+        .copied()
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
 
     let mut anchors: Vec<(&String, &usize)> = links.anchor_totals.iter().collect();
     anchors.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
@@ -218,12 +226,12 @@ pub fn derive_from_links(
         cat.add(QunitDefinition {
             name: name.clone(),
             base: View::new(name, query),
-            conversion: ConversionExpr::nested(
-                format!("{atable}_rollup"),
-                header,
-                foreach,
-            ),
-            anchor: Some(AnchorSpec { table: atable, column: acolumn, param: "x".into() }),
+            conversion: ConversionExpr::nested(format!("{atable}_rollup"), header, foreach),
+            anchor: Some(AnchorSpec {
+                table: atable,
+                column: acolumn,
+                param: "x".into(),
+            }),
             intent_terms: intent,
             covered_fields: covered,
             utility: total as f64 / max_total,
@@ -333,10 +341,16 @@ mod tests {
             format!("{p2} {m2}"),
         ];
         let links = mine_links(&seg, &queries);
-        assert_eq!(links.links.get(&("person.name".into(), "movie".into())), Some(&2));
+        assert_eq!(
+            links.links.get(&("person.name".into(), "movie".into())),
+            Some(&2)
+        );
         // "actor" is a cast.role entity in our dictionary, so it counts as a
         // co-occurring entity of table `cast`.
-        assert_eq!(links.links.get(&("person.name".into(), "cast".into())), Some(&1));
+        assert_eq!(
+            links.links.get(&("person.name".into(), "cast".into())),
+            Some(&1)
+        );
         assert_eq!(links.anchor_totals.get("person.name"), Some(&3));
     }
 
@@ -346,8 +360,14 @@ mod tests {
         let m = &data.movies[0].title;
         let queries: Vec<String> = (0..5).map(|_| format!("{m} cast")).collect();
         let links = mine_links(&seg, &queries);
-        assert_eq!(links.links.get(&("movie.title".into(), "cast".into())), Some(&5));
-        let terms = links.terms.get(&("movie.title".into(), "cast".into())).unwrap();
+        assert_eq!(
+            links.links.get(&("movie.title".into(), "cast".into())),
+            Some(&5)
+        );
+        let terms = links
+            .terms
+            .get(&("movie.title".into(), "cast".into()))
+            .unwrap();
         assert_eq!(terms, &vec!["cast".to_string()]);
     }
 
@@ -370,7 +390,9 @@ mod tests {
         // rollup qunits for both anchors
         let movie_rollup = cat.get("ql_movie_rollup").expect("movie rollup");
         assert!(movie_rollup.intent_terms.contains(&"cast".to_string()));
-        assert!(movie_rollup.intent_terms.contains(&"box office".to_string()));
+        assert!(movie_rollup
+            .intent_terms
+            .contains(&"box office".to_string()));
         assert!(cat.get("ql_person_rollup").is_some());
         // dedicated attribute qunits for dominant pairs
         assert!(cat.get("ql_movie_cast").is_some());
@@ -391,7 +413,10 @@ mod tests {
             &data.db,
             &seg,
             &queries,
-            &QueryLogDeriveConfig { min_support: 3, ..Default::default() },
+            &QueryLogDeriveConfig {
+                min_support: 3,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(cat.is_empty());

@@ -23,7 +23,7 @@ use crate::catalog::QunitCatalog;
 use crate::derive::common::{base_expression, display_columns, label_column_with_stats};
 use crate::presentation::ConversionExpr;
 use crate::qunit::{AnchorSpec, DerivationSource, QunitDefinition};
-use relstore::{Database, DatabaseStats, DataType, Result, View};
+use relstore::{DataType, Database, DatabaseStats, Result, View};
 use std::collections::HashMap;
 
 /// Derivation parameters (the paper's tunable k1, k2).
@@ -63,11 +63,17 @@ pub fn queriability(db: &Database) -> Vec<Queriability> {
             let label = label_column_with_stats(db, &stats, &schema.name);
             let label_score = best_text_score(&schema.name, &stats);
             let score = (1.0 + t.rows as f64).ln() * (1.0 + t.fk_degree as f64) * label_score;
-            Queriability { table: schema.name.clone(), score, label }
+            Queriability {
+                table: schema.name.clone(),
+                score,
+                label,
+            }
         })
         .collect();
     out.sort_by(|a, b| {
-        b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.table.cmp(&b.table))
     });
     out
@@ -94,8 +100,7 @@ fn best_text_score(table: &str, stats: &DatabaseStats) -> f64 {
 /// Derive a catalog with the given `k1 × k2` expansion.
 pub fn derive(db: &Database, config: &SchemaDataConfig) -> Result<QunitCatalog> {
     let scores = queriability(db);
-    let score_of: HashMap<&str, f64> =
-        scores.iter().map(|q| (q.table.as_str(), q.score)).collect();
+    let score_of: HashMap<&str, f64> = scores.iter().map(|q| (q.table.as_str(), q.score)).collect();
     let anchors: Vec<&Queriability> = scores
         .iter()
         .filter(|q| q.score > 0.0 && q.label.as_deref().map(is_text_label).unwrap_or(false))
@@ -103,7 +108,11 @@ pub fn derive(db: &Database, config: &SchemaDataConfig) -> Result<QunitCatalog> 
         .collect();
 
     let mut cat = QunitCatalog::new();
-    let max_score = anchors.first().map(|a| a.score).unwrap_or(1.0).max(f64::MIN_POSITIVE);
+    let max_score = anchors
+        .first()
+        .map(|a| a.score)
+        .unwrap_or(1.0)
+        .max(f64::MIN_POSITIVE);
     for anchor in anchors {
         let label = anchor.label.as_deref().expect("filtered");
         let (atable, acolumn) = split(label);
@@ -131,14 +140,18 @@ pub fn derive(db: &Database, config: &SchemaDataConfig) -> Result<QunitCatalog> 
             }
         }
         candidates.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
         });
-        let neighbors: Vec<String> =
-            candidates.into_iter().take(config.k2).map(|(n, _)| n).collect();
+        let neighbors: Vec<String> = candidates
+            .into_iter()
+            .take(config.k2)
+            .map(|(n, _)| n)
+            .collect();
         let neighbor_refs: Vec<&str> = neighbors.iter().map(String::as_str).collect();
 
-        let (query, from_tables) =
-            base_expression(db, &atable, &acolumn, "x", &neighbor_refs)?;
+        let (query, from_tables) = base_expression(db, &atable, &acolumn, "x", &neighbor_refs)?;
 
         // Conversion: anchor display columns once; neighbor labels per tuple.
         let stats = DatabaseStats::collect(db);
@@ -179,7 +192,11 @@ pub fn derive(db: &Database, config: &SchemaDataConfig) -> Result<QunitCatalog> 
                 header,
                 foreach,
             ),
-            anchor: Some(AnchorSpec { table: atable, column: acolumn, param: "x".into() }),
+            anchor: Some(AnchorSpec {
+                table: atable,
+                column: acolumn,
+                param: "x".into(),
+            }),
             intent_terms: intent,
             covered_fields: covered,
             utility: anchor.score / max_score,

@@ -192,8 +192,11 @@ impl QunitSearchEngine {
     pub fn type_scores(&self, query: &str) -> HashMap<String, f64> {
         let seg = self.segmenter.segment(query);
         let residual = seg.residual_terms();
-        let entity_types: Vec<String> =
-            seg.entities().iter().filter_map(|s| s.entity_type()).collect();
+        let entity_types: Vec<String> = seg
+            .entities()
+            .iter()
+            .filter_map(|s| s.entity_type())
+            .collect();
         let max_utility = self
             .catalog
             .iter()
@@ -237,8 +240,11 @@ impl QunitSearchEngine {
                 _ => None,
             })
             .collect();
-        let entity_types: Vec<String> =
-            seg.entities().iter().filter_map(|s| s.entity_type()).collect();
+        let entity_types: Vec<String> = seg
+            .entities()
+            .iter()
+            .filter_map(|s| s.entity_type())
+            .collect();
 
         // Underspecified query (entity, no residual): its default answer is
         // the most *salient* qunit of that entity type — "the qunit
@@ -247,30 +253,28 @@ impl QunitSearchEngine {
         // utility plus accumulated click feedback for this query shape, so
         // user behaviour can move the default over time.
         let salience = |d: &crate::qunit::QunitDefinition| {
-            d.utility
-                + self.config.feedback_weight * self.feedback.boost(&seg_signature, &d.name)
+            d.utility + self.config.feedback_weight * self.feedback.boost(&seg_signature, &d.name)
         };
-        let default_def: Option<&str> = if seg.residual_terms().is_empty()
-            && !entity_types.is_empty()
-        {
-            self.catalog
-                .iter()
-                .filter(|d| {
-                    d.anchor
-                        .as_ref()
-                        .map(|a| entity_types.iter().any(|t| *t == a.qualified()))
-                        .unwrap_or(false)
-                })
-                .max_by(|a, b| {
-                    salience(a)
-                        .partial_cmp(&salience(b))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(b.name.cmp(&a.name))
-                })
-                .map(|d| d.name.as_str())
-        } else {
-            None
-        };
+        let default_def: Option<&str> =
+            if seg.residual_terms().is_empty() && !entity_types.is_empty() {
+                self.catalog
+                    .iter()
+                    .filter(|d| {
+                        d.anchor
+                            .as_ref()
+                            .map(|a| entity_types.iter().any(|t| *t == a.qualified()))
+                            .unwrap_or(false)
+                    })
+                    .max_by(|a, b| {
+                        salience(a)
+                            .partial_cmp(&salience(b))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(b.name.cmp(&a.name))
+                    })
+                    .map(|d| d.name.as_str())
+            } else {
+                None
+            };
 
         // §3: "standard IR techniques can be used to evaluate this query
         // against qunit instances *of the identified type*". When typing is
@@ -285,9 +289,7 @@ impl QunitSearchEngine {
             Some(
                 self.catalog
                     .iter()
-                    .filter(|d| {
-                        type_scores.get(&d.name).copied().unwrap_or(0.0) >= best_ts - 0.25
-                    })
+                    .filter(|d| type_scores.get(&d.name).copied().unwrap_or(0.0) >= best_ts - 0.25)
                     .map(|d| d.name.as_str())
                     .collect(),
             )
@@ -395,8 +397,7 @@ mod tests {
     fn engine() -> (ImdbData, QunitSearchEngine) {
         let data = ImdbData::generate(ImdbConfig::tiny());
         let catalog = expert_imdb_qunits(&data.db).unwrap();
-        let engine =
-            QunitSearchEngine::build(&data.db, catalog, EngineConfig::default()).unwrap();
+        let engine = QunitSearchEngine::build(&data.db, catalog, EngineConfig::default()).unwrap();
         (data, engine)
     }
 
@@ -462,10 +463,11 @@ mod tests {
     fn soundtrack_intent_wins_over_summary() {
         let (data, engine) = engine();
         // find a movie that actually has a soundtrack instance
-        let st_movie = data
-            .movies
-            .iter()
-            .find(|m| engine.instance(&format!("movie_soundtrack::{}", m.title)).is_some());
+        let st_movie = data.movies.iter().find(|m| {
+            engine
+                .instance(&format!("movie_soundtrack::{}", m.title))
+                .is_some()
+        });
         if let Some(m) = st_movie {
             let q = format!("{} ost", m.title);
             let top = engine.top(&q).unwrap();

@@ -37,7 +37,11 @@ impl FeedbackStore {
             .write()
             .entry((signature.to_string(), definition.to_string()))
             .or_insert(0) += 1;
-        *self.totals.write().entry(signature.to_string()).or_insert(0) += 1;
+        *self
+            .totals
+            .write()
+            .entry(signature.to_string())
+            .or_insert(0) += 1;
     }
 
     /// Number of clicks recorded for `(signature, definition)`.

@@ -60,12 +60,12 @@ pub fn materialize_all(db: &Database, def: &QunitDefinition) -> Result<Vec<Qunit
 
     for branch in &branches {
         let rs = db.execute(branch)?;
-        let anchor_col = rs
-            .column_index(&anchor.qualified())
-            .ok_or_else(|| Error::UnknownColumn {
-                table: anchor.table.clone(),
-                column: anchor.column.clone(),
-            })?;
+        let anchor_col =
+            rs.column_index(&anchor.qualified())
+                .ok_or_else(|| Error::UnknownColumn {
+                    table: anchor.table.clone(),
+                    column: anchor.column.clone(),
+                })?;
         let mut branch_groups: HashMap<Value, Vec<Vec<Value>>> = HashMap::new();
         for row in rs.rows {
             let key = row[anchor_col].clone();
@@ -147,7 +147,9 @@ fn star_branches(query: &Query, anchor_param: &str) -> Vec<Query> {
             .joins
             .iter()
             .filter(|j| remap.contains_key(&j.left) && remap.contains_key(&j.right))
-            .map(|j| relstore::JoinEdge::new(remap[&j.left], j.left_col, remap[&j.right], j.right_col))
+            .map(|j| {
+                relstore::JoinEdge::new(remap[&j.left], j.left_col, remap[&j.right], j.right_col)
+            })
             .collect();
         // keep the residual predicate only when the branch covers it fully
         let predicate = if predicate_positions(&stripped)
@@ -158,7 +160,13 @@ fn star_branches(query: &Query, anchor_param: &str) -> Vec<Query> {
         } else {
             Predicate::True
         };
-        out.push(Query { tables, joins, predicate, projection: None, limit: query.limit });
+        out.push(Query {
+            tables,
+            joins,
+            predicate,
+            projection: None,
+            limit: query.limit,
+        });
     }
     if out.is_empty() {
         let mut q = query.clone();
@@ -205,12 +213,14 @@ fn remap_predicate(p: &Predicate, remap: &HashMap<usize, usize>) -> Predicate {
         Predicate::Contains(c, s) => Predicate::Contains(rc(c), s.clone()),
         Predicate::IsNull(c) => Predicate::IsNull(rc(c)),
         Predicate::ColEq(a, b) => Predicate::ColEq(rc(a), rc(b)),
-        Predicate::And(a, b) => {
-            Predicate::And(Box::new(remap_predicate(a, remap)), Box::new(remap_predicate(b, remap)))
-        }
-        Predicate::Or(a, b) => {
-            Predicate::Or(Box::new(remap_predicate(a, remap)), Box::new(remap_predicate(b, remap)))
-        }
+        Predicate::And(a, b) => Predicate::And(
+            Box::new(remap_predicate(a, remap)),
+            Box::new(remap_predicate(b, remap)),
+        ),
+        Predicate::Or(a, b) => Predicate::Or(
+            Box::new(remap_predicate(a, remap)),
+            Box::new(remap_predicate(b, remap)),
+        ),
         Predicate::Not(i) => Predicate::Not(Box::new(remap_predicate(i, remap))),
     }
 }
@@ -319,11 +329,16 @@ mod tests {
                 .foreign_key("movie_id", "movie", "id"),
         )
         .unwrap();
-        db.insert("movie", vec![1.into(), "star wars".into()]).unwrap();
-        db.insert("movie", vec![2.into(), "solaris".into()]).unwrap();
-        db.insert("movie", vec![3.into(), "uncast movie".into()]).unwrap();
-        db.insert("person", vec![1.into(), "harrison ford".into()]).unwrap();
-        db.insert("person", vec![2.into(), "carrie fisher".into()]).unwrap();
+        db.insert("movie", vec![1.into(), "star wars".into()])
+            .unwrap();
+        db.insert("movie", vec![2.into(), "solaris".into()])
+            .unwrap();
+        db.insert("movie", vec![3.into(), "uncast movie".into()])
+            .unwrap();
+        db.insert("person", vec![1.into(), "harrison ford".into()])
+            .unwrap();
+        db.insert("person", vec![2.into(), "carrie fisher".into()])
+            .unwrap();
         db.insert("cast", vec![1.into(), 1.into()]).unwrap();
         db.insert("cast", vec![2.into(), 1.into()]).unwrap();
         db.insert("cast", vec![1.into(), 2.into()]).unwrap();
@@ -397,8 +412,7 @@ mod tests {
         let def = cast_def(&db);
         let all = materialize_all(&db, &def).unwrap();
         for inst in all {
-            let single =
-                materialize_one(&db, &def, inst.anchor_value.as_ref().unwrap()).unwrap();
+            let single = materialize_one(&db, &def, inst.anchor_value.as_ref().unwrap()).unwrap();
             assert_eq!(single.text, inst.text);
             assert_eq!(single.rendered, inst.rendered);
         }

@@ -32,7 +32,11 @@ impl ConversionExpr {
     /// A template that renders *every* column of every tuple (used as a
     /// fallback when derivation has no better idea).
     pub fn flat(root_label: impl Into<String>) -> Self {
-        ConversionExpr { root_label: root_label.into(), header: Vec::new(), foreach: Vec::new() }
+        ConversionExpr {
+            root_label: root_label.into(),
+            header: Vec::new(),
+            foreach: Vec::new(),
+        }
     }
 
     /// A nested template: `header` once, `foreach` per tuple.
@@ -41,7 +45,11 @@ impl ConversionExpr {
         header: Vec<String>,
         foreach: Vec<String>,
     ) -> Self {
-        ConversionExpr { root_label: root_label.into(), header, foreach }
+        ConversionExpr {
+            root_label: root_label.into(),
+            header,
+            foreach,
+        }
     }
 
     /// Render a result set to `(markup, plain_text)`.
@@ -58,8 +66,7 @@ impl ConversionExpr {
         markup.push_str(&format!("<{}>", self.root_label));
         // Header: first tuple's values for the header columns.
         if let Some(first) = rs.rows.first() {
-            let header_cols: Vec<&String> = if self.header.is_empty() && self.foreach.is_empty()
-            {
+            let header_cols: Vec<&String> = if self.header.is_empty() && self.foreach.is_empty() {
                 Vec::new()
             } else {
                 self.header.iter().collect()
@@ -127,11 +134,23 @@ mod tests {
 
     fn cast_result() -> ResultSet {
         ResultSet {
-            columns: vec!["movie.title".into(), "person.name".into(), "cast.role".into()],
+            columns: vec![
+                "movie.title".into(),
+                "person.name".into(),
+                "cast.role".into(),
+            ],
             sources: vec![ColRef::new(0, 0), ColRef::new(1, 0), ColRef::new(2, 0)],
             rows: vec![
-                vec![Value::from("star wars"), Value::from("harrison ford"), Value::from("actor")],
-                vec![Value::from("star wars"), Value::from("carrie fisher"), Value::from("actress")],
+                vec![
+                    Value::from("star wars"),
+                    Value::from("harrison ford"),
+                    Value::from("actor"),
+                ],
+                vec![
+                    Value::from("star wars"),
+                    Value::from("carrie fisher"),
+                    Value::from("actress"),
+                ],
             ],
         }
     }
@@ -194,7 +213,11 @@ mod tests {
     #[test]
     fn empty_result_renders_empty_root() {
         let conv = ConversionExpr::nested("cast", vec!["movie.title".into()], vec![]);
-        let rs = ResultSet { columns: vec!["movie.title".into()], sources: vec![ColRef::new(0, 0)], rows: vec![] };
+        let rs = ResultSet {
+            columns: vec!["movie.title".into()],
+            sources: vec![ColRef::new(0, 0)],
+            rows: vec![],
+        };
         let (markup, text) = conv.render(&rs);
         assert_eq!(markup, "<cast></cast>");
         assert!(text.is_empty());
@@ -203,6 +226,9 @@ mod tests {
     #[test]
     fn mentioned_columns_union() {
         let conv = ConversionExpr::nested("c", vec!["a.b".into()], vec!["c.d".into()]);
-        assert_eq!(conv.mentioned_columns(), vec!["a.b".to_string(), "c.d".to_string()]);
+        assert_eq!(
+            conv.mentioned_columns(),
+            vec!["a.b".to_string(), "c.d".to_string()]
+        );
     }
 }

@@ -88,7 +88,10 @@ impl QunitDefinition {
         if terms.is_empty() {
             return 0.0;
         }
-        let hits = terms.iter().filter(|t| self.intent_terms.contains(t)).count();
+        let hits = terms
+            .iter()
+            .filter(|t| self.intent_terms.contains(t))
+            .count();
         hits as f64 / terms.len() as f64
     }
 }
@@ -128,15 +131,22 @@ mod tests {
     fn def(intent: &[&str]) -> QunitDefinition {
         QunitDefinition {
             name: "t".into(),
-            base: View::new("t", Query {
-                tables: vec![0],
-                joins: vec![],
-                predicate: Predicate::True,
-                projection: None,
-                limit: None,
-            }),
+            base: View::new(
+                "t",
+                Query {
+                    tables: vec![0],
+                    joins: vec![],
+                    predicate: Predicate::True,
+                    projection: None,
+                    limit: None,
+                },
+            ),
             conversion: ConversionExpr::flat("t"),
-            anchor: Some(AnchorSpec { table: "movie".into(), column: "title".into(), param: "x".into() }),
+            anchor: Some(AnchorSpec {
+                table: "movie".into(),
+                column: "title".into(),
+                param: "x".into(),
+            }),
             intent_terms: intent.iter().map(|s| s.to_string()).collect(),
             covered_fields: vec!["movie.title".into()],
             utility: 1.0,

@@ -93,9 +93,7 @@ impl SegmentedQuery {
         self.segments
             .iter()
             .filter_map(|s| match s {
-                Segment::Attribute { term, .. } | Segment::Freetext { term } => {
-                    Some(term.clone())
-                }
+                Segment::Attribute { term, .. } | Segment::Freetext { term } => Some(term.clone()),
                 _ => None,
             })
             .collect()
@@ -320,7 +318,10 @@ impl Segmenter {
             for len in (1..=max_a).rev() {
                 let joined = toks[i..i + len].join(" ");
                 if let Some(target) = self.dict.lookup_attribute(&joined) {
-                    segments.push(Segment::Attribute { term: joined, target: target.clone() });
+                    segments.push(Segment::Attribute {
+                        term: joined,
+                        target: target.clone(),
+                    });
                     i += len;
                     matched = true;
                     break;
@@ -329,10 +330,15 @@ impl Segmenter {
             if matched {
                 continue;
             }
-            segments.push(Segment::Freetext { term: toks[i].clone() });
+            segments.push(Segment::Freetext {
+                term: toks[i].clone(),
+            });
             i += 1;
         }
-        SegmentedQuery { raw: raw.to_string(), segments }
+        SegmentedQuery {
+            raw: raw.to_string(),
+            segments,
+        }
     }
 }
 
@@ -364,10 +370,14 @@ mod tests {
                 .column(ColumnDef::new("role", DataType::Text)),
         )
         .unwrap();
-        db.insert("movie", vec![1.into(), "star wars".into()]).unwrap();
-        db.insert("movie", vec![2.into(), "ocean eleven".into()]).unwrap();
-        db.insert("person", vec![1.into(), "george clooney".into()]).unwrap();
-        db.insert("cast", vec![1.into(), 2.into(), "actor".into()]).unwrap();
+        db.insert("movie", vec![1.into(), "star wars".into()])
+            .unwrap();
+        db.insert("movie", vec![2.into(), "ocean eleven".into()])
+            .unwrap();
+        db.insert("person", vec![1.into(), "george clooney".into()])
+            .unwrap();
+        db.insert("cast", vec![1.into(), 2.into(), "actor".into()])
+            .unwrap();
         db
     }
 
@@ -424,7 +434,10 @@ mod tests {
         let q = s.segment("star wars space transponders");
         assert_eq!(q.template_signature(), "[movie.title] [freetext]");
         assert_eq!(q.shape(), QueryShape::EntityFreetext);
-        assert_eq!(q.freetext_terms(), vec!["space".to_string(), "transponders".to_string()]);
+        assert_eq!(
+            q.freetext_terms(),
+            vec!["space".to_string(), "transponders".to_string()]
+        );
     }
 
     #[test]
@@ -462,7 +475,10 @@ mod tests {
     fn residual_terms_union() {
         let s = segmenter();
         let q = s.segment("star wars cast wallpaper");
-        assert_eq!(q.residual_terms(), vec!["cast".to_string(), "wallpaper".to_string()]);
+        assert_eq!(
+            q.residual_terms(),
+            vec!["cast".to_string(), "wallpaper".to_string()]
+        );
     }
 
     #[test]

@@ -102,7 +102,11 @@ fn materialized_instances_have_unique_keys_and_nonempty_text() {
         let mut keys = std::collections::HashSet::new();
         for inst in &instances {
             assert!(keys.insert(inst.key.clone()), "duplicate key {}", inst.key);
-            assert!(!inst.text.is_empty(), "empty instance text for {}", inst.key);
+            assert!(
+                !inst.text.is_empty(),
+                "empty instance text for {}",
+                inst.key
+            );
             assert_eq!(inst.definition, def.name);
             assert!(inst.tuple_count > 0);
         }
@@ -152,7 +156,10 @@ fn relevance_feedback_shifts_routing() {
     let movie = &data.movies[0];
     let query = movie.title.clone();
     let before = engine.top(&query).expect("has result");
-    assert_eq!(before.definition, "movie_page", "default routing is the summary page");
+    assert_eq!(
+        before.definition, "movie_page",
+        "default routing is the summary page"
+    );
 
     // Users keep clicking the cast instance for bare-title queries.
     let cast_key = format!("movie_cast::{}", movie.title);
@@ -169,7 +176,9 @@ fn relevance_feedback_shifts_routing() {
     );
 
     // A different query shape is untouched by that feedback.
-    let other = engine.top(&format!("{} box office", data.movies[1].title)).unwrap();
+    let other = engine
+        .top(&format!("{} box office", data.movies[1].title))
+        .unwrap();
     assert_eq!(other.definition, "movie_boxoffice");
 }
 

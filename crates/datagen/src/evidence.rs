@@ -51,7 +51,11 @@ pub struct Page {
 impl Page {
     /// All element texts with the given tag.
     pub fn texts_with_tag(&self, tag: &str) -> Vec<&str> {
-        self.elements.iter().filter(|e| e.tag == tag).map(|e| e.text.as_str()).collect()
+        self.elements
+            .iter()
+            .filter(|e| e.tag == tag)
+            .map(|e| e.text.as_str())
+            .collect()
     }
 }
 
@@ -68,14 +72,21 @@ pub struct EvidenceGenConfig {
 
 impl Default for EvidenceGenConfig {
     fn default() -> Self {
-        EvidenceGenConfig { seed: 99, n_pages: 800, noise_fraction: 0.1 }
+        EvidenceGenConfig {
+            seed: 99,
+            n_pages: 800,
+            noise_fraction: 0.1,
+        }
     }
 }
 
 impl EvidenceGenConfig {
     /// Small config for unit tests.
     pub fn tiny() -> Self {
-        EvidenceGenConfig { n_pages: 80, ..Default::default() }
+        EvidenceGenConfig {
+            n_pages: 80,
+            ..Default::default()
+        }
     }
 }
 
@@ -123,45 +134,85 @@ fn cast_of(data: &ImdbData, movie_id: i64) -> Vec<String> {
         .filter_map(|(_, r)| r.get(pid).and_then(relstore::Value::as_int))
         .filter_map(|p| person.lookup_pk(&p.into()))
         .filter_map(|rid| person.row(rid))
-        .filter_map(|r| r.get(name_col).and_then(relstore::Value::as_text).map(str::to_string))
+        .filter_map(|r| {
+            r.get(name_col)
+                .and_then(relstore::Value::as_text)
+                .map(str::to_string)
+        })
         .collect()
 }
 
 fn movie_summary_page(rng: &mut StdRng, data: &ImdbData, z: &Zipf, i: usize) -> Page {
     let m = &data.movies[z.sample(rng)];
     let mut elements = vec![
-        PageElement { tag: "h1".into(), text: m.title.clone() },
-        PageElement { tag: "td".into(), text: m.genre.clone() },
-        PageElement { tag: "td".into(), text: m.year.to_string() },
+        PageElement {
+            tag: "h1".into(),
+            text: m.title.clone(),
+        },
+        PageElement {
+            tag: "td".into(),
+            text: m.genre.clone(),
+        },
+        PageElement {
+            tag: "td".into(),
+            text: m.year.to_string(),
+        },
     ];
     for name in cast_of(data, m.id).into_iter().take(3) {
-        elements.push(PageElement { tag: "li".into(), text: name });
+        elements.push(PageElement {
+            tag: "li".into(),
+            text: name,
+        });
     }
     elements.push(PageElement {
         tag: "p".into(),
         text: random_prose(rng, 20),
     });
-    Page { url: format!("wiki://movie/{}", i), elements, gold_layout: PageLayout::MovieSummary }
+    Page {
+        url: format!("wiki://movie/{}", i),
+        elements,
+        gold_layout: PageLayout::MovieSummary,
+    }
 }
 
 fn cast_page(rng: &mut StdRng, data: &ImdbData, z: &Zipf, i: usize) -> Page {
     let m = &data.movies[z.sample(rng)];
-    let mut elements = vec![PageElement { tag: "h1".into(), text: m.title.clone() }];
+    let mut elements = vec![PageElement {
+        tag: "h1".into(),
+        text: m.title.clone(),
+    }];
     for name in cast_of(data, m.id) {
-        elements.push(PageElement { tag: "li".into(), text: name });
+        elements.push(PageElement {
+            tag: "li".into(),
+            text: name,
+        });
     }
-    Page { url: format!("wiki://cast/{}", i), elements, gold_layout: PageLayout::CastPage }
+    Page {
+        url: format!("wiki://cast/{}", i),
+        elements,
+        gold_layout: PageLayout::CastPage,
+    }
 }
 
 fn filmography_page(rng: &mut StdRng, data: &ImdbData, z: &Zipf, i: usize) -> Page {
     let p = &data.people[z.sample(rng)];
-    let mut elements = vec![PageElement { tag: "h1".into(), text: p.name.clone() }];
+    let mut elements = vec![PageElement {
+        tag: "h1".into(),
+        text: p.name.clone(),
+    }];
     for mid in data.filmography(p.id) {
         if let Some(m) = data.movies.iter().find(|m| m.id == mid) {
-            elements.push(PageElement { tag: "li".into(), text: m.title.clone() });
+            elements.push(PageElement {
+                tag: "li".into(),
+                text: m.title.clone(),
+            });
         }
     }
-    Page { url: format!("wiki://person/{}", i), elements, gold_layout: PageLayout::Filmography }
+    Page {
+        url: format!("wiki://person/{}", i),
+        elements,
+        gold_layout: PageLayout::Filmography,
+    }
 }
 
 fn soundtrack_page(rng: &mut StdRng, data: &ImdbData, z: &Zipf, i: usize) -> Page {
@@ -169,24 +220,44 @@ fn soundtrack_page(rng: &mut StdRng, data: &ImdbData, z: &Zipf, i: usize) -> Pag
     let st = data.db.table_by_name("soundtrack").expect("soundtrack");
     let mid = st.schema().column_index("movie_id").unwrap();
     let title_col = st.schema().column_index("title").unwrap();
-    let mut elements = vec![PageElement { tag: "h1".into(), text: m.title.clone() }];
+    let mut elements = vec![PageElement {
+        tag: "h1".into(),
+        text: m.title.clone(),
+    }];
     for (_, r) in st
         .scan()
         .filter(|(_, r)| r.get(mid).and_then(relstore::Value::as_int) == Some(m.id))
     {
         if let Some(t) = r.get(title_col).and_then(relstore::Value::as_text) {
-            elements.push(PageElement { tag: "li".into(), text: t.to_string() });
+            elements.push(PageElement {
+                tag: "li".into(),
+                text: t.to_string(),
+            });
         }
     }
-    Page { url: format!("wiki://ost/{}", i), elements, gold_layout: PageLayout::SoundtrackPage }
+    Page {
+        url: format!("wiki://ost/{}", i),
+        elements,
+        gold_layout: PageLayout::SoundtrackPage,
+    }
 }
 
 fn noise_page(rng: &mut StdRng, i: usize) -> Page {
     let elements = vec![
-        PageElement { tag: "h1".into(), text: "miscellaneous".into() },
-        PageElement { tag: "p".into(), text: random_prose(rng, 30) },
+        PageElement {
+            tag: "h1".into(),
+            text: "miscellaneous".into(),
+        },
+        PageElement {
+            tag: "p".into(),
+            text: random_prose(rng, 30),
+        },
     ];
-    Page { url: format!("web://noise/{}", i), elements, gold_layout: PageLayout::Noise }
+    Page {
+        url: format!("web://noise/{}", i),
+        elements,
+        gold_layout: PageLayout::Noise,
+    }
 }
 
 fn random_prose(rng: &mut StdRng, n: usize) -> String {
@@ -232,7 +303,11 @@ mod tests {
     #[test]
     fn cast_pages_lead_with_the_movie() {
         let (data, corpus) = corpus();
-        for p in corpus.pages.iter().filter(|p| p.gold_layout == PageLayout::CastPage) {
+        for p in corpus
+            .pages
+            .iter()
+            .filter(|p| p.gold_layout == PageLayout::CastPage)
+        {
             let h1 = p.texts_with_tag("h1");
             assert_eq!(h1.len(), 1);
             assert!(
@@ -242,7 +317,10 @@ mod tests {
             );
             // and list people
             for li in p.texts_with_tag("li") {
-                assert!(data.people.iter().any(|pp| pp.name == li), "{li} is a person");
+                assert!(
+                    data.people.iter().any(|pp| pp.name == li),
+                    "{li} is a person"
+                );
             }
         }
     }
@@ -251,7 +329,11 @@ mod tests {
     fn filmography_pages_lead_with_the_person() {
         let (data, corpus) = corpus();
         let mut checked = 0;
-        for p in corpus.pages.iter().filter(|p| p.gold_layout == PageLayout::Filmography) {
+        for p in corpus
+            .pages
+            .iter()
+            .filter(|p| p.gold_layout == PageLayout::Filmography)
+        {
             let h1 = p.texts_with_tag("h1");
             assert!(data.people.iter().any(|pp| pp.name == h1[0]));
             for li in p.texts_with_tag("li") {
@@ -265,7 +347,11 @@ mod tests {
     #[test]
     fn noise_pages_reference_no_entities() {
         let (data, corpus) = corpus();
-        for p in corpus.pages.iter().filter(|p| p.gold_layout == PageLayout::Noise) {
+        for p in corpus
+            .pages
+            .iter()
+            .filter(|p| p.gold_layout == PageLayout::Noise)
+        {
             for e in &p.elements {
                 assert!(!data.movies.iter().any(|m| m.title == e.text));
                 assert!(!data.people.iter().any(|pp| pp.name == e.text));
@@ -277,8 +363,10 @@ mod tests {
     fn texts_with_tag_filters() {
         let (_, corpus) = corpus();
         let p = &corpus.pages[0];
-        let total: usize =
-            ["h1", "td", "li", "p"].iter().map(|t| p.texts_with_tag(t).len()).sum();
+        let total: usize = ["h1", "td", "li", "p"]
+            .iter()
+            .map(|t| p.texts_with_tag(t).len())
+            .sum();
         assert_eq!(total, p.elements.len());
     }
 }

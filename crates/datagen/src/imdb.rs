@@ -16,7 +16,7 @@ use crate::names;
 use crate::zipf::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use relstore::{ColumnDef, Database, DataType, TableSchema, Value};
+use relstore::{ColumnDef, DataType, Database, TableSchema, Value};
 use std::collections::HashSet;
 
 /// Generation parameters.
@@ -52,7 +52,13 @@ impl Default for ImdbConfig {
 impl ImdbConfig {
     /// A small configuration for fast unit tests.
     pub fn tiny() -> Self {
-        ImdbConfig { seed: 7, n_people: 60, n_movies: 40, avg_cast: 4, ..Default::default() }
+        ImdbConfig {
+            seed: 7,
+            n_people: 60,
+            n_movies: 40,
+            avg_cast: 4,
+            ..Default::default()
+        }
     }
 }
 
@@ -250,14 +256,23 @@ impl ImdbData {
 
         // genre / locations / award reference tables
         for (i, g) in names::GENRES.iter().enumerate() {
-            db.insert("genre", vec![(i as i64 + 1).into(), (*g).into()]).unwrap();
-        }
-        for (i, l) in names::LOCATIONS.iter().enumerate() {
-            db.insert("locations", vec![(i as i64 + 1).into(), (*l).into(), ((i % 3) as i64 + 1).into()])
+            db.insert("genre", vec![(i as i64 + 1).into(), (*g).into()])
                 .unwrap();
         }
+        for (i, l) in names::LOCATIONS.iter().enumerate() {
+            db.insert(
+                "locations",
+                vec![
+                    (i as i64 + 1).into(),
+                    (*l).into(),
+                    ((i % 3) as i64 + 1).into(),
+                ],
+            )
+            .unwrap();
+        }
         for (i, a) in names::AWARDS.iter().enumerate() {
-            db.insert("award", vec![(i as i64 + 1).into(), (*a).into()]).unwrap();
+            db.insert("award", vec![(i as i64 + 1).into(), (*a).into()])
+                .unwrap();
         }
 
         // people
@@ -269,10 +284,20 @@ impl ImdbData {
             let gender = if rng.gen_bool(0.5) { "m" } else { "f" }.to_string();
             db.insert(
                 "person",
-                vec![id.into(), name.clone().into(), birth_year.into(), gender.clone().into()],
+                vec![
+                    id.into(),
+                    name.clone().into(),
+                    birth_year.into(),
+                    gender.clone().into(),
+                ],
             )
             .unwrap();
-            people.push(PersonRow { id, name, birth_year, gender });
+            people.push(PersonRow {
+                id,
+                name,
+                birth_year,
+                gender,
+            });
         }
 
         // movies (+ one info row each)
@@ -289,7 +314,8 @@ impl ImdbData {
             let genre_ix = rng.gen_range(0..names::GENRES.len());
             let location_id = rng.gen_range(1..=names::LOCATIONS.len() as i64);
             let plot = plot_text(&mut rng, 12, 24);
-            db.insert("info", vec![id.into(), plot.into(), "plot outline".into()]).unwrap();
+            db.insert("info", vec![id.into(), plot.into(), "plot outline".into()])
+                .unwrap();
             db.insert(
                 "movie",
                 vec![
@@ -348,7 +374,12 @@ impl ImdbData {
             let award = rng.gen_range(1..=names::AWARDS.len() as i64);
             db.insert(
                 "movie_award",
-                vec![ma_id.into(), movie.id.into(), award.into(), (movie.year + 1).into()],
+                vec![
+                    ma_id.into(),
+                    movie.id.into(),
+                    award.into(),
+                    (movie.year + 1).into(),
+                ],
             )
             .unwrap();
         }
@@ -373,7 +404,8 @@ impl ImdbData {
             if rng.gen_bool(0.5) {
                 po_id += 1;
                 let url = format!("img://poster/{}/{}", movie.id, po_id);
-                db.insert("poster", vec![po_id.into(), movie.id.into(), url.into()]).unwrap();
+                db.insert("poster", vec![po_id.into(), movie.id.into(), url.into()])
+                    .unwrap();
             }
             if rng.gen_bool(0.3) {
                 for _ in 0..rng.gen_range(1..=3) {
@@ -390,20 +422,32 @@ impl ImdbData {
                 tr_id += 1;
                 db.insert(
                     "trivia",
-                    vec![tr_id.into(), movie.id.into(), plot_text(&mut rng, 6, 14).into()],
+                    vec![
+                        tr_id.into(),
+                        movie.id.into(),
+                        plot_text(&mut rng, 6, 14).into(),
+                    ],
                 )
                 .unwrap();
             }
             if rng.gen_bool(0.7) {
                 bo_id += 1;
                 let gross = (movie.rating * 1.0e7) as i64 + rng.gen_range(0..50_000_000);
-                db.insert("boxoffice", vec![bo_id.into(), movie.id.into(), gross.into()])
-                    .unwrap();
+                db.insert(
+                    "boxoffice",
+                    vec![bo_id.into(), movie.id.into(), gross.into()],
+                )
+                .unwrap();
             }
         }
 
         db.set_enforce_fk(true);
-        ImdbData { db, movies, people, config }
+        ImdbData {
+            db,
+            movies,
+            people,
+            config,
+        }
     }
 
     /// All movie-title entities.
@@ -514,7 +558,10 @@ mod tests {
     #[test]
     fn seed_changes_output() {
         let a = ImdbData::generate(ImdbConfig::tiny());
-        let b = ImdbData::generate(ImdbConfig { seed: 8, ..ImdbConfig::tiny() });
+        let b = ImdbData::generate(ImdbConfig {
+            seed: 8,
+            ..ImdbConfig::tiny()
+        });
         // Titles are deterministic by index; ratings/years should differ.
         assert_ne!(
             a.movies.iter().map(|m| m.year).collect::<Vec<_>>(),
@@ -563,7 +610,10 @@ mod tests {
         for m in &data.movies {
             *titles.entry(m.title.clone()).or_insert(0) += 1;
         }
-        assert!(titles.values().any(|&c| c > 1), "expected at least one remake");
+        assert!(
+            titles.values().any(|&c| c > 1),
+            "expected at least one remake"
+        );
     }
 
     #[test]
@@ -582,7 +632,13 @@ mod tests {
     #[test]
     fn satellite_tables_populated() {
         let data = ImdbData::generate(ImdbConfig::tiny());
-        for t in ["soundtrack", "trivia", "boxoffice", "person_award", "poster"] {
+        for t in [
+            "soundtrack",
+            "trivia",
+            "boxoffice",
+            "person_award",
+            "poster",
+        ] {
             assert!(
                 !data.db.table_by_name(t).unwrap().is_empty(),
                 "table {t} should have rows at tiny scale"

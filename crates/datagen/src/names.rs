@@ -4,69 +4,239 @@
 
 /// First names for synthetic people.
 pub const FIRST_NAMES: &[&str] = &[
-    "george", "brad", "julia", "angelina", "tom", "meryl", "denzel", "kate", "leonardo",
-    "natalie", "morgan", "scarlett", "harrison", "sigourney", "keanu", "cate", "samuel",
-    "nicole", "anthony", "emma", "robert", "jodie", "michael", "susan", "daniel", "helen",
-    "william", "diane", "james", "audrey", "charles", "grace", "henry", "vivien", "walter",
-    "ingrid", "orson", "bette", "marlon", "rita", "gregory", "lauren", "spencer", "ava",
-    "clark", "sophia", "gary", "judy", "humphrey", "ginger",
+    "george",
+    "brad",
+    "julia",
+    "angelina",
+    "tom",
+    "meryl",
+    "denzel",
+    "kate",
+    "leonardo",
+    "natalie",
+    "morgan",
+    "scarlett",
+    "harrison",
+    "sigourney",
+    "keanu",
+    "cate",
+    "samuel",
+    "nicole",
+    "anthony",
+    "emma",
+    "robert",
+    "jodie",
+    "michael",
+    "susan",
+    "daniel",
+    "helen",
+    "william",
+    "diane",
+    "james",
+    "audrey",
+    "charles",
+    "grace",
+    "henry",
+    "vivien",
+    "walter",
+    "ingrid",
+    "orson",
+    "bette",
+    "marlon",
+    "rita",
+    "gregory",
+    "lauren",
+    "spencer",
+    "ava",
+    "clark",
+    "sophia",
+    "gary",
+    "judy",
+    "humphrey",
+    "ginger",
 ];
 
 /// Last names for synthetic people.
 pub const LAST_NAMES: &[&str] = &[
-    "clooney", "pitt", "roberts", "jolie", "hanks", "streep", "washington", "winslet",
-    "dicaprio", "portman", "freeman", "johansson", "ford", "weaver", "reeves", "blanchett",
-    "jackson", "kidman", "hopkins", "stone", "deniro", "foster", "caine", "sarandon",
-    "dayluis", "mirren", "hurt", "keaton", "stewart", "hepburn", "chaplin", "kelly",
-    "fonda", "leigh", "huston", "bergman", "welles", "davis", "brando", "hayworth", "peck",
-    "bacall", "tracy", "gardner", "gable", "loren", "cooper", "garland", "bogart", "rogers",
+    "clooney",
+    "pitt",
+    "roberts",
+    "jolie",
+    "hanks",
+    "streep",
+    "washington",
+    "winslet",
+    "dicaprio",
+    "portman",
+    "freeman",
+    "johansson",
+    "ford",
+    "weaver",
+    "reeves",
+    "blanchett",
+    "jackson",
+    "kidman",
+    "hopkins",
+    "stone",
+    "deniro",
+    "foster",
+    "caine",
+    "sarandon",
+    "dayluis",
+    "mirren",
+    "hurt",
+    "keaton",
+    "stewart",
+    "hepburn",
+    "chaplin",
+    "kelly",
+    "fonda",
+    "leigh",
+    "huston",
+    "bergman",
+    "welles",
+    "davis",
+    "brando",
+    "hayworth",
+    "peck",
+    "bacall",
+    "tracy",
+    "gardner",
+    "gable",
+    "loren",
+    "cooper",
+    "garland",
+    "bogart",
+    "rogers",
 ];
 
 /// Words used to compose movie titles.
 pub const TITLE_WORDS: &[&str] = &[
-    "star", "wars", "dark", "night", "ocean", "eleven", "space", "odyssey", "return",
-    "empire", "king", "ring", "lost", "world", "golden", "city", "silent", "storm",
-    "crimson", "tide", "broken", "arrow", "iron", "giant", "glass", "castle", "paper",
-    "moon", "midnight", "express", "velvet", "sky", "winter", "soldier", "summer",
-    "palace", "hidden", "fortress", "final", "frontier", "electric", "dreams", "savage",
-    "river", "northern", "lights", "southern", "cross", "eternal", "sunshine",
+    "star", "wars", "dark", "night", "ocean", "eleven", "space", "odyssey", "return", "empire",
+    "king", "ring", "lost", "world", "golden", "city", "silent", "storm", "crimson", "tide",
+    "broken", "arrow", "iron", "giant", "glass", "castle", "paper", "moon", "midnight", "express",
+    "velvet", "sky", "winter", "soldier", "summer", "palace", "hidden", "fortress", "final",
+    "frontier", "electric", "dreams", "savage", "river", "northern", "lights", "southern", "cross",
+    "eternal", "sunshine",
 ];
 
 /// Genre vocabulary (the `genre.type` column).
 pub const GENRES: &[&str] = &[
-    "drama", "comedy", "action", "thriller", "romance", "documentary", "horror", "western",
-    "animation", "musical", "scifi", "noir",
+    "drama",
+    "comedy",
+    "action",
+    "thriller",
+    "romance",
+    "documentary",
+    "horror",
+    "western",
+    "animation",
+    "musical",
+    "scifi",
+    "noir",
 ];
 
 /// Shooting locations (the `locations.place` column).
 pub const LOCATIONS: &[&str] = &[
-    "los angeles", "new york", "london", "paris", "rome", "tokyo", "vancouver", "sydney",
-    "berlin", "prague", "toronto", "chicago", "san francisco", "morocco", "iceland",
+    "los angeles",
+    "new york",
+    "london",
+    "paris",
+    "rome",
+    "tokyo",
+    "vancouver",
+    "sydney",
+    "berlin",
+    "prague",
+    "toronto",
+    "chicago",
+    "san francisco",
+    "morocco",
+    "iceland",
 ];
 
 /// Cast roles (the `cast.role` column).
-pub const ROLES: &[&str] = &["actor", "actress", "director", "producer", "writer", "composer"];
+pub const ROLES: &[&str] = &[
+    "actor", "actress", "director", "producer", "writer", "composer",
+];
 
 /// Award names.
 pub const AWARDS: &[&str] = &[
-    "academy award", "golden globe", "bafta", "screen actors guild", "palme dor",
-    "golden lion", "silver bear",
+    "academy award",
+    "golden globe",
+    "bafta",
+    "screen actors guild",
+    "palme dor",
+    "golden lion",
+    "silver bear",
 ];
 
 /// Filler vocabulary for plot outlines and trivia.
 pub const PLOT_WORDS: &[&str] = &[
-    "a", "young", "hero", "discovers", "secret", "plan", "to", "save", "the", "world",
-    "against", "all", "odds", "love", "betrayal", "revenge", "journey", "across",
-    "dangerous", "lands", "an", "unlikely", "friendship", "changes", "everything",
-    "mysterious", "stranger", "arrives", "in", "town", "family", "must", "confront",
-    "its", "past", "war", "threatens", "peaceful", "village", "detective", "hunts",
-    "elusive", "criminal", "through", "rainy", "streets",
+    "a",
+    "young",
+    "hero",
+    "discovers",
+    "secret",
+    "plan",
+    "to",
+    "save",
+    "the",
+    "world",
+    "against",
+    "all",
+    "odds",
+    "love",
+    "betrayal",
+    "revenge",
+    "journey",
+    "across",
+    "dangerous",
+    "lands",
+    "an",
+    "unlikely",
+    "friendship",
+    "changes",
+    "everything",
+    "mysterious",
+    "stranger",
+    "arrives",
+    "in",
+    "town",
+    "family",
+    "must",
+    "confront",
+    "its",
+    "past",
+    "war",
+    "threatens",
+    "peaceful",
+    "village",
+    "detective",
+    "hunts",
+    "elusive",
+    "criminal",
+    "through",
+    "rainy",
+    "streets",
 ];
 
 /// Freeform tail words users append to queries ("movie space transponders").
 pub const FREETEXT_WORDS: &[&str] = &[
-    "space", "transponders", "ending", "explained", "quotes", "review", "wallpaper",
-    "scene", "song", "poster", "interview", "premiere", "sequel", "remake",
+    "space",
+    "transponders",
+    "ending",
+    "explained",
+    "quotes",
+    "review",
+    "wallpaper",
+    "scene",
+    "song",
+    "poster",
+    "interview",
+    "premiere",
+    "sequel",
+    "remake",
 ];
 
 /// Deterministically compose the `i`-th person name. Cycles through
@@ -90,7 +260,14 @@ pub fn movie_title(i: usize) -> String {
     let wrap = i / (TITLE_WORDS.len() * TITLE_WORDS.len());
     if a == b {
         // avoid degenerate "star star"
-        return format!("{a} returns{}", if wrap == 0 { String::new() } else { format!(" {}", numeral(wrap)) });
+        return format!(
+            "{a} returns{}",
+            if wrap == 0 {
+                String::new()
+            } else {
+                format!(" {}", numeral(wrap))
+            }
+        );
     }
     if wrap == 0 {
         format!("{a} {b}")
@@ -102,7 +279,10 @@ pub fn movie_title(i: usize) -> String {
 fn numeral(n: usize) -> String {
     // Small Roman numerals for sequel-style suffixes; falls back to digits.
     const ROMAN: &[&str] = &["ii", "iii", "iv", "v", "vi", "vii", "viii", "ix", "x"];
-    ROMAN.get(n - 1).map(|s| s.to_string()).unwrap_or_else(|| format!("{}", n + 1))
+    ROMAN
+        .get(n - 1)
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| format!("{}", n + 1))
 }
 
 #[cfg(test)]

@@ -321,8 +321,11 @@ mod tests {
     #[test]
     fn actor_template_maps_to_two_needs() {
         // Paper: actor name → filmography or co-actors.
-        let needs: Vec<InformationNeed> =
-            QueryTemplate::Actor.candidate_needs().into_iter().map(|(n, _)| n).collect();
+        let needs: Vec<InformationNeed> = QueryTemplate::Actor
+            .candidate_needs()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
         assert!(needs.contains(&InformationNeed::Filmography));
         assert!(needs.contains(&InformationNeed::Coactorship));
     }

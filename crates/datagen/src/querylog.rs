@@ -51,7 +51,11 @@ impl Default for QueryLogConfig {
 impl QueryLogConfig {
     /// Small config for unit tests.
     pub fn tiny() -> Self {
-        QueryLogConfig { n_queries: 500, n_users: 60, ..Default::default() }
+        QueryLogConfig {
+            n_queries: 500,
+            n_users: 60,
+            ..Default::default()
+        }
     }
 }
 
@@ -126,10 +130,22 @@ impl QueryLog {
                 continue;
             }
             let template = sample_template(&mut rng, total_w);
-            let (raw, entities) =
-                instantiate(&mut rng, template, data, &movie_zipf, &person_zipf, &movie_cast);
+            let (raw, entities) = instantiate(
+                &mut rng,
+                template,
+                data,
+                &movie_zipf,
+                &person_zipf,
+                &movie_cast,
+            );
             let need = sample_need(&mut rng, template);
-            records.push(QueryRecord { user, raw, template: Some(template), need, entities });
+            records.push(QueryRecord {
+                user,
+                raw,
+                template: Some(template),
+                need,
+                entities,
+            });
         }
         QueryLog { records, config }
     }
@@ -140,8 +156,10 @@ impl QueryLog {
         for r in &self.records {
             *counts.entry(r.raw.as_str()).or_insert(0) += 1;
         }
-        let mut out: Vec<(String, usize)> =
-            counts.into_iter().map(|(q, c)| (q.to_string(), c)).collect();
+        let mut out: Vec<(String, usize)> = counts
+            .into_iter()
+            .map(|(q, c)| (q.to_string(), c))
+            .collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
@@ -209,17 +227,32 @@ fn cast_lists(data: &ImdbData) -> std::collections::HashMap<i64, Vec<i64>> {
 
 fn person_by_id(data: &ImdbData, id: i64) -> EntityRef {
     let p = &data.people[(id - 1) as usize];
-    EntityRef { table: "person".into(), column: "name".into(), id: p.id, text: p.name.clone() }
+    EntityRef {
+        table: "person".into(),
+        column: "name".into(),
+        id: p.id,
+        text: p.name.clone(),
+    }
 }
 
 fn pick_movie(rng: &mut StdRng, data: &ImdbData, z: &Zipf) -> EntityRef {
     let m = &data.movies[z.sample(rng)];
-    EntityRef { table: "movie".into(), column: "title".into(), id: m.id, text: m.title.clone() }
+    EntityRef {
+        table: "movie".into(),
+        column: "title".into(),
+        id: m.id,
+        text: m.title.clone(),
+    }
 }
 
 fn pick_person(rng: &mut StdRng, data: &ImdbData, z: &Zipf) -> EntityRef {
     let p = &data.people[z.sample(rng)];
-    EntityRef { table: "person".into(), column: "name".into(), id: p.id, text: p.name.clone() }
+    EntityRef {
+        table: "person".into(),
+        column: "name".into(),
+        id: p.id,
+        text: p.name.clone(),
+    }
 }
 
 fn freetext(rng: &mut StdRng) -> String {
@@ -341,7 +374,10 @@ fn instantiate(
                 "most awarded actor",
                 "longest running movie series",
             ];
-            (choices[rng.gen_range(0..choices.len())].to_string(), Vec::new())
+            (
+                choices[rng.gen_range(0..choices.len())].to_string(),
+                Vec::new(),
+            )
         }
         T::DontKnow => ("".to_string(), Vec::new()),
     }
@@ -349,8 +385,13 @@ fn instantiate(
 
 fn noise_query(rng: &mut StdRng) -> String {
     let choices = [
-        "cheap flights", "weather tomorrow", "pizza near me", "football scores",
-        "tax forms 1040", "horoscope today", "used cars",
+        "cheap flights",
+        "weather tomorrow",
+        "pizza near me",
+        "football scores",
+        "tax forms 1040",
+        "horoscope today",
+        "used cars",
     ];
     choices[rng.gen_range(0..choices.len())].to_string()
 }
@@ -386,7 +427,10 @@ mod tests {
         let data = ImdbData::generate(ImdbConfig::tiny());
         let log = QueryLog::generate(
             &data,
-            QueryLogConfig { n_queries: 10_000, ..QueryLogConfig::tiny() },
+            QueryLogConfig {
+                n_queries: 10_000,
+                ..QueryLogConfig::tiny()
+            },
         );
         let n = log.records.len() as f64;
         let frac = |f: &dyn Fn(QueryTemplate) -> bool| {
@@ -426,7 +470,11 @@ mod tests {
     #[test]
     fn noise_records_unlabeled() {
         let (_, log) = small_log();
-        let noise: Vec<_> = log.records.iter().filter(|r| r.template.is_none()).collect();
+        let noise: Vec<_> = log
+            .records
+            .iter()
+            .filter(|r| r.template.is_none())
+            .collect();
         assert!(!noise.is_empty());
         for r in noise {
             assert!(r.need.is_none());
@@ -455,7 +503,10 @@ mod tests {
         let data = ImdbData::generate(ImdbConfig::tiny());
         let log = QueryLog::generate(
             &data,
-            QueryLogConfig { n_queries: 5_000, ..QueryLogConfig::tiny() },
+            QueryLogConfig {
+                n_queries: 5_000,
+                ..QueryLogConfig::tiny()
+            },
         );
         let top_person = &data.people[0].name;
         let tail_person = &data.people[data.people.len() - 1].name;

@@ -21,7 +21,10 @@ pub struct BanksConfig {
 
 impl Default for BanksConfig {
     fn default() -> Self {
-        BanksConfig { top_k: 10, max_depth: 6 }
+        BanksConfig {
+            top_k: 10,
+            max_depth: 6,
+        }
     }
 }
 
@@ -146,7 +149,9 @@ impl<'a> BanksEngine<'a> {
             answers.push(self.assemble(v, &expansions));
         }
         answers.sort_by(|a, b| {
-            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.root.cmp(&b.root))
         });
         // Deduplicate trees with identical node sets (different roots on the
@@ -182,10 +187,16 @@ impl<'a> BanksEngine<'a> {
 
         // BANKS-flavored score: prestige of root and leaves, damped by tree
         // weight (number of edges traversed).
-        let prestige: f64 = self.graph.prestige(root)
-            + leaves.iter().map(|&l| self.graph.prestige(l)).sum::<f64>();
+        let prestige: f64 =
+            self.graph.prestige(root) + leaves.iter().map(|&l| self.graph.prestige(l)).sum::<f64>();
         let score = (1.0 + prestige) / (1.0 + weight);
-        AnswerTree { root, nodes, edges, leaves, score }
+        AnswerTree {
+            root,
+            nodes,
+            edges,
+            leaves,
+            score,
+        }
     }
 }
 
@@ -219,14 +230,19 @@ mod tests {
                 .foreign_key("movie_id", "movie", "id"),
         )
         .unwrap();
-        for (id, name) in [(1, "george clooney"), (2, "brad pitt"), (3, "julia roberts")] {
+        for (id, name) in [
+            (1, "george clooney"),
+            (2, "brad pitt"),
+            (3, "julia roberts"),
+        ] {
             db.insert("person", vec![id.into(), name.into()]).unwrap();
         }
         for (id, title) in [(10, "ocean eleven"), (11, "solaris"), (12, "money monster")] {
             db.insert("movie", vec![id.into(), title.into()]).unwrap();
         }
         for (p, m) in [(1, 10), (2, 10), (3, 10), (1, 11), (1, 12), (3, 12)] {
-            db.insert("cast", vec![p.into(), m.into(), "actor".into()]).unwrap();
+            db.insert("cast", vec![p.into(), m.into(), "actor".into()])
+                .unwrap();
         }
         db
     }
@@ -252,11 +268,19 @@ mod tests {
         assert!(!answers.is_empty());
         let top = &answers[0];
         // Tree must contain the person node, the movie node and a cast row.
-        let described: Vec<String> =
-            top.nodes.iter().map(|&n| g.describe(&db, n)).collect();
-        assert!(described.iter().any(|d| d.contains("clooney")), "{described:?}");
-        assert!(described.iter().any(|d| d.contains("solaris")), "{described:?}");
-        assert!(described.iter().any(|d| d.starts_with("cast(")), "{described:?}");
+        let described: Vec<String> = top.nodes.iter().map(|&n| g.describe(&db, n)).collect();
+        assert!(
+            described.iter().any(|d| d.contains("clooney")),
+            "{described:?}"
+        );
+        assert!(
+            described.iter().any(|d| d.contains("solaris")),
+            "{described:?}"
+        );
+        assert!(
+            described.iter().any(|d| d.starts_with("cast(")),
+            "{described:?}"
+        );
         assert_eq!(top.leaves.len(), 2);
     }
 
@@ -286,12 +310,22 @@ mod tests {
     fn compact_trees_beat_sprawling_ones() {
         let db = movie_db();
         let g = DataGraph::build(&db);
-        let engine = BanksEngine::new(&g, BanksConfig { top_k: 50, max_depth: 6 });
+        let engine = BanksEngine::new(
+            &g,
+            BanksConfig {
+                top_k: 50,
+                max_depth: 6,
+            },
+        );
         // clooney + roberts co-star in two movies (10 and 12): best answers
         // route through a single movie, not longer chains.
         let answers = engine.search("clooney roberts");
         let top = &answers[0];
-        assert!(top.nodes.len() <= 5, "top tree too big: {}", top.nodes.len());
+        assert!(
+            top.nodes.len() <= 5,
+            "top tree too big: {}",
+            top.nodes.len()
+        );
         // all answers connected & contain both leaves
         for a in &answers {
             assert_eq!(a.leaves.len(), 2);
@@ -303,7 +337,13 @@ mod tests {
     fn max_depth_limits_expansion() {
         let db = movie_db();
         let g = DataGraph::build(&db);
-        let engine = BanksEngine::new(&g, BanksConfig { top_k: 10, max_depth: 0 });
+        let engine = BanksEngine::new(
+            &g,
+            BanksConfig {
+                top_k: 10,
+                max_depth: 0,
+            },
+        );
         // Depth 0: no expansion, so two distinct keywords can never connect.
         assert!(engine.search("clooney solaris").is_empty());
     }
@@ -312,7 +352,13 @@ mod tests {
     fn trees_are_connected() {
         let db = movie_db();
         let g = DataGraph::build(&db);
-        let engine = BanksEngine::new(&g, BanksConfig { top_k: 20, max_depth: 6 });
+        let engine = BanksEngine::new(
+            &g,
+            BanksConfig {
+                top_k: 20,
+                max_depth: 6,
+            },
+        );
         for a in engine.search("pitt roberts") {
             // walk edges from root; every node must be reachable
             let mut seen = std::collections::HashSet::new();

@@ -5,7 +5,7 @@
 //! predicates. Smaller networks are preferred, mirroring DISCOVER's
 //! size-ordered enumeration.
 
-use relstore::{ColRef, Database, DataType, JoinEdge, Predicate, Query, TableId};
+use relstore::{ColRef, DataType, Database, JoinEdge, Predicate, Query, TableId};
 use std::collections::HashSet;
 
 /// Search parameters.
@@ -19,7 +19,10 @@ pub struct DiscoverConfig {
 
 impl Default for DiscoverConfig {
     fn default() -> Self {
-        DiscoverConfig { max_network_size: 3, top_k: 10 }
+        DiscoverConfig {
+            max_network_size: 3,
+            top_k: 10,
+        }
     }
 }
 
@@ -138,13 +141,19 @@ impl<'a> DiscoverEngine<'a> {
         // Seed: single tables covering all keywords.
         for (tid, _) in catalog.iter() {
             if let Some(positions) = assign_keywords(&[tid], per_kw) {
-                out.push(CandidateNetwork { tables: vec![tid], joins: vec![], keyword_positions: positions });
+                out.push(CandidateNetwork {
+                    tables: vec![tid],
+                    joins: vec![],
+                    keyword_positions: positions,
+                });
             }
         }
 
         // Grow trees by attaching schema-graph neighbors, breadth-first by size.
-        let mut frontier: Vec<(Vec<TableId>, Vec<JoinEdge>)> =
-            catalog.iter().map(|(tid, _)| (vec![tid], Vec::new())).collect();
+        let mut frontier: Vec<(Vec<TableId>, Vec<JoinEdge>)> = catalog
+            .iter()
+            .map(|(tid, _)| (vec![tid], Vec::new()))
+            .collect();
         for _size in 2..=self.config.max_network_size {
             let mut next = Vec::new();
             for (tables, joins) in &frontier {
@@ -222,10 +231,7 @@ impl<'a> DiscoverEngine<'a> {
 
 /// Try to assign every keyword to some table in `tables`; `None` if any
 /// keyword has no home.
-fn assign_keywords(
-    tables: &[TableId],
-    per_kw: &[Vec<(TableId, usize)>],
-) -> Option<Vec<usize>> {
+fn assign_keywords(tables: &[TableId], per_kw: &[Vec<(TableId, usize)>]) -> Option<Vec<usize>> {
     let mut positions = Vec::with_capacity(per_kw.len());
     for cands in per_kw {
         let pos = tables
@@ -265,10 +271,14 @@ mod tests {
                 .foreign_key("movie_id", "movie", "id"),
         )
         .unwrap();
-        db.insert("person", vec![1.into(), "george clooney".into()]).unwrap();
-        db.insert("person", vec![2.into(), "brad pitt".into()]).unwrap();
-        db.insert("movie", vec![10.into(), "ocean eleven".into()]).unwrap();
-        db.insert("movie", vec![11.into(), "solaris".into()]).unwrap();
+        db.insert("person", vec![1.into(), "george clooney".into()])
+            .unwrap();
+        db.insert("person", vec![2.into(), "brad pitt".into()])
+            .unwrap();
+        db.insert("movie", vec![10.into(), "ocean eleven".into()])
+            .unwrap();
+        db.insert("movie", vec![11.into(), "solaris".into()])
+            .unwrap();
         db.insert("cast", vec![1.into(), 10.into()]).unwrap();
         db.insert("cast", vec![2.into(), 10.into()]).unwrap();
         db.insert("cast", vec![1.into(), 11.into()]).unwrap();
@@ -302,7 +312,13 @@ mod tests {
     #[test]
     fn smaller_networks_rank_first() {
         let db = movie_db();
-        let e = DiscoverEngine::new(&db, DiscoverConfig { max_network_size: 3, top_k: 50 });
+        let e = DiscoverEngine::new(
+            &db,
+            DiscoverConfig {
+                max_network_size: 3,
+                top_k: 50,
+            },
+        );
         let res = e.search("ocean");
         assert!(res.windows(2).all(|w| w[0].size <= w[1].size));
     }
@@ -318,7 +334,13 @@ mod tests {
     #[test]
     fn network_size_cap_respected() {
         let db = movie_db();
-        let e = DiscoverEngine::new(&db, DiscoverConfig { max_network_size: 1, top_k: 10 });
+        let e = DiscoverEngine::new(
+            &db,
+            DiscoverConfig {
+                max_network_size: 1,
+                top_k: 10,
+            },
+        );
         // cross-table query can't be answered with 1-table networks
         assert!(e.search("clooney solaris").is_empty());
     }
@@ -326,7 +348,13 @@ mod tests {
     #[test]
     fn top_k_truncates() {
         let db = movie_db();
-        let e = DiscoverEngine::new(&db, DiscoverConfig { max_network_size: 3, top_k: 2 });
+        let e = DiscoverEngine::new(
+            &db,
+            DiscoverConfig {
+                max_network_size: 3,
+                top_k: 2,
+            },
+        );
         assert!(e.search("ocean").len() <= 2);
     }
 }

@@ -37,7 +37,10 @@ impl DataGraph {
             let table = db.table(tid).expect("catalog/storage agree");
             for (rid, _) in table.scan() {
                 let id = nodes.len() as NodeId;
-                nodes.push(NodeInfo { table: tid, row: rid });
+                nodes.push(NodeInfo {
+                    table: tid,
+                    row: rid,
+                });
                 node_of.insert((tid, rid), id);
             }
         }
@@ -86,7 +89,13 @@ impl DataGraph {
             }
         }
 
-        DataGraph { nodes, node_of, adj, indegree, keyword_index }
+        DataGraph {
+            nodes,
+            node_of,
+            adj,
+            indegree,
+            keyword_index,
+        }
     }
 
     /// Number of nodes.
@@ -167,9 +176,12 @@ mod tests {
                 .foreign_key("movie_id", "movie", "id"),
         )
         .unwrap();
-        db.insert("person", vec![1.into(), "george clooney".into()]).unwrap();
-        db.insert("person", vec![2.into(), "brad pitt".into()]).unwrap();
-        db.insert("movie", vec![10.into(), "ocean eleven".into()]).unwrap();
+        db.insert("person", vec![1.into(), "george clooney".into()])
+            .unwrap();
+        db.insert("person", vec![2.into(), "brad pitt".into()])
+            .unwrap();
+        db.insert("movie", vec![10.into(), "ocean eleven".into()])
+            .unwrap();
         db.insert("cast", vec![1.into(), 10.into()]).unwrap();
         db.insert("cast", vec![2.into(), 10.into()]).unwrap();
         db

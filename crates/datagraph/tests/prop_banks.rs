@@ -34,15 +34,21 @@ fn build_db(people: &[(i64, u8)], movies: &[(i64, u8)], casts: &[(i64, i64)]) ->
     let mut seen = std::collections::HashSet::new();
     for &(id, n) in people {
         if seen.insert(id) {
-            db.insert("person", vec![id.into(), NAMES[n as usize % NAMES.len()].into()])
-                .unwrap();
+            db.insert(
+                "person",
+                vec![id.into(), NAMES[n as usize % NAMES.len()].into()],
+            )
+            .unwrap();
         }
     }
     let mut seen = std::collections::HashSet::new();
     for &(id, t) in movies {
         if seen.insert(id) {
-            db.insert("movie", vec![id.into(), TITLES[t as usize % TITLES.len()].into()])
-                .unwrap();
+            db.insert(
+                "movie",
+                vec![id.into(), TITLES[t as usize % TITLES.len()].into()],
+            )
+            .unwrap();
         }
     }
     for &(p, m) in casts {

@@ -11,9 +11,19 @@ fn main() {
     // Moderate scale so the run finishes in seconds in release builds;
     // scale up via the config fields for bigger studies.
     let ctx = fig3::context(
-        ImdbConfig { n_people: 800, n_movies: 400, ..ImdbConfig::default() },
-        QueryLogConfig { n_queries: 10_000, ..QueryLogConfig::default() },
-        EvidenceGenConfig { n_pages: 400, ..EvidenceGenConfig::default() },
+        ImdbConfig {
+            n_people: 800,
+            n_movies: 400,
+            ..ImdbConfig::default()
+        },
+        QueryLogConfig {
+            n_queries: 10_000,
+            ..QueryLogConfig::default()
+        },
+        EvidenceGenConfig {
+            n_pages: 400,
+            ..EvidenceGenConfig::default()
+        },
         Oracle::default(),
     );
     let result = fig3::run(&ctx, 25, true);

@@ -31,11 +31,17 @@ fn main() {
     println!("{}", report::table(&["template", "log frequency"], &rows));
 
     let workload = Workload::paper_defaults(&log, &segmenter);
-    println!("benchmark workload ({} queries, 2 per template):\n", workload.queries.len());
+    println!(
+        "benchmark workload ({} queries, 2 per template):\n",
+        workload.queries.len()
+    );
     let rows: Vec<Vec<String>> = workload
         .queries
         .iter()
         .map(|q| vec![q.raw.clone(), q.signature.clone(), q.gold.need.to_string()])
         .collect();
-    println!("{}", report::table(&["query", "template", "gold need"], &rows));
+    println!(
+        "{}",
+        report::table(&["query", "template", "gold need"], &rows)
+    );
 }

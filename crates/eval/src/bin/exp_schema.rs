@@ -15,11 +15,19 @@ fn main() {
         let fks: Vec<String> = schema
             .foreign_keys
             .iter()
-            .map(|fk| format!("{} -> {}.{}", schema.columns[fk.column].name, fk.ref_table, fk.ref_column))
+            .map(|fk| {
+                format!(
+                    "{} -> {}.{}",
+                    schema.columns[fk.column].name, fk.ref_table, fk.ref_column
+                )
+            })
             .collect();
         rows.push(vec![schema.name.clone(), cols.join(", "), fks.join("; ")]);
     }
-    println!("{}", report::table(&["table", "columns", "foreign keys"], &rows));
+    println!(
+        "{}",
+        report::table(&["table", "columns", "foreign keys"], &rows)
+    );
 
     println!("\nper-table statistics (tiny generation):\n");
     let stats = DatabaseStats::collect(db);

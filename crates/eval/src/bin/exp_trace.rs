@@ -2,21 +2,37 @@ fn main() {
     use datagen::evidence::EvidenceGenConfig;
     use datagen::imdb::ImdbConfig;
     use datagen::querylog::QueryLogConfig;
+    use qunit_core::{EngineConfig, QunitSearchEngine};
     use qunit_eval::experiments::fig3;
     use qunit_eval::systems::{QunitSystem, SearchSystem};
     use qunit_eval::Oracle;
-    use qunit_core::{EngineConfig, QunitSearchEngine};
     let ctx = fig3::context(
-        ImdbConfig { n_people: 800, n_movies: 400, ..ImdbConfig::default() },
-        QueryLogConfig { n_queries: 10_000, ..QueryLogConfig::default() },
-        EvidenceGenConfig { n_pages: 400, ..EvidenceGenConfig::default() },
+        ImdbConfig {
+            n_people: 800,
+            n_movies: 400,
+            ..ImdbConfig::default()
+        },
+        QueryLogConfig {
+            n_queries: 10_000,
+            ..QueryLogConfig::default()
+        },
+        EvidenceGenConfig {
+            n_pages: 400,
+            ..EvidenceGenConfig::default()
+        },
         Oracle::default(),
     );
     let (_, ql, _, _) = fig3::automatic_catalogs(&ctx);
     println!("query-log catalog:");
     for d in ql.iter() {
-        println!("  {:24} util={:.2} anchor={:?} intent={:?} covered={:?}", d.name, d.utility,
-            d.anchor.as_ref().map(|a| a.qualified()), d.intent_terms, d.covered_fields);
+        println!(
+            "  {:24} util={:.2} anchor={:?} intent={:?} covered={:?}",
+            d.name,
+            d.utility,
+            d.anchor.as_ref().map(|a| a.qualified()),
+            d.intent_terms,
+            d.covered_fields
+        );
     }
     let engine = QunitSearchEngine::build(&ctx.data.db, ql, EngineConfig::default()).unwrap();
     let sys = QunitSystem::new("qunits-query-log", engine);
@@ -24,7 +40,12 @@ fn main() {
         let a = sys.answer(&q.raw);
         let r = ctx.oracle.rate(&q.raw, sys.name(), &q.gold, a.as_ref());
         let top = sys.engine().top(&q.raw);
-        println!("{:40} need={:16} mean={:.2} -> {:?}", q.raw, q.gold.need.to_string(), r.mean,
-            top.map(|t| (t.definition, t.anchor_text)));
+        println!(
+            "{:40} need={:16} mean={:.2} -> {:?}",
+            q.raw,
+            q.gold.need.to_string(),
+            r.mean,
+            top.map(|t| (t.definition, t.anchor_text))
+        );
     }
 }

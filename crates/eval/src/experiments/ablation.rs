@@ -16,9 +16,8 @@ use qunit_core::derive::schema_data::{self as sd_derive, SchemaDataConfig};
 use qunit_core::{EngineConfig, EntityDictionary, QunitCatalog};
 
 fn score_catalog(ctx: &EvalContext, name: &str, cat: QunitCatalog, n_queries: usize) -> f64 {
-    let engine =
-        qunit_core::QunitSearchEngine::build(&ctx.data.db, cat, EngineConfig::default())
-            .expect("engine build");
+    let engine = qunit_core::QunitSearchEngine::build(&ctx.data.db, cat, EngineConfig::default())
+        .expect("engine build");
     let sys = QunitSystem::new(name, engine);
     let queries = ctx.workload.take(n_queries);
     score_system(&sys, &queries, &ctx.oracle).mean
@@ -34,8 +33,8 @@ pub fn sweep_k1k2(
     let mut out = Vec::with_capacity(k1s.len() * k2s.len());
     for &k1 in k1s {
         for &k2 in k2s {
-            let cat = sd_derive::derive(&ctx.data.db, &SchemaDataConfig { k1, k2 })
-                .expect("derivation");
+            let cat =
+                sd_derive::derive(&ctx.data.db, &SchemaDataConfig { k1, k2 }).expect("derivation");
             let score = score_catalog(ctx, &format!("sd-k1{k1}-k2{k2}"), cat, n_queries);
             out.push((k1, k2, score));
         }
@@ -44,11 +43,7 @@ pub fn sweep_k1k2(
 }
 
 /// A2: quality of the query-log derivation as the log prefix grows.
-pub fn sweep_log_size(
-    ctx: &EvalContext,
-    sizes: &[usize],
-    n_queries: usize,
-) -> Vec<(usize, f64)> {
+pub fn sweep_log_size(ctx: &EvalContext, sizes: &[usize], n_queries: usize) -> Vec<(usize, f64)> {
     let raw: Vec<String> = ctx.log.records.iter().map(|r| r.raw.clone()).collect();
     let mut out = Vec::with_capacity(sizes.len());
     for &n in sizes {
@@ -73,19 +68,11 @@ pub fn sweep_evidence_pages(
     n_queries: usize,
 ) -> Vec<(usize, f64)> {
     let mut out = Vec::with_capacity(sizes.len());
-    let dict = EntityDictionary::from_database(
-        &ctx.data.db,
-        EntityDictionary::imdb_specs(),
-    );
+    let dict = EntityDictionary::from_database(&ctx.data.db, EntityDictionary::imdb_specs());
     for &n in sizes {
         let pages = &ctx.pages[..n.min(ctx.pages.len())];
-        let cat = ev_derive::derive(
-            &ctx.data.db,
-            &dict,
-            pages,
-            &EvidenceDeriveConfig::default(),
-        )
-        .expect("derivation");
+        let cat = ev_derive::derive(&ctx.data.db, &dict, pages, &EvidenceDeriveConfig::default())
+            .expect("derivation");
         let score = score_catalog(ctx, &format!("ev-n{n}"), cat, n_queries);
         out.push((n.min(ctx.pages.len()), score));
     }
@@ -125,7 +112,10 @@ mod tests {
         let (small_n, small_s) = sweep[0];
         let (big_n, big_s) = sweep[1];
         assert!(big_n > small_n);
-        assert!(small_s < 0.2, "tiny log should derive ~nothing: {small_s:.3}");
+        assert!(
+            small_s < 0.2,
+            "tiny log should derive ~nothing: {small_s:.3}"
+        );
         assert!(
             big_s > small_s + 0.2,
             "full log should beat tiny log clearly: {small_s:.3} → {big_s:.3}"

@@ -58,18 +58,35 @@ pub fn context(
         .pages
         .iter()
         .map(|p| EvidencePage {
-            elements: p.elements.iter().map(|e| (e.tag.clone(), e.text.clone())).collect(),
+            elements: p
+                .elements
+                .iter()
+                .map(|e| (e.tag.clone(), e.text.clone()))
+                .collect(),
         })
         .collect();
-    EvalContext { data, log, segmenter, workload, pages, oracle }
+    EvalContext {
+        data,
+        log,
+        segmenter,
+        workload,
+        pages,
+        oracle,
+    }
 }
 
 /// A tiny context for unit tests (seconds, not minutes, in debug builds).
 pub fn tiny_context() -> EvalContext {
     context(
         ImdbConfig::tiny(),
-        QueryLogConfig { n_queries: 3000, ..QueryLogConfig::tiny() },
-        EvidenceGenConfig { n_pages: 150, ..EvidenceGenConfig::tiny() },
+        QueryLogConfig {
+            n_queries: 3000,
+            ..QueryLogConfig::tiny()
+        },
+        EvidenceGenConfig {
+            n_pages: 150,
+            ..EvidenceGenConfig::tiny()
+        },
         Oracle::default(),
     )
 }
@@ -112,7 +129,11 @@ pub fn score_system(
         per_query.push(rating.mean);
     }
     let mean = per_query.iter().sum::<f64>() / per_query.len().max(1) as f64;
-    SystemScore { system: system.name().to_string(), mean, per_query }
+    SystemScore {
+        system: system.name().to_string(),
+        mean,
+        per_query,
+    }
 }
 
 /// Derive the three automatic catalogs plus their union from a context.
@@ -180,12 +201,19 @@ pub fn run(ctx: &EvalContext, n_queries: usize, include_discover: bool) -> Fig3R
         let s = score_system(sys.as_ref(), &queries, &ctx.oracle);
         for q in &queries {
             let answer = sys.answer(&q.raw);
-            agreements
-                .push(ctx.oracle.rate(&q.raw, sys.name(), &q.gold, answer.as_ref()).majority);
+            agreements.push(
+                ctx.oracle
+                    .rate(&q.raw, sys.name(), &q.gold, answer.as_ref())
+                    .majority,
+            );
         }
         scores.push(s);
     }
-    scores.sort_by(|a, b| a.mean.partial_cmp(&b.mean).unwrap_or(std::cmp::Ordering::Equal));
+    scores.sort_by(|a, b| {
+        a.mean
+            .partial_cmp(&b.mean)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let theoretical_max = queries
         .iter()
@@ -195,19 +223,30 @@ pub fn run(ctx: &EvalContext, n_queries: usize, include_discover: bool) -> Fig3R
     let agreement_80 =
         agreements.iter().filter(|&&a| a >= 0.8).count() as f64 / agreements.len().max(1) as f64;
 
-    Fig3Result { scores, theoretical_max, agreement_80, n_queries: queries.len() }
+    Fig3Result {
+        scores,
+        theoretical_max,
+        agreement_80,
+        n_queries: queries.len(),
+    }
 }
 
 impl Fig3Result {
     /// Score of a system by name.
     pub fn score_of(&self, system: &str) -> Option<f64> {
-        self.scores.iter().find(|s| s.system == system).map(|s| s.mean)
+        self.scores
+            .iter()
+            .find(|s| s.system == system)
+            .map(|s| s.mean)
     }
 
     /// Render the Figure-3-style chart and table.
     pub fn render(&self) -> String {
-        let mut items: Vec<(String, f64)> =
-            self.scores.iter().map(|s| (s.system.clone(), s.mean)).collect();
+        let mut items: Vec<(String, f64)> = self
+            .scores
+            .iter()
+            .map(|s| (s.system.clone(), s.mean))
+            .collect();
         items.push(("theoretical-max".into(), self.theoretical_max));
         let mut out = String::from("Figure 3 — average result quality per algorithm\n\n");
         out.push_str(&crate::report::bar_chart(&items, 40));

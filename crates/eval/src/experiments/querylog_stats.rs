@@ -104,7 +104,10 @@ impl QueryLogStats {
     pub fn render(&self) -> String {
         let rows = vec![
             vec!["total queries".to_string(), self.total_queries.to_string()],
-            vec!["unique queries".to_string(), self.unique_queries.to_string()],
+            vec![
+                "unique queries".to_string(),
+                self.unique_queries.to_string(),
+            ],
             vec![
                 "movie-related (unique)".to_string(),
                 format!("{:.1}%", self.movie_related_fraction * 100.0),
@@ -121,7 +124,10 @@ impl QueryLogStats {
                 "multi-entity".to_string(),
                 format!("{:.1}%", self.multi_entity_fraction * 100.0),
             ],
-            vec!["complex/aggregate".to_string(), format!("{:.1}%", self.complex_fraction * 100.0)],
+            vec![
+                "complex/aggregate".to_string(),
+                format!("{:.1}%", self.complex_fraction * 100.0),
+            ],
         ];
         crate::report::table(&["statistic", "measured"], &rows)
     }
@@ -138,7 +144,10 @@ mod tests {
         let data = ImdbData::generate(ImdbConfig::tiny());
         let log = QueryLog::generate(
             &data,
-            QueryLogConfig { n_queries: 8000, ..QueryLogConfig::tiny() },
+            QueryLogConfig {
+                n_queries: 8000,
+                ..QueryLogConfig::tiny()
+            },
         );
         let seg = Segmenter::new(EntityDictionary::from_database(
             &data.db,
@@ -165,7 +174,11 @@ mod tests {
             "multi-entity {:.3}",
             s.multi_entity_fraction
         );
-        assert!(s.complex_fraction < 0.02, "complex {:.3}", s.complex_fraction);
+        assert!(
+            s.complex_fraction < 0.02,
+            "complex {:.3}",
+            s.complex_fraction
+        );
     }
 
     #[test]

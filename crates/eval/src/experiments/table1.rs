@@ -41,7 +41,11 @@ pub fn run(seed: u64, n_users: usize, needs_per_user: usize) -> Table1 {
             let i = rng.gen_range(0..pool.len());
             let need = pool.swap_remove(i);
             let template = sample_template(&mut rng, need);
-            entries.push(Elicitation { user, need, template });
+            entries.push(Elicitation {
+                user,
+                need,
+                template,
+            });
         }
     }
     Table1 { entries }
@@ -74,7 +78,10 @@ impl Table1 {
 
     /// Count of single-entity queries.
     pub fn single_entity_count(&self) -> usize {
-        self.entries.iter().filter(|e| e.template.is_single_entity()).count()
+        self.entries
+            .iter()
+            .filter(|e| e.template.is_single_entity())
+            .count()
     }
 
     /// Count of single-entity queries whose template is underspecified.
@@ -122,7 +129,11 @@ impl Table1 {
                 let cell = matrix
                     .get(&(need.to_string(), t.label().to_string()))
                     .map(|users| {
-                        users.iter().map(char::to_string).collect::<Vec<_>>().join(",")
+                        users
+                            .iter()
+                            .map(char::to_string)
+                            .collect::<Vec<_>>()
+                            .join(",")
                     })
                     .unwrap_or_default();
                 if !cell.is_empty() {
@@ -154,8 +165,12 @@ mod tests {
     fn needs_unique_per_user() {
         let t = run(11, 5, 5);
         for u in ['a', 'b', 'c', 'd', 'e'] {
-            let needs: Vec<_> =
-                t.entries.iter().filter(|e| e.user == u).map(|e| e.need).collect();
+            let needs: Vec<_> = t
+                .entries
+                .iter()
+                .filter(|e| e.user == u)
+                .map(|e| e.need)
+                .collect();
             let set: BTreeSet<_> = needs.iter().map(|n| n.to_string()).collect();
             assert_eq!(needs.len(), set.len(), "user {u} repeated a need");
         }

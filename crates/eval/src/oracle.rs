@@ -57,7 +57,11 @@ pub struct Oracle {
 
 impl Default for Oracle {
     fn default() -> Self {
-        Oracle { n_judges: 20, noise: 0.12, seed: 2009 }
+        Oracle {
+            n_judges: 20,
+            noise: 0.12,
+            seed: 2009,
+        }
     }
 }
 
@@ -152,16 +156,23 @@ impl Oracle {
         for r in &ratings {
             *counts.entry(*r).or_insert(0usize) += 1;
         }
-        let majority = counts.values().copied().max().unwrap_or(0) as f64
-            / ratings.len().max(1) as f64;
-        PanelRating { ratings, mean, majority }
+        let majority =
+            counts.values().copied().max().unwrap_or(0) as f64 / ratings.len().max(1) as f64;
+        PanelRating {
+            ratings,
+            mean,
+            majority,
+        }
     }
 
     /// The panel's score for a *perfect* answer — the "theoretical maximum
     /// performance" data point of Figure 3 (slightly below 1.0 once judge
     /// noise exists, exactly as with human raters).
     pub fn theoretical_max(&self, query: &str) -> f64 {
-        let gold = GoldStandard { need: InformationNeed::MovieSummary, entities: vec![] };
+        let gold = GoldStandard {
+            need: InformationNeed::MovieSummary,
+            entities: vec![],
+        };
         let perfect = SystemAnswer {
             text: "perfect".into(),
             covered_fields: InformationNeed::MovieSummary
@@ -170,7 +181,8 @@ impl Oracle {
                 .map(|s| s.to_string())
                 .collect(),
         };
-        self.rate(query, "theoretical-max", &gold, Some(&perfect)).mean
+        self.rate(query, "theoretical-max", &gold, Some(&perfect))
+            .mean
     }
 }
 
@@ -203,7 +215,10 @@ mod tests {
     #[test]
     fn perfect_answer_scores_one() {
         let g = gold(InformationNeed::Cast, &["star wars"]);
-        let a = answer("star wars harrison ford actor", &["movie.title", "person.name", "cast.role"]);
+        let a = answer(
+            "star wars harrison ford actor",
+            &["movie.title", "person.name", "cast.role"],
+        );
         assert!((Oracle::quality(&g, Some(&a)) - 1.0).abs() < 1e-9);
     }
 
@@ -216,7 +231,10 @@ mod tests {
     #[test]
     fn wrong_entity_tanks_quality() {
         let g = gold(InformationNeed::Cast, &["star wars"]);
-        let a = answer("solaris george clooney actor", &["movie.title", "person.name", "cast.role"]);
+        let a = answer(
+            "solaris george clooney actor",
+            &["movie.title", "person.name", "cast.role"],
+        );
         assert!(Oracle::quality(&g, Some(&a)) < 0.2);
     }
 
@@ -238,8 +256,15 @@ mod tests {
         let bloated = answer(
             "star wars harrison ford actor 1977 8.5 london plot plot",
             &[
-                "movie.title", "person.name", "cast.role", "movie.id", "movie.releasedate",
-                "movie.rating", "locations.place", "info.text", "movie.genre_id",
+                "movie.title",
+                "person.name",
+                "cast.role",
+                "movie.id",
+                "movie.releasedate",
+                "movie.rating",
+                "locations.place",
+                "info.text",
+                "movie.genre_id",
             ],
         );
         assert!(Oracle::quality(&g, Some(&exact)) > Oracle::quality(&g, Some(&bloated)));
@@ -285,7 +310,10 @@ mod tests {
         assert!(m > 0.9, "{m}");
         assert!(m <= 1.0);
         // and zero-noise panel gives exactly 1.0
-        let o0 = Oracle { noise: 0.0, ..Oracle::default() };
+        let o0 = Oracle {
+            noise: 0.0,
+            ..Oracle::default()
+        };
         assert!((o0.theoretical_max("q") - 1.0).abs() < 1e-12);
     }
 }

@@ -61,7 +61,11 @@ impl fmt::Display for Rating {
 pub fn table2_string() -> String {
     let mut out = String::from("score  rating\n-----  ------\n");
     for r in Rating::all() {
-        out.push_str(&format!("{:>5}  {}\n", format!("{:.1}", r.score()), r.label()));
+        out.push_str(&format!(
+            "{:>5}  {}\n",
+            format!("{:.1}", r.score()),
+            r.label()
+        ));
     }
     out
 }

@@ -44,7 +44,11 @@ pub struct BanksSystem {
 impl BanksSystem {
     /// Build the tuple graph for `db`.
     pub fn new(db: &Database) -> Self {
-        BanksSystem { db: db.clone(), graph: DataGraph::build(db), config: BanksConfig::default() }
+        BanksSystem {
+            db: db.clone(),
+            graph: DataGraph::build(db),
+            config: BanksConfig::default(),
+        }
     }
 }
 
@@ -77,7 +81,10 @@ impl SearchSystem for BanksSystem {
         }
         fields.sort();
         fields.dedup();
-        Some(SystemAnswer { text, covered_fields: fields })
+        Some(SystemAnswer {
+            text,
+            covered_fields: fields,
+        })
     }
 }
 
@@ -96,7 +103,10 @@ impl DiscoverSystem {
     pub fn new(db: &Database) -> Self {
         let mut db = db.clone();
         db.build_all_text_indexes();
-        DiscoverSystem { db, config: DiscoverConfig::default() }
+        DiscoverSystem {
+            db,
+            config: DiscoverConfig::default(),
+        }
     }
 }
 
@@ -124,7 +134,10 @@ impl SearchSystem for DiscoverSystem {
             .map(Value::display_plain)
             .collect::<Vec<_>>()
             .join(" ");
-        Some(SystemAnswer { text, covered_fields: fields })
+        Some(SystemAnswer {
+            text,
+            covered_fields: fields,
+        })
     }
 }
 
@@ -140,7 +153,9 @@ pub struct LcaSystem {
 impl LcaSystem {
     /// Convert `db` to its XML view.
     pub fn new(db: &Database) -> Self {
-        LcaSystem { tree: database_to_tree(db) }
+        LcaSystem {
+            tree: database_to_tree(db),
+        }
     }
 }
 
@@ -167,7 +182,9 @@ pub struct MlcaSystem {
 impl MlcaSystem {
     /// Convert `db` to its XML view.
     pub fn new(db: &Database) -> Self {
-        MlcaSystem { tree: database_to_tree(db) }
+        MlcaSystem {
+            tree: database_to_tree(db),
+        }
     }
 }
 
@@ -199,7 +216,10 @@ pub struct QunitSystem {
 impl QunitSystem {
     /// Wrap a built engine.
     pub fn new(name: impl Into<String>, engine: QunitSearchEngine) -> Self {
-        QunitSystem { name: name.into(), engine }
+        QunitSystem {
+            name: name.into(),
+            engine,
+        }
     }
 
     /// The wrapped engine.
@@ -215,7 +235,10 @@ impl SearchSystem for QunitSystem {
 
     fn answer(&self, query: &str) -> Option<SystemAnswer> {
         let top = self.engine.top(query)?;
-        Some(SystemAnswer { text: top.text, covered_fields: top.fields })
+        Some(SystemAnswer {
+            text: top.text,
+            covered_fields: top.fields,
+        })
     }
 }
 
@@ -235,8 +258,13 @@ mod tests {
         let d = data();
         let sys = BanksSystem::new(&d.db);
         let a = sys.answer(&d.movies[0].title).expect("answer");
-        assert!(a.covered_fields.iter().any(|f| f == "movie.id" || f.ends_with("_id")),
-            "BANKS should expose raw ids: {:?}", a.covered_fields);
+        assert!(
+            a.covered_fields
+                .iter()
+                .any(|f| f == "movie.id" || f.ends_with("_id")),
+            "BANKS should expose raw ids: {:?}",
+            a.covered_fields
+        );
         assert!(a.text.contains(&d.movies[0].title));
     }
 

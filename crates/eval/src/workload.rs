@@ -43,8 +43,7 @@ impl Workload {
         // frequency) 14 templates".
         let mut template_freq: HashMap<String, usize> = HashMap::new();
         // signature → (raw → (count, gold))
-        let mut by_template: HashMap<String, HashMap<&str, (usize, GoldStandard)>> =
-            HashMap::new();
+        let mut by_template: HashMap<String, HashMap<&str, (usize, GoldStandard)>> = HashMap::new();
         for r in &log.records {
             let (need, entities) = match (&r.need, &r.template) {
                 (Some(n), Some(_)) => (*n, r.entities.clone()),
@@ -90,13 +89,24 @@ impl Workload {
         while queries.len() < target {
             let mut advanced = false;
             for (sig, ranked) in &mut ranked_per_template {
-                let allowance = if depth == 0 { per_template } else { per_template + depth };
-                let have = queries.iter().filter(|q: &&WorkloadQuery| &q.signature == sig).count();
+                let allowance = if depth == 0 {
+                    per_template
+                } else {
+                    per_template + depth
+                };
+                let have = queries
+                    .iter()
+                    .filter(|q: &&WorkloadQuery| &q.signature == sig)
+                    .count();
                 if have >= allowance || have >= ranked.len() {
                     continue;
                 }
                 let (raw, gold) = ranked[have].clone();
-                queries.push(WorkloadQuery { raw, signature: sig.clone(), gold });
+                queries.push(WorkloadQuery {
+                    raw,
+                    signature: sig.clone(),
+                    gold,
+                });
                 advanced = true;
                 if queries.len() >= target {
                     break;
@@ -134,7 +144,10 @@ mod tests {
         let data = ImdbData::generate(ImdbConfig::tiny());
         let log = QueryLog::generate(
             &data,
-            QueryLogConfig { n_queries: 4000, ..QueryLogConfig::tiny() },
+            QueryLogConfig {
+                n_queries: 4000,
+                ..QueryLogConfig::tiny()
+            },
         );
         let seg = Segmenter::new(EntityDictionary::from_database(
             &data.db,
@@ -158,7 +171,12 @@ mod tests {
         let w = Workload::paper_defaults(&log, &seg);
         assert!(w.templates.windows(2).all(|x| x[0].1 >= x[1].1));
         // the dominant single-entity templates must be near the top
-        let top3: Vec<&str> = w.templates.iter().take(3).map(|(s, _)| s.as_str()).collect();
+        let top3: Vec<&str> = w
+            .templates
+            .iter()
+            .take(3)
+            .map(|(s, _)| s.as_str())
+            .collect();
         assert!(
             top3.contains(&"[movie.title]") || top3.contains(&"[person.name]"),
             "{top3:?}"

@@ -8,9 +8,10 @@ use std::collections::HashSet;
 /// Default English stopword list — small on purpose: entity-heavy movie
 /// queries ("it", "up") punish aggressive lists, and the paper's workloads
 /// are short keyword queries.
-pub const DEFAULT_STOPWORDS: &[&str] =
-    &["a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in", "is", "of", "on",
-      "or", "that", "the", "to", "with"];
+pub const DEFAULT_STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in", "is", "of", "on", "or",
+    "that", "the", "to", "with",
+];
 
 /// Configurable tokenizer.
 #[derive(Debug, Clone)]
@@ -37,7 +38,10 @@ impl Analyzer {
     /// Analyzer that keeps every token (no stopwords). Used where query
     /// terms are matched against entity names verbatim.
     pub fn keep_all() -> Self {
-        Analyzer { stopwords: HashSet::new(), min_token_len: 1 }
+        Analyzer {
+            stopwords: HashSet::new(),
+            min_token_len: 1,
+        }
     }
 
     /// Replace the stopword list.
@@ -86,7 +90,10 @@ mod tests {
     #[test]
     fn lowercases_and_splits() {
         let a = Analyzer::keep_all();
-        assert_eq!(a.tokenize("Star Wars: Episode IV"), vec!["star", "wars", "episode", "iv"]);
+        assert_eq!(
+            a.tokenize("Star Wars: Episode IV"),
+            vec!["star", "wars", "episode", "iv"]
+        );
     }
 
     #[test]

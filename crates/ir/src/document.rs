@@ -18,7 +18,10 @@ pub struct Document {
 impl Document {
     /// New empty document.
     pub fn new(external_id: impl Into<String>) -> Self {
-        Document { external_id: external_id.into(), fields: Vec::new() }
+        Document {
+            external_id: external_id.into(),
+            fields: Vec::new(),
+        }
     }
 
     /// Append a field (builder style).
@@ -41,7 +44,10 @@ impl Document {
 
     /// Text of a named field, if present (first occurrence).
     pub fn get_field(&self, name: &str) -> Option<&str> {
-        self.fields.iter().find(|(n, _)| n == name).map(|(_, t)| t.as_str())
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.as_str())
     }
 }
 
@@ -51,7 +57,9 @@ mod tests {
 
     #[test]
     fn builder_and_accessors() {
-        let d = Document::new("q1").field("title", "Star Wars").field("body", "cast list");
+        let d = Document::new("q1")
+            .field("title", "Star Wars")
+            .field("body", "cast list");
         assert_eq!(d.external_id, "q1");
         assert_eq!(d.get_field("title"), Some("Star Wars"));
         assert_eq!(d.get_field("missing"), None);

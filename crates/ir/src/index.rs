@@ -143,7 +143,9 @@ impl IndexBuilder {
 
         for (i, doc) in self.docs.iter().enumerate() {
             let doc_id = i as DocId;
-            external_to_doc.entry(doc.external_id.clone()).or_insert(doc_id);
+            external_to_doc
+                .entry(doc.external_id.clone())
+                .or_insert(doc_id);
 
             let mut tf: HashMap<String, f64> = HashMap::new();
             let mut length = 0.0;
@@ -156,7 +158,10 @@ impl IndexBuilder {
             }
             doc_lengths.push(length);
             for (term, weighted_tf) in tf {
-                postings.entry(term).or_default().push(Posting { doc: doc_id, weighted_tf });
+                postings.entry(term).or_default().push(Posting {
+                    doc: doc_id,
+                    weighted_tf,
+                });
             }
         }
         // Postings arrive in doc-id order because we iterate docs in order,
@@ -223,7 +228,11 @@ mod tests {
     fn field_boost_scales_tf_and_length() {
         let mut b = IndexBuilder::new();
         b.set_field_boost("title", 3.0);
-        b.add(Document::new("x").field("title", "star").field("body", "star"));
+        b.add(
+            Document::new("x")
+                .field("title", "star")
+                .field("body", "star"),
+        );
         let ix = b.build();
         let p = ix.postings("star");
         assert_eq!(p.len(), 1);

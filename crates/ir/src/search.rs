@@ -51,12 +51,7 @@ impl<'a> Searcher<'a> {
     /// is applied before top-k selection, so a restrictive filter still
     /// yields up to `k` of *its* documents (used by the qunit engine to rank
     /// "instances of the identified type").
-    pub fn search_where(
-        &self,
-        query: &str,
-        k: usize,
-        filter: impl Fn(DocId) -> bool,
-    ) -> Vec<Hit> {
+    pub fn search_where(&self, query: &str, k: usize, filter: impl Fn(DocId) -> bool) -> Vec<Hit> {
         let terms = self.index.analyzer().tokenize(query);
         self.search_terms_where(&terms, k, filter)
     }
@@ -81,7 +76,9 @@ impl<'a> Searcher<'a> {
         }
         for (term, qtf) in term_counts {
             for p in self.index.postings(term) {
-                let s = self.scoring.score_term(self.index, term, p.doc, p.weighted_tf)
+                let s = self
+                    .scoring
+                    .score_term(self.index, term, p.doc, p.weighted_tf)
                     * qtf as f64;
                 let e = acc.entry(p.doc).or_insert((0.0, 0));
                 e.0 += s;
@@ -91,7 +88,11 @@ impl<'a> Searcher<'a> {
         let mut hits: Vec<Hit> = acc
             .into_iter()
             .filter(|(doc, _)| filter(*doc))
-            .map(|(doc, (score, matched_terms))| Hit { doc, score, matched_terms })
+            .map(|(doc, (score, matched_terms))| Hit {
+                doc,
+                score,
+                matched_terms,
+            })
             .collect();
         hits.sort_by(|a, b| {
             b.score
@@ -120,14 +121,24 @@ impl<'a> Searcher<'a> {
         let mut score = 0.0;
         let mut matched_terms = 0;
         for (term, qtf) in term_counts {
-            if let Ok(i) = self.index.postings(term).binary_search_by(|p| p.doc.cmp(&doc)) {
+            if let Ok(i) = self
+                .index
+                .postings(term)
+                .binary_search_by(|p| p.doc.cmp(&doc))
+            {
                 let p = self.index.postings(term)[i];
-                score +=
-                    self.scoring.score_term(self.index, term, doc, p.weighted_tf) * qtf as f64;
+                score += self
+                    .scoring
+                    .score_term(self.index, term, doc, p.weighted_tf)
+                    * qtf as f64;
                 matched_terms += 1;
             }
         }
-        Hit { doc, score, matched_terms }
+        Hit {
+            doc,
+            score,
+            matched_terms,
+        }
     }
 }
 

@@ -43,8 +43,7 @@ impl Snippet {
 /// `text`. Returns `None` when no query term occurs in the text.
 pub fn extract(analyzer: &Analyzer, text: &str, query: &str, window: usize) -> Option<Snippet> {
     let doc = analyzer.tokenize(text);
-    let q: std::collections::HashSet<String> =
-        analyzer.tokenize(query).into_iter().collect();
+    let q: std::collections::HashSet<String> = analyzer.tokenize(query).into_iter().collect();
     if doc.is_empty() || q.is_empty() || window == 0 {
         return None;
     }
@@ -81,7 +80,11 @@ pub fn extract(analyzer: &Analyzer, text: &str, query: &str, window: usize) -> O
     let end = (start + window).min(doc.len());
     let tokens: Vec<String> = doc[start..end].to_vec();
     let matched: Vec<bool> = tokens.iter().map(|t| q.contains(t)).collect();
-    Some(Snippet { tokens, matched, coverage })
+    Some(Snippet {
+        tokens,
+        matched,
+        coverage,
+    })
 }
 
 #[cfg(test)]

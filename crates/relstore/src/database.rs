@@ -59,7 +59,9 @@ impl Database {
 
     /// Access table storage by name.
     pub fn table_by_name(&self, name: &str) -> Option<&Table> {
-        self.catalog.table_id(name).and_then(|id| self.tables.get(id))
+        self.catalog
+            .table_id(name)
+            .and_then(|id| self.tables.get(id))
     }
 
     /// Mutable access to table storage by id (for index creation).
@@ -81,7 +83,10 @@ impl Database {
         if self.enforce_fk {
             self.check_row_fks(table, &values)?;
         }
-        let t = self.tables.get_mut(table).ok_or(Error::UnknownTable(format!("#{table}")))?;
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or(Error::UnknownTable(format!("#{table}")))?;
         t.insert(values)
     }
 
@@ -103,10 +108,12 @@ impl Database {
             let ref_col = target
                 .schema()
                 .column_index(&fk.ref_column)
-                .ok_or_else(|| Error::InvalidSchema(format!(
-                    "FK to unknown `{}.{}`",
-                    fk.ref_table, fk.ref_column
-                )))?;
+                .ok_or_else(|| {
+                    Error::InvalidSchema(format!(
+                        "FK to unknown `{}.{}`",
+                        fk.ref_table, fk.ref_column
+                    ))
+                })?;
             let found = if target.schema().primary_key == Some(ref_col) {
                 target.lookup_pk(v).is_some()
             } else {
@@ -205,8 +212,10 @@ mod tests {
     #[test]
     fn insert_and_count() {
         let mut db = movie_db();
-        db.insert("person", vec![1.into(), "George Clooney".into()]).unwrap();
-        db.insert("movie", vec![10.into(), "Ocean's Eleven".into()]).unwrap();
+        db.insert("person", vec![1.into(), "George Clooney".into()])
+            .unwrap();
+        db.insert("movie", vec![10.into(), "Ocean's Eleven".into()])
+            .unwrap();
         db.insert("cast", vec![1.into(), 10.into()]).unwrap();
         assert_eq!(db.total_rows(), 3);
         assert_eq!(db.table_by_name("cast").unwrap().len(), 1);
@@ -234,13 +243,17 @@ mod tests {
     #[test]
     fn unknown_table_insert() {
         let mut db = movie_db();
-        assert!(matches!(db.insert("ghost", vec![]), Err(Error::UnknownTable(_))));
+        assert!(matches!(
+            db.insert("ghost", vec![]),
+            Err(Error::UnknownTable(_))
+        ));
     }
 
     #[test]
     fn text_indexes_built_everywhere() {
         let mut db = movie_db();
-        db.insert("movie", vec![1.into(), "Star Wars".into()]).unwrap();
+        db.insert("movie", vec![1.into(), "Star Wars".into()])
+            .unwrap();
         db.build_all_text_indexes();
         let movie = db.table_by_name("movie").unwrap();
         let title_col = movie.schema().column_index("title").unwrap();

@@ -15,15 +15,28 @@ pub enum Error {
     /// A table with this name already exists.
     DuplicateTable(String),
     /// A row's arity does not match the table schema.
-    ArityMismatch { table: String, expected: usize, got: usize },
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        got: usize,
+    },
     /// A value's type does not match the column's declared type.
-    TypeMismatch { table: String, column: String, expected: String, got: String },
+    TypeMismatch {
+        table: String,
+        column: String,
+        expected: String,
+        got: String,
+    },
     /// NULL supplied for a NOT NULL column.
     NullViolation { table: String, column: String },
     /// Inserting a duplicate primary key.
     PrimaryKeyViolation { table: String, key: String },
     /// A foreign key points at a non-existent row.
-    ForeignKeyViolation { table: String, column: String, value: String },
+    ForeignKeyViolation {
+        table: String,
+        column: String,
+        value: String,
+    },
     /// A query referenced a table position that is not in its FROM list.
     BadTableIndex(usize),
     /// A query parameter was not supplied a binding at execution time.
@@ -45,10 +58,22 @@ impl fmt::Display for Error {
                 write!(f, "unknown column `{column}` in table `{table}`")
             }
             Error::DuplicateTable(t) => write!(f, "table `{t}` already exists"),
-            Error::ArityMismatch { table, expected, got } => {
-                write!(f, "row arity mismatch for `{table}`: expected {expected}, got {got}")
+            Error::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "row arity mismatch for `{table}`: expected {expected}, got {got}"
+                )
             }
-            Error::TypeMismatch { table, column, expected, got } => write!(
+            Error::TypeMismatch {
+                table,
+                column,
+                expected,
+                got,
+            } => write!(
                 f,
                 "type mismatch for `{table}.{column}`: expected {expected}, got {got}"
             ),
@@ -58,7 +83,11 @@ impl fmt::Display for Error {
             Error::PrimaryKeyViolation { table, key } => {
                 write!(f, "duplicate primary key {key} in `{table}`")
             }
-            Error::ForeignKeyViolation { table, column, value } => write!(
+            Error::ForeignKeyViolation {
+                table,
+                column,
+                value,
+            } => write!(
                 f,
                 "foreign key violation: `{table}.{column}` = {value} has no referent"
             ),
@@ -82,15 +111,27 @@ mod tests {
 
     #[test]
     fn display_is_human_readable() {
-        let e = Error::UnknownColumn { table: "movie".into(), column: "zzz".into() };
+        let e = Error::UnknownColumn {
+            table: "movie".into(),
+            column: "zzz".into(),
+        };
         assert_eq!(e.to_string(), "unknown column `zzz` in table `movie`");
-        let e = Error::PrimaryKeyViolation { table: "person".into(), key: "7".into() };
+        let e = Error::PrimaryKeyViolation {
+            table: "person".into(),
+            key: "7".into(),
+        };
         assert!(e.to_string().contains("duplicate primary key"));
     }
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(Error::UnknownTable("a".into()), Error::UnknownTable("a".into()));
-        assert_ne!(Error::UnknownTable("a".into()), Error::UnknownTable("b".into()));
+        assert_eq!(
+            Error::UnknownTable("a".into()),
+            Error::UnknownTable("a".into())
+        );
+        assert_ne!(
+            Error::UnknownTable("a".into()),
+            Error::UnknownTable("b".into())
+        );
     }
 }

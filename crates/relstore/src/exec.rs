@@ -110,7 +110,11 @@ pub fn execute(db: &Database, query: &Query, binding: &Binding) -> Result<Result
         }
     }
     if query.tables.is_empty() {
-        return Ok(ResultSet { columns: vec![], sources: vec![], rows: vec![] });
+        return Ok(ResultSet {
+            columns: vec![],
+            sources: vec![],
+            rows: vec![],
+        });
     }
 
     let eq_constraints = query.predicate.conjunctive_eq_constraints(binding);
@@ -219,8 +223,12 @@ fn hash_join(
     }
 
     // Probe: existing partial rows.
-    let pos_of: HashMap<usize, usize> =
-        partial.positions.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    let pos_of: HashMap<usize, usize> = partial
+        .positions
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i))
+        .collect();
     let mut out_rows = Vec::new();
     'probe: for ctx in &partial.rows {
         let mut key = Vec::with_capacity(old_refs.len());
@@ -245,18 +253,20 @@ fn hash_join(
 
     let mut positions = partial.positions;
     positions.push(pos);
-    Ok(Partial { positions, rows: out_rows })
+    Ok(Partial {
+        positions,
+        rows: out_rows,
+    })
 }
 
 /// Apply the filter predicate, projection, and limit to assembled contexts.
-fn finish(
-    db: &Database,
-    query: &Query,
-    binding: &Binding,
-    partial: Partial,
-) -> Result<ResultSet> {
-    let slot_of: HashMap<usize, usize> =
-        partial.positions.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+fn finish(db: &Database, query: &Query, binding: &Binding, partial: Partial) -> Result<ResultSet> {
+    let slot_of: HashMap<usize, usize> = partial
+        .positions
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i))
+        .collect();
 
     let projection: Vec<ColRef> = match &query.projection {
         Some(p) => p.clone(),
@@ -300,7 +310,11 @@ fn finish(
         rows.push(row);
     }
 
-    Ok(ResultSet { columns, sources: projection, rows })
+    Ok(ResultSet {
+        columns,
+        sources: projection,
+        rows,
+    })
 }
 
 /// Reference executor: full cartesian enumeration with join edges folded into
@@ -340,7 +354,13 @@ pub fn execute_nested_loop(db: &Database, query: &Query, binding: &Binding) -> R
     let per_table: Vec<Vec<&Row>> = query
         .tables
         .iter()
-        .map(|&tid| db.table(tid).expect("validated").scan().map(|(_, r)| r).collect())
+        .map(|&tid| {
+            db.table(tid)
+                .expect("validated")
+                .scan()
+                .map(|(_, r)| r)
+                .collect()
+        })
         .collect();
 
     let mut rows = Vec::new();
@@ -361,7 +381,11 @@ pub fn execute_nested_loop(db: &Database, query: &Query, binding: &Binding) -> R
         Ok(true)
     })?;
 
-    Ok(ResultSet { columns, sources: projection, rows })
+    Ok(ResultSet {
+        columns,
+        sources: projection,
+        rows,
+    })
 }
 
 fn enumerate<'a>(
@@ -416,10 +440,18 @@ mod tests {
                 .foreign_key("movie_id", "movie", "id"),
         )
         .unwrap();
-        for (id, name) in [(1, "George Clooney"), (2, "Brad Pitt"), (3, "Julia Roberts")] {
+        for (id, name) in [
+            (1, "George Clooney"),
+            (2, "Brad Pitt"),
+            (3, "Julia Roberts"),
+        ] {
             db.insert("person", vec![id.into(), name.into()]).unwrap();
         }
-        for (id, title) in [(10, "Ocean's Eleven"), (11, "Up in the Air"), (12, "Solaris")] {
+        for (id, title) in [
+            (10, "Ocean's Eleven"),
+            (11, "Up in the Air"),
+            (12, "Solaris"),
+        ] {
             db.insert("movie", vec![id.into(), title.into()]).unwrap();
         }
         for (p, m, r) in [
@@ -429,7 +461,8 @@ mod tests {
             (1, 11, "actor"),
             (1, 12, "actor"),
         ] {
-            db.insert("cast", vec![p.into(), m.into(), r.into()]).unwrap();
+            db.insert("cast", vec![p.into(), m.into(), r.into()])
+                .unwrap();
         }
         db
     }
@@ -493,7 +526,11 @@ mod tests {
         let names: Vec<&str> = rs
             .rows
             .iter()
-            .map(|r| r[rs.column_index("person.name").unwrap()].as_text().unwrap())
+            .map(|r| {
+                r[rs.column_index("person.name").unwrap()]
+                    .as_text()
+                    .unwrap()
+            })
             .collect();
         assert!(names.contains(&"George Clooney"));
     }
@@ -554,7 +591,9 @@ mod tests {
             .unwrap();
         let q = b.build();
         let fast = db.execute(&q).unwrap().sorted();
-        let slow = execute_nested_loop(&db, &q, &Binding::empty()).unwrap().sorted();
+        let slow = execute_nested_loop(&db, &q, &Binding::empty())
+            .unwrap()
+            .sorted();
         assert_eq!(fast.rows, slow.rows);
         assert_eq!(fast.columns, slow.columns);
     }
@@ -570,7 +609,8 @@ mod tests {
         .unwrap();
         db.create_table(TableSchema::new("b").column(ColumnDef::new("k", DataType::Int)))
             .unwrap();
-        db.insert("a", vec![Value::Null, "null-key".into()]).unwrap();
+        db.insert("a", vec![Value::Null, "null-key".into()])
+            .unwrap();
         db.insert("a", vec![1.into(), "one".into()]).unwrap();
         db.insert("b", vec![Value::Null]).unwrap();
         db.insert("b", vec![1.into()]).unwrap();
@@ -599,7 +639,13 @@ mod tests {
     #[test]
     fn empty_from_list_yields_empty() {
         let db = movie_db();
-        let q = Query { tables: vec![], joins: vec![], predicate: Predicate::True, projection: None, limit: None };
+        let q = Query {
+            tables: vec![],
+            joins: vec![],
+            predicate: Predicate::True,
+            projection: None,
+            limit: None,
+        };
         let rs = db.execute(&q).unwrap();
         assert!(rs.is_empty());
     }
@@ -608,9 +654,16 @@ mod tests {
     fn index_accelerated_seed_same_answer() {
         let mut db = movie_db();
         let cast_id = db.catalog().table_id("cast").unwrap();
-        let pid_col =
-            db.catalog().table(cast_id).unwrap().column_index("person_id").unwrap();
-        db.table_mut(cast_id).unwrap().create_index(pid_col).unwrap();
+        let pid_col = db
+            .catalog()
+            .table(cast_id)
+            .unwrap()
+            .column_index("person_id")
+            .unwrap();
+        db.table_mut(cast_id)
+            .unwrap()
+            .create_index(pid_col)
+            .unwrap();
         let b = QueryBuilder::new(&db).table("cast").unwrap();
         let pid = b.col(0, "person_id").unwrap();
         let q = b.filter(Predicate::eq(pid, 1)).build();

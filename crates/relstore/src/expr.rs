@@ -241,7 +241,10 @@ mod tests {
         let rows = ctx_rows();
         assert!(eval(&Predicate::eq(ColRef::new(0, 0), 1), &rows));
         assert!(!eval(&Predicate::eq(ColRef::new(0, 0), 2), &rows));
-        assert!(eval(&Predicate::Cmp(ColRef::new(0, 0), CmpOp::Ne, 2.into()), &rows));
+        assert!(eval(
+            &Predicate::Cmp(ColRef::new(0, 0), CmpOp::Ne, 2.into()),
+            &rows
+        ));
     }
 
     #[test]
@@ -267,10 +270,19 @@ mod tests {
     #[test]
     fn contains_is_case_insensitive() {
         let rows = ctx_rows();
-        assert!(eval(&Predicate::Contains(ColRef::new(0, 1), "CLOONEY".into()), &rows));
-        assert!(!eval(&Predicate::Contains(ColRef::new(0, 1), "pitt".into()), &rows));
+        assert!(eval(
+            &Predicate::Contains(ColRef::new(0, 1), "CLOONEY".into()),
+            &rows
+        ));
+        assert!(!eval(
+            &Predicate::Contains(ColRef::new(0, 1), "pitt".into()),
+            &rows
+        ));
         // Contains on a non-text value is false, not an error.
-        assert!(!eval(&Predicate::Contains(ColRef::new(0, 0), "1".into()), &rows));
+        assert!(!eval(
+            &Predicate::Contains(ColRef::new(0, 0), "1".into()),
+            &rows
+        ));
     }
 
     #[test]
@@ -286,10 +298,18 @@ mod tests {
 
     #[test]
     fn col_eq_across_tables() {
-        let rows =
-            vec![Row::new(vec![5.into(), "x".into()]), Row::new(vec![5.into(), "y".into()])];
-        assert!(eval(&Predicate::ColEq(ColRef::new(0, 0), ColRef::new(1, 0)), &rows));
-        assert!(!eval(&Predicate::ColEq(ColRef::new(0, 1), ColRef::new(1, 1)), &rows));
+        let rows = vec![
+            Row::new(vec![5.into(), "x".into()]),
+            Row::new(vec![5.into(), "y".into()]),
+        ];
+        assert!(eval(
+            &Predicate::ColEq(ColRef::new(0, 0), ColRef::new(1, 0)),
+            &rows
+        ));
+        assert!(!eval(
+            &Predicate::ColEq(ColRef::new(0, 1), ColRef::new(1, 1)),
+            &rows
+        ));
     }
 
     #[test]
@@ -326,6 +346,9 @@ mod tests {
         let rows = ctx_rows();
         let ctx: Vec<&Row> = rows.iter().collect();
         let p = Predicate::eq(ColRef::new(9, 0), 1);
-        assert!(matches!(p.eval(&ctx, &Binding::empty()), Err(Error::BadTableIndex(9))));
+        assert!(matches!(
+            p.eval(&ctx, &Binding::empty()),
+            Err(Error::BadTableIndex(9))
+        ));
     }
 }

@@ -163,7 +163,10 @@ mod tests {
 
     #[test]
     fn tokenizer_lowercases_and_splits() {
-        assert_eq!(tokenize("Star Wars: Episode IV"), vec!["star", "wars", "episode", "iv"]);
+        assert_eq!(
+            tokenize("Star Wars: Episode IV"),
+            vec!["star", "wars", "episode", "iv"]
+        );
         assert_eq!(tokenize("  "), Vec::<String>::new());
         assert_eq!(tokenize("o'brien-smith"), vec!["o", "brien", "smith"]);
     }

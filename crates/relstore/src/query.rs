@@ -68,7 +68,12 @@ pub struct JoinEdge {
 impl JoinEdge {
     /// Construct a join edge.
     pub fn new(left: usize, left_col: usize, right: usize, right_col: usize) -> Self {
-        JoinEdge { left, left_col, right, right_col }
+        JoinEdge {
+            left,
+            left_col,
+            right,
+            right_col,
+        }
     }
 }
 
@@ -208,10 +213,12 @@ impl<'a> QueryBuilder<'a> {
     pub fn col(&self, pos: usize, column: &str) -> Result<ColRef> {
         let tid = *self.tables.get(pos).ok_or(Error::BadTableIndex(pos))?;
         let schema = self.db.catalog().table(tid).expect("table id valid");
-        let c = schema.column_index(column).ok_or_else(|| Error::UnknownColumn {
-            table: schema.name.clone(),
-            column: column.to_string(),
-        })?;
+        let c = schema
+            .column_index(column)
+            .ok_or_else(|| Error::UnknownColumn {
+                table: schema.name.clone(),
+                column: column.to_string(),
+            })?;
         Ok(ColRef::new(pos, c))
     }
 
@@ -219,7 +226,8 @@ impl<'a> QueryBuilder<'a> {
     pub fn join(mut self, lpos: usize, lcol: &str, rpos: usize, rcol: &str) -> Result<Self> {
         let l = self.col(lpos, lcol)?;
         let r = self.col(rpos, rcol)?;
-        self.joins.push(JoinEdge::new(l.table, l.column, r.table, r.column));
+        self.joins
+            .push(JoinEdge::new(l.table, l.column, r.table, r.column));
         Ok(self)
     }
 
@@ -303,7 +311,10 @@ mod tests {
             Err(Error::UnknownTable(_))
         ));
         let b = QueryBuilder::new(&db).table("person").unwrap();
-        assert!(matches!(b.col(0, "ghost"), Err(Error::UnknownColumn { .. })));
+        assert!(matches!(
+            b.col(0, "ghost"),
+            Err(Error::UnknownColumn { .. })
+        ));
         assert!(matches!(b.col(7, "id"), Err(Error::BadTableIndex(7))));
     }
 
@@ -316,7 +327,10 @@ mod tests {
             .table("cast")
             .unwrap()
             .build(); // no join edge
-        assert!(matches!(q.validate(&db), Err(Error::DisconnectedJoin { .. })));
+        assert!(matches!(
+            q.validate(&db),
+            Err(Error::DisconnectedJoin { .. })
+        ));
     }
 
     #[test]
@@ -352,7 +366,10 @@ mod tests {
         let b = QueryBuilder::new(&db).table("person").unwrap();
         let c0 = b.col(0, "id").unwrap();
         let c1 = b.col(0, "name").unwrap();
-        let q = b.filter(Predicate::eq(c0, 1)).filter(Predicate::eq(c1, "x")).build();
+        let q = b
+            .filter(Predicate::eq(c0, 1))
+            .filter(Predicate::eq(c1, "x"))
+            .build();
         assert!(matches!(q.predicate, Predicate::And(_, _)));
     }
 }

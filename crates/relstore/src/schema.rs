@@ -27,7 +27,11 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// A new nullable column.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        ColumnDef { name: name.into(), dtype, nullable: true }
+        ColumnDef {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
     }
 
     /// Mark the column NOT NULL.
@@ -149,7 +153,10 @@ impl Catalog {
             return Err(Error::DuplicateTable(schema.name));
         }
         if schema.columns.is_empty() {
-            return Err(Error::InvalidSchema(format!("table `{}` has no columns", schema.name)));
+            return Err(Error::InvalidSchema(format!(
+                "table `{}` has no columns",
+                schema.name
+            )));
         }
         let mut seen = HashMap::with_capacity(schema.columns.len());
         for (i, c) in schema.columns.iter().enumerate() {
@@ -171,12 +178,12 @@ impl Catalog {
     pub fn validate(&self) -> Result<()> {
         for t in &self.tables {
             for fk in &t.foreign_keys {
-                let target = self
-                    .table_id(&fk.ref_table)
-                    .ok_or_else(|| Error::InvalidSchema(format!(
+                let target = self.table_id(&fk.ref_table).ok_or_else(|| {
+                    Error::InvalidSchema(format!(
                         "`{}` has FK to unknown table `{}`",
                         t.name, fk.ref_table
-                    )))?;
+                    ))
+                })?;
                 let target_schema = &self.tables[target];
                 if target_schema.column_index(&fk.ref_column).is_none() {
                     return Err(Error::InvalidSchema(format!(
@@ -255,8 +262,12 @@ impl Catalog {
 
     /// Rebuild the name lookup (needed after deserialization).
     pub fn rebuild_index(&mut self) {
-        self.by_name =
-            self.tables.iter().enumerate().map(|(i, t)| (t.name.clone(), i)).collect();
+        self.by_name = self
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.name.clone(), i))
+            .collect();
     }
 
     /// Fully-qualified `table.column` display name.

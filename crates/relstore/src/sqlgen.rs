@@ -17,8 +17,11 @@ pub fn render_sql(db: &Database, query: &Query) -> String {
 
     let table_name = |pos: usize| -> String {
         let tid = query.tables[pos];
-        let name =
-            db.catalog().table(tid).map(|t| t.name.clone()).unwrap_or(format!("#{tid}"));
+        let name = db
+            .catalog()
+            .table(tid)
+            .map(|t| t.name.clone())
+            .unwrap_or(format!("#{tid}"));
         if needs_alias {
             format!("{name} AS t{pos}")
         } else {
@@ -44,7 +47,10 @@ pub fn render_sql(db: &Database, query: &Query) -> String {
         None => "*".to_string(),
         Some(cols) => cols.iter().map(&col_name).collect::<Vec<_>>().join(", "),
     };
-    let from = (0..query.tables.len()).map(table_name).collect::<Vec<_>>().join(", ");
+    let from = (0..query.tables.len())
+        .map(table_name)
+        .collect::<Vec<_>>()
+        .join(", ");
 
     let mut conds: Vec<String> = query
         .joins
@@ -81,16 +87,20 @@ fn render_predicate(p: &Predicate, col_name: &impl Fn(&ColRef) -> String) -> Opt
         Predicate::CmpParam(c, op, name) => {
             Some(format!("{} {} \"${}\"", col_name(c), op.sql(), name))
         }
-        Predicate::Contains(c, s) => {
-            Some(format!("{} LIKE '%{}%'", col_name(c), s.replace('\'', "''")))
-        }
+        Predicate::Contains(c, s) => Some(format!(
+            "{} LIKE '%{}%'",
+            col_name(c),
+            s.replace('\'', "''")
+        )),
         Predicate::IsNull(c) => Some(format!("{} IS NULL", col_name(c))),
         Predicate::ColEq(a, b) => Some(format!("{} = {}", col_name(a), col_name(b))),
-        Predicate::And(a, b) => match (render_predicate(a, col_name), render_predicate(b, col_name)) {
-            (Some(x), Some(y)) => Some(format!("{x} AND {y}")),
-            (Some(x), None) | (None, Some(x)) => Some(x),
-            (None, None) => None,
-        },
+        Predicate::And(a, b) => {
+            match (render_predicate(a, col_name), render_predicate(b, col_name)) {
+                (Some(x), Some(y)) => Some(format!("{x} AND {y}")),
+                (Some(x), None) | (None, Some(x)) => Some(x),
+                (None, None) => None,
+            }
+        }
         Predicate::Or(a, b) => {
             let x = render_predicate(a, col_name).unwrap_or_else(|| "TRUE".into());
             let y = render_predicate(b, col_name).unwrap_or_else(|| "TRUE".into());

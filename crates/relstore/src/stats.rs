@@ -111,10 +111,18 @@ impl DatabaseStats {
                 })
                 .collect();
 
-            let fk_degree =
-                edges.iter().filter(|e| e.from_table == tid || e.to_table == tid).count();
+            let fk_degree = edges
+                .iter()
+                .filter(|e| e.from_table == tid || e.to_table == tid)
+                .count();
 
-            tables.push(TableStats { table: tid, name: schema.name.clone(), rows, columns, fk_degree });
+            tables.push(TableStats {
+                table: tid,
+                name: schema.name.clone(),
+                rows,
+                columns,
+                fk_degree,
+            });
         }
         DatabaseStats { tables, total_rows }
     }
@@ -151,10 +159,15 @@ mod tests {
                 .foreign_key("person_id", "person", "id"),
         )
         .unwrap();
-        db.insert("person", vec![1.into(), "George Timothy Clooney".into(), "m".into()])
+        db.insert(
+            "person",
+            vec![1.into(), "George Timothy Clooney".into(), "m".into()],
+        )
+        .unwrap();
+        db.insert("person", vec![2.into(), "Brad Pitt".into(), "m".into()])
             .unwrap();
-        db.insert("person", vec![2.into(), "Brad Pitt".into(), "m".into()]).unwrap();
-        db.insert("person", vec![3.into(), Value::Null, Value::Null]).unwrap();
+        db.insert("person", vec![3.into(), Value::Null, Value::Null])
+            .unwrap();
         db.insert("cast", vec![1.into()]).unwrap();
         db.insert("cast", vec![1.into()]).unwrap();
         db
@@ -204,10 +217,8 @@ mod tests {
     #[test]
     fn empty_table_stats_are_sane() {
         let mut db = Database::new("d");
-        db.create_table(
-            TableSchema::new("empty").column(ColumnDef::new("x", DataType::Text)),
-        )
-        .unwrap();
+        db.create_table(TableSchema::new("empty").column(ColumnDef::new("x", DataType::Text)))
+            .unwrap();
         let stats = DatabaseStats::collect(&db);
         let t = stats.table_by_name("empty").unwrap();
         assert_eq!(t.rows, 0);

@@ -180,10 +180,14 @@ impl Table {
 
     /// Build (or rebuild) a full-text index on a TEXT `column`.
     pub fn create_text_index(&mut self, column: usize) -> Result<()> {
-        let col = self.schema.columns.get(column).ok_or_else(|| Error::UnknownColumn {
-            table: self.schema.name.clone(),
-            column: format!("#{column}"),
-        })?;
+        let col = self
+            .schema
+            .columns
+            .get(column)
+            .ok_or_else(|| Error::UnknownColumn {
+                table: self.schema.name.clone(),
+                column: format!("#{column}"),
+            })?;
         if col.dtype != DataType::Text {
             return Err(Error::TypeMismatch {
                 table: self.schema.name.clone(),
@@ -247,8 +251,10 @@ mod tests {
     #[test]
     fn insert_and_scan() {
         let mut t = person_table();
-        t.insert(vec![1.into(), "George Clooney".into(), "m".into()]).unwrap();
-        t.insert(vec![2.into(), "Julia Roberts".into(), "f".into()]).unwrap();
+        t.insert(vec![1.into(), "George Clooney".into(), "m".into()])
+            .unwrap();
+        t.insert(vec![2.into(), "Julia Roberts".into(), "f".into()])
+            .unwrap();
         assert_eq!(t.len(), 2);
         let names: Vec<String> = t
             .scan()
@@ -261,20 +267,31 @@ mod tests {
     fn arity_mismatch_rejected() {
         let mut t = person_table();
         let err = t.insert(vec![1.into()]).unwrap_err();
-        assert!(matches!(err, Error::ArityMismatch { expected: 3, got: 1, .. }));
+        assert!(matches!(
+            err,
+            Error::ArityMismatch {
+                expected: 3,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn type_mismatch_rejected() {
         let mut t = person_table();
-        let err = t.insert(vec!["oops".into(), "x".into(), "m".into()]).unwrap_err();
+        let err = t
+            .insert(vec!["oops".into(), "x".into(), "m".into()])
+            .unwrap_err();
         assert!(matches!(err, Error::TypeMismatch { .. }));
     }
 
     #[test]
     fn null_violation_rejected() {
         let mut t = person_table();
-        let err = t.insert(vec![Value::Null, "x".into(), "m".into()]).unwrap_err();
+        let err = t
+            .insert(vec![Value::Null, "x".into(), "m".into()])
+            .unwrap_err();
         assert!(matches!(err, Error::NullViolation { .. }));
     }
 
@@ -289,7 +306,9 @@ mod tests {
     fn pk_uniqueness_enforced() {
         let mut t = person_table();
         t.insert(vec![1.into(), "a".into(), "m".into()]).unwrap();
-        let err = t.insert(vec![1.into(), "b".into(), "f".into()]).unwrap_err();
+        let err = t
+            .insert(vec![1.into(), "b".into(), "f".into()])
+            .unwrap_err();
         assert!(matches!(err, Error::PrimaryKeyViolation { .. }));
     }
 
@@ -364,7 +383,9 @@ mod tests {
     fn text_index_maintained_incrementally() {
         let mut t = person_table();
         t.create_text_index(1).unwrap();
-        let id = t.insert(vec![1.into(), "George Clooney".into(), "m".into()]).unwrap();
+        let id = t
+            .insert(vec![1.into(), "George Clooney".into(), "m".into()])
+            .unwrap();
         assert_eq!(t.text_index(1).unwrap().get("clooney"), &[id]);
         t.delete(id).unwrap();
         assert!(t.text_index(1).unwrap().get("clooney").is_empty());

@@ -274,11 +274,13 @@ mod tests {
 
     #[test]
     fn ordering_is_total_across_types() {
-        let mut vals = [Value::from("zz"),
+        let mut vals = [
+            Value::from("zz"),
             Value::from(3),
             Value::Null,
             Value::from(false),
-            Value::from(2.5)];
+            Value::from(2.5),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::from(false));

@@ -20,7 +20,10 @@ pub struct View {
 impl View {
     /// Create a view.
     pub fn new(name: impl Into<String>, query: Query) -> Self {
-        View { name: name.into(), query }
+        View {
+            name: name.into(),
+            query,
+        }
     }
 
     /// Names of the parameters this view requires.
@@ -96,8 +99,10 @@ mod tests {
                 .primary_key("id"),
         )
         .unwrap();
-        db.insert("movie", vec![1.into(), "Star Wars".into()]).unwrap();
-        db.insert("movie", vec![2.into(), "Solaris".into()]).unwrap();
+        db.insert("movie", vec![1.into(), "Star Wars".into()])
+            .unwrap();
+        db.insert("movie", vec![2.into(), "Solaris".into()])
+            .unwrap();
         db
     }
 
@@ -106,9 +111,14 @@ mod tests {
         let db = db();
         let b = QueryBuilder::new(&db).table("movie").unwrap();
         let title = b.col(0, "title").unwrap();
-        let v = View::new("movie_by_title", b.filter(Predicate::eq_param(title, "x")).build());
+        let v = View::new(
+            "movie_by_title",
+            b.filter(Predicate::eq_param(title, "x")).build(),
+        );
         assert_eq!(v.parameters(), vec!["x".to_string()]);
-        let rs = v.materialize(&db, &Binding::empty().with("x", "Star Wars")).unwrap();
+        let rs = v
+            .materialize(&db, &Binding::empty().with("x", "Star Wars"))
+            .unwrap();
         assert_eq!(rs.len(), 1);
         assert_eq!(rs.rows[0][0], 1.into());
     }

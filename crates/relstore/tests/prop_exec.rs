@@ -50,14 +50,21 @@ fn random_db(
         }
     }
     for (p, m, r) in casts {
-        db.insert("cast", vec![p.into(), m.into(), r.into()]).unwrap();
+        db.insert("cast", vec![p.into(), m.into(), r.into()])
+            .unwrap();
     }
     db
 }
 
 fn name_strategy() -> impl Strategy<Value = String> {
     prop::sample::select(vec![
-        "alpha", "beta", "gamma", "delta", "epsilon", "star wars", "ocean",
+        "alpha",
+        "beta",
+        "gamma",
+        "delta",
+        "epsilon",
+        "star wars",
+        "ocean",
     ])
     .prop_map(str::to_string)
 }

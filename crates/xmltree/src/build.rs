@@ -21,8 +21,19 @@ pub fn database_to_tree(db: &Database) -> XmlTree {
     // Fallback: emit any table not covered by the IMDb-aware sections.
     let covered: &[&str] = if recognized && recognized2 {
         &[
-            "movie", "person", "cast", "genre", "locations", "info", "soundtrack", "trivia",
-            "boxoffice", "poster", "movie_award", "person_award", "award",
+            "movie",
+            "person",
+            "cast",
+            "genre",
+            "locations",
+            "info",
+            "soundtrack",
+            "trivia",
+            "boxoffice",
+            "poster",
+            "movie_award",
+            "person_award",
+            "award",
         ]
     } else {
         &[]
@@ -119,8 +130,7 @@ fn build_movie_section(db: &Database, b: &mut XmlTreeBuilder, root: NodeId) -> b
                         continue;
                     }
                     let centry = b.element(m, "cast");
-                    if let Some(role) = role_c.and_then(|c| crow.get(c)).and_then(Value::as_text)
-                    {
+                    if let Some(role) = role_c.and_then(|c| crow.get(c)).and_then(Value::as_text) {
                         b.field(centry, "role", role, "cast.role");
                     }
                     if let Some(pid) = crow.get(pid_c).and_then(Value::as_int) {
@@ -149,12 +159,7 @@ fn build_movie_section(db: &Database, b: &mut XmlTreeBuilder, root: NodeId) -> b
                             continue;
                         }
                         if let Some(v) = trow.get(val_c).filter(|v| !v.is_null()) {
-                            b.field(
-                                m,
-                                label,
-                                v.display_plain(),
-                                format!("{tname}.{text_col}"),
-                            );
+                            b.field(m, label, v.display_plain(), format!("{tname}.{text_col}"));
                         }
                     }
                 }
@@ -253,9 +258,12 @@ mod tests {
         )
         .unwrap();
         db.insert("genre", vec![1.into(), "scifi".into()]).unwrap();
-        db.insert("person", vec![1.into(), "harrison ford".into()]).unwrap();
-        db.insert("movie", vec![10.into(), "star wars".into(), 1.into()]).unwrap();
-        db.insert("cast", vec![1.into(), 10.into(), "actor".into()]).unwrap();
+        db.insert("person", vec![1.into(), "harrison ford".into()])
+            .unwrap();
+        db.insert("movie", vec![10.into(), "star wars".into(), 1.into()])
+            .unwrap();
+        db.insert("cast", vec![1.into(), 10.into(), "actor".into()])
+            .unwrap();
         db
     }
 
@@ -305,7 +313,8 @@ mod tests {
                 .primary_key("id"),
         )
         .unwrap();
-        db.insert("widget", vec![1.into(), "sprocket".into()]).unwrap();
+        db.insert("widget", vec![1.into(), "sprocket".into()])
+            .unwrap();
         let t = database_to_tree(&db);
         assert!(!t.nodes_matching("sprocket").is_empty());
         let m = t.nodes_matching("sprocket")[0];

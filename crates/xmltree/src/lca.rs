@@ -64,10 +64,18 @@ impl<'a> LcaEngine<'a> {
         }
         // propagate up in reverse document order (children have larger ids)
         for v in (1..self.tree.len()).rev() {
-            let parent = self.tree.node(v as NodeId).parent.expect("non-root has parent");
+            let parent = self
+                .tree
+                .node(v as NodeId)
+                .parent
+                .expect("non-root has parent");
             mask[parent as usize] |= mask[v];
         }
-        let want = if sets.len() == 64 { u64::MAX } else { (1u64 << sets.len()) - 1 };
+        let want = if sets.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << sets.len()) - 1
+        };
         (0..self.tree.len() as NodeId)
             .filter(|&v| mask[v as usize] == want)
             .collect()
@@ -89,7 +97,10 @@ impl<'a> LcaEngine<'a> {
                     .iter()
                     .any(|&c| c != v && self.tree.is_ancestor_or_self(v, c))
             })
-            .map(|&v| SubtreeAnswer { root: v, size: self.tree.subtree_size(v) })
+            .map(|&v| SubtreeAnswer {
+                root: v,
+                size: self.tree.subtree_size(v),
+            })
             .collect();
         answers.sort_by(|a, b| a.size.cmp(&b.size).then(a.root.cmp(&b.root)));
         answers.truncate(self.top_k);

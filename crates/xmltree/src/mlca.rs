@@ -31,7 +31,10 @@ pub struct MlcaEngine<'a> {
 impl<'a> MlcaEngine<'a> {
     /// New engine returning up to `top_k` answers.
     pub fn new(tree: &'a XmlTree, top_k: usize) -> Self {
-        MlcaEngine { inner: LcaEngine::new(tree, usize::MAX), top_k }
+        MlcaEngine {
+            inner: LcaEngine::new(tree, usize::MAX),
+            top_k,
+        }
     }
 
     /// The tree under search.
@@ -62,7 +65,10 @@ impl<'a> MlcaEngine<'a> {
             .iter()
             .copied()
             .filter(|&v| is_meaningful(tree, v, &sets))
-            .map(|v| SubtreeAnswer { root: v, size: tree.subtree_size(v) })
+            .map(|v| SubtreeAnswer {
+                root: v,
+                size: tree.subtree_size(v),
+            })
             .collect();
         // When no binding is meaningful, fall back to the plain SLCA
         // answers: the operator *prefers* meaningful results but still
@@ -70,7 +76,10 @@ impl<'a> MlcaEngine<'a> {
         if answers.is_empty() {
             answers = slca
                 .into_iter()
-                .map(|v| SubtreeAnswer { root: v, size: tree.subtree_size(v) })
+                .map(|v| SubtreeAnswer {
+                    root: v,
+                    size: tree.subtree_size(v),
+                })
                 .collect();
         }
         answers.sort_by(|a, b| a.size.cmp(&b.size).then(a.root.cmp(&b.root)));
@@ -89,8 +98,10 @@ fn is_meaningful(tree: &XmlTree, root: NodeId, sets: &[Vec<NodeId>]) -> bool {
             .filter(|&m| tree.is_ancestor_or_self(root, m))
             .collect();
         debug_assert!(!in_subtree.is_empty(), "root must cover every keyword");
-        let labels: HashSet<&str> =
-            in_subtree.iter().map(|&m| tree.node(m).label.as_str()).collect();
+        let labels: HashSet<&str> = in_subtree
+            .iter()
+            .map(|&m| tree.node(m).label.as_str())
+            .collect();
         if labels.len() > 1 {
             return false; // ambiguous binding: keyword matches mixed types
         }
@@ -149,8 +160,7 @@ mod tests {
             assert_eq!(t.node(a.root).label, "movie");
         }
         // MLCA is a subset of (or equal to) LCA answers per root set
-        let lca_roots: std::collections::HashSet<_> =
-            lca_ans.iter().map(|a| a.root).collect();
+        let lca_roots: std::collections::HashSet<_> = lca_ans.iter().map(|a| a.root).collect();
         for a in &mlca_ans {
             assert!(lca_roots.contains(&a.root));
         }

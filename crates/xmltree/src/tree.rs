@@ -82,7 +82,14 @@ impl XmlTreeBuilder {
     ) -> NodeId {
         let id = self.nodes.len() as NodeId;
         let depth = self.nodes[parent as usize].depth + 1;
-        self.nodes.push(XmlNode { label, text, source, parent: Some(parent), children: Vec::new(), depth });
+        self.nodes.push(XmlNode {
+            label,
+            text,
+            source,
+            parent: Some(parent),
+            children: Vec::new(),
+            depth,
+        });
         self.nodes[parent as usize].children.push(id);
         id
     }
@@ -116,7 +123,11 @@ impl XmlTreeBuilder {
             }
         }
 
-        XmlTree { nodes: self.nodes, keyword_index, subtree_end }
+        XmlTree {
+            nodes: self.nodes,
+            keyword_index,
+            subtree_end,
+        }
     }
 }
 
@@ -168,7 +179,9 @@ impl XmlTree {
     pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
         let (mut a, b) = (a, b);
         while !self.is_ancestor_or_self(a, b) {
-            a = self.nodes[a as usize].parent.expect("root is universal ancestor");
+            a = self.nodes[a as usize]
+                .parent
+                .expect("root is universal ancestor");
         }
         let _ = b;
         a

@@ -24,7 +24,11 @@ fn truncate(s: &str, n: usize) -> String {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let data = ImdbData::generate(ImdbConfig { n_movies: 120, n_people: 240, ..Default::default() });
+    let data = ImdbData::generate(ImdbConfig {
+        n_movies: 120,
+        n_people: 240,
+        ..Default::default()
+    });
 
     let engine = QunitSearchEngine::build(
         &data.db,
@@ -54,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for sys in &systems {
             match sys.answer(q) {
                 Some(a) => {
-                    println!("{:9} fields: {}", sys.name(), truncate(&a.covered_fields.join(", "), 64));
+                    println!(
+                        "{:9} fields: {}",
+                        sys.name(),
+                        truncate(&a.covered_fields.join(", "), 64)
+                    );
                     println!("{:9} text  : {}", "", truncate(&a.text, 64));
                 }
                 None => println!("{:9} (no answer)", sys.name()),

@@ -15,9 +15,19 @@ use qunits::eval::Oracle;
 
 fn main() {
     let ctx = fig3::context(
-        ImdbConfig { n_movies: 200, n_people: 400, ..Default::default() },
-        QueryLogConfig { n_queries: 6000, ..Default::default() },
-        EvidenceGenConfig { n_pages: 300, ..Default::default() },
+        ImdbConfig {
+            n_movies: 200,
+            n_people: 400,
+            ..Default::default()
+        },
+        QueryLogConfig {
+            n_queries: 6000,
+            ..Default::default()
+        },
+        EvidenceGenConfig {
+            n_pages: 300,
+            ..Default::default()
+        },
         Oracle::default(),
     );
     let n_queries = 25;
@@ -44,5 +54,8 @@ fn main() {
         .iter()
         .map(|(n, s)| vec![n.to_string(), format!("{s:.3}")])
         .collect();
-    println!("{}", report::table(&["evidence pages", "avg quality"], &rows));
+    println!(
+        "{}",
+        report::table(&["evidence pages", "avg quality"], &rows)
+    );
 }

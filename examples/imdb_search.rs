@@ -18,7 +18,11 @@ use qunits::datagen::imdb::{ImdbConfig, ImdbData};
 use qunits::datagen::querylog::{QueryLog, QueryLogConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let data = ImdbData::generate(ImdbConfig { n_movies: 300, n_people: 600, ..Default::default() });
+    let data = ImdbData::generate(ImdbConfig {
+        n_movies: 300,
+        n_people: 600,
+        ..Default::default()
+    });
     println!(
         "synthetic IMDb: {} tables, {} rows ({} movies, {} people)\n",
         data.db.catalog().len(),
@@ -30,12 +34,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // §4.1 — queriability scores drive the schema-data derivation.
     println!("queriability ranking (top 6):");
     for q in queriability(&data.db).into_iter().take(6) {
-        println!("  {:12} score {:8.2}  label {:?}", q.table, q.score, q.label);
+        println!(
+            "  {:12} score {:8.2}  label {:?}",
+            q.table, q.score, q.label
+        );
     }
     let sd = sd_derive::derive(&data.db, &SchemaDataConfig::default())?;
 
     // §4.2 — rollup over a generated query log.
-    let log = QueryLog::generate(&data, QueryLogConfig { n_queries: 8000, ..Default::default() });
+    let log = QueryLog::generate(
+        &data,
+        QueryLogConfig {
+            n_queries: 8000,
+            ..Default::default()
+        },
+    );
     let segmenter = Segmenter::new(EntityDictionary::from_database(
         &data.db,
         EntityDictionary::imdb_specs(),
@@ -44,12 +57,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ql = ql_derive::derive(&data.db, &segmenter, &raw, &QueryLogDeriveConfig::default())?;
 
     // §4.3 — type signatures over an evidence corpus.
-    let corpus = EvidenceCorpus::generate(&data, EvidenceGenConfig { n_pages: 300, ..Default::default() });
+    let corpus = EvidenceCorpus::generate(
+        &data,
+        EvidenceGenConfig {
+            n_pages: 300,
+            ..Default::default()
+        },
+    );
     let pages: Vec<EvidencePage> = corpus
         .pages
         .iter()
         .map(|p| EvidencePage {
-            elements: p.elements.iter().map(|e| (e.tag.clone(), e.text.clone())).collect(),
+            elements: p
+                .elements
+                .iter()
+                .map(|e| (e.tag.clone(), e.text.clone()))
+                .collect(),
         })
         .collect();
     let dict = EntityDictionary::from_database(&data.db, EntityDictionary::imdb_specs());
@@ -59,9 +82,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let manual = expert_imdb_qunits(&data.db)?;
 
     println!("\nderived catalogs:");
-    for (name, cat) in [("schema-data", &sd), ("query-log", &ql), ("evidence", &ev), ("manual", &manual)] {
+    for (name, cat) in [
+        ("schema-data", &sd),
+        ("query-log", &ql),
+        ("evidence", &ev),
+        ("manual", &manual),
+    ] {
         let defs: Vec<String> = cat.iter().map(|d| d.name.clone()).collect();
-        println!("  {:11} {:2} definitions: {}", name, cat.len(), defs.join(", "));
+        println!(
+            "  {:11} {:2} definitions: {}",
+            name,
+            cat.len(),
+            defs.join(", ")
+        );
     }
 
     // Search every engine with the same queries.
@@ -71,9 +104,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         format!("{} movies", data.people[1].name),
         format!("{} box office", data.movies[1].title),
     ];
-    for (name, cat) in [("schema-data", sd), ("query-log", ql), ("evidence", ev), ("manual", manual)] {
+    for (name, cat) in [
+        ("schema-data", sd),
+        ("query-log", ql),
+        ("evidence", ev),
+        ("manual", manual),
+    ] {
         let engine = QunitSearchEngine::build(&data.db, cat, EngineConfig::default())?;
-        println!("\n=== {} engine ({} instances) ===", name, engine.num_instances());
+        println!(
+            "\n=== {} engine ({} instances) ===",
+            name,
+            engine.num_instances()
+        );
         for q in &queries {
             match engine.top(q) {
                 Some(r) => println!("  {:40} -> {} ({:?})", q, r.definition, r.anchor_text),

@@ -41,7 +41,10 @@ fn schema_data_pipeline_end_to_end() {
     assert!(!cat.is_empty());
     let engine = QunitSearchEngine::build(&data.db, cat, EngineConfig::default()).unwrap();
     let r = engine.top(&data.movies[0].title).unwrap();
-    assert_eq!(r.anchor_text.as_deref(), Some(data.movies[0].title.as_str()));
+    assert_eq!(
+        r.anchor_text.as_deref(),
+        Some(data.movies[0].title.as_str())
+    );
 }
 
 #[test]
@@ -49,7 +52,10 @@ fn querylog_pipeline_end_to_end() {
     let data = data();
     let log = QueryLog::generate(
         &data,
-        QueryLogConfig { n_queries: 3000, ..QueryLogConfig::tiny() },
+        QueryLogConfig {
+            n_queries: 3000,
+            ..QueryLogConfig::tiny()
+        },
     );
     let segmenter = Segmenter::new(EntityDictionary::from_database(
         &data.db,
@@ -69,19 +75,28 @@ fn evidence_pipeline_end_to_end() {
     let data = data();
     let corpus = EvidenceCorpus::generate(
         &data,
-        EvidenceGenConfig { n_pages: 200, ..EvidenceGenConfig::tiny() },
+        EvidenceGenConfig {
+            n_pages: 200,
+            ..EvidenceGenConfig::tiny()
+        },
     );
     let pages: Vec<EvidencePage> = corpus
         .pages
         .iter()
         .map(|p| EvidencePage {
-            elements: p.elements.iter().map(|e| (e.tag.clone(), e.text.clone())).collect(),
+            elements: p
+                .elements
+                .iter()
+                .map(|e| (e.tag.clone(), e.text.clone()))
+                .collect(),
         })
         .collect();
     let dict = EntityDictionary::from_database(&data.db, EntityDictionary::imdb_specs());
-    let cat =
-        ev_derive::derive(&data.db, &dict, &pages, &EvidenceDeriveConfig::default()).unwrap();
-    assert!(!cat.is_empty(), "evidence-derived catalog should not be empty");
+    let cat = ev_derive::derive(&data.db, &dict, &pages, &EvidenceDeriveConfig::default()).unwrap();
+    assert!(
+        !cat.is_empty(),
+        "evidence-derived catalog should not be empty"
+    );
     let engine = QunitSearchEngine::build(&data.db, cat, EngineConfig::default()).unwrap();
     assert!(engine.num_instances() > 0);
 }
@@ -91,7 +106,10 @@ fn workload_judging_end_to_end() {
     let data = data();
     let log = QueryLog::generate(
         &data,
-        QueryLogConfig { n_queries: 3000, ..QueryLogConfig::tiny() },
+        QueryLogConfig {
+            n_queries: 3000,
+            ..QueryLogConfig::tiny()
+        },
     );
     let segmenter = Segmenter::new(EntityDictionary::from_database(
         &data.db,
@@ -116,7 +134,11 @@ fn workload_judging_end_to_end() {
         total += r.mean;
     }
     // the human catalog must do clearly better than chance on its own workload
-    assert!(total / 25.0 > 0.35, "human qunits scored only {:.3}", total / 25.0);
+    assert!(
+        total / 25.0 > 0.35,
+        "human qunits scored only {:.3}",
+        total / 25.0
+    );
 }
 
 #[test]
@@ -125,12 +147,18 @@ fn facade_reexports_compile_and_work() {
     let mut db = qunits::relstore::Database::new("t");
     db.create_table(
         qunits::relstore::TableSchema::new("movie")
-            .column(qunits::relstore::ColumnDef::new("id", qunits::relstore::DataType::Int).not_null())
-            .column(qunits::relstore::ColumnDef::new("title", qunits::relstore::DataType::Text))
+            .column(
+                qunits::relstore::ColumnDef::new("id", qunits::relstore::DataType::Int).not_null(),
+            )
+            .column(qunits::relstore::ColumnDef::new(
+                "title",
+                qunits::relstore::DataType::Text,
+            ))
             .primary_key("id"),
     )
     .unwrap();
-    db.insert("movie", vec![1.into(), "solaris".into()]).unwrap();
+    db.insert("movie", vec![1.into(), "solaris".into()])
+        .unwrap();
 
     let mut b = qunits::ir::IndexBuilder::new();
     b.add(qunits::ir::Document::new("d").field("body", "solaris"));

@@ -16,7 +16,10 @@ fn figure3_ordering_holds_on_integration_context() {
     let auto = result.score_of("qunits-auto").unwrap();
     let human = result.score_of("qunits-human").unwrap();
 
-    assert!(banks < lca + 0.02, "banks {banks:.3} should be at/below lca {lca:.3}");
+    assert!(
+        banks < lca + 0.02,
+        "banks {banks:.3} should be at/below lca {lca:.3}"
+    );
     assert!(mlca + 1e-9 >= lca, "mlca {mlca:.3} below lca {lca:.3}");
     assert!(auto > mlca, "auto {auto:.3} <= mlca {mlca:.3}");
     assert!(human >= auto, "human {human:.3} < auto {auto:.3}");

@@ -1,0 +1,236 @@
+//! Offline stub of `criterion`.
+//!
+//! The container has no network route to crates.io, so the workspace vendors
+//! a minimal stand-in with the same macro and builder surface the benches
+//! use: `criterion_group!` (both plain and `name/config/targets` forms),
+//! `criterion_main!`, `Criterion::{default, sample_size, measurement_time,
+//! bench_function, benchmark_group}`, `BenchmarkGroup`, `BenchmarkId`, and
+//! `black_box`. Timing is plain wall-clock mean over `sample_size`
+//! iterations — no statistics, no HTML reports. `--test` (what the CI bench
+//! smoke passes) runs every benchmark exactly once, like real criterion.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores target times.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores warm-up.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Reads the bench binary's CLI args: `--test` switches to one-shot
+    /// smoke mode; the first free-standing token becomes a name filter.
+    /// Everything else (`--bench`, criterion flags) is ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => self.test_mode = true,
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        self = self.sample_size(n);
+                    }
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.0, f, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, name: &str, mut f: F, samples: Option<usize>) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let iters = if self.test_mode {
+            1
+        } else {
+            samples.unwrap_or(self.sample_size)
+        };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {name} ... ok");
+        } else {
+            let mean = b.elapsed.as_secs_f64() / iters as f64;
+            println!("{name}: mean {:.3} ms over {iters} iters", mean * 1e3);
+        }
+    }
+}
+
+pub struct Bencher {
+    iters: usize,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    // Group-scoped override, like real criterion: it must NOT leak into the
+    // parent Criterion after finish().
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        self.criterion.run_one(&full, f, self.sample_size);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut ran = 0;
+        c.bench_function("solo", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function(BenchmarkId::new("f", 3), |b| {
+            b.iter(|| ran += 1);
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_sample_size_does_not_leak_to_parent() {
+        let mut c = Criterion::default().sample_size(7);
+        let mut group_iters = 0;
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| group_iters += 1));
+        g.finish();
+        assert_eq!(group_iters, 3);
+
+        let mut solo_iters = 0;
+        c.bench_function("after", |b| b.iter(|| solo_iters += 1));
+        assert_eq!(solo_iters, 7, "group override must be scoped to the group");
+    }
+}

@@ -1,0 +1,406 @@
+//! Offline stub of `proptest`.
+//!
+//! The container has no network route to crates.io, so the workspace vendors
+//! a minimal property-testing shim with the same surface the suites use:
+//! `proptest!` (with `#![proptest_config(..)]`), `prop_compose!`,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, the [`Strategy`]
+//! trait with `prop_map`, integer-range and tuple strategies,
+//! `prop::collection::vec`, and `prop::sample::select`.
+//!
+//! Differences from real proptest, on purpose:
+//! - **no shrinking** — a failure reports the raw inputs for the failing case;
+//! - **deterministic seeding** — each test's RNG is seeded from its full
+//!   module path (override with `PROPTEST_SEED=<u64>`), so CI runs are
+//!   reproducible by construction.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Value`. No shrinking.
+    pub trait Strategy {
+        type Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Strategy built from a plain generator function; the backbone of
+    /// `prop_compose!`.
+    pub struct FnStrategy<T, F: Fn(&mut TestRng) -> T>(F);
+
+    pub fn from_fn<T, F: Fn(&mut TestRng) -> T>(f: F) -> FnStrategy<T, F> {
+        FnStrategy(f)
+    }
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<T, F> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length bounds for [`vec`]: a range or an exact size.
+    pub trait IntoSizeRange {
+        /// Returns `(min, max)` inclusive.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.0.gen_range(self.min..=self.max);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Uniformly selects one of the given values.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select requires at least one value");
+        Select(values)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0[rng.0.gen_range(0..self.0.len())].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The RNG handed to strategies. Field is `pub(crate)` in spirit but
+    /// public so the sibling modules can sample from it.
+    pub struct TestRng(pub StdRng);
+
+    /// Mirror of `proptest::test_runner::Config` (the subset used here).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Deterministic per-test RNG: seeded from the test's module path, or
+    /// from `PROPTEST_SEED` when set (for reproducing with a fresh seed).
+    pub fn rng_for(test_path: &str) -> TestRng {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+            Err(_) => fnv1a(test_path.as_bytes()),
+        };
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// A failed property: carries the rendered assertion message.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest};
+
+    /// Namespace mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::test_runner::Config as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng =
+                    $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n    inputs: {}",
+                            case + 1,
+                            config.cases,
+                            e,
+                            inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_compose {
+    ( $(#[$meta:meta])* $vis:vis fn $name:ident($($p:ident: $pty:ty),* $(,)?)
+      ( $($arg:ident in $strat:expr),+ $(,)? ) -> $ret:ty $body:block ) => {
+        $(#[$meta])*
+        $vis fn $name($($p: $pty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::from_fn(move |rng| {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), rng);)+
+                $body
+            })
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn pairs()(v in prop::collection::vec((0i64..4, prop::sample::select(vec!["a", "b"])), 0..6)) -> Vec<(i64, String)> {
+            v.into_iter().map(|(n, s)| (n, s.to_string())).collect()
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 0i64..10, y in 1usize..=3) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!((1..=3).contains(&y));
+        }
+
+        #[test]
+        fn composed_strategy_respects_bounds(v in pairs()) {
+            prop_assert!(v.len() < 6);
+            for (n, s) in &v {
+                prop_assert!((0..4).contains(n), "n out of range: {n}");
+                prop_assert!(s == "a" || s == "b");
+            }
+        }
+
+        #[test]
+        fn map_applies(s in (0u8..5).prop_map(|n| n.to_string())) {
+            prop_assert_eq!(s.parse::<u8>().unwrap() < 5, true);
+        }
+    }
+
+    #[test]
+    fn deterministic_without_env_seed() {
+        let mut a = crate::test_runner::rng_for("x::y");
+        let mut b = crate::test_runner::rng_for("x::y");
+        let s = 0i64..100;
+        use crate::strategy::Strategy;
+        for _ in 0..50 {
+            assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stub of `serde`.
+//!
+//! The container has no network route to crates.io, so the workspace vendors
+//! a minimal stand-in. It provides the two marker traits and (behind the
+//! `derive` feature, mirroring the real crate) re-exports the no-op derive
+//! macros from the vendored `serde_derive`. Code in this repo only ever
+//! *derives* the traits — nothing serializes yet — so this is the entire
+//! surface needed. Swapping in real serde later is a Cargo.toml-only change.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

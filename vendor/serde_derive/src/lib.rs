@@ -1,0 +1,19 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The container has no network route to crates.io, so the workspace vendors
+//! a minimal stand-in: the derives parse anywhere the real ones do (including
+//! `#[serde(...)]` helper attributes) and expand to nothing. Serialization is
+//! not on any hot path of the reproduction; the derives exist so type
+//! definitions keep their serde annotations for a future swap to real serde.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
