@@ -1,0 +1,99 @@
+//! Multi-query throughput of the concurrent search service — the metric
+//! that matters at serving scale (single-query latency is P1's job in
+//! `search_latency.rs`). Sweeps `search_batch` thread counts over a fixed
+//! mixed-shape batch, then isolates the query cache's contribution by
+//! replaying the same batch against cache-enabled and cache-disabled
+//! engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::imdb::{ImdbConfig, ImdbData};
+use qunit_core::derive::manual::expert_imdb_qunits;
+use qunit_core::{EngineConfig, QunitSearchEngine};
+use std::hint::black_box;
+
+fn build_engine(data: &ImdbData, cache_capacity: usize) -> QunitSearchEngine {
+    QunitSearchEngine::build(
+        &data.db,
+        expert_imdb_qunits(&data.db).expect("catalog"),
+        EngineConfig {
+            cache_capacity,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("engine")
+}
+
+/// A 64-query batch cycling through the §5.2 shapes (entity+attribute over
+/// movies and people, singleton charts, misses).
+fn query_batch(data: &ImdbData) -> Vec<String> {
+    (0..64)
+        .map(|i| {
+            let movie = &data.movies[i % data.movies.len()];
+            let person = &data.people[i % data.people.len()];
+            match i % 4 {
+                0 => format!("{} cast", movie.title),
+                1 => format!("{} box office", movie.title),
+                2 => format!("{} movies", person.name),
+                _ => "best rated charts".to_string(),
+            }
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let data = ImdbData::generate(ImdbConfig {
+        n_movies: 200,
+        n_people: 400,
+        ..Default::default()
+    });
+    let queries = query_batch(&data);
+    let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+
+    // Thread sweep on an uncached engine: pure query-path parallelism, no
+    // memoization blurring the scaling curve.
+    let uncached = build_engine(&data, 0);
+    let mut group = c.benchmark_group("throughput/64queries");
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(
+            BenchmarkId::new("batch", format!("{threads}threads")),
+            |b| {
+                b.iter(|| {
+                    black_box(
+                        uncached
+                            .search_batch_with(&refs, 10, threads)
+                            .iter()
+                            .map(Vec::len)
+                            .sum::<usize>(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Cache contribution: the same batch replayed — the cached engine
+    // answers from the sharded LRU after the first pass.
+    let cached = build_engine(&data, 1024);
+    cached.search_batch(&refs, 10); // warm
+    let mut group = c.benchmark_group("throughput/cache");
+    group.bench_function(BenchmarkId::new("replay", "cache_on"), |b| {
+        b.iter(|| black_box(cached.search_batch(&refs, 10).len()))
+    });
+    group.bench_function(BenchmarkId::new("replay", "cache_off"), |b| {
+        b.iter(|| black_box(uncached.search_batch(&refs, 10).len()))
+    });
+    group.finish();
+
+    let stats = cached.cache_stats();
+    println!(
+        "query cache: {} hits / {} misses / {} resident",
+        stats.hits, stats.misses, stats.entries
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,9 +1,12 @@
-//! The qunit search engine (§3).
+//! The qunit search engine (§3) — a concurrent search service.
 //!
 //! Build phase: materialize every instance of every definition in the
 //! catalog, render each through its conversion expression, and index the
 //! renderings as plain documents (anchor text and intent vocabulary get
-//! boosted fields).
+//! boosted fields). Definitions materialize independently, so the build
+//! fans out across scoped worker threads ([`EngineConfig::build_threads`])
+//! and merges per-definition document batches back in catalog order — the
+//! resulting index is byte-identical to a single-threaded build.
 //!
 //! Query phase, exactly the paper's pipeline:
 //!
@@ -15,12 +18,27 @@
 //!    movie.name and cast";
 //! 3. rank instances of well-matched types with standard IR, each instance
 //!    an independent document.
+//!
+//! # Concurrency model
+//!
+//! After `build` the engine is immutable except for two interior-mutable
+//! stores, both thread-safe: the [`FeedbackStore`] (lock-protected click
+//! counts) and the [`crate::cache::QueryCache`] (sharded, lock-per-shard).
+//! [`QunitSearchEngine`] is therefore `Send + Sync` (checked at compile
+//! time below): share one engine behind an `Arc` — or plain borrows in
+//! scoped threads — and call [`QunitSearchEngine::search`] /
+//! [`QunitSearchEngine::record_click`] freely from any number of threads.
+//! [`QunitSearchEngine::search_batch`] fans a query slice across scoped
+//! threads for multi-query throughput. Cached results are stamped with the
+//! feedback generation, so a click immediately invalidates every cached
+//! result list.
 
+use crate::cache::{CacheStats, QueryCache};
 use crate::catalog::QunitCatalog;
 use crate::feedback::FeedbackStore;
 use crate::materialize::materialize_all;
-use crate::qunit::QunitInstance;
-use crate::segment::{EntityDictionary, Segmenter};
+use crate::qunit::{QunitDefinition, QunitInstance};
+use crate::segment::{EntityDictionary, SegmentedQuery, Segmenter};
 use irengine::{Document, IndexBuilder, ScoringFunction, Searcher};
 use relstore::{Database, Result};
 use std::collections::HashMap;
@@ -52,6 +70,14 @@ pub struct EngineConfig {
     /// Entity columns for the segmenter; `None` uses
     /// [`EntityDictionary::imdb_specs`].
     pub entity_specs: Option<Vec<(String, String)>>,
+    /// Worker threads for the build phase; 0 = one per available core. Any
+    /// value produces a byte-identical index (the merge replays catalog
+    /// order), so this is purely a wall-clock knob.
+    pub build_threads: usize,
+    /// Query-cache capacity in cached result lists; 0 disables caching.
+    /// Cached and uncached searches return identical results — the cache is
+    /// invalidated whenever click feedback changes scores.
+    pub cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -66,12 +92,14 @@ impl Default for EngineConfig {
             default_def_bonus: 1.5,
             feedback_weight: 2.0,
             entity_specs: None,
+            build_threads: 0,
+            cache_capacity: 1024,
         }
     }
 }
 
 /// One ranked search result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QunitResult {
     /// Instance key (`definition::anchor`).
     pub key: String,
@@ -102,6 +130,18 @@ impl QunitResult {
     }
 }
 
+/// Per-definition facts the query path needs on every call, precomputed at
+/// build time (the serial engine re-derived all of these per query).
+#[derive(Debug, Clone)]
+struct DefMeta {
+    /// Definition name (parallel to catalog order).
+    name: String,
+    /// `anchor.qualified()`, formatted once.
+    anchor_qualified: Option<String>,
+    /// Utility prior, copied out of the definition.
+    utility: f64,
+}
+
 /// The engine: an indexed flat collection of qunit instances.
 pub struct QunitSearchEngine {
     index: irengine::Index,
@@ -110,10 +150,62 @@ pub struct QunitSearchEngine {
     segmenter: Segmenter,
     config: EngineConfig,
     feedback: FeedbackStore,
+    /// Catalog-ordered metadata (see [`DefMeta`]).
+    def_meta: Vec<DefMeta>,
+    /// Highest utility in the catalog (normalizer for the utility prior).
+    max_utility: f64,
+    cache: QueryCache<Vec<QunitResult>>,
+}
+
+// Compile-time proof that the engine is a shareable service: every query
+// method takes `&self`, so `Send + Sync` is the whole thread-safety story.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send_sync::<QunitSearchEngine>();
+
+/// Cache-key normal form of a query: token-joined, lower-cased. Both the
+/// segmenter and the IR analyzer tokenize on the same boundaries, so two
+/// queries with equal normal forms yield identical search results.
+fn normalized_query(query: &str) -> String {
+    relstore::index::tokenize(query).join(" ")
+}
+
+/// Resolve a requested thread count: 0 means one per available core, and
+/// there is never a point in more workers than items.
+fn worker_count(requested: usize, items: usize) -> usize {
+    match requested {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+    .clamp(1, items.max(1))
+}
+
+/// One definition's rendered output: the documents to index plus the
+/// instances they came from — the unit of parallel work in `build`.
+type DocBatch = Vec<(Document, QunitInstance)>;
+
+/// Materialize and render one definition into its document batch.
+fn materialize_batch(db: &Database, def: &QunitDefinition) -> Result<DocBatch> {
+    materialize_all(db, def)?
+        .into_iter()
+        .map(|inst| {
+            let mut doc = Document::new(inst.key.clone());
+            if let Some(a) = inst.anchor_text() {
+                doc = doc.field("anchor", a);
+            }
+            if !def.intent_terms.is_empty() {
+                doc = doc.field("intent", def.intent_terms.join(" "));
+            }
+            doc = doc.field("body", inst.text.clone());
+            Ok((doc, inst))
+        })
+        .collect()
 }
 
 impl QunitSearchEngine {
-    /// Materialize and index every instance of `catalog` against `db`.
+    /// Materialize and index every instance of `catalog` against `db`,
+    /// fanning definitions across [`EngineConfig::build_threads`] workers.
     pub fn build(db: &Database, catalog: QunitCatalog, config: EngineConfig) -> Result<Self> {
         let dict = match &config.entity_specs {
             Some(s) => {
@@ -125,24 +217,50 @@ impl QunitSearchEngine {
         };
         let segmenter = Segmenter::new(dict);
 
+        let defs: Vec<&QunitDefinition> = catalog.iter().collect();
+        let workers = worker_count(config.build_threads, defs.len());
+
+        // Slot i holds definition i's batch, so the merge below replays
+        // exact catalog order regardless of which worker filled the slot —
+        // that order equality is what makes the index byte-identical to a
+        // serial build (guarded by the determinism test suite).
+        let mut batches: Vec<Option<Result<DocBatch>>> = (0..defs.len()).map(|_| None).collect();
+        let chunk = defs.len().div_ceil(workers).max(1);
+        std::thread::scope(|scope| {
+            for (def_chunk, out_chunk) in defs.chunks(chunk).zip(batches.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (def, out) in def_chunk.iter().zip(out_chunk) {
+                        *out = Some(materialize_batch(db, def));
+                    }
+                });
+            }
+        });
+
         let mut builder = IndexBuilder::new();
         builder.set_field_boost("anchor", config.anchor_boost);
         builder.set_field_boost("intent", config.intent_boost);
         let mut instances = HashMap::new();
-        for def in catalog.iter() {
-            for inst in materialize_all(db, def)? {
-                let mut doc = Document::new(inst.key.clone());
-                if let Some(a) = inst.anchor_text() {
-                    doc = doc.field("anchor", a);
-                }
-                if !def.intent_terms.is_empty() {
-                    doc = doc.field("intent", def.intent_terms.join(" "));
-                }
-                doc = doc.field("body", inst.text.clone());
+        for batch in batches {
+            for (doc, inst) in batch.expect("every definition materialized")? {
                 builder.add(doc);
                 instances.insert(inst.key.clone(), inst);
             }
         }
+
+        let def_meta: Vec<DefMeta> = catalog
+            .iter()
+            .map(|d| DefMeta {
+                name: d.name.clone(),
+                anchor_qualified: d.anchor.as_ref().map(|a| a.qualified()),
+                utility: d.utility,
+            })
+            .collect();
+        let max_utility = def_meta
+            .iter()
+            .map(|m| m.utility)
+            .fold(f64::MIN_POSITIVE, f64::max);
+        let cache = QueryCache::new(config.cache_capacity);
+
         Ok(QunitSearchEngine {
             index: builder.build(),
             instances,
@@ -150,6 +268,9 @@ impl QunitSearchEngine {
             segmenter,
             config,
             feedback: FeedbackStore::new(),
+            def_meta,
+            max_utility,
+            cache,
         })
     }
 
@@ -173,41 +294,53 @@ impl QunitSearchEngine {
         self.instances.get(key)
     }
 
+    /// All materialized instances, in arbitrary order.
+    pub fn instances(&self) -> impl Iterator<Item = &QunitInstance> {
+        self.instances.values()
+    }
+
     /// The relevance-feedback store.
     pub fn feedback(&self) -> &FeedbackStore {
         &self.feedback
     }
 
+    /// Query-cache hit/miss counters and residency.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// Record a user click on a result: future queries with the same
-    /// template signature will prefer the clicked definition.
+    /// template signature will prefer the clicked definition. Every cached
+    /// result list is invalidated (feedback changes scores).
     pub fn record_click(&self, query: &str, result_key: &str) {
         if let Some(inst) = self.instances.get(result_key) {
             let sig = self.segmenter.segment(query).template_signature();
             self.feedback.record(&sig, &inst.definition);
+            // The feedback generation stamp already marks every cached entry
+            // stale; the eager clear just releases the memory now.
+            self.cache.invalidate_all();
         }
     }
 
     /// Definition-match (type) scores for a query: intent overlap + anchor
     /// agreement + utility prior, per definition name.
     pub fn type_scores(&self, query: &str) -> HashMap<String, f64> {
-        let seg = self.segmenter.segment(query);
+        self.type_scores_for(&self.segmenter.segment(query))
+    }
+
+    fn type_scores_for(&self, seg: &SegmentedQuery) -> HashMap<String, f64> {
         let residual = seg.residual_terms();
         let entity_types: Vec<String> = seg
             .entities()
             .iter()
             .filter_map(|s| s.entity_type())
             .collect();
-        let max_utility = self
-            .catalog
-            .iter()
-            .map(|d| d.utility)
-            .fold(f64::MIN_POSITIVE, f64::max);
 
         let mut out = HashMap::with_capacity(self.catalog.len());
-        for def in self.catalog.iter() {
+        for (def, meta) in self.catalog.iter().zip(&self.def_meta) {
             let intent = def.intent_overlap(&residual);
-            let anchor = match &def.anchor {
-                Some(a) if entity_types.iter().any(|t| *t == a.qualified()) => 1.0,
+            let anchor = match &meta.anchor_qualified {
+                Some(a) if entity_types.iter().any(|t| t == a) => 1.0,
                 Some(_) if entity_types.is_empty() => 0.25, // nothing contradicts it
                 Some(_) => 0.0,                             // typed to a different entity
                 None => {
@@ -218,19 +351,78 @@ impl QunitSearchEngine {
                     }
                 }
             };
-            let utility = self.config.utility_weight * (def.utility / max_utility);
-            out.insert(def.name.clone(), intent + anchor + utility);
+            let utility = self.config.utility_weight * (meta.utility / self.max_utility);
+            out.insert(meta.name.clone(), intent + anchor + utility);
         }
         out
     }
 
-    /// Run a keyword query, returning up to `k` results.
+    /// Run a keyword query, returning up to `k` results. Consults the query
+    /// cache first; on a miss the result list is computed by
+    /// [`QunitSearchEngine::search_uncached`] and cached under the current
+    /// feedback generation.
     pub fn search(&self, query: &str, k: usize) -> Vec<QunitResult> {
+        if k == 0 || !self.cache.is_enabled() {
+            // k == 0 skips the cache entirely: no point spending an LRU
+            // slot (and maybe an eviction) on an always-empty result.
+            return self.search_uncached(query, k);
+        }
+        let norm = normalized_query(query);
+        // Read the generation *before* searching: a click landing mid-search
+        // makes the entry immediately stale rather than wrongly fresh.
+        let generation = self.feedback.generation();
+        if let Some(cached) = self.cache.get(&norm, k, generation) {
+            return cached;
+        }
+        let results = self.search_uncached(query, k);
+        self.cache.insert(norm, k, generation, results.clone());
+        results
+    }
+
+    /// Answer a batch of queries, fanning them across scoped threads (one
+    /// chunk per available core). Results arrive in query order and are
+    /// identical to calling [`QunitSearchEngine::search`] per query.
+    pub fn search_batch(&self, queries: &[&str], k: usize) -> Vec<Vec<QunitResult>> {
+        self.search_batch_with(queries, k, 0)
+    }
+
+    /// [`QunitSearchEngine::search_batch`] with an explicit thread count
+    /// (0 = one per available core); the throughput bench sweeps this.
+    pub fn search_batch_with(
+        &self,
+        queries: &[&str],
+        k: usize,
+        threads: usize,
+    ) -> Vec<Vec<QunitResult>> {
+        let threads = worker_count(threads, queries.len());
+        let mut out: Vec<Vec<QunitResult>> = vec![Vec::new(); queries.len()];
+        if threads <= 1 {
+            for (q, slot) in queries.iter().zip(&mut out) {
+                *slot = self.search(q, k);
+            }
+            return out;
+        }
+        let chunk = queries.len().div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            for (q_chunk, out_chunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (q, slot) in q_chunk.iter().zip(out_chunk) {
+                        *slot = self.search(q, k);
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// Run a keyword query without touching the cache, returning up to `k`
+    /// results.
+    pub fn search_uncached(&self, query: &str, k: usize) -> Vec<QunitResult> {
         if k == 0 {
             return Vec::new();
         }
-        let type_scores = self.type_scores(query);
         let seg = self.segmenter.segment(query);
+        let type_scores = self.type_scores_for(&seg);
         let seg_signature = seg.template_signature();
         let entity_texts: Vec<String> = seg
             .segments
@@ -252,17 +444,17 @@ impl QunitSearchEngine {
         // its specializations" (§4.2). Salience is the derivation-assigned
         // utility plus accumulated click feedback for this query shape, so
         // user behaviour can move the default over time.
-        let salience = |d: &crate::qunit::QunitDefinition| {
-            d.utility + self.config.feedback_weight * self.feedback.boost(&seg_signature, &d.name)
+        let salience = |m: &DefMeta| {
+            m.utility + self.config.feedback_weight * self.feedback.boost(&seg_signature, &m.name)
         };
         let default_def: Option<&str> =
             if seg.residual_terms().is_empty() && !entity_types.is_empty() {
-                self.catalog
+                self.def_meta
                     .iter()
-                    .filter(|d| {
-                        d.anchor
+                    .filter(|m| {
+                        m.anchor_qualified
                             .as_ref()
-                            .map(|a| entity_types.iter().any(|t| *t == a.qualified()))
+                            .map(|a| entity_types.iter().any(|t| t == a))
                             .unwrap_or(false)
                     })
                     .max_by(|a, b| {
@@ -271,7 +463,7 @@ impl QunitSearchEngine {
                             .unwrap_or(std::cmp::Ordering::Equal)
                             .then(b.name.cmp(&a.name))
                     })
-                    .map(|d| d.name.as_str())
+                    .map(|m| m.name.as_str())
             } else {
                 None
             };
@@ -287,10 +479,10 @@ impl QunitSearchEngine {
             Some(vec![d])
         } else if best_ts >= 1.5 {
             Some(
-                self.catalog
+                self.def_meta
                     .iter()
-                    .filter(|d| type_scores.get(&d.name).copied().unwrap_or(0.0) >= best_ts - 0.25)
-                    .map(|d| d.name.as_str())
+                    .filter(|m| type_scores.get(&m.name).copied().unwrap_or(0.0) >= best_ts - 0.25)
+                    .map(|m| m.name.as_str())
                     .collect(),
             )
         } else {
@@ -321,7 +513,7 @@ impl QunitSearchEngine {
         // would otherwise vanish behind 50 short near-misses).
         let candidate_defs: Vec<&str> = match &preferred {
             Some(defs) => defs.clone(),
-            None => self.catalog.iter().map(|d| d.name.as_str()).collect(),
+            None => self.def_meta.iter().map(|m| m.name.as_str()).collect(),
         };
         for text in &entity_texts {
             for def in &candidate_defs {
@@ -405,16 +597,22 @@ mod tests {
     fn builds_instances_for_every_definition() {
         let (data, engine) = engine();
         assert!(engine.num_instances() > data.movies.len());
+        // the engine indexes exactly the instances each definition
+        // materializes — no definition dropped, none double-counted
+        for def in engine.catalog().iter() {
+            let expected = materialize_all(&data.db, def).unwrap().len();
+            let indexed = engine
+                .instances()
+                .filter(|i| i.definition == def.name)
+                .count();
+            assert_eq!(indexed, expected, "instance count for {}", def.name);
+            assert!(expected > 0, "{} materialized nothing", def.name);
+        }
         // every movie with cast gets a movie_cast instance
-        let with_cast = data
-            .movies
-            .iter()
-            .filter(|m| {
-                !datagen::imdb::ImdbData::filmography(&data, data.people[0].id).is_empty()
-                    && m.id > 0
-            })
-            .count();
-        assert!(with_cast > 0);
+        let cast_def = engine.catalog().get("movie_cast").unwrap();
+        let cast_instances = materialize_all(&data.db, cast_def).unwrap().len();
+        assert!(cast_instances > 0);
+        assert!(cast_instances <= data.movies.len());
     }
 
     #[test]
@@ -517,5 +715,68 @@ mod tests {
         let ts = engine.type_scores(&q);
         assert!(ts["movie_cast"] > ts["person_page"], "{ts:?}");
         assert!(ts["movie_cast"] > ts["top_charts"], "{ts:?}");
+    }
+
+    #[test]
+    fn repeated_search_is_served_from_cache() {
+        let (data, engine) = engine();
+        let q = format!("{} cast", data.movies[0].title);
+        let first = engine.search(&q, 5);
+        let before = engine.cache_stats();
+        let second = engine.search(&q, 5);
+        let after = engine.cache_stats();
+        assert_eq!(first, second);
+        assert_eq!(after.hits, before.hits + 1, "{after:?}");
+        // normalization folds case and punctuation into the same entry —
+        // and that fold is sound: the cached answer for the variant equals
+        // what an uncached search of the variant itself computes
+        let variant = q.to_uppercase();
+        let third = engine.search(&variant, 5);
+        assert_eq!(first, third);
+        assert_eq!(third, engine.search_uncached(&variant, 5));
+        assert_eq!(engine.cache_stats().hits, after.hits + 1);
+        // k == 0 bypasses the cache entirely
+        let snapshot = engine.cache_stats();
+        assert!(engine.search(&q, 0).is_empty());
+        assert_eq!(engine.cache_stats(), snapshot);
+    }
+
+    #[test]
+    fn click_invalidates_cached_results() {
+        let (data, engine) = engine();
+        let q = data.movies[0].title.to_string();
+        let before = engine.search(&q, 5);
+        assert_eq!(before[0].definition, "movie_page");
+        let cast_key = format!("movie_cast::{}", data.movies[0].title);
+        for _ in 0..50 {
+            engine.record_click(&q, &cast_key);
+        }
+        // a stale cache would keep returning movie_page here
+        let after = engine.search(&q, 5);
+        assert_eq!(after[0].definition, "movie_cast");
+        assert_eq!(after, engine.search_uncached(&q, 5));
+    }
+
+    #[test]
+    fn batch_matches_per_query_search() {
+        let (data, engine) = engine();
+        let queries: Vec<String> = data
+            .movies
+            .iter()
+            .take(8)
+            .map(|m| format!("{} cast", m.title))
+            .chain([format!("{} movies", data.people[0].name)])
+            .collect();
+        let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+        let batched = engine.search_batch(&refs, 5);
+        assert_eq!(batched.len(), refs.len());
+        for (q, batch) in refs.iter().zip(&batched) {
+            assert_eq!(batch, &engine.search(q, 5), "batch diverged on {q}");
+        }
+        // explicit thread counts agree too (including the serial path)
+        for threads in [1, 2, 8] {
+            assert_eq!(engine.search_batch_with(&refs, 5, threads), batched);
+        }
+        assert!(engine.search_batch(&[], 5).is_empty());
     }
 }

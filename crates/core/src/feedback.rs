@@ -12,6 +12,7 @@
 
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Accumulated click feedback. Thread-safe; shared by reference with the
 /// engine (reads during search, writes on click).
@@ -21,6 +22,10 @@ pub struct FeedbackStore {
     clicks: RwLock<HashMap<(String, String), u64>>,
     /// `template signature → total clicks`.
     totals: RwLock<HashMap<String, u64>>,
+    /// Bumped on every write; consumers that memoize anything derived from
+    /// feedback (the engine's query cache) stamp their entries with this and
+    /// treat a mismatch as stale.
+    generation: AtomicU64,
 }
 
 impl FeedbackStore {
@@ -42,6 +47,13 @@ impl FeedbackStore {
             .write()
             .entry(signature.to_string())
             .or_insert(0) += 1;
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Monotonic write counter: changes iff any click was recorded since the
+    /// value was last observed.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     /// Number of clicks recorded for `(signature, definition)`.
@@ -87,6 +99,17 @@ mod tests {
         assert_eq!(s.boost("[movie.title] cast", "movie_cast"), 0.0);
         assert_eq!(s.total("[movie.title] cast"), 0);
         assert_eq!(s.num_signatures(), 0);
+    }
+
+    #[test]
+    fn generation_advances_on_every_record() {
+        let s = FeedbackStore::new();
+        let g0 = s.generation();
+        s.record("[movie.title]", "movie_page");
+        let g1 = s.generation();
+        assert!(g1 > g0);
+        s.record("[movie.title]", "movie_page");
+        assert!(s.generation() > g1);
     }
 
     #[test]

@@ -17,6 +17,32 @@
 //! schema + data *queriability* (§4.1), query-log *rollup* (§4.2), and
 //! external-evidence *type signatures* (§4.3).
 //!
+//! ## Concurrency model
+//!
+//! The engine is built as a **concurrent search service**:
+//!
+//! * **Parallel build** — definitions materialize independently, so
+//!   [`QunitSearchEngine::build`] fans them across scoped worker threads
+//!   ([`EngineConfig::build_threads`], 0 = one per core) and merges the
+//!   per-definition document batches back in catalog order. Any worker
+//!   count produces a byte-identical index.
+//! * **`Send + Sync` queries** — after `build` the engine is immutable
+//!   except for two thread-safe interior-mutable stores (the
+//!   lock-protected [`FeedbackStore`] and the sharded
+//!   [`cache::QueryCache`]), so one engine can serve `search`,
+//!   `search_batch`, and `record_click` from any number of threads
+//!   simultaneously. This is asserted at compile time in [`engine`].
+//! * **Query cache** — result lists are memoized per
+//!   `(normalized query, k)` in a sharded LRU ([`cache`]). Entries are
+//!   stamped with the feedback generation and invalidated the moment a
+//!   click changes scores, so cached and uncached searches always agree
+//!   (property-tested). Hit/miss counters are exposed via
+//!   [`QunitSearchEngine::cache_stats`].
+//!
+//! Multi-query throughput is measured by the `throughput` bench in
+//! `qunit-bench` (`cargo bench -p qunit-bench --bench throughput`), which
+//! sweeps batch thread counts and cache on/off.
+//!
 //! ```
 //! use relstore::{ColumnDef, Database, DataType, TableSchema};
 //! use qunit_core::{QunitCatalog, QunitSearchEngine, EngineConfig};
@@ -36,6 +62,7 @@
 //! assert!(!results.is_empty());
 //! ```
 
+pub mod cache;
 pub mod catalog;
 pub mod derive;
 pub mod engine;
@@ -45,6 +72,7 @@ pub mod presentation;
 pub mod qunit;
 pub mod segment;
 
+pub use cache::{CacheStats, QueryCache};
 pub use catalog::QunitCatalog;
 pub use engine::{EngineConfig, QunitResult, QunitSearchEngine};
 pub use feedback::FeedbackStore;

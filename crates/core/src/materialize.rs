@@ -66,15 +66,24 @@ pub fn materialize_all(db: &Database, def: &QunitDefinition) -> Result<Vec<Qunit
                     table: anchor.table.clone(),
                     column: anchor.column.clone(),
                 })?;
+        // Group in row-scan order (not HashMap iteration order): the anchor
+        // order here becomes document-insertion order in the index, and the
+        // engine's parallel build promises byte-identical indexes across
+        // runs and worker counts.
+        let mut branch_order: Vec<Value> = Vec::new();
         let mut branch_groups: HashMap<Value, Vec<Vec<Value>>> = HashMap::new();
         for row in rs.rows {
             let key = row[anchor_col].clone();
             if key.is_null() {
                 continue;
             }
+            if !branch_groups.contains_key(&key) {
+                branch_order.push(key.clone());
+            }
             branch_groups.entry(key).or_default().push(row);
         }
-        for (key, rows) in branch_groups {
+        for key in branch_order {
+            let rows = branch_groups.remove(&key).expect("grouped above");
             let sub = ResultSet {
                 columns: rs.columns.clone(),
                 sources: rs.sources.clone(),

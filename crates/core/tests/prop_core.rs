@@ -20,6 +20,19 @@ mod fixtures {
     }
 }
 
+/// Engines for the cache/batch equivalence properties. Each property that
+/// mutates feedback gets its own engine (separate from any other test fn),
+/// so the test binary stays correct under `RUST_TEST_THREADS=8`.
+fn fresh_engine() -> QunitSearchEngine {
+    let data = fixtures::data();
+    QunitSearchEngine::build(
+        &data.db,
+        expert_imdb_qunits(&data.db).unwrap(),
+        EngineConfig::default(),
+    )
+    .unwrap()
+}
+
 fn segmenter() -> Segmenter {
     let data = fixtures::data();
     Segmenter::new(EntityDictionary::from_database(
@@ -90,6 +103,62 @@ proptest! {
             s.segment(&q).template_signature(),
             s.segment(&upper).template_signature()
         );
+    }
+}
+
+mod cache_props {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// Shared by `cached_search_equals_uncached` ONLY — that property
+    /// records clicks, and sharing a mutated engine with another test fn
+    /// would race under parallel test threads.
+    fn click_engine() -> &'static QunitSearchEngine {
+        static ENGINE: OnceLock<QunitSearchEngine> = OnceLock::new();
+        ENGINE.get_or_init(fresh_engine)
+    }
+
+    /// Shared by `batch_search_equals_sequential` ONLY (never mutated).
+    fn batch_engine() -> &'static QunitSearchEngine {
+        static ENGINE: OnceLock<QunitSearchEngine> = OnceLock::new();
+        ENGINE.get_or_init(fresh_engine)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        // The service contract: caching is invisible. For any query and k,
+        // the cached path returns exactly what an uncached search returns —
+        // on a cold cache, on a warm cache, and again after clicks
+        // invalidated every entry.
+        #[test]
+        fn cached_search_equals_uncached(q in query_strategy(), k in 0usize..8) {
+            let engine = click_engine();
+            let cold = engine.search(&q, k);
+            prop_assert_eq!(&cold, &engine.search_uncached(&q, k));
+            // second call is (potentially) a cache hit
+            prop_assert_eq!(&engine.search(&q, k), &engine.search_uncached(&q, k));
+            // clicking the top result shifts scores and drops the cache;
+            // the equality must survive the invalidation
+            if let Some(top) = cold.first() {
+                engine.record_click(&q, &top.key);
+            }
+            prop_assert_eq!(&engine.search(&q, k), &engine.search_uncached(&q, k));
+        }
+
+        #[test]
+        fn batch_search_equals_sequential(
+            qs in prop::collection::vec(query_strategy(), 0..6),
+            k in 0usize..8,
+        ) {
+            let engine = batch_engine();
+            let refs: Vec<&str> = qs.iter().map(String::as_str).collect();
+            let batched = engine.search_batch(&refs, k);
+            prop_assert_eq!(batched.len(), refs.len());
+            for (q, batch) in refs.iter().zip(&batched) {
+                prop_assert_eq!(batch, &engine.search(q, k));
+            }
+        }
     }
 }
 

@@ -36,8 +36,11 @@ fn main() {
     }
     let engine = QunitSearchEngine::build(&ctx.data.db, ql, EngineConfig::default()).unwrap();
     let sys = QunitSystem::new("qunits-query-log", engine);
-    for q in ctx.workload.take(12) {
-        let a = sys.answer(&q.raw);
+    let queries = ctx.workload.take(12);
+    let raws: Vec<&str> = queries.iter().map(|q| q.raw.as_str()).collect();
+    // answer the trace slice in one concurrent batch, then judge per query
+    let answers = sys.answer_batch(&raws);
+    for (q, a) in queries.iter().zip(&answers) {
         let r = ctx.oracle.rate(&q.raw, sys.name(), &q.gold, a.as_ref());
         let top = sys.engine().top(&q.raw);
         println!(

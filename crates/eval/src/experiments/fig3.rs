@@ -9,7 +9,7 @@
 //! The target is the *shape* of the paper's figure: BANKS < LCA < MLCA <
 //! automatic qunits < human qunits < theoretical max.
 
-use crate::oracle::Oracle;
+use crate::oracle::{Oracle, PanelRating};
 use crate::systems::{
     BanksSystem, DiscoverSystem, LcaSystem, MlcaSystem, QunitSystem, SearchSystem,
 };
@@ -116,24 +116,41 @@ pub struct Fig3Result {
     pub n_queries: usize,
 }
 
+/// Rate one system over a workload slice: answer the whole slice in one
+/// batch (systems with a concurrent query path fan it across threads), then
+/// run the judge panel once per query.
+pub fn rate_system(
+    system: &dyn SearchSystem,
+    queries: &[&WorkloadQuery],
+    oracle: &Oracle,
+) -> Vec<PanelRating> {
+    let raws: Vec<&str> = queries.iter().map(|q| q.raw.as_str()).collect();
+    let answers = system.answer_batch(&raws);
+    queries
+        .iter()
+        .zip(&answers)
+        .map(|(q, answer)| oracle.rate(&q.raw, system.name(), &q.gold, answer.as_ref()))
+        .collect()
+}
+
+/// Aggregate panel ratings into a [`SystemScore`] (the Figure-3 bar).
+pub fn score_from_ratings(system: &str, ratings: &[PanelRating]) -> SystemScore {
+    let per_query: Vec<f64> = ratings.iter().map(|r| r.mean).collect();
+    let mean = per_query.iter().sum::<f64>() / per_query.len().max(1) as f64;
+    SystemScore {
+        system: system.to_string(),
+        mean,
+        per_query,
+    }
+}
+
 /// Score one system over a workload slice.
 pub fn score_system(
     system: &dyn SearchSystem,
     queries: &[&WorkloadQuery],
     oracle: &Oracle,
 ) -> SystemScore {
-    let mut per_query = Vec::with_capacity(queries.len());
-    for q in queries {
-        let answer = system.answer(&q.raw);
-        let rating = oracle.rate(&q.raw, system.name(), &q.gold, answer.as_ref());
-        per_query.push(rating.mean);
-    }
-    let mean = per_query.iter().sum::<f64>() / per_query.len().max(1) as f64;
-    SystemScore {
-        system: system.name().to_string(),
-        mean,
-        per_query,
-    }
+    score_from_ratings(system.name(), &rate_system(system, queries, oracle))
 }
 
 /// Derive the three automatic catalogs plus their union from a context.
@@ -198,16 +215,11 @@ pub fn run(ctx: &EvalContext, n_queries: usize, include_discover: bool) -> Fig3R
     let mut scores: Vec<SystemScore> = Vec::with_capacity(systems.len());
     let mut agreements: Vec<f64> = Vec::new();
     for sys in &systems {
-        let s = score_system(sys.as_ref(), &queries, &ctx.oracle);
-        for q in &queries {
-            let answer = sys.answer(&q.raw);
-            agreements.push(
-                ctx.oracle
-                    .rate(&q.raw, sys.name(), &q.gold, answer.as_ref())
-                    .majority,
-            );
-        }
-        scores.push(s);
+        // One batched answering pass yields both the Figure-3 mean and the
+        // agreement statistic (the old code answered every query twice).
+        let ratings = rate_system(sys.as_ref(), &queries, &ctx.oracle);
+        agreements.extend(ratings.iter().map(|r| r.majority));
+        scores.push(score_from_ratings(sys.name(), &ratings));
     }
     scores.sort_by(|a, b| {
         a.mean

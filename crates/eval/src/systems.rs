@@ -28,6 +28,13 @@ pub trait SearchSystem {
     fn name(&self) -> &str;
     /// Answer a keyword query, or `None` if the system has nothing.
     fn answer(&self, query: &str) -> Option<SystemAnswer>;
+    /// Answer a whole workload slice, index-aligned with `queries`. The
+    /// default is the sequential loop; systems with a concurrent query path
+    /// (the qunit engine) override it to fan out across threads. Must
+    /// return exactly what per-query [`SearchSystem::answer`] would.
+    fn answer_batch(&self, queries: &[&str]) -> Vec<Option<SystemAnswer>> {
+        queries.iter().map(|q| self.answer(q)).collect()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -240,6 +247,19 @@ impl SearchSystem for QunitSystem {
             covered_fields: top.fields,
         })
     }
+
+    fn answer_batch(&self, queries: &[&str]) -> Vec<Option<SystemAnswer>> {
+        self.engine
+            .search_batch(queries, 1)
+            .into_iter()
+            .map(|results| {
+                results.into_iter().next().map(|top| SystemAnswer {
+                    text: top.text,
+                    covered_fields: top.fields,
+                })
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +327,27 @@ mod tests {
         assert!(a.covered_fields.contains(&"person.name".to_string()));
         assert!(!a.covered_fields.iter().any(|f| f.ends_with(".id")));
         assert_eq!(sys.name(), "qunits-human");
+    }
+
+    #[test]
+    fn qunit_batch_answers_match_sequential() {
+        let d = data();
+        let cat = expert_imdb_qunits(&d.db).unwrap();
+        let engine = QunitSearchEngine::build(&d.db, cat, EngineConfig::default()).unwrap();
+        let sys = QunitSystem::new("qunits", engine);
+        let queries: Vec<String> = d
+            .movies
+            .iter()
+            .take(6)
+            .map(|m| format!("{} cast", m.title))
+            .chain(["zzzz qqqq".to_string()])
+            .collect();
+        let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+        let batched = sys.answer_batch(&refs);
+        assert_eq!(batched.len(), refs.len());
+        for (q, b) in refs.iter().zip(&batched) {
+            assert_eq!(b, &sys.answer(q), "batch diverged on {q}");
+        }
     }
 
     #[test]

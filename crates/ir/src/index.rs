@@ -20,6 +20,12 @@ pub struct Posting {
 }
 
 /// An immutable searchable index. Build via [`IndexBuilder`].
+///
+/// Immutability is load-bearing for the concurrent query path upstream:
+/// once built, an `Index` holds plain owned data (no interior mutability),
+/// so it is `Send + Sync` and any number of [`crate::Searcher`]s can read
+/// it from different threads without locking. The assertion below keeps a
+/// future mutation cache from silently revoking that.
 #[derive(Debug, Clone)]
 pub struct Index {
     analyzer: Analyzer,
@@ -29,6 +35,9 @@ pub struct Index {
     docs: Vec<Document>,
     external_to_doc: HashMap<String, DocId>,
 }
+
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send_sync::<Index>();
 
 impl Index {
     /// Number of documents.

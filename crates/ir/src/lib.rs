@@ -8,6 +8,12 @@
 //! to a document and handed to this engine; ranking then needs nothing
 //! database-specific.
 //!
+//! Thread safety: an [`Index`] is immutable after [`IndexBuilder::build`]
+//! and a [`Searcher`] is a stateless view over it, so both are
+//! `Send + Sync` (compile-time asserted in their modules). The concurrent
+//! qunit search service in `qunit-core` relies on this to serve queries
+//! from many threads against one shared index.
+//!
 //! ```
 //! use irengine::{Document, IndexBuilder, Searcher, ScoringFunction};
 //!

@@ -17,10 +17,38 @@ pub struct Hit {
 }
 
 /// Executes queries against a borrowed index.
+///
+/// A `Searcher` is a stateless view (`&Index` + a copyable scoring config):
+/// construct one per thread, or share one across threads — both are safe
+/// and equivalent. Asserted `Send + Sync` below.
 #[derive(Debug, Clone)]
 pub struct Searcher<'a> {
     index: &'a Index,
     scoring: ScoringFunction,
+}
+
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send_sync::<Searcher<'static>>();
+
+/// De-duplicate query terms in **first-occurrence order**, remembering
+/// multiplicity (a repeated query term contributes proportionally).
+///
+/// The order matters: per-document scores are floating-point sums over the
+/// query terms, and summing in `HashMap` iteration order made two
+/// evaluations of the same query differ in the last ulp. Search results
+/// must be bit-for-bit reproducible — the concurrent engine upstream
+/// asserts batch ≡ sequential ≡ replay — so the term order has to be a
+/// pure function of the query. Queries are a handful of terms, hence the
+/// quadratic scan instead of a map.
+fn dedup_terms(terms: &[String]) -> Vec<(&str, usize)> {
+    let mut out: Vec<(&str, usize)> = Vec::with_capacity(terms.len());
+    for t in terms {
+        match out.iter_mut().find(|(s, _)| *s == t.as_str()) {
+            Some((_, c)) => *c += 1,
+            None => out.push((t.as_str(), 1)),
+        }
+    }
+    out
 }
 
 impl<'a> Searcher<'a> {
@@ -68,13 +96,7 @@ impl<'a> Searcher<'a> {
         }
         // Accumulate scores document-at-a-time across postings lists.
         let mut acc: HashMap<DocId, (f64, usize)> = HashMap::new();
-        // De-duplicate query terms but remember multiplicity: a repeated
-        // query term contributes proportionally.
-        let mut term_counts: HashMap<&str, usize> = HashMap::new();
-        for t in terms {
-            *term_counts.entry(t.as_str()).or_insert(0) += 1;
-        }
-        for (term, qtf) in term_counts {
+        for (term, qtf) in dedup_terms(terms) {
             for p in self.index.postings(term) {
                 let s = self
                     .scoring
@@ -114,13 +136,9 @@ impl<'a> Searcher<'a> {
     /// when no query term matches the document.
     pub fn score_doc(&self, query: &str, doc: DocId) -> Hit {
         let terms = self.index.analyzer().tokenize(query);
-        let mut term_counts: HashMap<&str, usize> = HashMap::new();
-        for t in &terms {
-            *term_counts.entry(t.as_str()).or_insert(0) += 1;
-        }
         let mut score = 0.0;
         let mut matched_terms = 0;
-        for (term, qtf) in term_counts {
+        for (term, qtf) in dedup_terms(&terms) {
             if let Ok(i) = self
                 .index
                 .postings(term)
