@@ -1,0 +1,73 @@
+//! Single-query latency across index shard counts — the intra-query
+//! parallelism story (`EngineConfig::search_shards`), complementing
+//! `throughput.rs` which parallelizes *across* queries. Caching is off so
+//! every iteration walks the shards; the shard-timing counters print after
+//! the sweep to show where the scoring time actually went.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::imdb::{ImdbConfig, ImdbData};
+use qunit_core::derive::manual::expert_imdb_qunits;
+use qunit_core::{EngineConfig, QunitSearchEngine};
+use std::hint::black_box;
+
+fn build_engine(data: &ImdbData, search_shards: usize) -> QunitSearchEngine {
+    QunitSearchEngine::build(
+        &data.db,
+        expert_imdb_qunits(&data.db).expect("catalog"),
+        EngineConfig {
+            search_shards,
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("engine")
+}
+
+fn bench(c: &mut Criterion) {
+    let data = ImdbData::generate(ImdbConfig {
+        n_movies: 400,
+        n_people: 800,
+        ..Default::default()
+    });
+    // One query per routing shape: filtered (typed) ranking, underspecified
+    // rollup, singleton, and a broad multi-match term.
+    let queries = [
+        format!("{} cast", data.movies[0].title),
+        data.movies[1].title.clone(),
+        "best rated charts".to_string(),
+        format!("{} movies", data.people[0].name),
+    ];
+
+    let mut group = c.benchmark_group("latency/single_query");
+    for shards in [1usize, 2, 4, 8] {
+        let engine = build_engine(&data, shards);
+        assert_eq!(engine.num_shards(), shards);
+        group.bench_function(BenchmarkId::new("shards", shards), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in &queries {
+                    total += black_box(engine.search_uncached(q, 10)).len();
+                }
+                total
+            })
+        });
+        let stats = engine.shard_stats();
+        let per_shard_us: Vec<u64> = stats
+            .per_shard_nanos
+            .iter()
+            .map(|n| n / 1_000 / stats.searches.max(1))
+            .collect();
+        println!(
+            "shards={shards}: {} sharded searches, mean per-shard scoring time {:?} us",
+            stats.searches, per_shard_us
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

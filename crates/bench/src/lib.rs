@@ -8,6 +8,8 @@
 //! | `querylog_stats` | §5.2 log statistics + workload (S5.2) |
 //! | `fig3_quality` | Figure 3 — result quality per algorithm (F3) |
 //! | `search_latency` | P1 — query latency of every system |
+//! | `latency` | service — single-query latency vs `search_shards` |
+//! | `throughput` | service — multi-query batch thread sweep + cache |
 //! | `index_build` | P1 — substrate build throughput |
 //! | `ablation_k1k2` | A1 — schema-data k1 × k2 grid |
 //! | `ablation_logsize` | A2 — log-volume sweep |

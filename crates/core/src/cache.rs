@@ -13,6 +13,16 @@
 //! reach the store directly, while [`crate::QunitSearchEngine::record_click`]
 //! additionally clears the cache eagerly to release memory.
 //!
+//! **Key space.** Keys are `(normalized query, k)` and nothing else — in
+//! particular they do **not** include [`crate::EngineConfig::search_shards`]
+//! or any other execution-plan knob. That is deliberate and load-bearing:
+//! the sharded query path guarantees bit-identical result lists at every
+//! shard count, so an entry computed under one shard layout is equally
+//! valid under any other, and no capacity is wasted on duplicate entries
+//! per plan. Do not add an execution parameter to the key unless it can
+//! change the *result*; conversely, any config knob that changes results
+//! must either enter the key or (like feedback) bump a generation.
+//!
 //! Hit/miss counters are plain atomics so benches (and operators) can read
 //! throughput-relevant stats without taking any shard lock.
 
@@ -109,26 +119,35 @@ impl<V: Clone> QueryCache<V> {
         }
         let key = (query.to_string(), k);
         let mut shard = self.shard_for(query, k).lock();
-        // Borrow-split: decide staleness first, then either bump or remove.
-        let fresh = match shard.map.get(&key) {
-            Some(e) => e.generation == generation,
+        // Tick the recency clock up front (a miss consuming a tick is
+        // harmless — the clock only needs to be monotonic) so the hit fast
+        // path is a single map lookup: bump-and-clone through one
+        // `get_mut`, with the second lookup (`remove`) paid only by the
+        // rare stale-generation case.
+        shard.clock += 1;
+        let clock = shard.clock;
+        let looked_up = shard.map.get_mut(&key).map(|e| {
+            if e.generation == generation {
+                e.used = clock;
+                Some(e.value.clone())
+            } else {
+                None
+            }
+        });
+        match looked_up {
+            Some(Some(v)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            Some(None) => {
+                shard.map.remove(&key);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                return None;
+                None
             }
-        };
-        if fresh {
-            shard.clock += 1;
-            let clock = shard.clock;
-            let e = shard.map.get_mut(&key).expect("checked above");
-            e.used = clock;
-            let v = e.value.clone();
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            Some(v)
-        } else {
-            shard.map.remove(&key);
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            None
         }
     }
 

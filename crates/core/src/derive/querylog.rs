@@ -10,7 +10,7 @@
 //! the resulting *annotated schema links*. For each anchor type, the rollup
 //! qunit joins the link targets whose support clears `min_support`, ordered
 //! by frequency; popular (anchor, target) pairs additionally get dedicated
-//! attribute qunits ("[title] cast" → a cast qunit).
+//! attribute qunits ("\[title\] cast" → a cast qunit).
 
 use crate::catalog::QunitCatalog;
 use crate::derive::common::{

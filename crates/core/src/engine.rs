@@ -32,6 +32,15 @@
 //! threads for multi-query throughput. Cached results are stamped with the
 //! feedback generation, so a click immediately invalidates every cached
 //! result list.
+//!
+//! Within a single query, the index itself is sharded
+//! ([`EngineConfig::search_shards`], backed by [`irengine::ShardedIndex`]):
+//! instance scoring fans across one scoped thread per shard with
+//! corpus-global statistics and a deterministic top-k merge, so one hot
+//! query uses every core and still returns results identical — keys,
+//! order, scores to the last bit — to a single-shard engine. Per-shard
+//! scoring time accumulates in [`QunitSearchEngine::shard_stats`] beside
+//! the cache counters.
 
 use crate::cache::{CacheStats, QueryCache};
 use crate::catalog::QunitCatalog;
@@ -39,9 +48,11 @@ use crate::feedback::FeedbackStore;
 use crate::materialize::materialize_all;
 use crate::qunit::{QunitDefinition, QunitInstance};
 use crate::segment::{EntityDictionary, SegmentedQuery, Segmenter};
-use irengine::{Document, IndexBuilder, ScoringFunction, Searcher};
+use irengine::{Document, IndexBuilder, ScoringFunction, ShardedIndex, ShardedSearcher};
 use relstore::{Database, Result};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
@@ -78,6 +89,16 @@ pub struct EngineConfig {
     /// Cached and uncached searches return identical results — the cache is
     /// invalidated whenever click feedback changes scores.
     pub cache_capacity: usize,
+    /// Index shards for **intra-query** parallelism; 0 = one per available
+    /// core (clamped to the instance count), 1 = a single monolithic index.
+    /// One hot query fans its scoring across this many scoped threads.
+    /// Any value produces identical results — same keys, same order, same
+    /// scores to the last bit — because shards are scored with
+    /// corpus-global statistics and merged deterministically (contrast
+    /// [`EngineConfig::build_threads`], the *build*-time knob; this one is
+    /// query-time). The query cache is keyed by `(normalized query, k)`
+    /// only, so shard count never fragments or poisons cached entries.
+    pub search_shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -94,6 +115,7 @@ impl Default for EngineConfig {
             entity_specs: None,
             build_threads: 0,
             cache_capacity: 1024,
+            search_shards: 0,
         }
     }
 }
@@ -142,9 +164,24 @@ struct DefMeta {
     utility: f64,
 }
 
-/// The engine: an indexed flat collection of qunit instances.
+/// Per-shard query-path counters (see [`QunitSearchEngine::shard_stats`]).
+///
+/// Like [`CacheStats`], a plain snapshot of relaxed atomics: cheap to read
+/// from benches and operators without touching any lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Uncached searches that went through the sharded scoring path.
+    pub searches: u64,
+    /// Accumulated scoring wall-clock per shard, in nanoseconds,
+    /// index-aligned with the engine's shards. The spread across slots is
+    /// the load-balance story; the max per search is the latency story.
+    pub per_shard_nanos: Vec<u64>,
+}
+
+/// The engine: an indexed flat collection of qunit instances, sharded for
+/// intra-query parallelism ([`EngineConfig::search_shards`]).
 pub struct QunitSearchEngine {
-    index: irengine::Index,
+    index: ShardedIndex,
     instances: HashMap<String, QunitInstance>,
     catalog: QunitCatalog,
     segmenter: Segmenter,
@@ -155,6 +192,11 @@ pub struct QunitSearchEngine {
     /// Highest utility in the catalog (normalizer for the utility prior).
     max_utility: f64,
     cache: QueryCache<Vec<QunitResult>>,
+    /// Scoring wall-clock accumulated per shard (nanoseconds), one slot per
+    /// index shard.
+    shard_nanos: Vec<AtomicU64>,
+    /// Number of uncached searches that fanned across the shards.
+    sharded_searches: AtomicU64,
 }
 
 // Compile-time proof that the engine is a shareable service: every query
@@ -247,6 +289,14 @@ impl QunitSearchEngine {
             }
         }
 
+        // Shard for intra-query parallelism. The partition is round-robin
+        // over the documents just merged in catalog order, so shard
+        // contents depend only on the catalog — not on build_threads, not
+        // on search_shards (the fingerprint is shard-count invariant; the
+        // CI determinism gate holds both).
+        let shard_count = worker_count(config.search_shards, builder.len());
+        let index = builder.build_sharded(shard_count);
+
         let def_meta: Vec<DefMeta> = catalog
             .iter()
             .map(|d| DefMeta {
@@ -261,8 +311,9 @@ impl QunitSearchEngine {
             .fold(f64::MIN_POSITIVE, f64::max);
         let cache = QueryCache::new(config.cache_capacity);
 
+        let shard_nanos = (0..index.num_shards()).map(|_| AtomicU64::new(0)).collect();
         Ok(QunitSearchEngine {
-            index: builder.build(),
+            index,
             instances,
             catalog,
             segmenter,
@@ -271,6 +322,8 @@ impl QunitSearchEngine {
             def_meta,
             max_utility,
             cache,
+            shard_nanos,
+            sharded_searches: AtomicU64::new(0),
         })
     }
 
@@ -307,6 +360,40 @@ impl QunitSearchEngine {
     /// Query-cache hit/miss counters and residency.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Number of index shards the query path fans out across.
+    pub fn num_shards(&self) -> usize {
+        self.index.num_shards()
+    }
+
+    /// Per-shard scoring-time counters accumulated by every uncached
+    /// search (cache hits never touch the shards, so they don't count).
+    pub fn shard_stats(&self) -> ShardStats {
+        ShardStats {
+            searches: self.sharded_searches.load(Ordering::Relaxed),
+            per_shard_nanos: self
+                .shard_nanos
+                .iter()
+                .map(|n| n.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Fingerprint of the logical index content — invariant under both
+    /// [`EngineConfig::build_threads`] and [`EngineConfig::search_shards`]
+    /// (the CI determinism gate compares this value across sweeps of both).
+    pub fn index_fingerprint(&self) -> u64 {
+        self.index.fingerprint()
+    }
+
+    /// Fold per-shard durations into the counters. The `searches` counter
+    /// is incremented separately (once per uncached search), because one
+    /// search can fan out twice when the preferred-pool fallback runs.
+    fn note_shard_timings(&self, timings: &[Duration]) {
+        for (slot, d) in self.shard_nanos.iter().zip(timings) {
+            slot.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        }
     }
 
     /// Record a user click on a result: future queries with the same
@@ -489,22 +576,31 @@ impl QunitSearchEngine {
             None
         };
 
-        let searcher = Searcher::new(&self.index, self.config.scoring);
+        // Intra-query parallelism: every ranking pass below fans across the
+        // index shards on scoped threads, scored with corpus-global stats
+        // and merged deterministically — results are identical at any shard
+        // count. Per-shard scoring time lands in the shard counters.
+        let searcher = ShardedSearcher::new(&self.index, self.config.scoring);
+        let terms = self.index.analyzer().tokenize(query);
         let fetch = k.saturating_mul(10).max(50);
-        let mut hits = match &preferred {
-            Some(defs) => searcher.search_where(query, fetch, |doc| {
+        let (mut hits, timings) = match &preferred {
+            Some(defs) => searcher.search_terms_where_timed(&terms, fetch, |doc| {
                 self.index
                     .external_id(doc)
                     .and_then(|key| self.instances.get(key))
                     .map(|inst| defs.iter().any(|d| *d == inst.definition))
                     .unwrap_or(false)
             }),
-            None => searcher.search(query, fetch),
+            None => searcher.search_terms_where_timed(&terms, fetch, |_| true),
         };
+        self.sharded_searches.fetch_add(1, Ordering::Relaxed);
+        self.note_shard_timings(&timings);
         // If the identified type has no matching instance (a movie with no
         // soundtrack asked for its ost), fall back to the unrestricted pool.
-        if hits.is_empty() {
-            hits = searcher.search(query, fetch);
+        if hits.is_empty() && preferred.is_some() {
+            let (fallback, timings) = searcher.search_terms_where_timed(&terms, fetch, |_| true);
+            self.note_shard_timings(&timings);
+            hits = fallback;
         }
 
         // Exact-anchor injection: the instance keyed by a segmented entity
@@ -715,6 +811,68 @@ mod tests {
         let ts = engine.type_scores(&q);
         assert!(ts["movie_cast"] > ts["person_page"], "{ts:?}");
         assert!(ts["movie_cast"] > ts["top_charts"], "{ts:?}");
+    }
+
+    #[test]
+    fn any_shard_count_returns_identical_results() {
+        let (data, _) = engine();
+        let catalog = || expert_imdb_qunits(&data.db).unwrap();
+        let build = |search_shards| {
+            QunitSearchEngine::build(
+                &data.db,
+                catalog(),
+                EngineConfig {
+                    search_shards,
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let one = build(1);
+        assert_eq!(one.num_shards(), 1);
+        let queries: Vec<String> = data
+            .movies
+            .iter()
+            .take(4)
+            .map(|m| format!("{} cast", m.title))
+            .chain([data.people[0].name.clone(), "best rated charts".into()])
+            .collect();
+        for shards in [2usize, 3, 8] {
+            let sharded = build(shards);
+            assert_eq!(sharded.num_shards(), shards);
+            assert_eq!(sharded.index_fingerprint(), one.index_fingerprint());
+            for q in &queries {
+                assert_eq!(
+                    sharded.search_uncached(q, 10),
+                    one.search_uncached(q, 10),
+                    "{shards} shards diverged on {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_stats_accumulate_per_uncached_search() {
+        let (data, _) = engine();
+        let e = QunitSearchEngine::build(
+            &data.db,
+            expert_imdb_qunits(&data.db).unwrap(),
+            EngineConfig {
+                search_shards: 4,
+                cache_capacity: 0,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(e.shard_stats().searches, 0);
+        assert_eq!(e.shard_stats().per_shard_nanos.len(), 4);
+        e.search(&format!("{} cast", data.movies[0].title), 5);
+        let s = e.shard_stats();
+        assert!(s.searches >= 1, "{s:?}");
+        // nonsense queries never reach the shards (no terms after analysis
+        // still fan out, but a zero-k search short-circuits)
+        e.search("star", 0);
+        assert_eq!(e.shard_stats().searches, s.searches);
     }
 
     #[test]

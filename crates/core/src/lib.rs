@@ -13,7 +13,7 @@
 //! 2. **Ranking** — treat qunit instances as independent documents and rank
 //!    them with standard IR ([`engine`], backed by `qunit-ir`).
 //!
-//! Definitions come from four sources ([`derive`]): manual/expert catalogs,
+//! Definitions come from four sources ([`mod@derive`]): manual/expert catalogs,
 //! schema + data *queriability* (§4.1), query-log *rollup* (§4.2), and
 //! external-evidence *type signatures* (§4.3).
 //!
@@ -32,11 +32,21 @@
 //!   [`cache::QueryCache`]), so one engine can serve `search`,
 //!   `search_batch`, and `record_click` from any number of threads
 //!   simultaneously. This is asserted at compile time in [`engine`].
+//! * **Sharded index, intra-query parallelism** — the instance index is
+//!   split into [`EngineConfig::search_shards`] independent shards
+//!   (deterministic round-robin, `0` = one per core) and every search
+//!   scores them on scoped threads with corpus-global statistics plus a
+//!   deterministic top-k merge, so a *single* hot query saturates the
+//!   machine. Results are identical at any shard count — keys, order,
+//!   scores to the ulp (property-tested) — and per-shard scoring time is
+//!   exposed via [`QunitSearchEngine::shard_stats`].
 //! * **Query cache** — result lists are memoized per
 //!   `(normalized query, k)` in a sharded LRU ([`cache`]). Entries are
 //!   stamped with the feedback generation and invalidated the moment a
 //!   click changes scores, so cached and uncached searches always agree
-//!   (property-tested). Hit/miss counters are exposed via
+//!   (property-tested), and the key deliberately excludes the shard count
+//!   (identical results make entries interchangeable across layouts).
+//!   Hit/miss counters are exposed via
 //!   [`QunitSearchEngine::cache_stats`].
 //!
 //! Multi-query throughput is measured by the `throughput` bench in
@@ -74,7 +84,7 @@ pub mod segment;
 
 pub use cache::{CacheStats, QueryCache};
 pub use catalog::QunitCatalog;
-pub use engine::{EngineConfig, QunitResult, QunitSearchEngine};
+pub use engine::{EngineConfig, QunitResult, QunitSearchEngine, ShardStats};
 pub use feedback::FeedbackStore;
 pub use materialize::{materialize_all, materialize_one};
 pub use presentation::ConversionExpr;

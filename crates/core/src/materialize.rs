@@ -11,6 +11,15 @@
 //!   *unbound* once (anchor predicate stripped) and group rows by the anchor
 //!   column, yielding one instance per anchor value at a fraction of the
 //!   per-instance query cost.
+//!
+//! **Order contract.** [`materialize_all`] yields instances in first-seen
+//! row-scan order — a pure function of the database, never of thread
+//! timing or map iteration. The whole determinism chain hangs off this:
+//! the engine's build merge replays catalog × materialization order into
+//! document insertion order, and the round-robin index sharding partitions
+//! by that insertion order, so "1 worker ≡ 8 workers" and "1 shard ≡ N
+//! shards" (both CI-gated) are only as good as this function staying
+//! deterministic. Don't introduce `HashMap`-ordered iteration here.
 
 use crate::qunit::{QunitDefinition, QunitInstance};
 use relstore::exec::ResultSet;

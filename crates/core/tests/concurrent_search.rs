@@ -147,6 +147,38 @@ fn build_is_identical_for_any_worker_count() {
 }
 
 #[test]
+fn index_fingerprint_invariant_under_workers_and_shards() {
+    // The in-repo twin of the CI determinism gate (exp_determinism): the
+    // logical index content must not depend on how many threads built it
+    // or how many shards serve it.
+    let data = ImdbData::generate(ImdbConfig::tiny());
+    let baseline = build_engine(
+        &data,
+        EngineConfig {
+            build_threads: 1,
+            search_shards: 1,
+            ..EngineConfig::default()
+        },
+    )
+    .index_fingerprint();
+    for (build_threads, search_shards) in [(8, 1), (1, 8), (3, 5), (8, 8), (0, 0)] {
+        let engine = build_engine(
+            &data,
+            EngineConfig {
+                build_threads,
+                search_shards,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(
+            engine.index_fingerprint(),
+            baseline,
+            "fingerprint moved at build_threads={build_threads} search_shards={search_shards}"
+        );
+    }
+}
+
+#[test]
 fn engine_is_send_and_sync() {
     fn assert_sync<T: Send + Sync>() {}
     assert_sync::<QunitSearchEngine>();

@@ -106,6 +106,64 @@ proptest! {
     }
 }
 
+mod shard_props {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// One engine per shard count, shared by `sharded_engines_agree` ONLY:
+    /// the property records clicks, and all four engines receive the same
+    /// clicks in the same order, so they stay observably equivalent.
+    fn engines() -> &'static [QunitSearchEngine; 4] {
+        static ENGINES: OnceLock<[QunitSearchEngine; 4]> = OnceLock::new();
+        ENGINES.get_or_init(|| {
+            let data = fixtures::data();
+            [1usize, 2, 3, 8].map(|search_shards| {
+                QunitSearchEngine::build(
+                    &data.db,
+                    expert_imdb_qunits(&data.db).unwrap(),
+                    EngineConfig {
+                        search_shards,
+                        ..EngineConfig::default()
+                    },
+                )
+                .unwrap()
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        // The sharding determinism contract at the engine layer: for any
+        // query and k, every shard count returns the 1-shard results —
+        // keys, order, and scores to the ulp (QunitResult's PartialEq
+        // compares the f64s exactly). Click feedback re-ranks results, so
+        // the equality must also survive a click + cache invalidation.
+        #[test]
+        fn sharded_engines_agree(q in query_strategy(), k in 0usize..8) {
+            let [one, rest @ ..] = engines();
+            prop_assert_eq!(one.num_shards(), 1);
+            let expected = one.search(&q, k);
+            for e in rest.iter() {
+                prop_assert_eq!(&e.search(&q, k), &expected);
+                prop_assert_eq!(e.index_fingerprint(), one.index_fingerprint());
+            }
+            // replay the same click everywhere; equivalence must hold on
+            // the re-ranked (and freshly uncached) result lists too
+            if let Some(top) = expected.first() {
+                for e in engines().iter() {
+                    e.record_click(&q, &top.key);
+                }
+                let after = one.search(&q, k);
+                for e in rest.iter() {
+                    prop_assert_eq!(&e.search(&q, k), &after);
+                    prop_assert_eq!(&e.search_uncached(&q, k), &after);
+                }
+            }
+        }
+    }
+}
+
 mod cache_props {
     use super::*;
     use std::sync::OnceLock;

@@ -351,6 +351,43 @@ mod tests {
     }
 
     #[test]
+    fn qunit_answers_invariant_under_shard_count() {
+        // Evaluation must measure the *model*, not the execution plan: a
+        // QunitSystem wired with any `search_shards` produces the same
+        // SystemAnswers, so figures are reproducible on any core count.
+        let d = data();
+        let build = |search_shards| {
+            QunitSystem::new(
+                "qunits",
+                QunitSearchEngine::build(
+                    &d.db,
+                    expert_imdb_qunits(&d.db).unwrap(),
+                    EngineConfig {
+                        search_shards,
+                        ..EngineConfig::default()
+                    },
+                )
+                .unwrap(),
+            )
+        };
+        let one = build(1);
+        let queries: Vec<String> = d
+            .movies
+            .iter()
+            .take(5)
+            .map(|m| format!("{} cast", m.title))
+            .chain([d.people[0].name.clone(), "zzzz qqqq".to_string()])
+            .collect();
+        let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+        let expected = one.answer_batch(&refs);
+        for shards in [2usize, 8] {
+            let sys = build(shards);
+            assert_eq!(sys.engine().num_shards(), shards);
+            assert_eq!(sys.answer_batch(&refs), expected, "{shards} shards");
+        }
+    }
+
+    #[test]
     fn all_systems_return_none_on_nonsense() {
         let d = data();
         let cat = expert_imdb_qunits(&d.db).unwrap();

@@ -8,6 +8,7 @@
 
 use crate::analysis::Analyzer;
 use crate::document::{DocId, Document};
+use crate::shard::ShardedIndex;
 use std::collections::HashMap;
 
 /// One entry of a postings list.
@@ -26,6 +27,18 @@ pub struct Posting {
 /// so it is `Send + Sync` and any number of [`crate::Searcher`]s can read
 /// it from different threads without locking. The assertion below keeps a
 /// future mutation cache from silently revoking that.
+///
+/// # Document id space
+///
+/// Every [`DocId`] accepted or returned by this type is **local to this
+/// index**: the dense 0-based position at which [`IndexBuilder::add`]
+/// received the document. A standalone index's local ids are also its
+/// global ids; inside a [`ShardedIndex`] each shard has its own local id
+/// space and the sharded wrapper owns the global one — translate with
+/// [`ShardedIndex::to_global`] / [`ShardedIndex::to_local`] and never hand
+/// a global id to a shard (or vice versa). Out-of-range lookups are always
+/// defined, never a panic: [`Index::doc_length`] returns `0.0`,
+/// [`Index::document`] and [`Index::external_id`] return `None`.
 #[derive(Debug, Clone)]
 pub struct Index {
     analyzer: Analyzer,
@@ -61,6 +74,12 @@ impl Index {
     }
 
     /// Boost-weighted length of a document.
+    ///
+    /// `doc` is a **local** id of this index (see the type-level docs on the
+    /// id space). An out-of-range id returns `0.0` — the length of a
+    /// document with no tokens — rather than panicking, and the sharded
+    /// path ([`ShardedIndex::doc_length`]) honors the same contract for
+    /// global ids, so both id spaces degrade identically on bad input.
     pub fn doc_length(&self, doc: DocId) -> f64 {
         self.doc_lengths.get(doc as usize).copied().unwrap_or(0.0)
     }
@@ -88,6 +107,12 @@ impl Index {
     /// The analyzer this index was built with (use it for queries).
     pub fn analyzer(&self) -> &Analyzer {
         &self.analyzer
+    }
+
+    /// Every indexed term, in arbitrary order (used by the content
+    /// fingerprint, which sorts them itself).
+    pub fn terms(&self) -> impl Iterator<Item = &str> {
+        self.postings.keys().map(String::as_str)
     }
 }
 
@@ -142,6 +167,33 @@ impl IndexBuilder {
     /// True iff no documents were added.
     pub fn is_empty(&self) -> bool {
         self.docs.is_empty()
+    }
+
+    /// Freeze into a sharded index of `n` independent [`Index`] shards (at
+    /// least one; empty shards are fine when `n` exceeds the corpus).
+    ///
+    /// Documents partition by **deterministic round-robin over insertion
+    /// order**: document `i` goes to shard `i % n` at local position
+    /// `i / n`. Insertion order is the only input, so two builders fed the
+    /// same documents in the same order shard identically no matter how
+    /// many worker threads produced those documents — that, plus the
+    /// per-shard [`IndexBuilder::build`] being a pure function of its docs,
+    /// is what the CI determinism gate hashes. Round-robin (rather than
+    /// contiguous ranges) also balances shard sizes to within one document,
+    /// so intra-query fan-out degrades gracefully at any shard count.
+    pub fn build_sharded(self, n: usize) -> ShardedIndex {
+        let n = n.max(1);
+        let mut parts: Vec<IndexBuilder> = (0..n)
+            .map(|_| IndexBuilder {
+                analyzer: self.analyzer.clone(),
+                field_boosts: self.field_boosts.clone(),
+                docs: Vec::new(),
+            })
+            .collect();
+        for (i, doc) in self.docs.into_iter().enumerate() {
+            parts[i % n].docs.push(doc);
+        }
+        ShardedIndex::from_shards(parts.into_iter().map(IndexBuilder::build).collect())
     }
 
     /// Freeze into a searchable index.
@@ -231,6 +283,17 @@ mod tests {
         assert_eq!(ix.doc_length(0), 3.0);
         assert_eq!(ix.doc_length(1), 2.0);
         assert!((ix.avg_doc_length() - (3.0 + 2.0 + 2.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doc_length_out_of_range_is_zero_never_a_panic() {
+        let ix = small_index();
+        assert_eq!(ix.doc_length(3), 0.0);
+        assert_eq!(ix.doc_length(DocId::MAX), 0.0);
+        assert!(ix.document(3).is_none());
+        assert!(ix.external_id(3).is_none());
+        // the empty index has no valid id at all
+        assert_eq!(IndexBuilder::new().build().doc_length(0), 0.0);
     }
 
     #[test]

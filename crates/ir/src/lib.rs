@@ -14,6 +14,13 @@
 //! qunit search service in `qunit-core` relies on this to serve queries
 //! from many threads against one shared index.
 //!
+//! Intra-query parallelism: [`IndexBuilder::build_sharded`] partitions the
+//! corpus into `n` independent [`Index`] shards (deterministic round-robin
+//! by insertion order) and [`ShardedSearcher`] scores them on scoped
+//! threads with corpus-global statistics, returning results identical —
+//! ids, order, and scores to the last bit — to an unsharded search (see
+//! [`shard`] for the determinism contract).
+//!
 //! ```
 //! use irengine::{Document, IndexBuilder, Searcher, ScoringFunction};
 //!
@@ -32,11 +39,13 @@ pub mod document;
 pub mod index;
 pub mod score;
 pub mod search;
+pub mod shard;
 pub mod snippet;
 
 pub use analysis::Analyzer;
 pub use document::{DocId, Document};
 pub use index::{Index, IndexBuilder, Posting};
-pub use score::ScoringFunction;
+pub use score::{ScoringFunction, TermStats};
 pub use search::{Hit, Searcher};
+pub use shard::{ShardedIndex, ShardedSearcher};
 pub use snippet::{extract as extract_snippet, Snippet};

@@ -8,6 +8,36 @@
 use crate::document::DocId;
 use crate::index::Index;
 
+/// Corpus-level statistics for one query term, decoupled from any
+/// particular [`Index`].
+///
+/// The sharded search path scores each shard's postings locally but must
+/// produce scores identical to an unsharded search, so document frequency,
+/// corpus size, and average document length are supplied explicitly —
+/// computed across **all** shards — instead of being read off the
+/// (shard-local) index. [`ScoringFunction::score_term`] is the convenience
+/// wrapper that fills this in from a single unsharded index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TermStats {
+    /// Total number of documents in the corpus.
+    pub num_docs: usize,
+    /// Number of corpus documents containing the term.
+    pub doc_freq: usize,
+    /// Mean boost-weighted document length across the corpus.
+    pub avg_doc_length: f64,
+}
+
+impl TermStats {
+    /// Statistics of `term` in a single (unsharded) index.
+    pub fn of(index: &Index, term: &str) -> Self {
+        TermStats {
+            num_docs: index.num_docs(),
+            doc_freq: index.doc_freq(term),
+            avg_doc_length: index.avg_doc_length(),
+        }
+    }
+}
+
 /// Which ranking model to use.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ScoringFunction {
@@ -30,29 +60,51 @@ impl Default for ScoringFunction {
 }
 
 impl ScoringFunction {
-    /// Smoothed inverse document frequency of a term in `index`.
-    pub fn idf(index: &Index, term: &str) -> f64 {
-        let n = index.num_docs() as f64;
-        let df = index.doc_freq(term) as f64;
+    /// Smoothed inverse document frequency from explicit corpus counts.
+    pub fn idf_from(num_docs: usize, doc_freq: usize) -> f64 {
+        let n = num_docs as f64;
+        let df = doc_freq as f64;
         // BM25+-style floor: ln(1 + (N - df + 0.5)/(df + 0.5)) ≥ 0.
         (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
     }
 
-    /// Score one (term, document) pair given the term's weighted tf.
-    pub fn score_term(&self, index: &Index, term: &str, doc: DocId, weighted_tf: f64) -> f64 {
-        let idf = Self::idf(index, term);
+    /// Smoothed inverse document frequency of a term in `index`.
+    pub fn idf(index: &Index, term: &str) -> f64 {
+        Self::idf_from(index.num_docs(), index.doc_freq(term))
+    }
+
+    /// Score one (term, document) pair from explicit statistics: the term's
+    /// corpus-level [`TermStats`], the document's boost-weighted length, and
+    /// the term's boost-weighted frequency in the document.
+    ///
+    /// This is the primitive both search paths share. The arithmetic is a
+    /// pure function of its inputs, so feeding corpus-global stats with a
+    /// shard-local `doc_length` yields a score bit-identical to scoring the
+    /// same document in one big index (the sharded-search determinism
+    /// contract relies on exactly this).
+    pub fn score_term_stats(&self, stats: TermStats, doc_length: f64, weighted_tf: f64) -> f64 {
+        let idf = Self::idf_from(stats.num_docs, stats.doc_freq);
         match *self {
             ScoringFunction::Bm25 { k1, b } => {
-                let dl = index.doc_length(doc);
-                let avg = index.avg_doc_length().max(f64::MIN_POSITIVE);
-                let norm = k1 * (1.0 - b + b * dl / avg);
+                let avg = stats.avg_doc_length.max(f64::MIN_POSITIVE);
+                let norm = k1 * (1.0 - b + b * doc_length / avg);
                 idf * weighted_tf * (k1 + 1.0) / (weighted_tf + norm)
             }
             ScoringFunction::TfIdf => {
-                let dl = index.doc_length(doc).max(1.0);
+                let dl = doc_length.max(1.0);
                 idf * weighted_tf / dl.sqrt()
             }
         }
+    }
+
+    /// Score one (term, document) pair given the term's weighted tf, reading
+    /// all statistics from a single unsharded `index`.
+    pub fn score_term(&self, index: &Index, term: &str, doc: DocId, weighted_tf: f64) -> f64 {
+        self.score_term_stats(
+            TermStats::of(index, term),
+            index.doc_length(doc),
+            weighted_tf,
+        )
     }
 }
 
@@ -119,6 +171,25 @@ mod tests {
         let short = f.score_term(&ix, "war", 0, 1.0);
         let long = f.score_term(&ix, "war", 1, 1.0);
         assert!((short - long).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_term_stats_matches_index_backed_path_exactly() {
+        let ix = index_with(&["star wars cast", "star trek", "ocean drama"]);
+        for f in [ScoringFunction::default(), ScoringFunction::TfIdf] {
+            for term in ["star", "ocean", "drama"] {
+                for p in ix.postings(term) {
+                    let via_index = f.score_term(&ix, term, p.doc, p.weighted_tf);
+                    let via_stats = f.score_term_stats(
+                        TermStats::of(&ix, term),
+                        ix.doc_length(p.doc),
+                        p.weighted_tf,
+                    );
+                    // bit-identical, not just approximately equal
+                    assert_eq!(via_index.to_bits(), via_stats.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

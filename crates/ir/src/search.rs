@@ -40,7 +40,7 @@ const _: () = assert_send_sync::<Searcher<'static>>();
 /// asserts batch ≡ sequential ≡ replay — so the term order has to be a
 /// pure function of the query. Queries are a handful of terms, hence the
 /// quadratic scan instead of a map.
-fn dedup_terms(terms: &[String]) -> Vec<(&str, usize)> {
+pub(crate) fn dedup_terms(terms: &[String]) -> Vec<(&str, usize)> {
     let mut out: Vec<(&str, usize)> = Vec::with_capacity(terms.len());
     for t in terms {
         match out.iter_mut().find(|(s, _)| *s == t.as_str()) {
@@ -49,6 +49,16 @@ fn dedup_terms(terms: &[String]) -> Vec<(&str, usize)> {
         }
     }
     out
+}
+
+/// The ranking order of hits: descending score, ties broken by ascending
+/// doc id. Shared by the unsharded sort and the sharded per-shard sort +
+/// top-k merge, so both paths order identical score sets identically.
+pub(crate) fn rank_hits(a: &Hit, b: &Hit) -> std::cmp::Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.doc.cmp(&b.doc))
 }
 
 impl<'a> Searcher<'a> {
@@ -116,12 +126,7 @@ impl<'a> Searcher<'a> {
                 matched_terms,
             })
             .collect();
-        hits.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.doc.cmp(&b.doc))
-        });
+        hits.sort_by(rank_hits);
         hits.truncate(k);
         hits
     }

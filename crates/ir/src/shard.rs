@@ -1,0 +1,683 @@
+//! Sharded index + intra-query parallel search.
+//!
+//! The qunits model ranks independently materialized instances, so the
+//! corpus partitions freely: any document subset can be scored alone and
+//! the per-subset rankings merged by score. [`ShardedIndex`] holds `n`
+//! independent [`Index`] shards (round-robin by insertion order, see
+//! [`crate::IndexBuilder::build_sharded`]) and [`ShardedSearcher`] scores them on
+//! scoped threads — one hot query saturating every core instead of walking
+//! one monolithic index serially.
+//!
+//! # Determinism contract
+//!
+//! For any shard count, a sharded search returns **exactly** the hits an
+//! unsharded search over the same documents returns: same global doc ids,
+//! same order, scores equal to the last bit. Three mechanisms add up to
+//! that guarantee, each load-bearing:
+//!
+//! 1. **Global ids survive sharding.** Round-robin places document `i` at
+//!    shard `i % n`, local slot `i / n`, and [`ShardedIndex::to_global`]
+//!    inverts that — so the global id of every document equals its
+//!    insertion position regardless of `n`.
+//! 2. **Corpus-global statistics.** Scores are computed from
+//!    [`TermStats`] (document frequency, corpus size, average length)
+//!    aggregated across *all* shards, never from shard-local counts; the
+//!    average length is even summed in global document order so the
+//!    floating-point reduction matches the unsharded build bit-for-bit.
+//!    Per-document accumulation iterates query terms in the same
+//!    first-occurrence order as [`crate::Searcher`], so the f64 sums agree
+//!    to the ulp.
+//! 3. **Deterministic top-k merge.** Each shard returns its top-k sorted
+//!    by the shared hit order (score desc, global doc id asc) and a heap
+//!    merge with the same comparator interleaves them; ties are impossible
+//!    to resolve arbitrarily because global doc ids are unique.
+
+use crate::analysis::Analyzer;
+use crate::document::{DocId, Document};
+use crate::index::Index;
+use crate::score::{ScoringFunction, TermStats};
+use crate::search::{dedup_terms, rank_hits, Hit};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// An immutable collection of [`Index`] shards presenting one **global**
+/// document id space. Build via [`crate::IndexBuilder::build_sharded`].
+///
+/// Like [`Index`], a built `ShardedIndex` is plain owned data — `Send +
+/// Sync`, shareable across any number of threads without locking.
+#[derive(Debug, Clone)]
+pub struct ShardedIndex {
+    /// Always at least one shard (a 1-shard index is the unsharded case).
+    shards: Vec<Index>,
+    /// Total documents across shards.
+    num_docs: usize,
+    /// Corpus-global mean document length, reduced in global doc order so
+    /// it is bit-identical to the single-[`Index`] average.
+    avg_doc_length: f64,
+}
+
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send_sync::<ShardedIndex>();
+const _: () = assert_send_sync::<ShardedSearcher<'static>>();
+
+impl ShardedIndex {
+    /// Wrap already-built shards. Shard `s` is assumed to hold the
+    /// documents `{ g | g % n == s }` of the global order at local position
+    /// `g / n` — [`crate::IndexBuilder::build_sharded`] is the only
+    /// sanctioned producer.
+    pub(crate) fn from_shards(shards: Vec<Index>) -> Self {
+        assert!(!shards.is_empty(), "a sharded index needs >= 1 shard");
+        let num_docs = shards.iter().map(Index::num_docs).sum();
+        let n = shards.len();
+        // Replay the unsharded reduction: sum lengths in *global* order.
+        // Summing per-shard subtotals would associate the additions
+        // differently and drift in the last ulp — enough to flip a BM25
+        // tie — so the loop below is not an optimization target.
+        let mut total = 0.0;
+        for g in 0..num_docs {
+            total += shards[g % n].doc_length((g / n) as DocId);
+        }
+        let avg_doc_length = if num_docs == 0 {
+            0.0
+        } else {
+            total / num_docs as f64
+        };
+        ShardedIndex {
+            shards,
+            num_docs,
+            avg_doc_length,
+        }
+    }
+
+    /// Number of shards (>= 1).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards themselves, for callers that fan out per shard.
+    pub fn shards(&self) -> &[Index] {
+        &self.shards
+    }
+
+    /// Total documents across all shards.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Corpus-global mean document length (0 for an empty corpus).
+    pub fn avg_doc_length(&self) -> f64 {
+        self.avg_doc_length
+    }
+
+    /// Corpus-global document frequency of a term (sum over shards).
+    pub fn doc_freq(&self, term: &str) -> usize {
+        self.shards.iter().map(|s| s.doc_freq(term)).sum()
+    }
+
+    /// Corpus-global [`TermStats`] for one query term.
+    pub fn term_stats(&self, term: &str) -> TermStats {
+        TermStats {
+            num_docs: self.num_docs,
+            doc_freq: self.doc_freq(term),
+            avg_doc_length: self.avg_doc_length,
+        }
+    }
+
+    /// The analyzer shared by every shard (use it for queries).
+    pub fn analyzer(&self) -> &Analyzer {
+        self.shards[0].analyzer()
+    }
+
+    /// Map a shard-local id to the global id space.
+    pub fn to_global(&self, shard: usize, local: DocId) -> DocId {
+        local * self.shards.len() as DocId + shard as DocId
+    }
+
+    /// Map a global id to its `(shard, local)` coordinates. Total — an
+    /// out-of-range global id maps to coordinates that are themselves out
+    /// of range in the target shard, where every accessor degrades per the
+    /// [`Index`] id-space contract.
+    pub fn to_local(&self, doc: DocId) -> (usize, DocId) {
+        let n = self.shards.len() as DocId;
+        ((doc % n) as usize, doc / n)
+    }
+
+    /// Boost-weighted length of a **global** document id; `0.0` when out of
+    /// range (same contract as [`Index::doc_length`]).
+    pub fn doc_length(&self, doc: DocId) -> f64 {
+        let (shard, local) = self.to_local(doc);
+        self.shards[shard].doc_length(local)
+    }
+
+    /// The stored document for a global id.
+    pub fn document(&self, doc: DocId) -> Option<&Document> {
+        let (shard, local) = self.to_local(doc);
+        self.shards[shard].document(local)
+    }
+
+    /// External id of a global document id.
+    pub fn external_id(&self, doc: DocId) -> Option<&str> {
+        let (shard, local) = self.to_local(doc);
+        self.shards[shard].external_id(local)
+    }
+
+    /// Global id for an external id. Duplicate external ids resolve to the
+    /// **first-inserted** document — the same answer the unsharded
+    /// [`Index::doc_for_external`] gives — by minimizing over the shards'
+    /// first-local matches.
+    pub fn doc_for_external(&self, external: &str) -> Option<DocId> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(s, shard)| {
+                shard
+                    .doc_for_external(external)
+                    .map(|l| self.to_global(s, l))
+            })
+            .min()
+    }
+
+    /// A 64-bit fingerprint of the **logical index content**, invariant
+    /// under shard count: documents in global order (external id, fields,
+    /// weighted length) plus every postings list (terms sorted, postings in
+    /// global doc order, term frequencies as exact bit patterns).
+    ///
+    /// Two builds fingerprint equal iff they indexed the same documents in
+    /// the same order with the same analyzer output — which is exactly the
+    /// invariant the CI determinism gate holds over build-worker and
+    /// shard-count sweeps. FNV-1a, fully specified here, so the value is
+    /// stable across runs, platforms, and toolchains (unlike
+    /// `DefaultHasher`, which only promises within-process stability).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_usize(self.num_docs);
+        for g in 0..self.num_docs as DocId {
+            let (shard, local) = self.to_local(g);
+            let doc = self.shards[shard]
+                .document(local)
+                .expect("global id < num_docs resolves");
+            h.write_str(&doc.external_id);
+            h.write_usize(doc.fields.len());
+            for (name, text) in &doc.fields {
+                h.write_str(name);
+                h.write_str(text);
+            }
+            h.write_u64(self.doc_length(g).to_bits());
+        }
+        let mut terms: Vec<&str> = self.shards.iter().flat_map(Index::terms).collect();
+        terms.sort_unstable();
+        terms.dedup();
+        for term in terms {
+            h.write_str(term);
+            let mut postings: Vec<(DocId, u64)> = self
+                .shards
+                .iter()
+                .enumerate()
+                .flat_map(|(s, shard)| {
+                    shard
+                        .postings(term)
+                        .iter()
+                        .map(move |p| (self.to_global(s, p.doc), p.weighted_tf.to_bits()))
+                })
+                .collect();
+            postings.sort_unstable_by_key(|(doc, _)| *doc);
+            h.write_usize(postings.len());
+            for (doc, tf_bits) in postings {
+                h.write_u64(doc as u64);
+                h.write_u64(tf_bits);
+            }
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a with explicit framing (lengths prefix variable-size values), so
+/// the fingerprint is a function of the content alone.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Executes queries against a borrowed [`ShardedIndex`], fanning shard
+/// scoring across scoped threads (inline when there is a single shard).
+///
+/// Mirrors the [`Searcher`] API, with two differences: every [`DocId`] in
+/// and out is **global**, and filters must be `Sync` because they run on
+/// the per-shard worker threads.
+///
+/// [`Searcher`]: crate::Searcher
+#[derive(Debug, Clone)]
+pub struct ShardedSearcher<'a> {
+    index: &'a ShardedIndex,
+    scoring: ScoringFunction,
+}
+
+/// One shard's contribution to the merge: its sorted hit list plus how
+/// long scoring it took (the engine aggregates these into per-shard
+/// counters).
+type ShardYield = (Vec<Hit>, Duration);
+
+/// Heap entry for the top-k merge. Ordered so `BinaryHeap::pop` yields the
+/// best-ranked head first; the shard index is a final tie-break making the
+/// order total (it never decides between *distinct* documents — global doc
+/// ids already do — it only keeps `Ord` honest).
+struct MergeHead {
+    hit: Hit,
+    shard: usize,
+    pos: usize,
+}
+
+impl PartialEq for MergeHead {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for MergeHead {}
+
+impl PartialOrd for MergeHead {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MergeHead {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // rank_hits: Less = ranks first; reverse it so the max-heap pops
+        // the first-ranked head.
+        rank_hits(&self.hit, &other.hit)
+            .then(self.shard.cmp(&other.shard))
+            .reverse()
+    }
+}
+
+impl<'a> ShardedSearcher<'a> {
+    /// New searcher with the given scoring function.
+    pub fn new(index: &'a ShardedIndex, scoring: ScoringFunction) -> Self {
+        ShardedSearcher { index, scoring }
+    }
+
+    /// The underlying sharded index.
+    pub fn index(&self) -> &ShardedIndex {
+        self.index
+    }
+
+    /// Run `query`, returning up to `k` hits, best first — identical (ids,
+    /// order, scores to the last bit) to [`crate::Searcher::search`] over
+    /// the same documents in one index.
+    pub fn search(&self, query: &str, k: usize) -> Vec<Hit> {
+        let terms = self.index.analyzer().tokenize(query);
+        self.search_terms(&terms, k)
+    }
+
+    /// Run a query given pre-analyzed terms.
+    pub fn search_terms(&self, terms: &[String], k: usize) -> Vec<Hit> {
+        self.search_terms_where(terms, k, |_| true)
+    }
+
+    /// Run `query`, keeping only documents accepted by `filter` (which
+    /// receives **global** doc ids and runs on the shard worker threads).
+    pub fn search_where(
+        &self,
+        query: &str,
+        k: usize,
+        filter: impl Fn(DocId) -> bool + Sync,
+    ) -> Vec<Hit> {
+        let terms = self.index.analyzer().tokenize(query);
+        self.search_terms_where(&terms, k, filter)
+    }
+
+    /// [`ShardedSearcher::search_where`] with pre-analyzed terms.
+    pub fn search_terms_where(
+        &self,
+        terms: &[String],
+        k: usize,
+        filter: impl Fn(DocId) -> bool + Sync,
+    ) -> Vec<Hit> {
+        self.search_terms_where_timed(terms, k, filter).0
+    }
+
+    /// [`ShardedSearcher::search_terms_where`], additionally reporting each
+    /// shard's scoring wall-clock (index-aligned with
+    /// [`ShardedIndex::shards`]; zero for shards skipped as empty).
+    pub fn search_terms_where_timed(
+        &self,
+        terms: &[String],
+        k: usize,
+        filter: impl Fn(DocId) -> bool + Sync,
+    ) -> (Vec<Hit>, Vec<Duration>) {
+        let shards = self.index.shards();
+        if k == 0 || terms.is_empty() {
+            return (Vec::new(), vec![Duration::ZERO; shards.len()]);
+        }
+        let deduped = dedup_terms(terms);
+        // Corpus-global stats, computed once per distinct term: every shard
+        // scores against the same df / N / avgdl the unsharded path reads
+        // per posting.
+        let stats: Vec<TermStats> = deduped
+            .iter()
+            .map(|(t, _)| self.index.term_stats(t))
+            .collect();
+
+        let mut yields: Vec<ShardYield> = Vec::new();
+        if shards.len() == 1 {
+            yields.push(self.score_shard(0, &deduped, &stats, k, &filter));
+        } else {
+            let mut slots: Vec<Option<ShardYield>> = (0..shards.len()).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                for (s, slot) in slots.iter_mut().enumerate() {
+                    // Empty shards contribute nothing; don't pay a spawn.
+                    if shards[s].num_docs() == 0 {
+                        *slot = Some((Vec::new(), Duration::ZERO));
+                        continue;
+                    }
+                    let deduped = &deduped;
+                    let stats = &stats;
+                    let filter = &filter;
+                    scope.spawn(move || {
+                        *slot = Some(self.score_shard(s, deduped, stats, k, filter));
+                    });
+                }
+            });
+            yields.extend(slots.into_iter().map(|s| s.expect("every shard scored")));
+        }
+
+        let timings: Vec<Duration> = yields.iter().map(|(_, d)| *d).collect();
+        let lists: Vec<Vec<Hit>> = yields.into_iter().map(|(hits, _)| hits).collect();
+        (merge_top_k(lists, k), timings)
+    }
+
+    /// Score one shard: the same accumulation loop as
+    /// [`crate::Searcher::search_terms_where`], against global statistics,
+    /// yielding globally-identified hits sorted by [`rank_hits`] and cut to
+    /// the shard-local top-k (the global top-k is a subset of the union of
+    /// shard top-ks, so deeper lists would never survive the merge).
+    fn score_shard(
+        &self,
+        s: usize,
+        deduped: &[(&str, usize)],
+        stats: &[TermStats],
+        k: usize,
+        filter: &(impl Fn(DocId) -> bool + Sync),
+    ) -> ShardYield {
+        let start = Instant::now();
+        let shard = &self.index.shards()[s];
+        let mut acc: HashMap<DocId, (f64, usize)> = HashMap::new();
+        for ((term, qtf), st) in deduped.iter().zip(stats) {
+            for p in shard.postings(term) {
+                let score =
+                    self.scoring
+                        .score_term_stats(*st, shard.doc_length(p.doc), p.weighted_tf)
+                        * *qtf as f64;
+                let e = acc.entry(p.doc).or_insert((0.0, 0));
+                e.0 += score;
+                e.1 += 1;
+            }
+        }
+        let mut hits: Vec<Hit> = acc
+            .into_iter()
+            .map(|(local, (score, matched_terms))| Hit {
+                doc: self.index.to_global(s, local),
+                score,
+                matched_terms,
+            })
+            .filter(|h| filter(h.doc))
+            .collect();
+        hits.sort_by(rank_hits);
+        hits.truncate(k);
+        (hits, start.elapsed())
+    }
+
+    /// Convenience: the single best hit, if any.
+    pub fn top(&self, query: &str) -> Option<Hit> {
+        self.search(query, 1).into_iter().next()
+    }
+
+    /// Score one specific **global** document against a query (same
+    /// accumulation as [`ShardedSearcher::search`], restricted to `doc`).
+    /// Returns a zero-score hit when no query term matches.
+    pub fn score_doc(&self, query: &str, doc: DocId) -> Hit {
+        let terms = self.index.analyzer().tokenize(query);
+        let (s, local) = self.index.to_local(doc);
+        let shard = &self.index.shards()[s];
+        let mut score = 0.0;
+        let mut matched_terms = 0;
+        for (term, qtf) in dedup_terms(&terms) {
+            if let Ok(i) = shard.postings(term).binary_search_by(|p| p.doc.cmp(&local)) {
+                let p = shard.postings(term)[i];
+                score += self.scoring.score_term_stats(
+                    self.index.term_stats(term),
+                    shard.doc_length(local),
+                    p.weighted_tf,
+                ) * qtf as f64;
+                matched_terms += 1;
+            }
+        }
+        Hit {
+            doc,
+            score,
+            matched_terms,
+        }
+    }
+}
+
+/// Deterministic top-k merge of per-shard hit lists, each already sorted by
+/// [`rank_hits`]: a max-heap of list heads pops the best remaining hit
+/// exactly `k` times (or until the lists dry up). `O((k + n) log n)` for
+/// `n` shards — the comparator is the same total order the per-shard sorts
+/// used, so the output equals sorting the concatenation, without paying
+/// `O(nk log nk)`.
+fn merge_top_k(lists: Vec<Vec<Hit>>, k: usize) -> Vec<Hit> {
+    let mut heap = std::collections::BinaryHeap::with_capacity(lists.len());
+    for (shard, list) in lists.iter().enumerate() {
+        if let Some(hit) = list.first() {
+            heap.push(MergeHead {
+                hit: hit.clone(),
+                shard,
+                pos: 0,
+            });
+        }
+    }
+    let mut out = Vec::with_capacity(k.min(lists.iter().map(Vec::len).sum()));
+    while out.len() < k {
+        let Some(head) = heap.pop() else { break };
+        out.push(head.hit);
+        let next = head.pos + 1;
+        if let Some(hit) = lists[head.shard].get(next) {
+            heap.push(MergeHead {
+                hit: hit.clone(),
+                shard: head.shard,
+                pos: next,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexBuilder;
+    use crate::search::Searcher;
+
+    fn corpus() -> Vec<Document> {
+        let texts = [
+            "star wars cast luke skywalker",
+            "star trek kirk spock enterprise",
+            "ocean drama george clooney",
+            "star wars empire rebels",
+            "heist casino brad pitt",
+            "space station drama solaris",
+            "cast list of the movie",
+            "star cast crew",
+        ];
+        texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Document::new(format!("d{i}")).field("body", *t))
+            .collect()
+    }
+
+    fn builder_with(docs: &[Document]) -> IndexBuilder {
+        let mut b = IndexBuilder::new();
+        b.set_field_boost("title", 2.0);
+        for d in docs {
+            b.add(d.clone());
+        }
+        b
+    }
+
+    #[test]
+    fn global_ids_equal_insertion_order_for_any_shard_count() {
+        let docs = corpus();
+        for n in [1usize, 2, 3, 8, 16] {
+            let sx = builder_with(&docs).build_sharded(n);
+            assert_eq!(sx.num_docs(), docs.len(), "{n} shards");
+            for (i, d) in docs.iter().enumerate() {
+                assert_eq!(sx.external_id(i as DocId), Some(d.external_id.as_str()));
+                assert_eq!(sx.doc_for_external(&d.external_id), Some(i as DocId));
+            }
+        }
+    }
+
+    #[test]
+    fn global_stats_match_unsharded_bitwise() {
+        let docs = corpus();
+        let ix = builder_with(&docs).build();
+        for n in [1usize, 2, 3, 8] {
+            let sx = builder_with(&docs).build_sharded(n);
+            assert_eq!(
+                sx.avg_doc_length().to_bits(),
+                ix.avg_doc_length().to_bits(),
+                "{n} shards"
+            );
+            for term in ["star", "cast", "drama", "zzz"] {
+                assert_eq!(sx.doc_freq(term), ix.doc_freq(term), "{term} @ {n}");
+            }
+            for g in 0..docs.len() as DocId {
+                assert_eq!(sx.doc_length(g).to_bits(), ix.doc_length(g).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_search_identical_to_unsharded() {
+        let docs = corpus();
+        let ix = builder_with(&docs).build();
+        let flat = Searcher::new(&ix, ScoringFunction::default());
+        for n in [1usize, 2, 3, 8] {
+            let sx = builder_with(&docs).build_sharded(n);
+            let sharded = ShardedSearcher::new(&sx, ScoringFunction::default());
+            for q in ["star wars", "cast", "drama space", "star star cast", "zzz"] {
+                for k in [0usize, 1, 3, 100] {
+                    assert_eq!(sharded.search(q, k), flat.search(q, k), "{q} k={k} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_filter_and_score_doc_agree_with_unsharded() {
+        let docs = corpus();
+        let ix = builder_with(&docs).build();
+        let flat = Searcher::new(&ix, ScoringFunction::default());
+        let sx = builder_with(&docs).build_sharded(3);
+        let sharded = ShardedSearcher::new(&sx, ScoringFunction::default());
+        // filters see global ids, so the same predicate works on both paths
+        let even = |d: DocId| d.is_multiple_of(2);
+        assert_eq!(
+            sharded.search_where("star cast", 10, even),
+            flat.search_where("star cast", 10, even)
+        );
+        for g in 0..docs.len() as DocId {
+            assert_eq!(
+                sharded.score_doc("star cast", g),
+                flat.score_doc("star cast", g)
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_invariant_under_shard_count_and_sensitive_to_content() {
+        let docs = corpus();
+        let base = builder_with(&docs).build_sharded(1).fingerprint();
+        for n in [2usize, 3, 8, 16] {
+            assert_eq!(builder_with(&docs).build_sharded(n).fingerprint(), base);
+        }
+        // reordering documents is a different logical index
+        let mut reordered = docs.clone();
+        reordered.swap(0, 1);
+        assert_ne!(
+            builder_with(&reordered).build_sharded(4).fingerprint(),
+            base
+        );
+        // so is changing one token
+        let mut edited = docs.clone();
+        edited[2] = Document::new("d2").field("body", "ocean drama george");
+        assert_ne!(builder_with(&edited).build_sharded(4).fingerprint(), base);
+    }
+
+    #[test]
+    fn empty_and_oversharded_indexes_are_well_behaved() {
+        let empty = IndexBuilder::new().build_sharded(4);
+        assert_eq!(empty.num_docs(), 0);
+        assert_eq!(empty.avg_doc_length(), 0.0);
+        let s = ShardedSearcher::new(&empty, ScoringFunction::default());
+        assert!(s.search("star", 10).is_empty());
+
+        // more shards than documents: trailing shards are empty but searches
+        // still see every document
+        let two = builder_with(&corpus()[..2]).build_sharded(8);
+        assert_eq!(two.num_shards(), 8);
+        let s = ShardedSearcher::new(&two, ScoringFunction::default());
+        assert_eq!(s.search("star", 10).len(), 2);
+    }
+
+    #[test]
+    fn timed_search_reports_one_duration_per_shard() {
+        let sx = builder_with(&corpus()).build_sharded(3);
+        let s = ShardedSearcher::new(&sx, ScoringFunction::default());
+        let terms = sx.analyzer().tokenize("star cast");
+        let (hits, timings) = s.search_terms_where_timed(&terms, 5, |_| true);
+        assert!(!hits.is_empty());
+        assert_eq!(timings.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_externals_resolve_to_first_inserted_across_shards() {
+        let mut b = IndexBuilder::new();
+        b.add(Document::new("dup").field("body", "one"));
+        b.add(Document::new("dup").field("body", "two"));
+        b.add(Document::new("dup").field("body", "three"));
+        let sx = b.build_sharded(2);
+        assert_eq!(sx.doc_for_external("dup"), Some(0));
+    }
+}

@@ -1,6 +1,6 @@
 //! Property tests over the IR engine's core invariants.
 
-use irengine::{Analyzer, Document, IndexBuilder, ScoringFunction, Searcher};
+use irengine::{Analyzer, Document, IndexBuilder, ScoringFunction, Searcher, ShardedSearcher};
 use proptest::prelude::*;
 
 fn word() -> impl Strategy<Value = String> {
@@ -14,12 +14,16 @@ fn doc_text() -> impl Strategy<Value = String> {
     prop::collection::vec(word(), 1..12).prop_map(|ws| ws.join(" "))
 }
 
-fn build_index(texts: &[String]) -> irengine::Index {
+fn builder(texts: &[String]) -> IndexBuilder {
     let mut b = IndexBuilder::new().with_analyzer(Analyzer::keep_all());
     for (i, t) in texts.iter().enumerate() {
         b.add(Document::new(format!("d{i}")).field("body", t.clone()));
     }
-    b.build()
+    b
+}
+
+fn build_index(texts: &[String]) -> irengine::Index {
+    builder(texts).build()
 }
 
 proptest! {
@@ -103,6 +107,36 @@ proptest! {
         let ix = build_index(&texts);
         for term in ["star", "wars", "ocean", "cast"] {
             prop_assert!(ix.doc_freq(term) <= ix.num_docs());
+        }
+    }
+
+    // The sharding determinism contract at the IR layer: for any corpus,
+    // query, k, and shard count, the sharded searcher returns exactly the
+    // unsharded hits — same global ids, same order, scores equal to the
+    // ulp (Hit's PartialEq compares f64 exactly, which is the point).
+    #[test]
+    fn sharded_search_equals_unsharded_for_any_shard_count(
+        texts in prop::collection::vec(doc_text(), 1..20),
+        q in doc_text(),
+        k in 0usize..25,
+    ) {
+        let ix = build_index(&texts);
+        let flat = Searcher::new(&ix, ScoringFunction::default());
+        let expected = flat.search(&q, k);
+        for n in [1usize, 2, 3, 8] {
+            let sx = builder(&texts).build_sharded(n);
+            let sharded = ShardedSearcher::new(&sx, ScoringFunction::default());
+            prop_assert_eq!(&sharded.search(&q, k), &expected);
+        }
+    }
+
+    #[test]
+    fn sharded_fingerprint_is_shard_count_invariant(
+        texts in prop::collection::vec(doc_text(), 0..15),
+    ) {
+        let base = builder(&texts).build_sharded(1).fingerprint();
+        for n in [2usize, 3, 8] {
+            prop_assert_eq!(builder(&texts).build_sharded(n).fingerprint(), base);
         }
     }
 

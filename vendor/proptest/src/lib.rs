@@ -3,7 +3,7 @@
 //! The container has no network route to crates.io, so the workspace vendors
 //! a minimal property-testing shim with the same surface the suites use:
 //! `proptest!` (with `#![proptest_config(..)]`), `prop_compose!`,
-//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, the [`Strategy`]
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, the [`strategy::Strategy`]
 //! trait with `prop_map`, integer-range and tuple strategies,
 //! `prop::collection::vec`, and `prop::sample::select`.
 //!
@@ -115,7 +115,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length bounds for [`vec`]: a range or an exact size.
+    /// Length bounds for [`vec()`]: a range or an exact size.
     pub trait IntoSizeRange {
         /// Returns `(min, max)` inclusive.
         fn bounds(&self) -> (usize, usize);
