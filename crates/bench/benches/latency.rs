@@ -42,6 +42,11 @@ fn bench(c: &mut Criterion) {
     for shards in [1usize, 2, 4, 8] {
         let engine = build_engine(&data, shards);
         assert_eq!(engine.num_shards(), shards);
+        println!(
+            "shards={shards}: {} instances, {} postings in the CSR arrays",
+            engine.num_instances(),
+            engine.num_postings()
+        );
         group.bench_function(BenchmarkId::new("shards", shards), |b| {
             b.iter(|| {
                 let mut total = 0usize;

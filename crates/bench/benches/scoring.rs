@@ -1,0 +1,125 @@
+//! Scoring-kernel microbenches: the three stages of the flat hot path —
+//! term lookup (dictionary probe + scorer fold), postings accumulation
+//! (dense scratch over CSR slices), and bounded top-k selection — measured
+//! at the IR layer on a deterministic synthetic corpus, no engine above.
+//!
+//! Unlike the criterion-driven benches, this harness also emits
+//! machine-readable results to `BENCH_scoring.json` at the workspace root
+//! (override with the `BENCH_SCORING_OUT` env var), so CI runs leave a
+//! perf data point behind instead of scrollback. `--test` runs every
+//! measurement once, like the criterion smoke mode.
+
+use irengine::{Document, IndexBuilder, ScoreScratch, ScoringFunction, Searcher, TermStats};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Vocabulary size; term `w{i}`'s document frequency falls off with `i`,
+/// giving a few heavy terms and a long tail like a real index.
+const VOCAB: usize = 800;
+const DOCS: usize = 20_000;
+const TOKENS_PER_DOC: usize = 16;
+
+/// Deterministic synthetic corpus: token `j` of document `i` is a pure
+/// function of `(i, j)`, so every run (and every CI machine) measures the
+/// same index.
+fn corpus() -> irengine::Index {
+    let mut b = IndexBuilder::new();
+    for i in 0..DOCS {
+        let mut text = String::new();
+        for j in 0..TOKENS_PER_DOC {
+            // Quadratic mixing spreads doc frequencies across the
+            // vocabulary; the modulo skew makes low word-ids common.
+            let w = (i * 31 + j * j * 7 + i * j) % ((j % 7 + 1) * (VOCAB / 7) + 1);
+            text.push_str(&format!("w{w} "));
+        }
+        b.add(Document::new(format!("d{i}")).field("body", text));
+    }
+    b.build()
+}
+
+/// One measurement: `name`, mean nanoseconds per iteration, iterations.
+struct Sample {
+    name: &'static str,
+    mean_ns: f64,
+    iters: usize,
+}
+
+fn measure(name: &'static str, iters: usize, mut f: impl FnMut()) -> Sample {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!(
+        "scoring/{name}: mean {:.1} us over {iters} iters",
+        mean_ns / 1e3
+    );
+    Sample {
+        name,
+        mean_ns,
+        iters,
+    }
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let iters = |n: usize| if test_mode { 1 } else { n };
+
+    let index = corpus();
+    let scoring = ScoringFunction::default();
+    let searcher = Searcher::new(&index, scoring);
+    // a mixed query: two heavy terms, two mid, one rare, one absent
+    let query: Vec<String> = ["w1", "w3", "w40", "w151", "w700", "zzz"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+
+    let mut samples = Vec::new();
+
+    // Stage 1 — term lookup: dictionary probe + corpus stats + IDF fold,
+    // once per distinct query term.
+    samples.push(measure("term_lookup", iters(200_000), || {
+        for t in &query {
+            if let Some(id) = index.term_id(t) {
+                black_box(index.postings_of(id));
+                black_box(scoring.scorer(TermStats::of(&index, t)));
+            }
+        }
+    }));
+
+    // Stage 2 — accumulation: k = all documents, so dense accumulation over
+    // every matching posting dominates and selection degenerates.
+    let mut scratch = ScoreScratch::new();
+    samples.push(measure("accumulate", iters(2_000), || {
+        black_box(searcher.search_terms_where_with(&query, DOCS, |_| true, &mut scratch));
+    }));
+
+    // Stage 3 — bounded top-k: same accumulation plus the size-10 heap
+    // select; the difference to `accumulate` is the selection saving.
+    samples.push(measure("topk_select", iters(2_000), || {
+        black_box(searcher.search_terms_where_with(&query, 10, |_| true, &mut scratch));
+    }));
+
+    let out = std::env::var("BENCH_SCORING_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scoring.json").to_string()
+    });
+    let mut json = String::from("{\n  \"bench\": \"scoring\",\n");
+    json.push_str(&format!(
+        "  \"corpus\": {{ \"docs\": {DOCS}, \"terms\": {}, \"postings\": {} }},\n",
+        index.num_terms(),
+        index.num_postings()
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {} }}{}\n",
+            s.name,
+            s.mean_ns,
+            s.iters,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).expect("write BENCH_scoring.json");
+    println!("wrote {out}");
+}

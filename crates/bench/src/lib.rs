@@ -10,6 +10,7 @@
 //! | `search_latency` | P1 — query latency of every system |
 //! | `latency` | service — single-query latency vs `search_shards` |
 //! | `throughput` | service — multi-query batch thread sweep + cache |
+//! | `scoring` | kernel — term lookup / accumulate / top-k microbenches, emits `BENCH_scoring.json` |
 //! | `index_build` | P1 — substrate build throughput |
 //! | `ablation_k1k2` | A1 — schema-data k1 × k2 grid |
 //! | `ablation_logsize` | A2 — log-volume sweep |

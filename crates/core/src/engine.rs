@@ -21,9 +21,12 @@
 //!
 //! # Concurrency model
 //!
-//! After `build` the engine is immutable except for two interior-mutable
-//! stores, both thread-safe: the [`FeedbackStore`] (lock-protected click
-//! counts) and the [`crate::cache::QueryCache`] (sharded, lock-per-shard).
+//! After `build` the engine is immutable except for three interior-mutable
+//! stores, all thread-safe: the [`FeedbackStore`] (lock-protected click
+//! counts), the [`crate::cache::QueryCache`] (sharded, lock-per-shard), and
+//! a [`ScratchPool`] of warm scoring buffers (lock-protected free list;
+//! scratches hold no query state between uses, so any thread may take any
+//! buffer).
 //! [`QunitSearchEngine`] is therefore `Send + Sync` (checked at compile
 //! time below): share one engine behind an `Arc` — or plain borrows in
 //! scoped threads — and call [`QunitSearchEngine::search`] /
@@ -48,7 +51,9 @@ use crate::feedback::FeedbackStore;
 use crate::materialize::materialize_all;
 use crate::qunit::{QunitDefinition, QunitInstance};
 use crate::segment::{EntityDictionary, SegmentedQuery, Segmenter};
-use irengine::{Document, IndexBuilder, ScoringFunction, ShardedIndex, ShardedSearcher};
+use irengine::{
+    Document, IndexBuilder, ScoringFunction, ScratchPool, ShardedIndex, ShardedSearcher,
+};
 use relstore::{Database, Result};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -197,6 +202,11 @@ pub struct QunitSearchEngine {
     shard_nanos: Vec<AtomicU64>,
     /// Number of uncached searches that fanned across the shards.
     sharded_searches: AtomicU64,
+    /// Warm dense-accumulator buffers for the scoring kernel. The sharded
+    /// searcher's per-query scoped threads check one out and return it, so
+    /// the `Vec`-indexed score slots survive across queries instead of
+    /// being reallocated per shard per search.
+    scratch_pool: ScratchPool,
 }
 
 // Compile-time proof that the engine is a shareable service: every query
@@ -324,6 +334,7 @@ impl QunitSearchEngine {
             cache,
             shard_nanos,
             sharded_searches: AtomicU64::new(0),
+            scratch_pool: ScratchPool::new(),
         })
     }
 
@@ -365,6 +376,14 @@ impl QunitSearchEngine {
     /// Number of index shards the query path fans out across.
     pub fn num_shards(&self) -> usize {
         self.index.num_shards()
+    }
+
+    /// Total postings across all index shards — the flat CSR entries a
+    /// worst-case query walks; with [`QunitSearchEngine::num_instances`]
+    /// and [`QunitSearchEngine::num_shards`], the index-size story benches
+    /// and operators report against.
+    pub fn num_postings(&self) -> usize {
+        self.index.num_postings()
     }
 
     /// Per-shard scoring-time counters accumulated by every uncached
@@ -583,22 +602,29 @@ impl QunitSearchEngine {
         let searcher = ShardedSearcher::new(&self.index, self.config.scoring);
         let terms = self.index.analyzer().tokenize(query);
         let fetch = k.saturating_mul(10).max(50);
+        let pool = Some(&self.scratch_pool);
         let (mut hits, timings) = match &preferred {
-            Some(defs) => searcher.search_terms_where_timed(&terms, fetch, |doc| {
-                self.index
-                    .external_id(doc)
-                    .and_then(|key| self.instances.get(key))
-                    .map(|inst| defs.iter().any(|d| *d == inst.definition))
-                    .unwrap_or(false)
-            }),
-            None => searcher.search_terms_where_timed(&terms, fetch, |_| true),
+            Some(defs) => searcher.search_terms_where_timed_pooled(
+                &terms,
+                fetch,
+                |doc| {
+                    self.index
+                        .external_id(doc)
+                        .and_then(|key| self.instances.get(key))
+                        .map(|inst| defs.iter().any(|d| *d == inst.definition))
+                        .unwrap_or(false)
+                },
+                pool,
+            ),
+            None => searcher.search_terms_where_timed_pooled(&terms, fetch, |_| true, pool),
         };
         self.sharded_searches.fetch_add(1, Ordering::Relaxed);
         self.note_shard_timings(&timings);
         // If the identified type has no matching instance (a movie with no
         // soundtrack asked for its ost), fall back to the unrestricted pool.
         if hits.is_empty() && preferred.is_some() {
-            let (fallback, timings) = searcher.search_terms_where_timed(&terms, fetch, |_| true);
+            let (fallback, timings) =
+                searcher.search_terms_where_timed_pooled(&terms, fetch, |_| true, pool);
             self.note_shard_timings(&timings);
             hits = fallback;
         }
@@ -841,6 +867,8 @@ mod tests {
             let sharded = build(shards);
             assert_eq!(sharded.num_shards(), shards);
             assert_eq!(sharded.index_fingerprint(), one.index_fingerprint());
+            // partitioning moves postings between shards, never drops any
+            assert_eq!(sharded.num_postings(), one.num_postings());
             for q in &queries {
                 assert_eq!(
                     sharded.search_uncached(q, 10),

@@ -58,8 +58,23 @@ impl Analyzer {
 
     /// Tokenize: split on non-alphanumerics, lower-case, filter stopwords
     /// and short tokens.
+    ///
+    /// Convenience wrapper over [`Analyzer::tokenize_into`] that allocates a
+    /// fresh `Vec` per call; batch and hot-path callers (index builds, query
+    /// loops) should hold a buffer and use `tokenize_into` instead.
     pub fn tokenize(&self, text: &str) -> Vec<String> {
         let mut out = Vec::new();
+        self.tokenize_into(text, &mut out);
+        out
+    }
+
+    /// [`Analyzer::tokenize`] into a caller-owned buffer: `out` is cleared,
+    /// then filled with the tokens of `text`. The buffer's allocation is
+    /// reused across calls, so a loop tokenizing many texts pays for one
+    /// `Vec` total instead of one per text (the `String` tokens themselves
+    /// are still owned by the caller once emitted).
+    pub fn tokenize_into(&self, text: &str, out: &mut Vec<String>) {
+        out.clear();
         let mut cur = String::new();
         for ch in text.chars() {
             if ch.is_alphanumeric() {
@@ -67,13 +82,12 @@ impl Analyzer {
                     cur.push(lc);
                 }
             } else if !cur.is_empty() {
-                self.emit(&mut out, std::mem::take(&mut cur));
+                self.emit(out, std::mem::take(&mut cur));
             }
         }
         if !cur.is_empty() {
-            self.emit(&mut out, cur);
+            self.emit(out, cur);
         }
-        out
     }
 
     fn emit(&self, out: &mut Vec<String>, tok: String) {
@@ -125,6 +139,19 @@ mod tests {
         let a = Analyzer::new();
         assert!(a.tokenize("").is_empty());
         assert!(a.tokenize("!!! --- ???").is_empty());
+    }
+
+    #[test]
+    fn tokenize_into_clears_and_matches_tokenize() {
+        let a = Analyzer::new();
+        let mut buf = vec!["stale".to_string(), "junk".to_string()];
+        a.tokenize_into("the cast of the movie", &mut buf);
+        assert_eq!(buf, a.tokenize("the cast of the movie"));
+        // reuse across texts: previous contents never leak through
+        a.tokenize_into("star wars", &mut buf);
+        assert_eq!(buf, vec!["star", "wars"]);
+        a.tokenize_into("", &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -1,23 +1,115 @@
-//! The inverted index: term dictionary, postings lists, document lengths,
-//! and stored documents.
+//! The inverted index: interned term dictionary, CSR postings, document
+//! lengths, and stored documents.
 //!
 //! Field boosts are applied at index time: a token occurring in a field with
 //! boost `w` contributes `w` to its weighted term frequency. This keeps the
 //! scorer field-agnostic — exactly the "treat qunit instances as plain
 //! documents" stance of the paper.
+//!
+//! # Postings layout
+//!
+//! Postings are stored as one compressed-sparse-row (CSR) structure of
+//! arrays rather than a map of per-term `Vec<Posting>` allocations:
+//!
+//! ```text
+//! term_ids:     "cast" → 0   "star" → 1   "wars" → 2        (dictionary)
+//! terms:        ["cast", "star", "wars"]                    (TermId → term)
+//! offsets:      [0,      2,      5,     6]                  (len = terms+1)
+//!                 \______ \_______ \_____
+//! posting_docs: [ 0, 7,  | 0, 3, 7, | 3 ]                   (flat, doc asc)
+//! posting_tfs:  [1.0,2.0,|1.0,1.0,3.0|1.0]                  (parallel)
+//! ```
+//!
+//! Term `t`'s postings are the contiguous slices
+//! `posting_docs[offsets[t]..offsets[t+1]]` /
+//! `posting_tfs[offsets[t]..offsets[t+1]]`. A query resolves each term
+//! through the dictionary **once**, then walks two flat arrays — no
+//! per-posting hashing, no pointer chasing between heap-allocated lists.
+//! [`TermId`]s are assigned by sorted term order at freeze time, so the
+//! layout (and everything downstream of it) is a pure function of the
+//! indexed content.
 
 use crate::analysis::Analyzer;
 use crate::document::{DocId, Document};
 use crate::shard::ShardedIndex;
 use std::collections::HashMap;
 
-/// One entry of a postings list.
+/// Interned id of an indexed term: its rank in the lexicographically sorted
+/// vocabulary of one [`Index`]. Dense, 0-based, assigned at freeze time —
+/// and therefore **local to its index**: shards of a [`ShardedIndex`] each
+/// intern their own vocabulary, so a `TermId` must never cross shards
+/// (resolve per shard via [`Index::term_id`]).
+pub type TermId = u32;
+
+/// One entry of a postings list (a materialized row of the CSR arrays).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Posting {
     /// Document containing the term.
     pub doc: DocId,
     /// Boost-weighted term frequency.
     pub weighted_tf: f64,
+}
+
+/// A borrowed view of one term's postings: two parallel slices into the
+/// index's CSR arrays.
+///
+/// The hot scoring loop iterates `docs`/`weighted_tfs` directly (two linear
+/// streams, no per-entry indirection); [`Postings::iter`] materializes
+/// [`Posting`] values for callers that want the old row-at-a-time shape.
+#[derive(Debug, Clone, Copy)]
+pub struct Postings<'a> {
+    /// Documents containing the term, ascending.
+    pub docs: &'a [DocId],
+    /// Boost-weighted term frequencies, parallel to `docs`.
+    pub weighted_tfs: &'a [f64],
+}
+
+impl<'a> Postings<'a> {
+    /// The empty postings list (unknown terms resolve to this).
+    pub fn empty() -> Self {
+        Postings {
+            docs: &[],
+            weighted_tfs: &[],
+        }
+    }
+
+    /// Number of postings (the term's document frequency).
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True iff the term occurs nowhere.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The `i`-th posting, if in range.
+    pub fn get(&self, i: usize) -> Option<Posting> {
+        Some(Posting {
+            doc: *self.docs.get(i)?,
+            weighted_tf: self.weighted_tfs[i],
+        })
+    }
+
+    /// Iterate the postings as materialized [`Posting`] values.
+    pub fn iter(&self) -> impl Iterator<Item = Posting> + 'a {
+        (*self).into_iter()
+    }
+}
+
+impl<'a> IntoIterator for Postings<'a> {
+    type Item = Posting;
+    type IntoIter = std::iter::Map<
+        std::iter::Zip<std::slice::Iter<'a, DocId>, std::slice::Iter<'a, f64>>,
+        fn((&DocId, &f64)) -> Posting,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.docs
+            .iter()
+            .zip(self.weighted_tfs)
+            .map(|(&doc, &weighted_tf)| Posting { doc, weighted_tf })
+    }
 }
 
 /// An immutable searchable index. Build via [`IndexBuilder`].
@@ -42,7 +134,27 @@ pub struct Posting {
 #[derive(Debug, Clone)]
 pub struct Index {
     analyzer: Analyzer,
-    postings: HashMap<String, Vec<Posting>>,
+    /// Term dictionary: analyzed term → interned [`TermId`].
+    ///
+    /// Deliberately held *beside* the sorted `terms` Vec even though a
+    /// binary search over it could answer the same lookups: the dictionary
+    /// probe is the entry point of every query term's scoring, and O(1)
+    /// hashing beats ~log2(V) cache-missing string compares there. The
+    /// price is each term String stored twice; vocabulary is the small
+    /// side of an index (postings dominate), so the hot path wins.
+    term_ids: HashMap<String, TermId>,
+    /// Inverse dictionary: `terms[t]` is the term interned as id `t`.
+    /// Sorted — [`TermId`]s are assigned in lexicographic term order.
+    terms: Vec<String>,
+    /// CSR row offsets: term `t`'s postings span
+    /// `offsets[t] .. offsets[t + 1]` in the flat arrays below.
+    /// `offsets.len() == terms.len() + 1`; `u32` bounds the index at 4 B
+    /// postings (asserted in [`IndexBuilder::build`]).
+    offsets: Vec<u32>,
+    /// All postings' doc ids, grouped by term, ascending within a term.
+    posting_docs: Vec<DocId>,
+    /// All postings' weighted term frequencies, parallel to `posting_docs`.
+    posting_tfs: Vec<f64>,
     doc_lengths: Vec<f64>,
     avg_doc_length: f64,
     docs: Vec<Document>,
@@ -60,12 +172,50 @@ impl Index {
 
     /// Vocabulary size (distinct terms).
     pub fn num_terms(&self) -> usize {
-        self.postings.len()
+        self.terms.len()
     }
 
-    /// Postings for a term (already analyzed form).
-    pub fn postings(&self, term: &str) -> &[Posting] {
-        self.postings.get(term).map(Vec::as_slice).unwrap_or(&[])
+    /// Total number of postings across all terms (the CSR arrays' length).
+    pub fn num_postings(&self) -> usize {
+        self.posting_docs.len()
+    }
+
+    /// Interned id of a term (already analyzed form), if indexed. This is
+    /// the **one** hash lookup a query term pays; everything after it is
+    /// array indexing.
+    pub fn term_id(&self, term: &str) -> Option<TermId> {
+        self.term_ids.get(term).copied()
+    }
+
+    /// The term interned as `id`, if in range.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id as usize).map(String::as_str)
+    }
+
+    /// Postings for a term (already analyzed form): dictionary lookup +
+    /// [`Index::postings_of`]. Unknown terms yield the empty view.
+    pub fn postings(&self, term: &str) -> Postings<'_> {
+        match self.term_id(term) {
+            Some(id) => self.postings_of(id),
+            None => Postings::empty(),
+        }
+    }
+
+    /// Postings for an interned term id: two parallel subslices of the CSR
+    /// arrays, no hashing. Out-of-range ids yield the empty view (ids only
+    /// come from [`Index::term_id`], but total beats panicking).
+    pub fn postings_of(&self, id: TermId) -> Postings<'_> {
+        let t = id as usize;
+        // (compare against terms.len(), not offsets.len() - 1 or t + 1:
+        // both alternatives overflow at the extremes on 32-bit targets)
+        if t >= self.terms.len() {
+            return Postings::empty();
+        }
+        let (lo, hi) = (self.offsets[t] as usize, self.offsets[t + 1] as usize);
+        Postings {
+            docs: &self.posting_docs[lo..hi],
+            weighted_tfs: &self.posting_tfs[lo..hi],
+        }
     }
 
     /// Document frequency of a term.
@@ -82,6 +232,12 @@ impl Index {
     /// global ids, so both id spaces degrade identically on bad input.
     pub fn doc_length(&self, doc: DocId) -> f64 {
         self.doc_lengths.get(doc as usize).copied().unwrap_or(0.0)
+    }
+
+    /// All document lengths, indexed by local [`DocId`] (the scoring kernel
+    /// reads this directly: postings only ever name in-range docs).
+    pub fn doc_lengths(&self) -> &[f64] {
+        &self.doc_lengths
     }
 
     /// Mean document length (0 for an empty index).
@@ -109,10 +265,9 @@ impl Index {
         &self.analyzer
     }
 
-    /// Every indexed term, in arbitrary order (used by the content
-    /// fingerprint, which sorts them itself).
+    /// Every indexed term, in [`TermId`] order (lexicographically sorted).
     pub fn terms(&self) -> impl Iterator<Item = &str> {
-        self.postings.keys().map(String::as_str)
+        self.terms.iter().map(String::as_str)
     }
 }
 
@@ -196,40 +351,80 @@ impl IndexBuilder {
         ShardedIndex::from_shards(parts.into_iter().map(IndexBuilder::build).collect())
     }
 
-    /// Freeze into a searchable index.
+    /// Freeze into a searchable index: accumulate per-term postings, then
+    /// intern the vocabulary in sorted order and lay the postings out as
+    /// one CSR structure of arrays (see the module docs for the layout).
     pub fn build(self) -> Index {
-        let mut postings: HashMap<String, Vec<Posting>> = HashMap::new();
+        // Transient per-term lists; flattened into the CSR arrays below.
+        let mut lists: HashMap<String, Vec<(DocId, f64)>> = HashMap::new();
         let mut doc_lengths = Vec::with_capacity(self.docs.len());
         let mut external_to_doc = HashMap::with_capacity(self.docs.len());
 
+        // Both per-document scratch buffers survive the loop: `tokens` is
+        // refilled in place by tokenize_into, `tf` is cleared but keeps its
+        // table allocation.
+        let mut tokens: Vec<String> = Vec::new();
+        let mut tf: HashMap<String, f64> = HashMap::new();
         for (i, doc) in self.docs.iter().enumerate() {
             let doc_id = i as DocId;
             external_to_doc
                 .entry(doc.external_id.clone())
                 .or_insert(doc_id);
 
-            let mut tf: HashMap<String, f64> = HashMap::new();
             let mut length = 0.0;
             for (field, text) in &doc.fields {
                 let boost = self.field_boosts.get(field).copied().unwrap_or(1.0);
-                for tok in self.analyzer.tokenize(text) {
+                self.analyzer.tokenize_into(text, &mut tokens);
+                for tok in tokens.drain(..) {
                     *tf.entry(tok).or_insert(0.0) += boost;
                     length += boost;
                 }
             }
             doc_lengths.push(length);
-            for (term, weighted_tf) in tf {
-                postings.entry(term).or_default().push(Posting {
-                    doc: doc_id,
-                    weighted_tf,
-                });
+            for (term, &weighted_tf) in &tf {
+                match lists.get_mut(term) {
+                    Some(list) => list.push((doc_id, weighted_tf)),
+                    None => {
+                        lists.insert(term.clone(), vec![(doc_id, weighted_tf)]);
+                    }
+                }
             }
+            tf.clear();
         }
-        // Postings arrive in doc-id order because we iterate docs in order,
-        // but make the invariant explicit for future mutation paths.
-        for list in postings.values_mut() {
-            list.sort_by_key(|p| p.doc);
+
+        // Intern terms in sorted order: TermId assignment must be a pure
+        // function of the content (HashMap iteration order is not), and the
+        // sort clusters prefix-sharing terms' postings for locality.
+        let mut entries: Vec<(String, Vec<(DocId, f64)>)> = lists.into_iter().collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+
+        let total: usize = entries.iter().map(|(_, l)| l.len()).sum();
+        assert!(
+            total <= u32::MAX as usize,
+            "CSR offsets are u32: index exceeds 4B postings"
+        );
+        let mut term_ids = HashMap::with_capacity(entries.len());
+        let mut terms = Vec::with_capacity(entries.len());
+        let mut offsets = Vec::with_capacity(entries.len() + 1);
+        let mut posting_docs = Vec::with_capacity(total);
+        let mut posting_tfs = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for (term, mut list) in entries {
+            term_ids.insert(term.clone(), terms.len() as TermId);
+            terms.push(term);
+            // Documents were scanned in id order, so each list arrives
+            // sorted by doc — but the binary searches in score_doc and the
+            // ascending-docs contract of `Postings` lean on this, so keep
+            // enforcing it (O(n) on already-sorted input) rather than
+            // trusting future mutation paths to preserve it.
+            list.sort_unstable_by_key(|&(doc, _)| doc);
+            for (doc, weighted_tf) in list {
+                posting_docs.push(doc);
+                posting_tfs.push(weighted_tf);
+            }
+            offsets.push(posting_docs.len() as u32);
         }
+
         let avg_doc_length = if doc_lengths.is_empty() {
             0.0
         } else {
@@ -237,7 +432,11 @@ impl IndexBuilder {
         };
         Index {
             analyzer: self.analyzer,
-            postings,
+            term_ids,
+            terms,
+            offsets,
+            posting_docs,
+            posting_tfs,
             doc_lengths,
             avg_doc_length,
             docs: self.docs,
@@ -274,7 +473,43 @@ mod tests {
     fn postings_sorted_by_doc() {
         let ix = small_index();
         let ps = ix.postings("star");
-        assert!(ps.windows(2).all(|w| w[0].doc < w[1].doc));
+        assert!(ps.docs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn term_ids_are_sorted_dense_and_invertible() {
+        let ix = small_index();
+        // vocabulary: cast drama ocean star trek wars
+        assert_eq!(ix.num_terms(), 6);
+        let terms: Vec<&str> = ix.terms().collect();
+        let mut sorted = terms.clone();
+        sorted.sort_unstable();
+        assert_eq!(terms, sorted, "TermIds follow lexicographic order");
+        for (expect, term) in terms.iter().enumerate() {
+            let id = ix.term_id(term).unwrap();
+            assert_eq!(id as usize, expect);
+            assert_eq!(ix.term(id), Some(*term));
+        }
+        assert_eq!(ix.term_id("ghost"), None);
+        assert_eq!(ix.term(999), None);
+    }
+
+    #[test]
+    fn csr_view_agrees_with_term_lookup() {
+        let ix = small_index();
+        assert_eq!(ix.num_postings(), 7); // 3 + 2 + 2 tokens, all distinct per doc
+        for term in ["star", "trek", "cast"] {
+            let by_name = ix.postings(term);
+            let by_id = ix.postings_of(ix.term_id(term).unwrap());
+            assert_eq!(by_name.docs, by_id.docs);
+            assert_eq!(by_name.weighted_tfs, by_id.weighted_tfs);
+            assert_eq!(by_name.len(), ix.doc_freq(term));
+            for (i, p) in by_name.iter().enumerate() {
+                assert_eq!(by_name.get(i), Some(p));
+            }
+            assert_eq!(by_name.get(by_name.len()), None);
+        }
+        assert!(ix.postings_of(TermId::MAX).is_empty());
     }
 
     #[test]
@@ -283,6 +518,7 @@ mod tests {
         assert_eq!(ix.doc_length(0), 3.0);
         assert_eq!(ix.doc_length(1), 2.0);
         assert!((ix.avg_doc_length() - (3.0 + 2.0 + 2.0) / 3.0).abs() < 1e-12);
+        assert_eq!(ix.doc_lengths(), &[3.0, 2.0, 2.0]);
     }
 
     #[test]
@@ -308,7 +544,7 @@ mod tests {
         let ix = b.build();
         let p = ix.postings("star");
         assert_eq!(p.len(), 1);
-        assert_eq!(p[0].weighted_tf, 4.0);
+        assert_eq!(p.weighted_tfs[0], 4.0);
         assert_eq!(ix.doc_length(0), 4.0);
     }
 
@@ -316,6 +552,8 @@ mod tests {
     fn empty_index() {
         let ix = IndexBuilder::new().build();
         assert_eq!(ix.num_docs(), 0);
+        assert_eq!(ix.num_terms(), 0);
+        assert_eq!(ix.num_postings(), 0);
         assert_eq!(ix.avg_doc_length(), 0.0);
         assert!(ix.postings("x").is_empty());
     }

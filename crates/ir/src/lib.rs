@@ -21,6 +21,13 @@
 //! ids, order, and scores to the last bit — to an unsharded search (see
 //! [`shard`] for the determinism contract).
 //!
+//! Scoring kernel: postings live in an interned-term CSR layout
+//! ([`index`] module docs) and queries run resolve-once / dense-accumulate
+//! / bounded-top-k ([`search`] module docs), with scratch buffers reused
+//! across queries ([`ScoreScratch`], [`ScratchPool`]). The flat kernel is
+//! bit-identical to the naive reference scorer — that equivalence is
+//! property-tested and gated in CI.
+//!
 //! ```
 //! use irengine::{Document, IndexBuilder, Searcher, ScoringFunction};
 //!
@@ -44,8 +51,8 @@ pub mod snippet;
 
 pub use analysis::Analyzer;
 pub use document::{DocId, Document};
-pub use index::{Index, IndexBuilder, Posting};
-pub use score::{ScoringFunction, TermStats};
-pub use search::{Hit, Searcher};
+pub use index::{Index, IndexBuilder, Posting, Postings, TermId};
+pub use score::{ScoringFunction, TermScorer, TermStats};
+pub use search::{Hit, ScoreScratch, ScratchPool, Searcher};
 pub use shard::{ShardedIndex, ShardedSearcher};
 pub use snippet::{extract as extract_snippet, Snippet};

@@ -38,6 +38,49 @@ impl TermStats {
     }
 }
 
+/// A scoring function with one term's corpus statistics folded in: the IDF
+/// (an `ln()`) and the average document length are computed once here, then
+/// [`TermScorer::score`] runs per posting with no transcendental math and no
+/// statistics lookups.
+///
+/// Construct via [`ScoringFunction::scorer`]. The per-posting arithmetic is
+/// **exactly** the tail of [`ScoringFunction::score_term_stats`] — that
+/// method is implemented on top of this type — so hoisting the IDF out of a
+/// postings loop cannot change a single score bit. Only work that yields the
+/// same bits at any hoist point (pure functions of per-term inputs) may move
+/// in here; anything involving `doc_length` or `weighted_tf` must stay in
+/// [`TermScorer::score`] unreassociated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TermScorer {
+    function: ScoringFunction,
+    idf: f64,
+    avg_doc_length: f64,
+}
+
+impl TermScorer {
+    /// Score one posting: the document's boost-weighted length and the
+    /// term's boost-weighted frequency in it.
+    #[inline]
+    pub fn score(&self, doc_length: f64, weighted_tf: f64) -> f64 {
+        match self.function {
+            ScoringFunction::Bm25 { k1, b } => {
+                let avg = self.avg_doc_length.max(f64::MIN_POSITIVE);
+                let norm = k1 * (1.0 - b + b * doc_length / avg);
+                self.idf * weighted_tf * (k1 + 1.0) / (weighted_tf + norm)
+            }
+            ScoringFunction::TfIdf => {
+                let dl = doc_length.max(1.0);
+                self.idf * weighted_tf / dl.sqrt()
+            }
+        }
+    }
+
+    /// The precomputed smoothed IDF.
+    pub fn idf(&self) -> f64 {
+        self.idf
+    }
+}
+
 /// Which ranking model to use.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ScoringFunction {
@@ -73,28 +116,30 @@ impl ScoringFunction {
         Self::idf_from(index.num_docs(), index.doc_freq(term))
     }
 
+    /// Fold `stats` into a per-term [`TermScorer`], paying the IDF `ln()`
+    /// once up front. The hot scoring loops resolve each query term to a
+    /// scorer before walking its postings.
+    pub fn scorer(&self, stats: TermStats) -> TermScorer {
+        TermScorer {
+            function: *self,
+            idf: Self::idf_from(stats.num_docs, stats.doc_freq),
+            avg_doc_length: stats.avg_doc_length,
+        }
+    }
+
     /// Score one (term, document) pair from explicit statistics: the term's
     /// corpus-level [`TermStats`], the document's boost-weighted length, and
     /// the term's boost-weighted frequency in the document.
     ///
-    /// This is the primitive both search paths share. The arithmetic is a
-    /// pure function of its inputs, so feeding corpus-global stats with a
+    /// This is the primitive both search paths share (implemented as
+    /// [`ScoringFunction::scorer`] + [`TermScorer::score`], so batched and
+    /// one-shot scoring use literally the same arithmetic). It is a pure
+    /// function of its inputs, so feeding corpus-global stats with a
     /// shard-local `doc_length` yields a score bit-identical to scoring the
     /// same document in one big index (the sharded-search determinism
     /// contract relies on exactly this).
     pub fn score_term_stats(&self, stats: TermStats, doc_length: f64, weighted_tf: f64) -> f64 {
-        let idf = Self::idf_from(stats.num_docs, stats.doc_freq);
-        match *self {
-            ScoringFunction::Bm25 { k1, b } => {
-                let avg = stats.avg_doc_length.max(f64::MIN_POSITIVE);
-                let norm = k1 * (1.0 - b + b * doc_length / avg);
-                idf * weighted_tf * (k1 + 1.0) / (weighted_tf + norm)
-            }
-            ScoringFunction::TfIdf => {
-                let dl = doc_length.max(1.0);
-                idf * weighted_tf / dl.sqrt()
-            }
-        }
+        self.scorer(stats).score(doc_length, weighted_tf)
     }
 
     /// Score one (term, document) pair given the term's weighted tf, reading
@@ -187,6 +232,40 @@ mod tests {
                     );
                     // bit-identical, not just approximately equal
                     assert_eq!(via_index.to_bits(), via_stats.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hoisted_scorer_matches_one_shot_path_exactly() {
+        // A scorer built once per term must reproduce score_term_stats to
+        // the bit for every posting it is later applied to — this is the
+        // contract that lets the kernel hoist the IDF out of the loop.
+        let ix = index_with(&[
+            "star wars cast",
+            "star trek",
+            "ocean drama",
+            "star star star",
+        ]);
+        for f in [
+            ScoringFunction::default(),
+            ScoringFunction::Bm25 { k1: 0.4, b: 0.1 },
+            ScoringFunction::TfIdf,
+        ] {
+            for term in ["star", "ocean", "drama", "zzz"] {
+                let stats = TermStats::of(&ix, term);
+                let scorer = f.scorer(stats);
+                assert_eq!(
+                    scorer.idf().to_bits(),
+                    ScoringFunction::idf(&ix, term).to_bits()
+                );
+                for doc in 0..ix.num_docs() as DocId {
+                    for tf in [1.0, 2.0, 7.5] {
+                        let hoisted = scorer.score(ix.doc_length(doc), tf);
+                        let one_shot = f.score_term_stats(stats, ix.doc_length(doc), tf);
+                        assert_eq!(hoisted.to_bits(), one_shot.to_bits());
+                    }
                 }
             }
         }

@@ -1,9 +1,29 @@
-//! Top-k ranked retrieval over an [`Index`].
+//! Top-k ranked retrieval over an [`Index`]: the flat scoring kernel.
+//!
+//! One query runs in three dense passes, shared verbatim by the unsharded
+//! [`Searcher`] and the per-shard loop of [`crate::ShardedSearcher`]:
+//!
+//! 1. **Resolve** each distinct query term through the dictionary once
+//!    ([`Index::term_id`]) and fold its corpus statistics into a
+//!    [`TermScorer`] (the IDF `ln()` is paid here, not per posting).
+//! 2. **Accumulate** over the term's CSR postings slices into a dense
+//!    [`ScoreScratch`]: `Vec`-indexed score/matched-count slots with epoch
+//!    tags, so the buffer is reused across queries without clearing.
+//! 3. **Select** the top `k` with a bounded heap ordered by `rank_hits`
+//!    instead of sorting every matched document.
+//!
+//! Every floating-point addition happens in the same term-order/doc-order
+//! sequence as the pre-CSR kernel, and `rank_hits` is a total order on
+//! distinct documents, so results are bit-identical to the naive
+//! HashMap-accumulate/sort-everything reference (property-tested in
+//! `tests/prop_ir.rs` and held by the CI determinism gate).
 
 use crate::document::DocId;
-use crate::index::Index;
-use crate::score::ScoringFunction;
-use std::collections::HashMap;
+use crate::index::{Index, TermId};
+use crate::score::{ScoringFunction, TermScorer, TermStats};
+use std::cell::RefCell;
+use std::collections::BinaryHeap;
+use std::sync::Mutex;
 
 /// A ranked search hit.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,7 +40,9 @@ pub struct Hit {
 ///
 /// A `Searcher` is a stateless view (`&Index` + a copyable scoring config):
 /// construct one per thread, or share one across threads — both are safe
-/// and equivalent. Asserted `Send + Sync` below.
+/// and equivalent. Asserted `Send + Sync` below. Mutable query state lives
+/// in a [`ScoreScratch`] — thread-local by default, caller-owned via
+/// [`Searcher::search_terms_where_with`].
 #[derive(Debug, Clone)]
 pub struct Searcher<'a> {
     index: &'a Index,
@@ -29,6 +51,7 @@ pub struct Searcher<'a> {
 
 const fn assert_send_sync<T: Send + Sync>() {}
 const _: () = assert_send_sync::<Searcher<'static>>();
+const _: () = assert_send_sync::<ScratchPool>();
 
 /// De-duplicate query terms in **first-occurrence order**, remembering
 /// multiplicity (a repeated query term contributes proportionally).
@@ -52,13 +75,263 @@ pub(crate) fn dedup_terms(terms: &[String]) -> Vec<(&str, usize)> {
 }
 
 /// The ranking order of hits: descending score, ties broken by ascending
-/// doc id. Shared by the unsharded sort and the sharded per-shard sort +
-/// top-k merge, so both paths order identical score sets identically.
+/// doc id. Shared by the unsharded selection and the sharded per-shard
+/// selection + top-k merge, so both paths order identical score sets
+/// identically. Total on distinct documents — the doc-id tiebreak means no
+/// two hits ever compare `Equal` — which is what makes bounded top-k
+/// selection equivalent to sort-everything-then-truncate.
 pub(crate) fn rank_hits(a: &Hit, b: &Hit) -> std::cmp::Ordering {
     b.score
         .partial_cmp(&a.score)
         .unwrap_or(std::cmp::Ordering::Equal)
         .then(a.doc.cmp(&b.doc))
+}
+
+/// One document's accumulator slot (see [`ScoreScratch`]). 16 bytes, so a
+/// doc's score, match count, and liveness tag share a cache line touch.
+#[derive(Debug, Clone, Copy, Default)]
+struct DocAcc {
+    score: f64,
+    matched: u32,
+    /// Slot is live iff this equals the scratch's current epoch.
+    epoch: u32,
+}
+
+/// Reusable dense accumulation state for the scoring kernel.
+///
+/// Holds one `DocAcc` slot per document, indexed directly by local
+/// [`DocId`] — no hashing — plus the list of documents touched by the
+/// current query. Instead of zeroing `num_docs` slots per query, each query
+/// bumps an **epoch**: a slot whose tag differs from the current epoch is
+/// logically empty and is re-initialized on first touch. On the (once per
+/// 4 billion queries) epoch wrap every tag is reset for real.
+///
+/// # Reuse rules
+///
+/// - A scratch may be reused across queries, indexes, and shards of any
+///   size (it grows to the largest `num_docs` it has served, and never
+///   shrinks).
+/// - It is plain mutable state: one query at a time per scratch. Share
+///   scratches across threads through a [`ScratchPool`], not `&mut`.
+/// - Droppable at any time; it caches no index content, only capacity.
+#[derive(Debug, Default)]
+pub struct ScoreScratch {
+    acc: Vec<DocAcc>,
+    touched: Vec<DocId>,
+    epoch: u32,
+}
+
+impl ScoreScratch {
+    /// An empty scratch; it sizes itself to each query's index.
+    pub fn new() -> Self {
+        ScoreScratch::default()
+    }
+
+    /// Start a query over `num_docs` documents: grow if needed, invalidate
+    /// every slot by bumping the epoch, forget the touched list.
+    fn begin(&mut self, num_docs: usize) {
+        if self.acc.len() < num_docs {
+            self.acc.resize(num_docs, DocAcc::default());
+        }
+        if self.epoch == u32::MAX {
+            // Wrap: tags from 4B queries ago could collide with a fresh
+            // epoch, so pay one full reset and restart the cycle.
+            self.acc.fill(DocAcc::default());
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.touched.clear();
+    }
+
+    /// Add one posting's contribution to `doc` (first touch initializes).
+    #[inline]
+    fn add(&mut self, doc: DocId, score: f64) {
+        let slot = &mut self.acc[doc as usize];
+        if slot.epoch == self.epoch {
+            slot.score += score;
+            slot.matched += 1;
+        } else {
+            *slot = DocAcc {
+                score,
+                matched: 1,
+                epoch: self.epoch,
+            };
+            self.touched.push(doc);
+        }
+    }
+}
+
+/// A lock-protected free list of [`ScoreScratch`] buffers for callers whose
+/// worker threads are too short-lived to amortize a thread-local (the
+/// sharded searcher spawns scoped threads per query; an engine owning a
+/// pool lets those threads inherit warm buffers instead of reallocating).
+///
+/// `take` pops a warm scratch (or makes a cold one), `put` returns it. The
+/// lock is held only for the pop/push, never while scoring.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<ScoreScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool; buffers are created on demand and kept on `put`.
+    pub fn new() -> Self {
+        ScratchPool::default()
+    }
+
+    /// Pop a scratch, or create a fresh one if the pool is empty (also the
+    /// fallback if the lock was poisoned by a panicking scorer thread —
+    /// scratches hold no cross-query state, so a fresh one is always safe).
+    pub fn take(&self) -> ScoreScratch {
+        self.free
+            .lock()
+            .map(|mut v| v.pop().unwrap_or_default())
+            .unwrap_or_default()
+    }
+
+    /// Return a scratch for the next `take` to reuse warm.
+    pub fn put(&self, scratch: ScoreScratch) {
+        if let Ok(mut v) = self.free.lock() {
+            v.push(scratch);
+        }
+    }
+}
+
+thread_local! {
+    /// Default scratch for the convenience APIs that don't thread one
+    /// through: long-lived caller threads get cross-query buffer reuse for
+    /// free. (Scoped shard threads die per query — pooled callers should
+    /// pass a [`ScratchPool`] instead.)
+    static THREAD_SCRATCH: RefCell<ScoreScratch> = RefCell::new(ScoreScratch::new());
+}
+
+/// Run `f` with the calling thread's default scratch. Falls back to a fresh
+/// buffer if the thread-local is already borrowed (a filter callback that
+/// recursively searches on the same thread must not panic the outer query).
+pub(crate) fn with_thread_scratch<R>(f: impl FnOnce(&mut ScoreScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut ScoreScratch::new()),
+    })
+}
+
+/// Bounded top-k selection under [`rank_hits`]: a max-heap of the k kept
+/// hits whose top is the *worst* kept hit, so each candidate costs O(log k)
+/// and non-contenders cost O(1) — versus sorting all `m` matches at
+/// O(m log m). Because `rank_hits` totally orders distinct documents, the
+/// selected set and its final sorted order are exactly the full sort's
+/// first k entries.
+struct TopK {
+    k: usize,
+    heap: BinaryHeap<WorstFirst>,
+}
+
+/// Heap wrapper ordering hits so the max-heap's top is the worst-ranked.
+struct WorstFirst(Hit);
+
+impl PartialEq for WorstFirst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for WorstFirst {}
+
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // rank_hits: Less = ranks first. Greater = ranks later = "larger"
+        // here, so BinaryHeap::peek is the worst kept hit.
+        rank_hits(&self.0, &other.0)
+    }
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        TopK {
+            k,
+            // k can be usize::MAX-ish ("give me everything"); don't let a
+            // huge request pre-allocate a huge heap.
+            heap: BinaryHeap::with_capacity(k.min(1024)),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, hit: Hit) {
+        if self.heap.len() < self.k {
+            self.heap.push(WorstFirst(hit));
+        } else if let Some(worst) = self.heap.peek() {
+            if rank_hits(&hit, &worst.0) == std::cmp::Ordering::Less {
+                self.heap.pop();
+                self.heap.push(WorstFirst(hit));
+            }
+        }
+    }
+
+    /// The kept hits, best first.
+    fn into_sorted_hits(self) -> Vec<Hit> {
+        let mut hits: Vec<Hit> = self.heap.into_iter().map(|w| w.0).collect();
+        hits.sort_by(rank_hits);
+        hits
+    }
+}
+
+/// The scoring kernel both search paths share: accumulate the resolved
+/// terms' postings into `scratch`, then select the top `k` hits among
+/// documents accepted by `filter`.
+///
+/// `terms` holds each distinct query term **already resolved against this
+/// index's dictionary** (`None` = not in its vocabulary) with its query
+/// multiplicity — the caller pays the one hash probe per term, this loop
+/// pays none. `scorers` is parallel to `terms` (one [`TermScorer`] per
+/// term, statistics already folded in — the caller decides whether those
+/// are index-local or corpus-global). `to_global` maps the index's local
+/// doc ids into the caller's id space (identity for an unsharded index);
+/// `filter` sees mapped ids, as do the returned hits.
+pub(crate) fn score_terms_into(
+    index: &Index,
+    terms: &[(Option<TermId>, usize)],
+    scorers: &[TermScorer],
+    k: usize,
+    scratch: &mut ScoreScratch,
+    to_global: impl Fn(DocId) -> DocId,
+    filter: impl Fn(DocId) -> bool,
+) -> Vec<Hit> {
+    scratch.begin(index.num_docs());
+    let lengths = index.doc_lengths();
+    for ((tid, qtf), scorer) in terms.iter().zip(scorers) {
+        // Unknown terms have no postings.
+        let Some(tid) = *tid else {
+            continue;
+        };
+        let postings = index.postings_of(tid);
+        let qtf = *qtf as f64;
+        // Two parallel flat slices: docs ascending, tfs matched by index.
+        for (&doc, &weighted_tf) in postings.docs.iter().zip(postings.weighted_tfs) {
+            let score = scorer.score(lengths[doc as usize], weighted_tf) * qtf;
+            scratch.add(doc, score);
+        }
+    }
+
+    let mut top = TopK::new(k);
+    for &doc in &scratch.touched {
+        let global = to_global(doc);
+        if !filter(global) {
+            continue;
+        }
+        let slot = &scratch.acc[doc as usize];
+        top.push(Hit {
+            doc: global,
+            score: slot.score,
+            matched_terms: slot.matched as usize,
+        });
+    }
+    top.into_sorted_hits()
 }
 
 impl<'a> Searcher<'a> {
@@ -94,41 +367,49 @@ impl<'a> Searcher<'a> {
         self.search_terms_where(&terms, k, filter)
     }
 
-    /// [`Searcher::search_where`] with pre-analyzed terms.
+    /// [`Searcher::search_where`] with pre-analyzed terms. Uses the calling
+    /// thread's default [`ScoreScratch`].
     pub fn search_terms_where(
         &self,
         terms: &[String],
         k: usize,
         filter: impl Fn(DocId) -> bool,
     ) -> Vec<Hit> {
+        with_thread_scratch(|scratch| self.search_terms_where_with(terms, k, filter, scratch))
+    }
+
+    /// [`Searcher::search_terms_where`] with a caller-owned scratch buffer
+    /// (see [`ScoreScratch`] for the reuse rules) — batch drivers reuse one
+    /// scratch across their whole workload.
+    pub fn search_terms_where_with(
+        &self,
+        terms: &[String],
+        k: usize,
+        filter: impl Fn(DocId) -> bool,
+        scratch: &mut ScoreScratch,
+    ) -> Vec<Hit> {
         if k == 0 || terms.is_empty() {
             return Vec::new();
         }
-        // Accumulate scores document-at-a-time across postings lists.
-        let mut acc: HashMap<DocId, (f64, usize)> = HashMap::new();
-        for (term, qtf) in dedup_terms(terms) {
-            for p in self.index.postings(term) {
-                let s = self
-                    .scoring
-                    .score_term(self.index, term, p.doc, p.weighted_tf)
-                    * qtf as f64;
-                let e = acc.entry(p.doc).or_insert((0.0, 0));
-                e.0 += s;
-                e.1 += 1;
-            }
+        let deduped = dedup_terms(terms);
+        // One dictionary probe per distinct term: the resolved id yields
+        // both the postings (for the kernel) and the document frequency
+        // (for the scorer) — the same statistics `TermStats::of` reads.
+        let num_docs = self.index.num_docs();
+        let avg_doc_length = self.index.avg_doc_length();
+        let mut resolved = Vec::with_capacity(deduped.len());
+        let mut scorers = Vec::with_capacity(deduped.len());
+        for (term, qtf) in &deduped {
+            let id = self.index.term_id(term);
+            let doc_freq = id.map_or(0, |id| self.index.postings_of(id).len());
+            resolved.push((id, *qtf));
+            scorers.push(self.scoring.scorer(TermStats {
+                num_docs,
+                doc_freq,
+                avg_doc_length,
+            }));
         }
-        let mut hits: Vec<Hit> = acc
-            .into_iter()
-            .filter(|(doc, _)| filter(*doc))
-            .map(|(doc, (score, matched_terms))| Hit {
-                doc,
-                score,
-                matched_terms,
-            })
-            .collect();
-        hits.sort_by(rank_hits);
-        hits.truncate(k);
-        hits
+        score_terms_into(self.index, &resolved, &scorers, k, scratch, |d| d, filter)
     }
 
     /// Convenience: the single best hit, if any.
@@ -144,15 +425,13 @@ impl<'a> Searcher<'a> {
         let mut score = 0.0;
         let mut matched_terms = 0;
         for (term, qtf) in dedup_terms(&terms) {
-            if let Ok(i) = self
-                .index
-                .postings(term)
-                .binary_search_by(|p| p.doc.cmp(&doc))
-            {
-                let p = self.index.postings(term)[i];
+            // Resolve the postings view once per term; the doc probe is a
+            // binary search over the flat doc-id slice.
+            let postings = self.index.postings(term);
+            if let Ok(i) = postings.docs.binary_search(&doc) {
                 score += self
                     .scoring
-                    .score_term(self.index, term, doc, p.weighted_tf)
+                    .score_term(self.index, term, doc, postings.weighted_tfs[i])
                     * qtf as f64;
                 matched_terms += 1;
             }
@@ -223,6 +502,16 @@ mod tests {
     }
 
     #[test]
+    fn bounded_topk_equals_full_ranking_prefix() {
+        let ix = movie_index();
+        let s = Searcher::new(&ix, ScoringFunction::default());
+        let all = s.search("star wars george", 100);
+        for k in 1..=all.len() {
+            assert_eq!(s.search("star wars george", k), all[..k], "k={k}");
+        }
+    }
+
+    #[test]
     fn zero_k_and_empty_query() {
         let ix = movie_index();
         let s = Searcher::new(&ix, ScoringFunction::default());
@@ -236,6 +525,61 @@ mod tests {
         let ix = movie_index();
         let s = Searcher::new(&ix, ScoringFunction::default());
         assert!(s.search("zzzz qqqq", 10).is_empty());
+    }
+
+    #[test]
+    fn explicit_scratch_reuse_matches_thread_local_path() {
+        let ix = movie_index();
+        let s = Searcher::new(&ix, ScoringFunction::default());
+        let mut scratch = ScoreScratch::new();
+        let terms = ix.analyzer().tokenize("star wars");
+        let expected = s.search_terms(&terms, 10);
+        // the same scratch serves many queries (and a different index size)
+        for _ in 0..3 {
+            let got = s.search_terms_where_with(&terms, 10, |_| true, &mut scratch);
+            assert_eq!(got, expected);
+        }
+        let mut small = IndexBuilder::new();
+        small.add(Document::new("x").field("body", "star"));
+        let small = small.build();
+        let s2 = Searcher::new(&small, ScoringFunction::default());
+        let t2 = small.analyzer().tokenize("star");
+        assert_eq!(
+            s2.search_terms_where_with(&t2, 5, |_| true, &mut scratch),
+            s2.search_terms(&t2, 5)
+        );
+    }
+
+    #[test]
+    fn epoch_wrap_resets_slots() {
+        let ix = movie_index();
+        let s = Searcher::new(&ix, ScoringFunction::default());
+        let terms = ix.analyzer().tokenize("star wars");
+        let expected = s.search_terms(&terms, 10);
+        let mut scratch = ScoreScratch::new();
+        // Force the wrap path: pretend 2^32 - 1 queries already ran.
+        scratch.epoch = u32::MAX - 1;
+        let a = s.search_terms_where_with(&terms, 10, |_| true, &mut scratch);
+        // this query hits epoch == u32::MAX, the next one wraps
+        let b = s.search_terms_where_with(&terms, 10, |_| true, &mut scratch);
+        let c = s.search_terms_where_with(&terms, 10, |_| true, &mut scratch);
+        assert_eq!(a, expected);
+        assert_eq!(b, expected);
+        assert_eq!(c, expected);
+        // a ran at u32::MAX, b triggered the reset (epoch 1), c is epoch 2
+        assert_eq!(scratch.epoch, 2);
+    }
+
+    #[test]
+    fn scratch_pool_round_trips_buffers() {
+        let pool = ScratchPool::new();
+        let mut a = pool.take();
+        a.begin(64); // warm it
+        pool.put(a);
+        let b = pool.take(); // the warm buffer comes back
+        assert_eq!(b.acc.len(), 64);
+        let c = pool.take(); // pool empty again → fresh
+        assert_eq!(c.acc.len(), 0);
     }
 
     #[test]
@@ -274,5 +618,7 @@ mod tests {
         let hits = s.search("same", 10);
         assert_eq!(ix.external_id(hits[0].doc), Some("a"));
         assert_eq!(ix.external_id(hits[1].doc), Some("b"));
+        // tie + k=1 keeps the lower doc id, same as the full ranking
+        assert_eq!(s.search("same", 1), hits[..1]);
     }
 }

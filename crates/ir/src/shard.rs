@@ -35,10 +35,11 @@
 use crate::analysis::Analyzer;
 use crate::document::{DocId, Document};
 use crate::index::Index;
-use crate::score::{ScoringFunction, TermStats};
-use crate::search::{dedup_terms, rank_hits, Hit};
+use crate::score::{ScoringFunction, TermScorer, TermStats};
+use crate::search::{
+    dedup_terms, rank_hits, score_terms_into, with_thread_scratch, Hit, ScratchPool,
+};
 use std::cmp::Ordering;
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// An immutable collection of [`Index`] shards presenting one **global**
@@ -103,6 +104,12 @@ impl ShardedIndex {
     /// Total documents across all shards.
     pub fn num_docs(&self) -> usize {
         self.num_docs
+    }
+
+    /// Total postings across all shards (size of the CSR arrays a query
+    /// walks in the worst case; the capacity-planning number).
+    pub fn num_postings(&self) -> usize {
+        self.shards.iter().map(Index::num_postings).sum()
     }
 
     /// Corpus-global mean document length (0 for an empty corpus).
@@ -367,29 +374,47 @@ impl<'a> ShardedSearcher<'a> {
 
     /// [`ShardedSearcher::search_terms_where`], additionally reporting each
     /// shard's scoring wall-clock (index-aligned with
-    /// [`ShardedIndex::shards`]; zero for shards skipped as empty).
+    /// [`ShardedIndex::shards`]; zero for shards skipped as empty). Scratch
+    /// buffers come from the calling/worker threads' thread-locals; a
+    /// long-lived service should pass a pool via
+    /// [`ShardedSearcher::search_terms_where_timed_pooled`].
     pub fn search_terms_where_timed(
         &self,
         terms: &[String],
         k: usize,
         filter: impl Fn(DocId) -> bool + Sync,
     ) -> (Vec<Hit>, Vec<Duration>) {
+        self.search_terms_where_timed_pooled(terms, k, filter, None)
+    }
+
+    /// [`ShardedSearcher::search_terms_where_timed`] drawing scratch
+    /// buffers from `pool`. The per-shard scoring threads are scoped to one
+    /// query, so their thread-locals die with them; a caller-owned
+    /// [`ScratchPool`] is what lets the dense accumulators stay warm across
+    /// queries (the qunit engine owns one per index).
+    pub fn search_terms_where_timed_pooled(
+        &self,
+        terms: &[String],
+        k: usize,
+        filter: impl Fn(DocId) -> bool + Sync,
+        pool: Option<&ScratchPool>,
+    ) -> (Vec<Hit>, Vec<Duration>) {
         let shards = self.index.shards();
         if k == 0 || terms.is_empty() {
             return (Vec::new(), vec![Duration::ZERO; shards.len()]);
         }
         let deduped = dedup_terms(terms);
-        // Corpus-global stats, computed once per distinct term: every shard
-        // scores against the same df / N / avgdl the unsharded path reads
-        // per posting.
-        let stats: Vec<TermStats> = deduped
+        // Corpus-global statistics, folded into one scorer per distinct
+        // term: every shard scores against the same df / N / avgdl (and the
+        // same precomputed IDF) the unsharded path uses.
+        let scorers: Vec<TermScorer> = deduped
             .iter()
-            .map(|(t, _)| self.index.term_stats(t))
+            .map(|(t, _)| self.scoring.scorer(self.index.term_stats(t)))
             .collect();
 
         let mut yields: Vec<ShardYield> = Vec::new();
         if shards.len() == 1 {
-            yields.push(self.score_shard(0, &deduped, &stats, k, &filter));
+            yields.push(self.score_shard(0, &deduped, &scorers, k, &filter, pool));
         } else {
             let mut slots: Vec<Option<ShardYield>> = (0..shards.len()).map(|_| None).collect();
             std::thread::scope(|scope| {
@@ -400,10 +425,10 @@ impl<'a> ShardedSearcher<'a> {
                         continue;
                     }
                     let deduped = &deduped;
-                    let stats = &stats;
+                    let scorers = &scorers;
                     let filter = &filter;
                     scope.spawn(move || {
-                        *slot = Some(self.score_shard(s, deduped, stats, k, filter));
+                        *slot = Some(self.score_shard(s, deduped, scorers, k, filter, pool));
                     });
                 }
             });
@@ -415,44 +440,49 @@ impl<'a> ShardedSearcher<'a> {
         (merge_top_k(lists, k), timings)
     }
 
-    /// Score one shard: the same accumulation loop as
-    /// [`crate::Searcher::search_terms_where`], against global statistics,
-    /// yielding globally-identified hits sorted by [`rank_hits`] and cut to
-    /// the shard-local top-k (the global top-k is a subset of the union of
-    /// shard top-ks, so deeper lists would never survive the merge).
+    /// Score one shard through the shared kernel
+    /// ([`crate::search`]'s dense-accumulate + bounded-top-k), against
+    /// corpus-global scorers, yielding globally-identified hits sorted by
+    /// [`rank_hits`] and cut to the shard-local top-k (the global top-k is
+    /// a subset of the union of shard top-ks, so deeper lists would never
+    /// survive the merge).
     fn score_shard(
         &self,
         s: usize,
         deduped: &[(&str, usize)],
-        stats: &[TermStats],
+        scorers: &[TermScorer],
         k: usize,
         filter: &(impl Fn(DocId) -> bool + Sync),
+        pool: Option<&ScratchPool>,
     ) -> ShardYield {
         let start = Instant::now();
         let shard = &self.index.shards()[s];
-        let mut acc: HashMap<DocId, (f64, usize)> = HashMap::new();
-        for ((term, qtf), st) in deduped.iter().zip(stats) {
-            for p in shard.postings(term) {
-                let score =
-                    self.scoring
-                        .score_term_stats(*st, shard.doc_length(p.doc), p.weighted_tf)
-                        * *qtf as f64;
-                let e = acc.entry(p.doc).or_insert((0.0, 0));
-                e.0 += score;
-                e.1 += 1;
-            }
-        }
-        let mut hits: Vec<Hit> = acc
-            .into_iter()
-            .map(|(local, (score, matched_terms))| Hit {
-                doc: self.index.to_global(s, local),
-                score,
-                matched_terms,
-            })
-            .filter(|h| filter(h.doc))
+        // Resolve the query against this shard's own dictionary (TermIds
+        // never cross shards): one probe per distinct term per shard.
+        let resolved: Vec<(Option<crate::index::TermId>, usize)> = deduped
+            .iter()
+            .map(|(t, qtf)| (shard.term_id(t), *qtf))
             .collect();
-        hits.sort_by(rank_hits);
-        hits.truncate(k);
+        let to_global = |local| self.index.to_global(s, local);
+        let hits = match pool {
+            Some(pool) => {
+                let mut scratch = pool.take();
+                let hits = score_terms_into(
+                    shard,
+                    &resolved,
+                    scorers,
+                    k,
+                    &mut scratch,
+                    to_global,
+                    filter,
+                );
+                pool.put(scratch);
+                hits
+            }
+            None => with_thread_scratch(|scratch| {
+                score_terms_into(shard, &resolved, scorers, k, scratch, to_global, filter)
+            }),
+        };
         (hits, start.elapsed())
     }
 
@@ -471,12 +501,14 @@ impl<'a> ShardedSearcher<'a> {
         let mut score = 0.0;
         let mut matched_terms = 0;
         for (term, qtf) in dedup_terms(&terms) {
-            if let Ok(i) = shard.postings(term).binary_search_by(|p| p.doc.cmp(&local)) {
-                let p = shard.postings(term)[i];
+            // One postings resolution per term; the doc probe is a binary
+            // search over the flat CSR doc-id slice.
+            let postings = shard.postings(term);
+            if let Ok(i) = postings.docs.binary_search(&local) {
                 score += self.scoring.score_term_stats(
                     self.index.term_stats(term),
                     shard.doc_length(local),
-                    p.weighted_tf,
+                    postings.weighted_tfs[i],
                 ) * qtf as f64;
                 matched_terms += 1;
             }

@@ -1,7 +1,59 @@
 //! Property tests over the IR engine's core invariants.
 
-use irengine::{Analyzer, Document, IndexBuilder, ScoringFunction, Searcher, ShardedSearcher};
+use irengine::{
+    Analyzer, DocId, Document, Hit, Index, IndexBuilder, ScoringFunction, Searcher,
+    ShardedSearcher, TermStats,
+};
 use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// The pre-CSR reference scorer, kept as an executable specification: terms
+/// de-duplicated in first-occurrence order, per-posting statistics re-read
+/// through [`TermStats::of`] (IDF recomputed every posting), scores summed
+/// into a `HashMap` accumulator, every match sorted, then truncated to `k`.
+/// The production kernel (interned terms, CSR postings, hoisted scorers,
+/// dense accumulator, bounded top-k) must reproduce this **bit for bit**.
+fn naive_search(index: &Index, scoring: ScoringFunction, terms: &[String], k: usize) -> Vec<Hit> {
+    if k == 0 || terms.is_empty() {
+        return Vec::new();
+    }
+    let mut deduped: Vec<(&str, usize)> = Vec::new();
+    for t in terms {
+        match deduped.iter_mut().find(|(s, _)| *s == t.as_str()) {
+            Some((_, c)) => *c += 1,
+            None => deduped.push((t.as_str(), 1)),
+        }
+    }
+    let mut acc: HashMap<DocId, (f64, usize)> = HashMap::new();
+    for (term, qtf) in deduped {
+        for p in index.postings(term) {
+            let s = scoring.score_term_stats(
+                TermStats::of(index, term),
+                index.doc_length(p.doc),
+                p.weighted_tf,
+            ) * qtf as f64;
+            let e = acc.entry(p.doc).or_insert((0.0, 0));
+            e.0 += s;
+            e.1 += 1;
+        }
+    }
+    let mut hits: Vec<Hit> = acc
+        .into_iter()
+        .map(|(doc, (score, matched_terms))| Hit {
+            doc,
+            score,
+            matched_terms,
+        })
+        .collect();
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.doc.cmp(&b.doc))
+    });
+    hits.truncate(k);
+    hits
+}
 
 fn word() -> impl Strategy<Value = String> {
     prop::sample::select(vec![
@@ -107,6 +159,57 @@ proptest! {
         let ix = build_index(&texts);
         for term in ["star", "wars", "ocean", "cast"] {
             prop_assert!(ix.doc_freq(term) <= ix.num_docs());
+        }
+    }
+
+    // The flat-kernel determinism contract: for any corpus, query, scoring
+    // function, and k ∈ {1, 3, all}, the CSR/dense/bounded-top-k kernel
+    // returns exactly what the naive reference computes — same docs, same
+    // order, same matched_terms, scores identical to the bit.
+    #[test]
+    fn kernel_bit_identical_to_naive_reference(
+        texts in prop::collection::vec(doc_text(), 1..20),
+        q in doc_text(),
+        tfidf in prop::sample::select(vec![false, true]),
+    ) {
+        let scoring = if tfidf { ScoringFunction::TfIdf } else { ScoringFunction::default() };
+        let ix = build_index(&texts);
+        let s = Searcher::new(&ix, scoring);
+        let terms = Analyzer::keep_all().tokenize(&q);
+        for k in [1usize, 3, texts.len() + 5] {
+            let expected = naive_search(&ix, scoring, &terms, k);
+            let got = s.search_terms(&terms, k);
+            prop_assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(&expected) {
+                prop_assert_eq!(g.doc, e.doc);
+                prop_assert_eq!(g.matched_terms, e.matched_terms);
+                prop_assert_eq!(g.score.to_bits(), e.score.to_bits());
+            }
+        }
+    }
+
+    // The same contract through the sharded path: per-shard kernels against
+    // corpus-global scorers + deterministic merge ≡ the naive reference.
+    #[test]
+    fn sharded_kernel_bit_identical_to_naive_reference(
+        texts in prop::collection::vec(doc_text(), 1..20),
+        q in doc_text(),
+        n in 1usize..6,
+    ) {
+        let scoring = ScoringFunction::default();
+        let ix = build_index(&texts);
+        let terms = Analyzer::keep_all().tokenize(&q);
+        let sx = builder(&texts).build_sharded(n);
+        let sharded = ShardedSearcher::new(&sx, scoring);
+        for k in [1usize, 3, texts.len() + 5] {
+            let expected = naive_search(&ix, scoring, &terms, k);
+            let got = sharded.search_terms(&terms, k);
+            prop_assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(&expected) {
+                prop_assert_eq!(g.doc, e.doc);
+                prop_assert_eq!(g.matched_terms, e.matched_terms);
+                prop_assert_eq!(g.score.to_bits(), e.score.to_bits());
+            }
         }
     }
 
