@@ -2,13 +2,23 @@
 //! parallelism story (`EngineConfig::search_shards`), complementing
 //! `throughput.rs` which parallelizes *across* queries. Caching is off so
 //! every iteration walks the shards; the shard-timing counters print after
-//! the sweep to show where the scoring time actually went.
+//! each sweep to show where the scoring time actually went.
+//!
+//! Like the `scoring` microbench, this is a manual harness rather than a
+//! criterion target: tail latency is the product here (the persistent
+//! shard executor exists to kill the per-query dispatch tail), so every
+//! iteration's wall-clock is recorded and the p50/p95/p99 quantiles are
+//! reported alongside the mean — and the whole table lands in
+//! `BENCH_latency.json` at the workspace root (override with the
+//! `BENCH_LATENCY_OUT` env var) so the perf trajectory stays
+//! machine-readable across PRs. `--test` runs one iteration per
+//! configuration, criterion-smoke style.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datagen::imdb::{ImdbConfig, ImdbData};
 use qunit_core::derive::manual::expert_imdb_qunits;
 use qunit_core::{EngineConfig, QunitSearchEngine};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn build_engine(data: &ImdbData, search_shards: usize) -> QunitSearchEngine {
     QunitSearchEngine::build(
@@ -23,7 +33,32 @@ fn build_engine(data: &ImdbData, search_shards: usize) -> QunitSearchEngine {
     .expect("engine")
 }
 
-fn bench(c: &mut Criterion) {
+/// One shard-count configuration's measurements, microseconds.
+struct Row {
+    shards: usize,
+    iters: usize,
+    mean_us: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+/// Nearest-rank-style quantile over sorted samples (linear interpolation
+/// between the two straddling ranks — stable and monotone, which is all a
+/// trajectory comparison needs).
+fn quantile(sorted_us: &[f64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let pos = q * (sorted_us.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted_us[lo] + (sorted_us[hi] - sorted_us[lo]) * frac
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
     let data = ImdbData::generate(ImdbConfig {
         n_movies: 400,
         n_people: 800,
@@ -37,25 +72,47 @@ fn bench(c: &mut Criterion) {
         "best rated charts".to_string(),
         format!("{} movies", data.people[0].name),
     ];
+    let (warmup, iters) = if test_mode { (0, 1) } else { (30, 300) };
 
-    let mut group = c.benchmark_group("latency/single_query");
+    let mut rows: Vec<Row> = Vec::new();
     for shards in [1usize, 2, 4, 8] {
         let engine = build_engine(&data, shards);
         assert_eq!(engine.num_shards(), shards);
         println!(
-            "shards={shards}: {} instances, {} postings in the CSR arrays",
+            "shards={shards}: {} instances, {} postings, executor pool {}",
             engine.num_instances(),
-            engine.num_postings()
+            engine.num_postings(),
+            engine.executor_pool_size(),
         );
-        group.bench_function(BenchmarkId::new("shards", shards), |b| {
-            b.iter(|| {
-                let mut total = 0usize;
-                for q in &queries {
-                    total += black_box(engine.search_uncached(q, 10)).len();
-                }
-                total
-            })
-        });
+        for _ in 0..warmup {
+            for q in &queries {
+                black_box(engine.search_uncached(q, 10));
+            }
+        }
+        // One sample = the whole 4-query mix (comparable to the historical
+        // criterion numbers, which iterated the same loop).
+        let mut samples_us: Vec<f64> = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let start = Instant::now();
+            for q in &queries {
+                black_box(engine.search_uncached(q, 10));
+            }
+            samples_us.push(start.elapsed().as_secs_f64() * 1e6);
+        }
+        let mean_us = samples_us.iter().sum::<f64>() / samples_us.len() as f64;
+        samples_us.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let row = Row {
+            shards,
+            iters,
+            mean_us,
+            p50_us: quantile(&samples_us, 0.50),
+            p95_us: quantile(&samples_us, 0.95),
+            p99_us: quantile(&samples_us, 0.99),
+        };
+        println!(
+            "latency/single_query/shards/{}: mean {:.1} us, p50 {:.1} us, p95 {:.1} us, p99 {:.1} us over {} iters",
+            row.shards, row.mean_us, row.p50_us, row.p95_us, row.p99_us, row.iters
+        );
         let stats = engine.shard_stats();
         let per_shard_us: Vec<u64> = stats
             .per_shard_nanos
@@ -66,13 +123,31 @@ fn bench(c: &mut Criterion) {
             "shards={shards}: {} sharded searches, mean per-shard scoring time {:?} us",
             stats.searches, per_shard_us
         );
+        rows.push(row);
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
+    let out = std::env::var("BENCH_LATENCY_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_latency.json").to_string()
+    });
+    let mut json = String::from("{\n  \"bench\": \"latency\",\n");
+    json.push_str(&format!(
+        "  \"corpus\": {{ \"movies\": 400, \"people\": 800 }},\n  \"queries_per_iter\": {},\n",
+        queries.len()
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"shards\": {}, \"iters\": {}, \"mean_us\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1} }}{}\n",
+            r.shards,
+            r.iters,
+            r.mean_us,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).expect("write BENCH_latency.json");
+    println!("wrote {out}");
 }
-criterion_main!(benches);

@@ -38,26 +38,35 @@
 //!
 //! Within a single query, the index itself is sharded
 //! ([`EngineConfig::search_shards`], backed by [`irengine::ShardedIndex`]):
-//! instance scoring fans across one scoped thread per shard with
-//! corpus-global statistics and a deterministic top-k merge, so one hot
-//! query uses every core and still returns results identical — keys,
-//! order, scores to the last bit — to a single-shard engine. Per-shard
-//! scoring time accumulates in [`QunitSearchEngine::shard_stats`] beside
-//! the cache counters.
+//! instance scoring fans across the shards with corpus-global statistics
+//! and a deterministic top-k merge, so one hot query uses every core and
+//! still returns results identical — keys, order, scores to the last bit
+//! — to a single-shard engine. Dispatch is amortized, not paid per query:
+//! the engine builds one persistent [`ShardExecutor`] worker pool
+//! ([`EngineConfig::executor_threads`]) at `build` time, and each search
+//! either enqueues its shard tasks there or — when the estimated postings
+//! walk is at most [`EngineConfig::inline_postings_threshold`] — scores
+//! every shard inline on the calling thread with zero dispatch cost.
+//! [`QunitSearchEngine::search_batch`] rides the same pool (query-level
+//! tasks, shard scoring inlined inside each), so batch throughput and
+//! single-query latency never oversubscribe the machine together.
+//! Per-shard scoring time accumulates in
+//! [`QunitSearchEngine::shard_stats`] beside the cache counters.
 
 use crate::cache::{CacheStats, QueryCache};
 use crate::catalog::QunitCatalog;
 use crate::feedback::FeedbackStore;
 use crate::materialize::materialize_all;
 use crate::qunit::{QunitDefinition, QunitInstance};
-use crate::segment::{EntityDictionary, SegmentedQuery, Segmenter};
+use crate::segment::{EntityDictionary, SegmentScratch, SegmentedQuery, Segmenter};
 use irengine::{
-    Document, IndexBuilder, ScoringFunction, ScratchPool, ShardedIndex, ShardedSearcher,
+    DispatchMode, DispatchPolicy, Document, IndexBuilder, ScoringFunction, ScratchPool,
+    SearchContext, ShardExecutor, ShardTimings, ShardedIndex, ShardedSearcher,
 };
 use relstore::{Database, Result};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
 
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
@@ -104,6 +113,20 @@ pub struct EngineConfig {
     /// query-time). The query cache is keyed by `(normalized query, k)`
     /// only, so shard count never fragments or poisons cached entries.
     pub search_shards: usize,
+    /// Worker threads in the persistent [`ShardExecutor`] the engine
+    /// builds once and dispatches every parallel search onto; 0 = one per
+    /// available core. Purely a scheduling knob: any pool size returns
+    /// bit-identical results (the executor stress tests pin it).
+    pub executor_threads: usize,
+    /// Adaptive inline cutoff: a query whose estimated postings walk (sum
+    /// of its terms' corpus-global document frequencies) is at or below
+    /// this scores all shards inline on the calling thread instead of
+    /// dispatching — below the threshold even a parked-worker handoff
+    /// costs more than the scoring. `usize::MAX` ≈ always inline, `0` ≈
+    /// always dispatch; the `QUNITS_FORCE_INLINE` / `QUNITS_FORCE_DISPATCH`
+    /// / `QUNITS_INLINE_THRESHOLD` environment variables override it at
+    /// build time (the CI determinism gate diffs both forced modes).
+    pub inline_postings_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -121,6 +144,8 @@ impl Default for EngineConfig {
             build_threads: 0,
             cache_capacity: 1024,
             search_shards: 0,
+            executor_threads: 0,
+            inline_postings_threshold: DispatchPolicy::DEFAULT_INLINE_THRESHOLD,
         }
     }
 }
@@ -197,16 +222,26 @@ pub struct QunitSearchEngine {
     /// Highest utility in the catalog (normalizer for the utility prior).
     max_utility: f64,
     cache: QueryCache<Vec<QunitResult>>,
-    /// Scoring wall-clock accumulated per shard (nanoseconds), one slot per
-    /// index shard.
-    shard_nanos: Vec<AtomicU64>,
+    /// Scoring wall-clock accumulated per shard: lock-free atomic
+    /// nanosecond counters, one slot per index shard (no allocation on the
+    /// hot path; see [`ShardTimings`]).
+    shard_timings: ShardTimings,
     /// Number of uncached searches that fanned across the shards.
     sharded_searches: AtomicU64,
-    /// Warm dense-accumulator buffers for the scoring kernel. The sharded
-    /// searcher's per-query scoped threads check one out and return it, so
-    /// the `Vec`-indexed score slots survive across queries instead of
-    /// being reallocated per shard per search.
+    /// Warm dense-accumulator buffers for the scoring kernel. Shard tasks
+    /// (on the executor workers or the calling thread) check one out and
+    /// return it, so the `Vec`-indexed score slots survive across queries
+    /// instead of being reallocated per shard per search.
     scratch_pool: ScratchPool,
+    /// The persistent shard executor: parked workers constructed once at
+    /// build time that every dispatched search (single-query shard fan-out
+    /// and batch query fan-out alike) enqueues onto — per-query thread
+    /// spawns never happen on the query path.
+    exec: ShardExecutor,
+    /// Inline-vs-dispatch decision, resolved at build time from
+    /// [`EngineConfig::inline_postings_threshold`] plus the `QUNITS_*`
+    /// environment overrides.
+    policy: DispatchPolicy,
 }
 
 // Compile-time proof that the engine is a shareable service: every query
@@ -217,8 +252,55 @@ const _: () = assert_send_sync::<QunitSearchEngine>();
 /// Cache-key normal form of a query: token-joined, lower-cased. Both the
 /// segmenter and the IR analyzer tokenize on the same boundaries, so two
 /// queries with equal normal forms yield identical search results.
-fn normalized_query(query: &str) -> String {
-    relstore::index::tokenize(query).join(" ")
+///
+/// Writes into a reused buffer — byte-identical to
+/// `relstore::index::tokenize(query).join(" ")` without materializing the
+/// token `Vec` (this runs on every cached lookup, ahead of the kernel).
+fn normalized_query_into(query: &str, out: &mut String) {
+    out.clear();
+    let mut in_token = false;
+    for ch in query.chars() {
+        if ch.is_alphanumeric() {
+            if !in_token && !out.is_empty() {
+                out.push(' ');
+            }
+            in_token = true;
+            for lc in ch.to_lowercase() {
+                out.push(lc);
+            }
+        } else {
+            in_token = false;
+        }
+    }
+}
+
+/// Per-thread working buffers for the query path, so neither the cache
+/// lookup nor the segmentation/tokenization ahead of the scoring kernel
+/// allocates afresh per query. The executor's workers are persistent, so
+/// thread-locals actually amortize (a per-query scoped thread would throw
+/// these away).
+#[derive(Debug, Default)]
+struct QueryScratch {
+    /// Normalized cache-key buffer ([`normalized_query_into`]).
+    norm: String,
+    /// Segmenter working buffers ([`Segmenter::segment_with`]).
+    seg: SegmentScratch,
+    /// Analyzer token buffer for the IR query terms.
+    terms: Vec<String>,
+}
+
+thread_local! {
+    static QUERY_SCRATCH: RefCell<QueryScratch> = RefCell::new(QueryScratch::default());
+}
+
+/// Run `f` with this thread's query scratch. Falls back to a fresh scratch
+/// if the thread-local is already borrowed (re-entrant searches — e.g. a
+/// caller inside a filter callback — stay correct, just unamortized).
+fn with_query_scratch<R>(f: impl FnOnce(&mut QueryScratch) -> R) -> R {
+    QUERY_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut QueryScratch::default()),
+    })
 }
 
 /// Resolve a requested thread count: 0 means one per available core, and
@@ -321,7 +403,13 @@ impl QunitSearchEngine {
             .fold(f64::MIN_POSITIVE, f64::max);
         let cache = QueryCache::new(config.cache_capacity);
 
-        let shard_nanos = (0..index.num_shards()).map(|_| AtomicU64::new(0)).collect();
+        let shard_timings = ShardTimings::new(index.num_shards());
+        // The persistent worker pool every parallel search dispatches onto
+        // — constructed once here, parked until queries arrive, joined on
+        // drop. Scheduling only: pool size can never change results.
+        let exec = ShardExecutor::new(config.executor_threads);
+        let policy =
+            DispatchPolicy::adaptive(config.inline_postings_threshold).with_env_overrides();
         Ok(QunitSearchEngine {
             index,
             instances,
@@ -332,9 +420,11 @@ impl QunitSearchEngine {
             def_meta,
             max_utility,
             cache,
-            shard_nanos,
+            shard_timings,
             sharded_searches: AtomicU64::new(0),
             scratch_pool: ScratchPool::new(),
+            exec,
+            policy,
         })
     }
 
@@ -391,12 +481,13 @@ impl QunitSearchEngine {
     pub fn shard_stats(&self) -> ShardStats {
         ShardStats {
             searches: self.sharded_searches.load(Ordering::Relaxed),
-            per_shard_nanos: self
-                .shard_nanos
-                .iter()
-                .map(|n| n.load(Ordering::Relaxed))
-                .collect(),
+            per_shard_nanos: self.shard_timings.snapshot(),
         }
+    }
+
+    /// Size of the persistent shard-executor worker pool.
+    pub fn executor_pool_size(&self) -> usize {
+        self.exec.pool_size()
     }
 
     /// Fingerprint of the logical index content — invariant under both
@@ -404,15 +495,6 @@ impl QunitSearchEngine {
     /// (the CI determinism gate compares this value across sweeps of both).
     pub fn index_fingerprint(&self) -> u64 {
         self.index.fingerprint()
-    }
-
-    /// Fold per-shard durations into the counters. The `searches` counter
-    /// is incremented separately (once per uncached search), because one
-    /// search can fan out twice when the preferred-pool fallback runs.
-    fn note_shard_timings(&self, timings: &[Duration]) {
-        for (slot, d) in self.shard_nanos.iter().zip(timings) {
-            slot.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
-        }
     }
 
     /// Record a user click on a result: future queries with the same
@@ -468,39 +550,68 @@ impl QunitSearchEngine {
     /// [`QunitSearchEngine::search_uncached`] and cached under the current
     /// feedback generation.
     pub fn search(&self, query: &str, k: usize) -> Vec<QunitResult> {
+        self.search_with_policy(query, k, self.policy)
+    }
+
+    /// [`QunitSearchEngine::search`] under an explicit dispatch policy
+    /// (the batch path inlines shard scoring inside its query tasks).
+    fn search_with_policy(
+        &self,
+        query: &str,
+        k: usize,
+        policy: DispatchPolicy,
+    ) -> Vec<QunitResult> {
         if k == 0 || !self.cache.is_enabled() {
             // k == 0 skips the cache entirely: no point spending an LRU
             // slot (and maybe an eviction) on an always-empty result.
-            return self.search_uncached(query, k);
+            return self.search_uncached_with_policy(query, k, policy);
         }
-        let norm = normalized_query(query);
-        // Read the generation *before* searching: a click landing mid-search
-        // makes the entry immediately stale rather than wrongly fresh.
-        let generation = self.feedback.generation();
-        if let Some(cached) = self.cache.get(&norm, k, generation) {
-            return cached;
-        }
-        let results = self.search_uncached(query, k);
-        self.cache.insert(norm, k, generation, results.clone());
-        results
+        with_query_scratch(|qs| {
+            normalized_query_into(query, &mut qs.norm);
+            // Read the generation *before* searching: a click landing
+            // mid-search makes the entry immediately stale rather than
+            // wrongly fresh.
+            let generation = self.feedback.generation();
+            if let Some(cached) = self.cache.get(&qs.norm, k, generation) {
+                return cached;
+            }
+            let results = self.search_uncached_inner(query, k, policy, qs);
+            // The cache owns its key, so a miss pays one String clone; a
+            // hit allocates nothing for the normal form.
+            self.cache
+                .insert(qs.norm.clone(), k, generation, results.clone());
+            results
+        })
     }
 
-    /// Answer a batch of queries, fanning them across scoped threads (one
-    /// chunk per available core). Results arrive in query order and are
-    /// identical to calling [`QunitSearchEngine::search`] per query.
+    /// Answer a batch of queries, fanning them across the engine's
+    /// persistent shard executor (one chunk per pool worker by default).
+    /// Results arrive in query order and are identical to calling
+    /// [`QunitSearchEngine::search`] per query.
     pub fn search_batch(&self, queries: &[&str], k: usize) -> Vec<Vec<QunitResult>> {
         self.search_batch_with(queries, k, 0)
     }
 
-    /// [`QunitSearchEngine::search_batch`] with an explicit thread count
-    /// (0 = one per available core); the throughput bench sweeps this.
+    /// [`QunitSearchEngine::search_batch`] with an explicit parallelism
+    /// cap (0 = the executor pool size); the throughput bench sweeps this.
+    ///
+    /// Batch work rides the same [`ShardExecutor`] as single-query shard
+    /// fan-out — one pool for the whole engine, so mixed traffic never
+    /// oversubscribes cores with nested per-query spawns. Query tasks
+    /// score their shards inline (each task is already one unit of
+    /// parallelism; splitting it again would just add queue churn), except
+    /// under a forced-dispatch policy, which is honored for the
+    /// determinism gate.
     pub fn search_batch_with(
         &self,
         queries: &[&str],
         k: usize,
         threads: usize,
     ) -> Vec<Vec<QunitResult>> {
-        let threads = worker_count(threads, queries.len());
+        let threads = match threads {
+            0 => self.exec.pool_size().clamp(1, queries.len().max(1)),
+            n => worker_count(n, queries.len()),
+        };
         let mut out: Vec<Vec<QunitResult>> = vec![Vec::new(); queries.len()];
         if threads <= 1 {
             for (q, slot) in queries.iter().zip(&mut out) {
@@ -509,25 +620,60 @@ impl QunitSearchEngine {
             return out;
         }
         let chunk = queries.len().div_ceil(threads).max(1);
-        std::thread::scope(|scope| {
-            for (q_chunk, out_chunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                scope.spawn(move || {
+        let chunks = queries.len().div_ceil(chunk);
+        // Query tasks inline their shard scoring only when the batch alone
+        // already saturates the pool — a small batch of heavy queries on a
+        // big pool keeps nested shard dispatch (and with it intra-query
+        // parallelism), and the work-helping queue makes that safe. A
+        // forced-dispatch policy is honored as-is for the determinism gate.
+        let policy = match self.policy.mode {
+            DispatchMode::ForceDispatch => self.policy,
+            _ if chunks >= self.exec.pool_size() => DispatchPolicy::force_inline(),
+            _ => self.policy,
+        };
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = queries
+            .chunks(chunk)
+            .zip(out.chunks_mut(chunk))
+            .map(|(q_chunk, out_chunk)| {
+                Box::new(move || {
                     for (q, slot) in q_chunk.iter().zip(out_chunk) {
-                        *slot = self.search(q, k);
+                        *slot = self.search_with_policy(q, k, policy);
                     }
-                });
-            }
-        });
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        self.exec.run(tasks);
         out
     }
 
     /// Run a keyword query without touching the cache, returning up to `k`
     /// results.
     pub fn search_uncached(&self, query: &str, k: usize) -> Vec<QunitResult> {
+        self.search_uncached_with_policy(query, k, self.policy)
+    }
+
+    fn search_uncached_with_policy(
+        &self,
+        query: &str,
+        k: usize,
+        policy: DispatchPolicy,
+    ) -> Vec<QunitResult> {
+        with_query_scratch(|qs| self.search_uncached_inner(query, k, policy, qs))
+    }
+
+    /// The uncached pipeline with explicit working buffers (`qs`) and
+    /// dispatch policy — the one body behind every search entry point.
+    fn search_uncached_inner(
+        &self,
+        query: &str,
+        k: usize,
+        policy: DispatchPolicy,
+        qs: &mut QueryScratch,
+    ) -> Vec<QunitResult> {
         if k == 0 {
             return Vec::new();
         }
-        let seg = self.segmenter.segment(query);
+        let seg = self.segmenter.segment_with(query, &mut qs.seg);
         let type_scores = self.type_scores_for(&seg);
         let seg_signature = seg.template_signature();
         let entity_texts: Vec<String> = seg
@@ -595,17 +741,25 @@ impl QunitSearchEngine {
             None
         };
 
-        // Intra-query parallelism: every ranking pass below fans across the
-        // index shards on scoped threads, scored with corpus-global stats
-        // and merged deterministically — results are identical at any shard
-        // count. Per-shard scoring time lands in the shard counters.
+        // Intra-query parallelism: every ranking pass below fans across
+        // the index shards — inline or on the persistent executor per the
+        // policy — scored with corpus-global stats and merged
+        // deterministically, so results are identical at any shard count,
+        // pool size, or dispatch mode. Per-shard scoring time lands in the
+        // atomic shard counters.
         let searcher = ShardedSearcher::new(&self.index, self.config.scoring);
-        let terms = self.index.analyzer().tokenize(query);
+        self.index.analyzer().tokenize_into(query, &mut qs.terms);
+        let terms = &qs.terms;
         let fetch = k.saturating_mul(10).max(50);
-        let pool = Some(&self.scratch_pool);
-        let (mut hits, timings) = match &preferred {
-            Some(defs) => searcher.search_terms_where_timed_pooled(
-                &terms,
+        let ctx = SearchContext {
+            pool: Some(&self.scratch_pool),
+            exec: Some(&self.exec),
+            timings: Some(&self.shard_timings),
+            policy,
+        };
+        let mut hits = match &preferred {
+            Some(defs) => searcher.search_terms_where_ctx(
+                terms,
                 fetch,
                 |doc| {
                     self.index
@@ -614,19 +768,15 @@ impl QunitSearchEngine {
                         .map(|inst| defs.iter().any(|d| *d == inst.definition))
                         .unwrap_or(false)
                 },
-                pool,
+                &ctx,
             ),
-            None => searcher.search_terms_where_timed_pooled(&terms, fetch, |_| true, pool),
+            None => searcher.search_terms_where_ctx(terms, fetch, |_| true, &ctx),
         };
         self.sharded_searches.fetch_add(1, Ordering::Relaxed);
-        self.note_shard_timings(&timings);
         // If the identified type has no matching instance (a movie with no
         // soundtrack asked for its ost), fall back to the unrestricted pool.
         if hits.is_empty() && preferred.is_some() {
-            let (fallback, timings) =
-                searcher.search_terms_where_timed_pooled(&terms, fetch, |_| true, pool);
-            self.note_shard_timings(&timings);
-            hits = fallback;
+            hits = searcher.search_terms_where_ctx(terms, fetch, |_| true, &ctx);
         }
 
         // Exact-anchor injection: the instance keyed by a segmented entity
@@ -654,7 +804,20 @@ impl QunitSearchEngine {
             }
         }
 
-        let mut results: Vec<QunitResult> = hits
+        // Score the candidates lightly first — borrowed keys and f64s only
+        // — and materialize full QunitResults (six owned strings each) for
+        // just the k survivors of the sort. The fetch depth is ~10× k, so
+        // this skips ~90% of the result-construction churn; the comparator
+        // and the per-hit arithmetic are unchanged, so the final list is
+        // identical to materialize-then-sort.
+        struct Scored<'e> {
+            score: f64,
+            ir_score: f64,
+            type_score: f64,
+            key: &'e str,
+            inst: &'e QunitInstance,
+        }
+        let mut scored: Vec<Scored> = hits
             .into_iter()
             .filter_map(|h| {
                 let key = self.index.external_id(h.doc)?;
@@ -673,27 +836,36 @@ impl QunitSearchEngine {
                     let fb = self.feedback.boost(&seg_signature, &inst.definition);
                     score *= 1.0 + self.config.feedback_weight * fb;
                 }
-                Some(QunitResult {
-                    key: key.to_string(),
-                    definition: inst.definition.clone(),
+                Some(Scored {
                     score,
                     ir_score: h.score,
                     type_score: ts,
-                    rendered: inst.rendered.clone(),
-                    text: inst.text.clone(),
-                    fields: inst.fields.clone(),
-                    anchor_text: inst.anchor_text(),
+                    key,
+                    inst,
                 })
             })
             .collect();
-        results.sort_by(|a, b| {
+        scored.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.key.cmp(&b.key))
+                .then(a.key.cmp(b.key))
         });
-        results.truncate(k);
-        results
+        scored.truncate(k);
+        scored
+            .into_iter()
+            .map(|s| QunitResult {
+                key: s.key.to_string(),
+                definition: s.inst.definition.clone(),
+                score: s.score,
+                ir_score: s.ir_score,
+                type_score: s.type_score,
+                rendered: s.inst.rendered.clone(),
+                text: s.inst.text.clone(),
+                fields: s.inst.fields.clone(),
+                anchor_text: s.inst.anchor_text(),
+            })
+            .collect()
     }
 
     /// Convenience: the single best result.
@@ -713,6 +885,27 @@ mod tests {
         let catalog = expert_imdb_qunits(&data.db).unwrap();
         let engine = QunitSearchEngine::build(&data.db, catalog, EngineConfig::default()).unwrap();
         (data, engine)
+    }
+
+    #[test]
+    fn normalized_query_matches_tokenizer_exactly() {
+        // The cache-key normal form hand-walks chars instead of calling
+        // the tokenizer; this pins the two byte-identical so they cannot
+        // silently drift (equal normal forms MUST mean identical results).
+        let mut buf = String::from("stale");
+        for q in [
+            "",
+            "   ",
+            "Star Wars: Episode IV!!",
+            "george   clooney-movies",
+            "AMÉLIE 2001 ost",
+            "..leading, and trailing..",
+            "İstanbul İ", // multi-char lowercase expansion
+            "a",
+        ] {
+            normalized_query_into(q, &mut buf);
+            assert_eq!(buf, relstore::index::tokenize(q).join(" "), "{q:?}");
+        }
     }
 
     #[test]

@@ -89,4 +89,4 @@ pub use feedback::FeedbackStore;
 pub use materialize::{materialize_all, materialize_one};
 pub use presentation::ConversionExpr;
 pub use qunit::{AnchorSpec, DerivationSource, QunitDefinition, QunitInstance};
-pub use segment::{EntityDictionary, Segment, SegmentedQuery, Segmenter};
+pub use segment::{EntityDictionary, Segment, SegmentScratch, SegmentedQuery, Segmenter};

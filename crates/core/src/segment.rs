@@ -8,7 +8,7 @@
 //! schema elements — "cast", "movies", "ost") or *freetext*, and emits the
 //! typed template signature used throughout §5.2 ("`[title] cast`" etc.).
 
-use relstore::index::tokenize;
+use relstore::index::{tokenize, tokenize_into};
 use relstore::{DataType, Database, Value};
 use std::collections::HashMap;
 
@@ -271,6 +271,18 @@ impl EntityDictionary {
     }
 }
 
+/// Reusable working buffers for [`Segmenter::segment_with`]: the query's
+/// token list and the window-join string probed against the dictionaries.
+/// Holding one per long-lived thread (the engine threads one through its
+/// per-thread query scratch) means the greedy matcher allocates nothing
+/// per window probe — the same buffer-reuse contract as
+/// `irengine::Analyzer::tokenize_into`.
+#[derive(Debug, Default)]
+pub struct SegmentScratch {
+    tokens: Vec<String>,
+    joined: String,
+}
+
 /// Greedy longest-match segmenter over an [`EntityDictionary`].
 #[derive(Debug, Clone)]
 pub struct Segmenter {
@@ -289,8 +301,31 @@ impl Segmenter {
     }
 
     /// Segment a raw query.
+    ///
+    /// Convenience wrapper over [`Segmenter::segment_with`] paying for
+    /// fresh buffers; hot loops should hold a [`SegmentScratch`].
     pub fn segment(&self, raw: &str) -> SegmentedQuery {
-        let toks = tokenize(raw);
+        self.segment_with(raw, &mut SegmentScratch::default())
+    }
+
+    /// [`Segmenter::segment`] drawing its working buffers from `scratch`.
+    /// The returned [`SegmentedQuery`] owns its strings either way; only
+    /// the intermediate token list and window-join probes reuse capacity.
+    pub fn segment_with(&self, raw: &str, scratch: &mut SegmentScratch) -> SegmentedQuery {
+        tokenize_into(raw, &mut scratch.tokens);
+        let toks = &scratch.tokens;
+        // One reused probe buffer: write the window `toks[i..i+len]`
+        // space-joined into it (identical bytes to `join(" ")`).
+        let joined = &mut scratch.joined;
+        let join_window = |joined: &mut String, i: usize, len: usize| {
+            joined.clear();
+            for (n, t) in toks[i..i + len].iter().enumerate() {
+                if n > 0 {
+                    joined.push(' ');
+                }
+                joined.push_str(t);
+            }
+        };
         let mut segments = Vec::new();
         let mut i = 0;
         while i < toks.len() {
@@ -298,12 +333,12 @@ impl Segmenter {
             let mut matched = false;
             let max_e = self.dict.max_entity_tokens.min(toks.len() - i);
             for len in (1..=max_e).rev() {
-                let joined = toks[i..i + len].join(" ");
-                if let Some((table, column)) = self.dict.lookup_entity(&joined) {
+                join_window(joined, i, len);
+                if let Some((table, column)) = self.dict.lookup_entity(joined) {
                     segments.push(Segment::Entity {
                         table: table.clone(),
                         column: column.clone(),
-                        text: joined,
+                        text: joined.clone(),
                     });
                     i += len;
                     matched = true;
@@ -316,10 +351,10 @@ impl Segmenter {
             // then attribute terms (may be 2-word, e.g. "box office")
             let max_a = self.dict.max_attr_tokens.min(toks.len() - i);
             for len in (1..=max_a).rev() {
-                let joined = toks[i..i + len].join(" ");
-                if let Some(target) = self.dict.lookup_attribute(&joined) {
+                join_window(joined, i, len);
+                if let Some(target) = self.dict.lookup_attribute(joined) {
                     segments.push(Segment::Attribute {
-                        term: joined,
+                        term: joined.clone(),
                         target: target.clone(),
                     });
                     i += len;
@@ -493,5 +528,22 @@ mod tests {
         let s = segmenter();
         let q = s.segment("STAR WARS Cast");
         assert_eq!(q.template_signature(), "[movie.title] cast");
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_segmentation() {
+        let s = segmenter();
+        let mut scratch = SegmentScratch::default();
+        // one scratch across many queries: stale tokens/probes never leak
+        for q in [
+            "star wars cast",
+            "george clooney ocean eleven",
+            "star wars box office",
+            "",
+            "highest revenue ever",
+            "STAR WARS Cast",
+        ] {
+            assert_eq!(s.segment_with(q, &mut scratch), s.segment(q), "{q}");
+        }
     }
 }

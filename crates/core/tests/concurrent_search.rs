@@ -92,6 +92,119 @@ fn concurrent_queries_and_clicks_match_serial_replay() {
 }
 
 #[test]
+fn executor_stress_dispatched_queries_and_clicks_match_serial_replay() {
+    // The persistent-executor twin of the stress test above: a sharded
+    // engine whose every search is forced through the worker pool
+    // (threshold 0 dispatches any query with postings), hammered by 8
+    // client threads whose searches enqueue shard tasks onto the same
+    // 2-worker pool concurrently, with click writes interleaved. Every
+    // result must equal the serial replay bit for bit.
+    let data = ImdbData::generate(ImdbConfig::tiny());
+    let engine = build_engine(
+        &data,
+        EngineConfig {
+            search_shards: 4,
+            executor_threads: 2,
+            inline_postings_threshold: 0,
+            ..EngineConfig::default()
+        },
+    );
+    assert_eq!(engine.num_shards(), 4);
+    assert_eq!(engine.executor_pool_size(), 2);
+    let queries = query_mix(&data);
+
+    let clicked_person = &data.people[0].name;
+    let click_query = format!("{clicked_person} wallpaper");
+    let click_key = format!("person_page::{clicked_person}");
+    assert!(
+        engine.instance(&click_key).is_some(),
+        "fixture: {click_key}"
+    );
+
+    let expected: Vec<Vec<QunitResult>> = queries
+        .iter()
+        .map(|q| engine.search_uncached(q, 10))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..8usize {
+            let engine = &engine;
+            let queries = &queries;
+            let expected = &expected;
+            let click_query = &click_query;
+            let click_key = &click_key;
+            scope.spawn(move || {
+                for i in 0..queries.len() {
+                    let j = (i + t * 13) % queries.len();
+                    let got = engine.search(&queries[j], 10);
+                    assert_eq!(got, expected[j], "thread {t} diverged on {}", queries[j]);
+                    if i % 10 == t {
+                        engine.record_click(click_query, click_key);
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(engine.feedback().total("[person.name] [freetext]"), 80);
+    for (q, exp) in queries.iter().zip(&expected) {
+        assert_eq!(&engine.search(q, 10), exp, "post-stress replay of {q}");
+    }
+}
+
+#[test]
+fn any_executor_pool_size_and_dispatch_mode_is_bit_identical_to_unsharded() {
+    let data = ImdbData::generate(ImdbConfig::tiny());
+    let unsharded = build_engine(
+        &data,
+        EngineConfig {
+            search_shards: 1,
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        },
+    );
+    let queries = query_mix(&data);
+    let expected: Vec<Vec<QunitResult>> = queries
+        .iter()
+        .map(|q| unsharded.search_uncached(q, 10))
+        .collect();
+
+    let num_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for pool in [1usize, 2, num_cpus] {
+        // threshold 0 ≈ dispatch everything, usize::MAX ≈ inline everything
+        for threshold in [0usize, usize::MAX] {
+            let engine = build_engine(
+                &data,
+                EngineConfig {
+                    search_shards: 4,
+                    executor_threads: pool,
+                    inline_postings_threshold: threshold,
+                    cache_capacity: 0,
+                    ..EngineConfig::default()
+                },
+            );
+            assert_eq!(engine.executor_pool_size(), pool);
+            assert_eq!(engine.index_fingerprint(), unsharded.index_fingerprint());
+            for (q, exp) in queries.iter().zip(&expected) {
+                assert_eq!(
+                    &engine.search_uncached(q, 10),
+                    exp,
+                    "pool {pool} threshold {threshold} diverged on {q}"
+                );
+            }
+            // batch riding the same executor agrees too
+            let refs: Vec<&str> = queries.iter().take(20).map(String::as_str).collect();
+            let batched = engine.search_batch(&refs, 10);
+            for (b, exp) in batched.iter().zip(&expected) {
+                assert_eq!(b, exp, "batch pool {pool} threshold {threshold}");
+            }
+        }
+    }
+}
+
+#[test]
 fn build_is_identical_for_any_worker_count() {
     let data = ImdbData::generate(ImdbConfig::tiny());
     let serial = build_engine(

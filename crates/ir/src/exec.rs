@@ -1,0 +1,679 @@
+//! Persistent shard executor: a parked worker pool that per-query shard
+//! tasks dispatch onto, replacing per-query `std::thread::scope` spawns.
+//!
+//! PR 4 drove per-shard *scoring* down to ~13µs, at which point the spawn +
+//! join of one OS thread per shard per query became the dominant cost of the
+//! sharded path (an 8-shard query paid ~1ms of pure dispatch on a loaded
+//! box). A [`ShardExecutor`] is constructed **once** (the qunit engine
+//! builds one at `build` time) and amortizes that cost to nothing: workers
+//! park on a condvar and wake only when a query enqueues tasks.
+//!
+//! Two design points matter for latency:
+//!
+//! - **The caller helps.** [`ShardExecutor::run`] does not sit blocked while
+//!   workers drain the queue — it pops and executes tasks itself until its
+//!   batch completes. On a single-core host (or a pool busy with other
+//!   queries) dispatch therefore degrades gracefully toward inline
+//!   execution instead of toward a context-switch storm. It also makes
+//!   nested dispatch deadlock-free: a task that itself calls `run` (the
+//!   engine's batch path dispatches query tasks whose searches could
+//!   dispatch shard tasks) keeps executing queued work while it waits.
+//! - **Two traffic classes, no head-of-line blocking.** Per-query shard
+//!   tasks ([`ShardExecutor::run_urgent`]) are microseconds; batch query
+//!   chunks ([`ShardExecutor::run`]) are milliseconds. Urgent jobs are
+//!   always served before bulk jobs, and an urgent caller never helps
+//!   with bulk work — so under mixed traffic a single query's tail is
+//!   bounded by its own inline cost, not by the batch backlog.
+//! - **Adaptive inlining is the caller's job.** The executor executes what
+//!   it is given; [`DispatchPolicy`] is the shared knob callers use to
+//!   decide *whether* to dispatch at all. Small queries (estimated postings
+//!   walk below a threshold) score on the calling thread with zero dispatch
+//!   — no queue lock, no wakeup — because even a parked-worker handoff
+//!   costs more than scoring a few hundred postings.
+//!
+//! # Determinism
+//!
+//! The executor adds no ordering freedom that can reach results: shard
+//! tasks write into disjoint result slots and the merge happens on the
+//! calling thread after every task completes, so inline execution, pool
+//! dispatch at any pool size, and the legacy scoped-thread fallback are
+//! bit-identical (property-tested in `tests/prop_ir.rs`; the CI determinism
+//! job additionally diffs `QUNITS_FORCE_INLINE=1` against
+//! `QUNITS_FORCE_DISPATCH=1` transcripts).
+//!
+//! # Shutdown
+//!
+//! Dropping the executor parks no new work, wakes every worker, and joins
+//! them; already-queued tasks are drained first so no in-flight `run` is
+//! ever abandoned. A panic inside a task is caught on the worker, carried
+//! back through the batch latch, and resumed on the calling thread — the
+//! same observable behavior as a panicking `std::thread::scope` child.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// A type-erased task. The `'static` is a lie [`ShardExecutor::run`]
+/// makes true: `run` never returns until every job it enqueued has
+/// finished executing, so the borrows a job captures outlive its
+/// execution.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A queued task paired with its batch latch. The caller's `Box` is the
+/// only per-task allocation — panic capture and latch accounting happen at
+/// the execution site ([`QueuedJob::execute`]), not in a second wrapper
+/// closure.
+struct QueuedJob {
+    job: Job,
+    latch: Arc<Latch>,
+}
+
+impl QueuedJob {
+    fn execute(self) {
+        // The latch must count the job down even if it panics, or `run`
+        // would never return and the borrow-soundness argument (and the
+        // caller) would hang. By the time `complete` runs, the job and
+        // everything it borrowed have been dropped.
+        let result = catch_unwind(AssertUnwindSafe(self.job));
+        self.latch.complete(result.err());
+    }
+}
+
+/// State shared between the pool handle and its workers.
+#[derive(Default)]
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signaled when jobs arrive or shutdown begins.
+    work_ready: Condvar,
+}
+
+#[derive(Default)]
+struct Queue {
+    /// Latency-critical jobs (per-query shard tasks): always served before
+    /// `bulk`, so a microsecond shard task never queues behind a
+    /// millisecond batch chunk — head-of-line blocking across the two
+    /// traffic classes would invert exactly the single-query tail latency
+    /// the pool exists to protect.
+    urgent: VecDeque<QueuedJob>,
+    /// Throughput jobs (batch query chunks).
+    bulk: VecDeque<QueuedJob>,
+    shutdown: bool,
+}
+
+impl Queue {
+    fn pop(&mut self, urgent_only: bool) -> Option<QueuedJob> {
+        self.urgent.pop_front().or_else(|| {
+            if urgent_only {
+                None
+            } else {
+                self.bulk.pop_front()
+            }
+        })
+    }
+}
+
+/// Lock that shrugs off poisoning: the executor's own critical sections
+/// never panic (queue pushes/pops and counter updates only), and jobs run
+/// outside the lock, so a poisoned mutex carries no broken invariant.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Completion latch for one [`ShardExecutor::run`] call: counts outstanding
+/// jobs down and carries the first panic payload back to the caller.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    pending: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Latch {
+    fn new(pending: usize) -> Self {
+        Latch {
+            state: Mutex::new(LatchState {
+                pending,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// One job finished (possibly by panicking).
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut st = lock(&self.state);
+        st.pending -= 1;
+        if st.panic.is_none() {
+            st.panic = panic;
+        }
+        if st.pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        lock(&self.state).pending == 0
+    }
+
+    /// Block until every job completed, then yield the first panic, if any.
+    fn wait(&self) -> Option<Box<dyn Any + Send>> {
+        let mut st = lock(&self.state);
+        while st.pending > 0 {
+            st = self.done.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.panic.take()
+    }
+}
+
+/// A fixed pool of parked worker threads executing borrowed shard tasks.
+///
+/// Construct once, share by reference (`Sync`), drop for clean shutdown.
+/// See the [module docs](self) for the dispatch model.
+pub struct ShardExecutor {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ShardExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardExecutor")
+            .field("pool_size", &self.pool_size())
+            .finish_non_exhaustive()
+    }
+}
+
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send_sync::<ShardExecutor>();
+
+impl ShardExecutor {
+    /// Spawn a pool of `threads` parked workers (`0` = one per available
+    /// core). The pool never grows or shrinks; with the caller helping,
+    /// `threads + 1` threads can execute tasks concurrently.
+    pub fn new(threads: usize) -> Self {
+        let threads = match threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        };
+        let shared = Arc::new(Shared::default());
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qunit-shard-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn shard executor worker")
+            })
+            .collect();
+        ShardExecutor { shared, workers }
+    }
+
+    /// Number of worker threads parked in the pool.
+    pub fn pool_size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Execute every task at **bulk** priority, blocking until all
+    /// complete — the throughput entry point (batch query chunks). Tasks
+    /// may borrow from the caller's stack (`'env`); the borrow is sound
+    /// because this function does not return before the last task
+    /// finishes. Tasks run on the pool workers *and* on the calling thread
+    /// (which drains the queue instead of idling). If any task panics, the
+    /// first payload is re-raised here once the rest have finished —
+    /// `std::thread::scope` semantics, without the spawns.
+    pub fn run<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        self.run_at(tasks, false);
+    }
+
+    /// [`ShardExecutor::run`] at **urgent** priority — the latency entry
+    /// point (per-query shard tasks). Urgent jobs are always served before
+    /// bulk jobs, and an urgent caller's work-helping loop never picks up
+    /// bulk work: with every worker stuck in long batch chunks, the caller
+    /// executes its own shard tasks itself and the query degrades to
+    /// inline latency instead of waiting out the batch backlog.
+    pub fn run_urgent<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        self.run_at(tasks, true);
+    }
+
+    fn run_at<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>, urgent: bool) {
+        match tasks.len() {
+            0 => return,
+            // A single task gains nothing from the queue round-trip.
+            1 => {
+                for task in tasks {
+                    task();
+                }
+                return;
+            }
+            _ => {}
+        }
+
+        let latch = Arc::new(Latch::new(tasks.len()));
+        let jobs: Vec<QueuedJob> = tasks
+            .into_iter()
+            .map(|task| QueuedJob {
+                // SAFETY: lifetime erasure only — same trait object, same
+                // layout, no second allocation. `QueuedJob::execute` drops
+                // the job (and everything it borrows) before counting the
+                // latch down, and this function blocks on the latch before
+                // returning, so no `'env` borrow is ever used after `'env`
+                // ends.
+                job: unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(task) },
+                latch: Arc::clone(&latch),
+            })
+            .collect();
+
+        let enqueued = jobs.len();
+        {
+            let mut q = lock(&self.shared.queue);
+            if urgent {
+                q.urgent.extend(jobs);
+            } else {
+                q.bulk.extend(jobs);
+            }
+        }
+        // Wake only as many workers as there are jobs to take: notify_all
+        // on a big pool would stampede every parked worker onto the queue
+        // mutex just to find it empty — overhead on the exact dispatch
+        // path this pool exists to make cheap.
+        for _ in 0..enqueued.min(self.workers.len()) {
+            self.shared.work_ready.notify_one();
+        }
+
+        // Work-helping wait: execute queued tasks (ours or another
+        // caller's) until our batch is done, then sleep only if workers
+        // still hold the last of our jobs. An urgent caller restricts its
+        // helping to urgent jobs (see `run_urgent`); a bulk caller helps
+        // with anything, urgent first.
+        loop {
+            if latch.is_done() {
+                break;
+            }
+            if !self.try_run_one(urgent) {
+                break;
+            }
+        }
+        if let Some(payload) = latch.wait() {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Pop and execute one queued job, if any (urgent before bulk; bulk
+    /// excluded for urgent callers). Used by the caller's work-helping
+    /// loop in [`ShardExecutor::run`].
+    fn try_run_one(&self, urgent_only: bool) -> bool {
+        let job = lock(&self.shared.queue).pop(urgent_only);
+        match job {
+            Some(job) => {
+                job.execute();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Drop for ShardExecutor {
+    fn drop(&mut self) {
+        {
+            let mut q = lock(&self.shared.queue);
+            q.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            // A worker can only terminate by observing shutdown; a panic
+            // inside a job is caught before it reaches the worker loop.
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Worker body: run queued jobs, urgent before bulk; park when idle; exit
+/// on shutdown once both queues are drained (so `Drop` never strands an
+/// in-flight `run`).
+fn worker_loop(shared: &Shared) {
+    let mut q = lock(&shared.queue);
+    loop {
+        if let Some(job) = q.pop(false) {
+            drop(q);
+            job.execute();
+            q = lock(&shared.queue);
+        } else if q.shutdown {
+            return;
+        } else {
+            q = shared.work_ready.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// How a sharded search decides between inline scoring and pool dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Estimate the query's postings walk; inline when it is at or below
+    /// the policy threshold (or when the pool cannot parallelize anyway).
+    Adaptive,
+    /// Always score on the calling thread, zero dispatch.
+    ForceInline,
+    /// Always dispatch multi-shard queries, even tiny ones (the CI
+    /// determinism gate uses this to pin both paths bit-identical).
+    ForceDispatch,
+}
+
+/// Inline-vs-dispatch policy for the sharded query path.
+///
+/// The work estimate is the total number of postings the kernel would walk:
+/// the sum of corpus-global document frequencies of the resolved query
+/// terms (exactly the statistics the scorers already fold in, so the
+/// estimate is free). Below the threshold, handing tasks to parked workers
+/// costs more than the scoring itself; above it, the fan-out wins on
+/// multi-core hosts.
+///
+/// Environment overrides (read by [`DispatchPolicy::with_env_overrides`],
+/// which the qunit engine applies at build time):
+///
+/// - `QUNITS_FORCE_INLINE=1` — force [`DispatchMode::ForceInline`];
+/// - `QUNITS_FORCE_DISPATCH=1` — force [`DispatchMode::ForceDispatch`];
+/// - `QUNITS_INLINE_THRESHOLD=<n>` — override the adaptive threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchPolicy {
+    /// The dispatch decision mode.
+    pub mode: DispatchMode,
+    /// Adaptive cutoff: estimated postings at or below this score inline.
+    pub inline_postings_threshold: usize,
+}
+
+impl DispatchPolicy {
+    /// Default adaptive threshold: ~32k postings is a few tens of
+    /// microseconds of dense accumulation — the break-even region against a
+    /// parked-worker handoff on current hardware.
+    pub const DEFAULT_INLINE_THRESHOLD: usize = 32 * 1024;
+
+    /// Adaptive policy with the given postings threshold.
+    pub fn adaptive(inline_postings_threshold: usize) -> Self {
+        DispatchPolicy {
+            mode: DispatchMode::Adaptive,
+            inline_postings_threshold,
+        }
+    }
+
+    /// Always-inline policy.
+    pub fn force_inline() -> Self {
+        DispatchPolicy {
+            mode: DispatchMode::ForceInline,
+            inline_postings_threshold: usize::MAX,
+        }
+    }
+
+    /// Always-dispatch policy.
+    pub fn force_dispatch() -> Self {
+        DispatchPolicy {
+            mode: DispatchMode::ForceDispatch,
+            inline_postings_threshold: 0,
+        }
+    }
+
+    /// Apply the `QUNITS_*` environment overrides documented on the type.
+    pub fn with_env_overrides(self) -> Self {
+        fn flag(name: &str) -> bool {
+            std::env::var_os(name).is_some_and(|v| !v.is_empty() && v != "0")
+        }
+        let mut policy = self;
+        if let Ok(v) = std::env::var("QUNITS_INLINE_THRESHOLD") {
+            // A typo'd override must not silently fall back to the default
+            // — a perf sweep would then measure the wrong configuration
+            // while claiming to pin a custom one.
+            policy.inline_postings_threshold = v.parse().unwrap_or_else(|_| {
+                panic!("QUNITS_INLINE_THRESHOLD must be a non-negative integer, got {v:?}")
+            });
+        }
+        if flag("QUNITS_FORCE_INLINE") {
+            policy.mode = DispatchMode::ForceInline;
+        } else if flag("QUNITS_FORCE_DISPATCH") {
+            policy.mode = DispatchMode::ForceDispatch;
+        }
+        policy
+    }
+
+    /// Decide: score inline on the calling thread (`true`) or dispatch
+    /// shard tasks (`false`)? `estimated_postings` is the query's total
+    /// postings walk; `pool_size` is how many workers could share it (a
+    /// pool of one cannot beat the caller doing the work itself).
+    pub fn should_inline(&self, estimated_postings: usize, pool_size: usize) -> bool {
+        match self.mode {
+            DispatchMode::ForceInline => true,
+            DispatchMode::ForceDispatch => false,
+            DispatchMode::Adaptive => {
+                pool_size <= 1 || estimated_postings <= self.inline_postings_threshold
+            }
+        }
+    }
+}
+
+impl Default for DispatchPolicy {
+    fn default() -> Self {
+        DispatchPolicy::adaptive(DispatchPolicy::DEFAULT_INLINE_THRESHOLD)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let exec = ShardExecutor::new(3);
+        assert_eq!(exec.pool_size(), 3);
+        let counters: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = counters
+            .iter()
+            .map(|c| {
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        exec.run(tasks);
+        for c in &counters {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn tasks_can_write_borrowed_slots() {
+        let exec = ShardExecutor::new(2);
+        for round in 0..50 {
+            let mut slots = [0usize; 9];
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    Box::new(move || {
+                        *slot = i + round;
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            exec.run(tasks);
+            for (i, slot) in slots.iter().enumerate() {
+                assert_eq!(*slot, i + round);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_runs_from_many_threads_share_one_pool() {
+        let exec = ShardExecutor::new(2);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..20 {
+                        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..5)
+                            .map(|_| {
+                                Box::new(|| {
+                                    total.fetch_add(1, Ordering::Relaxed);
+                                }) as Box<dyn FnOnce() + Send + '_>
+                            })
+                            .collect();
+                        exec.run(tasks);
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 20 * 5);
+    }
+
+    #[test]
+    fn nested_run_inside_a_task_completes() {
+        // A task dispatching its own sub-tasks must not deadlock even when
+        // the pool is smaller than the outstanding batches (the caller and
+        // the workers all help drain the queue).
+        let exec = ShardExecutor::new(1);
+        let total = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|_| {
+                Box::new(|| {
+                    let inner: Vec<Box<dyn FnOnce() + Send + '_>> = (0..3)
+                        .map(|_| {
+                            Box::new(|| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            }) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    exec.run(inner);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        exec.run(tasks);
+        assert_eq!(total.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_caller_and_pool_survives() {
+        let exec = ShardExecutor::new(2);
+        let ran = AtomicUsize::new(0);
+        let ran = &ran;
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|i| {
+                    Box::new(move || {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                        if i == 2 {
+                            panic!("task boom");
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            exec.run(tasks);
+        }));
+        assert!(result.is_err(), "panic must reach the caller");
+        assert_eq!(ran.load(Ordering::Relaxed), 4, "every task still ran");
+        // the pool is not poisoned: later batches execute normally
+        let after = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..3)
+            .map(|_| {
+                Box::new(|| {
+                    after.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        exec.run(tasks);
+        assert_eq!(after.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn urgent_tasks_jump_queued_bulk_work_and_urgent_callers_skip_it() {
+        // Pin the single worker inside a bulk task, leaving more bulk
+        // tasks queued behind it. An urgent run from this thread must
+        // complete (executing its own tasks itself) WITHOUT touching the
+        // queued bulk work — that is the no-head-of-line-blocking
+        // contract.
+        let exec = ShardExecutor::new(1);
+        let (worker_in, worker_entered) = std::sync::mpsc::channel::<()>();
+        let (release, release_worker) = std::sync::mpsc::channel::<()>();
+        let bulk_done = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let bulk_done = &bulk_done;
+                let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![Box::new(move || {
+                    worker_in.send(()).unwrap();
+                    release_worker.recv().unwrap();
+                    bulk_done.fetch_add(1, Ordering::SeqCst);
+                })];
+                for _ in 0..3 {
+                    tasks.push(Box::new(|| {
+                        bulk_done.fetch_add(1, Ordering::SeqCst);
+                    }));
+                }
+                exec.run(tasks);
+            });
+            // The spawning thread helps with its own bulk batch, so make
+            // sure it is the WORKER that is parked in the blocking task:
+            // wait for the rendezvous.
+            worker_entered.recv().unwrap();
+            // Now run urgent work from this thread: the lone worker is
+            // stuck, so the urgent caller must execute all of its own
+            // tasks and return while the bulk backlog is still pending.
+            let urgent_done = AtomicUsize::new(0);
+            let urgent: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|_| {
+                    Box::new(|| {
+                        urgent_done.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            exec.run_urgent(urgent);
+            assert_eq!(urgent_done.load(Ordering::SeqCst), 4);
+            // the blocking bulk task is still parked, so the urgent run
+            // returned without waiting out the bulk backlog
+            assert!(bulk_done.load(Ordering::SeqCst) < 4);
+            release.send(()).unwrap();
+        });
+        assert_eq!(bulk_done.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn empty_and_single_task_batches() {
+        let exec = ShardExecutor::new(2);
+        exec.run(Vec::new());
+        let hit = AtomicUsize::new(0);
+        exec.run(vec![Box::new(|| {
+            hit.fetch_add(1, Ordering::Relaxed);
+        }) as Box<dyn FnOnce() + Send + '_>]);
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        for size in [1usize, 2, 8] {
+            let exec = ShardExecutor::new(size);
+            let done = AtomicUsize::new(0);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..size * 4)
+                .map(|_| {
+                    Box::new(|| {
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            exec.run(tasks);
+            drop(exec);
+            assert_eq!(done.load(Ordering::Relaxed), size * 4);
+        }
+    }
+
+    #[test]
+    fn policy_decides_inline_vs_dispatch() {
+        let p = DispatchPolicy::adaptive(100);
+        assert!(p.should_inline(100, 8), "at threshold → inline");
+        assert!(!p.should_inline(101, 8), "above threshold → dispatch");
+        assert!(p.should_inline(1_000_000, 1), "pool of one → inline");
+        assert!(DispatchPolicy::force_inline().should_inline(usize::MAX, 8));
+        assert!(!DispatchPolicy::force_dispatch().should_inline(0, 8));
+    }
+}

@@ -16,9 +16,11 @@
 //!
 //! Intra-query parallelism: [`IndexBuilder::build_sharded`] partitions the
 //! corpus into `n` independent [`Index`] shards (deterministic round-robin
-//! by insertion order) and [`ShardedSearcher`] scores them on scoped
-//! threads with corpus-global statistics, returning results identical —
-//! ids, order, and scores to the last bit — to an unsharded search (see
+//! by insertion order) and [`ShardedSearcher`] scores them with
+//! corpus-global statistics — inline for small queries, or fanned across a
+//! persistent [`ShardExecutor`] worker pool ([`exec`] module) for large
+//! ones — returning results identical in ids, order, and scores to the
+//! last bit to an unsharded search regardless of the dispatch path (see
 //! [`shard`] for the determinism contract).
 //!
 //! Scoring kernel: postings live in an interned-term CSR layout
@@ -43,6 +45,7 @@
 
 pub mod analysis;
 pub mod document;
+pub mod exec;
 pub mod index;
 pub mod score;
 pub mod search;
@@ -51,8 +54,9 @@ pub mod snippet;
 
 pub use analysis::Analyzer;
 pub use document::{DocId, Document};
+pub use exec::{DispatchMode, DispatchPolicy, ShardExecutor};
 pub use index::{Index, IndexBuilder, Posting, Postings, TermId};
 pub use score::{ScoringFunction, TermScorer, TermStats};
 pub use search::{Hit, ScoreScratch, ScratchPool, Searcher};
-pub use shard::{ShardedIndex, ShardedSearcher};
+pub use shard::{SearchContext, ShardTimings, ShardedIndex, ShardedSearcher};
 pub use snippet::{extract as extract_snippet, Snippet};

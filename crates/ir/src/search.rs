@@ -220,8 +220,11 @@ pub(crate) fn with_thread_scratch<R>(f: impl FnOnce(&mut ScoreScratch) -> R) -> 
 /// and non-contenders cost O(1) — versus sorting all `m` matches at
 /// O(m log m). Because `rank_hits` totally orders distinct documents, the
 /// selected set and its final sorted order are exactly the full sort's
-/// first k entries.
-struct TopK {
+/// first k entries — and that holds no matter how candidates are batched
+/// into it, which is why the sharded inline path feeds **all** shards
+/// through one `TopK` instead of selecting per shard and merging
+/// (`pub(crate)` for exactly that caller).
+pub(crate) struct TopK {
     k: usize,
     heap: BinaryHeap<WorstFirst>,
 }
@@ -252,7 +255,7 @@ impl Ord for WorstFirst {
 }
 
 impl TopK {
-    fn new(k: usize) -> Self {
+    pub(crate) fn new(k: usize) -> Self {
         TopK {
             k,
             // k can be usize::MAX-ish ("give me everything"); don't let a
@@ -274,7 +277,7 @@ impl TopK {
     }
 
     /// The kept hits, best first.
-    fn into_sorted_hits(self) -> Vec<Hit> {
+    pub(crate) fn into_sorted_hits(self) -> Vec<Hit> {
         let mut hits: Vec<Hit> = self.heap.into_iter().map(|w| w.0).collect();
         hits.sort_by(rank_hits);
         hits
@@ -302,6 +305,27 @@ pub(crate) fn score_terms_into(
     to_global: impl Fn(DocId) -> DocId,
     filter: impl Fn(DocId) -> bool,
 ) -> Vec<Hit> {
+    let mut top = TopK::new(k);
+    score_terms_into_topk(index, terms, scorers, scratch, to_global, filter, &mut top);
+    top.into_sorted_hits()
+}
+
+/// [`score_terms_into`] pushing its candidates into a caller-owned [`TopK`]
+/// instead of selecting locally. Because [`rank_hits`] totally orders
+/// distinct documents, feeding several indexes (the shards of a sharded
+/// search) through one `TopK` yields exactly the hits that per-index
+/// selection followed by a merge would — minus the per-index heaps, sorts,
+/// and hit lists. The inline sharded path is the caller that cashes that
+/// in.
+pub(crate) fn score_terms_into_topk(
+    index: &Index,
+    terms: &[(Option<TermId>, usize)],
+    scorers: &[TermScorer],
+    scratch: &mut ScoreScratch,
+    to_global: impl Fn(DocId) -> DocId,
+    filter: impl Fn(DocId) -> bool,
+    top: &mut TopK,
+) {
     scratch.begin(index.num_docs());
     let lengths = index.doc_lengths();
     for ((tid, qtf), scorer) in terms.iter().zip(scorers) {
@@ -318,7 +342,6 @@ pub(crate) fn score_terms_into(
         }
     }
 
-    let mut top = TopK::new(k);
     for &doc in &scratch.touched {
         let global = to_global(doc);
         if !filter(global) {
@@ -331,7 +354,6 @@ pub(crate) fn score_terms_into(
             matched_terms: slot.matched as usize,
         });
     }
-    top.into_sorted_hits()
 }
 
 impl<'a> Searcher<'a> {

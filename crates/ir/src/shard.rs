@@ -4,9 +4,14 @@
 //! corpus partitions freely: any document subset can be scored alone and
 //! the per-subset rankings merged by score. [`ShardedIndex`] holds `n`
 //! independent [`Index`] shards (round-robin by insertion order, see
-//! [`crate::IndexBuilder::build_sharded`]) and [`ShardedSearcher`] scores them on
-//! scoped threads — one hot query saturating every core instead of walking
-//! one monolithic index serially.
+//! [`crate::IndexBuilder::build_sharded`]) and [`ShardedSearcher`] scores
+//! them in parallel — one hot query saturating every core instead of
+//! walking one monolithic index serially. *How* the fan-out happens is the
+//! caller's choice via [`SearchContext`]: dispatch onto a persistent
+//! [`ShardExecutor`] (the amortized service path), fall back to per-query
+//! scoped threads (no executor), or — for queries whose estimated postings
+//! walk is below the [`DispatchPolicy`] threshold — score every shard
+//! inline on the calling thread with zero dispatch cost.
 //!
 //! # Determinism contract
 //!
@@ -34,13 +39,16 @@
 
 use crate::analysis::Analyzer;
 use crate::document::{DocId, Document};
+use crate::exec::{DispatchPolicy, ShardExecutor};
 use crate::index::Index;
 use crate::score::{ScoringFunction, TermScorer, TermStats};
 use crate::search::{
-    dedup_terms, rank_hits, score_terms_into, with_thread_scratch, Hit, ScratchPool,
+    dedup_terms, rank_hits, score_terms_into, score_terms_into_topk, with_thread_scratch, Hit,
+    ScoreScratch, ScratchPool, TopK,
 };
 use std::cmp::Ordering;
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::time::Instant;
 
 /// An immutable collection of [`Index`] shards presenting one **global**
 /// document id space. Build via [`crate::IndexBuilder::build_sharded`].
@@ -61,6 +69,8 @@ pub struct ShardedIndex {
 const fn assert_send_sync<T: Send + Sync>() {}
 const _: () = assert_send_sync::<ShardedIndex>();
 const _: () = assert_send_sync::<ShardedSearcher<'static>>();
+const _: () = assert_send_sync::<ShardTimings>();
+const _: () = assert_send_sync::<SearchContext<'static>>();
 
 impl ShardedIndex {
     /// Wrap already-built shards. Shard `s` is assumed to hold the
@@ -273,12 +283,97 @@ impl Fnv1a {
     }
 }
 
-/// Executes queries against a borrowed [`ShardedIndex`], fanning shard
-/// scoring across scoped threads (inline when there is a single shard).
+/// Per-shard scoring-time counters: one atomic nanosecond accumulator per
+/// shard slot, so the hot path records a timing with a single relaxed
+/// `fetch_add` — no per-search `Vec<Duration>` allocation, no lock. The
+/// engine owns one sized to its index and snapshots it for operators.
+#[derive(Debug, Default)]
+pub struct ShardTimings {
+    nanos: Box<[AtomicU64]>,
+}
+
+impl ShardTimings {
+    /// Counters for `shards` slots, all zero.
+    pub fn new(shards: usize) -> Self {
+        ShardTimings {
+            nanos: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.nanos.len()
+    }
+
+    /// True iff there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.nanos.is_empty()
+    }
+
+    /// Accumulate `nanos` into shard `s` (out-of-range slots are ignored —
+    /// a smaller counter set than the index has shards just under-reports).
+    #[inline]
+    pub fn add(&self, s: usize, nanos: u64) {
+        if let Some(slot) = self.nanos.get(s) {
+            slot.fetch_add(nanos, AtomicOrdering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the accumulated nanoseconds per shard slot.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.nanos
+            .iter()
+            .map(|n| n.load(AtomicOrdering::Relaxed))
+            .collect()
+    }
+}
+
+/// Everything a sharded search draws from its environment, bundled so the
+/// hot path has one signature instead of a growing tail of optionals. The
+/// default context (no pool, no executor, no timings, adaptive policy) is
+/// what the convenience APIs use; a long-lived service (the qunit engine)
+/// builds one per search from the resources it owns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchContext<'a> {
+    /// Warm [`ScoreScratch`] buffers; `None` = the executing thread's
+    /// thread-local scratch.
+    pub pool: Option<&'a ScratchPool>,
+    /// Persistent worker pool for shard dispatch; `None` falls back to
+    /// per-query scoped threads when the policy decides to dispatch.
+    pub exec: Option<&'a ShardExecutor>,
+    /// Per-shard scoring-time accumulators; `None` skips timing entirely
+    /// (not even a clock read).
+    pub timings: Option<&'a ShardTimings>,
+    /// Inline-vs-dispatch decision (see [`DispatchPolicy`]).
+    pub policy: DispatchPolicy,
+}
+
+impl SearchContext<'_> {
+    /// Run `f` with a scratch from this context: a [`ScratchPool`]
+    /// checkout (returned afterwards) when a pool is configured, the
+    /// executing thread's thread-local otherwise. The single place the
+    /// checkout contract lives — both the inline sweep and the per-task
+    /// dispatch entry draw through here.
+    fn with_scratch<R>(&self, f: impl FnOnce(&mut ScoreScratch) -> R) -> R {
+        match self.pool {
+            Some(pool) => {
+                let mut scratch = pool.take();
+                let out = f(&mut scratch);
+                pool.put(scratch);
+                out
+            }
+            None => with_thread_scratch(f),
+        }
+    }
+}
+
+/// Executes queries against a borrowed [`ShardedIndex`], scoring shards
+/// inline or fanning them across a [`ShardExecutor`] / scoped threads per
+/// the [`SearchContext`] (always inline when there is a single shard).
 ///
 /// Mirrors the [`Searcher`] API, with two differences: every [`DocId`] in
-/// and out is **global**, and filters must be `Sync` because they run on
-/// the per-shard worker threads.
+/// and out is **global**, and filters must be `Sync` because they may run
+/// on shard worker threads.
 ///
 /// [`Searcher`]: crate::Searcher
 #[derive(Debug, Clone)]
@@ -286,11 +381,6 @@ pub struct ShardedSearcher<'a> {
     index: &'a ShardedIndex,
     scoring: ScoringFunction,
 }
-
-/// One shard's contribution to the merge: its sorted hit list plus how
-/// long scoring it took (the engine aggregates these into per-shard
-/// counters).
-type ShardYield = (Vec<Hit>, Duration);
 
 /// Heap entry for the top-k merge. Ordered so `BinaryHeap::pop` yields the
 /// best-ranked head first; the shard index is a final tie-break making the
@@ -369,75 +459,148 @@ impl<'a> ShardedSearcher<'a> {
         k: usize,
         filter: impl Fn(DocId) -> bool + Sync,
     ) -> Vec<Hit> {
-        self.search_terms_where_timed(terms, k, filter).0
+        self.search_terms_where_ctx(terms, k, filter, &SearchContext::default())
     }
 
-    /// [`ShardedSearcher::search_terms_where`], additionally reporting each
-    /// shard's scoring wall-clock (index-aligned with
-    /// [`ShardedIndex::shards`]; zero for shards skipped as empty). Scratch
-    /// buffers come from the calling/worker threads' thread-locals; a
-    /// long-lived service should pass a pool via
-    /// [`ShardedSearcher::search_terms_where_timed_pooled`].
-    pub fn search_terms_where_timed(
+    /// [`ShardedSearcher::search_terms_where`] drawing its resources —
+    /// scratch pool, executor, timing counters, dispatch policy — from an
+    /// explicit [`SearchContext`]. This is the engine's entry point; every
+    /// convenience API above routes here with the default context.
+    ///
+    /// The dispatch decision: a single-shard index always scores inline.
+    /// Otherwise the policy weighs the query's estimated postings walk
+    /// (the sum of corpus-global document frequencies of its terms, free
+    /// as a by-product of folding the scorers) against the pool that would
+    /// share it; small queries score inline on the calling thread with
+    /// zero dispatch, large ones fan out across the executor (or scoped
+    /// threads when the context has no executor). Both paths produce
+    /// bit-identical results — per-shard hit lists merge on the calling
+    /// thread under the same total order either way.
+    pub fn search_terms_where_ctx(
         &self,
         terms: &[String],
         k: usize,
         filter: impl Fn(DocId) -> bool + Sync,
-    ) -> (Vec<Hit>, Vec<Duration>) {
-        self.search_terms_where_timed_pooled(terms, k, filter, None)
-    }
-
-    /// [`ShardedSearcher::search_terms_where_timed`] drawing scratch
-    /// buffers from `pool`. The per-shard scoring threads are scoped to one
-    /// query, so their thread-locals die with them; a caller-owned
-    /// [`ScratchPool`] is what lets the dense accumulators stay warm across
-    /// queries (the qunit engine owns one per index).
-    pub fn search_terms_where_timed_pooled(
-        &self,
-        terms: &[String],
-        k: usize,
-        filter: impl Fn(DocId) -> bool + Sync,
-        pool: Option<&ScratchPool>,
-    ) -> (Vec<Hit>, Vec<Duration>) {
+        ctx: &SearchContext,
+    ) -> Vec<Hit> {
         let shards = self.index.shards();
         if k == 0 || terms.is_empty() {
-            return (Vec::new(), vec![Duration::ZERO; shards.len()]);
+            return Vec::new();
         }
         let deduped = dedup_terms(terms);
         // Corpus-global statistics, folded into one scorer per distinct
         // term: every shard scores against the same df / N / avgdl (and the
-        // same precomputed IDF) the unsharded path uses.
+        // same precomputed IDF) the unsharded path uses. The df sum doubles
+        // as the dispatch-decision work estimate.
+        let mut estimated_postings = 0usize;
         let scorers: Vec<TermScorer> = deduped
             .iter()
-            .map(|(t, _)| self.scoring.scorer(self.index.term_stats(t)))
+            .map(|(t, _)| {
+                let stats = self.index.term_stats(t);
+                estimated_postings += stats.doc_freq;
+                self.scoring.scorer(stats)
+            })
             .collect();
 
-        let mut yields: Vec<ShardYield> = Vec::new();
-        if shards.len() == 1 {
-            yields.push(self.score_shard(0, &deduped, &scorers, k, &filter, pool));
-        } else {
-            let mut slots: Vec<Option<ShardYield>> = (0..shards.len()).map(|_| None).collect();
-            std::thread::scope(|scope| {
-                for (s, slot) in slots.iter_mut().enumerate() {
-                    // Empty shards contribute nothing; don't pay a spawn.
-                    if shards[s].num_docs() == 0 {
-                        *slot = Some((Vec::new(), Duration::ZERO));
+        let n = shards.len();
+        let inline = n == 1 || {
+            // Without an executor the scoped-thread fallback still fans out
+            // one thread per shard, so that is the effective "pool".
+            let pool_size = ctx.exec.map_or(n, ShardExecutor::pool_size);
+            ctx.policy.should_inline(estimated_postings, pool_size)
+        };
+
+        if inline {
+            // Zero-dispatch path: walk the shards on this thread, reusing
+            // ONE scratch (each shard re-begins it, so the accumulator
+            // stays cache-warm shard to shard), ONE resolved-terms buffer,
+            // and ONE shared top-k heap across all of them. A single
+            // bounded heap over every shard's candidates selects exactly
+            // what per-shard heaps + a merge would — rank_hits is total on
+            // distinct documents — without materializing per-shard hit
+            // lists at all.
+            let score_all = |scratch: &mut ScoreScratch| {
+                let mut top = TopK::new(k);
+                let mut resolved: Vec<(Option<crate::index::TermId>, usize)> =
+                    Vec::with_capacity(deduped.len());
+                for (s, shard) in shards.iter().enumerate() {
+                    if shard.num_docs() == 0 {
                         continue;
                     }
-                    let deduped = &deduped;
-                    let scorers = &scorers;
-                    let filter = &filter;
-                    scope.spawn(move || {
-                        *slot = Some(self.score_shard(s, deduped, scorers, k, filter, pool));
-                    });
+                    self.score_shard_topk(
+                        s,
+                        &deduped,
+                        &scorers,
+                        &filter,
+                        ctx,
+                        scratch,
+                        &mut resolved,
+                        &mut top,
+                    );
                 }
-            });
-            yields.extend(slots.into_iter().map(|s| s.expect("every shard scored")));
+                top.into_sorted_hits()
+            };
+            return ctx.with_scratch(score_all);
         }
 
-        let timings: Vec<Duration> = yields.iter().map(|(_, d)| *d).collect();
-        let lists: Vec<Vec<Hit>> = yields.into_iter().map(|(hits, _)| hits).collect();
-        (merge_top_k(lists, k), timings)
+        let lists: Vec<Vec<Hit>> = {
+            let mut slots: Vec<Option<Vec<Hit>>> = (0..n).map(|_| None).collect();
+            match ctx.exec {
+                Some(exec) => {
+                    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+                        .iter_mut()
+                        .enumerate()
+                        // Empty shards contribute nothing; don't pay a task.
+                        .filter(|(s, _)| shards[*s].num_docs() > 0)
+                        .map(|(s, slot)| {
+                            let deduped = &deduped;
+                            let scorers = &scorers;
+                            let filter = &filter;
+                            Box::new(move || {
+                                *slot = Some(
+                                    self.score_shard_pooled(s, deduped, scorers, k, filter, ctx),
+                                );
+                            }) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    // Shard tasks are the latency class: they jump ahead
+                    // of any queued batch chunks (see `run_urgent`).
+                    exec.run_urgent(tasks);
+                }
+                None => std::thread::scope(|scope| {
+                    for (s, slot) in slots.iter_mut().enumerate() {
+                        if shards[s].num_docs() == 0 {
+                            continue;
+                        }
+                        let deduped = &deduped;
+                        let scorers = &scorers;
+                        let filter = &filter;
+                        scope.spawn(move || {
+                            *slot =
+                                Some(self.score_shard_pooled(s, deduped, scorers, k, filter, ctx));
+                        });
+                    }
+                }),
+            }
+            slots.into_iter().map(Option::unwrap_or_default).collect()
+        };
+
+        merge_top_k(lists, k)
+    }
+
+    /// [`ShardedSearcher::score_shard`] obtaining a scratch from the
+    /// context (pool checkout, or the executing thread's thread-local) —
+    /// the per-task entry of the dispatch paths.
+    fn score_shard_pooled(
+        &self,
+        s: usize,
+        deduped: &[(&str, usize)],
+        scorers: &[TermScorer],
+        k: usize,
+        filter: &(impl Fn(DocId) -> bool + Sync),
+        ctx: &SearchContext,
+    ) -> Vec<Hit> {
+        ctx.with_scratch(|scratch| self.score_shard(s, deduped, scorers, k, filter, ctx, scratch))
     }
 
     /// Score one shard through the shared kernel
@@ -445,7 +608,10 @@ impl<'a> ShardedSearcher<'a> {
     /// corpus-global scorers, yielding globally-identified hits sorted by
     /// [`rank_hits`] and cut to the shard-local top-k (the global top-k is
     /// a subset of the union of shard top-ks, so deeper lists would never
-    /// survive the merge).
+    /// survive the merge). Scoring wall-clock accumulates into the
+    /// context's [`ShardTimings`] slot `s` when present (one relaxed
+    /// atomic add; no timing configured = not even a clock read).
+    #[allow(clippy::too_many_arguments)]
     fn score_shard(
         &self,
         s: usize,
@@ -453,9 +619,10 @@ impl<'a> ShardedSearcher<'a> {
         scorers: &[TermScorer],
         k: usize,
         filter: &(impl Fn(DocId) -> bool + Sync),
-        pool: Option<&ScratchPool>,
-    ) -> ShardYield {
-        let start = Instant::now();
+        ctx: &SearchContext,
+        scratch: &mut ScoreScratch,
+    ) -> Vec<Hit> {
+        let start = ctx.timings.map(|_| Instant::now());
         let shard = &self.index.shards()[s];
         // Resolve the query against this shard's own dictionary (TermIds
         // never cross shards): one probe per distinct term per shard.
@@ -464,26 +631,38 @@ impl<'a> ShardedSearcher<'a> {
             .map(|(t, qtf)| (shard.term_id(t), *qtf))
             .collect();
         let to_global = |local| self.index.to_global(s, local);
-        let hits = match pool {
-            Some(pool) => {
-                let mut scratch = pool.take();
-                let hits = score_terms_into(
-                    shard,
-                    &resolved,
-                    scorers,
-                    k,
-                    &mut scratch,
-                    to_global,
-                    filter,
-                );
-                pool.put(scratch);
-                hits
-            }
-            None => with_thread_scratch(|scratch| {
-                score_terms_into(shard, &resolved, scorers, k, scratch, to_global, filter)
-            }),
-        };
-        (hits, start.elapsed())
+        let hits = score_terms_into(shard, &resolved, scorers, k, scratch, to_global, filter);
+        if let (Some(timings), Some(start)) = (ctx.timings, start) {
+            timings.add(s, start.elapsed().as_nanos() as u64);
+        }
+        hits
+    }
+
+    /// [`ShardedSearcher::score_shard`] for the inline path: candidates go
+    /// into the caller's shared [`TopK`] (no per-shard hit list, no merge)
+    /// and the dictionary-resolution buffer is reused across shards. Same
+    /// accumulation, same total order, same timing accounting.
+    #[allow(clippy::too_many_arguments)]
+    fn score_shard_topk(
+        &self,
+        s: usize,
+        deduped: &[(&str, usize)],
+        scorers: &[TermScorer],
+        filter: &(impl Fn(DocId) -> bool + Sync),
+        ctx: &SearchContext,
+        scratch: &mut ScoreScratch,
+        resolved: &mut Vec<(Option<crate::index::TermId>, usize)>,
+        top: &mut TopK,
+    ) {
+        let start = ctx.timings.map(|_| Instant::now());
+        let shard = &self.index.shards()[s];
+        resolved.clear();
+        resolved.extend(deduped.iter().map(|(t, qtf)| (shard.term_id(t), *qtf)));
+        let to_global = |local| self.index.to_global(s, local);
+        score_terms_into_topk(shard, resolved, scorers, scratch, to_global, filter, top);
+        if let (Some(timings), Some(start)) = (ctx.timings, start) {
+            timings.add(s, start.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Convenience: the single best hit, if any.
@@ -694,13 +873,69 @@ mod tests {
     }
 
     #[test]
-    fn timed_search_reports_one_duration_per_shard() {
+    fn timings_accumulate_one_counter_per_shard() {
         let sx = builder_with(&corpus()).build_sharded(3);
         let s = ShardedSearcher::new(&sx, ScoringFunction::default());
         let terms = sx.analyzer().tokenize("star cast");
-        let (hits, timings) = s.search_terms_where_timed(&terms, 5, |_| true);
+        let timings = ShardTimings::new(3);
+        let ctx = SearchContext {
+            timings: Some(&timings),
+            ..SearchContext::default()
+        };
+        let hits = s.search_terms_where_ctx(&terms, 5, |_| true, &ctx);
         assert!(!hits.is_empty());
         assert_eq!(timings.len(), 3);
+        assert_eq!(timings.snapshot().len(), 3);
+        // a second search adds on top (monotone accumulation)
+        let before = timings.snapshot();
+        s.search_terms_where_ctx(&terms, 5, |_| true, &ctx);
+        let after = timings.snapshot();
+        for (b, a) in before.iter().zip(&after) {
+            assert!(a >= b);
+        }
+    }
+
+    #[test]
+    fn inline_executor_and_scoped_dispatch_agree_bitwise() {
+        let docs = corpus();
+        let sx = builder_with(&docs).build_sharded(4);
+        let s = ShardedSearcher::new(&sx, ScoringFunction::default());
+        let exec = ShardExecutor::new(2);
+        let pool = ScratchPool::new();
+        for q in ["star wars", "cast", "drama space", "zzz"] {
+            let terms = sx.analyzer().tokenize(q);
+            let inline = s.search_terms_where_ctx(
+                &terms,
+                10,
+                |_| true,
+                &SearchContext {
+                    policy: DispatchPolicy::force_inline(),
+                    ..SearchContext::default()
+                },
+            );
+            let dispatched = s.search_terms_where_ctx(
+                &terms,
+                10,
+                |_| true,
+                &SearchContext {
+                    exec: Some(&exec),
+                    pool: Some(&pool),
+                    policy: DispatchPolicy::force_dispatch(),
+                    ..SearchContext::default()
+                },
+            );
+            let scoped = s.search_terms_where_ctx(
+                &terms,
+                10,
+                |_| true,
+                &SearchContext {
+                    policy: DispatchPolicy::force_dispatch(),
+                    ..SearchContext::default()
+                },
+            );
+            assert_eq!(inline, dispatched, "{q}");
+            assert_eq!(inline, scoped, "{q}");
+        }
     }
 
     #[test]

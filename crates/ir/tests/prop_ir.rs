@@ -1,8 +1,8 @@
 //! Property tests over the IR engine's core invariants.
 
 use irengine::{
-    Analyzer, DocId, Document, Hit, Index, IndexBuilder, ScoringFunction, Searcher,
-    ShardedSearcher, TermStats,
+    Analyzer, DispatchPolicy, DocId, Document, Hit, Index, IndexBuilder, ScoringFunction,
+    ScratchPool, SearchContext, Searcher, ShardExecutor, ShardedSearcher, TermStats,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -241,6 +241,84 @@ proptest! {
         for n in [2usize, 3, 8] {
             prop_assert_eq!(builder(&texts).build_sharded(n).fingerprint(), base);
         }
+    }
+
+    // The executor determinism contract: for any corpus, query, shard
+    // count, pool size, and k, the adaptive inline path, forced inline,
+    // forced dispatch onto a persistent ShardExecutor, and the scoped-
+    // thread fallback all return bit-identical hits (ids, order, scores,
+    // matched_terms — Hit's PartialEq compares f64 exactly).
+    #[test]
+    fn inline_and_dispatched_execution_bit_identical(
+        texts in prop::collection::vec(doc_text(), 1..20),
+        q in doc_text(),
+        n in 1usize..6,
+        pool_threads in 1usize..4,
+        k in 1usize..15,
+    ) {
+        let sx = builder(&texts).build_sharded(n);
+        let sharded = ShardedSearcher::new(&sx, ScoringFunction::default());
+        let terms = Analyzer::keep_all().tokenize(&q);
+        let exec = ShardExecutor::new(pool_threads);
+        let pool = ScratchPool::new();
+        let inline = sharded.search_terms_where_ctx(
+            &terms,
+            k,
+            |_| true,
+            &SearchContext {
+                policy: DispatchPolicy::force_inline(),
+                ..SearchContext::default()
+            },
+        );
+        let dispatched = sharded.search_terms_where_ctx(
+            &terms,
+            k,
+            |_| true,
+            &SearchContext {
+                exec: Some(&exec),
+                pool: Some(&pool),
+                policy: DispatchPolicy::force_dispatch(),
+                ..SearchContext::default()
+            },
+        );
+        let scoped = sharded.search_terms_where_ctx(
+            &terms,
+            k,
+            |_| true,
+            &SearchContext {
+                policy: DispatchPolicy::force_dispatch(),
+                ..SearchContext::default()
+            },
+        );
+        // adaptive with a zero threshold dispatches everything with
+        // postings; with usize::MAX it inlines everything — both must
+        // agree with each other and with the forced modes
+        let adaptive_low = sharded.search_terms_where_ctx(
+            &terms,
+            k,
+            |_| true,
+            &SearchContext {
+                exec: Some(&exec),
+                pool: Some(&pool),
+                policy: DispatchPolicy::adaptive(0),
+                ..SearchContext::default()
+            },
+        );
+        let adaptive_high = sharded.search_terms_where_ctx(
+            &terms,
+            k,
+            |_| true,
+            &SearchContext {
+                exec: Some(&exec),
+                pool: Some(&pool),
+                policy: DispatchPolicy::adaptive(usize::MAX),
+                ..SearchContext::default()
+            },
+        );
+        prop_assert_eq!(&dispatched, &inline);
+        prop_assert_eq!(&scoped, &inline);
+        prop_assert_eq!(&adaptive_low, &inline);
+        prop_assert_eq!(&adaptive_high, &inline);
     }
 
     #[test]
