@@ -1,0 +1,232 @@
+//! Open-loop service bench: replay a Zipf-shaped `datagen::querylog`
+//! stream against one engine at fixed target arrival rates.
+//!
+//! Closed-loop benches (`latency.rs`, `throughput.rs`) ask "how fast can N
+//! callers spin?" — the next query waits for the previous one, so overload
+//! is invisible. Here arrivals come from
+//! `QueryLog::open_loop_schedule` on a fixed Poisson timetable regardless
+//! of completions: when the engine falls behind, the backlog shows up as
+//! queueing delay inside the measured latency (completion minus *scheduled*
+//! arrival), which is exactly the number a user behind "heavy traffic from
+//! millions of users" (ROADMAP north star) would see.
+//!
+//! Each sweep point reports p50/p99/p999 and achieved QPS; the highest
+//! target whose achieved rate stays within 95% is reported as
+//! `max_sustainable_qps`. The table lands in `BENCH_service.json` at the
+//! workspace root (override with `BENCH_SERVICE_OUT`). `--test` runs one
+//! tiny sweep point, criterion-smoke style, for CI.
+
+use datagen::imdb::{ImdbConfig, ImdbData};
+use datagen::querylog::{QueryLog, QueryLogConfig};
+use qunit_core::derive::manual::expert_imdb_qunits;
+use qunit_core::{EngineConfig, QunitSearchEngine};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// One target-QPS sweep point's measurements.
+struct Row {
+    target_qps: f64,
+    arrivals: usize,
+    achieved_qps: f64,
+    sustained: bool,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+}
+
+/// Linear-interpolation quantile over sorted samples (same shape as the
+/// latency bench, so trajectory files stay comparable).
+fn quantile(sorted_us: &[f64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let pos = q * (sorted_us.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted_us[lo] + (sorted_us[hi] - sorted_us[lo]) * frac
+}
+
+/// Replay `schedule` open-loop with `clients` concurrent firing threads.
+/// Returns per-query latencies in microseconds, measured from scheduled
+/// arrival to completion (so a backlog inflates the tail instead of
+/// silently slowing the arrival clock).
+fn replay(
+    engine: &QunitSearchEngine,
+    schedule: &[(Duration, &str)],
+    clients: usize,
+) -> (Vec<f64>, Duration) {
+    let cursor = AtomicUsize::new(0);
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = Vec::with_capacity(schedule.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine: Vec<f64> = Vec::with_capacity(schedule.len() / clients + 1);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some((offset, query)) = schedule.get(i) else {
+                            break;
+                        };
+                        // Fire on schedule; if we are already late the query
+                        // fires immediately and the lateness lands in its
+                        // measured latency — that is the open-loop contract.
+                        let now = start.elapsed();
+                        if *offset > now {
+                            std::thread::sleep(*offset - now);
+                        }
+                        black_box(engine.search(query, 10));
+                        let done = start.elapsed();
+                        mine.push((done.saturating_sub(*offset)).as_secs_f64() * 1e6);
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().expect("client thread"));
+        }
+    });
+    let span = start.elapsed();
+    (latencies, span)
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let data = ImdbData::generate(ImdbConfig {
+        n_movies: 400,
+        n_people: 800,
+        ..Default::default()
+    });
+    let engine = QunitSearchEngine::build(
+        &data.db,
+        expert_imdb_qunits(&data.db).expect("catalog"),
+        EngineConfig::default(),
+    )
+    .expect("engine");
+    let log = QueryLog::generate(
+        &data,
+        QueryLogConfig {
+            n_queries: if test_mode { 500 } else { 5_000 },
+            ..QueryLogConfig::default()
+        },
+    );
+    println!(
+        "engine: {} instances, {} shards, executor pool {}; log: {} records, {} unique",
+        engine.num_instances(),
+        engine.num_shards(),
+        engine.executor_pool_size(),
+        log.records.len(),
+        log.unique_queries().len(),
+    );
+
+    let clients = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 16);
+    // Each sweep point replays ~2 seconds of traffic at its target rate
+    // (bounded wall clock however fast the engine is); the test smoke fires
+    // a fixed 100 arrivals at a trivial rate.
+    let targets: Vec<f64> = if test_mode {
+        vec![200.0]
+    } else {
+        vec![1_000.0, 2_000.0, 4_000.0, 8_000.0, 16_000.0, 32_000.0]
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &target in &targets {
+        let arrivals = if test_mode {
+            100
+        } else {
+            (target * 2.0) as usize
+        };
+        let schedule = log.open_loop_schedule(target, arrivals, 42);
+        // Warm the cache and the executor exactly once per point with a
+        // closed-loop pass over a slice of the workload.
+        for (_, q) in schedule.iter().take(arrivals.min(200)) {
+            black_box(engine.search(q, 10));
+        }
+        let sched_end = schedule.last().expect("non-empty schedule").0;
+        let (mut lat_us, span) = replay(&engine, &schedule, clients);
+        let achieved_qps = arrivals as f64 / span.as_secs_f64();
+        // "Sustained" = the replay finished within 5% (+50ms scheduling
+        // slack) of the timetable's own end. Comparing against the
+        // timetable rather than the nominal rate keeps Poisson variance in
+        // the schedule from reading as engine lag.
+        let sustained = span.as_secs_f64() <= sched_end.as_secs_f64() * 1.05 + 0.05;
+        lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let row = Row {
+            target_qps: target,
+            arrivals,
+            achieved_qps,
+            sustained,
+            p50_us: quantile(&lat_us, 0.50),
+            p99_us: quantile(&lat_us, 0.99),
+            p999_us: quantile(&lat_us, 0.999),
+        };
+        println!(
+            "service/open_loop/qps/{:.0}: achieved {:.0} qps ({}), p50 {:.1} us, p99 {:.1} us, p999 {:.1} us over {} arrivals",
+            row.target_qps,
+            row.achieved_qps,
+            if row.sustained { "sustained" } else { "fell behind" },
+            row.p50_us,
+            row.p99_us,
+            row.p999_us,
+            row.arrivals
+        );
+        rows.push(row);
+    }
+
+    // Headline capacity: the highest swept target the engine kept up with.
+    let max_sustainable_qps = rows
+        .iter()
+        .filter(|r| r.sustained)
+        .map(|r| r.target_qps)
+        .fold(0.0, f64::max);
+    println!("max sustainable qps (within 95% of target): {max_sustainable_qps:.0}");
+
+    // The observability layer is part of the product: print the snapshot
+    // the service would export, so a bench log doubles as an obs demo.
+    let obs = engine.obs_snapshot();
+    println!(
+        "obs: {} queries, cache hit rate {:.3}, {} inline / {} dispatched, mean queue wait {:.0} ns",
+        obs.queries,
+        obs.cache_hit_rate(),
+        obs.inline_queries,
+        obs.dispatched_queries,
+        obs.mean_queue_wait_nanos(),
+    );
+
+    let out = std::env::var("BENCH_SERVICE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json").to_string()
+    });
+    let mut json = String::from("{\n  \"bench\": \"service\",\n");
+    json.push_str(&format!(
+        "  \"corpus\": {{ \"movies\": 400, \"people\": 800 }},\n  \"clients\": {clients},\n"
+    ));
+    json.push_str(&format!(
+        "  \"max_sustainable_qps\": {max_sustainable_qps:.0},\n"
+    ));
+    json.push_str(&format!(
+        "  \"cache_hit_rate\": {:.4},\n  \"results\": [\n",
+        obs.cache_hit_rate()
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"target_qps\": {:.0}, \"arrivals\": {}, \"achieved_qps\": {:.0}, \"sustained\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1} }}{}\n",
+            r.target_qps,
+            r.arrivals,
+            r.achieved_qps,
+            r.sustained,
+            r.p50_us,
+            r.p99_us,
+            r.p999_us,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).expect("write BENCH_service.json");
+    println!("wrote {out}");
+}

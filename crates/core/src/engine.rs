@@ -52,21 +52,39 @@
 //! single-query latency never oversubscribe the machine together.
 //! Per-shard scoring time accumulates in
 //! [`QunitSearchEngine::shard_stats`] beside the cache counters.
+//!
+//! # Service hardening
+//!
+//! Three knobs defend the tail under open-loop load (all inert at their
+//! defaults, CI-gated bit-identical when un-hit): per-query deadlines
+//! ([`EngineConfig::deadline`], checked at fixed pipeline checkpoints),
+//! admission control ([`EngineConfig::max_concurrent_queries`], rejecting
+//! with [`SearchError::Overloaded`] from [`QunitSearchEngine::try_search`]
+//! instead of queueing), and bounded executor queues
+//! ([`EngineConfig::executor_queue_capacity`], over-capacity shard tasks
+//! degrade to the submitting thread). Every query-path event lands in
+//! cheap relaxed-atomic counters surfaced as one coherent
+//! [`QunitSearchEngine::obs_snapshot`] (see [`crate::obs`]); the open-loop
+//! `service` bench replays a Zipf query log at target QPS against all of
+//! it and emits `BENCH_service.json`.
 
 use crate::cache::{CacheStats, QueryCache};
 use crate::catalog::QunitCatalog;
 use crate::feedback::FeedbackStore;
 use crate::materialize::materialize_all;
+use crate::obs::{EngineObs, ObsSnapshot};
 use crate::qunit::{QunitDefinition, QunitInstance};
 use crate::segment::{EntityDictionary, SegmentScratch, SegmentedQuery, Segmenter};
 use irengine::{
-    DispatchMode, DispatchPolicy, Document, IndexBuilder, ScoringFunction, ScratchPool,
-    SearchContext, ShardExecutor, ShardTimings, ShardedIndex, ShardedSearcher,
+    DispatchCounts, DispatchMode, DispatchPolicy, Document, ExecutorStats, IndexBuilder,
+    ScoringFunction, ScratchPool, SearchContext, ShardExecutor, ShardTimings, ShardedIndex,
+    ShardedSearcher,
 };
 use relstore::{Database, Result};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
@@ -127,6 +145,38 @@ pub struct EngineConfig {
     /// / `QUNITS_INLINE_THRESHOLD` environment variables override it at
     /// build time (the CI determinism gate diffs both forced modes).
     pub inline_postings_threshold: usize,
+    /// Per-query wall-clock budget for the uncached pipeline; `None` (the
+    /// default) disables deadline checking entirely — not even a clock
+    /// read. The budget is checked at three fixed pipeline checkpoints
+    /// (`"segment"`, `"rank"`, `"materialize"`), never mid-kernel, so a
+    /// deadline changes *whether* a query completes but never *what* a
+    /// completed query returns: any query that finishes under its budget
+    /// is bit-identical to one run with no deadline at all (CI-gated).
+    /// A tripped deadline surfaces as
+    /// [`SearchError::DeadlineExceeded`] from the `try_*` entry points and
+    /// as an empty result list from the infallible ones; either way the
+    /// partial query is never cached. `QUNITS_DEADLINE_MS` overrides this
+    /// at build time.
+    pub deadline: Option<Duration>,
+    /// Admission limit: maximum queries allowed inside
+    /// [`QunitSearchEngine::try_search`] at once; `0` (the default)
+    /// disables admission control. Over-limit queries are rejected
+    /// immediately with [`SearchError::Overloaded`] instead of queueing —
+    /// under sustained overload an open-loop arrival stream otherwise
+    /// builds an unbounded backlog whose queueing delay dwarfs service
+    /// time. Only the fallible service entry point rejects; `search` /
+    /// `search_batch` stay infallible and admission-free.
+    /// `QUNITS_MAX_CONCURRENT` overrides this at build time.
+    pub max_concurrent_queries: usize,
+    /// Capacity of each of the shard executor's priority queues (urgent /
+    /// bulk), in tasks; `usize::MAX` (the default) is unbounded. Tasks
+    /// over capacity are not dropped and do not block: they run on the
+    /// submitting thread, exactly as the executor's work-helping loop
+    /// would have run them, so results are bit-identical at any capacity
+    /// (CI-gated at capacity 1) — only scheduling changes. `0` degrades
+    /// every dispatched task to the submitting thread.
+    /// `QUNITS_EXEC_QUEUE_CAP` overrides this at build time.
+    pub executor_queue_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -146,7 +196,126 @@ impl Default for EngineConfig {
             search_shards: 0,
             executor_threads: 0,
             inline_postings_threshold: DispatchPolicy::DEFAULT_INLINE_THRESHOLD,
+            deadline: None,
+            max_concurrent_queries: 0,
+            executor_queue_capacity: usize::MAX,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Apply the service-hardening environment overrides (the dispatch
+    /// overrides live on [`DispatchPolicy::with_env_overrides`]):
+    ///
+    /// - `QUNITS_DEADLINE_MS=<n>` — set [`EngineConfig::deadline`] to `n`
+    ///   milliseconds;
+    /// - `QUNITS_MAX_CONCURRENT=<n>` — set
+    ///   [`EngineConfig::max_concurrent_queries`];
+    /// - `QUNITS_EXEC_QUEUE_CAP=<n>` — set
+    ///   [`EngineConfig::executor_queue_capacity`].
+    ///
+    /// Unparseable values panic, like `QUNITS_INLINE_THRESHOLD`: a typo'd
+    /// override silently falling back to the default would run (and
+    /// measure, and gate) the wrong configuration while claiming to pin a
+    /// custom one. Applied automatically by [`QunitSearchEngine::build`].
+    fn with_env_overrides(mut self) -> Self {
+        fn parsed(name: &str) -> Option<u64> {
+            std::env::var(name).ok().map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{name} must be a non-negative integer, got {v:?}"))
+            })
+        }
+        if let Some(ms) = parsed("QUNITS_DEADLINE_MS") {
+            self.deadline = Some(Duration::from_millis(ms));
+        }
+        if let Some(n) = parsed("QUNITS_MAX_CONCURRENT") {
+            self.max_concurrent_queries = n as usize;
+        }
+        if let Some(n) = parsed("QUNITS_EXEC_QUEUE_CAP") {
+            self.executor_queue_capacity = n as usize;
+        }
+        self
+    }
+}
+
+/// Why a fallible search entry point declined to produce a full result
+/// list. Both variants are deterministic *in content*: the error carries no
+/// timing data, so transcript-style tests can match them structurally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// The query's [`EngineConfig::deadline`] elapsed at a pipeline
+    /// checkpoint. `phase` names the checkpoint that tripped (`"segment"`,
+    /// `"rank"`, or `"materialize"`) — the work *before* that checkpoint
+    /// is what overran.
+    DeadlineExceeded {
+        /// Pipeline checkpoint at which the budget was found exhausted.
+        phase: &'static str,
+    },
+    /// Admission control turned the query away:
+    /// [`EngineConfig::max_concurrent_queries`] queries were already in
+    /// flight. The query did no work at all; retry after backoff.
+    Overloaded {
+        /// Queries in flight at the moment of rejection.
+        in_flight: usize,
+        /// The configured admission limit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::DeadlineExceeded { phase } => {
+                write!(f, "query deadline exceeded at the {phase} checkpoint")
+            }
+            SearchError::Overloaded { in_flight, limit } => {
+                write!(
+                    f,
+                    "engine overloaded: {in_flight} queries in flight (limit {limit})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+/// Result alias for the fallible search entry points
+/// ([`QunitSearchEngine::try_search`] and friends).
+pub type SearchResult<T> = std::result::Result<T, SearchError>;
+
+/// Deadline checkpoints for the uncached pipeline. With no budget this is
+/// a no-op wrapper — no clock read at construction or checkpoints — so a
+/// `deadline: None` engine runs byte-for-byte the pre-deadline code path.
+#[derive(Debug, Clone, Copy)]
+struct DeadlineCheck(Option<(Instant, Duration)>);
+
+impl DeadlineCheck {
+    fn new(budget: Option<Duration>) -> Self {
+        DeadlineCheck(budget.map(|b| (Instant::now(), b)))
+    }
+
+    /// `Err` if the budget has elapsed. `>=` not `>`: a zero budget trips
+    /// the *first* checkpoint always — that determinism is what the
+    /// deadline-semantics tests pin.
+    fn check(&self, phase: &'static str) -> std::result::Result<(), SearchError> {
+        match self.0 {
+            Some((start, budget)) if start.elapsed() >= budget => {
+                Err(SearchError::DeadlineExceeded { phase })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// RAII in-flight token: admission increments on entry, drop decrements —
+/// on every exit path including panics, so a crashed query can never leak
+/// a permanently occupied slot.
+struct AdmitGuard<'a>(&'a AtomicU64);
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
     }
 }
 
@@ -242,6 +411,17 @@ pub struct QunitSearchEngine {
     /// [`EngineConfig::inline_postings_threshold`] plus the `QUNITS_*`
     /// environment overrides.
     policy: DispatchPolicy,
+    /// Engine-owned observability counters (queries served, deadline
+    /// trips, admission rejections); merged with the cache, executor, and
+    /// shard-timing counters in [`QunitSearchEngine::obs_snapshot`].
+    obs: EngineObs,
+    /// Inline-vs-dispatch decision tally, recorded by the sharded search
+    /// path through [`SearchContext::decisions`].
+    dispatch_counts: DispatchCounts,
+    /// Queries currently inside [`QunitSearchEngine::try_search`]
+    /// (admission control; see
+    /// [`EngineConfig::max_concurrent_queries`]).
+    in_flight: AtomicU64,
 }
 
 // Compile-time proof that the engine is a shareable service: every query
@@ -341,6 +521,7 @@ impl QunitSearchEngine {
     /// Materialize and index every instance of `catalog` against `db`,
     /// fanning definitions across [`EngineConfig::build_threads`] workers.
     pub fn build(db: &Database, catalog: QunitCatalog, config: EngineConfig) -> Result<Self> {
+        let config = config.with_env_overrides();
         let dict = match &config.entity_specs {
             Some(s) => {
                 let refs: Vec<(&str, &str)> =
@@ -407,7 +588,10 @@ impl QunitSearchEngine {
         // The persistent worker pool every parallel search dispatches onto
         // — constructed once here, parked until queries arrive, joined on
         // drop. Scheduling only: pool size can never change results.
-        let exec = ShardExecutor::new(config.executor_threads);
+        let exec = ShardExecutor::with_queue_capacity(
+            config.executor_threads,
+            config.executor_queue_capacity,
+        );
         let policy =
             DispatchPolicy::adaptive(config.inline_postings_threshold).with_env_overrides();
         Ok(QunitSearchEngine {
@@ -425,6 +609,9 @@ impl QunitSearchEngine {
             scratch_pool: ScratchPool::new(),
             exec,
             policy,
+            obs: EngineObs::default(),
+            dispatch_counts: DispatchCounts::new(),
+            in_flight: AtomicU64::new(0),
         })
     }
 
@@ -490,6 +677,49 @@ impl QunitSearchEngine {
         self.exec.pool_size()
     }
 
+    /// Inline-vs-dispatch decision totals `(inline, dispatched)` across
+    /// every multi-shard ranking pass since build. The spread is the
+    /// adaptive policy's report card: all-inline means the threshold never
+    /// fires, all-dispatch means no query is small enough to keep.
+    pub fn dispatch_counts(&self) -> (u64, u64) {
+        self.dispatch_counts.snapshot()
+    }
+
+    /// Queue counters from the persistent shard executor: admissions,
+    /// overflows (tasks degraded to the submitting thread), dequeues, and
+    /// accumulated queue-wait nanoseconds.
+    pub fn executor_stats(&self) -> ExecutorStats {
+        self.exec.stats()
+    }
+
+    /// One coherent snapshot of every observability signal the engine
+    /// tracks — queries served, cache hits/misses, inline-vs-dispatch
+    /// decisions, deadline trips, admission rejections, per-shard scoring
+    /// nanos, and executor queue stats. Monotonic totals since build;
+    /// snapshot twice and subtract for interval rates. Reading is a
+    /// handful of relaxed atomic loads plus one `Vec` for the shard slots
+    /// — safe to poll from an operator thread at any frequency.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        let cache = self.cache.stats();
+        let (inline_queries, dispatched_queries) = self.dispatch_counts.snapshot();
+        let exec = self.exec.stats();
+        ObsSnapshot {
+            queries: self.obs.queries.get(),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            inline_queries,
+            dispatched_queries,
+            deadline_exceeded: self.obs.deadline_exceeded.get(),
+            rejected_overload: self.obs.rejected_overload.get(),
+            per_shard_scoring_nanos: self.shard_timings.snapshot(),
+            tasks_enqueued: exec.enqueued,
+            tasks_overflowed: exec.overflowed,
+            tasks_dequeued: exec.dequeued,
+            queue_wait_nanos: exec.queue_wait_nanos,
+            max_queue_depth: exec.max_queue_depth,
+        }
+    }
+
     /// Fingerprint of the logical index content — invariant under both
     /// [`EngineConfig::build_threads`] and [`EngineConfig::search_shards`]
     /// (the CI determinism gate compares this value across sweeps of both).
@@ -549,22 +779,63 @@ impl QunitSearchEngine {
     /// cache first; on a miss the result list is computed by
     /// [`QunitSearchEngine::search_uncached`] and cached under the current
     /// feedback generation.
+    ///
+    /// Infallible and admission-free by design: a tripped
+    /// [`EngineConfig::deadline`] returns an empty result list (the
+    /// documented degraded answer — deterministic, never cached). A
+    /// service front door that needs to distinguish "no matches" from
+    /// "out of budget" uses [`QunitSearchEngine::try_search`].
     pub fn search(&self, query: &str, k: usize) -> Vec<QunitResult> {
-        self.search_with_policy(query, k, self.policy)
+        self.try_search_with_policy(query, k, self.policy)
+            .unwrap_or_default()
+    }
+
+    /// Fallible service entry point: [`QunitSearchEngine::search`] plus
+    /// admission control and surfaced deadline errors.
+    ///
+    /// Rejects immediately with [`SearchError::Overloaded`] when
+    /// [`EngineConfig::max_concurrent_queries`] queries are already inside
+    /// this method, and returns [`SearchError::DeadlineExceeded`] when the
+    /// per-query budget trips at a pipeline checkpoint. With both knobs at
+    /// their defaults (no limit, no deadline) this never errors and is
+    /// bit-identical to [`QunitSearchEngine::search`].
+    pub fn try_search(&self, query: &str, k: usize) -> SearchResult<Vec<QunitResult>> {
+        let _guard = self.admit()?;
+        self.try_search_with_policy(query, k, self.policy)
+    }
+
+    /// Take an in-flight slot, or reject. `None` guard = admission
+    /// disabled.
+    fn admit(&self) -> SearchResult<Option<AdmitGuard<'_>>> {
+        let limit = self.config.max_concurrent_queries;
+        if limit == 0 {
+            return Ok(None);
+        }
+        let prev = self.in_flight.fetch_add(1, Ordering::AcqRel) as usize;
+        if prev >= limit {
+            self.in_flight.fetch_sub(1, Ordering::Release);
+            self.obs.rejected_overload.incr();
+            return Err(SearchError::Overloaded {
+                in_flight: prev,
+                limit,
+            });
+        }
+        Ok(Some(AdmitGuard(&self.in_flight)))
     }
 
     /// [`QunitSearchEngine::search`] under an explicit dispatch policy
     /// (the batch path inlines shard scoring inside its query tasks).
-    fn search_with_policy(
+    fn try_search_with_policy(
         &self,
         query: &str,
         k: usize,
         policy: DispatchPolicy,
-    ) -> Vec<QunitResult> {
+    ) -> SearchResult<Vec<QunitResult>> {
+        self.obs.queries.incr();
         if k == 0 || !self.cache.is_enabled() {
             // k == 0 skips the cache entirely: no point spending an LRU
             // slot (and maybe an eviction) on an always-empty result.
-            return self.search_uncached_with_policy(query, k, policy);
+            return with_query_scratch(|qs| self.search_uncached_inner(query, k, policy, qs));
         }
         with_query_scratch(|qs| {
             normalized_query_into(query, &mut qs.norm);
@@ -573,14 +844,17 @@ impl QunitSearchEngine {
             // wrongly fresh.
             let generation = self.feedback.generation();
             if let Some(cached) = self.cache.get(&qs.norm, k, generation) {
-                return cached;
+                return Ok(cached);
             }
-            let results = self.search_uncached_inner(query, k, policy, qs);
+            // `?` before the insert: a deadline-truncated query must never
+            // be cached — the cache contract is "identical to uncached",
+            // and a later, faster run of the same query would complete.
+            let results = self.search_uncached_inner(query, k, policy, qs)?;
             // The cache owns its key, so a miss pays one String clone; a
             // hit allocates nothing for the normal form.
             self.cache
                 .insert(qs.norm.clone(), k, generation, results.clone());
-            results
+            Ok(results)
         })
     }
 
@@ -637,7 +911,9 @@ impl QunitSearchEngine {
             .map(|(q_chunk, out_chunk)| {
                 Box::new(move || {
                     for (q, slot) in q_chunk.iter().zip(out_chunk) {
-                        *slot = self.search_with_policy(q, k, policy);
+                        *slot = self
+                            .try_search_with_policy(q, k, policy)
+                            .unwrap_or_default();
                     }
                 }) as Box<dyn FnOnce() + Send + '_>
             })
@@ -647,32 +923,44 @@ impl QunitSearchEngine {
     }
 
     /// Run a keyword query without touching the cache, returning up to `k`
-    /// results.
+    /// results. Like [`QunitSearchEngine::search`], a tripped deadline
+    /// degrades to an empty list; [`QunitSearchEngine::try_search_uncached`]
+    /// surfaces it instead.
     pub fn search_uncached(&self, query: &str, k: usize) -> Vec<QunitResult> {
-        self.search_uncached_with_policy(query, k, self.policy)
+        self.try_search_uncached(query, k).unwrap_or_default()
     }
 
-    fn search_uncached_with_policy(
-        &self,
-        query: &str,
-        k: usize,
-        policy: DispatchPolicy,
-    ) -> Vec<QunitResult> {
-        with_query_scratch(|qs| self.search_uncached_inner(query, k, policy, qs))
+    /// Fallible uncached search: the full pipeline with deadline
+    /// checkpoints, no cache probe, no admission control.
+    pub fn try_search_uncached(&self, query: &str, k: usize) -> SearchResult<Vec<QunitResult>> {
+        self.obs.queries.incr();
+        with_query_scratch(|qs| self.search_uncached_inner(query, k, self.policy, qs))
     }
 
     /// The uncached pipeline with explicit working buffers (`qs`) and
     /// dispatch policy — the one body behind every search entry point.
+    ///
+    /// Deadline checkpoints sit at fixed phase boundaries ("segment" on
+    /// entry, "rank" before the IR fan-out, "materialize" before result
+    /// construction), never inside a scoring kernel: an un-hit deadline
+    /// leaves the result bit-identical, and a hit one aborts at a
+    /// deterministic place.
     fn search_uncached_inner(
         &self,
         query: &str,
         k: usize,
         policy: DispatchPolicy,
         qs: &mut QueryScratch,
-    ) -> Vec<QunitResult> {
+    ) -> SearchResult<Vec<QunitResult>> {
         if k == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
+        let deadline = DeadlineCheck::new(self.config.deadline);
+        let trip = |e: SearchError| {
+            self.obs.deadline_exceeded.incr();
+            e
+        };
+        deadline.check("segment").map_err(trip)?;
         let seg = self.segmenter.segment_with(query, &mut qs.seg);
         let type_scores = self.type_scores_for(&seg);
         let seg_signature = seg.template_signature();
@@ -747,6 +1035,7 @@ impl QunitSearchEngine {
         // deterministically, so results are identical at any shard count,
         // pool size, or dispatch mode. Per-shard scoring time lands in the
         // atomic shard counters.
+        deadline.check("rank").map_err(trip)?;
         let searcher = ShardedSearcher::new(&self.index, self.config.scoring);
         self.index.analyzer().tokenize_into(query, &mut qs.terms);
         let terms = &qs.terms;
@@ -756,6 +1045,7 @@ impl QunitSearchEngine {
             exec: Some(&self.exec),
             timings: Some(&self.shard_timings),
             policy,
+            decisions: Some(&self.dispatch_counts),
         };
         let mut hits = match &preferred {
             Some(defs) => searcher.search_terms_where_ctx(
@@ -810,6 +1100,7 @@ impl QunitSearchEngine {
         // this skips ~90% of the result-construction churn; the comparator
         // and the per-hit arithmetic are unchanged, so the final list is
         // identical to materialize-then-sort.
+        deadline.check("materialize").map_err(trip)?;
         struct Scored<'e> {
             score: f64,
             ir_score: f64,
@@ -852,7 +1143,7 @@ impl QunitSearchEngine {
                 .then(a.key.cmp(b.key))
         });
         scored.truncate(k);
-        scored
+        Ok(scored
             .into_iter()
             .map(|s| QunitResult {
                 key: s.key.to_string(),
@@ -865,7 +1156,7 @@ impl QunitSearchEngine {
                 fields: s.inst.fields.clone(),
                 anchor_text: s.inst.anchor_text(),
             })
-            .collect()
+            .collect())
     }
 
     /// Convenience: the single best result.

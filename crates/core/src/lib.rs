@@ -78,15 +78,19 @@ pub mod derive;
 pub mod engine;
 pub mod feedback;
 pub mod materialize;
+pub mod obs;
 pub mod presentation;
 pub mod qunit;
 pub mod segment;
 
 pub use cache::{CacheStats, QueryCache};
 pub use catalog::QunitCatalog;
-pub use engine::{EngineConfig, QunitResult, QunitSearchEngine, ShardStats};
+pub use engine::{
+    EngineConfig, QunitResult, QunitSearchEngine, SearchError, SearchResult, ShardStats,
+};
 pub use feedback::FeedbackStore;
 pub use materialize::{materialize_all, materialize_one};
+pub use obs::{Counter, ObsSnapshot, Span};
 pub use presentation::ConversionExpr;
 pub use qunit::{AnchorSpec, DerivationSource, QunitDefinition, QunitInstance};
 pub use segment::{EntityDictionary, Segment, SegmentScratch, SegmentedQuery, Segmenter};

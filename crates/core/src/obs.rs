@@ -1,0 +1,235 @@
+//! Per-query observability: cheap counters, RAII spans, and an engine-wide
+//! snapshot.
+//!
+//! The service-hardening contract for this module is *near-zero hot-path
+//! cost*: every primitive is a relaxed atomic `fetch_add` or a pair of
+//! monotonic clock reads — no allocation, no locks, no formatting. The
+//! engine threads one [`EngineObs`] through its query paths and exposes an
+//! [`ObsSnapshot`] on demand; snapshotting is the only place values are
+//! gathered, and it is allowed to allocate (one `Vec` for per-shard nanos).
+//!
+//! Counters are monotonic totals since engine build. Rates ("hits per
+//! second") are the caller's job: snapshot twice and subtract — the engine
+//! deliberately stores no timestamps or windows, because any windowing
+//! policy baked in here would be wrong for somebody's dashboard.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonically increasing event counter.
+///
+/// Thin wrapper over a relaxed [`AtomicU64`]: increments from any number of
+/// query threads never contend beyond the cache-line, and reads are
+/// tear-free single loads. Relaxed ordering is sufficient because counters
+/// carry no cross-thread control flow — a snapshot is a statistical view,
+/// not a synchronization point.
+///
+/// ```
+/// use qunit_core::obs::Counter;
+///
+/// let served = Counter::new();
+/// served.incr();
+/// served.add(2);
+/// assert_eq!(served.get(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII wall-clock span: measures from construction to drop and adds the
+/// elapsed nanoseconds to a [`Counter`].
+///
+/// Cost is two `Instant::now()` calls and one relaxed `fetch_add` — cheap
+/// enough to wrap every query. Spans accumulate into totals (pair a nanos
+/// counter with an event counter to recover a mean); they do not record
+/// individual samples, so tail percentiles belong to the bench harness,
+/// not to this module.
+///
+/// ```
+/// use qunit_core::obs::{Counter, Span};
+///
+/// let busy_nanos = Counter::new();
+/// {
+///     let _span = Span::start(&busy_nanos);
+///     // ... measured work ...
+/// } // drop records the elapsed time
+/// // A span can also be closed explicitly (identical effect):
+/// Span::start(&busy_nanos).finish();
+/// ```
+#[derive(Debug)]
+pub struct Span<'a> {
+    counter: &'a Counter,
+    start: Instant,
+}
+
+impl<'a> Span<'a> {
+    /// Start timing; the elapsed nanoseconds land in `counter` on drop.
+    pub fn start(counter: &'a Counter) -> Self {
+        Span {
+            counter,
+            start: Instant::now(),
+        }
+    }
+
+    /// Close the span now (equivalent to dropping it, spelled out for
+    /// call sites where an explicit end reads better than a scope).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.counter.add(self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Point-in-time view of every observability signal the engine tracks.
+///
+/// Produced by `QunitSearchEngine::obs_snapshot`; all fields are
+/// monotonic totals since build (snapshot twice and subtract for rates).
+/// The struct is plain data — no atomics — so it can be compared, cloned,
+/// and serialized by the caller however it likes.
+///
+/// ```
+/// use qunit_core::obs::ObsSnapshot;
+///
+/// let mut s = ObsSnapshot::default();
+/// s.queries = 4;
+/// s.cache_hits = 3;
+/// s.cache_misses = 1;
+/// assert_eq!(s.cache_hit_rate(), 0.75);
+/// assert_eq!(ObsSnapshot::default().cache_hit_rate(), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsSnapshot {
+    /// Queries served through the cached search entry points (hit or miss,
+    /// batch or single).
+    pub queries: u64,
+    /// Query-cache lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Query-cache lookups that fell through to a full search.
+    pub cache_misses: u64,
+    /// Multi-shard queries scored inline on the calling thread.
+    pub inline_queries: u64,
+    /// Multi-shard queries fanned across the shard executor.
+    pub dispatched_queries: u64,
+    /// Queries that hit their deadline checkpoint and returned
+    /// `SearchError::DeadlineExceeded`.
+    pub deadline_exceeded: u64,
+    /// Queries rejected at admission with `SearchError::Overloaded`.
+    pub rejected_overload: u64,
+    /// Cumulative scoring nanoseconds per index shard (length =
+    /// `num_shards`), from the dispatch path's [`irengine::ShardTimings`].
+    pub per_shard_scoring_nanos: Vec<u64>,
+    /// Shard tasks admitted to the executor's bounded queues.
+    pub tasks_enqueued: u64,
+    /// Shard tasks that overflowed the bounded queues and ran on the
+    /// submitting thread instead (graceful degradation, not loss).
+    pub tasks_overflowed: u64,
+    /// Shard tasks dequeued by pool workers or work-helping callers.
+    pub tasks_dequeued: u64,
+    /// Total nanoseconds admitted tasks spent waiting in the executor
+    /// queue before a worker picked them up.
+    pub queue_wait_nanos: u64,
+    /// High-water mark of the executor queue depth (urgent + bulk).
+    pub max_queue_depth: u64,
+}
+
+impl ObsSnapshot {
+    /// Fraction of cache lookups served from the cache, `0.0` when no
+    /// lookups have happened yet.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean queue wait per dequeued task in nanoseconds, `0.0` before any
+    /// task has been dequeued.
+    pub fn mean_queue_wait_nanos(&self) -> f64 {
+        if self.tasks_dequeued == 0 {
+            0.0
+        } else {
+            self.queue_wait_nanos as f64 / self.tasks_dequeued as f64
+        }
+    }
+}
+
+/// The engine's live counter block: everything [`ObsSnapshot`] reports
+/// that is not already owned by another subsystem (the query cache keeps
+/// its own hit/miss atomics, the executor its queue stats, the sharded
+/// searcher its per-shard nanos — the snapshot merges all four).
+#[derive(Debug, Default)]
+pub struct EngineObs {
+    /// Queries served through the cached entry points.
+    pub queries: Counter,
+    /// Deadline-checkpoint trips.
+    pub deadline_exceeded: Counter,
+    /// Admission rejections.
+    pub rejected_overload: Counter,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_threads() {
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn span_records_nonzero_elapsed() {
+        let nanos = Counter::new();
+        let span = Span::start(&nanos);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        span.finish();
+        assert!(
+            nanos.get() >= 1_000_000,
+            "slept 2ms, recorded {}",
+            nanos.get()
+        );
+    }
+
+    #[test]
+    fn snapshot_rates_handle_zero_denominators() {
+        let s = ObsSnapshot::default();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.mean_queue_wait_nanos(), 0.0);
+    }
+}

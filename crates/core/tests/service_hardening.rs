@@ -1,0 +1,263 @@
+//! Service-hardening contract tests: deadline semantics, admission
+//! control, bounded executor queues, and the observability counters —
+//! the guarantees behind the open-loop `service` bench.
+//!
+//! The load-bearing claims pinned here, complementing the CI determinism
+//! transcript gate (which diffs `exp_determinism` under
+//! `QUNITS_DEADLINE_MS`/`QUNITS_MAX_CONCURRENT`/`QUNITS_EXEC_QUEUE_CAP`):
+//!
+//! 1. a deadline of `None` (default) and an un-hit deadline are
+//!    bit-identical to each other — keys, order, score bits;
+//! 2. a zero deadline trips the *first* checkpoint every time — the
+//!    degraded result is deterministic, and never cached;
+//! 3. admission accounting balances exactly (served + rejected = offered)
+//!    and actually rejects under pressure;
+//! 4. the obs counters add up under `search_batch`, including the
+//!    inline-vs-dispatch split.
+
+use datagen::imdb::{ImdbConfig, ImdbData};
+use qunit_core::derive::manual::expert_imdb_qunits;
+use qunit_core::{EngineConfig, QunitSearchEngine, SearchError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+fn data() -> ImdbData {
+    ImdbData::generate(ImdbConfig::tiny())
+}
+
+fn build(data: &ImdbData, config: EngineConfig) -> QunitSearchEngine {
+    QunitSearchEngine::build(&data.db, expert_imdb_qunits(&data.db).unwrap(), config).unwrap()
+}
+
+/// A small workload covering every routing shape the engine has.
+fn workload(data: &ImdbData) -> Vec<String> {
+    let mut qs: Vec<String> = Vec::new();
+    for m in data.movies.iter().take(8) {
+        qs.push(format!("{} cast", m.title));
+        qs.push(m.title.clone());
+    }
+    for p in data.people.iter().take(8) {
+        qs.push(format!("{} movies", p.name));
+    }
+    qs.push("best rated charts".into());
+    qs.push("zzzz qqqq".into());
+    qs
+}
+
+/// Transcript of (key, score bit pattern) rows — the same identity the CI
+/// determinism gate diffs.
+fn transcript(engine: &QunitSearchEngine, queries: &[String]) -> Vec<(String, u64)> {
+    queries
+        .iter()
+        .flat_map(|q| {
+            engine
+                .search_uncached(q, 10)
+                .into_iter()
+                .map(|r| (r.key, r.score.to_bits()))
+        })
+        .collect()
+}
+
+#[test]
+fn unhit_deadline_and_bounded_queue_are_bit_identical_to_baseline() {
+    let data = data();
+    let baseline = build(&data, EngineConfig::default());
+    // Hardened service config: a deadline no test query can hit, an
+    // admission limit, and a queue capacity of 1 (nearly every dispatched
+    // task degrades to the submitting thread).
+    let hardened = build(
+        &data,
+        EngineConfig {
+            deadline: Some(Duration::from_secs(600)),
+            max_concurrent_queries: 64,
+            executor_queue_capacity: 1,
+            ..EngineConfig::default()
+        },
+    );
+    let qs = workload(&data);
+    assert_eq!(transcript(&baseline, &qs), transcript(&hardened, &qs));
+}
+
+#[test]
+fn zero_queue_capacity_is_bit_identical_under_forced_dispatch() {
+    let data = data();
+    // Force every query down the dispatch path so the bounded queue is
+    // actually exercised, then starve the queue completely: every task
+    // must degrade to the caller and results must not move.
+    let config = EngineConfig {
+        inline_postings_threshold: 0,
+        search_shards: 4,
+        executor_threads: 2,
+        ..EngineConfig::default()
+    };
+    let baseline = build(&data, config.clone());
+    let starved = build(
+        &data,
+        EngineConfig {
+            executor_queue_capacity: 0,
+            ..config
+        },
+    );
+    let qs = workload(&data);
+    assert_eq!(transcript(&baseline, &qs), transcript(&starved, &qs));
+    let stats = starved.executor_stats();
+    assert_eq!(stats.enqueued, 0, "capacity 0 admits nothing");
+    assert!(stats.overflowed > 0, "dispatched tasks must have degraded");
+}
+
+#[test]
+fn zero_deadline_trips_first_checkpoint_deterministically() {
+    let data = data();
+    let engine = build(
+        &data,
+        EngineConfig {
+            deadline: Some(Duration::ZERO),
+            ..EngineConfig::default()
+        },
+    );
+    for _ in 0..3 {
+        // The fallible entry point surfaces the documented error, always
+        // at the first checkpoint (elapsed >= 0 is true immediately).
+        assert_eq!(
+            engine.try_search("star wars cast", 10),
+            Err(SearchError::DeadlineExceeded { phase: "segment" })
+        );
+        // The infallible one degrades to the documented empty list.
+        assert_eq!(engine.search("star wars cast", 10), Vec::new());
+    }
+    // A deadline-truncated query is never cached: every attempt above was
+    // a miss, and no entry was inserted.
+    let cache = engine.cache_stats();
+    assert_eq!(cache.entries, 0, "partial results must not be cached");
+    assert!(cache.misses > 0);
+    assert_eq!(cache.hits, 0);
+    let obs = engine.obs_snapshot();
+    assert_eq!(obs.deadline_exceeded, 6);
+    // k == 0 short-circuits before the deadline checkpoint.
+    assert_eq!(engine.try_search("star wars", 0), Ok(Vec::new()));
+}
+
+#[test]
+fn generous_deadline_never_errors() {
+    let data = data();
+    let engine = build(
+        &data,
+        EngineConfig {
+            deadline: Some(Duration::from_secs(600)),
+            ..EngineConfig::default()
+        },
+    );
+    for q in workload(&data) {
+        assert!(engine.try_search(&q, 10).is_ok(), "query {q:?}");
+    }
+    assert_eq!(engine.obs_snapshot().deadline_exceeded, 0);
+}
+
+#[test]
+fn admission_accounting_balances_under_pressure() {
+    let data = data();
+    let engine = build(
+        &data,
+        EngineConfig {
+            max_concurrent_queries: 1,
+            cache_capacity: 0, // every query does real work, maximizing overlap
+            ..EngineConfig::default()
+        },
+    );
+    let queries = workload(&data);
+    let served = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let offered = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let (engine, queries) = (&engine, &queries);
+            let (served, rejected, offered) = (&served, &rejected, &offered);
+            scope.spawn(move || {
+                for i in 0..40 {
+                    let q = &queries[(t * 7 + i) % queries.len()];
+                    offered.fetch_add(1, Ordering::Relaxed);
+                    match engine.try_search(q, 10) {
+                        Ok(_) => served.fetch_add(1, Ordering::Relaxed),
+                        Err(SearchError::Overloaded { limit, .. }) => {
+                            assert_eq!(limit, 1);
+                            rejected.fetch_add(1, Ordering::Relaxed)
+                        }
+                        Err(e) => panic!("unexpected error: {e}"),
+                    };
+                }
+            });
+        }
+    });
+    assert_eq!(
+        served.load(Ordering::Relaxed) + rejected.load(Ordering::Relaxed),
+        offered.load(Ordering::Relaxed)
+    );
+    assert!(
+        rejected.load(Ordering::Relaxed) > 0,
+        "8 threads against a limit of 1 must collide"
+    );
+    let obs = engine.obs_snapshot();
+    assert_eq!(obs.rejected_overload, rejected.load(Ordering::Relaxed));
+    // Every admitted query eventually released its slot.
+    for q in queries.iter().take(3) {
+        assert!(engine.try_search(q, 10).is_ok());
+    }
+}
+
+#[test]
+fn obs_counters_add_up_under_search_batch() {
+    let data = data();
+    let engine = build(
+        &data,
+        EngineConfig {
+            search_shards: 4,
+            executor_threads: 2,
+            inline_postings_threshold: 0, // adaptive → always dispatch
+            ..EngineConfig::default()
+        },
+    );
+    let queries = workload(&data);
+    let refs: Vec<&str> = queries.iter().map(String::as_str).collect();
+    let batched = engine.search_batch(&refs, 10);
+    assert_eq!(batched.len(), refs.len());
+
+    let obs = engine.obs_snapshot();
+    assert_eq!(
+        obs.queries,
+        refs.len() as u64,
+        "one count per batched query"
+    );
+    assert_eq!(
+        obs.cache_hits + obs.cache_misses,
+        refs.len() as u64,
+        "every query probed the cache exactly once"
+    );
+    // Every cache miss ran at least one multi-shard ranking pass, and
+    // every pass recorded exactly one inline-vs-dispatch decision (a few
+    // queries rank twice via the empty-preferred fallback, hence >=).
+    assert!(obs.inline_queries + obs.dispatched_queries >= obs.cache_misses);
+    assert_eq!(obs.per_shard_scoring_nanos.len(), engine.num_shards());
+
+    // Outside the batch override, threshold 0 on a multi-worker pool
+    // means the adaptive policy must dispatch.
+    let dispatched_before = obs.dispatched_queries;
+    engine.search_uncached(refs[0], 10);
+    assert!(
+        engine.obs_snapshot().dispatched_queries > dispatched_before,
+        "adaptive policy with a zero threshold must dispatch"
+    );
+
+    // A second identical batch is all cache hits: queries still count,
+    // decisions don't move (cache hits never touch the shards).
+    let before = engine.obs_snapshot();
+    let again = engine.search_batch(&refs, 10);
+    assert_eq!(again, batched);
+    let obs2 = engine.obs_snapshot();
+    assert_eq!(obs2.queries, before.queries + refs.len() as u64);
+    assert!(obs2.cache_hits > before.cache_hits);
+    assert_eq!(
+        obs2.inline_queries + obs2.dispatched_queries,
+        before.inline_queries + before.dispatched_queries,
+        "cache hits must not re-rank"
+    );
+}

@@ -169,6 +169,40 @@ impl QueryLog {
         let set: std::collections::HashSet<u32> = self.records.iter().map(|r| r.user).collect();
         set.len()
     }
+
+    /// Open-loop arrival schedule over this log: `n_arrivals` queries
+    /// (cycling through the records in issue order, so the Zipf entity
+    /// skew and template mix carry over) with Poisson arrival times at a
+    /// mean rate of `qps` queries per second.
+    ///
+    /// Offsets are relative to the start of the replay and are strictly
+    /// non-decreasing. The schedule is what makes the load *open-loop*: a
+    /// replayer fires each query at its offset whether or not earlier
+    /// queries have finished, so under overload the measured latency
+    /// includes the queueing delay a closed loop would hide. Inter-arrival
+    /// gaps are exponential (`-ln(1-U)/qps`), drawn from a seeded RNG —
+    /// the same `(qps, n_arrivals, seed)` always yields the same schedule.
+    pub fn open_loop_schedule(
+        &self,
+        qps: f64,
+        n_arrivals: usize,
+        seed: u64,
+    ) -> Vec<(std::time::Duration, &str)> {
+        assert!(qps > 0.0, "target QPS must be positive, got {qps}");
+        assert!(!self.records.is_empty(), "cannot replay an empty log");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0f64;
+        (0..n_arrivals)
+            .map(|i| {
+                let u: f64 = rng.gen();
+                // u < 1.0 always, so ln(1-u) is finite; the gap is the
+                // textbook inverse-CDF exponential draw.
+                t += -(1.0 - u).ln() / qps;
+                let q = self.records[i % self.records.len()].raw.as_str();
+                (std::time::Duration::from_secs_f64(t), q)
+            })
+            .collect()
+    }
 }
 
 fn sample_template(rng: &mut StdRng, total_w: f64) -> QueryTemplate {
@@ -496,6 +530,21 @@ mod tests {
         let users = log.distinct_users();
         assert!(users > 1);
         assert!(users <= log.config.n_users);
+    }
+
+    #[test]
+    fn open_loop_schedule_is_deterministic_and_paced() {
+        let (_, log) = small_log();
+        let a = log.open_loop_schedule(100.0, 1_000, 7);
+        let b = log.open_loop_schedule(100.0, 1_000, 7);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0), "non-decreasing");
+        // 1000 arrivals at 100 qps should span ~10s; Poisson noise keeps it
+        // loose but the mean rate must be in the right decade.
+        let span = a.last().unwrap().0.as_secs_f64();
+        assert!((5.0..20.0).contains(&span), "span {span}");
+        // A different seed produces a different schedule.
+        assert_ne!(a, log.open_loop_schedule(100.0, 1_000, 8));
     }
 
     #[test]

@@ -41,6 +41,20 @@
 //! job additionally diffs `QUNITS_FORCE_INLINE=1` against
 //! `QUNITS_FORCE_DISPATCH=1` transcripts).
 //!
+//! # Admission control
+//!
+//! Each priority class's queue is **bounded**
+//! ([`ShardExecutor::with_queue_capacity`]; the default is unbounded, which
+//! preserves the historical behavior bit-for-bit). A batch that arrives at
+//! a full queue does not block and is not dropped: the tasks that do not
+//! fit are executed by the **calling thread** itself, exactly as the
+//! work-helping loop would have run them. Over-capacity therefore degrades
+//! a dispatch toward inline execution — latency flattens instead of the
+//! queue (and its wait times) growing without bound. Every admission
+//! outcome is counted in [`ExecutorStats`], including the queue-wait
+//! nanoseconds of every dequeued task, so an operator can see queueing
+//! delay build before it becomes a tail-latency incident.
+//!
 //! # Shutdown
 //!
 //! Dropping the executor parks no new work, wakes every worker, and joins
@@ -52,8 +66,10 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A type-erased task. The `'static` is a lie [`ShardExecutor::run`]
 /// makes true: `run` never returns until every job it enqueued has
@@ -68,6 +84,9 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 struct QueuedJob {
     job: Job,
     latch: Arc<Latch>,
+    /// When the job entered a queue; `None` for over-capacity jobs the
+    /// caller executes directly (they never wait, so they record no wait).
+    enqueued_at: Option<Instant>,
 }
 
 impl QueuedJob {
@@ -87,6 +106,54 @@ struct Shared {
     queue: Mutex<Queue>,
     /// Signaled when jobs arrive or shutdown begins.
     work_ready: Condvar,
+    /// Queue-admission and queue-wait counters (see [`ExecutorStats`]).
+    counters: QueueCounters,
+}
+
+/// Lock-free accumulators behind [`ShardExecutor::stats`]. All relaxed
+/// atomics: the counts are operator telemetry, not synchronization.
+#[derive(Default)]
+struct QueueCounters {
+    enqueued: AtomicU64,
+    overflowed: AtomicU64,
+    dequeued: AtomicU64,
+    queue_wait_nanos: AtomicU64,
+    max_queue_depth: AtomicU64,
+}
+
+impl QueueCounters {
+    /// Record a job leaving a queue for execution: one dequeue plus the
+    /// nanoseconds it spent queued (a single clock read per dequeued job;
+    /// jobs the caller ran directly never pass through here).
+    fn note_dequeue(&self, enqueued_at: Option<Instant>) {
+        if let Some(t) = enqueued_at {
+            self.queue_wait_nanos
+                .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.dequeued.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Snapshot of a [`ShardExecutor`]'s admission and queue-wait counters —
+/// the queueing-delay half of the service observability story (per-shard
+/// scoring time lives in [`crate::ShardTimings`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecutorStats {
+    /// Tasks accepted into a bounded queue.
+    pub enqueued: u64,
+    /// Tasks that arrived at a full queue and ran on the calling thread
+    /// instead (the graceful over-capacity path — work shed to the
+    /// submitter, never blocked, never dropped).
+    pub overflowed: u64,
+    /// Tasks popped from a queue by a worker or a helping caller.
+    pub dequeued: u64,
+    /// Total nanoseconds dequeued tasks spent waiting in a queue. Divide
+    /// by [`ExecutorStats::dequeued`] for the mean queue wait; a growing
+    /// mean under steady load is the canonical saturation signal.
+    pub queue_wait_nanos: u64,
+    /// High-water mark of total queued tasks (urgent + bulk) observed at
+    /// enqueue time.
+    pub max_queue_depth: u64,
 }
 
 #[derive(Default)]
@@ -177,6 +244,8 @@ impl Latch {
 pub struct ShardExecutor {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// Per-priority-class queue bound (tasks); `usize::MAX` = unbounded.
+    queue_capacity: usize,
 }
 
 impl std::fmt::Debug for ShardExecutor {
@@ -192,9 +261,21 @@ const _: () = assert_send_sync::<ShardExecutor>();
 
 impl ShardExecutor {
     /// Spawn a pool of `threads` parked workers (`0` = one per available
-    /// core). The pool never grows or shrinks; with the caller helping,
-    /// `threads + 1` threads can execute tasks concurrently.
+    /// core) with **unbounded** queues. The pool never grows or shrinks;
+    /// with the caller helping, `threads + 1` threads can execute tasks
+    /// concurrently.
     pub fn new(threads: usize) -> Self {
+        Self::with_queue_capacity(threads, usize::MAX)
+    }
+
+    /// [`ShardExecutor::new`] with a bounded admission queue:
+    /// `queue_capacity` is the maximum number of queued tasks **per
+    /// priority class** (urgent and bulk each get the full bound). Tasks
+    /// beyond the bound are executed by the submitting thread itself — see
+    /// the [module docs](self) on admission control. A capacity of `0` is
+    /// valid and means every multi-task batch runs entirely on its caller
+    /// (results are identical either way; only scheduling changes).
+    pub fn with_queue_capacity(threads: usize, queue_capacity: usize) -> Self {
         let threads = match threads {
             0 => std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -211,12 +292,33 @@ impl ShardExecutor {
                     .expect("spawn shard executor worker")
             })
             .collect();
-        ShardExecutor { shared, workers }
+        ShardExecutor {
+            shared,
+            workers,
+            queue_capacity,
+        }
     }
 
     /// Number of worker threads parked in the pool.
     pub fn pool_size(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The per-class queue bound (`usize::MAX` = unbounded).
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Snapshot of the admission and queue-wait counters.
+    pub fn stats(&self) -> ExecutorStats {
+        let c = &self.shared.counters;
+        ExecutorStats {
+            enqueued: c.enqueued.load(Ordering::Relaxed),
+            overflowed: c.overflowed.load(Ordering::Relaxed),
+            dequeued: c.dequeued.load(Ordering::Relaxed),
+            queue_wait_nanos: c.queue_wait_nanos.load(Ordering::Relaxed),
+            max_queue_depth: c.max_queue_depth.load(Ordering::Relaxed),
+        }
     }
 
     /// Execute every task at **bulk** priority, blocking until all
@@ -255,7 +357,7 @@ impl ShardExecutor {
         }
 
         let latch = Arc::new(Latch::new(tasks.len()));
-        let jobs: Vec<QueuedJob> = tasks
+        let mut jobs: Vec<QueuedJob> = tasks
             .into_iter()
             .map(|task| QueuedJob {
                 // SAFETY: lifetime erasure only — same trait object, same
@@ -266,24 +368,50 @@ impl ShardExecutor {
                 // ends.
                 job: unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(task) },
                 latch: Arc::clone(&latch),
+                enqueued_at: None,
             })
             .collect();
 
-        let enqueued = jobs.len();
-        {
+        // Bounded admission: enqueue only what this priority class has room
+        // for; the rest stay with the caller and run below, exactly as the
+        // work-helping loop would have run them. One clock read covers the
+        // whole batch — per-task `Instant::now()` would put N clock reads on
+        // the dispatch path this pool exists to make cheap.
+        let now = Instant::now();
+        let (enqueued, overflow, depth) = {
             let mut q = lock(&self.shared.queue);
-            if urgent {
-                q.urgent.extend(jobs);
-            } else {
-                q.bulk.extend(jobs);
+            let class = if urgent { &mut q.urgent } else { &mut q.bulk };
+            let room = self.queue_capacity.saturating_sub(class.len());
+            let accepted = jobs.len().min(room);
+            let overflow = jobs.split_off(accepted);
+            for mut job in jobs {
+                job.enqueued_at = Some(now);
+                class.push_back(job);
             }
-        }
+            (accepted, overflow, q.urgent.len() + q.bulk.len())
+        };
+        let counters = &self.shared.counters;
+        counters
+            .enqueued
+            .fetch_add(enqueued as u64, Ordering::Relaxed);
+        counters
+            .overflowed
+            .fetch_add(overflow.len() as u64, Ordering::Relaxed);
+        counters
+            .max_queue_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
         // Wake only as many workers as there are jobs to take: notify_all
         // on a big pool would stampede every parked worker onto the queue
         // mutex just to find it empty — overhead on the exact dispatch
         // path this pool exists to make cheap.
         for _ in 0..enqueued.min(self.workers.len()) {
             self.shared.work_ready.notify_one();
+        }
+        // Over-capacity jobs run here on the caller. They share the batch
+        // latch, so a panic defers through it like any queued job's and the
+        // borrow-soundness argument is unchanged.
+        for job in overflow {
+            job.execute();
         }
 
         // Work-helping wait: execute queued tasks (ours or another
@@ -311,6 +439,7 @@ impl ShardExecutor {
         let job = lock(&self.shared.queue).pop(urgent_only);
         match job {
             Some(job) => {
+                self.shared.counters.note_dequeue(job.enqueued_at);
                 job.execute();
                 true
             }
@@ -342,6 +471,7 @@ fn worker_loop(shared: &Shared) {
     loop {
         if let Some(job) = q.pop(false) {
             drop(q);
+            shared.counters.note_dequeue(job.enqueued_at);
             job.execute();
             q = lock(&shared.queue);
         } else if q.shutdown {
@@ -461,6 +591,45 @@ impl Default for DispatchPolicy {
     }
 }
 
+/// Running tally of inline-vs-dispatch decisions taken by the sharded
+/// search path.
+///
+/// [`crate::SearchContext::decisions`] points one of these at the searcher;
+/// every multi-shard query records exactly one decision (relaxed atomics,
+/// no allocation — safe on the hot path). The engine exposes the totals so
+/// an operator can see whether the adaptive policy is actually splitting
+/// traffic or degenerating to one mode.
+#[derive(Debug, Default)]
+pub struct DispatchCounts {
+    inline: AtomicU64,
+    dispatched: AtomicU64,
+}
+
+impl DispatchCounts {
+    /// New zeroed tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one decision: `true` means the query was scored inline on
+    /// the calling thread, `false` means it was fanned across the pool.
+    pub fn record(&self, inline: bool) {
+        if inline {
+            self.inline.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.dispatched.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot `(inline, dispatched)` totals.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (
+            self.inline.load(Ordering::Relaxed),
+            self.dispatched.load(Ordering::Relaxed),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,6 +652,82 @@ mod tests {
         for c in &counters {
             assert_eq!(c.load(Ordering::Relaxed), 1);
         }
+    }
+
+    #[test]
+    fn zero_capacity_runs_everything_on_the_caller() {
+        let exec = ShardExecutor::with_queue_capacity(2, 0);
+        assert_eq!(exec.queue_capacity(), 0);
+        let counters: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(0)).collect();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = counters
+            .iter()
+            .map(|c| {
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        exec.run(tasks);
+        for c in &counters {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+        let stats = exec.stats();
+        assert_eq!(stats.enqueued, 0);
+        assert_eq!(stats.overflowed, 16);
+        assert_eq!(stats.dequeued, 0);
+        assert_eq!(stats.queue_wait_nanos, 0);
+    }
+
+    #[test]
+    fn tiny_capacity_splits_between_queue_and_caller() {
+        let exec = ShardExecutor::with_queue_capacity(1, 1);
+        let counters: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = counters
+            .iter()
+            .map(|c| {
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        exec.run(tasks);
+        for c in &counters {
+            assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+        let stats = exec.stats();
+        assert_eq!(stats.enqueued + stats.overflowed, 32);
+        assert!(
+            stats.overflowed >= 31,
+            "capacity 1 admits at most 1 per batch"
+        );
+        assert!(stats.max_queue_depth <= 1);
+    }
+
+    #[test]
+    fn unbounded_default_never_overflows() {
+        let exec = ShardExecutor::new(2);
+        for _ in 0..10 {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+                .map(|_| Box::new(|| {}) as Box<dyn FnOnce() + Send + '_>)
+                .collect();
+            exec.run(tasks);
+        }
+        let stats = exec.stats();
+        assert_eq!(stats.overflowed, 0);
+        assert_eq!(stats.enqueued, 80);
+        // Every accepted job was either popped by a worker/helper (counted)
+        // or drained after the latch released; dequeues never exceed
+        // enqueues.
+        assert!(stats.dequeued <= stats.enqueued);
+    }
+
+    #[test]
+    fn dispatch_counts_tally_and_snapshot() {
+        let counts = DispatchCounts::new();
+        counts.record(true);
+        counts.record(true);
+        counts.record(false);
+        assert_eq!(counts.snapshot(), (2, 1));
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod snippet;
 
 pub use analysis::Analyzer;
 pub use document::{DocId, Document};
-pub use exec::{DispatchMode, DispatchPolicy, ShardExecutor};
+pub use exec::{DispatchCounts, DispatchMode, DispatchPolicy, ExecutorStats, ShardExecutor};
 pub use index::{Index, IndexBuilder, Posting, Postings, TermId};
 pub use score::{ScoringFunction, TermScorer, TermStats};
 pub use search::{Hit, ScoreScratch, ScratchPool, Searcher};

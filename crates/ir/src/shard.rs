@@ -39,7 +39,7 @@
 
 use crate::analysis::Analyzer;
 use crate::document::{DocId, Document};
-use crate::exec::{DispatchPolicy, ShardExecutor};
+use crate::exec::{DispatchCounts, DispatchPolicy, ShardExecutor};
 use crate::index::Index;
 use crate::score::{ScoringFunction, TermScorer, TermStats};
 use crate::search::{
@@ -346,6 +346,9 @@ pub struct SearchContext<'a> {
     pub timings: Option<&'a ShardTimings>,
     /// Inline-vs-dispatch decision (see [`DispatchPolicy`]).
     pub policy: DispatchPolicy,
+    /// Tally of inline-vs-dispatch decisions taken; `None` skips the
+    /// bookkeeping (one relaxed `fetch_add` per multi-shard query when set).
+    pub decisions: Option<&'a DispatchCounts>,
 }
 
 impl SearchContext<'_> {
@@ -509,6 +512,9 @@ impl<'a> ShardedSearcher<'a> {
             let pool_size = ctx.exec.map_or(n, ShardExecutor::pool_size);
             ctx.policy.should_inline(estimated_postings, pool_size)
         };
+        if let Some(d) = ctx.decisions {
+            d.record(inline);
+        }
 
         if inline {
             // Zero-dispatch path: walk the shards on this thread, reusing

@@ -1,0 +1,72 @@
+//! Link-rot guard for the prose docs: every backtick-quoted repository
+//! path in `README.md` and `docs/*.md` must actually exist, so the
+//! architecture/operations docs cannot silently drift from the tree they
+//! describe. (Rustdoc intra-doc links are already checked by the CI docs
+//! job; this covers the markdown files rustdoc never sees.)
+
+use std::path::{Path, PathBuf};
+
+/// Directories a doc-referenced path may live under. Restricting to these
+/// roots keeps the scan from tripping on shell snippets, JSON fragments,
+/// or `a/b` placeholders in prose.
+const CHECKED_ROOTS: &[&str] = &[
+    "crates/",
+    "docs/",
+    "examples/",
+    "tests/",
+    "vendor/",
+    ".github/",
+];
+
+/// Extract backtick-quoted tokens that look like repo paths.
+fn doc_paths(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for raw in text.split('`').skip(1).step_by(2) {
+        // Globs, macros, generics, and multi-word spans are prose, not
+        // paths; `*.md` style references are patterns, not files.
+        if raw.contains(|c: char| c.is_whitespace() || "*<>(){}!".contains(c)) {
+            continue;
+        }
+        if CHECKED_ROOTS.iter().any(|r| raw.starts_with(r)) {
+            out.push(raw.to_string());
+        }
+    }
+    out
+}
+
+#[test]
+fn every_doc_referenced_path_exists() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files: Vec<PathBuf> = vec![root.join("README.md")];
+    for entry in std::fs::read_dir(root.join("docs")).expect("docs/ directory") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            files.push(path);
+        }
+    }
+    assert!(
+        files.len() >= 3,
+        "expected README + docs/*.md, got {files:?}"
+    );
+
+    let mut missing: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let text = std::fs::read_to_string(file).expect("readable doc");
+        for p in doc_paths(&text) {
+            checked += 1;
+            if !root.join(&p).exists() {
+                missing.push(format!("{}: `{p}`", file.display()));
+            }
+        }
+    }
+    assert!(
+        checked > 20,
+        "path scan found only {checked} references — extractor likely broken"
+    );
+    assert!(
+        missing.is_empty(),
+        "doc-referenced paths missing from the tree:\n{}",
+        missing.join("\n")
+    );
+}
