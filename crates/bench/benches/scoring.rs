@@ -8,6 +8,13 @@
 //! (override with the `BENCH_SCORING_OUT` env var), so CI runs leave a
 //! perf data point behind instead of scrollback. `--test` runs every
 //! measurement once, like the criterion smoke mode.
+//!
+//! Beside the timing samples, the JSON carries an `accumulate_postings`
+//! block: the postings the top-10 query actually walks under the default
+//! MaxScore-pruned kernel versus the forced-exhaustive reference
+//! ([`Searcher::with_exhaustive`]) — exact counts from
+//! [`ScoreScratch::postings_visited`], not timings, so CI can assert the
+//! pruning engages without a wall-clock-dependent gate.
 
 use irengine::{Document, IndexBuilder, ScoreScratch, ScoringFunction, Searcher, TermStats};
 use std::hint::black_box;
@@ -88,17 +95,44 @@ fn main() {
     }));
 
     // Stage 2 — accumulation: k = all documents, so dense accumulation over
-    // every matching posting dominates and selection degenerates.
+    // every matching posting dominates, selection degenerates, and MaxScore
+    // pruning cannot engage (every doc makes the cut).
     let mut scratch = ScoreScratch::new();
     samples.push(measure("accumulate", iters(2_000), || {
-        black_box(searcher.search_terms_where_with(&query, DOCS, |_| true, &mut scratch));
+        black_box(searcher.search_terms_with(&query, DOCS, &mut scratch));
     }));
 
     // Stage 3 — bounded top-k: same accumulation plus the size-10 heap
-    // select; the difference to `accumulate` is the selection saving.
+    // select, with MaxScore pruning live (unfiltered top-k is where the
+    // term-bound threshold arms); the difference to `accumulate` is the
+    // selection saving plus the pruned tail walks.
     samples.push(measure("topk_select", iters(2_000), || {
-        black_box(searcher.search_terms_where_with(&query, 10, |_| true, &mut scratch));
+        black_box(searcher.search_terms_with(&query, 10, &mut scratch));
     }));
+
+    // Posting-count metering: a top-10 query under the pruned and the
+    // forced-exhaustive kernel. Counts are exact and deterministic — this
+    // is the machine-checkable "pruning engages" signal CI gates on. The
+    // metering query is the MaxScore-friendly shape (two rare terms whose
+    // matches outscore the common tail's bound sum, one heavy common
+    // term); the mixed timing query above keeps its historical shape so
+    // timing trajectories stay comparable.
+    let meter_query: Vec<String> = ["w700", "w685", "w37"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let exhaustive_searcher = Searcher::new(&index, scoring).with_exhaustive(true);
+    let before = scratch.postings_visited();
+    black_box(searcher.search_terms_with(&meter_query, 10, &mut scratch));
+    let pruned_postings = scratch.postings_visited() - before;
+    let before = scratch.postings_visited();
+    black_box(exhaustive_searcher.search_terms_with(&meter_query, 10, &mut scratch));
+    let exhaustive_postings = scratch.postings_visited() - before;
+    println!(
+        "scoring/accumulate_postings: pruned {pruned_postings} vs exhaustive {exhaustive_postings} \
+         ({:.1}% walked)",
+        100.0 * pruned_postings as f64 / exhaustive_postings.max(1) as f64
+    );
 
     let out = std::env::var("BENCH_SCORING_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scoring.json").to_string()
@@ -108,6 +142,9 @@ fn main() {
         "  \"corpus\": {{ \"docs\": {DOCS}, \"terms\": {}, \"postings\": {} }},\n",
         index.num_terms(),
         index.num_postings()
+    ));
+    json.push_str(&format!(
+        "  \"accumulate_postings\": {{ \"exhaustive\": {exhaustive_postings}, \"pruned\": {pruned_postings} }},\n"
     ));
     json.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {

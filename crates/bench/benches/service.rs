@@ -12,16 +12,19 @@
 //!
 //! Each sweep point reports p50/p99/p999 and achieved QPS; the highest
 //! target whose achieved rate stays within 95% is reported as
-//! `max_sustainable_qps`. The table lands in `BENCH_service.json` at the
-//! workspace root (override with `BENCH_SERVICE_OUT`). `--test` runs one
-//! tiny sweep point, criterion-smoke style, for CI.
+//! `max_sustainable_qps`. An admission-control probe then hammers a
+//! limit-1 engine and reports the `retry_after` backoff hints rejected
+//! clients receive (`overload_probe` in the JSON). The table lands in
+//! `BENCH_service.json` at the workspace root (override with
+//! `BENCH_SERVICE_OUT`). `--test` runs one tiny sweep point,
+//! criterion-smoke style, for CI.
 
 use datagen::imdb::{ImdbConfig, ImdbData};
 use datagen::querylog::{QueryLog, QueryLogConfig};
 use qunit_core::derive::manual::expert_imdb_qunits;
-use qunit_core::{EngineConfig, QunitSearchEngine};
+use qunit_core::{EngineConfig, QunitSearchEngine, SearchError};
 use std::hint::black_box;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// One target-QPS sweep point's measurements.
@@ -179,6 +182,67 @@ fn main() {
         rows.push(row);
     }
 
+    // Admission-control probe: hammer a limit-1 engine over the same data
+    // so the bench log shows what a rejected client actually receives —
+    // the Overloaded error's deterministic `retry_after` backoff hint
+    // (drain-ahead work × 500µs, capped at 100ms; see OPERATIONS.md).
+    let probe = QunitSearchEngine::build(
+        &data.db,
+        expert_imdb_qunits(&data.db).expect("catalog"),
+        EngineConfig {
+            max_concurrent_queries: 1,
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("probe engine");
+    let probe_queries: Vec<&str> = log
+        .records
+        .iter()
+        .take(if test_mode { 100 } else { 500 })
+        .map(|r| r.raw.as_str())
+        .collect();
+    let rejections = AtomicU64::new(0);
+    let hint_sum_us = AtomicU64::new(0);
+    let hint_max_us = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..4usize {
+            let (probe, probe_queries) = (&probe, &probe_queries);
+            let (rejections, hint_sum_us, hint_max_us) = (&rejections, &hint_sum_us, &hint_max_us);
+            scope.spawn(move || {
+                for (i, q) in probe_queries.iter().enumerate() {
+                    if let Err(SearchError::Overloaded { retry_after, .. }) =
+                        probe.try_search(q, 10)
+                    {
+                        let us = retry_after.as_micros() as u64;
+                        rejections.fetch_add(1, Ordering::Relaxed);
+                        hint_sum_us.fetch_add(us, Ordering::Relaxed);
+                        hint_max_us.fetch_max(us, Ordering::Relaxed);
+                    }
+                    // Stagger the streams a little so the threads overlap
+                    // rather than convoying on the admission gate.
+                    if (i + t) % 16 == 0 {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+        }
+    });
+    let rejected = rejections.load(Ordering::Relaxed);
+    let mean_hint_us = if rejected > 0 {
+        hint_sum_us.load(Ordering::Relaxed) as f64 / rejected as f64
+    } else {
+        0.0
+    };
+    let max_hint_us = hint_max_us.load(Ordering::Relaxed);
+    println!(
+        "service/overload_probe: {} of {} offered rejected, retry_after mean {:.0} us, max {} us",
+        rejected,
+        probe_queries.len() * 4,
+        mean_hint_us,
+        max_hint_us
+    );
+
     // Headline capacity: the highest swept target the engine kept up with.
     let max_sustainable_qps = rows
         .iter()
@@ -208,6 +272,10 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"max_sustainable_qps\": {max_sustainable_qps:.0},\n"
+    ));
+    json.push_str(&format!(
+        "  \"overload_probe\": {{ \"offered\": {}, \"rejected\": {rejected}, \"retry_after_mean_us\": {mean_hint_us:.0}, \"retry_after_max_us\": {max_hint_us} }},\n",
+        probe_queries.len() * 4
     ));
     json.push_str(&format!(
         "  \"cache_hit_rate\": {:.4},\n  \"results\": [\n",

@@ -57,9 +57,11 @@
 //!
 //! Three knobs defend the tail under open-loop load (all inert at their
 //! defaults, CI-gated bit-identical when un-hit): per-query deadlines
-//! ([`EngineConfig::deadline`], checked at fixed pipeline checkpoints),
-//! admission control ([`EngineConfig::max_concurrent_queries`], rejecting
-//! with [`SearchError::Overloaded`] from [`QunitSearchEngine::try_search`]
+//! ([`EngineConfig::deadline`], checked at fixed pipeline checkpoints and
+//! at deterministic mid-kernel posting counts), admission control
+//! ([`EngineConfig::max_concurrent_queries`], rejecting
+//! with [`SearchError::Overloaded`] — carrying a deterministic
+//! `retry_after` backoff hint — from [`QunitSearchEngine::try_search`]
 //! instead of queueing), and bounded executor queues
 //! ([`EngineConfig::executor_queue_capacity`], over-capacity shard tasks
 //! degrade to the submitting thread). Every query-path event lands in
@@ -148,8 +150,12 @@ pub struct EngineConfig {
     /// Per-query wall-clock budget for the uncached pipeline; `None` (the
     /// default) disables deadline checking entirely — not even a clock
     /// read. The budget is checked at three fixed pipeline checkpoints
-    /// (`"segment"`, `"rank"`, `"materialize"`), never mid-kernel, so a
-    /// deadline changes *whether* a query completes but never *what* a
+    /// (`"segment"`, `"rank"`, `"materialize"`) and, inside the `"rank"`
+    /// phase, at a cooperative mid-kernel checkpoint every
+    /// [`irengine::CANCEL_POSTING_BUDGET`] postings walked — a
+    /// deterministic posting *count*, so the places a query can abort are
+    /// fixed even though wall-clock decides whether it does. A deadline
+    /// therefore changes *whether* a query completes but never *what* a
     /// completed query returns: any query that finishes under its budget
     /// is bit-identical to one run with no deadline at all (CI-gated).
     /// A tripped deadline surfaces as
@@ -177,6 +183,16 @@ pub struct EngineConfig {
     /// every dispatched task to the submitting thread.
     /// `QUNITS_EXEC_QUEUE_CAP` overrides this at build time.
     pub executor_queue_capacity: usize,
+    /// Disable MaxScore early termination and run the exhaustive scoring
+    /// kernel instead; `false` (the default) lets the kernel prune
+    /// postings whose term-bound sum can no longer reach the top-k
+    /// threshold. Purely a performance knob: the pruned kernel is
+    /// bit-identical to the exhaustive one (the CI determinism gate diffs
+    /// transcripts across both), so this exists to keep the reference
+    /// path reachable — set it (or the `QUNITS_FORCE_EXHAUSTIVE`
+    /// environment variable, any non-empty value other than `"0"`) when
+    /// auditing a suspected pruning bug or measuring the pruning win.
+    pub force_exhaustive: bool,
 }
 
 impl Default for EngineConfig {
@@ -199,6 +215,7 @@ impl Default for EngineConfig {
             deadline: None,
             max_concurrent_queries: 0,
             executor_queue_capacity: usize::MAX,
+            force_exhaustive: false,
         }
     }
 }
@@ -212,12 +229,16 @@ impl EngineConfig {
     /// - `QUNITS_MAX_CONCURRENT=<n>` — set
     ///   [`EngineConfig::max_concurrent_queries`];
     /// - `QUNITS_EXEC_QUEUE_CAP=<n>` — set
-    ///   [`EngineConfig::executor_queue_capacity`].
+    ///   [`EngineConfig::executor_queue_capacity`];
+    /// - `QUNITS_FORCE_EXHAUSTIVE` (any non-empty value other than `"0"`)
+    ///   — set [`EngineConfig::force_exhaustive`], disabling MaxScore
+    ///   pruning (the determinism gate diffs transcripts against this).
     ///
-    /// Unparseable values panic, like `QUNITS_INLINE_THRESHOLD`: a typo'd
-    /// override silently falling back to the default would run (and
-    /// measure, and gate) the wrong configuration while claiming to pin a
-    /// custom one. Applied automatically by [`QunitSearchEngine::build`].
+    /// Unparseable numeric values panic, like `QUNITS_INLINE_THRESHOLD`:
+    /// a typo'd override silently falling back to the default would run
+    /// (and measure, and gate) the wrong configuration while claiming to
+    /// pin a custom one. Applied automatically by
+    /// [`QunitSearchEngine::build`].
     fn with_env_overrides(mut self) -> Self {
         fn parsed(name: &str) -> Option<u64> {
             std::env::var(name).ok().map(|v| {
@@ -234,6 +255,9 @@ impl EngineConfig {
         if let Some(n) = parsed("QUNITS_EXEC_QUEUE_CAP") {
             self.executor_queue_capacity = n as usize;
         }
+        if std::env::var_os("QUNITS_FORCE_EXHAUSTIVE").is_some_and(|v| !v.is_empty() && v != "0") {
+            self.force_exhaustive = true;
+        }
         self
     }
 }
@@ -246,19 +270,29 @@ pub enum SearchError {
     /// The query's [`EngineConfig::deadline`] elapsed at a pipeline
     /// checkpoint. `phase` names the checkpoint that tripped (`"segment"`,
     /// `"rank"`, or `"materialize"`) — the work *before* that checkpoint
-    /// is what overran.
+    /// is what overran. A `"rank"` trip covers both the phase-boundary
+    /// check and the cooperative mid-kernel checkpoints the scoring
+    /// kernel polls every [`irengine::CANCEL_POSTING_BUDGET`] postings.
     DeadlineExceeded {
         /// Pipeline checkpoint at which the budget was found exhausted.
         phase: &'static str,
     },
     /// Admission control turned the query away:
     /// [`EngineConfig::max_concurrent_queries`] queries were already in
-    /// flight. The query did no work at all; retry after backoff.
+    /// flight. The query did no work at all; retry after the hinted
+    /// backoff.
     Overloaded {
         /// Queries in flight at the moment of rejection.
         in_flight: usize,
         /// The configured admission limit.
         limit: usize,
+        /// Deterministic backoff hint derived from the rejection-time
+        /// pressure (excess in-flight queries plus executor queue
+        /// backlog), not from any clock or randomness — the same
+        /// rejection state always hints the same wait, so transcript
+        /// tests can match it structurally. Clients should jitter it
+        /// themselves before sleeping.
+        retry_after: Duration,
     },
 }
 
@@ -268,10 +302,15 @@ impl std::fmt::Display for SearchError {
             SearchError::DeadlineExceeded { phase } => {
                 write!(f, "query deadline exceeded at the {phase} checkpoint")
             }
-            SearchError::Overloaded { in_flight, limit } => {
+            SearchError::Overloaded {
+                in_flight,
+                limit,
+                retry_after,
+            } => {
                 write!(
                     f,
-                    "engine overloaded: {in_flight} queries in flight (limit {limit})"
+                    "engine overloaded: {in_flight} queries in flight (limit {limit}), retry after {}ms",
+                    retry_after.as_millis()
                 )
             }
         }
@@ -305,6 +344,15 @@ impl DeadlineCheck {
             }
             _ => Ok(()),
         }
+    }
+
+    /// The cancel-probe form of [`DeadlineCheck::check`]: has the budget
+    /// elapsed right now? The scoring kernel polls this every
+    /// [`irengine::CANCEL_POSTING_BUDGET`] postings during the `"rank"`
+    /// phase. Always `false` (and clock-free) with no budget configured —
+    /// though a `deadline: None` engine never even wires the probe up.
+    fn expired(&self) -> bool {
+        matches!(self.0, Some((start, budget)) if start.elapsed() >= budget)
     }
 }
 
@@ -818,9 +866,27 @@ impl QunitSearchEngine {
             return Err(SearchError::Overloaded {
                 in_flight: prev,
                 limit,
+                retry_after: self.retry_after_hint(prev, limit),
             });
         }
         Ok(Some(AdmitGuard(&self.in_flight)))
+    }
+
+    /// Deterministic backoff hint for a rejected query: half a millisecond
+    /// per unit of drain-ahead work — the queries over the admission limit
+    /// plus the shard tasks sitting undequeued in the executor queues —
+    /// capped at 100ms so a pathological backlog never hints an unbounded
+    /// sleep. Pure arithmetic over counters already maintained for
+    /// observability; no clock read, no randomness, so the same rejection
+    /// state always produces the same hint.
+    fn retry_after_hint(&self, in_flight: usize, limit: usize) -> Duration {
+        const STEP_MICROS: u64 = 500;
+        const CAP_STEPS: u64 = 200; // 200 × 500µs = 100ms
+        let stats = self.exec.stats();
+        let queue_depth = stats.enqueued.saturating_sub(stats.dequeued);
+        let excess = in_flight.saturating_sub(limit) as u64 + 1;
+        let steps = excess.saturating_add(queue_depth).min(CAP_STEPS);
+        Duration::from_micros(STEP_MICROS * steps)
     }
 
     /// [`QunitSearchEngine::search`] under an explicit dispatch policy
@@ -942,9 +1008,13 @@ impl QunitSearchEngine {
     ///
     /// Deadline checkpoints sit at fixed phase boundaries ("segment" on
     /// entry, "rank" before the IR fan-out, "materialize" before result
-    /// construction), never inside a scoring kernel: an un-hit deadline
-    /// leaves the result bit-identical, and a hit one aborts at a
-    /// deterministic place.
+    /// construction) plus cooperative mid-kernel checkpoints inside the
+    /// "rank" fan-out, polled every [`irengine::CANCEL_POSTING_BUDGET`]
+    /// postings — a deterministic posting count, so the abort *sites* are
+    /// fixed even though wall-clock decides whether one fires. Either
+    /// way an un-hit deadline leaves the result bit-identical, and a hit
+    /// one aborts at a deterministic place; a mid-kernel trip surfaces as
+    /// `DeadlineExceeded { phase: "rank" }` like the boundary check.
     fn search_uncached_inner(
         &self,
         query: &str,
@@ -1040,33 +1110,53 @@ impl QunitSearchEngine {
         self.index.analyzer().tokenize_into(query, &mut qs.terms);
         let terms = &qs.terms;
         let fetch = k.saturating_mul(10).max(50);
+        // The mid-kernel probe is wired only when a deadline exists: a
+        // `deadline: None` engine keeps the probe-free kernel loops (no
+        // posting-budget bookkeeping at all, same as before deadlines).
+        let expired = || deadline.expired();
         let ctx = SearchContext {
             pool: Some(&self.scratch_pool),
             exec: Some(&self.exec),
             timings: Some(&self.shard_timings),
             policy,
             decisions: Some(&self.dispatch_counts),
+            cancel: self
+                .config
+                .deadline
+                .is_some()
+                .then_some(irengine::CancelProbe(&expired)),
+            exhaustive: self.config.force_exhaustive,
         };
-        let mut hits = match &preferred {
-            Some(defs) => searcher.search_terms_where_ctx(
+        // A mid-kernel deadline trip aborts the fan-out with `Cancelled`;
+        // it re-surfaces here as a "rank"-phase trip, before the caller's
+        // cache insert — a truncated query is never cached.
+        let rank_trip = |_| trip(SearchError::DeadlineExceeded { phase: "rank" });
+        let def_filter = preferred.as_ref().map(|defs| {
+            move |doc: irengine::DocId| {
+                self.index
+                    .external_id(doc)
+                    .and_then(|key| self.instances.get(key))
+                    .map(|inst| defs.iter().any(|d| *d == inst.definition))
+                    .unwrap_or(false)
+            }
+        });
+        let mut hits = searcher
+            .try_search_terms_where_ctx(
                 terms,
                 fetch,
-                |doc| {
-                    self.index
-                        .external_id(doc)
-                        .and_then(|key| self.instances.get(key))
-                        .map(|inst| defs.iter().any(|d| *d == inst.definition))
-                        .unwrap_or(false)
-                },
+                def_filter
+                    .as_ref()
+                    .map(|f| f as &(dyn Fn(irengine::DocId) -> bool + Sync)),
                 &ctx,
-            ),
-            None => searcher.search_terms_where_ctx(terms, fetch, |_| true, &ctx),
-        };
+            )
+            .map_err(rank_trip)?;
         self.sharded_searches.fetch_add(1, Ordering::Relaxed);
         // If the identified type has no matching instance (a movie with no
         // soundtrack asked for its ost), fall back to the unrestricted pool.
         if hits.is_empty() && preferred.is_some() {
-            hits = searcher.search_terms_where_ctx(terms, fetch, |_| true, &ctx);
+            hits = searcher
+                .try_search_terms_where_ctx(terms, fetch, None, &ctx)
+                .map_err(rank_trip)?;
         }
 
         // Exact-anchor injection: the instance keyed by a segmented entity

@@ -11,9 +11,17 @@
 //! 2. a zero deadline trips the *first* checkpoint every time — the
 //!    degraded result is deterministic, and never cached;
 //! 3. admission accounting balances exactly (served + rejected = offered)
-//!    and actually rejects under pressure;
+//!    and actually rejects under pressure, with a deterministic, bounded
+//!    `retry_after` hint on every rejection;
 //! 4. the obs counters add up under `search_batch`, including the
-//!    inline-vs-dispatch split.
+//!    inline-vs-dispatch split;
+//! 5. forcing the exhaustive scoring kernel
+//!    ([`EngineConfig::force_exhaustive`]) is bit-identical to the default
+//!    MaxScore-pruned kernel at every shard count;
+//! 6. a deadline — now also polled mid-kernel every
+//!    `CANCEL_POSTING_BUDGET` postings — only ever trips at a named phase,
+//!    and every query that completes under its budget is bit-identical to
+//!    an undeadlined run.
 
 use datagen::imdb::{ImdbConfig, ImdbData};
 use qunit_core::derive::manual::expert_imdb_qunits;
@@ -154,6 +162,91 @@ fn generous_deadline_never_errors() {
 }
 
 #[test]
+fn forced_exhaustive_engine_is_bit_identical_to_pruned() {
+    // The engine-level face of the kernel's MaxScore contract: disabling
+    // early termination (the `QUNITS_FORCE_EXHAUSTIVE` reference path)
+    // must not move a single score bit, at any shard count.
+    let data = data();
+    let qs = workload(&data);
+    for shards in [1, 4] {
+        let config = EngineConfig {
+            search_shards: shards,
+            ..EngineConfig::default()
+        };
+        let pruned = build(&data, config.clone());
+        let exhaustive = build(
+            &data,
+            EngineConfig {
+                force_exhaustive: true,
+                ..config
+            },
+        );
+        assert_eq!(
+            transcript(&pruned, &qs),
+            transcript(&exhaustive, &qs),
+            "pruned vs exhaustive diverged at {shards} shard(s)"
+        );
+    }
+}
+
+#[test]
+fn tight_deadlines_trip_only_at_known_phases() {
+    // With a deadline configured the mid-kernel cancel probe is wired, so
+    // the "rank" phase can trip between posting-budget checkpoints as well
+    // as at its boundary. Whatever the timing, two things must hold: every
+    // error names one of the three known phases (and is counted), and any
+    // query that *completes* under its budget is bit-identical to the
+    // undeadlined engine — the probe's bookkeeping must never leak into
+    // results.
+    let data = data();
+    let reference = build(&data, EngineConfig::default());
+    let qs = workload(&data);
+    for deadline_us in [5u64, 50, 500] {
+        let engine = build(
+            &data,
+            EngineConfig {
+                deadline: Some(Duration::from_micros(deadline_us)),
+                cache_capacity: 0, // every attempt exercises the full pipeline
+                search_shards: 4,
+                executor_threads: 2,
+                inline_postings_threshold: 0, // probe crosses the dispatch path
+                ..EngineConfig::default()
+            },
+        );
+        let mut tripped = 0u64;
+        for q in &qs {
+            match engine.try_search(q, 10) {
+                Ok(results) => {
+                    let expected = reference.search_uncached(q, 10);
+                    let got: Vec<(String, u64)> = results
+                        .into_iter()
+                        .map(|r| (r.key, r.score.to_bits()))
+                        .collect();
+                    let want: Vec<(String, u64)> = expected
+                        .into_iter()
+                        .map(|r| (r.key, r.score.to_bits()))
+                        .collect();
+                    assert_eq!(got, want, "completed query {q:?} diverged from baseline");
+                }
+                Err(SearchError::DeadlineExceeded { phase }) => {
+                    assert!(
+                        ["segment", "rank", "materialize"].contains(&phase),
+                        "unknown trip phase {phase:?}"
+                    );
+                    tripped += 1;
+                }
+                Err(e) => panic!("unexpected error for {q:?}: {e}"),
+            }
+        }
+        assert_eq!(
+            engine.obs_snapshot().deadline_exceeded,
+            tripped,
+            "every trip (boundary or mid-kernel) must be counted exactly once"
+        );
+    }
+}
+
+#[test]
 fn admission_accounting_balances_under_pressure() {
     let data = data();
     let engine = build(
@@ -201,6 +294,61 @@ fn admission_accounting_balances_under_pressure() {
     // Every admitted query eventually released its slot.
     for q in queries.iter().take(3) {
         assert!(engine.try_search(q, 10).is_ok());
+    }
+}
+
+#[test]
+fn overload_rejections_carry_bounded_retry_after_hints() {
+    // The hint is pure arithmetic over rejection-time pressure: half a
+    // millisecond per unit of drain-ahead work, never zero (a rejection
+    // implies at least one query must finish first), never above the
+    // 100ms cap, always a whole number of 500µs steps. No clock feeds it,
+    // so the same pressure always hints the same wait.
+    let data = data();
+    let engine = build(
+        &data,
+        EngineConfig {
+            max_concurrent_queries: 1,
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        },
+    );
+    let queries = workload(&data);
+    let hints = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let (engine, queries, hints) = (&engine, &queries, &hints);
+            scope.spawn(move || {
+                for i in 0..40 {
+                    let q = &queries[(t * 11 + i) % queries.len()];
+                    if let Err(SearchError::Overloaded {
+                        in_flight,
+                        limit,
+                        retry_after,
+                    }) = engine.try_search(q, 10)
+                    {
+                        assert!(in_flight >= limit);
+                        hints.lock().unwrap().push(retry_after);
+                    }
+                }
+            });
+        }
+    });
+    let hints = hints.into_inner().unwrap();
+    assert!(
+        !hints.is_empty(),
+        "8 threads against a limit of 1 must collide"
+    );
+    const STEP: Duration = Duration::from_micros(500);
+    const CAP: Duration = Duration::from_millis(100);
+    for h in &hints {
+        assert!(*h >= STEP, "hint below one backoff step: {h:?}");
+        assert!(*h <= CAP, "hint above the 100ms cap: {h:?}");
+        assert_eq!(
+            h.as_micros() % STEP.as_micros(),
+            0,
+            "hint not a whole number of 500µs steps: {h:?}"
+        );
     }
 }
 

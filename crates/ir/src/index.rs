@@ -155,6 +155,13 @@ pub struct Index {
     posting_docs: Vec<DocId>,
     /// All postings' weighted term frequencies, parallel to `posting_docs`.
     posting_tfs: Vec<f64>,
+    /// Per-term maximum of `posting_tfs` over the term's CSR row, indexed
+    /// by [`TermId`] (`term_max_tfs.len() == terms.len()`). Computed at
+    /// freeze time so the MaxScore pruned kernel can derive a score upper
+    /// bound per query term ([`crate::TermScorer::max_score`]) without
+    /// touching the postings. `max` is order-insensitive, so the corpus
+    /// aggregate (max over shards) is invariant under shard count.
+    term_max_tfs: Vec<f64>,
     doc_lengths: Vec<f64>,
     avg_doc_length: f64,
     docs: Vec<Document>,
@@ -221,6 +228,20 @@ impl Index {
     /// Document frequency of a term.
     pub fn doc_freq(&self, term: &str) -> usize {
         self.postings(term).len()
+    }
+
+    /// Largest boost-weighted term frequency among `id`'s postings — the
+    /// freeze-time lane behind [`crate::TermScorer::max_score`]. `0.0` for
+    /// out-of-range ids (and thus for any term with no postings).
+    pub fn max_weighted_tf_of(&self, id: TermId) -> f64 {
+        self.term_max_tfs.get(id as usize).copied().unwrap_or(0.0)
+    }
+
+    /// [`Index::max_weighted_tf_of`] by analyzed term (dictionary lookup;
+    /// unknown terms yield `0.0`).
+    pub fn max_weighted_tf(&self, term: &str) -> f64 {
+        self.term_id(term)
+            .map_or(0.0, |id| self.max_weighted_tf_of(id))
     }
 
     /// Boost-weighted length of a document.
@@ -408,6 +429,7 @@ impl IndexBuilder {
         let mut offsets = Vec::with_capacity(entries.len() + 1);
         let mut posting_docs = Vec::with_capacity(total);
         let mut posting_tfs = Vec::with_capacity(total);
+        let mut term_max_tfs = Vec::with_capacity(entries.len());
         offsets.push(0u32);
         for (term, mut list) in entries {
             term_ids.insert(term.clone(), terms.len() as TermId);
@@ -418,10 +440,13 @@ impl IndexBuilder {
             // enforcing it (O(n) on already-sorted input) rather than
             // trusting future mutation paths to preserve it.
             list.sort_unstable_by_key(|&(doc, _)| doc);
+            let mut max_tf = 0.0f64;
             for (doc, weighted_tf) in list {
                 posting_docs.push(doc);
                 posting_tfs.push(weighted_tf);
+                max_tf = max_tf.max(weighted_tf);
             }
+            term_max_tfs.push(max_tf);
             offsets.push(posting_docs.len() as u32);
         }
 
@@ -437,6 +462,7 @@ impl IndexBuilder {
             offsets,
             posting_docs,
             posting_tfs,
+            term_max_tfs,
             doc_lengths,
             avg_doc_length,
             docs: self.docs,
@@ -510,6 +536,33 @@ mod tests {
             assert_eq!(by_name.get(by_name.len()), None);
         }
         assert!(ix.postings_of(TermId::MAX).is_empty());
+    }
+
+    #[test]
+    fn term_max_tf_lane_matches_postings() {
+        let mut b = IndexBuilder::new();
+        b.set_field_boost("title", 3.0);
+        b.add(
+            Document::new("x")
+                .field("title", "star")
+                .field("body", "star wars wars"),
+        );
+        b.add(Document::new("y").field("body", "star"));
+        let ix = b.build();
+        for term in ["star", "wars"] {
+            let expect = ix
+                .postings(term)
+                .weighted_tfs
+                .iter()
+                .fold(0.0f64, |a, &b| a.max(b));
+            assert_eq!(ix.max_weighted_tf(term).to_bits(), expect.to_bits());
+            let id = ix.term_id(term).unwrap();
+            assert_eq!(ix.max_weighted_tf_of(id).to_bits(), expect.to_bits());
+        }
+        assert_eq!(ix.max_weighted_tf("star"), 4.0); // 3.0 title + 1.0 body
+        assert_eq!(ix.max_weighted_tf("wars"), 2.0);
+        assert_eq!(ix.max_weighted_tf("ghost"), 0.0);
+        assert_eq!(ix.max_weighted_tf_of(TermId::MAX), 0.0);
     }
 
     #[test]

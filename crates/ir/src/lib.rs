@@ -25,10 +25,11 @@
 //!
 //! Scoring kernel: postings live in an interned-term CSR layout
 //! ([`index`] module docs) and queries run resolve-once / dense-accumulate
-//! / bounded-top-k ([`search`] module docs), with scratch buffers reused
-//! across queries ([`ScoreScratch`], [`ScratchPool`]). The flat kernel is
-//! bit-identical to the naive reference scorer — that equivalence is
-//! property-tested and gated in CI.
+//! / bounded-top-k ([`search`] module docs), with MaxScore early
+//! termination over per-term score bounds and scratch buffers reused
+//! across queries ([`ScoreScratch`], [`ScratchPool`]). The pruned kernel
+//! is bit-identical to the exhaustive kernel and to the naive reference
+//! scorer — that equivalence is property-tested and gated in CI.
 //!
 //! ```
 //! use irengine::{Document, IndexBuilder, Searcher, ScoringFunction};
@@ -57,6 +58,6 @@ pub use document::{DocId, Document};
 pub use exec::{DispatchCounts, DispatchMode, DispatchPolicy, ExecutorStats, ShardExecutor};
 pub use index::{Index, IndexBuilder, Posting, Postings, TermId};
 pub use score::{ScoringFunction, TermScorer, TermStats};
-pub use search::{Hit, ScoreScratch, ScratchPool, Searcher};
-pub use shard::{SearchContext, ShardTimings, ShardedIndex, ShardedSearcher};
+pub use search::{Cancelled, Hit, ScoreScratch, ScratchPool, Searcher, CANCEL_POSTING_BUDGET};
+pub use shard::{CancelProbe, SearchContext, ShardTimings, ShardedIndex, ShardedSearcher};
 pub use snippet::{extract as extract_snippet, Snippet};

@@ -57,6 +57,14 @@ pub struct TermScorer {
     avg_doc_length: f64,
 }
 
+/// Safety margin applied by [`TermScorer::max_score`]: the analytic peak is
+/// inflated by one part in 10^7 so that the *floating-point* evaluation of
+/// [`TermScorer::score`] can never exceed the *floating-point* bound, even
+/// though both expressions round each operation independently (per-op
+/// relative error is ~1e-16; 1e-7 drowns it with room for the summation
+/// error of adding a handful of per-term bounds).
+const BOUND_MARGIN: f64 = 1.0 + 1e-7;
+
 impl TermScorer {
     /// Score one posting: the document's boost-weighted length and the
     /// term's boost-weighted frequency in it.
@@ -73,6 +81,37 @@ impl TermScorer {
                 self.idf * weighted_tf / dl.sqrt()
             }
         }
+    }
+
+    /// Upper bound on [`TermScorer::score`] over every posting this term
+    /// can have, given the largest weighted tf of any of its postings
+    /// ([`crate::Index::max_weighted_tf_of`], maxed across shards for a
+    /// sharded corpus). This is the per-term bound the MaxScore pruned
+    /// kernel sorts and sums; it must hold for the floating-point
+    /// evaluation, so the analytic peak is inflated by `BOUND_MARGIN`.
+    ///
+    /// - BM25: `score` increases in `weighted_tf` and decreases in
+    ///   `doc_length` (for `b` in `[0, 1]`), so the peak is at
+    ///   `weighted_tf = max_weighted_tf`, `doc_length = 0`:
+    ///   `idf · mwtf · (k1+1) / (mwtf + k1·(1−b))`.
+    /// - TF-IDF: `doc_length >= weighted_tf` for any built index (a doc's
+    ///   length is the sum of its weighted tfs, and boosts are
+    ///   non-negative), so `score <= idf · wtf / sqrt(max(wtf, 1))`, which
+    ///   increases in `wtf` — peak at `mwtf`.
+    ///
+    /// A term with no postings (`max_weighted_tf <= 0`) bounds at `0.0`.
+    pub fn max_score(&self, max_weighted_tf: f64) -> f64 {
+        if max_weighted_tf <= 0.0 {
+            return 0.0;
+        }
+        let peak = match self.function {
+            ScoringFunction::Bm25 { k1, b } => {
+                let min_norm = (k1 * (1.0 - b)).max(0.0);
+                self.idf * max_weighted_tf * (k1 + 1.0) / (max_weighted_tf + min_norm)
+            }
+            ScoringFunction::TfIdf => self.idf * max_weighted_tf / max_weighted_tf.max(1.0).sqrt(),
+        };
+        peak * BOUND_MARGIN
     }
 
     /// The precomputed smoothed IDF.
@@ -268,6 +307,50 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn max_score_bounds_every_posting() {
+        let ix = index_with(&[
+            "star wars cast",
+            "star trek",
+            "ocean drama",
+            "star star star star star",
+            "war war war war",
+            "a lot of padding words to stretch document lengths out further",
+        ]);
+        for f in [
+            ScoringFunction::default(),
+            ScoringFunction::Bm25 { k1: 0.4, b: 0.1 },
+            ScoringFunction::Bm25 { k1: 2.0, b: 1.0 },
+            ScoringFunction::Bm25 { k1: 1.2, b: 0.0 },
+            ScoringFunction::TfIdf,
+        ] {
+            for term in ix.terms().map(str::to_owned).collect::<Vec<_>>() {
+                let scorer = f.scorer(TermStats::of(&ix, &term));
+                let mwtf = ix
+                    .postings(&term)
+                    .weighted_tfs
+                    .iter()
+                    .fold(0.0f64, |a, &b| a.max(b));
+                let bound = scorer.max_score(mwtf);
+                assert!(bound.is_finite());
+                for p in ix.postings(&term) {
+                    let s = scorer.score(ix.doc_length(p.doc), p.weighted_tf);
+                    assert!(s <= bound, "{f:?} {term}: score {s} exceeds bound {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_score_of_empty_term_is_zero() {
+        let ix = index_with(&["star wars"]);
+        for f in [ScoringFunction::default(), ScoringFunction::TfIdf] {
+            let scorer = f.scorer(TermStats::of(&ix, "zzz"));
+            assert_eq!(scorer.max_score(0.0), 0.0);
+            assert_eq!(scorer.max_score(-1.0), 0.0);
         }
     }
 

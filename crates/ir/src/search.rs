@@ -5,18 +5,41 @@
 //!
 //! 1. **Resolve** each distinct query term through the dictionary once
 //!    ([`Index::term_id`]) and fold its corpus statistics into a
-//!    [`TermScorer`] (the IDF `ln()` is paid here, not per posting).
-//! 2. **Accumulate** over the term's CSR postings slices into a dense
+//!    [`TermScorer`] (the IDF `ln()` is paid here, not per posting), plus a
+//!    per-term **score upper bound** ([`TermScorer::max_score`] × query
+//!    multiplicity). Terms are then sorted by bound, descending (ties by
+//!    first occurrence in the query) — this bound order is the canonical
+//!    accumulation sequence.
+//! 2. **Accumulate** over each term's CSR postings slices into a dense
 //!    [`ScoreScratch`]: `Vec`-indexed score/matched-count slots with epoch
-//!    tags, so the buffer is reused across queries without clearing.
+//!    tags, so the buffer is reused across queries without clearing. Once
+//!    the running top-k threshold strictly exceeds the cumulative bound of
+//!    the remaining tail terms, the kernel stops admitting **new**
+//!    documents (MaxScore early termination): tail terms only update
+//!    already-touched candidates, either by an epoch-checked walk or by
+//!    binary-searching each candidate in the postings, whichever is
+//!    cheaper.
 //! 3. **Select** the top `k` with a bounded heap ordered by `rank_hits`
 //!    instead of sorting every matched document.
 //!
-//! Every floating-point addition happens in the same term-order/doc-order
-//! sequence as the pre-CSR kernel, and `rank_hits` is a total order on
-//! distinct documents, so results are bit-identical to the naive
-//! HashMap-accumulate/sort-everything reference (property-tested in
-//! `tests/prop_ir.rs` and held by the CI determinism gate).
+//! # The pruning invariant
+//!
+//! Pruned output is **bit-identical** to the exhaustive kernel's. Both run
+//! the same bound-descending term order, so every surviving document's
+//! score is the same floating-point sum in the same sequence; a document
+//! first reached by a tail term is only skipped when its best possible
+//! score (the margin-inflated bound suffix) is *strictly* below the
+//! threshold, so it could never have displaced a kept hit even on the
+//! doc-id tiebreak. The bounds are pure functions of corpus-global
+//! statistics and the query, hence identical at every shard count and
+//! dispatch mode. Property-tested against a naive reference in
+//! `tests/prop_ir.rs` and held by the CI determinism gate, which diffs
+//! pruned transcripts against `QUNITS_FORCE_EXHAUSTIVE=1` runs.
+//!
+//! Mid-kernel cooperative cancellation: when a `KernelOpts::cancel`
+//! probe is supplied, the kernel polls it every [`CANCEL_POSTING_BUDGET`]
+//! postings accumulated — a deterministic fire schedule (wall clock only
+//! decides whether a fired probe trips, never where it fires).
 
 use crate::document::DocId;
 use crate::index::{Index, TermId};
@@ -36,6 +59,38 @@ pub struct Hit {
     pub matched_terms: usize,
 }
 
+/// The scoring kernel was stopped by its cooperative cancel probe before
+/// finishing. No partial results are returned; the engine maps this to its
+/// deadline error and never caches it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("scoring kernel cancelled by its cooperative probe")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// How many postings the kernel accumulates between two polls of the
+/// cooperative cancel probe. Fixed, so the probe's fire points are a
+/// deterministic function of the query and index — only whether a fired
+/// probe *trips* depends on the wall clock. Bounds the worst-case deadline
+/// overrun to one budget's worth of postings instead of a whole phase.
+pub const CANCEL_POSTING_BUDGET: usize = 4096;
+
+/// Per-call kernel switches, bundled so the signatures stay stable.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct KernelOpts<'a> {
+    /// Disable MaxScore pruning and walk every posting (the reference
+    /// path; `QUNITS_FORCE_EXHAUSTIVE` upstream).
+    pub exhaustive: bool,
+    /// Polled every [`CANCEL_POSTING_BUDGET`] postings; returning `true`
+    /// aborts the kernel with [`Cancelled`]. `None` skips the bookkeeping.
+    pub cancel: Option<&'a dyn Fn() -> bool>,
+}
+
 /// Executes queries against a borrowed index.
 ///
 /// A `Searcher` is a stateless view (`&Index` + a copyable scoring config):
@@ -47,6 +102,7 @@ pub struct Hit {
 pub struct Searcher<'a> {
     index: &'a Index,
     scoring: ScoringFunction,
+    exhaustive: bool,
 }
 
 const fn assert_send_sync<T: Send + Sync>() {}
@@ -56,13 +112,11 @@ const _: () = assert_send_sync::<ScratchPool>();
 /// De-duplicate query terms in **first-occurrence order**, remembering
 /// multiplicity (a repeated query term contributes proportionally).
 ///
-/// The order matters: per-document scores are floating-point sums over the
-/// query terms, and summing in `HashMap` iteration order made two
-/// evaluations of the same query differ in the last ulp. Search results
-/// must be bit-for-bit reproducible — the concurrent engine upstream
-/// asserts batch ≡ sequential ≡ replay — so the term order has to be a
-/// pure function of the query. Queries are a handful of terms, hence the
-/// quadratic scan instead of a map.
+/// First-occurrence position is the tiebreak when two terms have equal
+/// score bounds (see [`bound_order`]), so the full accumulation order —
+/// and with it every floating-point sum — stays a pure function of the
+/// query text. Queries are a handful of terms, hence the quadratic scan
+/// instead of a map.
 pub(crate) fn dedup_terms(terms: &[String]) -> Vec<(&str, usize)> {
     let mut out: Vec<(&str, usize)> = Vec::with_capacity(terms.len());
     for t in terms {
@@ -72,6 +126,24 @@ pub(crate) fn dedup_terms(terms: &[String]) -> Vec<(&str, usize)> {
         }
     }
     out
+}
+
+/// The canonical accumulation order: indices into `bounds` sorted by bound
+/// **descending**, ties broken by ascending position (= first occurrence
+/// in the query, via [`dedup_terms`]). Every scoring path — pruned,
+/// exhaustive, sharded, and the single-document [`Searcher::score_doc`] —
+/// permutes its terms through this order, so per-document floating-point
+/// sums are identical everywhere. The bounds themselves derive from
+/// corpus-global statistics, making the order shard-count invariant.
+pub(crate) fn bound_order(bounds: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..bounds.len()).collect();
+    order.sort_by(|&a, &b| {
+        bounds[b]
+            .partial_cmp(&bounds[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
 }
 
 /// The ranking order of hits: descending score, ties broken by ascending
@@ -119,12 +191,25 @@ pub struct ScoreScratch {
     acc: Vec<DocAcc>,
     touched: Vec<DocId>,
     epoch: u32,
+    /// Workspace for the k-th-best-partial threshold probe.
+    thresh: Vec<f64>,
+    /// Cumulative postings accumulated (full walks and pruned probes
+    /// alike) across this scratch's lifetime. Never reset by `begin` —
+    /// callers diff before/after a query to measure one kernel run.
+    postings_visited: u64,
 }
 
 impl ScoreScratch {
     /// An empty scratch; it sizes itself to each query's index.
     pub fn new() -> Self {
         ScoreScratch::default()
+    }
+
+    /// Cumulative count of postings accumulated through this scratch —
+    /// full-walk postings and pruned-mode probes both count one each.
+    /// Monotone across queries; diff two readings to meter one search.
+    pub fn postings_visited(&self) -> u64 {
+        self.postings_visited
     }
 
     /// Start a query over `num_docs` documents: grow if needed, invalidate
@@ -159,15 +244,41 @@ impl ScoreScratch {
             self.touched.push(doc);
         }
     }
+
+    /// The k-th best partial score among the documents touched so far —
+    /// a lower bound on the final top-k threshold (partials only grow),
+    /// valid only for unfiltered queries. Caller guarantees
+    /// `touched.len() >= k >= 1`.
+    fn kth_best_partial(&mut self, k: usize) -> f64 {
+        let ScoreScratch {
+            acc,
+            touched,
+            thresh,
+            ..
+        } = self;
+        thresh.clear();
+        thresh.extend(touched.iter().map(|&d| acc[d as usize].score));
+        let (_, kth, _) = thresh.select_nth_unstable_by(k - 1, |a, b| {
+            b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        *kth
+    }
 }
+
+/// Hard cap on [`ScratchPool`]'s free list. A one-time burst of pooled
+/// threads used to pin `threads × num_docs`-sized buffers forever; now
+/// `put` drops returns beyond the cap and steady-state memory is bounded
+/// by the cap, not the historical peak.
+const MAX_POOLED_SCRATCHES: usize = 32;
 
 /// A lock-protected free list of [`ScoreScratch`] buffers for callers whose
 /// worker threads are too short-lived to amortize a thread-local (the
 /// sharded searcher spawns scoped threads per query; an engine owning a
 /// pool lets those threads inherit warm buffers instead of reallocating).
 ///
-/// `take` pops a warm scratch (or makes a cold one), `put` returns it. The
-/// lock is held only for the pop/push, never while scoring.
+/// `take` pops a warm scratch (or makes a cold one), `put` returns it —
+/// keeping at most `MAX_POOLED_SCRATCHES` buffers. The lock is held only
+/// for the pop/push, never while scoring.
 #[derive(Debug, Default)]
 pub struct ScratchPool {
     free: Mutex<Vec<ScoreScratch>>,
@@ -189,10 +300,13 @@ impl ScratchPool {
             .unwrap_or_default()
     }
 
-    /// Return a scratch for the next `take` to reuse warm.
+    /// Return a scratch for the next `take` to reuse warm. Dropped instead
+    /// if the free list is already at `MAX_POOLED_SCRATCHES`.
     pub fn put(&self, scratch: ScoreScratch) {
         if let Ok(mut v) = self.free.lock() {
-            v.push(scratch);
+            if v.len() < MAX_POOLED_SCRATCHES {
+                v.push(scratch);
+            }
         }
     }
 }
@@ -276,12 +390,135 @@ impl TopK {
         }
     }
 
+    /// The worst kept score once the heap actually holds `k` hits — the
+    /// current top-k admission threshold. `None` while underfull (every
+    /// candidate is still admitted unconditionally). Only the sharded
+    /// inline path sees a non-empty heap during accumulation; within one
+    /// kernel run selection happens after accumulation, so this stays
+    /// `None` there and pruning leans on the partial threshold instead.
+    pub(crate) fn full_threshold(&self) -> Option<f64> {
+        if self.k > 0 && self.heap.len() >= self.k {
+            self.heap.peek().map(|w| w.0.score)
+        } else {
+            None
+        }
+    }
+
     /// The kept hits, best first.
     pub(crate) fn into_sorted_hits(self) -> Vec<Hit> {
         let mut hits: Vec<Hit> = self.heap.into_iter().map(|w| w.0).collect();
         hits.sort_by(rank_hits);
         hits
     }
+}
+
+/// The best lower bound available on the final top-k threshold, or `None`
+/// when nothing bounds it yet. Combines the heap threshold (valid always:
+/// kept scores only improve, and in the sharded inline path earlier
+/// shards' docs are distinct from later shards') with the k-th best
+/// partial among touched documents (valid only unfiltered — a selective
+/// filter could make the true filtered threshold lower than any partial).
+fn current_threshold(top: &TopK, scratch: &mut ScoreScratch, unfiltered: bool) -> Option<f64> {
+    let heap = top.full_threshold();
+    let partial = if unfiltered && top.k > 0 && scratch.touched.len() >= top.k {
+        Some(scratch.kth_best_partial(top.k))
+    } else {
+        None
+    };
+    match (heap, partial) {
+        (Some(h), Some(p)) => Some(h.max(p)),
+        (h, p) => h.or(p),
+    }
+}
+
+/// Count one accumulated posting chunk against the cooperative cancel
+/// budget; polls the probe each time the budget drains. `usize::MAX`
+/// means "no probe installed" and skips all bookkeeping.
+#[inline]
+fn spend_budget(
+    remaining: &mut usize,
+    take: usize,
+    cancel: Option<&dyn Fn() -> bool>,
+) -> Result<(), Cancelled> {
+    if *remaining != usize::MAX {
+        *remaining -= take;
+        if *remaining == 0 {
+            if cancel.is_some_and(|c| c()) {
+                return Err(Cancelled);
+            }
+            *remaining = CANCEL_POSTING_BUDGET;
+        }
+    }
+    Ok(())
+}
+
+/// Tail-term accumulation once pruning is engaged: update already-touched
+/// candidates only, admitting no new documents. Touched candidates get the
+/// exact same `+=` their slot would have received exhaustively (one add
+/// per term per doc — cross-document order is irrelevant to the per-doc
+/// float sum), so surviving scores stay bit-identical.
+///
+/// Two walk strategies, picked by cost: binary-search each candidate in
+/// the postings (`touched × log₂(df)` probes) when the candidate list is
+/// small relative to the postings, else an epoch-checked walk over the
+/// full postings slice. Both count toward `postings_visited` and the
+/// cancel budget per element walked.
+#[allow(clippy::too_many_arguments)]
+fn prune_accumulate(
+    scratch: &mut ScoreScratch,
+    lengths: &[f64],
+    docs: &[DocId],
+    tfs: &[f64],
+    scorer: &TermScorer,
+    qtf: f64,
+    remaining: &mut usize,
+    cancel: Option<&dyn Fn() -> bool>,
+) -> Result<(), Cancelled> {
+    let ScoreScratch {
+        acc,
+        touched,
+        epoch,
+        postings_visited,
+        ..
+    } = scratch;
+    let df = docs.len();
+    let bitlen = (usize::BITS - df.leading_zeros()) as usize;
+    if touched.len().saturating_mul(bitlen + 1) < df {
+        // Candidate-driven: probe each touched doc against the postings.
+        let mut pos = 0usize;
+        while pos < touched.len() {
+            let take = (*remaining).min(touched.len() - pos);
+            for &doc in &touched[pos..pos + take] {
+                if let Ok(i) = docs.binary_search(&doc) {
+                    // Touched docs are live by construction; no epoch check.
+                    let slot = &mut acc[doc as usize];
+                    slot.score += scorer.score(lengths[doc as usize], tfs[i]) * qtf;
+                    slot.matched += 1;
+                }
+            }
+            pos += take;
+            *postings_visited += take as u64;
+            spend_budget(remaining, take, cancel)?;
+        }
+    } else {
+        // Posting-driven: walk the slice, skipping docs with dead slots.
+        let ep = *epoch;
+        let mut pos = 0usize;
+        while pos < df {
+            let take = (*remaining).min(df - pos);
+            for (&doc, &weighted_tf) in docs[pos..pos + take].iter().zip(&tfs[pos..pos + take]) {
+                let slot = &mut acc[doc as usize];
+                if slot.epoch == ep {
+                    slot.score += scorer.score(lengths[doc as usize], weighted_tf) * qtf;
+                    slot.matched += 1;
+                }
+            }
+            pos += take;
+            *postings_visited += take as u64;
+            spend_budget(remaining, take, cancel)?;
+        }
+    }
+    Ok(())
 }
 
 /// The scoring kernel both search paths share: accumulate the resolved
@@ -291,23 +528,34 @@ impl TopK {
 /// `terms` holds each distinct query term **already resolved against this
 /// index's dictionary** (`None` = not in its vocabulary) with its query
 /// multiplicity — the caller pays the one hash probe per term, this loop
-/// pays none. `scorers` is parallel to `terms` (one [`TermScorer`] per
-/// term, statistics already folded in — the caller decides whether those
-/// are index-local or corpus-global). `to_global` maps the index's local
-/// doc ids into the caller's id space (identity for an unsharded index);
-/// `filter` sees mapped ids, as do the returned hits.
+/// pays none. `scorers` and `bounds` are parallel to `terms` (one
+/// [`TermScorer`] and one margin-inflated score upper bound per term,
+/// statistics already folded in — the caller decides whether those are
+/// index-local or corpus-global), and the caller has already permuted all
+/// three into [`bound_order`]. `to_global` maps the index's local doc ids
+/// into the caller's id space (identity for an unsharded index); `filter`
+/// sees mapped ids, as do the returned hits — `None` means unfiltered and
+/// additionally unlocks the partial-threshold pruning probe.
+///
+/// `Err(Cancelled)` only when `opts.cancel` is set and trips; infallible
+/// otherwise.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn score_terms_into(
     index: &Index,
     terms: &[(Option<TermId>, usize)],
     scorers: &[TermScorer],
+    bounds: &[f64],
     k: usize,
     scratch: &mut ScoreScratch,
     to_global: impl Fn(DocId) -> DocId,
-    filter: impl Fn(DocId) -> bool,
-) -> Vec<Hit> {
+    filter: Option<&dyn Fn(DocId) -> bool>,
+    opts: KernelOpts<'_>,
+) -> Result<Vec<Hit>, Cancelled> {
     let mut top = TopK::new(k);
-    score_terms_into_topk(index, terms, scorers, scratch, to_global, filter, &mut top);
-    top.into_sorted_hits()
+    score_terms_into_topk(
+        index, terms, scorers, bounds, scratch, to_global, filter, opts, &mut top,
+    )?;
+    Ok(top.into_sorted_hits())
 }
 
 /// [`score_terms_into`] pushing its candidates into a caller-owned [`TopK`]
@@ -316,36 +564,86 @@ pub(crate) fn score_terms_into(
 /// search) through one `TopK` yields exactly the hits that per-index
 /// selection followed by a merge would — minus the per-index heaps, sorts,
 /// and hit lists. The inline sharded path is the caller that cashes that
-/// in.
+/// in (and whose partially-full heap gives later shards a head-start
+/// pruning threshold).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn score_terms_into_topk(
     index: &Index,
     terms: &[(Option<TermId>, usize)],
     scorers: &[TermScorer],
+    bounds: &[f64],
     scratch: &mut ScoreScratch,
     to_global: impl Fn(DocId) -> DocId,
-    filter: impl Fn(DocId) -> bool,
+    filter: Option<&dyn Fn(DocId) -> bool>,
+    opts: KernelOpts<'_>,
     top: &mut TopK,
-) {
+) -> Result<(), Cancelled> {
     scratch.begin(index.num_docs());
     let lengths = index.doc_lengths();
-    for ((tid, qtf), scorer) in terms.iter().zip(scorers) {
+    // suffix[i] = Σ bounds[i..]: the best score any document first seen at
+    // term i could still reach. Summed in reverse so the value is exact up
+    // to n·ε rounding — absorbed by the bounds' built-in margin.
+    let mut suffix = vec![0.0f64; terms.len() + 1];
+    for i in (0..terms.len()).rev() {
+        suffix[i] = suffix[i + 1] + bounds[i];
+    }
+    let mut remaining = if opts.cancel.is_some() {
+        CANCEL_POSTING_BUDGET
+    } else {
+        usize::MAX
+    };
+    let mut pruning = false;
+    for (i, ((tid, qtf), scorer)) in terms.iter().zip(scorers).enumerate() {
+        // Strictly-greater: a doc admitted at term i can reach at most
+        // suffix[i]; pruning it is only safe when even that loses to the
+        // threshold outright (ties would fall through to the doc-id
+        // tiebreak, which bounds know nothing about). Once engaged it
+        // stays engaged — suffixes shrink and thresholds grow.
+        if !opts.exhaustive && !pruning {
+            pruning = current_threshold(top, scratch, filter.is_none())
+                .is_some_and(|theta| theta > suffix[i]);
+        }
         // Unknown terms have no postings.
         let Some(tid) = *tid else {
             continue;
         };
         let postings = index.postings_of(tid);
         let qtf = *qtf as f64;
+        if pruning {
+            prune_accumulate(
+                scratch,
+                lengths,
+                postings.docs,
+                postings.weighted_tfs,
+                scorer,
+                qtf,
+                &mut remaining,
+                opts.cancel,
+            )?;
+            continue;
+        }
         // Two parallel flat slices: docs ascending, tfs matched by index.
-        for (&doc, &weighted_tf) in postings.docs.iter().zip(postings.weighted_tfs) {
-            let score = scorer.score(lengths[doc as usize], weighted_tf) * qtf;
-            scratch.add(doc, score);
+        // Chunked by the cancel budget so the hot loop stays branch-lean.
+        let (docs, tfs) = (postings.docs, postings.weighted_tfs);
+        let mut pos = 0usize;
+        while pos < docs.len() {
+            let take = remaining.min(docs.len() - pos);
+            for (&doc, &weighted_tf) in docs[pos..pos + take].iter().zip(&tfs[pos..pos + take]) {
+                let score = scorer.score(lengths[doc as usize], weighted_tf) * qtf;
+                scratch.add(doc, score);
+            }
+            pos += take;
+            scratch.postings_visited += take as u64;
+            spend_budget(&mut remaining, take, opts.cancel)?;
         }
     }
 
     for &doc in &scratch.touched {
         let global = to_global(doc);
-        if !filter(global) {
-            continue;
+        if let Some(f) = filter {
+            if !f(global) {
+                continue;
+            }
         }
         let slot = &scratch.acc[doc as usize];
         top.push(Hit {
@@ -354,12 +652,25 @@ pub(crate) fn score_terms_into_topk(
             matched_terms: slot.matched as usize,
         });
     }
+    Ok(())
 }
 
 impl<'a> Searcher<'a> {
-    /// New searcher with the given scoring function.
+    /// New searcher with the given scoring function (pruning enabled).
     pub fn new(index: &'a Index, scoring: ScoringFunction) -> Self {
-        Searcher { index, scoring }
+        Searcher {
+            index,
+            scoring,
+            exhaustive: false,
+        }
+    }
+
+    /// Builder toggle: `true` disables MaxScore pruning so every posting
+    /// is walked (the reference kernel the pruned path must match
+    /// bit-for-bit — used by CI diffs and the `scoring` bench).
+    pub fn with_exhaustive(mut self, exhaustive: bool) -> Self {
+        self.exhaustive = exhaustive;
+        self
     }
 
     /// The underlying index.
@@ -377,7 +688,20 @@ impl<'a> Searcher<'a> {
 
     /// Run a query given pre-analyzed terms.
     pub fn search_terms(&self, terms: &[String], k: usize) -> Vec<Hit> {
-        self.search_terms_where(terms, k, |_| true)
+        with_thread_scratch(|scratch| self.search_terms_core(terms, k, None, scratch))
+    }
+
+    /// [`Searcher::search_terms`] with a caller-owned scratch buffer (see
+    /// [`ScoreScratch`] for the reuse rules). Unfiltered, so MaxScore
+    /// pruning is fully armed — batch drivers and the `scoring` bench pair
+    /// this with [`ScoreScratch::postings_visited`] to meter the kernel.
+    pub fn search_terms_with(
+        &self,
+        terms: &[String],
+        k: usize,
+        scratch: &mut ScoreScratch,
+    ) -> Vec<Hit> {
+        self.search_terms_core(terms, k, None, scratch)
     }
 
     /// Run `query`, keeping only documents accepted by `filter`. The filter
@@ -397,7 +721,7 @@ impl<'a> Searcher<'a> {
         k: usize,
         filter: impl Fn(DocId) -> bool,
     ) -> Vec<Hit> {
-        with_thread_scratch(|scratch| self.search_terms_where_with(terms, k, filter, scratch))
+        with_thread_scratch(|scratch| self.search_terms_core(terms, k, Some(&filter), scratch))
     }
 
     /// [`Searcher::search_terms_where`] with a caller-owned scratch buffer
@@ -410,28 +734,75 @@ impl<'a> Searcher<'a> {
         filter: impl Fn(DocId) -> bool,
         scratch: &mut ScoreScratch,
     ) -> Vec<Hit> {
-        if k == 0 || terms.is_empty() {
-            return Vec::new();
-        }
-        let deduped = dedup_terms(terms);
+        self.search_terms_core(terms, k, Some(&filter), scratch)
+    }
+
+    /// Resolve `deduped` query terms against the dictionary and fold
+    /// statistics: ids + multiplicities, scorers, and margin-inflated
+    /// score bounds, all permuted into [`bound_order`].
+    #[allow(clippy::type_complexity)]
+    fn resolve_terms(
+        &self,
+        deduped: &[(&str, usize)],
+    ) -> (Vec<(Option<TermId>, usize)>, Vec<TermScorer>, Vec<f64>) {
         // One dictionary probe per distinct term: the resolved id yields
-        // both the postings (for the kernel) and the document frequency
-        // (for the scorer) — the same statistics `TermStats::of` reads.
+        // the postings (for the kernel), the document frequency (for the
+        // scorer — the same statistics `TermStats::of` reads), and the
+        // max weighted tf lane (for the bound).
         let num_docs = self.index.num_docs();
         let avg_doc_length = self.index.avg_doc_length();
         let mut resolved = Vec::with_capacity(deduped.len());
         let mut scorers = Vec::with_capacity(deduped.len());
-        for (term, qtf) in &deduped {
+        let mut bounds = Vec::with_capacity(deduped.len());
+        for (term, qtf) in deduped {
             let id = self.index.term_id(term);
             let doc_freq = id.map_or(0, |id| self.index.postings_of(id).len());
-            resolved.push((id, *qtf));
-            scorers.push(self.scoring.scorer(TermStats {
+            let scorer = self.scoring.scorer(TermStats {
                 num_docs,
                 doc_freq,
                 avg_doc_length,
-            }));
+            });
+            let max_wtf = id.map_or(0.0, |id| self.index.max_weighted_tf_of(id));
+            bounds.push(scorer.max_score(max_wtf) * *qtf as f64);
+            resolved.push((id, *qtf));
+            scorers.push(scorer);
         }
-        score_terms_into(self.index, &resolved, &scorers, k, scratch, |d| d, filter)
+        let order = bound_order(&bounds);
+        (
+            order.iter().map(|&i| resolved[i]).collect(),
+            order.iter().map(|&i| scorers[i]).collect(),
+            order.iter().map(|&i| bounds[i]).collect(),
+        )
+    }
+
+    /// The one search body behind every public entry point.
+    fn search_terms_core(
+        &self,
+        terms: &[String],
+        k: usize,
+        filter: Option<&dyn Fn(DocId) -> bool>,
+        scratch: &mut ScoreScratch,
+    ) -> Vec<Hit> {
+        if k == 0 || terms.is_empty() {
+            return Vec::new();
+        }
+        let (resolved, scorers, bounds) = self.resolve_terms(&dedup_terms(terms));
+        let opts = KernelOpts {
+            exhaustive: self.exhaustive,
+            cancel: None,
+        };
+        score_terms_into(
+            self.index,
+            &resolved,
+            &scorers,
+            &bounds,
+            k,
+            scratch,
+            |d| d,
+            filter,
+            opts,
+        )
+        .expect("kernel is infallible without a cancel probe")
     }
 
     /// Convenience: the single best hit, if any.
@@ -442,18 +813,31 @@ impl<'a> Searcher<'a> {
     /// Score one specific document against a query (same accumulation as
     /// [`Searcher::search`], restricted to `doc`). Returns a zero-score hit
     /// when no query term matches the document.
+    ///
+    /// Sums term contributions in the same `bound_order` as the kernel,
+    /// so the float total is bit-identical to the document's full-search
+    /// score.
     pub fn score_doc(&self, query: &str, doc: DocId) -> Hit {
         let terms = self.index.analyzer().tokenize(query);
+        let deduped = dedup_terms(&terms);
+        let bounds: Vec<f64> = deduped
+            .iter()
+            .map(|(term, qtf)| {
+                let scorer = self.scoring.scorer(TermStats::of(self.index, term));
+                scorer.max_score(self.index.max_weighted_tf(term)) * *qtf as f64
+            })
+            .collect();
         let mut score = 0.0;
         let mut matched_terms = 0;
-        for (term, qtf) in dedup_terms(&terms) {
+        for &i in &bound_order(&bounds) {
+            let (term, qtf) = deduped[i];
             // Resolve the postings view once per term; the doc probe is a
             // binary search over the flat doc-id slice.
             let postings = self.index.postings(term);
-            if let Ok(i) = postings.docs.binary_search(&doc) {
+            if let Ok(p) = postings.docs.binary_search(&doc) {
                 score += self
                     .scoring
-                    .score_term(self.index, term, doc, postings.weighted_tfs[i])
+                    .score_term(self.index, term, doc, postings.weighted_tfs[p])
                     * qtf as f64;
                 matched_terms += 1;
             }
@@ -471,6 +855,7 @@ mod tests {
     use super::*;
     use crate::document::Document;
     use crate::index::IndexBuilder;
+    use std::cell::Cell;
 
     fn movie_index() -> Index {
         let mut b = IndexBuilder::new();
@@ -605,6 +990,24 @@ mod tests {
     }
 
     #[test]
+    fn scratch_pool_free_list_is_capped() {
+        let pool = ScratchPool::new();
+        let burst: Vec<ScoreScratch> = (0..MAX_POOLED_SCRATCHES + 8).map(|_| pool.take()).collect();
+        for s in burst {
+            pool.put(s);
+        }
+        assert_eq!(
+            pool.free.lock().unwrap().len(),
+            MAX_POOLED_SCRATCHES,
+            "returns beyond the cap must be dropped"
+        );
+        // And the pool still round-trips normally at the cap.
+        let s = pool.take();
+        pool.put(s);
+        assert_eq!(pool.free.lock().unwrap().len(), MAX_POOLED_SCRATCHES);
+    }
+
+    #[test]
     fn tfidf_also_ranks_exact_match_first() {
         let ix = movie_index();
         let s = Searcher::new(&ix, ScoringFunction::TfIdf);
@@ -642,5 +1045,156 @@ mod tests {
         assert_eq!(ix.external_id(hits[1].doc), Some("b"));
         // tie + k=1 keeps the lower doc id, same as the full ranking
         assert_eq!(s.search("same", 1), hits[..1]);
+    }
+
+    #[test]
+    fn bound_order_sorts_descending_with_first_occurrence_ties() {
+        assert_eq!(bound_order(&[1.0, 3.0, 3.0, 0.5]), vec![1, 2, 0, 3]);
+        assert_eq!(bound_order(&[0.0, 0.0]), vec![0, 1]);
+        assert_eq!(bound_order(&[]), Vec::<usize>::new());
+    }
+
+    /// One rare term (df=3) and one ubiquitous term (df=n): after the rare
+    /// term the k≤3 partial threshold dwarfs the common term's bound, so
+    /// the kernel must go candidate-driven and probe the 3 touched docs
+    /// instead of walking n postings — with bit-identical output.
+    #[test]
+    fn pruned_matches_exhaustive_and_walks_fewer_postings() {
+        let mut b = IndexBuilder::new();
+        for i in 0..3 {
+            b.add(Document::new(format!("d{i}")).field("body", "rare common"));
+        }
+        for i in 3..200 {
+            b.add(Document::new(format!("d{i}")).field("body", "common"));
+        }
+        let ix = b.build();
+        let terms = ix.analyzer().tokenize("rare common");
+
+        let pruned_searcher = Searcher::new(&ix, ScoringFunction::default());
+        let exhaustive_searcher = pruned_searcher.clone().with_exhaustive(true);
+        for k in [1usize, 3, 500] {
+            let mut ps = ScoreScratch::new();
+            let mut es = ScoreScratch::new();
+            let pruned = pruned_searcher.search_terms_with(&terms, k, &mut ps);
+            let exhaustive = exhaustive_searcher.search_terms_with(&terms, k, &mut es);
+            // Bit-identical scores, ids, order, matched counts.
+            assert_eq!(pruned.len(), exhaustive.len(), "k={k}");
+            for (p, e) in pruned.iter().zip(&exhaustive) {
+                assert_eq!(p.doc, e.doc, "k={k}");
+                assert_eq!(p.score.to_bits(), e.score.to_bits(), "k={k}");
+                assert_eq!(p.matched_terms, e.matched_terms, "k={k}");
+            }
+            if k < 200 {
+                assert!(
+                    ps.postings_visited() < es.postings_visited(),
+                    "k={k}: pruned {} vs exhaustive {}",
+                    ps.postings_visited(),
+                    es.postings_visited()
+                );
+            } else {
+                // k >= matched docs: the threshold never fills, no pruning.
+                assert_eq!(ps.postings_visited(), es.postings_visited());
+            }
+        }
+    }
+
+    /// The cancel probe fires at deterministic posting counts: every
+    /// [`CANCEL_POSTING_BUDGET`] accumulated postings, regardless of how
+    /// they split across terms.
+    #[test]
+    fn cancel_probe_fires_on_a_deterministic_posting_budget() {
+        // 600 docs × 8 shared terms = 4800 postings: the budget (4096)
+        // drains exactly once mid-kernel.
+        let mut b = IndexBuilder::new();
+        let body = "t0 t1 t2 t3 t4 t5 t6 t7";
+        for i in 0..600 {
+            b.add(Document::new(format!("d{i}")).field("body", body));
+        }
+        let ix = b.build();
+        let s = Searcher::new(&ix, ScoringFunction::default()).with_exhaustive(true);
+        let terms = ix.analyzer().tokenize(body);
+        let (resolved, scorers, bounds) = s.resolve_terms(&dedup_terms(&terms));
+
+        // A probe that never trips still gets polled exactly once.
+        let polls = Cell::new(0u32);
+        let benign = |probe_result: bool| {
+            polls.set(0);
+            let probe = || {
+                polls.set(polls.get() + 1);
+                probe_result
+            };
+            let mut scratch = ScoreScratch::new();
+            let before = scratch.postings_visited();
+            let opts = KernelOpts {
+                exhaustive: true,
+                cancel: Some(&probe),
+            };
+            let out = score_terms_into(
+                &ix,
+                &resolved,
+                &scorers,
+                &bounds,
+                10,
+                &mut scratch,
+                |d| d,
+                None,
+                opts,
+            );
+            (out, scratch.postings_visited() - before)
+        };
+
+        let (ok, visited) = benign(false);
+        assert_eq!(ok.map(|hits| hits.len()), Ok(10));
+        assert_eq!(visited, 4800);
+        assert_eq!(polls.get(), 1, "4800 postings drain a 4096 budget once");
+
+        let (cancelled, visited) = benign(true);
+        assert_eq!(cancelled, Err(Cancelled));
+        assert_eq!(
+            visited, CANCEL_POSTING_BUDGET as u64,
+            "the abort lands exactly at the first budget boundary"
+        );
+        assert_eq!(polls.get(), 1);
+
+        // Untripped runs match a probe-free run bit-for-bit.
+        let baseline = s.search_terms(&terms, 10);
+        assert_eq!(benign(false).0.unwrap(), baseline);
+    }
+
+    /// `postings_visited` is cumulative across queries on one scratch —
+    /// callers meter a single search by diffing readings.
+    #[test]
+    fn postings_visited_accumulates_across_queries() {
+        let ix = movie_index();
+        let s = Searcher::new(&ix, ScoringFunction::default());
+        let terms = ix.analyzer().tokenize("star wars");
+        let mut scratch = ScoreScratch::new();
+        s.search_terms_with(&terms, 10, &mut scratch);
+        let first = scratch.postings_visited();
+        assert!(first > 0);
+        s.search_terms_with(&terms, 10, &mut scratch);
+        assert_eq!(scratch.postings_visited(), first * 2);
+    }
+
+    /// Filtered searches keep pruning sound: the partial threshold is
+    /// disabled (a filter could reject the partial leaders), and results
+    /// must match the exhaustive filtered ranking exactly.
+    #[test]
+    fn filtered_search_matches_exhaustive_reference() {
+        let mut b = IndexBuilder::new();
+        b.add(Document::new("d0").field("body", "rare common"));
+        for i in 1..100 {
+            b.add(Document::new(format!("d{i}")).field("body", "common"));
+        }
+        let ix = b.build();
+        let terms = ix.analyzer().tokenize("rare common");
+        let s = Searcher::new(&ix, ScoringFunction::default());
+        let e = s.clone().with_exhaustive(true);
+        // A filter that rejects the best partial leader (doc 0).
+        let filter = |d: DocId| d != 0;
+        let pruned = s.search_terms_where(&terms, 3, filter);
+        let exhaustive = e.search_terms_where(&terms, 3, filter);
+        assert_eq!(pruned, exhaustive);
+        assert!(pruned.iter().all(|h| h.doc != 0));
     }
 }

@@ -30,8 +30,11 @@
 //!    average length is even summed in global document order so the
 //!    floating-point reduction matches the unsharded build bit-for-bit.
 //!    Per-document accumulation iterates query terms in the same
-//!    first-occurrence order as [`crate::Searcher`], so the f64 sums agree
-//!    to the ulp.
+//!    bound-descending order as [`crate::Searcher`] (score upper bounds
+//!    are pure functions of those corpus-global statistics, so every
+//!    shard — and the unsharded path — sorts identically), and MaxScore
+//!    pruning only ever skips documents that provably cannot reach the
+//!    top-k, so the f64 sums agree to the ulp.
 //! 3. **Deterministic top-k merge.** Each shard returns its top-k sorted
 //!    by the shared hit order (score desc, global doc id asc) and a heap
 //!    merge with the same comparator interleaves them; ties are impossible
@@ -43,8 +46,8 @@ use crate::exec::{DispatchCounts, DispatchPolicy, ShardExecutor};
 use crate::index::Index;
 use crate::score::{ScoringFunction, TermScorer, TermStats};
 use crate::search::{
-    dedup_terms, rank_hits, score_terms_into, score_terms_into_topk, with_thread_scratch, Hit,
-    ScoreScratch, ScratchPool, TopK,
+    bound_order, dedup_terms, rank_hits, score_terms_into, score_terms_into_topk,
+    with_thread_scratch, Cancelled, Hit, KernelOpts, ScoreScratch, ScratchPool, TopK,
 };
 use std::cmp::Ordering;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
@@ -130,6 +133,17 @@ impl ShardedIndex {
     /// Corpus-global document frequency of a term (sum over shards).
     pub fn doc_freq(&self, term: &str) -> usize {
         self.shards.iter().map(|s| s.doc_freq(term)).sum()
+    }
+
+    /// Corpus-global maximum boost-weighted term frequency of a term —
+    /// the max over every shard's [`Index::max_weighted_tf`] lane. Max is
+    /// order-insensitive, so the value (and the score bounds derived from
+    /// it) is bit-identical at every shard count. `0.0` for unknown terms.
+    pub fn max_weighted_tf(&self, term: &str) -> f64 {
+        self.shards
+            .iter()
+            .map(|s| s.max_weighted_tf(term))
+            .fold(0.0, f64::max)
     }
 
     /// Corpus-global [`TermStats`] for one query term.
@@ -328,6 +342,32 @@ impl ShardTimings {
     }
 }
 
+/// A cooperative cancellation probe the scoring kernel polls every
+/// [`crate::CANCEL_POSTING_BUDGET`] postings accumulated. `Sync` because
+/// the dispatch paths call it from shard worker threads. Returning `true`
+/// aborts the search with [`Cancelled`] — the engine wires its deadline
+/// check in here so a long kernel's worst-case overrun is one budget of
+/// postings, not a whole phase.
+#[derive(Clone, Copy)]
+pub struct CancelProbe<'a>(pub &'a (dyn Fn() -> bool + Sync));
+
+impl std::fmt::Debug for CancelProbe<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CancelProbe")
+    }
+}
+
+/// The kernel-switch view of a context. Centralizes the unsizing from the
+/// `Sync` probe (needed to cross threads) to the plain `Fn` the kernel
+/// polls — done *inside* each per-shard scorer, after the context has
+/// crossed onto the worker thread.
+fn kernel_opts<'a>(ctx: &SearchContext<'a>) -> KernelOpts<'a> {
+    KernelOpts {
+        exhaustive: ctx.exhaustive,
+        cancel: ctx.cancel.map(|p| p.0 as &dyn Fn() -> bool),
+    }
+}
+
 /// Everything a sharded search draws from its environment, bundled so the
 /// hot path has one signature instead of a growing tail of optionals. The
 /// default context (no pool, no executor, no timings, adaptive policy) is
@@ -349,6 +389,14 @@ pub struct SearchContext<'a> {
     /// Tally of inline-vs-dispatch decisions taken; `None` skips the
     /// bookkeeping (one relaxed `fetch_add` per multi-shard query when set).
     pub decisions: Option<&'a DispatchCounts>,
+    /// Cooperative mid-kernel cancellation probe; `None` skips the polling
+    /// bookkeeping entirely. Only the fallible entry point
+    /// ([`ShardedSearcher::try_search_terms_where_ctx`]) surfaces a trip.
+    pub cancel: Option<CancelProbe<'a>>,
+    /// `true` disables MaxScore pruning, walking every posting — the
+    /// reference kernel (`QUNITS_FORCE_EXHAUSTIVE` upstream) that pruned
+    /// runs must match bit-for-bit.
+    pub exhaustive: bool,
 }
 
 impl SearchContext<'_> {
@@ -438,9 +486,11 @@ impl<'a> ShardedSearcher<'a> {
         self.search_terms(&terms, k)
     }
 
-    /// Run a query given pre-analyzed terms.
+    /// Run a query given pre-analyzed terms. Unfiltered, so MaxScore
+    /// pruning is fully armed.
     pub fn search_terms(&self, terms: &[String], k: usize) -> Vec<Hit> {
-        self.search_terms_where(terms, k, |_| true)
+        self.try_search_terms_where_ctx(terms, k, None, &SearchContext::default())
+            .expect("infallible without a cancel probe")
     }
 
     /// Run `query`, keeping only documents accepted by `filter` (which
@@ -479,6 +529,11 @@ impl<'a> ShardedSearcher<'a> {
     /// threads when the context has no executor). Both paths produce
     /// bit-identical results — per-shard hit lists merge on the calling
     /// thread under the same total order either way.
+    ///
+    /// If the context carries a [`CancelProbe`] that trips mid-kernel, the
+    /// search degrades to an **empty hit list** — callers that must
+    /// distinguish cancellation use
+    /// [`ShardedSearcher::try_search_terms_where_ctx`].
     pub fn search_terms_where_ctx(
         &self,
         terms: &[String],
@@ -486,24 +541,50 @@ impl<'a> ShardedSearcher<'a> {
         filter: impl Fn(DocId) -> bool + Sync,
         ctx: &SearchContext,
     ) -> Vec<Hit> {
+        self.try_search_terms_where_ctx(terms, k, Some(&filter), ctx)
+            .unwrap_or_default()
+    }
+
+    /// The fallible, fully-explicit entry point behind every search API:
+    /// `filter` is optional (`None` = unfiltered, which additionally arms
+    /// the kernel's partial-threshold pruning probe), and a tripped
+    /// [`SearchContext::cancel`] probe surfaces as `Err(Cancelled)` instead
+    /// of being swallowed. No partial results are returned on cancellation.
+    pub fn try_search_terms_where_ctx(
+        &self,
+        terms: &[String],
+        k: usize,
+        filter: Option<&(dyn Fn(DocId) -> bool + Sync)>,
+        ctx: &SearchContext,
+    ) -> Result<Vec<Hit>, Cancelled> {
         let shards = self.index.shards();
         if k == 0 || terms.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let deduped = dedup_terms(terms);
         // Corpus-global statistics, folded into one scorer per distinct
         // term: every shard scores against the same df / N / avgdl (and the
         // same precomputed IDF) the unsharded path uses. The df sum doubles
-        // as the dispatch-decision work estimate.
+        // as the dispatch-decision work estimate. The score upper bounds
+        // are likewise corpus-global (max weighted tf over all shards), so
+        // the bound order below — the canonical accumulation order — is
+        // identical on every shard and at every shard count.
         let mut estimated_postings = 0usize;
+        let mut bounds: Vec<f64> = Vec::with_capacity(deduped.len());
         let scorers: Vec<TermScorer> = deduped
             .iter()
-            .map(|(t, _)| {
+            .map(|(t, qtf)| {
                 let stats = self.index.term_stats(t);
                 estimated_postings += stats.doc_freq;
-                self.scoring.scorer(stats)
+                let scorer = self.scoring.scorer(stats);
+                bounds.push(scorer.max_score(self.index.max_weighted_tf(t)) * *qtf as f64);
+                scorer
             })
             .collect();
+        let order = bound_order(&bounds);
+        let deduped: Vec<(&str, usize)> = order.iter().map(|&i| deduped[i]).collect();
+        let scorers: Vec<TermScorer> = order.iter().map(|&i| scorers[i]).collect();
+        let bounds: Vec<f64> = order.iter().map(|&i| bounds[i]).collect();
 
         let n = shards.len();
         let inline = n == 1 || {
@@ -524,7 +605,8 @@ impl<'a> ShardedSearcher<'a> {
             // bounded heap over every shard's candidates selects exactly
             // what per-shard heaps + a merge would — rank_hits is total on
             // distinct documents — without materializing per-shard hit
-            // lists at all.
+            // lists at all. (A heap already holding k hits from earlier
+            // shards also hands later shards a ready pruning threshold.)
             let score_all = |scratch: &mut ScoreScratch| {
                 let mut top = TopK::new(k);
                 let mut resolved: Vec<(Option<crate::index::TermId>, usize)> =
@@ -537,76 +619,89 @@ impl<'a> ShardedSearcher<'a> {
                         s,
                         &deduped,
                         &scorers,
-                        &filter,
+                        &bounds,
+                        filter,
                         ctx,
                         scratch,
                         &mut resolved,
                         &mut top,
-                    );
+                    )?;
                 }
-                top.into_sorted_hits()
+                Ok(top.into_sorted_hits())
             };
             return ctx.with_scratch(score_all);
         }
 
-        let lists: Vec<Vec<Hit>> = {
-            let mut slots: Vec<Option<Vec<Hit>>> = (0..n).map(|_| None).collect();
-            match ctx.exec {
-                Some(exec) => {
-                    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
-                        .iter_mut()
-                        .enumerate()
-                        // Empty shards contribute nothing; don't pay a task.
-                        .filter(|(s, _)| shards[*s].num_docs() > 0)
-                        .map(|(s, slot)| {
-                            let deduped = &deduped;
-                            let scorers = &scorers;
-                            let filter = &filter;
-                            Box::new(move || {
-                                *slot = Some(
-                                    self.score_shard_pooled(s, deduped, scorers, k, filter, ctx),
-                                );
-                            }) as Box<dyn FnOnce() + Send + '_>
-                        })
-                        .collect();
-                    // Shard tasks are the latency class: they jump ahead
-                    // of any queued batch chunks (see `run_urgent`).
-                    exec.run_urgent(tasks);
-                }
-                None => std::thread::scope(|scope| {
-                    for (s, slot) in slots.iter_mut().enumerate() {
-                        if shards[s].num_docs() == 0 {
-                            continue;
-                        }
+        let mut slots: Vec<Option<Result<Vec<Hit>, Cancelled>>> = (0..n).map(|_| None).collect();
+        match ctx.exec {
+            Some(exec) => {
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+                    .iter_mut()
+                    .enumerate()
+                    // Empty shards contribute nothing; don't pay a task.
+                    .filter(|(s, _)| shards[*s].num_docs() > 0)
+                    .map(|(s, slot)| {
                         let deduped = &deduped;
                         let scorers = &scorers;
-                        let filter = &filter;
-                        scope.spawn(move || {
+                        let bounds = &bounds;
+                        Box::new(move || {
                             *slot =
-                                Some(self.score_shard_pooled(s, deduped, scorers, k, filter, ctx));
-                        });
-                    }
-                }),
+                                Some(self.score_shard_pooled(
+                                    s, deduped, scorers, bounds, k, filter, ctx,
+                                ));
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                // Shard tasks are the latency class: they jump ahead
+                // of any queued batch chunks (see `run_urgent`).
+                exec.run_urgent(tasks);
             }
-            slots.into_iter().map(Option::unwrap_or_default).collect()
-        };
-
-        merge_top_k(lists, k)
+            None => std::thread::scope(|scope| {
+                for (s, slot) in slots.iter_mut().enumerate() {
+                    if shards[s].num_docs() == 0 {
+                        continue;
+                    }
+                    let deduped = &deduped;
+                    let scorers = &scorers;
+                    let bounds = &bounds;
+                    scope.spawn(move || {
+                        *slot = Some(
+                            self.score_shard_pooled(s, deduped, scorers, bounds, k, filter, ctx),
+                        );
+                    });
+                }
+            }),
+        }
+        // A cancellation on ANY shard cancels the query: partial merges
+        // would not be bit-identical to anything.
+        let mut lists: Vec<Vec<Hit>> = Vec::with_capacity(n);
+        for slot in slots {
+            match slot {
+                Some(Ok(hits)) => lists.push(hits),
+                Some(Err(c)) => return Err(c),
+                None => lists.push(Vec::new()),
+            }
+        }
+        Ok(merge_top_k(lists, k))
     }
 
     /// [`ShardedSearcher::score_shard`] obtaining a scratch from the
     /// context (pool checkout, or the executing thread's thread-local) —
     /// the per-task entry of the dispatch paths.
+    #[allow(clippy::too_many_arguments)]
     fn score_shard_pooled(
         &self,
         s: usize,
         deduped: &[(&str, usize)],
         scorers: &[TermScorer],
+        bounds: &[f64],
         k: usize,
-        filter: &(impl Fn(DocId) -> bool + Sync),
+        filter: Option<&(dyn Fn(DocId) -> bool + Sync)>,
         ctx: &SearchContext,
-    ) -> Vec<Hit> {
-        ctx.with_scratch(|scratch| self.score_shard(s, deduped, scorers, k, filter, ctx, scratch))
+    ) -> Result<Vec<Hit>, Cancelled> {
+        ctx.with_scratch(|scratch| {
+            self.score_shard(s, deduped, scorers, bounds, k, filter, ctx, scratch)
+        })
     }
 
     /// Score one shard through the shared kernel
@@ -623,11 +718,12 @@ impl<'a> ShardedSearcher<'a> {
         s: usize,
         deduped: &[(&str, usize)],
         scorers: &[TermScorer],
+        bounds: &[f64],
         k: usize,
-        filter: &(impl Fn(DocId) -> bool + Sync),
+        filter: Option<&(dyn Fn(DocId) -> bool + Sync)>,
         ctx: &SearchContext,
         scratch: &mut ScoreScratch,
-    ) -> Vec<Hit> {
+    ) -> Result<Vec<Hit>, Cancelled> {
         let start = ctx.timings.map(|_| Instant::now());
         let shard = &self.index.shards()[s];
         // Resolve the query against this shard's own dictionary (TermIds
@@ -637,7 +733,17 @@ impl<'a> ShardedSearcher<'a> {
             .map(|(t, qtf)| (shard.term_id(t), *qtf))
             .collect();
         let to_global = |local| self.index.to_global(s, local);
-        let hits = score_terms_into(shard, &resolved, scorers, k, scratch, to_global, filter);
+        let hits = score_terms_into(
+            shard,
+            &resolved,
+            scorers,
+            bounds,
+            k,
+            scratch,
+            to_global,
+            filter.map(|f| f as &dyn Fn(DocId) -> bool),
+            kernel_opts(ctx),
+        );
         if let (Some(timings), Some(start)) = (ctx.timings, start) {
             timings.add(s, start.elapsed().as_nanos() as u64);
         }
@@ -654,21 +760,33 @@ impl<'a> ShardedSearcher<'a> {
         s: usize,
         deduped: &[(&str, usize)],
         scorers: &[TermScorer],
-        filter: &(impl Fn(DocId) -> bool + Sync),
+        bounds: &[f64],
+        filter: Option<&(dyn Fn(DocId) -> bool + Sync)>,
         ctx: &SearchContext,
         scratch: &mut ScoreScratch,
         resolved: &mut Vec<(Option<crate::index::TermId>, usize)>,
         top: &mut TopK,
-    ) {
+    ) -> Result<(), Cancelled> {
         let start = ctx.timings.map(|_| Instant::now());
         let shard = &self.index.shards()[s];
         resolved.clear();
         resolved.extend(deduped.iter().map(|(t, qtf)| (shard.term_id(t), *qtf)));
         let to_global = |local| self.index.to_global(s, local);
-        score_terms_into_topk(shard, resolved, scorers, scratch, to_global, filter, top);
+        let out = score_terms_into_topk(
+            shard,
+            resolved,
+            scorers,
+            bounds,
+            scratch,
+            to_global,
+            filter.map(|f| f as &dyn Fn(DocId) -> bool),
+            kernel_opts(ctx),
+            top,
+        );
         if let (Some(timings), Some(start)) = (ctx.timings, start) {
             timings.add(s, start.elapsed().as_nanos() as u64);
         }
+        out
     }
 
     /// Convenience: the single best hit, if any.
@@ -679,21 +797,35 @@ impl<'a> ShardedSearcher<'a> {
     /// Score one specific **global** document against a query (same
     /// accumulation as [`ShardedSearcher::search`], restricted to `doc`).
     /// Returns a zero-score hit when no query term matches.
+    ///
+    /// Sums term contributions in the same bound-descending order as the
+    /// kernel — the bounds come from the same corpus-global statistics —
+    /// so the float total is bit-identical to the document's full-search
+    /// score.
     pub fn score_doc(&self, query: &str, doc: DocId) -> Hit {
         let terms = self.index.analyzer().tokenize(query);
         let (s, local) = self.index.to_local(doc);
         let shard = &self.index.shards()[s];
+        let deduped = dedup_terms(&terms);
+        let bounds: Vec<f64> = deduped
+            .iter()
+            .map(|(term, qtf)| {
+                let scorer = self.scoring.scorer(self.index.term_stats(term));
+                scorer.max_score(self.index.max_weighted_tf(term)) * *qtf as f64
+            })
+            .collect();
         let mut score = 0.0;
         let mut matched_terms = 0;
-        for (term, qtf) in dedup_terms(&terms) {
+        for &i in &bound_order(&bounds) {
+            let (term, qtf) = deduped[i];
             // One postings resolution per term; the doc probe is a binary
             // search over the flat CSR doc-id slice.
             let postings = shard.postings(term);
-            if let Ok(i) = postings.docs.binary_search(&local) {
+            if let Ok(p) = postings.docs.binary_search(&local) {
                 score += self.scoring.score_term_stats(
                     self.index.term_stats(term),
                     shard.doc_length(local),
-                    postings.weighted_tfs[i],
+                    postings.weighted_tfs[p],
                 ) * qtf as f64;
                 matched_terms += 1;
             }

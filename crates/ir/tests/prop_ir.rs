@@ -7,12 +7,16 @@ use irengine::{
 use proptest::prelude::*;
 use std::collections::HashMap;
 
-/// The pre-CSR reference scorer, kept as an executable specification: terms
-/// de-duplicated in first-occurrence order, per-posting statistics re-read
-/// through [`TermStats::of`] (IDF recomputed every posting), scores summed
-/// into a `HashMap` accumulator, every match sorted, then truncated to `k`.
-/// The production kernel (interned terms, CSR postings, hoisted scorers,
-/// dense accumulator, bounded top-k) must reproduce this **bit for bit**.
+/// The reference scorer, kept as an executable specification: terms
+/// de-duplicated in first-occurrence order, then accumulated in the
+/// canonical **bound-descending order** (per-term score upper bound ×
+/// query multiplicity, ties by first occurrence — the exact expression the
+/// kernel uses), per-posting statistics re-read through [`TermStats::of`]
+/// (IDF recomputed every posting), scores summed into a `HashMap`
+/// accumulator, every match sorted, then truncated to `k`. The production
+/// kernel (interned terms, CSR postings, hoisted scorers, dense
+/// accumulator, bounded top-k, MaxScore pruning) must reproduce this
+/// **bit for bit**.
 fn naive_search(index: &Index, scoring: ScoringFunction, terms: &[String], k: usize) -> Vec<Hit> {
     if k == 0 || terms.is_empty() {
         return Vec::new();
@@ -24,8 +28,25 @@ fn naive_search(index: &Index, scoring: ScoringFunction, terms: &[String], k: us
             None => deduped.push((t.as_str(), 1)),
         }
     }
+    // Same bound expression as the kernel: margin-inflated max_score over
+    // the term's max weighted tf, scaled by query multiplicity.
+    let bounds: Vec<f64> = deduped
+        .iter()
+        .map(|(term, qtf)| {
+            let scorer = scoring.scorer(TermStats::of(index, term));
+            scorer.max_score(index.max_weighted_tf(term)) * *qtf as f64
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..deduped.len()).collect();
+    order.sort_by(|&a, &b| {
+        bounds[b]
+            .partial_cmp(&bounds[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
     let mut acc: HashMap<DocId, (f64, usize)> = HashMap::new();
-    for (term, qtf) in deduped {
+    for &i in &order {
+        let (term, qtf) = deduped[i];
         for p in index.postings(term) {
             let s = scoring.score_term_stats(
                 TermStats::of(index, term),
@@ -76,6 +97,20 @@ fn builder(texts: &[String]) -> IndexBuilder {
 
 fn build_index(texts: &[String]) -> irengine::Index {
     builder(texts).build()
+}
+
+/// Same docs, same order, same matched counts, scores identical to the bit.
+fn assert_bit_identical(
+    got: &[Hit],
+    expected: &[Hit],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(got.len(), expected.len());
+    for (g, e) in got.iter().zip(expected) {
+        prop_assert_eq!(g.doc, e.doc);
+        prop_assert_eq!(g.matched_terms, e.matched_terms);
+        prop_assert_eq!(g.score.to_bits(), e.score.to_bits());
+    }
+    Ok(())
 }
 
 proptest! {
@@ -319,6 +354,51 @@ proptest! {
         prop_assert_eq!(&scoped, &inline);
         prop_assert_eq!(&adaptive_low, &inline);
         prop_assert_eq!(&adaptive_high, &inline);
+    }
+
+    // The MaxScore contract: pruned ≡ exhaustive ≡ naive reference —
+    // docs, order, matched_terms, and score bits — for k ∈ {1, 3, all},
+    // flat and sharded, inline and dispatched. `exhaustive` flips the
+    // pruning off entirely (the `QUNITS_FORCE_EXHAUSTIVE` reference path),
+    // so this pins both that the pruned kernel never diverges and that
+    // the reference path itself stays wired up.
+    #[test]
+    fn pruned_exhaustive_and_naive_bit_identical(
+        texts in prop::collection::vec(doc_text(), 1..20),
+        q in doc_text(),
+        n in 1usize..6,
+        tfidf in prop::sample::select(vec![false, true]),
+    ) {
+        let scoring = if tfidf { ScoringFunction::TfIdf } else { ScoringFunction::default() };
+        let ix = build_index(&texts);
+        let terms = Analyzer::keep_all().tokenize(&q);
+        let pruned = Searcher::new(&ix, scoring);
+        let exhaustive = pruned.clone().with_exhaustive(true);
+        let sx = builder(&texts).build_sharded(n);
+        let sharded = ShardedSearcher::new(&sx, scoring);
+        let exec = ShardExecutor::new(2);
+        let pool = ScratchPool::new();
+        for k in [1usize, 3, texts.len() + 5] {
+            let expected = naive_search(&ix, scoring, &terms, k);
+            assert_bit_identical(&pruned.search_terms(&terms, k), &expected)?;
+            assert_bit_identical(&exhaustive.search_terms(&terms, k), &expected)?;
+            for force_exhaustive in [false, true] {
+                let inline = sharded.try_search_terms_where_ctx(&terms, k, None, &SearchContext {
+                    policy: DispatchPolicy::force_inline(),
+                    exhaustive: force_exhaustive,
+                    ..SearchContext::default()
+                }).unwrap();
+                let dispatched = sharded.try_search_terms_where_ctx(&terms, k, None, &SearchContext {
+                    exec: Some(&exec),
+                    pool: Some(&pool),
+                    policy: DispatchPolicy::force_dispatch(),
+                    exhaustive: force_exhaustive,
+                    ..SearchContext::default()
+                }).unwrap();
+                assert_bit_identical(&inline, &expected)?;
+                assert_bit_identical(&dispatched, &expected)?;
+            }
+        }
     }
 
     #[test]
