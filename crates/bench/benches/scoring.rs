@@ -14,9 +14,19 @@
 //! MaxScore-pruned kernel versus the forced-exhaustive reference
 //! ([`Searcher::with_exhaustive`]) — exact counts from
 //! [`ScoreScratch::postings_visited`], not timings, so CI can assert the
-//! pruning engages without a wall-clock-dependent gate.
+//! pruning engages without a wall-clock-dependent gate — plus a
+//! `memory_per_posting_bytes` block (flat vs delta+varint lanes, exact
+//! heap bytes over exact posting counts, CI-gated `compressed <
+//! uncompressed`) and a `large_corpus` sweep: datagen-scaled corpora
+//! (`BENCH_LARGE_CORPUS_DOCS`, comma-separated doc counts, default
+//! `50000,200000`) through build → snapshot save/load → flat and
+//! compressed query latency, with bit-identity asserted at every hop.
 
-use irengine::{Document, IndexBuilder, ScoreScratch, ScoringFunction, Searcher, TermStats};
+use datagen::corpus::{CorpusConfig, SyntheticCorpus};
+use irengine::{
+    Document, IndexBuilder, ScoreScratch, ScoringFunction, Searcher, ShardedIndex, ShardedSearcher,
+    TermStats,
+};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -68,11 +78,149 @@ fn measure(name: &'static str, iters: usize, mut f: impl FnMut()) -> Sample {
     }
 }
 
+/// One size point of the large-corpus sweep (all timings in milliseconds
+/// except the per-query means, which are microseconds).
+struct SweepRow {
+    docs: usize,
+    postings: usize,
+    build_ms: f64,
+    snapshot_save_ms: f64,
+    snapshot_load_ms: f64,
+    snapshot_file_bytes: u64,
+    flat_query_us: f64,
+    compressed_query_us: f64,
+    flat_store_bytes: usize,
+    compressed_store_bytes: usize,
+}
+
+/// Build → snapshot round-trip → flat vs compressed latency, one row per
+/// corpus size. Every hop asserts bit-identity (fingerprints and full hit
+/// lists), so the sweep doubles as an end-to-end determinism check at
+/// sizes the unit tests never reach.
+fn large_corpus_sweep(test_mode: bool) -> Vec<SweepRow> {
+    let sizes: Vec<usize> = std::env::var("BENCH_LARGE_CORPUS_DOCS")
+        .unwrap_or_else(|_| {
+            if test_mode {
+                "2000".to_string()
+            } else {
+                "50000,200000".to_string()
+            }
+        })
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    let n_queries = if test_mode { 25 } else { 200 };
+    let scoring = ScoringFunction::default();
+    let mut rows = Vec::new();
+    for n_docs in sizes {
+        let corpus = SyntheticCorpus::new(CorpusConfig {
+            n_docs,
+            n_entities: (n_docs / 10).max(1),
+            ..CorpusConfig::default()
+        });
+        let t = Instant::now();
+        let mut b = IndexBuilder::new();
+        for d in corpus.docs() {
+            b.add(
+                Document::new(d.external_id)
+                    .field("anchor", d.anchor)
+                    .field("body", d.body),
+            );
+        }
+        let mut index = b.build_sharded(8);
+        let build_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let term_lists: Vec<Vec<String>> = corpus
+            .queries(n_queries, 7)
+            .iter()
+            .map(|q| q.split_whitespace().map(str::to_string).collect())
+            .collect();
+
+        // flat latency + the reference hit lists every later hop must match
+        let searcher = ShardedSearcher::new(&index, scoring);
+        let t = Instant::now();
+        let flat_hits: Vec<_> = term_lists
+            .iter()
+            .map(|terms| searcher.search_terms(terms, 10))
+            .collect();
+        let flat_query_us = t.elapsed().as_secs_f64() * 1e6 / term_lists.len() as f64;
+        let flat_store_bytes = index.posting_store_bytes();
+        let fingerprint = index.fingerprint();
+
+        // snapshot round-trip: save, reload, and require the loaded index
+        // to be logically indistinguishable from the builder's output
+        let snap_path = std::env::temp_dir().join(format!(
+            "qunits-bench-snap-{}-{n_docs}.qx",
+            std::process::id()
+        ));
+        let t = Instant::now();
+        index.save_snapshot(&snap_path).expect("snapshot save");
+        let snapshot_save_ms = t.elapsed().as_secs_f64() * 1e3;
+        let snapshot_file_bytes = std::fs::metadata(&snap_path).expect("snapshot stat").len();
+        let t = Instant::now();
+        let loaded = ShardedIndex::load_snapshot(&snap_path).expect("snapshot load");
+        let snapshot_load_ms = t.elapsed().as_secs_f64() * 1e3;
+        let _ = std::fs::remove_file(&snap_path);
+        assert_eq!(
+            loaded.fingerprint(),
+            fingerprint,
+            "snapshot changed the index"
+        );
+        let loaded_searcher = ShardedSearcher::new(&loaded, scoring);
+        for (terms, flat) in term_lists.iter().zip(&flat_hits) {
+            assert_eq!(
+                &loaded_searcher.search_terms(terms, 10),
+                flat,
+                "snapshot-loaded results diverged on {terms:?}"
+            );
+        }
+
+        // compressed lanes: identical results, smaller store
+        index.compress_postings();
+        let compressed_store_bytes = index.posting_store_bytes();
+        assert_eq!(
+            index.fingerprint(),
+            fingerprint,
+            "compression changed the index"
+        );
+        let searcher = ShardedSearcher::new(&index, scoring);
+        let t = Instant::now();
+        let compressed_hits: Vec<_> = term_lists
+            .iter()
+            .map(|terms| searcher.search_terms(terms, 10))
+            .collect();
+        let compressed_query_us = t.elapsed().as_secs_f64() * 1e6 / term_lists.len() as f64;
+        assert_eq!(compressed_hits, flat_hits, "compressed results diverged");
+
+        let row = SweepRow {
+            docs: n_docs,
+            postings: index.num_postings(),
+            build_ms,
+            snapshot_save_ms,
+            snapshot_load_ms,
+            snapshot_file_bytes,
+            flat_query_us,
+            compressed_query_us,
+            flat_store_bytes,
+            compressed_store_bytes,
+        };
+        println!(
+            "scoring/large_corpus[{n_docs}]: build {build_ms:.0} ms, snapshot save \
+             {snapshot_save_ms:.0} ms / load {snapshot_load_ms:.0} ms ({snapshot_file_bytes} B), \
+             query flat {flat_query_us:.0} us vs compressed {compressed_query_us:.0} us, \
+             store {flat_store_bytes} B -> {compressed_store_bytes} B"
+        );
+        rows.push(row);
+    }
+    rows
+}
+
 fn main() {
     let test_mode = std::env::args().any(|a| a == "--test");
     let iters = |n: usize| if test_mode { 1 } else { n };
 
-    let index = corpus();
+    let mut index = corpus();
     let scoring = ScoringFunction::default();
     let searcher = Searcher::new(&index, scoring);
     // a mixed query: two heavy terms, two mid, one rare, one absent
@@ -134,6 +282,29 @@ fn main() {
         100.0 * pruned_postings as f64 / exhaustive_postings.max(1) as f64
     );
 
+    // Memory per posting, flat vs delta+varint, on the timing corpus —
+    // exact heap bytes over exact posting counts, no estimation. The
+    // compressed re-encode must leave every ranked list bit-identical;
+    // the query reruns below are the proof, not a benchmark.
+    let flat_result = searcher.search_terms_with(&query, 10, &mut scratch);
+    let flat_store_bytes = index.posting_store_bytes();
+    index.compress_postings();
+    let compressed_store_bytes = index.posting_store_bytes();
+    let compressed_searcher = Searcher::new(&index, scoring);
+    assert_eq!(
+        compressed_searcher.search_terms_with(&query, 10, &mut scratch),
+        flat_result,
+        "compressed lanes changed the ranked list"
+    );
+    let per_posting = |bytes: usize| bytes as f64 / index.num_postings().max(1) as f64;
+    println!(
+        "scoring/memory_per_posting_bytes: flat {:.2} vs compressed {:.2}",
+        per_posting(flat_store_bytes),
+        per_posting(compressed_store_bytes)
+    );
+
+    let sweep = large_corpus_sweep(test_mode);
+
     let out = std::env::var("BENCH_SCORING_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scoring.json").to_string()
     });
@@ -146,6 +317,33 @@ fn main() {
     json.push_str(&format!(
         "  \"accumulate_postings\": {{ \"exhaustive\": {exhaustive_postings}, \"pruned\": {pruned_postings} }},\n"
     ));
+    json.push_str(&format!(
+        "  \"memory_per_posting_bytes\": {{ \"uncompressed\": {:.3}, \"compressed\": {:.3} }},\n",
+        per_posting(flat_store_bytes),
+        per_posting(compressed_store_bytes)
+    ));
+    json.push_str("  \"large_corpus\": [\n");
+    for (i, r) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"docs\": {}, \"postings\": {}, \"build_ms\": {:.1}, \
+             \"snapshot_save_ms\": {:.1}, \"snapshot_load_ms\": {:.1}, \
+             \"snapshot_file_bytes\": {}, \"flat_query_us\": {:.1}, \
+             \"compressed_query_us\": {:.1}, \"flat_store_bytes\": {}, \
+             \"compressed_store_bytes\": {} }}{}\n",
+            r.docs,
+            r.postings,
+            r.build_ms,
+            r.snapshot_save_ms,
+            r.snapshot_load_ms,
+            r.snapshot_file_bytes,
+            r.flat_query_us,
+            r.compressed_query_us,
+            r.flat_store_bytes,
+            r.compressed_store_bytes,
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(

@@ -85,6 +85,7 @@ use irengine::{
 use relstore::{Database, Result};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -193,6 +194,28 @@ pub struct EngineConfig {
     /// environment variable, any non-empty value other than `"0"`) when
     /// auditing a suspected pruning bug or measuring the pruning win.
     pub force_exhaustive: bool,
+    /// Re-encode the posting lanes as a per-term delta+varint stream
+    /// ([`irengine::PostingsCodec::DeltaVarint`], see
+    /// `docs/INDEX_FORMAT.md`) once the index is built or loaded — a
+    /// memory/CPU trade: several-fold smaller posting storage for a decode
+    /// pass per (term, shard) scored. Purely representational: results are
+    /// bit-identical to the flat codec (CI-gated), and the in-memory codec
+    /// also becomes the snapshot's on-disk codec. `false` (the default)
+    /// keeps the flat zero-decode lanes. `QUNITS_COMPRESS_POSTINGS` (any
+    /// non-empty value other than `"0"`) overrides this at build time.
+    pub compress_postings: bool,
+    /// Index snapshot location. When set, [`QunitSearchEngine::build`]
+    /// loads the index from this file if it exists and passes validation
+    /// (skipping tokenization and index freezing entirely), and writes it
+    /// after a fresh build otherwise — so the *next* restart gets the fast
+    /// path. A snapshot whose document count or shard count disagrees with
+    /// the current catalog/config, or that fails checksum/structure
+    /// validation, is ignored and rebuilt over. The snapshot is trusted to
+    /// match the database content (see the trust model in
+    /// `docs/INDEX_FORMAT.md`); delete the file after changing the corpus.
+    /// `None` (the default) never touches disk. `QUNITS_SNAPSHOT_PATH`
+    /// overrides this at build time.
+    pub snapshot_path: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -216,6 +239,8 @@ impl Default for EngineConfig {
             max_concurrent_queries: 0,
             executor_queue_capacity: usize::MAX,
             force_exhaustive: false,
+            compress_postings: false,
+            snapshot_path: None,
         }
     }
 }
@@ -232,7 +257,12 @@ impl EngineConfig {
     ///   [`EngineConfig::executor_queue_capacity`];
     /// - `QUNITS_FORCE_EXHAUSTIVE` (any non-empty value other than `"0"`)
     ///   — set [`EngineConfig::force_exhaustive`], disabling MaxScore
-    ///   pruning (the determinism gate diffs transcripts against this).
+    ///   pruning (the determinism gate diffs transcripts against this);
+    /// - `QUNITS_COMPRESS_POSTINGS` (any non-empty value other than `"0"`)
+    ///   — set [`EngineConfig::compress_postings`] (the determinism gate
+    ///   diffs transcripts against this too);
+    /// - `QUNITS_SNAPSHOT_PATH=<path>` — set
+    ///   [`EngineConfig::snapshot_path`].
     ///
     /// Unparseable numeric values panic, like `QUNITS_INLINE_THRESHOLD`:
     /// a typo'd override silently falling back to the default would run
@@ -257,6 +287,14 @@ impl EngineConfig {
         }
         if std::env::var_os("QUNITS_FORCE_EXHAUSTIVE").is_some_and(|v| !v.is_empty() && v != "0") {
             self.force_exhaustive = true;
+        }
+        if std::env::var_os("QUNITS_COMPRESS_POSTINGS").is_some_and(|v| !v.is_empty() && v != "0") {
+            self.compress_postings = true;
+        }
+        if let Some(path) = std::env::var_os("QUNITS_SNAPSHOT_PATH") {
+            if !path.is_empty() {
+                self.snapshot_path = Some(PathBuf::from(path));
+            }
         }
         self
     }
@@ -531,6 +569,45 @@ fn with_query_scratch<R>(f: impl FnOnce(&mut QueryScratch) -> R) -> R {
     })
 }
 
+/// Try the snapshot fast path: if [`EngineConfig::snapshot_path`] names an
+/// existing file that loads cleanly (header, checksums, lane invariants)
+/// and agrees with this build's document count and shard count, return the
+/// loaded index; otherwise `None` and the caller freezes from scratch.
+/// Failures are diagnostic, never fatal — a stale or corrupt snapshot is
+/// simply rebuilt over.
+fn try_load_snapshot(
+    config: &EngineConfig,
+    num_docs: usize,
+    shard_count: usize,
+) -> Option<ShardedIndex> {
+    let path = config.snapshot_path.as_deref()?;
+    if !path.exists() {
+        return None;
+    }
+    match ShardedIndex::load_snapshot(path) {
+        Ok(index) if index.num_docs() == num_docs && index.num_shards() == shard_count => {
+            Some(index)
+        }
+        Ok(index) => {
+            eprintln!(
+                "qunits: snapshot {} is stale ({} docs / {} shards, want {num_docs} / \
+                 {shard_count}); rebuilding",
+                path.display(),
+                index.num_docs(),
+                index.num_shards(),
+            );
+            None
+        }
+        Err(e) => {
+            eprintln!(
+                "qunits: snapshot {} rejected: {e}; rebuilding",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
 /// Resolve a requested thread count: 0 means one per available core, and
 /// there is never a point in more workers than items.
 fn worker_count(requested: usize, items: usize) -> usize {
@@ -616,7 +693,28 @@ impl QunitSearchEngine {
         // on search_shards (the fingerprint is shard-count invariant; the
         // CI determinism gate holds both).
         let shard_count = worker_count(config.search_shards, builder.len());
-        let index = builder.build_sharded(shard_count);
+        let loaded = try_load_snapshot(&config, builder.len(), shard_count);
+        let fresh_build = loaded.is_none();
+        let mut index = loaded.unwrap_or_else(|| builder.build_sharded(shard_count));
+        // The codec knob governs the in-memory representation regardless of
+        // how the index was obtained (a flat snapshot loads then
+        // compresses, and vice versa). Both directions are lossless, so
+        // results are bit-identical either way.
+        index.set_postings_codec(if config.compress_postings {
+            irengine::PostingsCodec::DeltaVarint
+        } else {
+            irengine::PostingsCodec::Flat
+        });
+        if fresh_build {
+            if let Some(path) = &config.snapshot_path {
+                // Saved under the configured codec, after the conversion
+                // above. Best-effort: a failed save costs the next restart
+                // its fast path but must not fail this build.
+                if let Err(e) = index.save_snapshot(path) {
+                    eprintln!("qunits: snapshot save to {} failed: {e}", path.display());
+                }
+            }
+        }
 
         let def_meta: Vec<DefMeta> = catalog
             .iter()
@@ -709,6 +807,21 @@ impl QunitSearchEngine {
     /// and operators report against.
     pub fn num_postings(&self) -> usize {
         self.index.num_postings()
+    }
+
+    /// Heap bytes held by the posting lanes across all shards (doc-id and
+    /// term-frequency arrays, plus per-row byte offsets when compressed;
+    /// the CSR `offsets` lane is excluded under both codecs). Divide by
+    /// [`QunitSearchEngine::num_postings`] for the memory-per-posting
+    /// figure the scoring bench reports.
+    pub fn posting_store_bytes(&self) -> usize {
+        self.index.posting_store_bytes()
+    }
+
+    /// Whether the posting lanes are currently delta+varint compressed
+    /// (per [`EngineConfig::compress_postings`]).
+    pub fn postings_compressed(&self) -> bool {
+        self.index.postings_codec() == irengine::PostingsCodec::DeltaVarint
     }
 
     /// Per-shard scoring-time counters accumulated by every uncached
@@ -1451,6 +1564,97 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn compressed_postings_return_identical_results() {
+        let (data, plain) = engine();
+        assert!(!plain.postings_compressed());
+        let packed = QunitSearchEngine::build(
+            &data.db,
+            expert_imdb_qunits(&data.db).unwrap(),
+            EngineConfig {
+                compress_postings: true,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(packed.postings_compressed());
+        // compression is a physical re-encoding: logical content, posting
+        // counts, and every ranked list stay bit-identical
+        assert_eq!(packed.index_fingerprint(), plain.index_fingerprint());
+        assert_eq!(packed.num_postings(), plain.num_postings());
+        assert!(packed.posting_store_bytes() > 0);
+        let queries: Vec<String> = data
+            .movies
+            .iter()
+            .take(4)
+            .map(|m| format!("{} cast", m.title))
+            .chain([data.people[0].name.clone(), "best rated charts".into()])
+            .collect();
+        for q in &queries {
+            assert_eq!(
+                packed.search_uncached(q, 10),
+                plain.search_uncached(q, 10),
+                "compressed engine diverged on {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_serves_identical_results() {
+        let path = std::env::temp_dir().join(format!(
+            "qunits-engine-snap-round-trip-{}.qx",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let (data, _) = engine();
+        let config = || EngineConfig {
+            snapshot_path: Some(path.clone()),
+            search_shards: 3,
+            ..EngineConfig::default()
+        };
+        // first build finds no snapshot, builds fresh, and saves one
+        let fresh =
+            QunitSearchEngine::build(&data.db, expert_imdb_qunits(&data.db).unwrap(), config())
+                .unwrap();
+        assert!(path.exists(), "fresh build must write {}", path.display());
+        // second build loads the snapshot instead of rebuilding
+        let loaded =
+            QunitSearchEngine::build(&data.db, expert_imdb_qunits(&data.db).unwrap(), config())
+                .unwrap();
+        assert_eq!(loaded.index_fingerprint(), fresh.index_fingerprint());
+        assert_eq!(loaded.num_postings(), fresh.num_postings());
+        assert_eq!(loaded.num_shards(), fresh.num_shards());
+        let queries: Vec<String> = data
+            .movies
+            .iter()
+            .take(4)
+            .map(|m| format!("{} cast", m.title))
+            .chain([data.people[0].name.clone(), "best rated charts".into()])
+            .collect();
+        for q in &queries {
+            assert_eq!(
+                loaded.search_uncached(q, 10),
+                fresh.search_uncached(q, 10),
+                "snapshot-loaded engine diverged on {q}"
+            );
+        }
+        // a shard-count mismatch makes the snapshot stale: the build must
+        // fall back to a fresh build (and refresh the file), not fail
+        let resharded = QunitSearchEngine::build(
+            &data.db,
+            expert_imdb_qunits(&data.db).unwrap(),
+            EngineConfig {
+                snapshot_path: Some(path.clone()),
+                search_shards: 2,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(resharded.num_shards(), 2);
+        assert_eq!(resharded.index_fingerprint(), fresh.index_fingerprint());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! Parameterized synthetic corpora for scale testing — millions of
+//! documents with realistic term statistics, generated on the fly.
+//!
+//! The IMDb generator ([`crate::imdb`]) models the paper's *schema*; this
+//! module models *scale*. A [`SyntheticCorpus`] is defined entirely by a
+//! [`CorpusConfig`] (seed + size knobs + Zipf skew) and materializes each
+//! document independently: [`SyntheticCorpus::doc`] is a pure function of
+//! `(seed, doc index)`, so a 2M-document corpus streams through an index
+//! builder in O(1) generator memory, any sub-range can be regenerated
+//! without the rest, and two runs with the same config produce identical
+//! bytes.
+//!
+//! Shape of a document: one **entity** (an anchor name drawn Zipf-skewed
+//! from `n_entities`, so popular entities own many documents) plus
+//! `terms_per_doc` **body terms** drawn Zipf-skewed from a synthetic
+//! `vocab_size`-word vocabulary — the rank-frequency curve real text has,
+//! which is exactly what makes posting-list compression and MaxScore
+//! pruning behave the way they would on real data.
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Size and skew knobs for a [`SyntheticCorpus`]. Construct with struct
+/// update syntax from [`CorpusConfig::default`] (bench scale, ~20k docs) or
+/// scale the whole corpus up with [`CorpusConfig::at_scale`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusConfig {
+    /// Master seed; every document derives its own RNG from this and its
+    /// index.
+    pub seed: u64,
+    /// Number of documents.
+    pub n_docs: usize,
+    /// Number of distinct entities documents anchor to (≥ 1).
+    pub n_entities: usize,
+    /// Number of distinct body-vocabulary terms (≥ 1).
+    pub vocab_size: usize,
+    /// Body terms drawn per document (duplicates allowed — that is what
+    /// gives term frequencies > 1).
+    pub terms_per_doc: usize,
+    /// Zipf exponent for both term and entity popularity; ~1.0 matches
+    /// natural language, higher skews harder.
+    pub zipf_skew: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            seed: 42,
+            n_docs: 20_000,
+            n_entities: 2_000,
+            vocab_size: 20_000,
+            terms_per_doc: 16,
+            zipf_skew: 1.07,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// The default corpus scaled by `factor`: documents and entities grow
+    /// linearly, the vocabulary grows with √factor (Heaps'-law-ish — real
+    /// vocabularies grow sublinearly in corpus size). `at_scale(100)` is
+    /// the ~2M-document corpus the large-scale benches use.
+    pub fn at_scale(factor: usize) -> Self {
+        let factor = factor.max(1);
+        let base = CorpusConfig::default();
+        CorpusConfig {
+            n_docs: base.n_docs * factor,
+            n_entities: base.n_entities * factor,
+            vocab_size: base.vocab_size * (factor as f64).sqrt().round() as usize,
+            ..base
+        }
+    }
+}
+
+/// One generated document, as plain text fields (this crate knows nothing
+/// about the IR engine; callers map these into their document type).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusDoc {
+    /// Stable external id: `"doc<index>"`.
+    pub external_id: String,
+    /// The anchored entity's two-word name.
+    pub anchor: String,
+    /// `terms_per_doc` body terms, space-joined.
+    pub body: String,
+}
+
+/// Syllables for synthetic words; 20 of them so a word is the base-20
+/// digit string of its rank. None of the products collide with the
+/// analyzer's English stopword list.
+const SYLLABLES: [&str; 20] = [
+    "ba", "ce", "di", "fo", "gu", "ha", "ki", "lo", "mu", "na", "pe", "qi", "ro", "su", "ta", "ve",
+    "wi", "xo", "yu", "za",
+];
+
+/// The `rank`-th synthetic word: a distinguishing prefix letter (so entity
+/// and body vocabularies never collide) followed by base-20 syllables.
+fn word(prefix: char, mut rank: usize) -> String {
+    let mut w = String::with_capacity(7);
+    w.push(prefix);
+    loop {
+        w.push_str(SYLLABLES[rank % SYLLABLES.len()]);
+        rank /= SYLLABLES.len();
+        if rank == 0 {
+            return w;
+        }
+    }
+}
+
+/// A corpus: the config plus the two frozen Zipf samplers. Cheap to build
+/// relative to generation (O(vocab + entities) for the CDF tables) and
+/// immutable afterwards, so it can be shared across generator threads.
+#[derive(Debug, Clone)]
+pub struct SyntheticCorpus {
+    config: CorpusConfig,
+    term_zipf: Zipf,
+    entity_zipf: Zipf,
+}
+
+impl SyntheticCorpus {
+    /// Freeze a config into a corpus (builds the Zipf CDF tables).
+    ///
+    /// ```
+    /// use datagen::corpus::{CorpusConfig, SyntheticCorpus};
+    ///
+    /// let corpus = SyntheticCorpus::new(CorpusConfig {
+    ///     n_docs: 100,
+    ///     ..CorpusConfig::default()
+    /// });
+    /// let doc = corpus.doc(7);
+    /// assert_eq!(doc.external_id, "doc7");
+    /// assert_eq!(corpus.doc(7), doc); // pure function of (seed, index)
+    /// ```
+    pub fn new(config: CorpusConfig) -> Self {
+        assert!(config.n_entities > 0, "corpus needs at least one entity");
+        assert!(config.vocab_size > 0, "corpus needs a non-empty vocabulary");
+        SyntheticCorpus {
+            config,
+            term_zipf: Zipf::new(config.vocab_size, config.zipf_skew),
+            entity_zipf: Zipf::new(config.n_entities, config.zipf_skew),
+        }
+    }
+
+    /// The frozen config.
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.config.n_docs
+    }
+
+    /// True iff the corpus has no documents.
+    pub fn is_empty(&self) -> bool {
+        self.config.n_docs == 0
+    }
+
+    /// The two-word name of entity `rank` (0-based popularity rank).
+    pub fn entity_name(&self, rank: usize) -> String {
+        // Spread the second word so consecutive ranks don't share it.
+        let second = (rank / 7) * 3 + rank % 7;
+        format!("{} {}", word('e', rank), word('s', second))
+    }
+
+    /// Generate document `i` (0-based; `i < len()`). Pure function of the
+    /// config seed and `i` — no generator state survives between calls.
+    pub fn doc(&self, i: usize) -> CorpusDoc {
+        assert!(i < self.config.n_docs, "doc index {i} out of range");
+        // Per-document RNG: SplitMix-style mix of (seed, index) feeds
+        // seed_from_u64, so neighboring documents are decorrelated.
+        let mut rng = StdRng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        );
+        let entity = self.entity_zipf.sample(&mut rng);
+        let mut body = String::with_capacity(self.config.terms_per_doc * 6);
+        for t in 0..self.config.terms_per_doc {
+            if t > 0 {
+                body.push(' ');
+            }
+            body.push_str(&word('t', self.term_zipf.sample(&mut rng)));
+        }
+        CorpusDoc {
+            external_id: format!("doc{i}"),
+            anchor: self.entity_name(entity),
+            body,
+        }
+    }
+
+    /// Stream every document in id order. O(1) generator memory — nothing
+    /// is buffered, each item is [`SyntheticCorpus::doc`].
+    pub fn docs(&self) -> impl Iterator<Item = CorpusDoc> + '_ {
+        (0..self.config.n_docs).map(move |i| self.doc(i))
+    }
+
+    /// A deterministic mixed query workload over this corpus: one third
+    /// entity-name lookups, one third entity + body-term refinements, one
+    /// third pure body-term queries — all drawn with the same Zipf
+    /// popularity as the corpus itself, so hot queries hit hot postings.
+    pub fn queries(&self, n: usize, seed: u64) -> Vec<String> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5157_4c4f_4144_u64);
+        (0..n)
+            .map(|q| {
+                let entity = self.entity_name(self.entity_zipf.sample(&mut rng));
+                let t1 = word('t', self.term_zipf.sample(&mut rng));
+                let t2 = word('t', self.term_zipf.sample(&mut rng));
+                match q % 3 {
+                    0 => entity,
+                    1 => format!("{entity} {t1}"),
+                    _ => format!("{t1} {t2}"),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn same_seed_same_corpus() {
+        let a = SyntheticCorpus::new(CorpusConfig {
+            n_docs: 200,
+            ..CorpusConfig::default()
+        });
+        let b = SyntheticCorpus::new(CorpusConfig {
+            n_docs: 200,
+            ..CorpusConfig::default()
+        });
+        assert!(a.docs().eq(b.docs()));
+        assert_eq!(a.queries(50, 1), b.queries(50, 1));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticCorpus::new(CorpusConfig {
+            n_docs: 50,
+            ..CorpusConfig::default()
+        });
+        let b = SyntheticCorpus::new(CorpusConfig {
+            n_docs: 50,
+            seed: 43,
+            ..CorpusConfig::default()
+        });
+        assert!(a.docs().ne(b.docs()));
+    }
+
+    #[test]
+    fn streaming_matches_random_access() {
+        let c = SyntheticCorpus::new(CorpusConfig {
+            n_docs: 100,
+            ..CorpusConfig::default()
+        });
+        for (i, doc) in c.docs().enumerate() {
+            assert_eq!(doc, c.doc(i));
+        }
+        assert_eq!(c.len(), 100);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn docs_have_configured_shape() {
+        let cfg = CorpusConfig {
+            n_docs: 80,
+            terms_per_doc: 9,
+            ..CorpusConfig::default()
+        };
+        let c = SyntheticCorpus::new(cfg);
+        for doc in c.docs() {
+            assert_eq!(doc.body.split(' ').count(), 9);
+            assert_eq!(doc.anchor.split(' ').count(), 2);
+            assert!(doc.body.split(' ').all(|w| w.starts_with('t')));
+        }
+    }
+
+    #[test]
+    fn term_popularity_is_zipf_skewed() {
+        let c = SyntheticCorpus::new(CorpusConfig {
+            n_docs: 2_000,
+            vocab_size: 1_000,
+            ..CorpusConfig::default()
+        });
+        let mut freq: HashMap<String, usize> = HashMap::new();
+        for doc in c.docs() {
+            for t in doc.body.split(' ') {
+                *freq.entry(t.to_owned()).or_insert(0) += 1;
+            }
+        }
+        // Rank 0 ("tba") must dwarf a mid-tail rank; distinct terms used
+        // must cover a decent slice of the vocabulary.
+        let head = freq.get(&word('t', 0)).copied().unwrap_or(0);
+        let tail = freq.get(&word('t', 500)).copied().unwrap_or(0);
+        assert!(head > 20 * tail.max(1), "head {head} vs tail {tail}");
+        assert!(freq.len() > 300, "only {} distinct terms", freq.len());
+    }
+
+    #[test]
+    fn entity_names_are_distinct() {
+        let c = SyntheticCorpus::new(CorpusConfig::default());
+        let names: std::collections::HashSet<String> =
+            (0..2_000).map(|r| c.entity_name(r)).collect();
+        assert_eq!(names.len(), 2_000);
+    }
+
+    #[test]
+    fn at_scale_multiplies_docs_and_entities() {
+        let base = CorpusConfig::default();
+        let scaled = CorpusConfig::at_scale(100);
+        assert_eq!(scaled.n_docs, base.n_docs * 100);
+        assert_eq!(scaled.n_entities, base.n_entities * 100);
+        assert_eq!(scaled.vocab_size, base.vocab_size * 10);
+        assert_eq!(scaled.seed, base.seed);
+        assert_eq!(CorpusConfig::at_scale(0).n_docs, base.n_docs);
+    }
+
+    #[test]
+    fn queries_mix_shapes() {
+        let c = SyntheticCorpus::new(CorpusConfig::default());
+        let qs = c.queries(30, 7);
+        assert_eq!(qs.len(), 30);
+        assert!(qs.iter().any(|q| q.split(' ').count() == 2)); // entity only
+        assert!(qs.iter().any(|q| q.split(' ').count() == 3)); // entity + term
+        assert!(qs.iter().all(|q| !q.is_empty()));
+    }
+}

@@ -12,10 +12,13 @@
 //!   the input to the paper's §4.3 derivation method.
 //! * [`needs`] — the information-need model behind the §5.1 user study
 //!   (Table 1).
+//! * [`corpus`] — parameterized flat corpora (up to millions of documents,
+//!   Zipf term skew) for index-scale and compression benches.
 //!
 //! Every generator takes an explicit seed; the same seed always reproduces
 //! the same bytes, which keeps experiments and benches comparable.
 
+pub mod corpus;
 pub mod evidence;
 pub mod imdb;
 pub mod names;
@@ -23,6 +26,7 @@ pub mod needs;
 pub mod querylog;
 pub mod zipf;
 
+pub use corpus::{CorpusConfig, CorpusDoc, SyntheticCorpus};
 pub use evidence::{EvidenceCorpus, EvidenceGenConfig, Page, PageElement};
 pub use imdb::{EntityRef, ImdbConfig, ImdbData};
 pub use needs::{InformationNeed, QueryTemplate, ALL_NEEDS, ALL_TEMPLATES};

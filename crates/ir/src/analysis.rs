@@ -56,6 +56,17 @@ impl Analyzer {
         self
     }
 
+    /// The stopword set, in unspecified order (sort before hashing or
+    /// serializing — the index snapshot does).
+    pub fn stopwords(&self) -> impl Iterator<Item = &str> {
+        self.stopwords.iter().map(String::as_str)
+    }
+
+    /// Minimum token length kept by [`Analyzer::tokenize`].
+    pub fn min_token_len(&self) -> usize {
+        self.min_token_len
+    }
+
     /// Tokenize: split on non-alphanumerics, lower-case, filter stopwords
     /// and short tokens.
     ///

@@ -28,6 +28,20 @@
 //! [`TermId`]s are assigned by sorted term order at freeze time, so the
 //! layout (and everything downstream of it) is a pure function of the
 //! indexed content.
+//!
+//! # Compressed posting lanes
+//!
+//! The two flat lanes cost 12 bytes per posting (`u32` doc + `f64` tf). At
+//! millions of documents that dominates the index footprint, so the lanes
+//! can be swapped — [`Index::compress_postings`] — for a per-term
+//! delta+varint byte stream ([`PostingsCodec::DeltaVarint`], fully specified
+//! in `docs/INDEX_FORMAT.md`). The CSR `offsets` lane is kept verbatim in
+//! both representations, so document frequencies and term lookup never
+//! decode anything. Reads go through [`Index::postings_of_with`], which
+//! hands back the same [`Postings`] view either way: a zero-copy borrow of
+//! the flat lanes, or a bit-exact decode into a caller-supplied
+//! [`PostingsBuf`]. Everything downstream (scores, MaxScore bound lanes,
+//! shard fingerprints) is bit-identical across the two codecs.
 
 use crate::analysis::Analyzer;
 use crate::document::{DocId, Document};
@@ -112,6 +126,172 @@ impl<'a> IntoIterator for Postings<'a> {
     }
 }
 
+/// In-memory representation of the CSR posting lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostingsCodec {
+    /// Two flat parallel arrays — zero decode cost, 12 bytes per posting.
+    Flat,
+    /// Per-term delta + varint byte stream (see `docs/INDEX_FORMAT.md`):
+    /// doc ids as LEB128 gap varints, weighted tfs as tagged varints with a
+    /// raw-bits escape for non-integral values. Decodes bit-exactly.
+    DeltaVarint,
+}
+
+/// The posting lanes behind the CSR `offsets`. Both variants describe the
+/// same logical postings; [`Index::compress_postings`] /
+/// [`Index::decompress_postings`] convert losslessly between them.
+#[derive(Debug, Clone)]
+pub(crate) enum PostingStore {
+    /// `docs`/`tfs` are the flat parallel lanes from the module docs.
+    Flat { docs: Vec<DocId>, tfs: Vec<f64> },
+    /// `bytes[byte_offsets[t]..byte_offsets[t+1]]` is term `t`'s encoded
+    /// row; `byte_offsets.len() == offsets.len()` (one entry per term + 1).
+    Compressed {
+        bytes: Vec<u8>,
+        byte_offsets: Vec<u64>,
+    },
+}
+
+impl PostingStore {
+    /// Heap bytes held by the posting lanes (the `memory_per_posting`
+    /// numerator; excludes the shared `offsets` lane).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        match self {
+            PostingStore::Flat { docs, tfs } => {
+                docs.len() * std::mem::size_of::<DocId>() + tfs.len() * std::mem::size_of::<f64>()
+            }
+            PostingStore::Compressed {
+                bytes,
+                byte_offsets,
+            } => bytes.len() + byte_offsets.len() * std::mem::size_of::<u64>(),
+        }
+    }
+}
+
+/// Reusable decode buffer for [`Index::postings_of_with`].
+///
+/// On a [`PostingsCodec::Flat`] index the buffer is untouched (the view
+/// borrows the index directly); on a compressed index the term's row is
+/// decoded into it and the view borrows the buffer. Reuse one buffer per
+/// thread/query to amortize its allocation across terms.
+///
+/// ```
+/// use irengine::{Document, IndexBuilder, PostingsBuf};
+///
+/// let mut b = IndexBuilder::new();
+/// b.add(Document::new("a").field("body", "star wars"));
+/// let mut ix = b.build();
+/// ix.compress_postings();
+///
+/// let mut buf = PostingsBuf::new();
+/// let view = ix.postings_with("star", &mut buf);
+/// assert_eq!(view.docs, &[0]);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct PostingsBuf {
+    docs: Vec<DocId>,
+    tfs: Vec<f64>,
+}
+
+impl PostingsBuf {
+    /// An empty buffer (allocates lazily on first compressed decode).
+    pub fn new() -> Self {
+        PostingsBuf::default()
+    }
+}
+
+/// Message for decode-time invariant violations. The encoder below is the
+/// only producer of compressed rows and snapshot sections are checksummed,
+/// so hitting this means in-memory corruption or a hand-edited snapshot
+/// (snapshots are a trusted cache, not an untrusted input format).
+const CORRUPT_ROW: &str = "corrupt delta+varint posting row (see docs/INDEX_FORMAT.md)";
+
+/// Largest weighted tf storable inline as `(tf << 1) | 1` without
+/// overflowing the tag varint's value space.
+const MAX_INLINE_TF: u64 = (1 << 62) - 1;
+
+/// LEB128: 7 value bits per byte, high bit = continuation.
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos).expect(CORRUPT_ROW);
+        *pos += 1;
+        assert!(shift < 64, "{CORRUPT_ROW}");
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// Encode one term's postings: per posting, the doc-id gap as a varint
+/// (first doc absolute, then strictly positive deltas), followed by the tf
+/// as a tagged varint — odd tag `(t << 1) | 1` for an exactly-representable
+/// non-negative integer tf `t` (the overwhelmingly common case: tfs are sums
+/// of field boosts), or tag `0` followed by the raw little-endian `f64` bits.
+fn encode_row(docs: &[DocId], tfs: &[f64], out: &mut Vec<u8>) {
+    let mut prev = 0u64;
+    for (i, (&doc, &tf)) in docs.iter().zip(tfs).enumerate() {
+        let doc = u64::from(doc);
+        let gap = if i == 0 { doc } else { doc - prev };
+        write_varint(out, gap);
+        prev = doc;
+        let int = tf as u64;
+        if int <= MAX_INLINE_TF && (int as f64).to_bits() == tf.to_bits() {
+            write_varint(out, (int << 1) | 1);
+        } else {
+            write_varint(out, 0);
+            out.extend_from_slice(&tf.to_bits().to_le_bytes());
+        }
+    }
+}
+
+/// Bit-exact inverse of [`encode_row`]; panics on a malformed row (see
+/// [`CORRUPT_ROW`]).
+fn decode_row(bytes: &[u8], count: usize, buf: &mut PostingsBuf) {
+    buf.docs.clear();
+    buf.tfs.clear();
+    buf.docs.reserve(count);
+    buf.tfs.reserve(count);
+    let mut pos = 0usize;
+    let mut doc = 0u64;
+    for i in 0..count {
+        let gap = read_varint(bytes, &mut pos);
+        doc = if i == 0 { gap } else { doc + gap };
+        assert!(doc <= u64::from(DocId::MAX), "{CORRUPT_ROW}");
+        buf.docs.push(doc as DocId);
+        let tag = read_varint(bytes, &mut pos);
+        let tf = if tag == 0 {
+            let raw: [u8; 8] = bytes
+                .get(pos..pos + 8)
+                .expect(CORRUPT_ROW)
+                .try_into()
+                .unwrap();
+            pos += 8;
+            f64::from_bits(u64::from_le_bytes(raw))
+        } else {
+            assert!(tag & 1 == 1, "{CORRUPT_ROW}");
+            (tag >> 1) as f64
+        };
+        buf.tfs.push(tf);
+    }
+    assert!(pos == bytes.len(), "{CORRUPT_ROW}");
+}
+
 /// An immutable searchable index. Build via [`IndexBuilder`].
 ///
 /// Immutability is load-bearing for the concurrent query path upstream:
@@ -147,14 +327,13 @@ pub struct Index {
     /// Sorted — [`TermId`]s are assigned in lexicographic term order.
     terms: Vec<String>,
     /// CSR row offsets: term `t`'s postings span
-    /// `offsets[t] .. offsets[t + 1]` in the flat arrays below.
+    /// `offsets[t] .. offsets[t + 1]` in the posting store below.
     /// `offsets.len() == terms.len() + 1`; `u32` bounds the index at 4 B
-    /// postings (asserted in [`IndexBuilder::build`]).
+    /// postings (asserted in [`IndexBuilder::build`]). Kept uncompressed in
+    /// both codecs so document frequency never decodes anything.
     offsets: Vec<u32>,
-    /// All postings' doc ids, grouped by term, ascending within a term.
-    posting_docs: Vec<DocId>,
-    /// All postings' weighted term frequencies, parallel to `posting_docs`.
-    posting_tfs: Vec<f64>,
+    /// The posting lanes: flat parallel arrays or a delta+varint stream.
+    store: PostingStore,
     /// Per-term maximum of `posting_tfs` over the term's CSR row, indexed
     /// by [`TermId`] (`term_max_tfs.len() == terms.len()`). Computed at
     /// freeze time so the MaxScore pruned kernel can derive a score upper
@@ -184,7 +363,7 @@ impl Index {
 
     /// Total number of postings across all terms (the CSR arrays' length).
     pub fn num_postings(&self) -> usize {
-        self.posting_docs.len()
+        self.offsets.last().copied().unwrap_or(0) as usize
     }
 
     /// Interned id of a term (already analyzed form), if indexed. This is
@@ -201,6 +380,12 @@ impl Index {
 
     /// Postings for a term (already analyzed form): dictionary lookup +
     /// [`Index::postings_of`]. Unknown terms yield the empty view.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`PostingsCodec::DeltaVarint`] index — a borrowed view
+    /// cannot be served from an encoded stream. Use
+    /// [`Index::postings_with`], which works under either codec.
     pub fn postings(&self, term: &str) -> Postings<'_> {
         match self.term_id(term) {
             Some(id) => self.postings_of(id),
@@ -211,6 +396,11 @@ impl Index {
     /// Postings for an interned term id: two parallel subslices of the CSR
     /// arrays, no hashing. Out-of-range ids yield the empty view (ids only
     /// come from [`Index::term_id`], but total beats panicking).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`PostingsCodec::DeltaVarint`] index (see
+    /// [`Index::postings`]); use [`Index::postings_of_with`] there.
     pub fn postings_of(&self, id: TermId) -> Postings<'_> {
         let t = id as usize;
         // (compare against terms.len(), not offsets.len() - 1 or t + 1:
@@ -219,15 +409,131 @@ impl Index {
             return Postings::empty();
         }
         let (lo, hi) = (self.offsets[t] as usize, self.offsets[t + 1] as usize);
-        Postings {
-            docs: &self.posting_docs[lo..hi],
-            weighted_tfs: &self.posting_tfs[lo..hi],
+        match &self.store {
+            PostingStore::Flat { docs, tfs } => Postings {
+                docs: &docs[lo..hi],
+                weighted_tfs: &tfs[lo..hi],
+            },
+            PostingStore::Compressed { .. } => panic!(
+                "Index::postings_of on a compressed index: the lanes are \
+                 delta+varint encoded, use postings_of_with with a PostingsBuf"
+            ),
         }
     }
 
-    /// Document frequency of a term.
+    /// Postings for an interned term id under **either codec**: a zero-copy
+    /// borrow of the flat lanes, or a bit-exact decode of the term's row
+    /// into `buf` (the view then borrows `buf`). Out-of-range ids yield the
+    /// empty view either way.
+    pub fn postings_of_with<'s>(&'s self, id: TermId, buf: &'s mut PostingsBuf) -> Postings<'s> {
+        let t = id as usize;
+        if t >= self.terms.len() {
+            return Postings::empty();
+        }
+        let (lo, hi) = (self.offsets[t] as usize, self.offsets[t + 1] as usize);
+        match &self.store {
+            PostingStore::Flat { docs, tfs } => Postings {
+                docs: &docs[lo..hi],
+                weighted_tfs: &tfs[lo..hi],
+            },
+            PostingStore::Compressed {
+                bytes,
+                byte_offsets,
+            } => {
+                let row = &bytes[byte_offsets[t] as usize..byte_offsets[t + 1] as usize];
+                decode_row(row, hi - lo, buf);
+                Postings {
+                    docs: &buf.docs,
+                    weighted_tfs: &buf.tfs,
+                }
+            }
+        }
+    }
+
+    /// [`Index::postings_of_with`] by analyzed term (dictionary lookup;
+    /// unknown terms yield the empty view).
+    pub fn postings_with<'s>(&'s self, term: &str, buf: &'s mut PostingsBuf) -> Postings<'s> {
+        match self.term_id(term) {
+            Some(id) => self.postings_of_with(id, buf),
+            None => Postings::empty(),
+        }
+    }
+
+    /// Document frequency of a term. Reads the CSR `offsets` lane only, so
+    /// it is O(1) and never decodes under any codec.
     pub fn doc_freq(&self, term: &str) -> usize {
-        self.postings(term).len()
+        self.term_id(term).map_or(0, |id| self.doc_freq_of(id))
+    }
+
+    /// Document frequency of an interned term id (0 when out of range).
+    /// O(1): one subtraction over the `offsets` lane, no decode.
+    pub fn doc_freq_of(&self, id: TermId) -> usize {
+        let t = id as usize;
+        if t >= self.terms.len() {
+            return 0;
+        }
+        (self.offsets[t + 1] - self.offsets[t]) as usize
+    }
+
+    /// Which codec the posting lanes currently use.
+    pub fn postings_codec(&self) -> PostingsCodec {
+        match self.store {
+            PostingStore::Flat { .. } => PostingsCodec::Flat,
+            PostingStore::Compressed { .. } => PostingsCodec::DeltaVarint,
+        }
+    }
+
+    /// Re-encode the posting lanes as a per-term delta+varint stream
+    /// ([`PostingsCodec::DeltaVarint`]). Lossless: decoding reproduces doc
+    /// ids and weighted tfs bit-for-bit, so scores, MaxScore bounds, and
+    /// fingerprints are unchanged. No-op if already compressed.
+    pub fn compress_postings(&mut self) {
+        let PostingStore::Flat { docs, tfs } = &self.store else {
+            return;
+        };
+        let mut bytes = Vec::new();
+        let mut byte_offsets = Vec::with_capacity(self.offsets.len());
+        byte_offsets.push(0u64);
+        for t in 0..self.terms.len() {
+            let (lo, hi) = (self.offsets[t] as usize, self.offsets[t + 1] as usize);
+            encode_row(&docs[lo..hi], &tfs[lo..hi], &mut bytes);
+            byte_offsets.push(bytes.len() as u64);
+        }
+        bytes.shrink_to_fit();
+        self.store = PostingStore::Compressed {
+            bytes,
+            byte_offsets,
+        };
+    }
+
+    /// Decode the posting lanes back to flat parallel arrays
+    /// ([`PostingsCodec::Flat`]). No-op if already flat.
+    pub fn decompress_postings(&mut self) {
+        let PostingStore::Compressed {
+            bytes,
+            byte_offsets,
+        } = &self.store
+        else {
+            return;
+        };
+        let total = self.num_postings();
+        let mut docs = Vec::with_capacity(total);
+        let mut tfs = Vec::with_capacity(total);
+        let mut buf = PostingsBuf::new();
+        for t in 0..self.terms.len() {
+            let count = (self.offsets[t + 1] - self.offsets[t]) as usize;
+            let row = &bytes[byte_offsets[t] as usize..byte_offsets[t + 1] as usize];
+            decode_row(row, count, &mut buf);
+            docs.extend_from_slice(&buf.docs);
+            tfs.extend_from_slice(&buf.tfs);
+        }
+        self.store = PostingStore::Flat { docs, tfs };
+    }
+
+    /// Heap bytes held by the posting lanes under the current codec (the
+    /// numerator of the `memory_per_posting_bytes` bench metric).
+    pub fn posting_store_bytes(&self) -> usize {
+        self.store.heap_bytes()
     }
 
     /// Largest boost-weighted term frequency among `id`'s postings — the
@@ -289,6 +595,134 @@ impl Index {
     /// Every indexed term, in [`TermId`] order (lexicographically sorted).
     pub fn terms(&self) -> impl Iterator<Item = &str> {
         self.terms.iter().map(String::as_str)
+    }
+
+    // --- raw access for the snapshot writer/reader (crate::snapshot) ---
+
+    pub(crate) fn raw_terms(&self) -> &[String] {
+        &self.terms
+    }
+
+    pub(crate) fn raw_offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    pub(crate) fn raw_store(&self) -> &PostingStore {
+        &self.store
+    }
+
+    pub(crate) fn raw_term_max_tfs(&self) -> &[f64] {
+        &self.term_max_tfs
+    }
+
+    pub(crate) fn raw_docs(&self) -> &[Document] {
+        &self.docs
+    }
+
+    /// Reassemble an [`Index`] from snapshot sections. Derived state
+    /// (dictionary, external-id map, average length) is rebuilt here — it is
+    /// a pure function of the stored lanes, so the result is identical to
+    /// the originally built index. Returns a description of the first
+    /// violated invariant instead of constructing a malformed index.
+    pub(crate) fn from_raw_parts(
+        analyzer: Analyzer,
+        terms: Vec<String>,
+        offsets: Vec<u32>,
+        store: PostingStore,
+        term_max_tfs: Vec<f64>,
+        doc_lengths: Vec<f64>,
+        docs: Vec<Document>,
+    ) -> Result<Index, String> {
+        if offsets.len() != terms.len() + 1 {
+            return Err(format!(
+                "offsets lane has {} entries for {} terms (want terms + 1)",
+                offsets.len(),
+                terms.len()
+            ));
+        }
+        if offsets.first() != Some(&0) || offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets lane is not a monotone prefix-sum from 0".to_owned());
+        }
+        if term_max_tfs.len() != terms.len() {
+            return Err(format!(
+                "term_max_tfs lane has {} entries for {} terms",
+                term_max_tfs.len(),
+                terms.len()
+            ));
+        }
+        if terms.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("term dictionary is not strictly sorted".to_owned());
+        }
+        if doc_lengths.len() != docs.len() {
+            return Err(format!(
+                "doc_lengths lane has {} entries for {} stored docs",
+                doc_lengths.len(),
+                docs.len()
+            ));
+        }
+        let total = *offsets.last().unwrap() as usize;
+        match &store {
+            PostingStore::Flat { docs, tfs } => {
+                if docs.len() != total || tfs.len() != total {
+                    return Err(format!(
+                        "flat lanes hold {}/{} postings, offsets say {total}",
+                        docs.len(),
+                        tfs.len()
+                    ));
+                }
+            }
+            PostingStore::Compressed {
+                bytes,
+                byte_offsets,
+            } => {
+                if byte_offsets.len() != offsets.len() {
+                    return Err(format!(
+                        "byte_offsets lane has {} entries, offsets has {}",
+                        byte_offsets.len(),
+                        offsets.len()
+                    ));
+                }
+                if byte_offsets.first() != Some(&0)
+                    || byte_offsets.windows(2).any(|w| w[0] > w[1])
+                    || byte_offsets.last() != Some(&(bytes.len() as u64))
+                {
+                    return Err(
+                        "byte_offsets lane is not a monotone prefix-sum over the stream".to_owned(),
+                    );
+                }
+            }
+        }
+
+        let term_ids = terms
+            .iter()
+            .enumerate()
+            .map(|(t, term)| (term.clone(), t as TermId))
+            .collect();
+        let mut external_to_doc = HashMap::with_capacity(docs.len());
+        for (i, doc) in docs.iter().enumerate() {
+            external_to_doc
+                .entry(doc.external_id.clone())
+                .or_insert(i as DocId);
+        }
+        // Same reduction order as IndexBuilder::build (insertion order), so
+        // the float result is bit-identical to the built index's.
+        let avg_doc_length = if doc_lengths.is_empty() {
+            0.0
+        } else {
+            doc_lengths.iter().sum::<f64>() / doc_lengths.len() as f64
+        };
+        Ok(Index {
+            analyzer,
+            term_ids,
+            terms,
+            offsets,
+            store,
+            term_max_tfs,
+            doc_lengths,
+            avg_doc_length,
+            docs,
+            external_to_doc,
+        })
     }
 }
 
@@ -460,8 +894,10 @@ impl IndexBuilder {
             term_ids,
             terms,
             offsets,
-            posting_docs,
-            posting_tfs,
+            store: PostingStore::Flat {
+                docs: posting_docs,
+                tfs: posting_tfs,
+            },
             term_max_tfs,
             doc_lengths,
             avg_doc_length,
@@ -618,6 +1054,145 @@ mod tests {
         b.add(Document::new("dup").field("body", "two"));
         let ix = b.build();
         assert_eq!(ix.doc_for_external("dup"), Some(0));
+    }
+
+    #[test]
+    fn compress_roundtrip_is_bit_exact() {
+        let mut b = IndexBuilder::new();
+        b.set_field_boost("title", 2.5); // fractional boost → raw-escape tfs
+        b.add(
+            Document::new("a")
+                .field("title", "star")
+                .field("body", "star wars cast"),
+        );
+        b.add(Document::new("b").field("body", "star trek star"));
+        b.add(Document::new("c").field("body", "ocean drama wars"));
+        let flat = b.build();
+        let mut ix = flat.clone();
+
+        assert_eq!(ix.postings_codec(), PostingsCodec::Flat);
+        ix.compress_postings();
+        assert_eq!(ix.postings_codec(), PostingsCodec::DeltaVarint);
+        ix.compress_postings(); // idempotent
+
+        assert_eq!(ix.num_postings(), flat.num_postings());
+        let mut buf = PostingsBuf::new();
+        for term in flat.terms() {
+            let want = flat.postings(term);
+            let got = ix.postings_with(term, &mut buf);
+            assert_eq!(got.docs, want.docs, "{term}");
+            let want_bits: Vec<u64> = want.weighted_tfs.iter().map(|t| t.to_bits()).collect();
+            let got_bits: Vec<u64> = got.weighted_tfs.iter().map(|t| t.to_bits()).collect();
+            assert_eq!(got_bits, want_bits, "{term}");
+            assert_eq!(ix.doc_freq(term), want.len(), "{term}");
+            assert_eq!(
+                ix.max_weighted_tf(term).to_bits(),
+                flat.max_weighted_tf(term).to_bits()
+            );
+        }
+        assert!(ix.postings_of_with(TermId::MAX, &mut buf).is_empty());
+        assert!(ix.postings_with("ghost", &mut buf).is_empty());
+
+        ix.decompress_postings();
+        assert_eq!(ix.postings_codec(), PostingsCodec::Flat);
+        for term in flat.terms() {
+            let want = flat.postings(term);
+            let got = ix.postings(term);
+            assert_eq!(got.docs, want.docs);
+            assert_eq!(got.weighted_tfs, want.weighted_tfs);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "compressed index")]
+    fn zero_copy_postings_panic_on_compressed_store() {
+        let mut ix = small_index();
+        ix.compress_postings();
+        let _ = ix.postings("star");
+    }
+
+    #[test]
+    fn flat_reads_work_through_the_buffered_api_too() {
+        let ix = small_index();
+        let mut buf = PostingsBuf::new();
+        let view = ix.postings_with("star", &mut buf);
+        assert_eq!(view.docs, ix.postings("star").docs);
+        assert!(buf.docs.is_empty(), "flat path must not touch the buffer");
+    }
+
+    #[test]
+    fn compression_shrinks_the_posting_store() {
+        let mut b = IndexBuilder::new();
+        for i in 0..500 {
+            let body = format!("common w{} w{}", i % 7, i % 31);
+            b.add(Document::new(format!("d{i}")).field("body", &body));
+        }
+        let mut ix = b.build();
+        let flat_bytes = ix.posting_store_bytes();
+        assert_eq!(flat_bytes, ix.num_postings() * 12);
+        ix.compress_postings();
+        let packed = ix.posting_store_bytes();
+        assert!(
+            packed < flat_bytes / 3,
+            "expected ≥3× shrink, got {packed} vs {flat_bytes}"
+        );
+    }
+
+    #[test]
+    fn tf_codec_round_trips_awkward_values() {
+        // Exercise both tag paths, including values near the inline cutoff.
+        let tfs = [
+            0.0,
+            1.0,
+            2.0,
+            2.5,
+            1e-300,
+            1e300,
+            f64::INFINITY,
+            f64::MAX,
+            (MAX_INLINE_TF / 2) as f64,
+            9.007199254740993e15, // 2^53 + 1: not exactly representable
+        ];
+        let docs: Vec<DocId> = (0..tfs.len() as DocId).collect();
+        let mut bytes = Vec::new();
+        encode_row(&docs, &tfs, &mut bytes);
+        let mut buf = PostingsBuf::new();
+        decode_row(&bytes, tfs.len(), &mut buf);
+        assert_eq!(buf.docs, docs);
+        for (got, want) in buf.tfs.iter().zip(&tfs) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_malformed_lanes() {
+        let ix = small_index();
+        let bad = Index::from_raw_parts(
+            ix.analyzer().clone(),
+            ix.raw_terms().to_vec(),
+            vec![0; ix.raw_offsets().len() + 1],
+            ix.raw_store().clone(),
+            ix.raw_term_max_tfs().to_vec(),
+            ix.doc_lengths().to_vec(),
+            ix.raw_docs().to_vec(),
+        );
+        assert!(bad.is_err());
+        let good = Index::from_raw_parts(
+            ix.analyzer().clone(),
+            ix.raw_terms().to_vec(),
+            ix.raw_offsets().to_vec(),
+            ix.raw_store().clone(),
+            ix.raw_term_max_tfs().to_vec(),
+            ix.doc_lengths().to_vec(),
+            ix.raw_docs().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(good.num_docs(), ix.num_docs());
+        assert_eq!(good.doc_for_external("c"), Some(2));
+        assert_eq!(
+            good.avg_doc_length().to_bits(),
+            ix.avg_doc_length().to_bits()
+        );
     }
 
     #[test]

@@ -42,7 +42,7 @@
 //! decides whether a fired probe trips, never where it fires).
 
 use crate::document::DocId;
-use crate::index::{Index, TermId};
+use crate::index::{Index, PostingsBuf, TermId};
 use crate::score::{ScoringFunction, TermScorer, TermStats};
 use std::cell::RefCell;
 use std::collections::BinaryHeap;
@@ -197,6 +197,10 @@ pub struct ScoreScratch {
     /// alike) across this scratch's lifetime. Never reset by `begin` —
     /// callers diff before/after a query to measure one kernel run.
     postings_visited: u64,
+    /// Per-term decode buffer for [`crate::PostingsCodec::DeltaVarint`]
+    /// indexes; untouched (and unallocated) under the flat codec. Lives in
+    /// the scratch so one allocation serves a whole workload.
+    decode: PostingsBuf,
 }
 
 impl ScoreScratch {
@@ -521,6 +525,84 @@ fn prune_accumulate(
     Ok(())
 }
 
+/// The accumulation half of the kernel: walk each resolved term's postings
+/// (decoding through `decode` when the index stores them compressed) into
+/// `scratch`, engaging MaxScore pruning as thresholds allow. Split out of
+/// [`score_terms_into_topk`] so the decoded-postings borrow of `decode` and
+/// the `&mut scratch` accumulator borrows stay disjoint.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_terms(
+    index: &Index,
+    terms: &[(Option<TermId>, usize)],
+    scorers: &[TermScorer],
+    bounds: &[f64],
+    scratch: &mut ScoreScratch,
+    filter: Option<&dyn Fn(DocId) -> bool>,
+    opts: KernelOpts<'_>,
+    top: &TopK,
+    decode: &mut PostingsBuf,
+) -> Result<(), Cancelled> {
+    let lengths = index.doc_lengths();
+    // suffix[i] = Σ bounds[i..]: the best score any document first seen at
+    // term i could still reach. Summed in reverse so the value is exact up
+    // to n·ε rounding — absorbed by the bounds' built-in margin.
+    let mut suffix = vec![0.0f64; terms.len() + 1];
+    for i in (0..terms.len()).rev() {
+        suffix[i] = suffix[i + 1] + bounds[i];
+    }
+    let mut remaining = if opts.cancel.is_some() {
+        CANCEL_POSTING_BUDGET
+    } else {
+        usize::MAX
+    };
+    let mut pruning = false;
+    for (i, ((tid, qtf), scorer)) in terms.iter().zip(scorers).enumerate() {
+        // Strictly-greater: a doc admitted at term i can reach at most
+        // suffix[i]; pruning it is only safe when even that loses to the
+        // threshold outright (ties would fall through to the doc-id
+        // tiebreak, which bounds know nothing about). Once engaged it
+        // stays engaged — suffixes shrink and thresholds grow.
+        if !opts.exhaustive && !pruning {
+            pruning = current_threshold(top, scratch, filter.is_none())
+                .is_some_and(|theta| theta > suffix[i]);
+        }
+        // Unknown terms have no postings.
+        let Some(tid) = *tid else {
+            continue;
+        };
+        let postings = index.postings_of_with(tid, decode);
+        let qtf = *qtf as f64;
+        if pruning {
+            prune_accumulate(
+                scratch,
+                lengths,
+                postings.docs,
+                postings.weighted_tfs,
+                scorer,
+                qtf,
+                &mut remaining,
+                opts.cancel,
+            )?;
+            continue;
+        }
+        // Two parallel flat slices: docs ascending, tfs matched by index.
+        // Chunked by the cancel budget so the hot loop stays branch-lean.
+        let (docs, tfs) = (postings.docs, postings.weighted_tfs);
+        let mut pos = 0usize;
+        while pos < docs.len() {
+            let take = remaining.min(docs.len() - pos);
+            for (&doc, &weighted_tf) in docs[pos..pos + take].iter().zip(&tfs[pos..pos + take]) {
+                let score = scorer.score(lengths[doc as usize], weighted_tf) * qtf;
+                scratch.add(doc, score);
+            }
+            pos += take;
+            scratch.postings_visited += take as u64;
+            spend_budget(&mut remaining, take, opts.cancel)?;
+        }
+    }
+    Ok(())
+}
+
 /// The scoring kernel both search paths share: accumulate the resolved
 /// terms' postings into `scratch`, then select the top `k` hits among
 /// documents accepted by `filter`.
@@ -579,64 +661,25 @@ pub(crate) fn score_terms_into_topk(
     top: &mut TopK,
 ) -> Result<(), Cancelled> {
     scratch.begin(index.num_docs());
-    let lengths = index.doc_lengths();
-    // suffix[i] = Σ bounds[i..]: the best score any document first seen at
-    // term i could still reach. Summed in reverse so the value is exact up
-    // to n·ε rounding — absorbed by the bounds' built-in margin.
-    let mut suffix = vec![0.0f64; terms.len() + 1];
-    for i in (0..terms.len()).rev() {
-        suffix[i] = suffix[i + 1] + bounds[i];
-    }
-    let mut remaining = if opts.cancel.is_some() {
-        CANCEL_POSTING_BUDGET
-    } else {
-        usize::MAX
-    };
-    let mut pruning = false;
-    for (i, ((tid, qtf), scorer)) in terms.iter().zip(scorers).enumerate() {
-        // Strictly-greater: a doc admitted at term i can reach at most
-        // suffix[i]; pruning it is only safe when even that loses to the
-        // threshold outright (ties would fall through to the doc-id
-        // tiebreak, which bounds know nothing about). Once engaged it
-        // stays engaged — suffixes shrink and thresholds grow.
-        if !opts.exhaustive && !pruning {
-            pruning = current_threshold(top, scratch, filter.is_none())
-                .is_some_and(|theta| theta > suffix[i]);
-        }
-        // Unknown terms have no postings.
-        let Some(tid) = *tid else {
-            continue;
-        };
-        let postings = index.postings_of(tid);
-        let qtf = *qtf as f64;
-        if pruning {
-            prune_accumulate(
-                scratch,
-                lengths,
-                postings.docs,
-                postings.weighted_tfs,
-                scorer,
-                qtf,
-                &mut remaining,
-                opts.cancel,
-            )?;
-            continue;
-        }
-        // Two parallel flat slices: docs ascending, tfs matched by index.
-        // Chunked by the cancel budget so the hot loop stays branch-lean.
-        let (docs, tfs) = (postings.docs, postings.weighted_tfs);
-        let mut pos = 0usize;
-        while pos < docs.len() {
-            let take = remaining.min(docs.len() - pos);
-            for (&doc, &weighted_tf) in docs[pos..pos + take].iter().zip(&tfs[pos..pos + take]) {
-                let score = scorer.score(lengths[doc as usize], weighted_tf) * qtf;
-                scratch.add(doc, score);
-            }
-            pos += take;
-            scratch.postings_visited += take as u64;
-            spend_budget(&mut remaining, take, opts.cancel)?;
-        }
-    }
+    // The decode buffer leaves the scratch for the duration of the
+    // accumulation loop: a decoded `Postings` view borrows the buffer,
+    // while the accumulators need `&mut scratch` at the same time. Restore
+    // it on every exit path (including cancellation) so the allocation
+    // keeps amortizing.
+    let mut decode = std::mem::take(&mut scratch.decode);
+    let accumulated = accumulate_terms(
+        index,
+        terms,
+        scorers,
+        bounds,
+        scratch,
+        filter,
+        opts,
+        top,
+        &mut decode,
+    );
+    scratch.decode = decode;
+    accumulated?;
 
     for &doc in &scratch.touched {
         let global = to_global(doc);
@@ -756,7 +799,8 @@ impl<'a> Searcher<'a> {
         let mut bounds = Vec::with_capacity(deduped.len());
         for (term, qtf) in deduped {
             let id = self.index.term_id(term);
-            let doc_freq = id.map_or(0, |id| self.index.postings_of(id).len());
+            // Offsets-lane subtraction: O(1) under either postings codec.
+            let doc_freq = id.map_or(0, |id| self.index.doc_freq_of(id));
             let scorer = self.scoring.scorer(TermStats {
                 num_docs,
                 doc_freq,
@@ -829,11 +873,13 @@ impl<'a> Searcher<'a> {
             .collect();
         let mut score = 0.0;
         let mut matched_terms = 0;
+        let mut buf = PostingsBuf::new();
         for &i in &bound_order(&bounds) {
             let (term, qtf) = deduped[i];
-            // Resolve the postings view once per term; the doc probe is a
-            // binary search over the flat doc-id slice.
-            let postings = self.index.postings(term);
+            // Resolve the postings view once per term (decoding through the
+            // buffer on a compressed index); the doc probe is a binary
+            // search over the doc-id slice.
+            let postings = self.index.postings_with(term, &mut buf);
             if let Ok(p) = postings.docs.binary_search(&doc) {
                 score += self
                     .scoring

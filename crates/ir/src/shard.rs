@@ -43,7 +43,7 @@
 use crate::analysis::Analyzer;
 use crate::document::{DocId, Document};
 use crate::exec::{DispatchCounts, DispatchPolicy, ShardExecutor};
-use crate::index::Index;
+use crate::index::{Index, PostingsBuf, PostingsCodec};
 use crate::score::{ScoringFunction, TermScorer, TermStats};
 use crate::search::{
     bound_order, dedup_terms, rank_hits, score_terms_into, score_terms_into_topk,
@@ -239,19 +239,19 @@ impl ShardedIndex {
         let mut terms: Vec<&str> = self.shards.iter().flat_map(Index::terms).collect();
         terms.sort_unstable();
         terms.dedup();
+        let mut buf = PostingsBuf::new();
         for term in terms {
             h.write_str(term);
-            let mut postings: Vec<(DocId, u64)> = self
-                .shards
-                .iter()
-                .enumerate()
-                .flat_map(|(s, shard)| {
-                    shard
-                        .postings(term)
-                        .iter()
-                        .map(move |p| (self.to_global(s, p.doc), p.weighted_tf.to_bits()))
-                })
-                .collect();
+            let mut postings: Vec<(DocId, u64)> = Vec::new();
+            for (s, shard) in self.shards.iter().enumerate() {
+                // Buffered view: the walk decodes per term on a compressed
+                // store and is zero-copy on a flat one, so the fingerprint
+                // is codec-independent by construction.
+                let view = shard.postings_with(term, &mut buf);
+                for p in view.iter() {
+                    postings.push((self.to_global(s, p.doc), p.weighted_tf.to_bits()));
+                }
+            }
             postings.sort_unstable_by_key(|(doc, _)| *doc);
             h.write_usize(postings.len());
             for (doc, tf_bits) in postings {
@@ -261,38 +261,75 @@ impl ShardedIndex {
         }
         h.finish()
     }
+
+    /// Which codec the shards' posting lanes currently use (uniform across
+    /// shards by construction — the conversion methods below visit all of
+    /// them).
+    pub fn postings_codec(&self) -> PostingsCodec {
+        self.shards[0].postings_codec()
+    }
+
+    /// [`Index::compress_postings`] across every shard. Lossless and
+    /// fingerprint-preserving; no-op when already compressed.
+    pub fn compress_postings(&mut self) {
+        for shard in &mut self.shards {
+            shard.compress_postings();
+        }
+    }
+
+    /// [`Index::decompress_postings`] across every shard.
+    pub fn decompress_postings(&mut self) {
+        for shard in &mut self.shards {
+            shard.decompress_postings();
+        }
+    }
+
+    /// Force the posting lanes to `codec` across every shard.
+    pub fn set_postings_codec(&mut self, codec: PostingsCodec) {
+        match codec {
+            PostingsCodec::Flat => self.decompress_postings(),
+            PostingsCodec::DeltaVarint => self.compress_postings(),
+        }
+    }
+
+    /// Heap bytes held by the posting lanes across all shards (see
+    /// [`Index::posting_store_bytes`]).
+    pub fn posting_store_bytes(&self) -> usize {
+        self.shards.iter().map(Index::posting_store_bytes).sum()
+    }
 }
 
 /// FNV-1a with explicit framing (lengths prefix variable-size values), so
-/// the fingerprint is a function of the content alone.
-struct Fnv1a(u64);
+/// the fingerprint is a function of the content alone. Shared with the
+/// snapshot section checksums ([`crate::snapshot`]).
+pub(crate) struct Fnv1a(u64);
 
 impl Fnv1a {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv1a(0xcbf2_9ce4_8422_2325)
     }
 
-    fn write_bytes(&mut self, bytes: &[u8]) {
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    fn write_u64(&mut self, v: u64) {
+    pub(crate) fn write_u64(&mut self, v: u64) {
         self.write_bytes(&v.to_le_bytes());
     }
 
-    fn write_usize(&mut self, v: usize) {
+    pub(crate) fn write_usize(&mut self, v: usize) {
         self.write_u64(v as u64);
     }
 
-    fn write_str(&mut self, s: &str) {
+    pub(crate) fn write_str(&mut self, s: &str) {
         self.write_usize(s.len());
         self.write_bytes(s.as_bytes());
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }
@@ -816,11 +853,13 @@ impl<'a> ShardedSearcher<'a> {
             .collect();
         let mut score = 0.0;
         let mut matched_terms = 0;
+        let mut buf = PostingsBuf::new();
         for &i in &bound_order(&bounds) {
             let (term, qtf) = deduped[i];
-            // One postings resolution per term; the doc probe is a binary
-            // search over the flat CSR doc-id slice.
-            let postings = shard.postings(term);
+            // One postings resolution per term (decoded through the buffer
+            // on a compressed store); the doc probe is a binary search over
+            // the doc-id slice.
+            let postings = shard.postings_with(term, &mut buf);
             if let Ok(p) = postings.docs.binary_search(&local) {
                 score += self.scoring.score_term_stats(
                     self.index.term_stats(term),

@@ -401,6 +401,79 @@ proptest! {
         }
     }
 
+    // The compression determinism contract: delta+varint posting lanes are
+    // a physical re-encoding only. For any corpus, query, k, and shard
+    // count, compressing leaves the fingerprint untouched and every hit
+    // list bit-identical (pruned and exhaustive kernels both — the
+    // MaxScore bound lanes are rebuilt from the same data), and a
+    // decompress round-trip restores byte-for-byte flat lanes.
+    #[test]
+    fn compressed_search_bit_identical_to_flat(
+        texts in prop::collection::vec(doc_text(), 1..20),
+        q in doc_text(),
+        n in 1usize..6,
+        k in 1usize..15,
+    ) {
+        let mut sx = builder(&texts).build_sharded(n);
+        let fingerprint = sx.fingerprint();
+        let flat_bytes = sx.posting_store_bytes();
+        let terms = Analyzer::keep_all().tokenize(&q);
+        let flat_hits = ShardedSearcher::new(&sx, ScoringFunction::default())
+            .search_terms(&terms, k);
+        sx.compress_postings();
+        prop_assert_eq!(sx.postings_codec(), irengine::PostingsCodec::DeltaVarint);
+        prop_assert_eq!(sx.fingerprint(), fingerprint);
+        let sharded = ShardedSearcher::new(&sx, ScoringFunction::default());
+        assert_bit_identical(&sharded.search_terms(&terms, k), &flat_hits)?;
+        let exhaustive = sharded.try_search_terms_where_ctx(&terms, k, None, &SearchContext {
+            exhaustive: true,
+            ..SearchContext::default()
+        }).unwrap();
+        assert_bit_identical(&exhaustive, &flat_hits)?;
+        sx.decompress_postings();
+        prop_assert_eq!(sx.postings_codec(), irengine::PostingsCodec::Flat);
+        prop_assert_eq!(sx.posting_store_bytes(), flat_bytes);
+        prop_assert_eq!(sx.fingerprint(), fingerprint);
+    }
+
+    // The snapshot determinism contract: save → load reproduces the exact
+    // logical index for any corpus, shard count, and codec — fingerprint,
+    // codec, posting-store bytes, and every ranked list bit-identical.
+    #[test]
+    fn snapshot_round_trip_bit_identical(
+        texts in prop::collection::vec(doc_text(), 0..15),
+        q in doc_text(),
+        n in 1usize..6,
+        compressed in prop::sample::select(vec![false, true]),
+        k in 1usize..15,
+    ) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static UNIQ: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "qunits-prop-snap-{}-{}.qx",
+            std::process::id(),
+            UNIQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut sx = builder(&texts).build_sharded(n);
+        if compressed {
+            sx.compress_postings();
+        }
+        sx.save_snapshot(&path).unwrap();
+        let loaded = irengine::ShardedIndex::load_snapshot(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(loaded.fingerprint(), sx.fingerprint());
+        prop_assert_eq!(loaded.postings_codec(), sx.postings_codec());
+        prop_assert_eq!(loaded.posting_store_bytes(), sx.posting_store_bytes());
+        prop_assert_eq!(loaded.num_docs(), sx.num_docs());
+        prop_assert_eq!(loaded.num_postings(), sx.num_postings());
+        let terms = Analyzer::keep_all().tokenize(&q);
+        let expected = ShardedSearcher::new(&sx, ScoringFunction::default())
+            .search_terms(&terms, k);
+        let got = ShardedSearcher::new(&loaded, ScoringFunction::default())
+            .search_terms(&terms, k);
+        assert_bit_identical(&got, &expected)?;
+    }
+
     #[test]
     fn bm25_and_tfidf_agree_on_single_term_single_doc_ranking(
         texts in prop::collection::vec(doc_text(), 1..15),
