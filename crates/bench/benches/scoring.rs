@@ -10,11 +10,15 @@
 //! measurement once, like the criterion smoke mode.
 //!
 //! Beside the timing samples, the JSON carries an `accumulate_postings`
-//! block: the postings the top-10 query actually walks under the default
-//! MaxScore-pruned kernel versus the forced-exhaustive reference
+//! block: the postings a pruning-friendly top-10 metering query (on its
+//! own spike-shaped corpus, built below) actually walks under the default
+//! block-max kernel, the forced MaxScore tier
+//! ([`Searcher::with_tier`]), and the forced-exhaustive reference
 //! ([`Searcher::with_exhaustive`]) — exact counts from
-//! [`ScoreScratch::postings_visited`], not timings, so CI can assert the
-//! pruning engages without a wall-clock-dependent gate — plus a
+//! [`ScoreScratch::postings_visited`] (plus the block skip/score split
+//! from [`ScoreScratch::blocks_skipped`]), not timings, so CI can assert
+//! each pruning tier engages (`block_max < pruned < exhaustive`) without
+//! a wall-clock-dependent gate — plus a
 //! `memory_per_posting_bytes` block (flat vs delta+varint lanes, exact
 //! heap bytes over exact posting counts, CI-gated `compressed <
 //! uncompressed`) and a `large_corpus` sweep: datagen-scaled corpora
@@ -24,8 +28,8 @@
 
 use datagen::corpus::{CorpusConfig, SyntheticCorpus};
 use irengine::{
-    Document, IndexBuilder, ScoreScratch, ScoringFunction, Searcher, ShardedIndex, ShardedSearcher,
-    TermStats,
+    Document, IndexBuilder, KernelTier, ScoreScratch, ScoringFunction, Searcher, ShardedIndex,
+    ShardedSearcher, TermStats,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -258,28 +262,68 @@ fn main() {
         black_box(searcher.search_terms_with(&query, 10, &mut scratch));
     }));
 
-    // Posting-count metering: a top-10 query under the pruned and the
-    // forced-exhaustive kernel. Counts are exact and deterministic — this
-    // is the machine-checkable "pruning engages" signal CI gates on. The
-    // metering query is the MaxScore-friendly shape (two rare terms whose
-    // matches outscore the common tail's bound sum, one heavy common
-    // term); the mixed timing query above keeps its historical shape so
-    // timing trajectories stay comparable.
-    let meter_query: Vec<String> = ["w700", "w685", "w37"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-    let exhaustive_searcher = Searcher::new(&index, scoring).with_exhaustive(true);
-    let before = scratch.postings_visited();
-    black_box(searcher.search_terms_with(&meter_query, 10, &mut scratch));
-    let pruned_postings = scratch.postings_visited() - before;
-    let before = scratch.postings_visited();
-    black_box(exhaustive_searcher.search_terms_with(&meter_query, 10, &mut scratch));
-    let exhaustive_postings = scratch.postings_visited() - before;
+    // Posting-count metering: the pruning-friendly corpus and query under
+    // all three kernel tiers. Counts are exact and deterministic — this is
+    // the machine-checkable "pruning engages" signal CI gates on
+    // (block_max < pruned < exhaustive). The corpus is shaped so every
+    // tier's pruning lever actually moves: a dozen short spike-saturated
+    // docs up front put ten full-score hits in the heap immediately (so
+    // the block-max θ̂ beats every later tf-1 block bound and whole blocks
+    // are lane-skipped unloaded), `spike`'s remaining matches are tf-1
+    // postings spread across long filler docs (the tail MaxScore must walk
+    // in full, block-max skips), and `hot` matches everything (a heavy
+    // tail term both pruned tiers probe candidate-driven but the
+    // exhaustive reference walks end to end). The mixed timing query above
+    // keeps its historical corpus and shape so timing trajectories stay
+    // comparable.
+    let meter_index = {
+        let mut b = IndexBuilder::new();
+        for i in 0..DOCS {
+            let text = if i < 12 {
+                format!("{}hot", "spike ".repeat(8))
+            } else {
+                let mut t = String::from("hot ");
+                if i % 20 == 0 {
+                    t.push_str("spike ");
+                }
+                for j in 0..18 {
+                    t.push_str(&format!("f{} ", (i * 13 + j * 5) % 50));
+                }
+                t
+            };
+            b.add(Document::new(format!("m{i}")).field("body", text));
+        }
+        b.build()
+    };
+    let meter_query: Vec<String> = ["spike", "hot"].iter().map(|s| s.to_string()).collect();
+    let block_max_searcher = Searcher::new(&meter_index, scoring);
+    let max_score_searcher = Searcher::new(&meter_index, scoring).with_tier(KernelTier::MaxScore);
+    let exhaustive_searcher = Searcher::new(&meter_index, scoring).with_exhaustive(true);
+    let mut meter_scratch = ScoreScratch::new();
+    let meter_hits =
+        black_box(block_max_searcher.search_terms_with(&meter_query, 10, &mut meter_scratch));
+    let block_max_postings = meter_scratch.postings_visited();
+    let blocks_skipped = meter_scratch.blocks_skipped();
+    let blocks_scored = meter_scratch.blocks_scored();
+    let before = meter_scratch.postings_visited();
+    assert_eq!(
+        black_box(max_score_searcher.search_terms_with(&meter_query, 10, &mut meter_scratch)),
+        meter_hits,
+        "MaxScore tier changed the metering query's ranked list"
+    );
+    let pruned_postings = meter_scratch.postings_visited() - before;
+    let before = meter_scratch.postings_visited();
+    assert_eq!(
+        black_box(exhaustive_searcher.search_terms_with(&meter_query, 10, &mut meter_scratch)),
+        meter_hits,
+        "exhaustive tier changed the metering query's ranked list"
+    );
+    let exhaustive_postings = meter_scratch.postings_visited() - before;
     println!(
-        "scoring/accumulate_postings: pruned {pruned_postings} vs exhaustive {exhaustive_postings} \
-         ({:.1}% walked)",
-        100.0 * pruned_postings as f64 / exhaustive_postings.max(1) as f64
+        "scoring/accumulate_postings: block_max {block_max_postings} \
+         ({blocks_skipped} blocks skipped, {blocks_scored} scored) vs pruned \
+         {pruned_postings} vs exhaustive {exhaustive_postings} ({:.1}% walked)",
+        100.0 * block_max_postings as f64 / exhaustive_postings.max(1) as f64
     );
 
     // Memory per posting, flat vs delta+varint, on the timing corpus —
@@ -315,7 +359,7 @@ fn main() {
         index.num_postings()
     ));
     json.push_str(&format!(
-        "  \"accumulate_postings\": {{ \"exhaustive\": {exhaustive_postings}, \"pruned\": {pruned_postings} }},\n"
+        "  \"accumulate_postings\": {{ \"exhaustive\": {exhaustive_postings}, \"pruned\": {pruned_postings}, \"block_max\": {block_max_postings}, \"blocks_skipped\": {blocks_skipped}, \"blocks_scored\": {blocks_scored} }},\n"
     ));
     json.push_str(&format!(
         "  \"memory_per_posting_bytes\": {{ \"uncompressed\": {:.3}, \"compressed\": {:.3} }},\n",

@@ -12,12 +12,18 @@
 //!
 //! Each sweep point reports p50/p99/p999 and achieved QPS; the highest
 //! target whose achieved rate stays within 95% is reported as
-//! `max_sustainable_qps`. An admission-control probe then hammers a
-//! limit-1 engine and reports the `retry_after` backoff hints rejected
-//! clients receive (`overload_probe` in the JSON). The table lands in
-//! `BENCH_service.json` at the workspace root (override with
-//! `BENCH_SERVICE_OUT`). `--test` runs one tiny sweep point,
-//! criterion-smoke style, for CI.
+//! `max_sustainable_qps`. A shard-count × executor-pool **config sweep**
+//! then rebuilds the engine per configuration and escalates the same
+//! open-loop targets against each, charting max sustainable QPS per
+//! config (`config_sweep` in the JSON) — the grid is env-parameterized
+//! (`BENCH_SERVICE_SHARDS` / `BENCH_SERVICE_POOLS`, comma-separated, e.g.
+//! `BENCH_SERVICE_SHARDS=1,4,8 BENCH_SERVICE_POOLS=2,4,8`) so multi-core
+//! runners can widen it beyond the small default. An admission-control
+//! probe then hammers a limit-1 engine and reports the `retry_after`
+//! backoff hints rejected clients receive (`overload_probe` in the JSON).
+//! The table lands in `BENCH_service.json` at the workspace root
+//! (override with `BENCH_SERVICE_OUT`). `--test` runs one tiny sweep
+//! point and a one-config sweep, criterion-smoke style, for CI.
 
 use datagen::imdb::{ImdbConfig, ImdbData};
 use datagen::querylog::{QueryLog, QueryLogConfig};
@@ -96,6 +102,62 @@ fn replay(
     (latencies, span)
 }
 
+/// One open-loop point against `engine`: warm briefly, replay on schedule,
+/// and measure. Shared by the headline target sweep and the config sweep.
+fn run_point(
+    engine: &QunitSearchEngine,
+    log: &QueryLog,
+    target: f64,
+    arrivals: usize,
+    clients: usize,
+) -> Row {
+    let schedule = log.open_loop_schedule(target, arrivals, 42);
+    // Warm the cache and the executor exactly once per point with a
+    // closed-loop pass over a slice of the workload.
+    for (_, q) in schedule.iter().take(arrivals.min(200)) {
+        black_box(engine.search(q, 10));
+    }
+    let sched_end = schedule.last().expect("non-empty schedule").0;
+    let (mut lat_us, span) = replay(engine, &schedule, clients);
+    let achieved_qps = arrivals as f64 / span.as_secs_f64();
+    // "Sustained" = the replay finished within 5% (+50ms scheduling
+    // slack) of the timetable's own end. Comparing against the
+    // timetable rather than the nominal rate keeps Poisson variance in
+    // the schedule from reading as engine lag.
+    let sustained = span.as_secs_f64() <= sched_end.as_secs_f64() * 1.05 + 0.05;
+    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    Row {
+        target_qps: target,
+        arrivals,
+        achieved_qps,
+        sustained,
+        p50_us: quantile(&lat_us, 0.50),
+        p99_us: quantile(&lat_us, 0.99),
+        p999_us: quantile(&lat_us, 0.999),
+    }
+}
+
+/// A comma-separated usize list from the environment, with a default.
+fn env_list(var: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(var)
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+/// One configuration's result in the shard × pool capacity chart.
+struct ConfigRow {
+    shards: usize,
+    pool: usize,
+    max_sustainable_qps: f64,
+}
+
 fn main() {
     let test_mode = std::env::args().any(|a| a == "--test");
     let data = ImdbData::generate(ImdbConfig {
@@ -145,30 +207,7 @@ fn main() {
         } else {
             (target * 2.0) as usize
         };
-        let schedule = log.open_loop_schedule(target, arrivals, 42);
-        // Warm the cache and the executor exactly once per point with a
-        // closed-loop pass over a slice of the workload.
-        for (_, q) in schedule.iter().take(arrivals.min(200)) {
-            black_box(engine.search(q, 10));
-        }
-        let sched_end = schedule.last().expect("non-empty schedule").0;
-        let (mut lat_us, span) = replay(&engine, &schedule, clients);
-        let achieved_qps = arrivals as f64 / span.as_secs_f64();
-        // "Sustained" = the replay finished within 5% (+50ms scheduling
-        // slack) of the timetable's own end. Comparing against the
-        // timetable rather than the nominal rate keeps Poisson variance in
-        // the schedule from reading as engine lag.
-        let sustained = span.as_secs_f64() <= sched_end.as_secs_f64() * 1.05 + 0.05;
-        lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let row = Row {
-            target_qps: target,
-            arrivals,
-            achieved_qps,
-            sustained,
-            p50_us: quantile(&lat_us, 0.50),
-            p99_us: quantile(&lat_us, 0.99),
-            p999_us: quantile(&lat_us, 0.999),
-        };
+        let row = run_point(&engine, &log, target, arrivals, clients);
         println!(
             "service/open_loop/qps/{:.0}: achieved {:.0} qps ({}), p50 {:.1} us, p99 {:.1} us, p999 {:.1} us over {} arrivals",
             row.target_qps,
@@ -180,6 +219,62 @@ fn main() {
             row.arrivals
         );
         rows.push(row);
+    }
+
+    // Config sweep: rebuild the engine per shard-count × executor-pool
+    // combination and escalate the open-loop targets against each until
+    // one falls behind — the per-config capacity chart multi-core runners
+    // care about. Env-parameterized so a big machine can widen the grid;
+    // the default stays small enough for a laptop bench run.
+    let sweep_shards = env_list(
+        "BENCH_SERVICE_SHARDS",
+        if test_mode { &[2] } else { &[1, 4] },
+    );
+    let sweep_pools = env_list(
+        "BENCH_SERVICE_POOLS",
+        if test_mode { &[2] } else { &[2, 4] },
+    );
+    let mut config_rows: Vec<ConfigRow> = Vec::new();
+    for &shards in &sweep_shards {
+        for &pool in &sweep_pools {
+            let cfg_engine = QunitSearchEngine::build(
+                &data.db,
+                expert_imdb_qunits(&data.db).expect("catalog"),
+                EngineConfig {
+                    search_shards: shards,
+                    executor_threads: pool,
+                    ..EngineConfig::default()
+                },
+            )
+            .expect("sweep engine");
+            let mut best = 0.0f64;
+            for &target in &targets {
+                let arrivals = if test_mode { 100 } else { target as usize };
+                let row = run_point(&cfg_engine, &log, target, arrivals, clients);
+                println!(
+                    "service/config_sweep/shards/{shards}/pool/{pool}/qps/{:.0}: achieved {:.0} qps ({}), p99 {:.1} us",
+                    row.target_qps,
+                    row.achieved_qps,
+                    if row.sustained { "sustained" } else { "fell behind" },
+                    row.p99_us
+                );
+                if !row.sustained {
+                    break;
+                }
+                best = best.max(row.target_qps);
+            }
+            config_rows.push(ConfigRow {
+                shards,
+                pool,
+                max_sustainable_qps: best,
+            });
+        }
+    }
+    for r in &config_rows {
+        println!(
+            "service/config_sweep: shards {} × pool {} sustains {:.0} qps",
+            r.shards, r.pool, r.max_sustainable_qps
+        );
     }
 
     // Admission-control probe: hammer a limit-1 engine over the same data
@@ -273,6 +368,17 @@ fn main() {
     json.push_str(&format!(
         "  \"max_sustainable_qps\": {max_sustainable_qps:.0},\n"
     ));
+    json.push_str("  \"config_sweep\": [\n");
+    for (i, r) in config_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"shards\": {}, \"executor_threads\": {}, \"max_sustainable_qps\": {:.0} }}{}\n",
+            r.shards,
+            r.pool,
+            r.max_sustainable_qps,
+            if i + 1 < config_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"overload_probe\": {{ \"offered\": {}, \"rejected\": {rejected}, \"retry_after_mean_us\": {mean_hint_us:.0}, \"retry_after_max_us\": {max_hint_us} }},\n",
         probe_queries.len() * 4

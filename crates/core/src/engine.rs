@@ -79,8 +79,8 @@ use crate::qunit::{QunitDefinition, QunitInstance};
 use crate::segment::{EntityDictionary, SegmentScratch, SegmentedQuery, Segmenter};
 use irengine::{
     DispatchCounts, DispatchMode, DispatchPolicy, Document, ExecutorStats, IndexBuilder,
-    ScoringFunction, ScratchPool, SearchContext, ShardExecutor, ShardTimings, ShardedIndex,
-    ShardedSearcher,
+    KernelTier, ScoringFunction, ScratchPool, SearchContext, ShardExecutor, ShardTimings,
+    ShardedIndex, ShardedSearcher,
 };
 use relstore::{Database, Result};
 use std::cell::RefCell;
@@ -194,7 +194,26 @@ pub struct EngineConfig {
     /// environment variable, any non-empty value other than `"0"`) when
     /// auditing a suspected pruning bug or measuring the pruning win.
     pub force_exhaustive: bool,
-    /// Re-encode the posting lanes as a per-term delta+varint stream
+    /// Force the MaxScore kernel tier (term-bound pruning, no in-term
+    /// block skipping) instead of the default block-max tier. Like
+    /// [`EngineConfig::force_exhaustive`], purely a performance knob: all
+    /// tiers are bit-identical (CI transcript-diffed), so this keeps the
+    /// intermediate tier reachable for kernel triage and for measuring
+    /// what block skipping adds over term pruning alone.
+    /// `QUNITS_FORCE_MAXSCORE` (any non-empty value other than `"0"`)
+    /// overrides this at build time; `force_exhaustive` wins if both are
+    /// set.
+    pub force_max_score: bool,
+    /// Postings per block in the frozen block-max lanes (see
+    /// `docs/INDEX_FORMAT.md`): smaller blocks skip more precisely but
+    /// cost more bound-lane memory and per-block codec framing. Values
+    /// are clamped to at least 1; the default is
+    /// [`irengine::DEFAULT_BLOCK_SIZE`]. Changing it changes the index
+    /// layout (and invalidates snapshots built at another size) but never
+    /// the results — every block size is bit-identical (proptest-pinned).
+    /// `QUNITS_BLOCK_SIZE` overrides this at build time.
+    pub block_size: usize,
+    /// Re-encode the posting lanes as a per-block delta+varint stream
     /// ([`irengine::PostingsCodec::DeltaVarint`], see
     /// `docs/INDEX_FORMAT.md`) once the index is built or loaded — a
     /// memory/CPU trade: several-fold smaller posting storage for a decode
@@ -239,6 +258,8 @@ impl Default for EngineConfig {
             max_concurrent_queries: 0,
             executor_queue_capacity: usize::MAX,
             force_exhaustive: false,
+            force_max_score: false,
+            block_size: irengine::DEFAULT_BLOCK_SIZE,
             compress_postings: false,
             snapshot_path: None,
         }
@@ -256,8 +277,13 @@ impl EngineConfig {
     /// - `QUNITS_EXEC_QUEUE_CAP=<n>` — set
     ///   [`EngineConfig::executor_queue_capacity`];
     /// - `QUNITS_FORCE_EXHAUSTIVE` (any non-empty value other than `"0"`)
-    ///   — set [`EngineConfig::force_exhaustive`], disabling MaxScore
-    ///   pruning (the determinism gate diffs transcripts against this);
+    ///   — set [`EngineConfig::force_exhaustive`], selecting the
+    ///   exhaustive kernel tier (the determinism gate diffs transcripts
+    ///   against this);
+    /// - `QUNITS_FORCE_MAXSCORE` (any non-empty value other than `"0"`)
+    ///   — set [`EngineConfig::force_max_score`], selecting the MaxScore
+    ///   tier (also transcript-diffed);
+    /// - `QUNITS_BLOCK_SIZE=<n>` — set [`EngineConfig::block_size`];
     /// - `QUNITS_COMPRESS_POSTINGS` (any non-empty value other than `"0"`)
     ///   — set [`EngineConfig::compress_postings`] (the determinism gate
     ///   diffs transcripts against this too);
@@ -288,6 +314,12 @@ impl EngineConfig {
         if std::env::var_os("QUNITS_FORCE_EXHAUSTIVE").is_some_and(|v| !v.is_empty() && v != "0") {
             self.force_exhaustive = true;
         }
+        if std::env::var_os("QUNITS_FORCE_MAXSCORE").is_some_and(|v| !v.is_empty() && v != "0") {
+            self.force_max_score = true;
+        }
+        if let Some(n) = parsed("QUNITS_BLOCK_SIZE") {
+            self.block_size = (n as usize).max(1);
+        }
         if std::env::var_os("QUNITS_COMPRESS_POSTINGS").is_some_and(|v| !v.is_empty() && v != "0") {
             self.compress_postings = true;
         }
@@ -297,6 +329,19 @@ impl EngineConfig {
             }
         }
         self
+    }
+
+    /// Resolve the force-flags into the kernel tier every query runs:
+    /// `force_exhaustive` wins over `force_max_score`, and with neither
+    /// set the block-max tier (the default, fastest) runs.
+    fn kernel_tier(&self) -> KernelTier {
+        if self.force_exhaustive {
+            KernelTier::Exhaustive
+        } else if self.force_max_score {
+            KernelTier::MaxScore
+        } else {
+            KernelTier::BlockMax
+        }
     }
 }
 
@@ -584,17 +629,23 @@ fn try_load_snapshot(
     if !path.exists() {
         return None;
     }
+    let block_size = config.block_size.max(1);
     match ShardedIndex::load_snapshot(path) {
-        Ok(index) if index.num_docs() == num_docs && index.num_shards() == shard_count => {
+        Ok(index)
+            if index.num_docs() == num_docs
+                && index.num_shards() == shard_count
+                && index.block_size() == block_size =>
+        {
             Some(index)
         }
         Ok(index) => {
             eprintln!(
-                "qunits: snapshot {} is stale ({} docs / {} shards, want {num_docs} / \
-                 {shard_count}); rebuilding",
+                "qunits: snapshot {} is stale ({} docs / {} shards / block size {}, want \
+                 {num_docs} / {shard_count} / {block_size}); rebuilding",
                 path.display(),
                 index.num_docs(),
                 index.num_shards(),
+                index.block_size(),
             );
             None
         }
@@ -679,6 +730,7 @@ impl QunitSearchEngine {
         let mut builder = IndexBuilder::new();
         builder.set_field_boost("anchor", config.anchor_boost);
         builder.set_field_boost("intent", config.intent_boost);
+        builder.set_block_size(config.block_size);
         let mut instances = HashMap::new();
         for batch in batches {
             for (doc, inst) in batch.expect("every definition materialized")? {
@@ -878,6 +930,7 @@ impl QunitSearchEngine {
             tasks_dequeued: exec.dequeued,
             queue_wait_nanos: exec.queue_wait_nanos,
             max_queue_depth: exec.max_queue_depth,
+            latency: self.obs.latency.snapshot(),
         }
     }
 
@@ -1011,30 +1064,37 @@ impl QunitSearchEngine {
         policy: DispatchPolicy,
     ) -> SearchResult<Vec<QunitResult>> {
         self.obs.queries.incr();
-        if k == 0 || !self.cache.is_enabled() {
+        let started = Instant::now();
+        let out = if k == 0 || !self.cache.is_enabled() {
             // k == 0 skips the cache entirely: no point spending an LRU
             // slot (and maybe an eviction) on an always-empty result.
-            return with_query_scratch(|qs| self.search_uncached_inner(query, k, policy, qs));
-        }
-        with_query_scratch(|qs| {
-            normalized_query_into(query, &mut qs.norm);
-            // Read the generation *before* searching: a click landing
-            // mid-search makes the entry immediately stale rather than
-            // wrongly fresh.
-            let generation = self.feedback.generation();
-            if let Some(cached) = self.cache.get(&qs.norm, k, generation) {
-                return Ok(cached);
-            }
-            // `?` before the insert: a deadline-truncated query must never
-            // be cached — the cache contract is "identical to uncached",
-            // and a later, faster run of the same query would complete.
-            let results = self.search_uncached_inner(query, k, policy, qs)?;
-            // The cache owns its key, so a miss pays one String clone; a
-            // hit allocates nothing for the normal form.
-            self.cache
-                .insert(qs.norm.clone(), k, generation, results.clone());
-            Ok(results)
-        })
+            with_query_scratch(|qs| self.search_uncached_inner(query, k, policy, qs))
+        } else {
+            with_query_scratch(|qs| {
+                normalized_query_into(query, &mut qs.norm);
+                // Read the generation *before* searching: a click landing
+                // mid-search makes the entry immediately stale rather than
+                // wrongly fresh.
+                let generation = self.feedback.generation();
+                if let Some(cached) = self.cache.get(&qs.norm, k, generation) {
+                    return Ok(cached);
+                }
+                // `?` before the insert: a deadline-truncated query must
+                // never be cached — the cache contract is "identical to
+                // uncached", and a later, faster run of the same query
+                // would complete.
+                let results = self.search_uncached_inner(query, k, policy, qs)?;
+                // The cache owns its key, so a miss pays one String clone;
+                // a hit allocates nothing for the normal form.
+                self.cache
+                    .insert(qs.norm.clone(), k, generation, results.clone());
+                Ok(results)
+            })
+        };
+        // Hits, misses, and deadline trips all count: the histogram is the
+        // served-latency distribution, not the kernel-cost one.
+        self.obs.latency.record(started.elapsed().as_nanos() as u64);
+        out
     }
 
     /// Answer a batch of queries, fanning them across the engine's
@@ -1113,7 +1173,10 @@ impl QunitSearchEngine {
     /// checkpoints, no cache probe, no admission control.
     pub fn try_search_uncached(&self, query: &str, k: usize) -> SearchResult<Vec<QunitResult>> {
         self.obs.queries.incr();
-        with_query_scratch(|qs| self.search_uncached_inner(query, k, self.policy, qs))
+        let started = Instant::now();
+        let out = with_query_scratch(|qs| self.search_uncached_inner(query, k, self.policy, qs));
+        self.obs.latency.record(started.elapsed().as_nanos() as u64);
+        out
     }
 
     /// The uncached pipeline with explicit working buffers (`qs`) and
@@ -1238,7 +1301,7 @@ impl QunitSearchEngine {
                 .deadline
                 .is_some()
                 .then_some(irengine::CancelProbe(&expired)),
-            exhaustive: self.config.force_exhaustive,
+            tier: self.config.kernel_tier(),
         };
         // A mid-kernel deadline trip aborts the fan-out with `Cancelled`;
         // it re-surfaces here as a "rank"-phase trip, before the caller's

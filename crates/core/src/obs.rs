@@ -105,6 +105,133 @@ impl Drop for Span<'_> {
     }
 }
 
+/// Number of buckets in [`LatencyHistogram`]: bucket `i` counts samples
+/// whose latency is in `[2^i, 2^(i+1))` nanoseconds, so 40 buckets span
+/// sub-nanosecond to ~18 minutes — every query latency this engine can
+/// plausibly produce.
+pub const LATENCY_BUCKET_COUNT: usize = 40;
+
+/// Fixed-bucket log₂ latency histogram with the same hot-path budget as
+/// [`Counter`]: recording a sample is one relaxed `fetch_add` into a
+/// bucket picked by bit arithmetic — no allocation, no locks, no floats.
+///
+/// Power-of-two buckets trade resolution for zero configuration: any
+/// percentile read off the histogram is exact to within a factor of two,
+/// which is the right fidelity for an in-engine signal (is p99 tens of
+/// microseconds or tens of milliseconds?) — exact sample-level tails
+/// remain the bench harness's job.
+///
+/// ```
+/// use qunit_core::obs::LatencyHistogram;
+///
+/// let h = LatencyHistogram::new();
+/// h.record(900);      // bucket 9: [512, 1024) ns
+/// h.record(1_000_000);
+/// assert_eq!(h.snapshot().count(), 2);
+/// ```
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKET_COUNT],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// New histogram with every bucket at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one sample of `nanos` nanoseconds.
+    pub fn record(&self, nanos: u64) {
+        // log₂ bucket: 0 ns lands in bucket 0, everything past the last
+        // bucket clamps into it rather than being dropped.
+        let idx = (63 - nanos.max(1).leading_zeros() as usize).min(LATENCY_BUCKET_COUNT - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tear-free-enough copy of the buckets as plain data (each bucket is
+    /// a single relaxed load; the histogram keeps counting concurrently).
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Plain-data view of a [`LatencyHistogram`], carried inside
+/// [`ObsSnapshot`]. Quantiles are read as conservative upper bounds: the
+/// reported value is the inclusive upper edge of the bucket containing the
+/// requested rank, so `p99()` never understates the tail.
+///
+/// ```
+/// use qunit_core::obs::LatencyHistogram;
+///
+/// let h = LatencyHistogram::new();
+/// for _ in 0..99 {
+///     h.record(700); // bucket [512, 1024)
+/// }
+/// h.record(3_000_000); // one slow outlier in [2^21, 2^22)
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count(), 100);
+/// assert_eq!(snap.p50(), 1023);
+/// assert_eq!(snap.p99(), 1023);
+/// assert!(snap.quantile(1.0) >= 3_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatencySnapshot {
+    /// Sample counts per log₂-nanosecond bucket (length
+    /// [`LATENCY_BUCKET_COUNT`]; empty only for a default-constructed
+    /// snapshot that never saw a histogram).
+    pub buckets: Vec<u64>,
+}
+
+impl LatencySnapshot {
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper bound (inclusive, in nanoseconds) of the bucket holding the
+    /// sample at rank `ceil(q × count)`; `0` when no samples were
+    /// recorded. `q` is clamped into `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return (1u64 << (i + 1)) - 1;
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median latency upper bound in nanoseconds.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency upper bound in nanoseconds.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
 /// Point-in-time view of every observability signal the engine tracks.
 ///
 /// Produced by `QunitSearchEngine::obs_snapshot`; all fields are
@@ -155,6 +282,11 @@ pub struct ObsSnapshot {
     pub queue_wait_nanos: u64,
     /// High-water mark of the executor queue depth (urgent + bulk).
     pub max_queue_depth: u64,
+    /// Log₂-bucket histogram of full-pipeline latencies for every query
+    /// counted in `queries` (cache hits, misses, and uncached runs alike),
+    /// so p50/p99 are visible from inside the engine without an external
+    /// harness.
+    pub latency: LatencySnapshot,
 }
 
 impl ObsSnapshot {
@@ -192,6 +324,8 @@ pub struct EngineObs {
     pub deadline_exceeded: Counter,
     /// Admission rejections.
     pub rejected_overload: Counter,
+    /// Full-pipeline latency per served query.
+    pub latency: LatencyHistogram,
 }
 
 #[cfg(test)]
@@ -231,5 +365,55 @@ mod tests {
         let s = ObsSnapshot::default();
         assert_eq!(s.cache_hit_rate(), 0.0);
         assert_eq!(s.mean_queue_wait_nanos(), 0.0);
+        assert_eq!(s.latency.count(), 0);
+        assert_eq!(s.latency.p50(), 0);
+        assert_eq!(s.latency.p99(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2_and_clamps_extremes() {
+        let h = LatencyHistogram::new();
+        h.record(0); // 0 ns clamps into bucket 0
+        h.record(1);
+        h.record((1 << 10) - 1); // top of bucket 9
+        h.record(1 << 10); // bottom of bucket 10
+        h.record(u64::MAX); // clamps into the last bucket
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[9], 1);
+        assert_eq!(s.buckets[10], 1);
+        assert_eq!(s.buckets[LATENCY_BUCKET_COUNT - 1], 1);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(100); // bucket 6: [64, 128)
+        }
+        for _ in 0..10 {
+            h.record(10_000); // bucket 13: [8192, 16384)
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 127);
+        assert_eq!(s.quantile(0.90), 127);
+        assert_eq!(s.p99(), 16_383);
+        assert_eq!(s.quantile(0.0), 127, "q=0 still names the first sample");
+    }
+
+    #[test]
+    fn histogram_accumulates_across_threads() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for i in 0..1000u64 {
+                        h.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot().count(), 8000);
     }
 }

@@ -15,9 +15,9 @@
 //!    `retry_after` hint on every rejection;
 //! 4. the obs counters add up under `search_batch`, including the
 //!    inline-vs-dispatch split;
-//! 5. forcing the exhaustive scoring kernel
-//!    ([`EngineConfig::force_exhaustive`]) is bit-identical to the default
-//!    MaxScore-pruned kernel at every shard count;
+//! 5. forcing either fallback scoring kernel
+//!    ([`EngineConfig::force_max_score`], [`EngineConfig::force_exhaustive`])
+//!    is bit-identical to the default block-max kernel at every shard count;
 //! 6. a deadline — now also polled mid-kernel every
 //!    `CANCEL_POSTING_BUDGET` postings — only ever trips at a named phase,
 //!    and every query that completes under its budget is bit-identical to
@@ -162,10 +162,12 @@ fn generous_deadline_never_errors() {
 }
 
 #[test]
-fn forced_exhaustive_engine_is_bit_identical_to_pruned() {
-    // The engine-level face of the kernel's MaxScore contract: disabling
-    // early termination (the `QUNITS_FORCE_EXHAUSTIVE` reference path)
-    // must not move a single score bit, at any shard count.
+fn forced_kernel_tiers_are_bit_identical_to_default() {
+    // The engine-level face of the kernel determinism contract: the
+    // default block-max kernel, the forced MaxScore tier
+    // (`QUNITS_FORCE_MAXSCORE`), and the forced exhaustive reference
+    // (`QUNITS_FORCE_EXHAUSTIVE`) must not differ by a single score bit,
+    // at any shard count.
     let data = data();
     let qs = workload(&data);
     for shards in [1, 4] {
@@ -173,7 +175,14 @@ fn forced_exhaustive_engine_is_bit_identical_to_pruned() {
             search_shards: shards,
             ..EngineConfig::default()
         };
-        let pruned = build(&data, config.clone());
+        let block_max = build(&data, config.clone());
+        let max_score = build(
+            &data,
+            EngineConfig {
+                force_max_score: true,
+                ..config.clone()
+            },
+        );
         let exhaustive = build(
             &data,
             EngineConfig {
@@ -181,12 +190,42 @@ fn forced_exhaustive_engine_is_bit_identical_to_pruned() {
                 ..config
             },
         );
+        let want = transcript(&block_max, &qs);
         assert_eq!(
-            transcript(&pruned, &qs),
+            want,
+            transcript(&max_score, &qs),
+            "block-max vs MaxScore diverged at {shards} shard(s)"
+        );
+        assert_eq!(
+            want,
             transcript(&exhaustive, &qs),
-            "pruned vs exhaustive diverged at {shards} shard(s)"
+            "block-max vs exhaustive diverged at {shards} shard(s)"
         );
     }
+}
+
+#[test]
+fn latency_histogram_covers_every_query() {
+    // Satellite of the obs contract: every query counted in `queries`
+    // lands in exactly one latency bucket, and the quantiles come back
+    // non-zero once anything has been recorded.
+    let data = data();
+    let engine = build(&data, EngineConfig::default());
+    let qs = workload(&data);
+    for q in &qs {
+        engine.search(q, 10);
+    }
+    let obs = engine.obs_snapshot();
+    assert_eq!(
+        obs.latency.count(),
+        obs.queries,
+        "histogram must record exactly the counted queries"
+    );
+    assert!(obs.latency.p50() > 0, "p50 of a non-empty histogram");
+    assert!(
+        obs.latency.p99() >= obs.latency.p50(),
+        "quantiles must be monotone"
+    );
 }
 
 #[test]

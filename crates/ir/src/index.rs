@@ -29,13 +29,26 @@
 //! layout (and everything downstream of it) is a pure function of the
 //! indexed content.
 //!
+//! # Block-max lanes
+//!
+//! Each term's CSR row is additionally cut into fixed-size blocks of
+//! [`DEFAULT_BLOCK_SIZE`] postings (configurable per build), and a second
+//! CSR structure — `BlockLanes` — freezes, per block, the maximum
+//! weighted tf plus the first/last doc id. The block-max kernel in
+//! `crate::search` uses those to skip whole blocks whose score upper bound
+//! cannot beat the running top-k threshold, without touching the postings.
+//! Like `term_max_tfs`, the lanes are a pure function of the indexed
+//! content and survive both codecs and the snapshot format.
+//!
 //! # Compressed posting lanes
 //!
 //! The two flat lanes cost 12 bytes per posting (`u32` doc + `f64` tf). At
 //! millions of documents that dominates the index footprint, so the lanes
-//! can be swapped — [`Index::compress_postings`] — for a per-term
+//! can be swapped — [`Index::compress_postings`] — for a per-**block**
 //! delta+varint byte stream ([`PostingsCodec::DeltaVarint`], fully specified
-//! in `docs/INDEX_FORMAT.md`). The CSR `offsets` lane is kept verbatim in
+//! in `docs/INDEX_FORMAT.md`). Doc-id gaps restart at every block boundary,
+//! so each block is independently decodable and a block the kernel skips is
+//! never varint-decoded. The CSR `offsets` lane is kept verbatim in
 //! both representations, so document frequencies and term lookup never
 //! decode anything. Reads go through [`Index::postings_of_with`], which
 //! hands back the same [`Postings`] view either way: a zero-copy borrow of
@@ -54,6 +67,11 @@ use std::collections::HashMap;
 /// intern their own vocabulary, so a `TermId` must never cross shards
 /// (resolve per shard via [`Index::term_id`]).
 pub type TermId = u32;
+
+/// Default postings per block-max block (see the module docs). 128 keeps a
+/// block inside two cache lines of doc ids while giving the skip cursor
+/// enough granularity to bypass most of a heavy term's list.
+pub const DEFAULT_BLOCK_SIZE: usize = 128;
 
 /// One entry of a postings list (a materialized row of the CSR arrays).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -126,6 +144,83 @@ impl<'a> IntoIterator for Postings<'a> {
     }
 }
 
+/// Freeze-time per-block score-bound lanes: a second CSR structure over the
+/// posting rows, cut into fixed-size blocks.
+///
+/// Term `t`'s blocks are `offsets[t] .. offsets[t + 1]` (global block
+/// indices) in the three parallel lanes; block `j` of term `t` covers
+/// postings `csr_lo + j * block_size .. min(csr_lo + (j+1) * block_size,
+/// csr_hi)` of the term's CSR row. Every lane is a pure function of the
+/// indexed content (max is order-insensitive, first/last follow from the
+/// ascending-doc contract), so the lanes are identical across codecs,
+/// shard counts, and a snapshot round trip.
+#[derive(Debug, Clone)]
+pub(crate) struct BlockLanes {
+    /// Fixed postings per block; only a term's final block may be shorter.
+    /// Always ≥ 1.
+    pub(crate) block_size: usize,
+    /// CSR block offsets: `offsets.len() == terms.len() + 1`, prefix-sum of
+    /// per-term block counts `ceil(df / block_size)`.
+    pub(crate) offsets: Vec<u32>,
+    /// Max boost-weighted tf within each block (the per-block analogue of
+    /// the `term_max_tfs` lane).
+    pub(crate) max_tfs: Vec<f64>,
+    /// First doc id of each block.
+    pub(crate) first_docs: Vec<DocId>,
+    /// Last doc id of each block (inclusive; blocks are never empty).
+    pub(crate) last_docs: Vec<DocId>,
+}
+
+impl BlockLanes {
+    /// Freeze the lanes from flat posting lanes (`offsets` is the CSR
+    /// posting offsets lane, `docs`/`tfs` the flat postings).
+    pub(crate) fn freeze(
+        block_size: usize,
+        offsets: &[u32],
+        docs: &[DocId],
+        tfs: &[f64],
+    ) -> BlockLanes {
+        let block_size = block_size.max(1);
+        let terms = offsets.len().saturating_sub(1);
+        let total_blocks: usize = (0..terms)
+            .map(|t| ((offsets[t + 1] - offsets[t]) as usize).div_ceil(block_size))
+            .sum();
+        let mut lanes = BlockLanes {
+            block_size,
+            offsets: Vec::with_capacity(terms + 1),
+            max_tfs: Vec::with_capacity(total_blocks),
+            first_docs: Vec::with_capacity(total_blocks),
+            last_docs: Vec::with_capacity(total_blocks),
+        };
+        lanes.offsets.push(0u32);
+        for t in 0..terms {
+            let (lo, hi) = (offsets[t] as usize, offsets[t + 1] as usize);
+            let mut start = lo;
+            while start < hi {
+                let end = (start + block_size).min(hi);
+                lanes.first_docs.push(docs[start]);
+                lanes.last_docs.push(docs[end - 1]);
+                lanes
+                    .max_tfs
+                    .push(tfs[start..end].iter().fold(0.0f64, |a, &b| a.max(b)));
+                start = end;
+            }
+            lanes.offsets.push(lanes.max_tfs.len() as u32);
+        }
+        lanes
+    }
+
+    /// Total number of blocks across all terms.
+    pub(crate) fn num_blocks(&self) -> usize {
+        self.max_tfs.len()
+    }
+
+    /// Global block index range of term `t`.
+    pub(crate) fn term_blocks(&self, t: usize) -> std::ops::Range<usize> {
+        self.offsets[t] as usize..self.offsets[t + 1] as usize
+    }
+}
+
 /// In-memory representation of the CSR posting lanes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PostingsCodec {
@@ -144,8 +239,10 @@ pub enum PostingsCodec {
 pub(crate) enum PostingStore {
     /// `docs`/`tfs` are the flat parallel lanes from the module docs.
     Flat { docs: Vec<DocId>, tfs: Vec<f64> },
-    /// `bytes[byte_offsets[t]..byte_offsets[t+1]]` is term `t`'s encoded
-    /// row; `byte_offsets.len() == offsets.len()` (one entry per term + 1).
+    /// `bytes[byte_offsets[b]..byte_offsets[b+1]]` is **block** `b`'s
+    /// encoded run (global block index per [`BlockLanes`]);
+    /// `byte_offsets.len() == total_blocks + 1`. Doc-id gaps restart at
+    /// each block boundary, so a block decodes without its predecessors.
     Compressed {
         bytes: Vec<u8>,
         byte_offsets: Vec<u64>,
@@ -189,8 +286,8 @@ impl PostingStore {
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct PostingsBuf {
-    docs: Vec<DocId>,
-    tfs: Vec<f64>,
+    pub(crate) docs: Vec<DocId>,
+    pub(crate) tfs: Vec<f64>,
 }
 
 impl PostingsBuf {
@@ -261,10 +358,17 @@ fn encode_row(docs: &[DocId], tfs: &[f64], out: &mut Vec<u8>) {
 }
 
 /// Bit-exact inverse of [`encode_row`]; panics on a malformed row (see
-/// [`CORRUPT_ROW`]).
+/// [`CORRUPT_ROW`]). Clears `buf` first; [`decode_block`] is the appending
+/// variant the per-block reads compose from.
 fn decode_row(bytes: &[u8], count: usize, buf: &mut PostingsBuf) {
     buf.docs.clear();
     buf.tfs.clear();
+    decode_block(bytes, count, buf);
+}
+
+/// Decode one independently-encoded block, **appending** to `buf`. `bytes`
+/// must be exactly the block's run (the trailing-bytes assert pins that).
+fn decode_block(bytes: &[u8], count: usize, buf: &mut PostingsBuf) {
     buf.docs.reserve(count);
     buf.tfs.reserve(count);
     let mut pos = 0usize;
@@ -341,6 +445,11 @@ pub struct Index {
     /// touching the postings. `max` is order-insensitive, so the corpus
     /// aggregate (max over shards) is invariant under shard count.
     term_max_tfs: Vec<f64>,
+    /// Per-block score-bound lanes (see [`BlockLanes`]): block max tfs and
+    /// first/last doc ids, frozen at build time beside `term_max_tfs` so
+    /// the block-max kernel can bound and skip whole blocks without
+    /// touching (or, compressed, decoding) the postings.
+    blocks: BlockLanes,
     doc_lengths: Vec<f64>,
     avg_doc_length: f64,
     docs: Vec<Document>,
@@ -440,8 +549,14 @@ impl Index {
                 bytes,
                 byte_offsets,
             } => {
-                let row = &bytes[byte_offsets[t] as usize..byte_offsets[t + 1] as usize];
-                decode_row(row, hi - lo, buf);
+                buf.docs.clear();
+                buf.tfs.clear();
+                let bs = self.blocks.block_size;
+                for (j, b) in self.blocks.term_blocks(t).enumerate() {
+                    let count = (hi - lo - j * bs).min(bs);
+                    let run = &bytes[byte_offsets[b] as usize..byte_offsets[b + 1] as usize];
+                    decode_block(run, count, buf);
+                }
                 Postings {
                     docs: &buf.docs,
                     weighted_tfs: &buf.tfs,
@@ -483,21 +598,29 @@ impl Index {
         }
     }
 
-    /// Re-encode the posting lanes as a per-term delta+varint stream
-    /// ([`PostingsCodec::DeltaVarint`]). Lossless: decoding reproduces doc
-    /// ids and weighted tfs bit-for-bit, so scores, MaxScore bounds, and
-    /// fingerprints are unchanged. No-op if already compressed.
+    /// Re-encode the posting lanes as a per-block delta+varint stream
+    /// ([`PostingsCodec::DeltaVarint`]): one independently-decodable run per
+    /// block-max block, gaps restarting at each block boundary. Lossless:
+    /// decoding reproduces doc ids and weighted tfs bit-for-bit, so scores,
+    /// MaxScore bounds, and fingerprints are unchanged. No-op if already
+    /// compressed.
     pub fn compress_postings(&mut self) {
         let PostingStore::Flat { docs, tfs } = &self.store else {
             return;
         };
+        let bs = self.blocks.block_size;
         let mut bytes = Vec::new();
-        let mut byte_offsets = Vec::with_capacity(self.offsets.len());
+        let mut byte_offsets = Vec::with_capacity(self.blocks.num_blocks() + 1);
         byte_offsets.push(0u64);
         for t in 0..self.terms.len() {
             let (lo, hi) = (self.offsets[t] as usize, self.offsets[t + 1] as usize);
-            encode_row(&docs[lo..hi], &tfs[lo..hi], &mut bytes);
-            byte_offsets.push(bytes.len() as u64);
+            let mut start = lo;
+            while start < hi {
+                let end = (start + bs).min(hi);
+                encode_row(&docs[start..end], &tfs[start..end], &mut bytes);
+                byte_offsets.push(bytes.len() as u64);
+                start = end;
+            }
         }
         bytes.shrink_to_fit();
         self.store = PostingStore::Compressed {
@@ -520,12 +643,16 @@ impl Index {
         let mut docs = Vec::with_capacity(total);
         let mut tfs = Vec::with_capacity(total);
         let mut buf = PostingsBuf::new();
+        let bs = self.blocks.block_size;
         for t in 0..self.terms.len() {
-            let count = (self.offsets[t + 1] - self.offsets[t]) as usize;
-            let row = &bytes[byte_offsets[t] as usize..byte_offsets[t + 1] as usize];
-            decode_row(row, count, &mut buf);
-            docs.extend_from_slice(&buf.docs);
-            tfs.extend_from_slice(&buf.tfs);
+            let df = (self.offsets[t + 1] - self.offsets[t]) as usize;
+            for (j, b) in self.blocks.term_blocks(t).enumerate() {
+                let count = (df - j * bs).min(bs);
+                let run = &bytes[byte_offsets[b] as usize..byte_offsets[b + 1] as usize];
+                decode_row(run, count, &mut buf);
+                docs.extend_from_slice(&buf.docs);
+                tfs.extend_from_slice(&buf.tfs);
+            }
         }
         self.store = PostingStore::Flat { docs, tfs };
     }
@@ -548,6 +675,48 @@ impl Index {
     pub fn max_weighted_tf(&self, term: &str) -> f64 {
         self.term_id(term)
             .map_or(0.0, |id| self.max_weighted_tf_of(id))
+    }
+
+    /// Postings per block-max block this index was frozen with (a term's
+    /// final block may be shorter).
+    pub fn block_size(&self) -> usize {
+        self.blocks.block_size
+    }
+
+    /// One block of an interned term's postings under **either codec**:
+    /// `block` is a *global* block index from
+    /// [`BlockLanes::term_blocks`]`(t)`. Flat lanes hand back a zero-copy
+    /// subslice; compressed lanes decode exactly this block into `buf` —
+    /// never its neighbours, which is the point of per-block restarts.
+    pub(crate) fn block_postings_with<'s>(
+        &'s self,
+        id: TermId,
+        block: usize,
+        buf: &'s mut PostingsBuf,
+    ) -> Postings<'s> {
+        let t = id as usize;
+        let range = self.blocks.term_blocks(t);
+        debug_assert!(range.contains(&block), "block {block} not in term {t}");
+        let (lo, hi) = (self.offsets[t] as usize, self.offsets[t + 1] as usize);
+        let start = lo + (block - range.start) * self.blocks.block_size;
+        let end = (start + self.blocks.block_size).min(hi);
+        match &self.store {
+            PostingStore::Flat { docs, tfs } => Postings {
+                docs: &docs[start..end],
+                weighted_tfs: &tfs[start..end],
+            },
+            PostingStore::Compressed {
+                bytes,
+                byte_offsets,
+            } => {
+                let run = &bytes[byte_offsets[block] as usize..byte_offsets[block + 1] as usize];
+                decode_row(run, end - start, buf);
+                Postings {
+                    docs: &buf.docs,
+                    weighted_tfs: &buf.tfs,
+                }
+            }
+        }
     }
 
     /// Boost-weighted length of a document.
@@ -615,6 +784,10 @@ impl Index {
         &self.term_max_tfs
     }
 
+    pub(crate) fn raw_blocks(&self) -> &BlockLanes {
+        &self.blocks
+    }
+
     pub(crate) fn raw_docs(&self) -> &[Document] {
         &self.docs
     }
@@ -624,12 +797,14 @@ impl Index {
     /// a pure function of the stored lanes, so the result is identical to
     /// the originally built index. Returns a description of the first
     /// violated invariant instead of constructing a malformed index.
+    #[allow(clippy::too_many_arguments)] // one parameter per snapshot section
     pub(crate) fn from_raw_parts(
         analyzer: Analyzer,
         terms: Vec<String>,
         offsets: Vec<u32>,
         store: PostingStore,
         term_max_tfs: Vec<f64>,
+        blocks: BlockLanes,
         doc_lengths: Vec<f64>,
         docs: Vec<Document>,
     ) -> Result<Index, String> {
@@ -660,6 +835,42 @@ impl Index {
                 docs.len()
             ));
         }
+        if blocks.block_size == 0 {
+            return Err("block lanes declare block_size 0 (must be ≥ 1)".to_owned());
+        }
+        if blocks.offsets.len() != terms.len() + 1 {
+            return Err(format!(
+                "block offsets lane has {} entries for {} terms (want terms + 1)",
+                blocks.offsets.len(),
+                terms.len()
+            ));
+        }
+        if blocks.offsets.first() != Some(&0) || blocks.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("block offsets lane is not a monotone prefix-sum from 0".to_owned());
+        }
+        for t in 0..terms.len() {
+            let df = (offsets[t + 1] - offsets[t]) as usize;
+            let want = df.div_ceil(blocks.block_size);
+            let got = (blocks.offsets[t + 1] - blocks.offsets[t]) as usize;
+            if got != want {
+                return Err(format!(
+                    "term {t} has {got} blocks for {df} postings at block size {} (want {want})",
+                    blocks.block_size
+                ));
+            }
+        }
+        let total_blocks = *blocks.offsets.last().unwrap() as usize;
+        if blocks.max_tfs.len() != total_blocks
+            || blocks.first_docs.len() != total_blocks
+            || blocks.last_docs.len() != total_blocks
+        {
+            return Err(format!(
+                "block lanes hold {}/{}/{} entries, block offsets say {total_blocks}",
+                blocks.max_tfs.len(),
+                blocks.first_docs.len(),
+                blocks.last_docs.len()
+            ));
+        }
         let total = *offsets.last().unwrap() as usize;
         match &store {
             PostingStore::Flat { docs, tfs } => {
@@ -675,11 +886,11 @@ impl Index {
                 bytes,
                 byte_offsets,
             } => {
-                if byte_offsets.len() != offsets.len() {
+                if byte_offsets.len() != total_blocks + 1 {
                     return Err(format!(
-                        "byte_offsets lane has {} entries, offsets has {}",
-                        byte_offsets.len(),
-                        offsets.len()
+                        "byte_offsets lane has {} entries for {total_blocks} blocks \
+                         (want blocks + 1)",
+                        byte_offsets.len()
                     ));
                 }
                 if byte_offsets.first() != Some(&0)
@@ -718,6 +929,7 @@ impl Index {
             offsets,
             store,
             term_max_tfs,
+            blocks,
             doc_lengths,
             avg_doc_length,
             docs,
@@ -731,6 +943,7 @@ impl Index {
 pub struct IndexBuilder {
     analyzer: Analyzer,
     field_boosts: HashMap<String, f64>,
+    block_size: usize,
     docs: Vec<Document>,
 }
 
@@ -746,6 +959,7 @@ impl IndexBuilder {
         IndexBuilder {
             analyzer: Analyzer::new(),
             field_boosts: HashMap::new(),
+            block_size: DEFAULT_BLOCK_SIZE,
             docs: Vec::new(),
         }
     }
@@ -759,6 +973,14 @@ impl IndexBuilder {
     /// Set the boost of a field (default 1.0).
     pub fn set_field_boost(&mut self, field: impl Into<String>, boost: f64) {
         self.field_boosts.insert(field.into(), boost);
+    }
+
+    /// Set the postings-per-block granularity of the frozen block lanes
+    /// (default [`DEFAULT_BLOCK_SIZE`]; clamped to ≥ 1). Smaller blocks
+    /// skip more precisely but cost more lane memory and more per-block
+    /// bound checks; the choice never affects scores, only work.
+    pub fn set_block_size(&mut self, block_size: usize) {
+        self.block_size = block_size.max(1);
     }
 
     /// Add a document. Duplicate external ids are allowed but
@@ -797,6 +1019,7 @@ impl IndexBuilder {
             .map(|_| IndexBuilder {
                 analyzer: self.analyzer.clone(),
                 field_boosts: self.field_boosts.clone(),
+                block_size: self.block_size,
                 docs: Vec::new(),
             })
             .collect();
@@ -889,6 +1112,7 @@ impl IndexBuilder {
         } else {
             doc_lengths.iter().sum::<f64>() / doc_lengths.len() as f64
         };
+        let blocks = BlockLanes::freeze(self.block_size, &offsets, &posting_docs, &posting_tfs);
         Index {
             analyzer: self.analyzer,
             term_ids,
@@ -899,6 +1123,7 @@ impl IndexBuilder {
                 tfs: posting_tfs,
             },
             term_max_tfs,
+            blocks,
             doc_lengths,
             avg_doc_length,
             docs: self.docs,
@@ -1173,16 +1398,46 @@ mod tests {
             vec![0; ix.raw_offsets().len() + 1],
             ix.raw_store().clone(),
             ix.raw_term_max_tfs().to_vec(),
+            ix.raw_blocks().clone(),
             ix.doc_lengths().to_vec(),
             ix.raw_docs().to_vec(),
         );
         assert!(bad.is_err());
+        // Malformed block lanes are caught too: a dropped block entry…
+        let mut chopped = ix.raw_blocks().clone();
+        chopped.max_tfs.pop();
+        let bad_blocks = Index::from_raw_parts(
+            ix.analyzer().clone(),
+            ix.raw_terms().to_vec(),
+            ix.raw_offsets().to_vec(),
+            ix.raw_store().clone(),
+            ix.raw_term_max_tfs().to_vec(),
+            chopped,
+            ix.doc_lengths().to_vec(),
+            ix.raw_docs().to_vec(),
+        );
+        assert!(bad_blocks.is_err());
+        // …and a block size that disagrees with the per-term block counts.
+        let mut skewed = ix.raw_blocks().clone();
+        skewed.block_size = 1;
+        let bad_size = Index::from_raw_parts(
+            ix.analyzer().clone(),
+            ix.raw_terms().to_vec(),
+            ix.raw_offsets().to_vec(),
+            ix.raw_store().clone(),
+            ix.raw_term_max_tfs().to_vec(),
+            skewed,
+            ix.doc_lengths().to_vec(),
+            ix.raw_docs().to_vec(),
+        );
+        assert!(bad_size.is_err());
         let good = Index::from_raw_parts(
             ix.analyzer().clone(),
             ix.raw_terms().to_vec(),
             ix.raw_offsets().to_vec(),
             ix.raw_store().clone(),
             ix.raw_term_max_tfs().to_vec(),
+            ix.raw_blocks().clone(),
             ix.doc_lengths().to_vec(),
             ix.raw_docs().to_vec(),
         )
@@ -1193,6 +1448,124 @@ mod tests {
             good.avg_doc_length().to_bits(),
             ix.avg_doc_length().to_bits()
         );
+    }
+
+    /// Reference check of every block-lane invariant against the flat
+    /// postings, for any block size.
+    fn assert_block_lanes_consistent(ix: &Index) {
+        let lanes = ix.raw_blocks();
+        let bs = lanes.block_size;
+        assert!(bs >= 1);
+        assert_eq!(lanes.offsets.len(), ix.num_terms() + 1);
+        let mut buf = PostingsBuf::new();
+        let mut block_buf = PostingsBuf::new();
+        for t in 0..ix.num_terms() as TermId {
+            let df = ix.doc_freq_of(t);
+            let range = ix.raw_blocks().term_blocks(t as usize);
+            assert_eq!(range.len(), df.div_ceil(bs), "term {t} block count");
+            // Clone out the full row: `buf` is reborrowed per block below.
+            let row = ix.postings_of_with(t, &mut buf);
+            let (row_docs, row_tfs) = (row.docs.to_vec(), row.weighted_tfs.to_vec());
+            let mut term_max = 0.0f64;
+            for (j, b) in range.clone().enumerate() {
+                let (start, end) = (j * bs, ((j + 1) * bs).min(df));
+                assert_eq!(lanes.first_docs[b], row_docs[start]);
+                assert_eq!(lanes.last_docs[b], row_docs[end - 1]);
+                let want_max = row_tfs[start..end].iter().fold(0.0f64, |a, &v| a.max(v));
+                assert_eq!(lanes.max_tfs[b].to_bits(), want_max.to_bits());
+                term_max = term_max.max(want_max);
+                // The per-block read hands back exactly this slice.
+                let block = ix.block_postings_with(t, b, &mut block_buf);
+                assert_eq!(block.docs, &row_docs[start..end]);
+                let got: Vec<u64> = block.weighted_tfs.iter().map(|v| v.to_bits()).collect();
+                let want: Vec<u64> = row_tfs[start..end].iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want);
+            }
+            assert_eq!(term_max.to_bits(), ix.max_weighted_tf_of(t).to_bits());
+        }
+    }
+
+    fn blocky_index(block_size: usize) -> Index {
+        let mut b = IndexBuilder::new();
+        b.set_block_size(block_size);
+        b.set_field_boost("title", 2.5); // fractional boost → raw-escape tfs
+        for i in 0..40 {
+            let mut doc = Document::new(format!("d{i}")).field("body", "common filler");
+            // "rare" appears once, in one document: a single-posting term.
+            if i == 17 {
+                doc = doc.field("body2", "rare");
+            }
+            // The max-weighted posting of "spike" lands in document 39 —
+            // the *final* block of its list at small block sizes.
+            if i == 39 {
+                doc = doc.field("title", "spike").field("body3", "spike spike");
+            } else if i % 3 == 0 {
+                doc = doc.field("body3", "spike");
+            }
+            b.add(doc);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn block_lanes_respect_any_block_size() {
+        // Size 1 (one block per posting), a mid size that splits rows, the
+        // default, and a size beyond every list length (one block per term).
+        for bs in [1, 4, DEFAULT_BLOCK_SIZE, 10_000] {
+            let ix = blocky_index(bs);
+            assert_eq!(ix.block_size(), bs);
+            assert_block_lanes_consistent(&ix);
+            // And the lanes survive the compressed codec bit-for-bit.
+            let mut packed = ix.clone();
+            packed.compress_postings();
+            assert_eq!(packed.raw_blocks().offsets, ix.raw_blocks().offsets);
+            assert_block_lanes_consistent(&packed);
+            packed.decompress_postings();
+            let mut buf = PostingsBuf::new();
+            for term in ["common", "rare", "spike"] {
+                assert_eq!(
+                    packed.postings_with(term, &mut buf).docs.to_vec(),
+                    ix.postings(term).docs
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_posting_term_gets_one_single_doc_block() {
+        let ix = blocky_index(4);
+        let t = ix.term_id("rare").unwrap() as usize;
+        let range = ix.raw_blocks().term_blocks(t);
+        assert_eq!(range.len(), 1);
+        let b = range.start;
+        assert_eq!(ix.raw_blocks().first_docs[b], 17);
+        assert_eq!(ix.raw_blocks().last_docs[b], 17);
+        assert_eq!(ix.raw_blocks().max_tfs[b], 1.0);
+    }
+
+    #[test]
+    fn max_posting_in_final_block_is_frozen_there() {
+        let ix = blocky_index(4);
+        let t = ix.term_id("spike").unwrap();
+        let range = ix.raw_blocks().term_blocks(t as usize);
+        assert!(range.len() > 1, "spike must span several blocks");
+        let last = range.end - 1;
+        // title boost 2.5 + two body tokens = 4.5, in doc 39 (the last).
+        assert_eq!(ix.raw_blocks().max_tfs[last], 4.5);
+        assert_eq!(ix.max_weighted_tf("spike"), 4.5);
+        assert!(
+            ix.raw_blocks().max_tfs[range.start] < 4.5,
+            "earlier blocks bound strictly lower"
+        );
+    }
+
+    #[test]
+    fn builder_defaults_and_clamps_block_size() {
+        let ix = IndexBuilder::new().build();
+        assert_eq!(ix.block_size(), DEFAULT_BLOCK_SIZE);
+        let mut b = IndexBuilder::new();
+        b.set_block_size(0);
+        assert_eq!(b.build().block_size(), 1);
     }
 
     #[test]

@@ -57,9 +57,13 @@ pub mod snippet;
 pub use analysis::Analyzer;
 pub use document::{DocId, Document};
 pub use exec::{DispatchCounts, DispatchMode, DispatchPolicy, ExecutorStats, ShardExecutor};
-pub use index::{Index, IndexBuilder, Posting, Postings, PostingsBuf, PostingsCodec, TermId};
+pub use index::{
+    Index, IndexBuilder, Posting, Postings, PostingsBuf, PostingsCodec, TermId, DEFAULT_BLOCK_SIZE,
+};
 pub use score::{ScoringFunction, TermScorer, TermStats};
-pub use search::{Cancelled, Hit, ScoreScratch, ScratchPool, Searcher, CANCEL_POSTING_BUDGET};
+pub use search::{
+    Cancelled, Hit, KernelTier, ScoreScratch, ScratchPool, Searcher, CANCEL_POSTING_BUDGET,
+};
 pub use shard::{CancelProbe, SearchContext, ShardTimings, ShardedIndex, ShardedSearcher};
 pub use snapshot::{read_snapshot_header, SnapshotError, SnapshotHeader, SNAPSHOT_VERSION};
 pub use snippet::{extract as extract_snippet, Snippet};

@@ -22,19 +22,36 @@
 //! 3. **Select** the top `k` with a bounded heap ordered by `rank_hits`
 //!    instead of sorting every matched document.
 //!
+//! # Kernel tiers
+//!
+//! Three tiers run the same query ([`KernelTier`]), strongest first:
+//!
+//! - **Block-max** (the default): document-at-a-time traversal over the
+//!   frozen per-block bound lanes (`BlockLanes` in `crate::index`). The
+//!   essential prefix of the bound order advances with skip-to-geq cursors
+//!   over block boundaries; non-essential terms are probed only for
+//!   already-admitted candidates; a candidate is scored only when the sum
+//!   of its current block maxima (plus the non-essential suffix) can beat
+//!   the running top-k threshold θ̂, and whole runs of documents are
+//!   skipped — without decoding their blocks — when it cannot.
+//! - **MaxScore**: term-at-a-time accumulation that stops admitting new
+//!   documents once θ̂ strictly exceeds the remaining tail-bound suffix.
+//! - **Exhaustive**: walk every posting (the reference kernel).
+//!
 //! # The pruning invariant
 //!
-//! Pruned output is **bit-identical** to the exhaustive kernel's. Both run
-//! the same bound-descending term order, so every surviving document's
-//! score is the same floating-point sum in the same sequence; a document
-//! first reached by a tail term is only skipped when its best possible
-//! score (the margin-inflated bound suffix) is *strictly* below the
-//! threshold, so it could never have displaced a kept hit even on the
-//! doc-id tiebreak. The bounds are pure functions of corpus-global
-//! statistics and the query, hence identical at every shard count and
-//! dispatch mode. Property-tested against a naive reference in
-//! `tests/prop_ir.rs` and held by the CI determinism gate, which diffs
-//! pruned transcripts against `QUNITS_FORCE_EXHAUSTIVE=1` runs.
+//! Every tier's output is **bit-identical** to the exhaustive kernel's.
+//! All tiers score a document by the same bound-descending term order, so
+//! every surviving document's score is the same floating-point sum in the
+//! same sequence; a document is only skipped when its best possible score
+//! (the margin-inflated bound suffix, or the block-max upper bound) is
+//! *strictly* below the threshold, so it could never have displaced a kept
+//! hit even on the doc-id tiebreak. The bounds are pure functions of
+//! corpus-global statistics and the query, hence identical at every shard
+//! count, codec, and dispatch mode. Property-tested against a naive
+//! reference in `tests/prop_ir.rs` and held by the CI determinism gate,
+//! which diffs block-max, forced-MaxScore, and forced-exhaustive
+//! transcripts against one another.
 //!
 //! Mid-kernel cooperative cancellation: when a `KernelOpts::cancel`
 //! probe is supplied, the kernel polls it every [`CANCEL_POSTING_BUDGET`]
@@ -42,7 +59,7 @@
 //! decides whether a fired probe trips, never where it fires).
 
 use crate::document::DocId;
-use crate::index::{Index, PostingsBuf, TermId};
+use crate::index::{BlockLanes, Index, PostingsBuf, TermId};
 use crate::score::{ScoringFunction, TermScorer, TermStats};
 use std::cell::RefCell;
 use std::collections::BinaryHeap;
@@ -80,12 +97,29 @@ impl std::error::Error for Cancelled {}
 /// overrun to one budget's worth of postings instead of a whole phase.
 pub const CANCEL_POSTING_BUDGET: usize = 4096;
 
+/// Which scoring kernel runs a query. Every tier returns bit-identical
+/// hits (see the module docs); the tiers differ only in how many postings
+/// they touch. Forced via `QUNITS_FORCE_EXHAUSTIVE` /
+/// `QUNITS_FORCE_MAXSCORE` / `QUNITS_FORCE_BLOCKMAX` upstream, mostly so
+/// the CI determinism gate can diff all three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelTier {
+    /// Block-max document-at-a-time skipping over the frozen block lanes
+    /// (the production default — walks the fewest postings).
+    #[default]
+    BlockMax,
+    /// MaxScore term pruning: whole tail terms stop admitting new
+    /// documents, but surviving lists are walked in full.
+    MaxScore,
+    /// Walk every posting of every query term (the reference kernel).
+    Exhaustive,
+}
+
 /// Per-call kernel switches, bundled so the signatures stay stable.
 #[derive(Clone, Copy, Default)]
 pub(crate) struct KernelOpts<'a> {
-    /// Disable MaxScore pruning and walk every posting (the reference
-    /// path; `QUNITS_FORCE_EXHAUSTIVE` upstream).
-    pub exhaustive: bool,
+    /// Which kernel tier accumulates (see [`KernelTier`]).
+    pub tier: KernelTier,
     /// Polled every [`CANCEL_POSTING_BUDGET`] postings; returning `true`
     /// aborts the kernel with [`Cancelled`]. `None` skips the bookkeeping.
     pub cancel: Option<&'a dyn Fn() -> bool>,
@@ -102,7 +136,7 @@ pub(crate) struct KernelOpts<'a> {
 pub struct Searcher<'a> {
     index: &'a Index,
     scoring: ScoringFunction,
-    exhaustive: bool,
+    tier: KernelTier,
 }
 
 const fn assert_send_sync<T: Send + Sync>() {}
@@ -193,14 +227,24 @@ pub struct ScoreScratch {
     epoch: u32,
     /// Workspace for the k-th-best-partial threshold probe.
     thresh: Vec<f64>,
-    /// Cumulative postings accumulated (full walks and pruned probes
-    /// alike) across this scratch's lifetime. Never reset by `begin` —
-    /// callers diff before/after a query to measure one kernel run.
+    /// Cumulative postings accumulated (full walks, pruned probes, and
+    /// block-max cursor steps alike) across this scratch's lifetime. Never
+    /// reset by `begin` — callers diff before/after a query to measure one
+    /// kernel run.
     postings_visited: u64,
+    /// Blocks the block-max kernel bypassed via the bound lanes without
+    /// loading (or, compressed, decoding) them. Cumulative like
+    /// `postings_visited`.
+    blocks_skipped: u64,
+    /// Blocks the block-max kernel actually loaded and walked. Cumulative.
+    blocks_scored: u64,
     /// Per-term decode buffer for [`crate::PostingsCodec::DeltaVarint`]
     /// indexes; untouched (and unallocated) under the flat codec. Lives in
     /// the scratch so one allocation serves a whole workload.
     decode: PostingsBuf,
+    /// Per-cursor block decode buffers for the block-max kernel (one per
+    /// query term under the compressed codec; unallocated under flat).
+    block_bufs: Vec<PostingsBuf>,
 }
 
 impl ScoreScratch {
@@ -210,10 +254,24 @@ impl ScoreScratch {
     }
 
     /// Cumulative count of postings accumulated through this scratch —
-    /// full-walk postings and pruned-mode probes both count one each.
-    /// Monotone across queries; diff two readings to meter one search.
+    /// full-walk postings, pruned-mode probes, and block-max cursor steps
+    /// all count one each. Monotone across queries; diff two readings to
+    /// meter one search.
     pub fn postings_visited(&self) -> u64 {
         self.postings_visited
+    }
+
+    /// Cumulative count of blocks the block-max kernel bypassed through
+    /// the bound lanes without loading them (a skipped block is never
+    /// varint-decoded). Monotone; diff two readings to meter one search.
+    pub fn blocks_skipped(&self) -> u64 {
+        self.blocks_skipped
+    }
+
+    /// Cumulative count of blocks the block-max kernel loaded and walked.
+    /// Monotone; diff two readings to meter one search.
+    pub fn blocks_scored(&self) -> u64 {
+        self.blocks_scored
     }
 
     /// Start a query over `num_docs` documents: grow if needed, invalidate
@@ -456,6 +514,426 @@ fn spend_budget(
     Ok(())
 }
 
+/// Work counters local to one block-max kernel run; flushed into the
+/// [`ScoreScratch`] meters when the run ends (on every exit path, so a
+/// cancelled kernel still reports what it walked).
+#[derive(Default)]
+struct BlockMeter {
+    /// In-block cursor steps (each counts one posting visited).
+    steps: u64,
+    /// Blocks bypassed via the bound lanes without loading.
+    skipped: u64,
+    /// Blocks loaded (and, compressed, decoded). Each load also counts one
+    /// posting visited — the landing posting the cursor reads first; steps
+    /// cover the rest — so a fully-walked block costs exactly its length,
+    /// the same accounting as the term-at-a-time kernels.
+    scored: u64,
+    /// Work counted since the last cancel-budget drain.
+    pending: usize,
+}
+
+impl BlockMeter {
+    /// Charge the work counted since the last drain against the cancel
+    /// budget — the block-max analogue of the chunked [`spend_budget`]
+    /// calls in the term-at-a-time paths. Called at block-granular sites
+    /// (once per document-at-a-time step), so poll points stay a
+    /// deterministic function of the query and index.
+    fn drain(
+        &mut self,
+        remaining: &mut usize,
+        cancel: Option<&dyn Fn() -> bool>,
+    ) -> Result<(), Cancelled> {
+        while self.pending > 0 {
+            let take = (*remaining).min(self.pending);
+            self.pending -= take;
+            spend_budget(remaining, take, cancel)?;
+        }
+        Ok(())
+    }
+}
+
+/// A document-at-a-time read head over one query term's postings, skipping
+/// at block granularity through the frozen [`BlockLanes`].
+///
+/// The cursor is **lazy**: positioning on a block costs nothing (the
+/// candidate doc id is answered from the `first_docs` lane), and the
+/// block's postings are only loaded — for the compressed codec, decoded
+/// into the cursor's own buffer — when the cursor actually steps into or
+/// probes the block. A block the traversal bounds away is bypassed through
+/// the `last_docs` lane and never touched.
+struct BlockCursor<'a> {
+    tid: TermId,
+    /// The term's whole CSR row under the flat codec (zero-copy); `None`
+    /// under the compressed codec (blocks decode into `buf` on load).
+    flat: Option<(&'a [DocId], &'a [f64])>,
+    lanes: &'a BlockLanes,
+    /// The term's global block range in the lanes.
+    blk_lo: usize,
+    blk_hi: usize,
+    /// Term document frequency (the CSR row length).
+    df: usize,
+    /// Currently positioned block (global index); `blk_hi` = exhausted.
+    cur: usize,
+    /// Position within the current block.
+    pos: usize,
+    /// Postings in the current block.
+    len: usize,
+    /// Whether the current block's postings are loaded (always true once
+    /// `pos > 0`).
+    loaded: bool,
+    /// Score upper bound of the current block: the scorer's analytic peak
+    /// at the block's max weighted tf, × query multiplicity.
+    bound: f64,
+    /// Decode target for the current block (compressed codec only).
+    buf: PostingsBuf,
+    scorer: TermScorer,
+    qtf: f64,
+}
+
+impl<'a> BlockCursor<'a> {
+    fn new(index: &'a Index, tid: TermId, scorer: TermScorer, qtf: f64, buf: PostingsBuf) -> Self {
+        let lanes = index.raw_blocks();
+        let range = lanes.term_blocks(tid as usize);
+        let mut cursor = BlockCursor {
+            tid,
+            flat: match index.postings_codec() {
+                crate::index::PostingsCodec::Flat => {
+                    let row = index.postings_of(tid);
+                    Some((row.docs, row.weighted_tfs))
+                }
+                crate::index::PostingsCodec::DeltaVarint => None,
+            },
+            lanes,
+            blk_lo: range.start,
+            blk_hi: range.end,
+            df: index.doc_freq_of(tid),
+            cur: range.start,
+            pos: 0,
+            len: 0,
+            loaded: false,
+            bound: 0.0,
+            buf,
+            scorer,
+            qtf,
+        };
+        if !cursor.exhausted() {
+            cursor.position(range.start);
+        }
+        cursor
+    }
+
+    #[inline]
+    fn exhausted(&self) -> bool {
+        self.cur == self.blk_hi
+    }
+
+    /// Last doc id of the current block (the skip lane).
+    #[inline]
+    fn last_doc(&self) -> DocId {
+        self.lanes.last_docs[self.cur]
+    }
+
+    /// Point at the head of block `blk` without loading its postings.
+    fn position(&mut self, blk: usize) {
+        let bs = self.lanes.block_size;
+        self.cur = blk;
+        self.pos = 0;
+        self.loaded = false;
+        self.len = (self.df - (blk - self.blk_lo) * bs).min(bs);
+        self.bound = self.scorer.max_score(self.lanes.max_tfs[blk]) * self.qtf;
+    }
+
+    /// Load the current block's postings (decode under the compressed
+    /// codec). The one place `blocks_scored` counts.
+    fn ensure_loaded(&mut self, index: &'a Index, meter: &mut BlockMeter) {
+        if !self.loaded {
+            if self.flat.is_none() {
+                index.block_postings_with(self.tid, self.cur, &mut self.buf);
+            }
+            self.loaded = true;
+            meter.scored += 1;
+            meter.pending += 1;
+        }
+    }
+
+    /// Doc id under the read head. Answered from the `first_docs` lane
+    /// while the block is unloaded (the head of a block is its first doc).
+    #[inline]
+    fn doc(&self) -> DocId {
+        if !self.loaded {
+            debug_assert_eq!(self.pos, 0);
+            return self.lanes.first_docs[self.cur];
+        }
+        match self.flat {
+            Some((docs, _)) => docs[(self.cur - self.blk_lo) * self.lanes.block_size + self.pos],
+            None => self.buf.docs[self.pos],
+        }
+    }
+
+    /// Weighted tf under the read head (requires a loaded block).
+    #[inline]
+    fn wtf(&self) -> f64 {
+        match self.flat {
+            Some((_, tfs)) => tfs[(self.cur - self.blk_lo) * self.lanes.block_size + self.pos],
+            None => self.buf.tfs[self.pos],
+        }
+    }
+
+    /// The current block's doc ids (requires a loaded block).
+    #[inline]
+    fn block_docs(&self) -> &[DocId] {
+        match self.flat {
+            Some((docs, _)) => {
+                let start = (self.cur - self.blk_lo) * self.lanes.block_size;
+                &docs[start..start + self.len]
+            }
+            None => &self.buf.docs[..self.len],
+        }
+    }
+
+    /// Advance to the first posting whose doc id is **not** `too_small`,
+    /// bypassing whole blocks through the `last_docs` lane. `too_small`
+    /// must hold on a prefix of ascending doc ids (`d < t` for seek-geq,
+    /// `d <= t` for seek-strictly-past). Returns `false` when the term is
+    /// exhausted. Bypassed blocks are never loaded; an in-block seek is a
+    /// binary search over the block's ascending doc ids and counts **one**
+    /// posting visit per landing — mirroring the MaxScore kernel's
+    /// candidate-driven probe accounting ([`prune_accumulate`]), so a
+    /// one-step-at-a-time walk still costs exactly the block length (the
+    /// load plus `len − 1` landings) while a far probe costs one.
+    fn advance_while(
+        &mut self,
+        index: &'a Index,
+        too_small: impl Fn(DocId) -> bool,
+        meter: &mut BlockMeter,
+    ) -> bool {
+        if self.exhausted() {
+            return false;
+        }
+        if too_small(self.last_doc()) {
+            // The rest of this block is too small: jump through the lane.
+            // `partition_point` over the ascending last-doc lane finds the
+            // first later block that can contain the target.
+            if !self.loaded {
+                meter.skipped += 1;
+            }
+            let rel =
+                self.lanes.last_docs[self.cur + 1..self.blk_hi].partition_point(|&d| too_small(d));
+            meter.skipped += rel as u64;
+            let next = self.cur + 1 + rel;
+            if next == self.blk_hi {
+                self.cur = self.blk_hi;
+                return false;
+            }
+            self.position(next);
+        }
+        // The target is inside the current block (its last doc is not too
+        // small), so this seek cannot run off the end.
+        if too_small(self.doc()) {
+            self.ensure_loaded(index, meter);
+            let rel = self.block_docs()[self.pos + 1..].partition_point(|&x| too_small(x));
+            self.pos += 1 + rel;
+            meter.steps += 1;
+            meter.pending += 1;
+        }
+        true
+    }
+}
+
+/// The block-max document-at-a-time kernel ([`KernelTier::BlockMax`]).
+///
+/// Terms arrive permuted into bound order (like every kernel). The prefix
+/// `terms[..p]` is *essential*: a document matching none of them has upper
+/// bound at most `suffix[p]`, which the running threshold θ̂ already beats
+/// (p only shrinks as θ̂ grows — the exact MaxScore engagement rule).
+/// Essential cursors advance document-at-a-time; their minimum current doc
+/// is the next candidate `d`, upper-bounded by `suffix[p]` plus the block
+/// bounds of the essential cursors sitting on `d`. If the bound cannot
+/// strictly beat θ̂, every document up to the earliest block end (capped by
+/// the next essential doc) is skipped in one lane jump; otherwise `d` is
+/// scored across **all** terms in bound order — the same float sum, in the
+/// same sequence, as the exhaustive kernel — and pushed into `top`
+/// directly (candidates arrive in ascending doc order, and [`TopK`]
+/// selection is push-order independent, so the final hits are identical).
+#[allow(clippy::too_many_arguments)]
+fn block_max_accumulate(
+    index: &Index,
+    terms: &[(Option<TermId>, usize)],
+    scorers: &[TermScorer],
+    bounds: &[f64],
+    scratch: &mut ScoreScratch,
+    to_global: &dyn Fn(DocId) -> DocId,
+    filter: Option<&dyn Fn(DocId) -> bool>,
+    cancel: Option<&dyn Fn() -> bool>,
+    top: &mut TopK,
+) -> Result<(), Cancelled> {
+    // Same reverse-summed suffix lane as the MaxScore path: suffix[i] is
+    // the best score a document matching only terms[i..] could reach.
+    let mut suffix = vec![0.0f64; terms.len() + 1];
+    for i in (0..terms.len()).rev() {
+        suffix[i] = suffix[i + 1] + bounds[i];
+    }
+    let mut meter = BlockMeter::default();
+    let mut bufs = std::mem::take(&mut scratch.block_bufs);
+    let mut cursors: Vec<Option<BlockCursor>> = terms
+        .iter()
+        .zip(scorers)
+        .map(|(&(tid, qtf), &scorer)| {
+            let tid = tid?;
+            if index.doc_freq_of(tid) == 0 {
+                return None;
+            }
+            Some(BlockCursor::new(
+                index,
+                tid,
+                scorer,
+                qtf as f64,
+                bufs.pop().unwrap_or_default(),
+            ))
+        })
+        .collect();
+    let result = block_max_daat(
+        index,
+        &suffix,
+        &mut cursors,
+        to_global,
+        filter,
+        cancel,
+        top,
+        &mut meter,
+    );
+    // Flush meters and return the decode buffers on every exit path, so a
+    // cancelled kernel still reports its work and keeps its allocations.
+    for c in cursors.into_iter().flatten() {
+        bufs.push(c.buf);
+    }
+    scratch.block_bufs = bufs;
+    scratch.postings_visited += meter.steps + meter.scored;
+    scratch.blocks_skipped += meter.skipped;
+    scratch.blocks_scored += meter.scored;
+    result
+}
+
+/// The traversal loop of [`block_max_accumulate`], split out so the caller
+/// can reclaim cursor buffers and flush meters on the cancelled path too.
+#[allow(clippy::too_many_arguments)]
+fn block_max_daat<'a>(
+    index: &'a Index,
+    suffix: &[f64],
+    cursors: &mut [Option<BlockCursor<'a>>],
+    to_global: &dyn Fn(DocId) -> DocId,
+    filter: Option<&dyn Fn(DocId) -> bool>,
+    cancel: Option<&dyn Fn() -> bool>,
+    top: &mut TopK,
+    meter: &mut BlockMeter,
+) -> Result<(), Cancelled> {
+    let lengths = index.doc_lengths();
+    let mut remaining = if cancel.is_some() {
+        CANCEL_POSTING_BUDGET
+    } else {
+        usize::MAX
+    };
+    // Essential prefix size: terms[p..] alone cannot beat θ̂. Starts full
+    // (no threshold, no skipping) and only shrinks, like MaxScore
+    // engagement — strictly-greater for the same tiebreak-safety reason.
+    let mut p = cursors.len();
+    loop {
+        meter.drain(&mut remaining, cancel)?;
+        let theta = top.full_threshold();
+        if let Some(theta) = theta {
+            while p > 0 && theta > suffix[p - 1] {
+                p -= 1;
+            }
+            if p == 0 {
+                break;
+            }
+        }
+        // The next candidate: minimum current doc over live essential
+        // cursors — and the runner-up doc, which caps any skip.
+        let mut d: Option<DocId> = None;
+        let mut next_after: Option<DocId> = None;
+        for c in cursors[..p].iter().flatten() {
+            if c.exhausted() {
+                continue;
+            }
+            let doc = c.doc();
+            match d {
+                None => d = Some(doc),
+                Some(cur) if doc < cur => {
+                    next_after = Some(next_after.map_or(cur, |n| n.min(cur)));
+                    d = Some(doc);
+                }
+                Some(cur) if doc > cur => {
+                    next_after = Some(next_after.map_or(doc, |n| n.min(doc)));
+                }
+                _ => {}
+            }
+        }
+        let Some(d) = d else { break };
+        // Upper bound on d's score: the non-essential suffix plus the
+        // current block maxima of the essential cursors sitting on d.
+        let mut ub = suffix[p];
+        for c in cursors[..p].iter().flatten() {
+            if !c.exhausted() && c.doc() == d {
+                ub += c.bound;
+            }
+        }
+        if theta.is_none_or(|t| ub > t) {
+            let global = to_global(d);
+            if filter.is_none_or(|f| f(global)) {
+                // Score d across ALL terms in bound order — essential
+                // cursors already sit on or past d, non-essential ones
+                // catch up here (admitted candidates only move forward, so
+                // their cursors stay monotone). Identical float sum and
+                // matched count to the exhaustive kernel's slot for d.
+                let mut score = 0.0f64;
+                let mut matched = 0usize;
+                for c in cursors.iter_mut().flatten() {
+                    if c.advance_while(index, |x| x < d, meter) && c.doc() == d {
+                        c.ensure_loaded(index, meter);
+                        score += c.scorer.score(lengths[d as usize], c.wtf()) * c.qtf;
+                        matched += 1;
+                    }
+                }
+                top.push(Hit {
+                    doc: global,
+                    score,
+                    matched_terms: matched,
+                });
+            }
+            for c in cursors[..p].iter_mut().flatten() {
+                if !c.exhausted() && c.doc() == d {
+                    c.advance_while(index, |x| x <= d, meter);
+                }
+            }
+        } else {
+            // d (and everything sharing its blocks) cannot beat θ̂. Every
+            // doc in (d, end] lies only in the essential blocks currently
+            // bounding d — any other essential cursor sits at or past
+            // `next_after` — so the whole run shares (at most) d's upper
+            // bound and is skipped in one lane jump per cursor.
+            let mut end = DocId::MAX;
+            for c in cursors[..p].iter().flatten() {
+                if !c.exhausted() && c.doc() == d {
+                    end = end.min(c.last_doc());
+                }
+            }
+            let cap = next_after.filter(|&nd| nd <= end);
+            for c in cursors[..p].iter_mut().flatten() {
+                if !c.exhausted() && c.doc() == d {
+                    match cap {
+                        // Seek to the runner-up candidate (≥ nd)…
+                        Some(nd) => c.advance_while(index, |x| x < nd, meter),
+                        // …or strictly past the earliest block end.
+                        None => c.advance_while(index, |x| x <= end, meter),
+                    };
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Tail-term accumulation once pruning is engaged: update already-touched
 /// candidates only, admitting no new documents. Touched candidates get the
 /// exact same `+=` their slot would have received exhaustively (one add
@@ -562,7 +1040,7 @@ fn accumulate_terms(
         // threshold outright (ties would fall through to the doc-id
         // tiebreak, which bounds know nothing about). Once engaged it
         // stays engaged — suffixes shrink and thresholds grow.
-        if !opts.exhaustive && !pruning {
+        if opts.tier != KernelTier::Exhaustive && !pruning {
             pruning = current_threshold(top, scratch, filter.is_none())
                 .is_some_and(|theta| theta > suffix[i]);
         }
@@ -661,6 +1139,21 @@ pub(crate) fn score_terms_into_topk(
     top: &mut TopK,
 ) -> Result<(), Cancelled> {
     scratch.begin(index.num_docs());
+    if opts.tier == KernelTier::BlockMax {
+        // Document-at-a-time: pushes hits into `top` itself during the
+        // traversal (that's what feeds θ̂), no touched-slot sweep needed.
+        return block_max_accumulate(
+            index,
+            terms,
+            scorers,
+            bounds,
+            scratch,
+            &to_global,
+            filter,
+            opts.cancel,
+            top,
+        );
+    }
     // The decode buffer leaves the scratch for the duration of the
     // accumulation loop: a decoded `Postings` view borrows the buffer,
     // while the accumulators need `&mut scratch` at the same time. Restore
@@ -704,15 +1197,27 @@ impl<'a> Searcher<'a> {
         Searcher {
             index,
             scoring,
-            exhaustive: false,
+            tier: KernelTier::default(),
         }
     }
 
-    /// Builder toggle: `true` disables MaxScore pruning so every posting
-    /// is walked (the reference kernel the pruned path must match
-    /// bit-for-bit — used by CI diffs and the `scoring` bench).
+    /// Builder toggle: `true` selects the exhaustive reference kernel so
+    /// every posting is walked (the kernel the pruned tiers must match
+    /// bit-for-bit — used by CI diffs and the `scoring` bench); `false`
+    /// restores the default tier.
     pub fn with_exhaustive(mut self, exhaustive: bool) -> Self {
-        self.exhaustive = exhaustive;
+        self.tier = if exhaustive {
+            KernelTier::Exhaustive
+        } else {
+            KernelTier::default()
+        };
+        self
+    }
+
+    /// Builder: pick the scoring kernel tier explicitly (every tier
+    /// returns bit-identical hits; they differ only in postings walked).
+    pub fn with_tier(mut self, tier: KernelTier) -> Self {
+        self.tier = tier;
         self
     }
 
@@ -832,7 +1337,7 @@ impl<'a> Searcher<'a> {
         }
         let (resolved, scorers, bounds) = self.resolve_terms(&dedup_terms(terms));
         let opts = KernelOpts {
-            exhaustive: self.exhaustive,
+            tier: self.tier,
             cancel: None,
         };
         score_terms_into(
@@ -1116,7 +1621,8 @@ mod tests {
         let ix = b.build();
         let terms = ix.analyzer().tokenize("rare common");
 
-        let pruned_searcher = Searcher::new(&ix, ScoringFunction::default());
+        let pruned_searcher =
+            Searcher::new(&ix, ScoringFunction::default()).with_tier(KernelTier::MaxScore);
         let exhaustive_searcher = pruned_searcher.clone().with_exhaustive(true);
         for k in [1usize, 3, 500] {
             let mut ps = ScoreScratch::new();
@@ -1172,7 +1678,7 @@ mod tests {
             let mut scratch = ScoreScratch::new();
             let before = scratch.postings_visited();
             let opts = KernelOpts {
-                exhaustive: true,
+                tier: KernelTier::Exhaustive,
                 cancel: Some(&probe),
             };
             let out = score_terms_into(
@@ -1242,5 +1748,164 @@ mod tests {
         let exhaustive = e.search_terms_where(&terms, 3, filter);
         assert_eq!(pruned, exhaustive);
         assert!(pruned.iter().all(|h| h.doc != 0));
+        // All three tiers agree under the filter (the default tier above
+        // is block-max; MaxScore closes the triangle).
+        let m = s.clone().with_tier(KernelTier::MaxScore);
+        assert_eq!(m.search_terms_where(&terms, 3, filter), exhaustive);
+    }
+
+    /// The determinism triangle at the unit level: block-max ≡ MaxScore ≡
+    /// exhaustive, bit-for-bit, across block sizes (1, tiny, default,
+    /// larger than any posting list), both codecs, and a k sweep — and
+    /// block-max never walks more postings than the exhaustive kernel.
+    #[test]
+    fn block_max_matches_other_tiers_across_block_sizes_and_codecs() {
+        for block_size in [1usize, 4, 128, 10_000] {
+            for compressed in [false, true] {
+                let mut b = IndexBuilder::new();
+                b.set_block_size(block_size);
+                for i in 0..3 {
+                    b.add(Document::new(format!("d{i}")).field("body", "rare common"));
+                }
+                for i in 3..200 {
+                    b.add(Document::new(format!("d{i}")).field("body", "common"));
+                }
+                let mut ix = b.build();
+                if compressed {
+                    ix.compress_postings();
+                }
+                let terms = ix.analyzer().tokenize("rare common");
+                let bm = Searcher::new(&ix, ScoringFunction::default());
+                let ms = bm.clone().with_tier(KernelTier::MaxScore);
+                let ex = bm.clone().with_tier(KernelTier::Exhaustive);
+                for k in [1usize, 3, 10, 500] {
+                    let tag = format!("bs={block_size} compressed={compressed} k={k}");
+                    let mut bs = ScoreScratch::new();
+                    let mut mss = ScoreScratch::new();
+                    let mut es = ScoreScratch::new();
+                    let b_hits = bm.search_terms_with(&terms, k, &mut bs);
+                    let m_hits = ms.search_terms_with(&terms, k, &mut mss);
+                    let e_hits = ex.search_terms_with(&terms, k, &mut es);
+                    assert_eq!(b_hits.len(), e_hits.len(), "{tag}");
+                    for (b, e) in b_hits.iter().zip(&e_hits) {
+                        assert_eq!(b.doc, e.doc, "{tag}");
+                        assert_eq!(b.score.to_bits(), e.score.to_bits(), "{tag}");
+                        assert_eq!(b.matched_terms, e.matched_terms, "{tag}");
+                    }
+                    assert_eq!(m_hits, e_hits, "{tag}");
+                    assert!(
+                        bs.postings_visited() <= es.postings_visited(),
+                        "{tag}: block-max {} vs exhaustive {}",
+                        bs.postings_visited(),
+                        es.postings_visited()
+                    );
+                }
+            }
+        }
+    }
+
+    /// In-term skipping MaxScore cannot do: one term whose giant posting
+    /// sits in its *first* block. Once that document sets θ̂, every later
+    /// block's bound loses and is bypassed through the lanes — never
+    /// loaded, never decoded, postings uncounted.
+    #[test]
+    fn block_max_skips_later_blocks_after_an_early_spike() {
+        // The spike doc is short and saturated in tf, the filler docs are
+        // long: BM25's length normalization puts the spike's actual score
+        // above the analytic tf-1 peak that bounds every other block, so
+        // θ̂ beats those bounds outright once the spike is scored.
+        let mut b = IndexBuilder::new();
+        b.set_block_size(4);
+        b.add(Document::new("d0").field("body", "spike ".repeat(8)));
+        let filler: String = (0..20).fold("spike".to_string(), |s, i| s + &format!(" w{i}"));
+        for i in 1..=400 {
+            b.add(Document::new(format!("d{i}")).field("body", &filler));
+        }
+        let mut ix = b.build();
+        ix.compress_postings();
+        let terms = ix.analyzer().tokenize("spike");
+
+        let bm = Searcher::new(&ix, ScoringFunction::default());
+        let ex = bm.clone().with_tier(KernelTier::Exhaustive);
+        let mut bs = ScoreScratch::new();
+        let mut es = ScoreScratch::new();
+        let b_hits = bm.search_terms_with(&terms, 1, &mut bs);
+        let e_hits = ex.search_terms_with(&terms, 1, &mut es);
+        assert_eq!(b_hits.len(), 1);
+        assert_eq!(b_hits[0].doc, e_hits[0].doc);
+        assert_eq!(b_hits[0].score.to_bits(), e_hits[0].score.to_bits());
+        // 401 postings in ~101 blocks: the spike block scores, the rest
+        // skip wholesale without a varint decode.
+        assert!(
+            bs.blocks_skipped() > 90,
+            "skipped only {} blocks",
+            bs.blocks_skipped()
+        );
+        assert!(
+            bs.postings_visited() * 10 < es.postings_visited(),
+            "block-max {} vs exhaustive {}",
+            bs.postings_visited(),
+            es.postings_visited()
+        );
+        assert_eq!(es.blocks_skipped(), 0, "exhaustive never skips");
+    }
+
+    /// The block-max kernel polls the cancel probe at the same
+    /// deterministic posting-count boundaries as the other tiers: counts
+    /// drain through the one shared budget, so poll tallies are a pure
+    /// function of query and index.
+    #[test]
+    fn block_max_cancel_polls_are_deterministic() {
+        let mut b = IndexBuilder::new();
+        let body = "t0 t1 t2 t3 t4 t5 t6 t7";
+        for i in 0..600 {
+            b.add(Document::new(format!("d{i}")).field("body", body));
+        }
+        let ix = b.build();
+        let s = Searcher::new(&ix, ScoringFunction::default());
+        let terms = ix.analyzer().tokenize(body);
+        let (resolved, scorers, bounds) = s.resolve_terms(&dedup_terms(&terms));
+
+        let polls = Cell::new(0u32);
+        let run = |probe_result: bool| {
+            polls.set(0);
+            let probe = || {
+                polls.set(polls.get() + 1);
+                probe_result
+            };
+            let mut scratch = ScoreScratch::new();
+            let opts = KernelOpts {
+                tier: KernelTier::BlockMax,
+                cancel: Some(&probe),
+            };
+            let out = score_terms_into(
+                &ix,
+                &resolved,
+                &scorers,
+                &bounds,
+                10,
+                &mut scratch,
+                |d| d,
+                None,
+                opts,
+            );
+            (out, scratch.postings_visited(), polls.get())
+        };
+
+        let (first, first_visited, first_polls) = run(false);
+        let (second, second_visited, second_polls) = run(false);
+        assert!(first_polls >= 1, "enough postings to drain the budget");
+        assert_eq!(first_polls, second_polls, "poll count is deterministic");
+        assert_eq!(first_visited, second_visited);
+        assert_eq!(first.as_ref().unwrap(), second.as_ref().unwrap());
+        // Untripped block-max under a probe matches the probe-free run.
+        assert_eq!(first.unwrap(), s.search_terms(&terms, 10));
+
+        let (cancelled, aborted_at, _) = run(true);
+        assert_eq!(cancelled, Err(Cancelled));
+        assert!(
+            aborted_at <= first_visited,
+            "the abort cannot visit more than a full run"
+        );
     }
 }

@@ -47,7 +47,7 @@ use crate::index::{Index, PostingsBuf, PostingsCodec};
 use crate::score::{ScoringFunction, TermScorer, TermStats};
 use crate::search::{
     bound_order, dedup_terms, rank_hits, score_terms_into, score_terms_into_topk,
-    with_thread_scratch, Cancelled, Hit, KernelOpts, ScoreScratch, ScratchPool, TopK,
+    with_thread_scratch, Cancelled, Hit, KernelOpts, KernelTier, ScoreScratch, ScratchPool, TopK,
 };
 use std::cmp::Ordering;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
@@ -297,6 +297,12 @@ impl ShardedIndex {
     pub fn posting_store_bytes(&self) -> usize {
         self.shards.iter().map(Index::posting_store_bytes).sum()
     }
+
+    /// The block-max lane block size (identical across shards — the
+    /// builder stamps every shard with one setting).
+    pub fn block_size(&self) -> usize {
+        self.shards[0].block_size()
+    }
 }
 
 /// FNV-1a with explicit framing (lengths prefix variable-size values), so
@@ -400,7 +406,7 @@ impl std::fmt::Debug for CancelProbe<'_> {
 /// crossed onto the worker thread.
 fn kernel_opts<'a>(ctx: &SearchContext<'a>) -> KernelOpts<'a> {
     KernelOpts {
-        exhaustive: ctx.exhaustive,
+        tier: ctx.tier,
         cancel: ctx.cancel.map(|p| p.0 as &dyn Fn() -> bool),
     }
 }
@@ -430,10 +436,10 @@ pub struct SearchContext<'a> {
     /// bookkeeping entirely. Only the fallible entry point
     /// ([`ShardedSearcher::try_search_terms_where_ctx`]) surfaces a trip.
     pub cancel: Option<CancelProbe<'a>>,
-    /// `true` disables MaxScore pruning, walking every posting — the
-    /// reference kernel (`QUNITS_FORCE_EXHAUSTIVE` upstream) that pruned
-    /// runs must match bit-for-bit.
-    pub exhaustive: bool,
+    /// Which scoring kernel tier to run (`QUNITS_FORCE_*` upstream). All
+    /// tiers return bit-identical hits; [`KernelTier::Exhaustive`] is the
+    /// reference every pruned run must match bit-for-bit.
+    pub tier: KernelTier,
 }
 
 impl SearchContext<'_> {

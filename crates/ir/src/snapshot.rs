@@ -10,8 +10,8 @@
 //! ```text
 //! header   magic "QNITSNAP" · version u32 · shard_count u32 ·
 //!          num_docs u64 · fingerprint u64            (little-endian)
-//! shard 0  [tag u8 | payload_len u64 | payload | fnv1a(payload) u64] × 7
-//! shard 1  …                                         (same 7 sections)
+//! shard 0  [tag u8 | payload_len u64 | payload | fnv1a(payload) u64] × 8
+//! shard 1  …                                         (same 8 sections)
 //! ```
 //!
 //! Derived state — the term dictionary, the external-id map, average
@@ -37,7 +37,7 @@
 
 use crate::analysis::Analyzer;
 use crate::document::Document;
-use crate::index::{Index, PostingStore};
+use crate::index::{BlockLanes, Index, PostingStore};
 use crate::shard::{Fnv1a, ShardedIndex};
 use std::fmt;
 use std::fs::File;
@@ -49,16 +49,18 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"QNITSNAP";
 
 /// Current format version. Bumped on any incompatible layout change; the
 /// loader rejects every version it was not built to read (see the evolution
-/// policy in `docs/INDEX_FORMAT.md`).
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// policy in `docs/INDEX_FORMAT.md`). Version 2 added the `blockmax`
+/// section (tag 8) and switched compressed posting byte offsets from
+/// per-term to per-block.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Fixed header size in bytes: magic + version + shard_count + num_docs +
 /// fingerprint.
 const HEADER_LEN: usize = 8 + 4 + 4 + 8 + 8;
 
 /// Section tags, in the exact order sections appear within each shard.
-const SECTION_TAGS: [u8; 7] = [1, 2, 3, 4, 5, 6, 7];
-const TAG_NAMES: [&str; 7] = [
+const SECTION_TAGS: [u8; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+const TAG_NAMES: [&str; 8] = [
     "analyzer",
     "terms",
     "offsets",
@@ -66,6 +68,7 @@ const TAG_NAMES: [&str; 7] = [
     "term_max_tfs",
     "doc_lengths",
     "docs",
+    "blockmax",
 ];
 
 /// Codec byte inside the postings section.
@@ -264,7 +267,31 @@ fn write_shard(w: &mut impl Write, shard: &Index, payload: &mut Vec<u8>) -> std:
             put_str(payload, text);
         }
     }
-    write_section(w, 7, payload)
+    write_section(w, 7, payload)?;
+
+    // 8: the frozen block-max lanes — block size, per-term block offsets,
+    // and the three parallel per-block lanes (max weighted tf as exact bit
+    // patterns, first and last doc ids).
+    payload.clear();
+    let blocks = shard.raw_blocks();
+    put_u64(payload, blocks.block_size as u64);
+    put_u64(payload, blocks.offsets.len() as u64);
+    for &o in &blocks.offsets {
+        put_u32(payload, o);
+    }
+    put_u64(payload, blocks.max_tfs.len() as u64);
+    for &m in &blocks.max_tfs {
+        put_u64(payload, m.to_bits());
+    }
+    put_u64(payload, blocks.first_docs.len() as u64);
+    for &d in &blocks.first_docs {
+        put_u32(payload, d);
+    }
+    put_u64(payload, blocks.last_docs.len() as u64);
+    for &d in &blocks.last_docs {
+        put_u32(payload, d);
+    }
+    write_section(w, 8, payload)
 }
 
 // --- payload reader --------------------------------------------------------
@@ -371,7 +398,7 @@ fn read_section<'a>(
 }
 
 fn read_shard(data: &[u8], pos: &mut usize) -> Result<Index, SnapshotError> {
-    let mut payloads = [&data[0..0]; 7];
+    let mut payloads = [&data[0..0]; 8];
     for (i, (&tag, &name)) in SECTION_TAGS.iter().zip(&TAG_NAMES).enumerate() {
         payloads[i] = read_section(data, pos, tag, name)?;
     }
@@ -502,12 +529,49 @@ fn read_shard(data: &[u8], pos: &mut usize) -> Result<Index, SnapshotError> {
     }
     r.finish()?;
 
+    // 8: block-max lanes.
+    let mut r = Reader {
+        data: payloads[7],
+        pos: 0,
+        section: "blockmax",
+    };
+    let block_size = r.u64()? as usize;
+    let n = r.count(4)?;
+    let mut block_offsets = Vec::with_capacity(n);
+    for _ in 0..n {
+        block_offsets.push(r.u32()?);
+    }
+    let n = r.count(8)?;
+    let mut max_tfs = Vec::with_capacity(n);
+    for _ in 0..n {
+        max_tfs.push(f64::from_bits(r.u64()?));
+    }
+    let n = r.count(4)?;
+    let mut first_docs = Vec::with_capacity(n);
+    for _ in 0..n {
+        first_docs.push(r.u32()?);
+    }
+    let n = r.count(4)?;
+    let mut last_docs = Vec::with_capacity(n);
+    for _ in 0..n {
+        last_docs.push(r.u32()?);
+    }
+    r.finish()?;
+    let blocks = BlockLanes {
+        block_size,
+        offsets: block_offsets,
+        max_tfs,
+        first_docs,
+        last_docs,
+    };
+
     Index::from_raw_parts(
         analyzer,
         terms,
         offsets,
         store,
         term_max_tfs,
+        blocks,
         doc_lengths,
         docs,
     )

@@ -1,8 +1,9 @@
 //! Property tests over the IR engine's core invariants.
 
 use irengine::{
-    Analyzer, DispatchPolicy, DocId, Document, Hit, Index, IndexBuilder, ScoringFunction,
-    ScratchPool, SearchContext, Searcher, ShardExecutor, ShardedSearcher, TermStats,
+    Analyzer, DispatchPolicy, DocId, Document, Hit, Index, IndexBuilder, KernelTier,
+    ScoringFunction, ScratchPool, SearchContext, Searcher, ShardExecutor, ShardedSearcher,
+    TermStats,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -356,43 +357,47 @@ proptest! {
         prop_assert_eq!(&adaptive_high, &inline);
     }
 
-    // The MaxScore contract: pruned ≡ exhaustive ≡ naive reference —
-    // docs, order, matched_terms, and score bits — for k ∈ {1, 3, all},
-    // flat and sharded, inline and dispatched. `exhaustive` flips the
-    // pruning off entirely (the `QUNITS_FORCE_EXHAUSTIVE` reference path),
-    // so this pins both that the pruned kernel never diverges and that
-    // the reference path itself stays wired up.
+    // The kernel-tier contract: block-max ≡ MaxScore ≡ exhaustive ≡ naive
+    // reference — docs, order, matched_terms, and score bits — for
+    // k ∈ {1, 3, all}, every block size (1, tiny, default), flat and
+    // sharded, inline and dispatched. This pins both that no pruned tier
+    // ever diverges and that the forced reference paths
+    // (`QUNITS_FORCE_EXHAUSTIVE` & co.) stay wired up.
     #[test]
-    fn pruned_exhaustive_and_naive_bit_identical(
+    fn all_kernel_tiers_bit_identical_to_naive(
         texts in prop::collection::vec(doc_text(), 1..20),
         q in doc_text(),
         n in 1usize..6,
         tfidf in prop::sample::select(vec![false, true]),
+        block_size in prop::sample::select(vec![1usize, 3, 128]),
     ) {
         let scoring = if tfidf { ScoringFunction::TfIdf } else { ScoringFunction::default() };
-        let ix = build_index(&texts);
+        let mut fb = builder(&texts);
+        fb.set_block_size(block_size);
+        let ix = fb.build();
         let terms = Analyzer::keep_all().tokenize(&q);
-        let pruned = Searcher::new(&ix, scoring);
-        let exhaustive = pruned.clone().with_exhaustive(true);
-        let sx = builder(&texts).build_sharded(n);
+        let mut sb = builder(&texts);
+        sb.set_block_size(block_size);
+        let sx = sb.build_sharded(n);
         let sharded = ShardedSearcher::new(&sx, scoring);
         let exec = ShardExecutor::new(2);
         let pool = ScratchPool::new();
+        let tiers = [KernelTier::BlockMax, KernelTier::MaxScore, KernelTier::Exhaustive];
         for k in [1usize, 3, texts.len() + 5] {
             let expected = naive_search(&ix, scoring, &terms, k);
-            assert_bit_identical(&pruned.search_terms(&terms, k), &expected)?;
-            assert_bit_identical(&exhaustive.search_terms(&terms, k), &expected)?;
-            for force_exhaustive in [false, true] {
+            for tier in tiers {
+                let flat = Searcher::new(&ix, scoring).with_tier(tier);
+                assert_bit_identical(&flat.search_terms(&terms, k), &expected)?;
                 let inline = sharded.try_search_terms_where_ctx(&terms, k, None, &SearchContext {
                     policy: DispatchPolicy::force_inline(),
-                    exhaustive: force_exhaustive,
+                    tier,
                     ..SearchContext::default()
                 }).unwrap();
                 let dispatched = sharded.try_search_terms_where_ctx(&terms, k, None, &SearchContext {
                     exec: Some(&exec),
                     pool: Some(&pool),
                     policy: DispatchPolicy::force_dispatch(),
-                    exhaustive: force_exhaustive,
+                    tier,
                     ..SearchContext::default()
                 }).unwrap();
                 assert_bit_identical(&inline, &expected)?;
@@ -425,11 +430,13 @@ proptest! {
         prop_assert_eq!(sx.fingerprint(), fingerprint);
         let sharded = ShardedSearcher::new(&sx, ScoringFunction::default());
         assert_bit_identical(&sharded.search_terms(&terms, k), &flat_hits)?;
-        let exhaustive = sharded.try_search_terms_where_ctx(&terms, k, None, &SearchContext {
-            exhaustive: true,
-            ..SearchContext::default()
-        }).unwrap();
-        assert_bit_identical(&exhaustive, &flat_hits)?;
+        for tier in [KernelTier::BlockMax, KernelTier::MaxScore, KernelTier::Exhaustive] {
+            let forced = sharded.try_search_terms_where_ctx(&terms, k, None, &SearchContext {
+                tier,
+                ..SearchContext::default()
+            }).unwrap();
+            assert_bit_identical(&forced, &flat_hits)?;
+        }
         sx.decompress_postings();
         prop_assert_eq!(sx.postings_codec(), irengine::PostingsCodec::Flat);
         prop_assert_eq!(sx.posting_store_bytes(), flat_bytes);

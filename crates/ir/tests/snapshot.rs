@@ -6,8 +6,8 @@
 //! trailing garbage.
 
 use irengine::{
-    read_snapshot_header, Analyzer, Document, IndexBuilder, ScoringFunction, SearchContext,
-    ShardedIndex, ShardedSearcher, SnapshotError, SNAPSHOT_VERSION,
+    read_snapshot_header, Analyzer, Document, IndexBuilder, KernelTier, ScoringFunction,
+    SearchContext, ShardedIndex, ShardedSearcher, SnapshotError, SNAPSHOT_VERSION,
 };
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -85,11 +85,16 @@ fn round_trip_is_bit_identical_at_both_codecs() {
         let after = ShardedSearcher::new(&loaded, ScoringFunction::default());
         for terms in queries() {
             for k in [1usize, 10, 500] {
-                // the pruned kernel exercises the rebuilt MaxScore bound
-                // lanes; the exhaustive one the raw postings
-                for exhaustive in [false, true] {
+                // block-max exercises the loaded block lanes, MaxScore
+                // the rebuilt term-bound lanes, exhaustive the raw
+                // postings
+                for tier in [
+                    KernelTier::BlockMax,
+                    KernelTier::MaxScore,
+                    KernelTier::Exhaustive,
+                ] {
                     let ctx = SearchContext {
-                        exhaustive,
+                        tier,
                         ..SearchContext::default()
                     };
                     let want = before
@@ -105,7 +110,7 @@ fn round_trip_is_bit_identical_at_both_codecs() {
                         assert_eq!(
                             w.score.to_bits(),
                             g.score.to_bits(),
-                            "score drift on {terms:?} k={k} exhaustive={exhaustive}"
+                            "score drift on {terms:?} k={k} tier={tier:?}"
                         );
                     }
                 }
@@ -168,6 +173,18 @@ fn rejects_unknown_version() {
     // version is the little-endian u32 at offset 8
     expect_corrupt(
         load_mangled(|b| b[8..12].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes())),
+        "unsupported version",
+    );
+}
+
+/// Version 1 files (pre block-max lanes, per-term compressed offsets) are
+/// explicitly rejected, not silently misparsed — the evolution policy is
+/// reject-and-rebuild, never best-effort.
+#[test]
+fn rejects_previous_version() {
+    const { assert!(SNAPSHOT_VERSION >= 2, "v1 must be in the past") };
+    expect_corrupt(
+        load_mangled(|b| b[8..12].copy_from_slice(&1u32.to_le_bytes())),
         "unsupported version",
     );
 }
