@@ -221,6 +221,13 @@ fn large_corpus_sweep(test_mode: bool) -> Vec<SweepRow> {
 }
 
 fn main() {
+    // The bench drives irengine directly (no EngineConfig), so honor the
+    // engine's fault-schedule env here: CI re-runs the bench with a
+    // never-firing schedule armed on every site and holds the
+    // deterministic counters exactly equal to the unarmed run.
+    if let Ok(spec) = std::env::var("QUNITS_FAULT_SCHEDULE") {
+        irengine::fault::install(&spec).expect("invalid QUNITS_FAULT_SCHEDULE");
+    }
     let test_mode = std::env::args().any(|a| a == "--test");
     let iters = |n: usize| if test_mode { 1 } else { n };
 

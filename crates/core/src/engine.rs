@@ -79,8 +79,8 @@ use crate::qunit::{QunitDefinition, QunitInstance};
 use crate::segment::{EntityDictionary, SegmentScratch, SegmentedQuery, Segmenter};
 use irengine::{
     DispatchCounts, DispatchMode, DispatchPolicy, Document, ExecutorStats, IndexBuilder,
-    KernelTier, ScoringFunction, ScratchPool, SearchContext, ShardExecutor, ShardTimings,
-    ShardedIndex, ShardedSearcher,
+    KernelTier, ScoringFunction, ScratchPool, SearchContext, SearchFailure, ShardExecutor,
+    ShardFailurePolicy, ShardTimings, ShardedIndex, ShardedSearcher, SnapshotError,
 };
 use relstore::{Database, Result};
 use std::cell::RefCell;
@@ -235,6 +235,26 @@ pub struct EngineConfig {
     /// `None` (the default) never touches disk. `QUNITS_SNAPSHOT_PATH`
     /// overrides this at build time.
     pub snapshot_path: Option<PathBuf>,
+    /// What a query does when a shard-scoped failure (a contained panic or
+    /// a mid-fanout deadline trip) kills part of its fan-out:
+    /// [`ShardFailurePolicy::Fail`] (the default) surfaces the first
+    /// failure as a [`SearchError`]; [`ShardFailurePolicy::Degrade`]
+    /// merges the surviving shards' top-k into a partial answer tagged
+    /// degraded — returned but **never cached** (the cache contract stays
+    /// "identical to a full uncached run"). Degraded content is
+    /// deterministic given the same fault schedule: surviving shards score
+    /// with corpus-global stats and merge exactly as a full run would.
+    /// `QUNITS_ON_SHARD_FAILURE=fail|degrade` overrides this at build time.
+    pub on_shard_failure: ShardFailurePolicy,
+    /// Deterministic fault-injection schedule installed at build time (see
+    /// [`irengine::fault`] for the `site=action@trigger` syntax); `None`
+    /// (the default) leaves the process-wide registry untouched, and a
+    /// disarmed registry costs one relaxed atomic load per site. Test-only
+    /// in spirit but safe anywhere: injected faults flow through the same
+    /// error/degradation paths as organic ones. The registry is
+    /// process-global, so the last engine built wins.
+    /// `QUNITS_FAULT_SCHEDULE` overrides this at build time.
+    pub fault_schedule: Option<String>,
 }
 
 impl Default for EngineConfig {
@@ -262,6 +282,8 @@ impl Default for EngineConfig {
             block_size: irengine::DEFAULT_BLOCK_SIZE,
             compress_postings: false,
             snapshot_path: None,
+            on_shard_failure: ShardFailurePolicy::Fail,
+            fault_schedule: None,
         }
     }
 }
@@ -328,6 +350,20 @@ impl EngineConfig {
                 self.snapshot_path = Some(PathBuf::from(path));
             }
         }
+        if let Ok(v) = std::env::var("QUNITS_ON_SHARD_FAILURE") {
+            self.on_shard_failure = match v.as_str() {
+                "fail" => ShardFailurePolicy::Fail,
+                "degrade" => ShardFailurePolicy::Degrade,
+                other => {
+                    panic!("QUNITS_ON_SHARD_FAILURE must be \"fail\" or \"degrade\", got {other:?}")
+                }
+            };
+        }
+        if let Ok(spec) = std::env::var("QUNITS_FAULT_SCHEDULE") {
+            if !spec.is_empty() {
+                self.fault_schedule = Some(spec);
+            }
+        }
         self
     }
 
@@ -377,6 +413,20 @@ pub enum SearchError {
         /// themselves before sleeping.
         retry_after: Duration,
     },
+    /// A shard task panicked mid-query and the engine contained it at the
+    /// query boundary instead of unwinding the caller (under
+    /// [`ShardFailurePolicy::Fail`], or when every shard failed under
+    /// [`ShardFailurePolicy::Degrade`]). The engine, its worker pool, and
+    /// its scratch buffers all remain healthy — a crashed query releases
+    /// its admission slot and scratch on the way out — so callers may keep
+    /// querying; the counter family in
+    /// [`crate::obs::ObsSnapshot`] tracks how often this fires.
+    Internal {
+        /// The panic's message — for injected faults, the failpoint site
+        /// name (`"injected fault at exec.task"`); for organic panics,
+        /// whatever the panic payload carried.
+        site: String,
+    },
 }
 
 impl std::fmt::Display for SearchError {
@@ -395,6 +445,9 @@ impl std::fmt::Display for SearchError {
                     "engine overloaded: {in_flight} queries in flight (limit {limit}), retry after {}ms",
                     retry_after.as_millis()
                 )
+            }
+            SearchError::Internal { site } => {
+                write!(f, "internal query failure contained: {site}")
             }
         }
     }
@@ -480,6 +533,23 @@ impl QunitResult {
         irengine::snippet::extract(&irengine::Analyzer::keep_all(), &self.text, query, window)
             .map(|s| s.highlighted())
     }
+}
+
+/// A complete answer from the partial-result-aware entry points
+/// ([`QunitSearchEngine::try_search_partial`]): the ranked results plus
+/// whether they are a degraded partial answer.
+///
+/// `degraded` is `false` on every path a default-config engine can take;
+/// it turns `true` only under [`ShardFailurePolicy::Degrade`] when one or
+/// more shards failed mid-query and the surviving shards' top-k was merged
+/// instead. A degraded answer is deterministic given the same fault
+/// schedule, and is never inserted into the query cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResponse {
+    /// Ranked results (possibly from a subset of shards; see `degraded`).
+    pub results: Vec<QunitResult>,
+    /// Whether any shard failed to contribute to `results`.
+    pub degraded: bool,
 }
 
 /// Per-definition facts the query path needs on every call, precomputed at
@@ -614,12 +684,46 @@ fn with_query_scratch<R>(f: impl FnOnce(&mut QueryScratch) -> R) -> R {
     })
 }
 
+/// Transient-I/O retry budget for the snapshot fast path: how many load
+/// attempts in total, and the backoff unit between them (attempt `n` waits
+/// `n × SNAPSHOT_RETRY_BACKOFF`, so the whole budget is ~15ms — enough for
+/// a blip, nowhere near the cost of the rebuild it tries to avoid).
+const SNAPSHOT_LOAD_ATTEMPTS: u32 = 3;
+const SNAPSHOT_RETRY_BACKOFF: Duration = Duration::from_millis(5);
+
+/// Move a bad snapshot aside to `<path>.corrupt` so the next restart does
+/// not trip over it again and the bytes survive for post-mortem. A failed
+/// rename is diagnostic only — the caller rebuilds either way.
+fn quarantine_snapshot(path: &std::path::Path, why: &str) {
+    let mut quarantined = path.as_os_str().to_owned();
+    quarantined.push(".corrupt");
+    let quarantined = PathBuf::from(quarantined);
+    match std::fs::rename(path, &quarantined) {
+        Ok(()) => eprintln!(
+            "qunits: snapshot {} quarantined to {} ({why})",
+            path.display(),
+            quarantined.display()
+        ),
+        Err(e) => eprintln!(
+            "qunits: snapshot {} could not be quarantined ({why}): {e}",
+            path.display()
+        ),
+    }
+}
+
 /// Try the snapshot fast path: if [`EngineConfig::snapshot_path`] names an
 /// existing file that loads cleanly (header, checksums, lane invariants)
 /// and agrees with this build's document count and shard count, return the
 /// loaded index; otherwise `None` and the caller freezes from scratch.
-/// Failures are diagnostic, never fatal — a stale or corrupt snapshot is
-/// simply rebuilt over.
+/// Failures are diagnostic, never fatal, and handled by kind:
+///
+/// - transient I/O errors get [`SNAPSHOT_LOAD_ATTEMPTS`] tries with linear
+///   backoff — the file may be fine while the volume hiccups, so it is
+///   *not* quarantined when the budget runs out;
+/// - corrupt or stale (wrong doc/shard/block-size) snapshots are renamed
+///   to `<path>.corrupt` ([`quarantine_snapshot`]) so the bytes stay
+///   available for diagnosis and the next restart rebuilds cleanly instead
+///   of re-parsing a file known to be bad.
 fn try_load_snapshot(
     config: &EngineConfig,
     num_docs: usize,
@@ -630,7 +734,24 @@ fn try_load_snapshot(
         return None;
     }
     let block_size = config.block_size.max(1);
-    match ShardedIndex::load_snapshot(path) {
+    let mut attempt = 0u32;
+    let result = loop {
+        attempt += 1;
+        match ShardedIndex::load_snapshot(path) {
+            Err(SnapshotError::Io(e))
+                if e.kind() != std::io::ErrorKind::NotFound && attempt < SNAPSHOT_LOAD_ATTEMPTS =>
+            {
+                eprintln!(
+                    "qunits: snapshot {} read failed (attempt {attempt}/{SNAPSHOT_LOAD_ATTEMPTS}): \
+                     {e}; retrying",
+                    path.display()
+                );
+                std::thread::sleep(SNAPSHOT_RETRY_BACKOFF * attempt);
+            }
+            other => break other,
+        }
+    };
+    match result {
         Ok(index)
             if index.num_docs() == num_docs
                 && index.num_shards() == shard_count
@@ -639,19 +760,23 @@ fn try_load_snapshot(
             Some(index)
         }
         Ok(index) => {
-            eprintln!(
-                "qunits: snapshot {} is stale ({} docs / {} shards / block size {}, want \
-                 {num_docs} / {shard_count} / {block_size}); rebuilding",
-                path.display(),
+            let why = format!(
+                "stale: {} docs / {} shards / block size {}, want \
+                 {num_docs} / {shard_count} / {block_size}",
                 index.num_docs(),
                 index.num_shards(),
                 index.block_size(),
             );
+            quarantine_snapshot(path, &why);
+            None
+        }
+        Err(e @ SnapshotError::Corrupt(_)) => {
+            quarantine_snapshot(path, &e.to_string());
             None
         }
         Err(e) => {
             eprintln!(
-                "qunits: snapshot {} rejected: {e}; rebuilding",
+                "qunits: snapshot {} unreadable after {attempt} attempt(s): {e}; rebuilding",
                 path.display()
             );
             None
@@ -698,6 +823,14 @@ impl QunitSearchEngine {
     /// fanning definitions across [`EngineConfig::build_threads`] workers.
     pub fn build(db: &Database, catalog: QunitCatalog, config: EngineConfig) -> Result<Self> {
         let config = config.with_env_overrides();
+        if let Some(spec) = &config.fault_schedule {
+            // Same philosophy as the numeric env overrides: a typo'd
+            // schedule silently ignored would run a chaos experiment with
+            // no chaos in it, so a bad spec fails loudly. A failed install
+            // leaves the registry disarmed.
+            irengine::fault::install(spec)
+                .unwrap_or_else(|e| panic!("invalid fault schedule {spec:?}: {e}"));
+        }
         let dict = match &config.entity_specs {
             Some(s) => {
                 let refs: Vec<(&str, &str)> =
@@ -924,6 +1057,10 @@ impl QunitSearchEngine {
             dispatched_queries,
             deadline_exceeded: self.obs.deadline_exceeded.get(),
             rejected_overload: self.obs.rejected_overload.get(),
+            internal_errors: self.obs.internal_errors.get(),
+            panics_contained: self.obs.panics_contained.get(),
+            degraded_results: self.obs.degraded_results.get(),
+            degraded_to_empty: self.obs.degraded_to_empty.get(),
             per_shard_scoring_nanos: self.shard_timings.snapshot(),
             tasks_enqueued: exec.enqueued,
             tasks_overflowed: exec.overflowed,
@@ -1000,8 +1137,22 @@ impl QunitSearchEngine {
     /// service front door that needs to distinguish "no matches" from
     /// "out of budget" uses [`QunitSearchEngine::try_search`].
     pub fn search(&self, query: &str, k: usize) -> Vec<QunitResult> {
-        self.try_search_with_policy(query, k, self.policy)
-            .unwrap_or_default()
+        self.search_infallible(query, k, self.policy)
+    }
+
+    /// The infallible degrade-to-empty wrapper behind
+    /// [`QunitSearchEngine::search`] and the batch path: any error becomes
+    /// an empty list, and the swallow is *counted*
+    /// ([`ObsSnapshot::degraded_to_empty`]) so silent error loss is
+    /// visible to operators even through the infallible API.
+    fn search_infallible(&self, query: &str, k: usize, policy: DispatchPolicy) -> Vec<QunitResult> {
+        match self.try_search_with_policy(query, k, policy) {
+            Ok(r) => r.results,
+            Err(_) => {
+                self.obs.degraded_to_empty.incr();
+                Vec::new()
+            }
+        }
     }
 
     /// Fallible service entry point: [`QunitSearchEngine::search`] plus
@@ -1014,6 +1165,16 @@ impl QunitSearchEngine {
     /// their defaults (no limit, no deadline) this never errors and is
     /// bit-identical to [`QunitSearchEngine::search`].
     pub fn try_search(&self, query: &str, k: usize) -> SearchResult<Vec<QunitResult>> {
+        self.try_search_partial(query, k).map(|r| r.results)
+    }
+
+    /// [`QunitSearchEngine::try_search`] with the degraded-answer tag:
+    /// identical admission, cache, and deadline behavior, but the response
+    /// says whether any shard failed to contribute (always `false` under
+    /// the default [`ShardFailurePolicy::Fail`]; see
+    /// [`EngineConfig::on_shard_failure`]). Service front doors that serve
+    /// partial answers should use this and surface the flag to clients.
+    pub fn try_search_partial(&self, query: &str, k: usize) -> SearchResult<SearchResponse> {
         let _guard = self.admit()?;
         self.try_search_with_policy(query, k, self.policy)
     }
@@ -1062,13 +1223,13 @@ impl QunitSearchEngine {
         query: &str,
         k: usize,
         policy: DispatchPolicy,
-    ) -> SearchResult<Vec<QunitResult>> {
+    ) -> SearchResult<SearchResponse> {
         self.obs.queries.incr();
         let started = Instant::now();
         let out = if k == 0 || !self.cache.is_enabled() {
             // k == 0 skips the cache entirely: no point spending an LRU
             // slot (and maybe an eviction) on an always-empty result.
-            with_query_scratch(|qs| self.search_uncached_inner(query, k, policy, qs))
+            with_query_scratch(|qs| self.search_uncached_guarded(query, k, policy, qs))
         } else {
             with_query_scratch(|qs| {
                 normalized_query_into(query, &mut qs.norm);
@@ -1077,18 +1238,24 @@ impl QunitSearchEngine {
                 // wrongly fresh.
                 let generation = self.feedback.generation();
                 if let Some(cached) = self.cache.get(&qs.norm, k, generation) {
-                    return Ok(cached);
+                    return Ok(SearchResponse {
+                        results: cached,
+                        degraded: false,
+                    });
                 }
                 // `?` before the insert: a deadline-truncated query must
                 // never be cached — the cache contract is "identical to
                 // uncached", and a later, faster run of the same query
-                // would complete.
-                let results = self.search_uncached_inner(query, k, policy, qs)?;
-                // The cache owns its key, so a miss pays one String clone;
-                // a hit allocates nothing for the normal form.
-                self.cache
-                    .insert(qs.norm.clone(), k, generation, results.clone());
-                Ok(results)
+                // would complete. Degraded partial answers are skipped for
+                // the same reason: a fault-free rerun would return more.
+                let response = self.search_uncached_guarded(query, k, policy, qs)?;
+                if !response.degraded {
+                    // The cache owns its key, so a miss pays one String
+                    // clone; a hit allocates nothing for the normal form.
+                    self.cache
+                        .insert(qs.norm.clone(), k, generation, response.results.clone());
+                }
+                Ok(response)
             })
         };
         // Hits, misses, and deadline trips all count: the histogram is the
@@ -1150,9 +1317,7 @@ impl QunitSearchEngine {
             .map(|(q_chunk, out_chunk)| {
                 Box::new(move || {
                     for (q, slot) in q_chunk.iter().zip(out_chunk) {
-                        *slot = self
-                            .try_search_with_policy(q, k, policy)
-                            .unwrap_or_default();
+                        *slot = self.search_infallible(q, k, policy);
                     }
                 }) as Box<dyn FnOnce() + Send + '_>
             })
@@ -1166,7 +1331,13 @@ impl QunitSearchEngine {
     /// degrades to an empty list; [`QunitSearchEngine::try_search_uncached`]
     /// surfaces it instead.
     pub fn search_uncached(&self, query: &str, k: usize) -> Vec<QunitResult> {
-        self.try_search_uncached(query, k).unwrap_or_default()
+        match self.try_search_uncached(query, k) {
+            Ok(results) => results,
+            Err(_) => {
+                self.obs.degraded_to_empty.incr();
+                Vec::new()
+            }
+        }
     }
 
     /// Fallible uncached search: the full pipeline with deadline
@@ -1174,9 +1345,38 @@ impl QunitSearchEngine {
     pub fn try_search_uncached(&self, query: &str, k: usize) -> SearchResult<Vec<QunitResult>> {
         self.obs.queries.incr();
         let started = Instant::now();
-        let out = with_query_scratch(|qs| self.search_uncached_inner(query, k, self.policy, qs));
+        let out = with_query_scratch(|qs| self.search_uncached_guarded(query, k, self.policy, qs));
         self.obs.latency.record(started.elapsed().as_nanos() as u64);
-        out
+        out.map(|r| r.results)
+    }
+
+    /// [`QunitSearchEngine::search_uncached_inner`] behind the query-level
+    /// panic boundary. The shard fan-out already contains panics inside
+    /// its tasks; this outer catch covers the rest of the pipeline (the
+    /// segmenter, the exact-anchor rescore, result materialization), so
+    /// *no* panic on any query path unwinds into the caller — it becomes
+    /// [`SearchError::Internal`] and the engine keeps serving. Scratch is
+    /// epoch-guarded and the admission guard is RAII, so nothing leaks on
+    /// the unwind path.
+    fn search_uncached_guarded(
+        &self,
+        query: &str,
+        k: usize,
+        policy: DispatchPolicy,
+        qs: &mut QueryScratch,
+    ) -> SearchResult<SearchResponse> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.search_uncached_inner(query, k, policy, qs)
+        })) {
+            Ok(out) => out,
+            Err(payload) => {
+                self.obs.internal_errors.incr();
+                self.obs.panics_contained.incr();
+                Err(SearchError::Internal {
+                    site: irengine::TaskPanic { payload }.message(),
+                })
+            }
+        }
     }
 
     /// The uncached pipeline with explicit working buffers (`qs`) and
@@ -1197,9 +1397,12 @@ impl QunitSearchEngine {
         k: usize,
         policy: DispatchPolicy,
         qs: &mut QueryScratch,
-    ) -> SearchResult<Vec<QunitResult>> {
+    ) -> SearchResult<SearchResponse> {
         if k == 0 {
-            return Ok(Vec::new());
+            return Ok(SearchResponse {
+                results: Vec::new(),
+                degraded: false,
+            });
         }
         let deadline = DeadlineCheck::new(self.config.deadline);
         let trip = |e: SearchError| {
@@ -1302,11 +1505,23 @@ impl QunitSearchEngine {
                 .is_some()
                 .then_some(irengine::CancelProbe(&expired)),
             tier: self.config.kernel_tier(),
+            on_failure: self.config.on_shard_failure,
         };
-        // A mid-kernel deadline trip aborts the fan-out with `Cancelled`;
-        // it re-surfaces here as a "rank"-phase trip, before the caller's
-        // cache insert — a truncated query is never cached.
-        let rank_trip = |_| trip(SearchError::DeadlineExceeded { phase: "rank" });
+        // A mid-kernel deadline trip aborts the fan-out with `Cancelled`
+        // and re-surfaces here as a "rank"-phase trip; a shard panic the
+        // fan-out contained surfaces as `Internal`. Either way the error
+        // lands before the caller's cache insert — a truncated query is
+        // never cached. Under `Degrade` the fan-out returns survivors
+        // instead, tallied into `degraded_shards` below.
+        let rank_trip = |f: SearchFailure| match f {
+            SearchFailure::Cancelled => trip(SearchError::DeadlineExceeded { phase: "rank" }),
+            SearchFailure::Panicked { message } => {
+                self.obs.internal_errors.incr();
+                self.obs.panics_contained.incr();
+                SearchError::Internal { site: message }
+            }
+        };
+        let mut degraded_shards = 0usize;
         let def_filter = preferred.as_ref().map(|defs| {
             move |doc: irengine::DocId| {
                 self.index
@@ -1316,7 +1531,7 @@ impl QunitSearchEngine {
                     .unwrap_or(false)
             }
         });
-        let mut hits = searcher
+        let outcome = searcher
             .try_search_terms_where_ctx(
                 terms,
                 fetch,
@@ -1325,14 +1540,24 @@ impl QunitSearchEngine {
                     .map(|f| f as &(dyn Fn(irengine::DocId) -> bool + Sync)),
                 &ctx,
             )
-            .map_err(rank_trip)?;
+            .map_err(&rank_trip)?;
+        // Contained failures are counted per fan-out, eagerly: if a later
+        // fan-out errors out, the shards this one lost are already on the
+        // books — the chaos suite balances `panics_contained` against the
+        // fault registry's fired count exactly.
+        self.obs.panics_contained.add(outcome.failed_shards as u64);
+        degraded_shards += outcome.failed_shards;
+        let mut hits = outcome.hits;
         self.sharded_searches.fetch_add(1, Ordering::Relaxed);
         // If the identified type has no matching instance (a movie with no
         // soundtrack asked for its ost), fall back to the unrestricted pool.
         if hits.is_empty() && preferred.is_some() {
-            hits = searcher
+            let outcome = searcher
                 .try_search_terms_where_ctx(terms, fetch, None, &ctx)
-                .map_err(rank_trip)?;
+                .map_err(&rank_trip)?;
+            self.obs.panics_contained.add(outcome.failed_shards as u64);
+            degraded_shards += outcome.failed_shards;
+            hits = outcome.hits;
         }
 
         // Exact-anchor injection: the instance keyed by a segmented entity
@@ -1409,20 +1634,29 @@ impl QunitSearchEngine {
                 .then(a.key.cmp(b.key))
         });
         scored.truncate(k);
-        Ok(scored
-            .into_iter()
-            .map(|s| QunitResult {
-                key: s.key.to_string(),
-                definition: s.inst.definition.clone(),
-                score: s.score,
-                ir_score: s.ir_score,
-                type_score: s.type_score,
-                rendered: s.inst.rendered.clone(),
-                text: s.inst.text.clone(),
-                fields: s.inst.fields.clone(),
-                anchor_text: s.inst.anchor_text(),
-            })
-            .collect())
+        if degraded_shards > 0 {
+            // One degraded *answer* regardless of how many shards were
+            // lost; the per-shard tally went into `panics_contained` at
+            // the fan-outs above.
+            self.obs.degraded_results.incr();
+        }
+        Ok(SearchResponse {
+            results: scored
+                .into_iter()
+                .map(|s| QunitResult {
+                    key: s.key.to_string(),
+                    definition: s.inst.definition.clone(),
+                    score: s.score,
+                    ir_score: s.ir_score,
+                    type_score: s.type_score,
+                    rendered: s.inst.rendered.clone(),
+                    text: s.inst.text.clone(),
+                    fields: s.inst.fields.clone(),
+                    anchor_text: s.inst.anchor_text(),
+                })
+                .collect(),
+            degraded: degraded_shards > 0,
+        })
     }
 
     /// Convenience: the single best result.

@@ -86,9 +86,11 @@ pub mod segment;
 pub use cache::{CacheStats, QueryCache};
 pub use catalog::QunitCatalog;
 pub use engine::{
-    EngineConfig, QunitResult, QunitSearchEngine, SearchError, SearchResult, ShardStats,
+    EngineConfig, QunitResult, QunitSearchEngine, SearchError, SearchResponse, SearchResult,
+    ShardStats,
 };
 pub use feedback::FeedbackStore;
+pub use irengine::ShardFailurePolicy;
 pub use materialize::{materialize_all, materialize_one};
 pub use obs::{Counter, ObsSnapshot, Span};
 pub use presentation::ConversionExpr;

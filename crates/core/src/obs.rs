@@ -267,6 +267,26 @@ pub struct ObsSnapshot {
     pub deadline_exceeded: u64,
     /// Queries rejected at admission with `SearchError::Overloaded`.
     pub rejected_overload: u64,
+    /// Queries that returned `SearchError::Internal` — a shard task
+    /// panicked and the engine contained it at the query boundary instead
+    /// of unwinding the caller. With `deadline_exceeded` and
+    /// `rejected_overload` this completes the per-variant error totals.
+    pub internal_errors: u64,
+    /// Failures caught and contained without unwinding any caller or
+    /// worker, for injected faults and organic panics alike: each shard a
+    /// degraded answer lost counts one, and each query surfaced as
+    /// `SearchError::Internal` counts one. A query degraded across three
+    /// lost shards therefore counts three.
+    pub panics_contained: u64,
+    /// Queries answered with a partial result list under
+    /// `ShardFailurePolicy::Degrade` — some shards failed, the survivors
+    /// were merged, and the (never-cached) answer was tagged degraded.
+    pub degraded_results: u64,
+    /// Errors the *infallible* entry points (`search`, `search_uncached`,
+    /// `search_batch`) swallowed into an empty result list. Nonzero here
+    /// with quiet error counters means callers are losing errors to the
+    /// infallible API — switch them to `try_search`.
+    pub degraded_to_empty: u64,
     /// Cumulative scoring nanoseconds per index shard (length =
     /// `num_shards`), from the dispatch path's [`irengine::ShardTimings`].
     pub per_shard_scoring_nanos: Vec<u64>,
@@ -324,6 +344,14 @@ pub struct EngineObs {
     pub deadline_exceeded: Counter,
     /// Admission rejections.
     pub rejected_overload: Counter,
+    /// Queries failed with `SearchError::Internal` (contained panics).
+    pub internal_errors: Counter,
+    /// Shard-scoped failures contained at the query boundary, per shard.
+    pub panics_contained: Counter,
+    /// Partial (degraded) answers served under `ShardFailurePolicy::Degrade`.
+    pub degraded_results: Counter,
+    /// Errors swallowed into empty lists by the infallible entry points.
+    pub degraded_to_empty: Counter,
     /// Full-pipeline latency per served query.
     pub latency: LatencyHistogram,
 }

@@ -55,14 +55,24 @@
 //! nanoseconds of every dequeued task, so an operator can see queueing
 //! delay build before it becomes a tail-latency incident.
 //!
-//! # Shutdown
+//! # Panic containment and shutdown
+//!
+//! A panic inside a task is caught on the executing worker (or helping
+//! caller) and carried back through the batch latch; **workers always
+//! survive** a panicking task and keep serving the queue. What happens on
+//! the submitting thread is the caller's choice: [`ShardExecutor::try_run`]
+//! / [`ShardExecutor::try_run_urgent`] return the first payload as an
+//! `Err(`[`TaskPanic`]`)` after every task in the batch has completed — the
+//! fault-isolated service path, which the engine maps to
+//! `SearchError::Internal` — while [`ShardExecutor::run`] /
+//! [`ShardExecutor::run_urgent`] resume the payload (the historical
+//! `std::thread::scope` semantics).
 //!
 //! Dropping the executor parks no new work, wakes every worker, and joins
 //! them; already-queued tasks are drained first so no in-flight `run` is
-//! ever abandoned. A panic inside a task is caught on the worker, carried
-//! back through the batch latch, and resumed on the calling thread — the
-//! same observable behavior as a panicking `std::thread::scope` child.
+//! ever abandoned, even when some of those tasks panic.
 
+use crate::fault::{self, site};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -94,9 +104,51 @@ impl QueuedJob {
         // The latch must count the job down even if it panics, or `run`
         // would never return and the borrow-soundness argument (and the
         // caller) would hang. By the time `complete` runs, the job and
-        // everything it borrowed have been dropped.
-        let result = catch_unwind(AssertUnwindSafe(self.job));
+        // everything it borrowed have been dropped. The failpoint sits
+        // inside the catch so an injected `exec.task` panic is contained
+        // exactly like an organic one.
+        let job = self.job;
+        let result = catch_unwind(AssertUnwindSafe(move || {
+            fault::check_infallible(site::EXEC_TASK);
+            job();
+        }));
         self.latch.complete(result.err());
+    }
+}
+
+/// A task panicked inside a [`ShardExecutor`] batch. Returned by the
+/// fault-isolated entry points ([`ShardExecutor::try_run`],
+/// [`ShardExecutor::try_run_urgent`]) once **every** task in the batch has
+/// completed — the rest of the batch is never abandoned, and the pool
+/// workers survive. Holds the first panic's payload; re-raise it with
+/// [`std::panic::resume_unwind`] or describe it with
+/// [`TaskPanic::message`].
+pub struct TaskPanic {
+    /// The payload of the first panicking task in the batch.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl TaskPanic {
+    /// Best-effort human-readable panic message: the payload string for
+    /// the common `panic!("…")` forms, a placeholder otherwise. Injected
+    /// faults ([`crate::fault`]) always panic with a string naming their
+    /// site, so this is the `site` an engine error report carries.
+    pub fn message(&self) -> String {
+        if let Some(s) = self.payload.downcast_ref::<&'static str>() {
+            (*s).to_string()
+        } else if let Some(s) = self.payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        }
+    }
+}
+
+impl std::fmt::Debug for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskPanic")
+            .field("message", &self.message())
+            .finish()
     }
 }
 
@@ -328,9 +380,12 @@ impl ShardExecutor {
     /// finishes. Tasks run on the pool workers *and* on the calling thread
     /// (which drains the queue instead of idling). If any task panics, the
     /// first payload is re-raised here once the rest have finished —
-    /// `std::thread::scope` semantics, without the spawns.
+    /// `std::thread::scope` semantics, without the spawns. Callers that
+    /// must contain panics use [`ShardExecutor::try_run`].
     pub fn run<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
-        self.run_at(tasks, false);
+        if let Err(p) = self.run_at(tasks, false) {
+            resume_unwind(p.payload);
+        }
     }
 
     /// [`ShardExecutor::run`] at **urgent** priority — the latency entry
@@ -340,21 +395,63 @@ impl ShardExecutor {
     /// executes its own shard tasks itself and the query degrades to
     /// inline latency instead of waiting out the batch backlog.
     pub fn run_urgent<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
-        self.run_at(tasks, true);
+        if let Err(p) = self.run_at(tasks, true) {
+            resume_unwind(p.payload);
+        }
     }
 
-    fn run_at<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>, urgent: bool) {
+    /// [`ShardExecutor::run`] with panic **containment** instead of
+    /// propagation: every task still runs to completion (a panicking task
+    /// counts its latch down like any other), but the first panic payload
+    /// comes back as `Err(`[`TaskPanic`]`)` instead of unwinding the
+    /// caller. This is the query-boundary isolation the engine's
+    /// `SearchError::Internal` path builds on.
+    pub fn try_run<'env>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() + Send + 'env>>,
+    ) -> Result<(), TaskPanic> {
+        self.run_at(tasks, false)
+    }
+
+    /// [`ShardExecutor::try_run`] at **urgent** priority.
+    pub fn try_run_urgent<'env>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() + Send + 'env>>,
+    ) -> Result<(), TaskPanic> {
+        self.run_at(tasks, true)
+    }
+
+    fn run_at<'env>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() + Send + 'env>>,
+        urgent: bool,
+    ) -> Result<(), TaskPanic> {
         match tasks.len() {
-            0 => return,
-            // A single task gains nothing from the queue round-trip.
+            0 => return Ok(()),
+            // A single task gains nothing from the queue round-trip; it is
+            // still caught so the containment contract is batch-size
+            // independent.
             1 => {
+                let mut result = Ok(());
                 for task in tasks {
-                    task();
+                    let caught = catch_unwind(AssertUnwindSafe(move || {
+                        fault::check_infallible(site::EXEC_TASK);
+                        task();
+                    }));
+                    if let (Err(payload), Ok(())) = (caught, &result) {
+                        result = Err(TaskPanic { payload });
+                    }
                 }
-                return;
+                return result;
             }
             _ => {}
         }
+
+        // Failpoint: an injected `exec.enqueue` error deterministically
+        // forces the whole batch down the over-capacity caller-runs path
+        // (as if the queue were full); an injected panic unwinds the
+        // submitting caller before any task is queued.
+        let admit_none = fault::check(site::EXEC_ENQUEUE).is_err();
 
         let latch = Arc::new(Latch::new(tasks.len()));
         let mut jobs: Vec<QueuedJob> = tasks
@@ -381,7 +478,11 @@ impl ShardExecutor {
         let (enqueued, overflow, depth) = {
             let mut q = lock(&self.shared.queue);
             let class = if urgent { &mut q.urgent } else { &mut q.bulk };
-            let room = self.queue_capacity.saturating_sub(class.len());
+            let room = if admit_none {
+                0
+            } else {
+                self.queue_capacity.saturating_sub(class.len())
+            };
             let accepted = jobs.len().min(room);
             let overflow = jobs.split_off(accepted);
             for mut job in jobs {
@@ -427,8 +528,9 @@ impl ShardExecutor {
                 break;
             }
         }
-        if let Some(payload) = latch.wait() {
-            resume_unwind(payload);
+        match latch.wait() {
+            Some(payload) => Err(TaskPanic { payload }),
+            None => Ok(()),
         }
     }
 
@@ -830,6 +932,75 @@ mod tests {
             .collect();
         exec.run(tasks);
         assert_eq!(after.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn try_run_contains_panics_and_completes_the_batch() {
+        let exec = ShardExecutor::new(2);
+        let ran = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..6)
+            .map(|i| {
+                let ran = &ran;
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    if i % 2 == 0 {
+                        panic!("boom {i}");
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        let err = exec.try_run_urgent(tasks).unwrap_err();
+        assert!(err.message().starts_with("boom"), "{err:?}");
+        assert_eq!(ran.load(Ordering::Relaxed), 6, "every task still ran");
+        // the pool still serves work afterwards
+        let after = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|_| {
+                Box::new(|| {
+                    after.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        exec.try_run(tasks).unwrap();
+        assert_eq!(after.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn try_run_contains_the_single_task_fast_path() {
+        let exec = ShardExecutor::new(1);
+        let err = exec
+            .try_run(vec![
+                Box::new(|| panic!("solo boom")) as Box<dyn FnOnce() + Send + '_>
+            ])
+            .unwrap_err();
+        assert_eq!(err.message(), "solo boom");
+    }
+
+    #[test]
+    fn workers_survive_a_panic_storm_and_drop_drains_cleanly() {
+        // Every batch panics on every task, across more rounds than there
+        // are workers: if a panic could kill a worker thread, the pool
+        // would wedge long before the end. Drop afterwards must still join
+        // every worker (none has exited early).
+        let exec = ShardExecutor::new(2);
+        let survived = AtomicUsize::new(0);
+        for _ in 0..10 {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|_| {
+                    let survived = &survived;
+                    Box::new(move || {
+                        survived.fetch_add(1, Ordering::Relaxed);
+                        panic!("storm");
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            assert!(exec.try_run_urgent(tasks).is_err());
+        }
+        assert_eq!(survived.load(Ordering::Relaxed), 40);
+        let stats = exec.stats();
+        assert_eq!(stats.enqueued, 40);
+        assert!(stats.dequeued <= stats.enqueued);
+        drop(exec); // joins both workers; a hang here fails the test run
     }
 
     #[test]

@@ -369,6 +369,10 @@ fn decode_row(bytes: &[u8], count: usize, buf: &mut PostingsBuf) {
 /// Decode one independently-encoded block, **appending** to `buf`. `bytes`
 /// must be exactly the block's run (the trailing-bytes assert pins that).
 fn decode_block(bytes: &[u8], count: usize, buf: &mut PostingsBuf) {
+    // `postings.decode` failpoint: decode is infallible by contract (a
+    // malformed row is index corruption and panics), so an injected error
+    // escalates to a panic here too — contained at the query boundary.
+    crate::fault::check_infallible(crate::fault::site::POSTINGS_DECODE);
     buf.docs.reserve(count);
     buf.tfs.reserve(count);
     let mut pos = 0usize;

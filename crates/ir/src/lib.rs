@@ -47,6 +47,7 @@
 pub mod analysis;
 pub mod document;
 pub mod exec;
+pub mod fault;
 pub mod index;
 pub mod score;
 pub mod search;
@@ -56,7 +57,10 @@ pub mod snippet;
 
 pub use analysis::Analyzer;
 pub use document::{DocId, Document};
-pub use exec::{DispatchCounts, DispatchMode, DispatchPolicy, ExecutorStats, ShardExecutor};
+pub use exec::{
+    DispatchCounts, DispatchMode, DispatchPolicy, ExecutorStats, ShardExecutor, TaskPanic,
+};
+pub use fault::InjectedFault;
 pub use index::{
     Index, IndexBuilder, Posting, Postings, PostingsBuf, PostingsCodec, TermId, DEFAULT_BLOCK_SIZE,
 };
@@ -64,6 +68,9 @@ pub use score::{ScoringFunction, TermScorer, TermStats};
 pub use search::{
     Cancelled, Hit, KernelTier, ScoreScratch, ScratchPool, Searcher, CANCEL_POSTING_BUDGET,
 };
-pub use shard::{CancelProbe, SearchContext, ShardTimings, ShardedIndex, ShardedSearcher};
+pub use shard::{
+    CancelProbe, SearchContext, SearchFailure, SearchOutcome, ShardFailurePolicy, ShardTimings,
+    ShardedIndex, ShardedSearcher,
+};
 pub use snapshot::{read_snapshot_header, SnapshotError, SnapshotHeader, SNAPSHOT_VERSION};
 pub use snippet::{extract as extract_snippet, Snippet};

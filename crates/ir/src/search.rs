@@ -505,7 +505,12 @@ fn spend_budget(
     if *remaining != usize::MAX {
         *remaining -= take;
         if *remaining == 0 {
-            if cancel.is_some_and(|c| c()) {
+            // `kernel.checkpoint` failpoint: shares the cooperative
+            // checkpoint cadence, so an injected trip aborts at exactly
+            // the sites a real deadline could.
+            if crate::fault::check(crate::fault::site::KERNEL_CHECKPOINT).is_err()
+                || cancel.is_some_and(|c| c())
+            {
                 return Err(Cancelled);
             }
             *remaining = CANCEL_POSTING_BUDGET;
@@ -1655,6 +1660,9 @@ mod tests {
     /// they split across terms.
     #[test]
     fn cancel_probe_fires_on_a_deterministic_posting_budget() {
+        // Budget drains hit the kernel.checkpoint failpoint, so hold the
+        // registry lock: a concurrently-armed schedule must not leak in.
+        let _g = crate::fault::registry_test_lock();
         // 600 docs × 8 shared terms = 4800 postings: the budget (4096)
         // drains exactly once mid-kernel.
         let mut b = IndexBuilder::new();
@@ -1856,6 +1864,8 @@ mod tests {
     /// function of query and index.
     #[test]
     fn block_max_cancel_polls_are_deterministic() {
+        // Budget drains hit the kernel.checkpoint failpoint (see above).
+        let _g = crate::fault::registry_test_lock();
         let mut b = IndexBuilder::new();
         let body = "t0 t1 t2 t3 t4 t5 t6 t7";
         for i in 0..600 {
@@ -1907,5 +1917,69 @@ mod tests {
             aborted_at <= first_visited,
             "the abort cannot visit more than a full run"
         );
+    }
+
+    /// The `kernel.checkpoint` failpoint shares the cooperative cancel
+    /// cadence: with a (never-tripping) probe wired, an injected error
+    /// aborts at exactly the first budget boundary — indistinguishable
+    /// from a real deadline trip — and with no probe there are no
+    /// checkpoints, so the site is never even hit.
+    #[test]
+    fn kernel_checkpoint_failpoint_cancels_at_the_budget_boundary() {
+        let _g = crate::fault::registry_test_lock();
+        let mut b = IndexBuilder::new();
+        let body = "t0 t1 t2 t3 t4 t5 t6 t7";
+        for i in 0..600 {
+            b.add(Document::new(format!("d{i}")).field("body", body));
+        }
+        let ix = b.build();
+        let s = Searcher::new(&ix, ScoringFunction::default()).with_exhaustive(true);
+        let terms = ix.analyzer().tokenize(body);
+        let (resolved, scorers, bounds) = s.resolve_terms(&dedup_terms(&terms));
+        let run = |cancel: Option<&dyn Fn() -> bool>| {
+            let mut scratch = ScoreScratch::new();
+            let before = scratch.postings_visited();
+            let opts = KernelOpts {
+                tier: KernelTier::Exhaustive,
+                cancel,
+            };
+            let out = score_terms_into(
+                &ix,
+                &resolved,
+                &scorers,
+                &bounds,
+                10,
+                &mut scratch,
+                |d| d,
+                None,
+                opts,
+            );
+            (out, scratch.postings_visited() - before)
+        };
+
+        crate::fault::install("kernel.checkpoint=error@#1").unwrap();
+        let never = || false;
+        let (out, visited) = run(Some(&never));
+        assert_eq!(out, Err(Cancelled), "injected trip surfaces as Cancelled");
+        assert_eq!(
+            visited, CANCEL_POSTING_BUDGET as u64,
+            "the abort lands exactly at the first checkpoint"
+        );
+        assert_eq!(
+            crate::fault::site_counters(crate::fault::site::KERNEL_CHECKPOINT),
+            (1, 1)
+        );
+
+        // Probe-free kernels keep zero checkpoint bookkeeping: the armed
+        // schedule is simply never consulted, and the run completes.
+        let (out, visited) = run(None);
+        assert_eq!(out.map(|hits| hits.len()), Ok(10));
+        assert_eq!(visited, 4800);
+        assert_eq!(
+            crate::fault::site_counters(crate::fault::site::KERNEL_CHECKPOINT),
+            (1, 1),
+            "no probe, no checkpoint, no hit"
+        );
+        crate::fault::clear();
     }
 }

@@ -42,7 +42,7 @@
 
 use crate::analysis::Analyzer;
 use crate::document::{DocId, Document};
-use crate::exec::{DispatchCounts, DispatchPolicy, ShardExecutor};
+use crate::exec::{DispatchCounts, DispatchPolicy, ShardExecutor, TaskPanic};
 use crate::index::{Index, PostingsBuf, PostingsCodec};
 use crate::score::{ScoringFunction, TermScorer, TermStats};
 use crate::search::{
@@ -50,6 +50,7 @@ use crate::search::{
     with_thread_scratch, Cancelled, Hit, KernelOpts, KernelTier, ScoreScratch, ScratchPool, TopK,
 };
 use std::cmp::Ordering;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::time::Instant;
 
@@ -400,6 +401,65 @@ impl std::fmt::Debug for CancelProbe<'_> {
     }
 }
 
+/// What a sharded search does when one shard fails — a task panic caught
+/// at the fan-out boundary, or a [`CancelProbe`] trip mid-kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardFailurePolicy {
+    /// The whole query fails: the first shard failure (in shard order)
+    /// surfaces as the search's error. The historical behavior, and the
+    /// default.
+    #[default]
+    Fail,
+    /// Failed shards are dropped and the **surviving** shards' top-k lists
+    /// merge into a partial answer; [`SearchOutcome::failed_shards`] counts
+    /// the casualties so the caller can tag the result degraded (and, e.g.,
+    /// keep it out of caches). The query only errors when *every* shard
+    /// fails. Under this policy the inline path scores each shard into its
+    /// own top-k and merges (the dispatch path's shape — bit-identical by
+    /// the determinism contract) so one shard's fault cannot pollute a
+    /// shared accumulator.
+    Degrade,
+}
+
+/// Why a sharded search (or one shard of it) failed.
+#[derive(Debug)]
+pub enum SearchFailure {
+    /// The [`CancelProbe`] tripped mid-kernel (deadline exceeded).
+    Cancelled,
+    /// A shard task panicked; the panic was caught at the fan-out boundary
+    /// and the pool workers survived. `message` is the panic payload when
+    /// it was a string (injected faults name their site here).
+    Panicked {
+        /// Best-effort panic message.
+        message: String,
+    },
+}
+
+impl From<Cancelled> for SearchFailure {
+    fn from(_: Cancelled) -> Self {
+        SearchFailure::Cancelled
+    }
+}
+
+/// A sharded search's result: the merged hits plus how many shards failed
+/// to contribute (always `0` under [`ShardFailurePolicy::Fail`]; under
+/// [`ShardFailurePolicy::Degrade`] a nonzero count marks the answer
+/// partial/degraded).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SearchOutcome {
+    /// Top-k hits, best first, merged from the contributing shards.
+    pub hits: Vec<Hit>,
+    /// Shards that panicked or cancelled and were excluded from the merge.
+    pub failed_shards: usize,
+}
+
+impl SearchOutcome {
+    /// True iff any shard failed to contribute.
+    pub fn degraded(&self) -> bool {
+        self.failed_shards > 0
+    }
+}
+
 /// The kernel-switch view of a context. Centralizes the unsizing from the
 /// `Sync` probe (needed to cross threads) to the plain `Fn` the kernel
 /// polls — done *inside* each per-shard scorer, after the context has
@@ -440,6 +500,9 @@ pub struct SearchContext<'a> {
     /// tiers return bit-identical hits; [`KernelTier::Exhaustive`] is the
     /// reference every pruned run must match bit-for-bit.
     pub tier: KernelTier,
+    /// What to do when one shard fails (panic or cancel): fail the query
+    /// or merge the survivors. See [`ShardFailurePolicy`].
+    pub on_failure: ShardFailurePolicy,
 }
 
 impl SearchContext<'_> {
@@ -448,13 +511,21 @@ impl SearchContext<'_> {
     /// executing thread's thread-local otherwise. The single place the
     /// checkout contract lives — both the inline sweep and the per-task
     /// dispatch entry draw through here.
+    /// Panic-safe: a panic inside `f` still returns the scratch to the
+    /// pool before resuming (the buffers hold no cross-query invariant — a
+    /// fresh `begin` bumps the accumulator epoch, so a half-written scratch
+    /// is indistinguishable from a clean one), so a panic storm cannot
+    /// drain the pool's free list.
     fn with_scratch<R>(&self, f: impl FnOnce(&mut ScoreScratch) -> R) -> R {
         match self.pool {
             Some(pool) => {
                 let mut scratch = pool.take();
-                let out = f(&mut scratch);
+                let out = catch_unwind(AssertUnwindSafe(|| f(&mut scratch)));
                 pool.put(scratch);
-                out
+                match out {
+                    Ok(r) => r,
+                    Err(payload) => resume_unwind(payload),
+                }
             }
             None => with_thread_scratch(f),
         }
@@ -533,7 +604,8 @@ impl<'a> ShardedSearcher<'a> {
     /// pruning is fully armed.
     pub fn search_terms(&self, terms: &[String], k: usize) -> Vec<Hit> {
         self.try_search_terms_where_ctx(terms, k, None, &SearchContext::default())
-            .expect("infallible without a cancel probe")
+            .expect("infallible without a cancel probe or injected faults")
+            .hits
     }
 
     /// Run `query`, keeping only documents accepted by `filter` (which
@@ -585,24 +657,30 @@ impl<'a> ShardedSearcher<'a> {
         ctx: &SearchContext,
     ) -> Vec<Hit> {
         self.try_search_terms_where_ctx(terms, k, Some(&filter), ctx)
+            .map(|o| o.hits)
             .unwrap_or_default()
     }
 
     /// The fallible, fully-explicit entry point behind every search API:
     /// `filter` is optional (`None` = unfiltered, which additionally arms
-    /// the kernel's partial-threshold pruning probe), and a tripped
-    /// [`SearchContext::cancel`] probe surfaces as `Err(Cancelled)` instead
-    /// of being swallowed. No partial results are returned on cancellation.
+    /// the kernel's partial-threshold pruning probe). A tripped
+    /// [`SearchContext::cancel`] probe surfaces as
+    /// `Err(`[`SearchFailure::Cancelled`]`)` and a panicking shard task as
+    /// `Err(`[`SearchFailure::Panicked`]`)` — unless
+    /// [`SearchContext::on_failure`] is [`ShardFailurePolicy::Degrade`],
+    /// in which case failed shards drop out of the merge and the outcome
+    /// reports them via [`SearchOutcome::failed_shards`]. Under
+    /// [`ShardFailurePolicy::Fail`] no partial results are ever returned.
     pub fn try_search_terms_where_ctx(
         &self,
         terms: &[String],
         k: usize,
         filter: Option<&(dyn Fn(DocId) -> bool + Sync)>,
         ctx: &SearchContext,
-    ) -> Result<Vec<Hit>, Cancelled> {
+    ) -> Result<SearchOutcome, SearchFailure> {
         let shards = self.index.shards();
         if k == 0 || terms.is_empty() {
-            return Ok(Vec::new());
+            return Ok(SearchOutcome::default());
         }
         let deduped = dedup_terms(terms);
         // Corpus-global statistics, folded into one scorer per distinct
@@ -641,6 +719,9 @@ impl<'a> ShardedSearcher<'a> {
         }
 
         if inline {
+            if ctx.on_failure == ShardFailurePolicy::Degrade {
+                return self.search_inline_degrade(&deduped, &scorers, &bounds, k, filter, ctx);
+            }
             // Zero-dispatch path: walk the shards on this thread, reusing
             // ONE scratch (each shard re-begins it, so the accumulator
             // stays cache-warm shard to shard), ONE resolved-terms buffer,
@@ -672,60 +753,166 @@ impl<'a> ShardedSearcher<'a> {
                 }
                 Ok(top.into_sorted_hits())
             };
-            return ctx.with_scratch(score_all);
+            // A kernel panic on the caller's own thread is still contained
+            // at this boundary (under Fail it is the query's error, not the
+            // process's) — with_scratch has already returned the scratch.
+            return match catch_unwind(AssertUnwindSafe(|| ctx.with_scratch(score_all))) {
+                Ok(Ok(hits)) => Ok(SearchOutcome {
+                    hits,
+                    failed_shards: 0,
+                }),
+                Ok(Err(Cancelled)) => Err(SearchFailure::Cancelled),
+                Err(payload) => Err(SearchFailure::Panicked {
+                    message: TaskPanic { payload }.message(),
+                }),
+            };
         }
 
-        let mut slots: Vec<Option<Result<Vec<Hit>, Cancelled>>> = (0..n).map(|_| None).collect();
-        match ctx.exec {
+        // Each slot carries its shard's own outcome; organic panics inside
+        // a scoring task are caught *inside* the task (so the slot records
+        // them and the other shards' slots still fill), while a panic
+        // injected at the executor's own `exec.task` site fires outside
+        // that catch and comes back through `try_run_urgent` — its shard's
+        // slot stays `None`.
+        let mut slots: Vec<Option<Result<Vec<Hit>, SearchFailure>>> =
+            (0..n).map(|_| None).collect();
+        let mut had_task = vec![false; n];
+        for (s, shard) in shards.iter().enumerate() {
+            // Empty shards contribute nothing; don't pay a task.
+            had_task[s] = shard.num_docs() > 0;
+        }
+        let score_into = |s: usize, slot: &mut Option<Result<Vec<Hit>, SearchFailure>>| {
+            let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                self.score_shard_pooled(s, &deduped, &scorers, &bounds, k, filter, ctx)
+            })) {
+                Ok(r) => r.map_err(SearchFailure::from),
+                Err(payload) => Err(SearchFailure::Panicked {
+                    message: TaskPanic { payload }.message(),
+                }),
+            };
+            *slot = Some(outcome);
+        };
+        let run_panic: Option<TaskPanic> = match ctx.exec {
             Some(exec) => {
                 let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
                     .iter_mut()
                     .enumerate()
-                    // Empty shards contribute nothing; don't pay a task.
-                    .filter(|(s, _)| shards[*s].num_docs() > 0)
+                    .filter(|(s, _)| had_task[*s])
                     .map(|(s, slot)| {
-                        let deduped = &deduped;
-                        let scorers = &scorers;
-                        let bounds = &bounds;
-                        Box::new(move || {
-                            *slot =
-                                Some(self.score_shard_pooled(
-                                    s, deduped, scorers, bounds, k, filter, ctx,
-                                ));
-                        }) as Box<dyn FnOnce() + Send + '_>
+                        let score_into = &score_into;
+                        Box::new(move || score_into(s, slot)) as Box<dyn FnOnce() + Send + '_>
                     })
                     .collect();
                 // Shard tasks are the latency class: they jump ahead
                 // of any queued batch chunks (see `run_urgent`).
-                exec.run_urgent(tasks);
+                exec.try_run_urgent(tasks).err()
             }
-            None => std::thread::scope(|scope| {
-                for (s, slot) in slots.iter_mut().enumerate() {
-                    if shards[s].num_docs() == 0 {
-                        continue;
+            None => {
+                std::thread::scope(|scope| {
+                    for (s, slot) in slots.iter_mut().enumerate() {
+                        if !had_task[s] {
+                            continue;
+                        }
+                        let score_into = &score_into;
+                        scope.spawn(move || score_into(s, slot));
                     }
-                    let deduped = &deduped;
-                    let scorers = &scorers;
-                    let bounds = &bounds;
-                    scope.spawn(move || {
-                        *slot = Some(
-                            self.score_shard_pooled(s, deduped, scorers, bounds, k, filter, ctx),
-                        );
-                    });
-                }
-            }),
-        }
-        // A cancellation on ANY shard cancels the query: partial merges
-        // would not be bit-identical to anything.
+                });
+                None
+            }
+        };
+        // Under Fail, a failure on ANY shard fails the query (partial
+        // merges would not be bit-identical to anything); under Degrade,
+        // failed shards drop out and the survivors merge.
         let mut lists: Vec<Vec<Hit>> = Vec::with_capacity(n);
-        for slot in slots {
-            match slot {
-                Some(Ok(hits)) => lists.push(hits),
-                Some(Err(c)) => return Err(c),
-                None => lists.push(Vec::new()),
+        let mut failed_shards = 0usize;
+        let mut first_failure: Option<SearchFailure> = None;
+        for (s, slot) in slots.into_iter().enumerate() {
+            let failure = match slot {
+                Some(Ok(hits)) => {
+                    lists.push(hits);
+                    continue;
+                }
+                Some(Err(f)) => f,
+                None if had_task[s] => SearchFailure::Panicked {
+                    message: run_panic
+                        .as_ref()
+                        .map(TaskPanic::message)
+                        .unwrap_or_else(|| "shard task panicked".to_string()),
+                },
+                None => {
+                    lists.push(Vec::new());
+                    continue;
+                }
+            };
+            if ctx.on_failure == ShardFailurePolicy::Fail {
+                return Err(failure);
+            }
+            failed_shards += 1;
+            if first_failure.is_none() {
+                first_failure = Some(failure);
             }
         }
-        Ok(merge_top_k(lists, k))
+        if failed_shards == n {
+            // Nothing survived: degrading to an empty answer would hide a
+            // total outage, so surface the first failure instead.
+            return Err(first_failure.expect("n >= 1 failed shards"));
+        }
+        Ok(SearchOutcome {
+            hits: merge_top_k(lists, k),
+            failed_shards,
+        })
+    }
+
+    /// The inline sweep under [`ShardFailurePolicy::Degrade`]: each shard
+    /// scores into its **own** top-k (the dispatch path's shape, so one
+    /// shard's mid-kernel fault cannot pollute a shared heap) with a
+    /// per-shard panic/cancel boundary, and the survivors merge. Results
+    /// are bit-identical to the shared-heap sweep by the determinism
+    /// contract — both equal sorting the concatenation — at the cost of
+    /// not sharing the pruning threshold across shards.
+    fn search_inline_degrade(
+        &self,
+        deduped: &[(&str, usize)],
+        scorers: &[TermScorer],
+        bounds: &[f64],
+        k: usize,
+        filter: Option<&(dyn Fn(DocId) -> bool + Sync)>,
+        ctx: &SearchContext,
+    ) -> Result<SearchOutcome, SearchFailure> {
+        let shards = self.index.shards();
+        let mut lists: Vec<Vec<Hit>> = Vec::with_capacity(shards.len());
+        let mut failed_shards = 0usize;
+        let mut first_failure: Option<SearchFailure> = None;
+        ctx.with_scratch(|scratch| {
+            for (s, shard) in shards.iter().enumerate() {
+                if shard.num_docs() == 0 {
+                    continue;
+                }
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    self.score_shard(s, deduped, scorers, bounds, k, filter, ctx, scratch)
+                }));
+                match outcome {
+                    Ok(Ok(hits)) => lists.push(hits),
+                    Ok(Err(Cancelled)) => {
+                        failed_shards += 1;
+                        first_failure.get_or_insert(SearchFailure::Cancelled);
+                    }
+                    Err(payload) => {
+                        failed_shards += 1;
+                        first_failure.get_or_insert(SearchFailure::Panicked {
+                            message: TaskPanic { payload }.message(),
+                        });
+                    }
+                }
+            }
+        });
+        if lists.is_empty() && failed_shards > 0 {
+            return Err(first_failure.expect("failed_shards > 0"));
+        }
+        Ok(SearchOutcome {
+            hits: merge_top_k(lists, k),
+            failed_shards,
+        })
     }
 
     /// [`ShardedSearcher::score_shard`] obtaining a scratch from the

@@ -37,6 +37,7 @@
 
 use crate::analysis::Analyzer;
 use crate::document::Document;
+use crate::fault::{self, site};
 use crate::index::{BlockLanes, Index, PostingStore};
 use crate::shard::{Fnv1a, ShardedIndex};
 use std::fmt;
@@ -112,6 +113,11 @@ impl From<std::io::Error> for SnapshotError {
 
 fn corrupt(why: impl Into<String>) -> SnapshotError {
     SnapshotError::Corrupt(why.into())
+}
+
+/// An injected fault dressed as the transient I/O error it simulates.
+fn io_fault(f: fault::InjectedFault) -> SnapshotError {
+    SnapshotError::Io(std::io::Error::other(f.to_string()))
 }
 
 /// The decoded fixed header of a snapshot file.
@@ -598,6 +604,9 @@ impl ShardedIndex {
     /// std::fs::remove_file(&path).unwrap();
     /// ```
     pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        // `snapshot.write` failpoint: a deterministic stand-in for a full
+        // disk / yanked volume, surfaced as the same `Io` a real one would.
+        fault::check(site::SNAPSHOT_WRITE).map_err(io_fault)?;
         let path = path.as_ref();
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
@@ -624,6 +633,9 @@ impl ShardedIndex {
     /// indistinguishable from the originally built index — same
     /// fingerprint, same scores to the last bit, same codec.
     pub fn load_snapshot(path: impl AsRef<Path>) -> Result<ShardedIndex, SnapshotError> {
+        // `snapshot.read` failpoint: injects a transient read error ahead
+        // of the real file read, for exercising retry/quarantine paths.
+        fault::check(site::SNAPSHOT_READ).map_err(io_fault)?;
         let data = std::fs::read(path)?;
         let header_bytes: &[u8; HEADER_LEN] = data
             .get(..HEADER_LEN)

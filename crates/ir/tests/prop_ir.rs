@@ -392,14 +392,14 @@ proptest! {
                     policy: DispatchPolicy::force_inline(),
                     tier,
                     ..SearchContext::default()
-                }).unwrap();
+                }).unwrap().hits;
                 let dispatched = sharded.try_search_terms_where_ctx(&terms, k, None, &SearchContext {
                     exec: Some(&exec),
                     pool: Some(&pool),
                     policy: DispatchPolicy::force_dispatch(),
                     tier,
                     ..SearchContext::default()
-                }).unwrap();
+                }).unwrap().hits;
                 assert_bit_identical(&inline, &expected)?;
                 assert_bit_identical(&dispatched, &expected)?;
             }
@@ -434,7 +434,7 @@ proptest! {
             let forced = sharded.try_search_terms_where_ctx(&terms, k, None, &SearchContext {
                 tier,
                 ..SearchContext::default()
-            }).unwrap();
+            }).unwrap().hits;
             assert_bit_identical(&forced, &flat_hits)?;
         }
         sx.decompress_postings();

@@ -99,10 +99,12 @@ fn round_trip_is_bit_identical_at_both_codecs() {
                     };
                     let want = before
                         .try_search_terms_where_ctx(&terms, k, None, &ctx)
-                        .unwrap();
+                        .unwrap()
+                        .hits;
                     let got = after
                         .try_search_terms_where_ctx(&terms, k, None, &ctx)
-                        .unwrap();
+                        .unwrap()
+                        .hits;
                     assert_eq!(want.len(), got.len(), "{terms:?} k={k}");
                     for (w, g) in want.iter().zip(&got) {
                         assert_eq!(w.doc, g.doc);
